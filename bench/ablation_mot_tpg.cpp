@@ -1,0 +1,91 @@
+// Ablation: what guides the test generator — three-valued or symbolic
+// MOT detections?
+//
+// The paper's closing argument (Section I): "MOT-based test generation
+// should be supported by a MOT-based fault simulation to obtain the
+// full power of the MOT strategy." This harness builds, per circuit,
+// equally budgeted sequences with (a) plain random vectors, (b) the
+// X01-guided greedy compactor, and (c) the MOT-guided generator, and
+// scores all three under full MOT. On three-valued-blind circuits only
+// (c) makes progress.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/hybrid_sim.h"
+#include "faults/collapse.h"
+#include "tpg/compaction.h"
+#include "tpg/mot_tpg.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+using namespace motsim;
+
+namespace {
+
+std::size_t mot_score(const Netlist& nl, const std::vector<Fault>& faults,
+                      const TestSequence& seq) {
+  if (seq.empty()) return 0;
+  HybridConfig hc;
+  hc.strategy = Strategy::Mot;
+  HybridFaultSim sim(nl, faults, hc);
+  return sim.run(seq).detected_count;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_preamble("Ablation", "X01-guided vs MOT-guided generation");
+
+  TablePrinter table({"Circ.", "|F|", "budget", "random", "X01-guided",
+                      "MOT-guided", "gen t[s]"});
+
+  for (const char* name : {"s27", "s208.1", "s298", "s344"}) {
+    const BenchmarkInfo* info = find_benchmark(name);
+    if (info == nullptr) continue;
+    const Netlist nl = make_benchmark(*info);
+    const CollapsedFaultList faults(nl);
+
+    const std::size_t budget = 48;
+
+    // (a) plain random.
+    Rng rng(bench::workload_seed());
+    const TestSequence rand_seq = random_sequence(nl, budget, rng);
+
+    // (b) X01-guided compaction.
+    CompactionConfig comp;
+    comp.seed = bench::workload_seed();
+    comp.segment_length = 6;
+    comp.stale_rounds = 3;
+    comp.max_length = budget;
+    const TestSequence x01_seq =
+        generate_deterministic_sequence(nl, faults.faults(), comp).sequence;
+
+    // (c) MOT-guided.
+    MotTpgConfig mot;
+    mot.seed = bench::workload_seed();
+    mot.segment_length = 6;
+    mot.stale_rounds = 3;
+    mot.max_length = budget;
+    Stopwatch gen_timer;
+    const MotTpgResult mot_result =
+        generate_mot_sequence(nl, faults.faults(), mot);
+    const double gen_s = gen_timer.elapsed_seconds();
+
+    table.add_row(
+        {name, std::to_string(faults.size()), std::to_string(budget),
+         std::to_string(mot_score(nl, faults.faults(), rand_seq)),
+         std::to_string(mot_score(nl, faults.faults(), x01_seq)),
+         std::to_string(mot_result.detected), format_fixed(gen_s, 2)});
+  }
+
+  table.print(std::cout);
+  std::printf("\nexpected shape: on three-valued-blind circuits "
+              "(s208.1) the X01-guided generator stalls\nnear zero while "
+              "the MOT-guided one builds coverage; on synchronizable "
+              "circuits\nall three roughly tie.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: serial event-driven vs bit-parallel three-valued fault
+// simulation.
+//
+// The paper's baseline X01 is a serial event-driven simulator with
+// fault dropping; production tools since PROOFS pack tens of faulty
+// machines into machine words. The two give *identical* results (the
+// test-suite asserts so); this harness measures where each wins: the
+// serial simulator exploits small fault cones and early drops, the
+// parallel one amortizes whole-circuit evaluation over 64 slots.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "faults/collapse.h"
+#include "sim3/fault_sim3.h"
+#include "sim3/parallel_fault_sim3.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+using namespace motsim;
+
+int main() {
+  bench::print_preamble("Ablation",
+                        "serial event-driven vs bit-parallel X01");
+
+  TablePrinter table({"Circ.", "|F|", "detected", "serial[s]",
+                      "parallel[s]", "ratio"});
+
+  for (const BenchmarkInfo& info : benchmark_roster()) {
+    if (!bench::include_circuit(info, /*quick_gate_cutoff=*/3000)) continue;
+
+    const Netlist nl = make_benchmark(info);
+    const CollapsedFaultList faults(nl);
+    Rng rng(bench::workload_seed() + info.spec.seed);
+    const TestSequence seq =
+        random_sequence(nl, bench::vector_count(), rng);
+
+    Stopwatch ts;
+    FaultSim3 serial(nl, faults.faults());
+    const auto rs = serial.run(seq);
+    const double serial_s = ts.elapsed_seconds();
+
+    Stopwatch tp;
+    ParallelFaultSim3 parallel(nl, faults.faults());
+    const auto rp = parallel.run(seq);
+    const double parallel_s = tp.elapsed_seconds();
+
+    if (rs.detected_count != rp.detected_count) {
+      std::fprintf(stderr, "MISMATCH on %s: serial=%zu parallel=%zu\n",
+                   info.spec.name.c_str(), rs.detected_count,
+                   rp.detected_count);
+      return 1;
+    }
+
+    table.add_row({info.spec.name, std::to_string(faults.size()),
+                   std::to_string(rs.detected_count),
+                   format_fixed(serial_s, 3), format_fixed(parallel_s, 3),
+                   format_fixed(parallel_s > 0 ? serial_s / parallel_s : 0,
+                                2) +
+                       "x"});
+  }
+
+  table.print(std::cout);
+  std::printf("\nratio > 1: the bit-parallel simulator wins (typically on "
+              "fault-dense circuits);\nratio < 1: event-driven dropping "
+              "wins (shallow cones, early detections).\n");
+  return 0;
+}

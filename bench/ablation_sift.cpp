@@ -1,0 +1,63 @@
+// Ablation: dynamic variable reordering (sifting) on the symbolic
+// output sequences of Table IV.
+//
+// The simulators run with the fixed interleaved order the paper
+// assumes; this harness measures how much a post-hoc sift of the
+// stored symbolic response could save — interesting precisely where
+// our synthetic stand-ins blow past the paper's sizes (the s953-like
+// TwinPaths machine stores six-figure node counts under the default
+// order).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/test_eval.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+using namespace motsim;
+
+int main() {
+  bench::print_preamble("Ablation",
+                        "sifting the symbolic output sequence (Table IV)");
+
+  TablePrinter table({"Circ.", "|T|", "size before", "size after",
+                      "reduction", "sift t[s]"});
+
+  for (const char* name : {"s208.1", "s510", "s953"}) {
+    const BenchmarkInfo* info = find_benchmark(name);
+    if (info == nullptr) continue;
+    const Netlist nl = make_benchmark(*info);
+    Rng rng(bench::workload_seed() + info->spec.seed);
+    const std::size_t frames =
+        std::string(name) == "s953" ? 60 : bench::vector_count() / 2;
+    const TestSequence seq = random_sequence(nl, frames, rng);
+
+    bdd::BddManager mgr;
+    const SymbolicResponse response(nl, mgr, seq);
+    const std::size_t before = response.bdd_size();
+
+    Stopwatch timer;
+    mgr.reorder_sift(2.0);
+    const double sift_s = timer.elapsed_seconds();
+    const std::size_t after = response.bdd_size();
+
+    const double reduction =
+        before == 0 ? 0.0
+                    : 100.0 * (1.0 - static_cast<double>(after) /
+                                         static_cast<double>(before));
+    table.add_row({name, std::to_string(seq.size()),
+                   std::to_string(before), std::to_string(after),
+                   format_fixed(reduction, 1) + "%",
+                   format_fixed(sift_s, 3)});
+  }
+
+  table.print(std::cout);
+  std::printf("\n(the simulators keep the fixed interleaved order — the "
+              "MOT rename depends on it;\nsifting is applied to the stored "
+              "response only, where order is free)\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: contribution of the ID_X-red steps.
+//
+// Step 1 alone (the activation condition from the I_X summary) already
+// flags faults whose leads never carry the required binary value; step
+// 2 (iterated backward {X} pass) adds leads whose every path to an
+// output is blocked; step 3 (fanout-free-region observability) adds
+// leads masked by controlling siblings. The harness reports the flag
+// counts per configuration across the roster's small and medium
+// circuits.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/xred.h"
+#include "faults/collapse.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+using namespace motsim;
+
+int main() {
+  bench::print_preamble("Ablation", "ID_X-red step contributions");
+
+  TablePrinter table({"Circ.", "|F|", "step1", "+step2", "+step3(full)",
+                      "full t[ms]"});
+
+  std::size_t tot1 = 0, tot2 = 0, tot3 = 0;
+  for (const BenchmarkInfo& info : benchmark_roster()) {
+    if (!bench::include_circuit(info, /*quick_gate_cutoff=*/3000)) continue;
+
+    const Netlist nl = make_benchmark(info);
+    const CollapsedFaultList faults(nl);
+    Rng rng(bench::workload_seed() + info.spec.seed);
+    const TestSequence seq =
+        random_sequence(nl, bench::vector_count(), rng);
+
+    XRedOptions step1_only;
+    step1_only.backward_pass = false;
+    step1_only.observability = false;
+    XRedOptions steps12;
+    steps12.observability = false;
+
+    const std::size_t n1 =
+        run_id_x_red(nl, seq, step1_only).count_x_redundant(faults.faults());
+    const std::size_t n2 =
+        run_id_x_red(nl, seq, steps12).count_x_redundant(faults.faults());
+    Stopwatch timer;
+    const std::size_t n3 =
+        run_id_x_red(nl, seq).count_x_redundant(faults.faults());
+    const double full_ms = timer.elapsed_ms();
+
+    tot1 += n1;
+    tot2 += n2;
+    tot3 += n3;
+
+    table.add_row({info.spec.name, std::to_string(faults.size()),
+                   std::to_string(n1), std::to_string(n2),
+                   std::to_string(n3), format_fixed(full_ms, 2)});
+
+    // Monotonicity invariant: each step can only add flags.
+    if (n1 > n2 || n2 > n3) {
+      std::fprintf(stderr, "INVARIANT VIOLATION on %s: %zu > %zu > %zu\n",
+                   info.spec.name.c_str(), n1, n2, n3);
+      return 1;
+    }
+  }
+
+  table.add_separator();
+  table.add_row({"SUM", "", std::to_string(tot1), std::to_string(tot2),
+                 std::to_string(tot3), ""});
+  table.print(std::cout);
+  std::printf("\nexpected shape: step1 <= +step2 <= full, with the "
+              "backward pass dominating on counter-style circuits.\n");
+  return 0;
+}

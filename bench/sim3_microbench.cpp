@@ -1,0 +1,110 @@
+// Micro-benchmarks of the simulation kernels (google-benchmark):
+// three-valued true-value frames, event-driven fault propagation and
+// the symbolic frame step, on roster circuits of increasing size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_data/registry.h"
+#include "core/sym_true_value.h"
+#include "faults/collapse.h"
+#include "sim3/fault_sim3.h"
+#include "sim3/good_sim3.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace motsim;
+
+const char* circuit_for(int idx) {
+  switch (idx) {
+    case 0:
+      return "s298";
+    case 1:
+      return "s832";
+    default:
+      return "s1494";
+  }
+}
+
+void BM_GoodSim3Frame(benchmark::State& state) {
+  const Netlist nl = make_benchmark(circuit_for(static_cast<int>(state.range(0))));
+  Rng rng(1);
+  const TestSequence seq = random_sequence(nl, 64, rng);
+  GoodSim3 sim(nl);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step(seq[t % seq.size()]));
+    ++t;
+  }
+  state.SetLabel(nl.name());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nl.node_count()));
+}
+BENCHMARK(BM_GoodSim3Frame)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FaultSim3FullRun(benchmark::State& state) {
+  const Netlist nl = make_benchmark(circuit_for(static_cast<int>(state.range(0))));
+  const CollapsedFaultList faults(nl);
+  Rng rng(2);
+  const TestSequence seq = random_sequence(nl, 32, rng);
+  for (auto _ : state) {
+    FaultSim3 sim(nl, faults.faults());
+    benchmark::DoNotOptimize(sim.run(seq).detected_count);
+  }
+  state.SetLabel(nl.name());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size()));
+}
+BENCHMARK(BM_FaultSim3FullRun)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SingleFaultFrame(benchmark::State& state) {
+  const Netlist nl = make_benchmark("s1494");
+  const CollapsedFaultList faults(nl);
+  Rng rng(3);
+  const TestSequence seq = random_sequence(nl, 8, rng);
+  GoodSim3 good(nl);
+  good.step(seq[0]);
+  FaultPropagator3 prop(nl);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    StateDiff3 diff;
+    benchmark::DoNotOptimize(prop.step(faults.faults()[i % faults.size()],
+                                       diff, good.values(), good.state()));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SingleFaultFrame);
+
+void BM_SymTrueValueFrame(benchmark::State& state) {
+  const Netlist nl = make_benchmark(circuit_for(static_cast<int>(state.range(0))));
+  Rng rng(4);
+  const TestSequence seq = random_sequence(nl, 32, rng);
+  bdd::BddManager mgr;
+  SymTrueValueSim sim(nl, mgr, StateVars(nl.dff_count()));
+  std::size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step(seq[t % seq.size()]));
+    ++t;
+    if (t % seq.size() == 0) {
+      sim.reset_symbolic();
+      mgr.gc();
+    }
+  }
+  state.SetLabel(nl.name());
+}
+BENCHMARK(BM_SymTrueValueFrame)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_CollapseFaultList(benchmark::State& state) {
+  const Netlist nl = make_benchmark("s1494");
+  for (auto _ : state) {
+    const CollapsedFaultList faults(nl);
+    benchmark::DoNotOptimize(faults.size());
+  }
+}
+BENCHMARK(BM_CollapseFaultList);
+
+}  // namespace
+
+BENCHMARK_MAIN();

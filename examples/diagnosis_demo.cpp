@@ -1,0 +1,73 @@
+// Fault diagnosis with the symbolic dictionary (core/diagnosis.h).
+//
+// A tester observed a failing response of a chip whose power-up state
+// nobody knows. Which stuck-at fault explains it? Conventional
+// dictionaries assume a unique expected response; here the expected
+// behaviour is a *set* of responses, so the dictionary stores, per
+// fault and per well-defined observation point, whether the fault can
+// mismatch there for any power-up state — computed symbolically.
+
+#include <cstdio>
+
+#include "bench_data/s27.h"
+#include "circuit/stats.h"
+#include "core/diagnosis.h"
+#include "faults/collapse.h"
+#include "sim3/sim2.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+
+using namespace motsim;
+
+int main() {
+  const Netlist nl = make_s27();
+  std::printf("circuit %s\n%s\n", nl.name().c_str(),
+              CircuitStats::of(nl).to_string().c_str());
+
+  const CollapsedFaultList faults(nl);
+  Rng rng(2026);
+  const TestSequence seq = random_sequence(nl, 48, rng);
+
+  bdd::BddManager mgr;
+  const FaultDictionary dict(nl, mgr, faults.faults(), seq);
+  std::printf("dictionary: %zu faults x %zu well-defined observation "
+              "points\n\n",
+              dict.fault_count(), dict.points().size());
+
+  // Play the defective chip: inject a "mystery" fault, power up in a
+  // random state, collect the tester response. (Skip faults that stay
+  // silent from the chosen power-up state — a silent chip cannot be
+  // diagnosed, only detected by a better sequence.)
+  std::vector<bool> powerup(nl.dff_count());
+  for (std::size_t i = 0; i < powerup.size(); ++i) powerup[i] = rng.flip();
+
+  std::size_t mystery = faults.size();
+  std::vector<FaultDictionary::Candidate> candidates;
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    Sim2 chip(nl, faults.faults()[fi]);
+    const auto response = chip.run(powerup, to_bool_sequence(seq));
+    candidates = dict.diagnose(response);
+    if (!candidates.empty()) {
+      mystery = fi;
+      break;
+    }
+  }
+  if (mystery == faults.size()) {
+    std::printf("no fault was observable from this power-up state\n");
+    return 0;
+  }
+  std::printf("mystery fault: %s (hidden from the diagnoser)\n",
+              fault_name(nl, faults.faults()[mystery]).c_str());
+  std::printf("diagnosis candidates (of %zu faults):\n", faults.size());
+  std::size_t shown = 0;
+  for (const auto& c : candidates) {
+    std::printf("  %-14s explains %zu mismatch(es)%s\n",
+                fault_name(nl, faults.faults()[c.fault_index]).c_str(),
+                c.explained,
+                c.fault_index == mystery ? "   <-- the mystery fault" : "");
+    if (++shown == 8) break;
+  }
+  std::printf("(%zu candidates total; %zu faults excluded)\n",
+              candidates.size(), faults.size() - candidates.size());
+  return 0;
+}

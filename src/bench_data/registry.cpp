@@ -1,0 +1,306 @@
+#include "bench_data/registry.h"
+
+#include <stdexcept>
+
+#include "bench_data/s27.h"
+
+namespace motsim {
+
+namespace {
+
+using CS = CircuitStyle;
+
+/// Builds one roster entry. The seed is derived from the position so
+/// regenerating the roster is fully deterministic.
+BenchmarkInfo entry(const char* name, std::size_t pi, std::size_t po,
+                    std::size_t ff, std::size_t gates, CS style,
+                    std::uint64_t seed) {
+  BenchmarkInfo info;
+  info.spec =
+      SynthSpec{name, pi, po, ff, gates, style, 0x5EEDBA5Eull * (seed + 1)};
+  return info;
+}
+
+std::vector<BenchmarkInfo> build_roster() {
+  std::vector<BenchmarkInfo> r;
+
+  {  // s27 — exact embedded netlist, not part of the paper's tables.
+    BenchmarkInfo s27 = entry("s27", 4, 1, 3, 10, CS::Controller, 0);
+    s27.exact = true;
+    r.push_back(s27);
+  }
+
+  // name, PI, PO, FF, gates, style, Table I {F, xred, fd, x01, x01p, idx},
+  // Table II {_, fu, sot, rmot, mot, times, stars},
+  // Table III {T, fu, sot, rmot, mot, times, stars}, Table IV.
+  auto add = [&r](BenchmarkInfo info) { r.push_back(std::move(info)); };
+
+  {
+    auto e = entry("s208.1", 10, 1, 8, 96, CS::Counter, 1);
+    e.t1 = {217, 195, 15, 1.58, 0.09, 0.05};
+    e.in_table2 = true;
+    e.t2 = {-1, 202, 0, 10, 51, 47.52, 48.26, 49.07, false, false, false};
+    e.in_table3 = true;
+    e.t3 = {111, 200, 0, 4, 46, 35, 35, 36, false, false, false};
+    e.in_table4 = true;
+    e.t4 = {1, 200, 250, 0.02, 111, 111, 0.02, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s298", 3, 6, 14, 119, CS::Controller, 2);
+    e.t1 = {308, 71, 168, 1.04, 0.91, 0.05};
+    e.in_table2 = true;
+    e.t2 = {-1, 140, 5, 6, 6, 6.71, 7.08, 58.94, false, false, true};
+    e.in_table3 = true;
+    e.t3 = {162, 44, 4, 7, 7, 3.23, 1.73, 4.11, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s344", 9, 11, 15, 160, CS::Controller, 3);
+    e.t1 = {342, 17, 291, 1.10, 1.10, 0.07};
+    e.in_table2 = true;
+    e.t2 = {-1, 51, 4, 6, 6, 29.84, 7.61, 336, false, false, true};
+    e.in_table3 = true;
+    e.t3 = {91, 13, 4, 6, 6, 3.68, 1.08, 1.13, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s349", 9, 11, 15, 161, CS::Controller, 4);
+    e.t1 = {350, 18, 297, 1.14, 1.10, 0.07};
+    e.in_table2 = true;
+    e.t2 = {-1, 53, 4, 6, 6, 30.13, 7.54, 307, false, false, true};
+    e.in_table3 = true;
+    e.t3 = {91, 15, 4, 6, 6, 3.86, 1.07, 1.17, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s382", 3, 6, 21, 158, CS::Controller, 5);
+    e.t1 = {399, 174, 49, 2.05, 1.64, 0.07};
+    e.in_table2 = true;
+    e.t2 = {-1, 350, 0, 1, 1, 31.56, 25.81, 35.10, false, false, false};
+    e.in_table3 = true;
+    e.t3 = {2463, 36, 3, 12, 12, 377, 22, 24, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s386", 7, 7, 6, 159, CS::Controller, 6);
+    e.t1 = {384, 63, 179, 0.57, 0.48, 0.06};
+    e.in_table2 = true;
+    e.t2 = {-1, 205, 0, 0, 0, 0.58, 0.64, 0.75, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s400", 3, 6, 21, 162, CS::Controller, 7);
+    e.t1 = {424, 51, 51, 2.23, 1.76, 0.08};
+    e.in_table2 = true;
+    e.t2 = {-1, 373, 0, 1, 1, 33.21, 27.11, 36.62, false, false, false};
+    e.in_table3 = true;
+    e.t3 = {1282, 73, 6, 13, 13, 208, 30, 35, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s420.1", 18, 1, 16, 218, CS::Counter, 8);
+    e.t1 = {455, 419, 22, 4.70, 0.22, 0.11};
+    e.in_table2 = true;
+    e.t2 = {-1, 433, 0, 13, 13, 533, 529, 401, false, false, true};
+    e.in_table3 = true;
+    e.t3 = {173, 432, 0, 10, 6, 672, 667, 417, false, false, true};
+    add(e);
+  }
+  {
+    auto e = entry("s444", 3, 6, 21, 181, CS::Controller, 9);
+    e.t1 = {474, 211, 53, 2.42, 1.98, 0.08};
+    e.in_table2 = true;
+    e.t2 = {-1, 421, 0, 1, 1, 71.91, 64.05, 56.37, false, false, true};
+    add(e);
+  }
+  {
+    auto e = entry("s510", 19, 7, 6, 211, CS::TwinPaths, 10);
+    e.t1 = {564, 564, 0, 5.35, 0.09, 0.10};
+    e.in_table2 = true;
+    e.t2 = {-1, 564, 395, 477, 531, 507, 440, 585, false, false, false};
+    e.in_table3 = true;
+    e.t3 = {200, 564, 549, 549, 549, 265, 250, 380, false, false, false};
+    e.in_table4 = true;
+    e.t4 = {7, 200, 439, 0.05, 200, 339, 0.07, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s526", 3, 6, 21, 193, CS::Controller, 11);
+    e.t1 = {555, 283, 48, 3.20, 2.52, 0.10};
+    e.in_table2 = true;
+    e.t2 = {-1, 507, 0, 1, 1, 95.32, 105, 101, false, true, true};
+    e.in_table3 = true;
+    e.t3 = {754, 137, 2, 11, 11, 201, 32, 41, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s641", 35, 24, 19, 379, CS::RandomLogic, 12);
+    e.t1 = {467, 72, 345, 0.64, 0.51, 0.10};
+    e.in_table2 = true;
+    e.t2 = {-1, 122, 4, 4, 4, 1.77, 5.64, 8.75, false, false, false};
+    e.in_table3 = true;
+    e.t3 = {133, 64, 4, 4, 4, 0.89, 2.84, 3.57, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s713", 35, 23, 19, 393, CS::RandomLogic, 13);
+    e.t1 = {581, 94, 417, 0.94, 0.78, 0.13};
+    e.in_table2 = true;
+    e.t2 = {-1, 164, 4, 4, 4, 2.15, 7.93, 11.39, false, false, false};
+    e.in_table3 = true;
+    e.t3 = {107, 111, 4, 4, 4, 1.15, 3.45, 5.14, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s820", 18, 19, 5, 289, CS::Controller, 14);
+    e.t1 = {850, 114, 236, 2.14, 2.02, 0.18};
+    e.in_table2 = true;
+    e.t2 = {-1, 641, 1, 1, 1, 1.91, 2.55, 3.68, false, false, false};
+    e.in_table3 = true;
+    e.t3 = {411, 154, 2, 2, 2, 1.35, 1.94, 2.41, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s832", 18, 19, 5, 287, CS::Controller, 15);
+    e.t1 = {870, 116, 235, 2.23, 2.11, 0.20};
+    e.in_table2 = true;
+    e.t2 = {-1, 635, 1, 1, 1, 1.94, 2.65, 3.92, false, false, false};
+    e.in_table3 = true;
+    e.t3 = {377, 162, 1, 1, 1, 1.04, 1.29, 1.58, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s838.1", 34, 1, 32, 446, CS::Counter, 16);
+    e.t1 = {931, 867, 38, 15.11, 0.51, 0.27};
+    e.in_table2 = true;
+    e.t2 = {-1, 893, 0, 12, 11, 1801, 1759, 1041, true, true, true};
+    add(e);
+  }
+  {
+    auto e = entry("s953", 16, 23, 29, 395, CS::TwinPaths, 17);
+    e.t1 = {1079, 852, 90, 23.31, 1.85, 0.24};
+    e.in_table2 = true;
+    e.t2 = {-1, 989, 513, 516, 516, 86.90, 116, 182, false, false, false};
+    e.in_table3 = true;
+    e.t3 = {16, 995, 132, 143, 171, 27, 31, 73, false, false, false};
+    e.in_table4 = true;
+    e.t4 = {23, 200, 179, 0.23, 16, 198, 0.05, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s1196", 14, 14, 18, 529, CS::RandomLogic, 18);
+    e.t1 = {1242, 31, 807, 2.11, 2.09, 0.31};
+    e.in_table2 = true;
+    e.t2 = {-1, 435, 0, 0, 0, 1.39, 1.49, 1.63, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s1238", 14, 14, 18, 508, CS::RandomLogic, 19);
+    e.t1 = {1355, 43, 822, 2.58, 2.46, 0.32};
+    e.in_table2 = true;
+    e.t2 = {-1, 533, 0, 0, 0, 1.77, 1.88, 2.16, false, false, false};
+    e.in_table3 = true;
+    e.t3 = {349, 72, 0, 0, 0, 0.85, 0.87, 0.88, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s1423", 17, 5, 74, 657, CS::Pipeline, 20);
+    e.t1 = {1515, 368, 333, 9.66, 8.54, 0.43};
+    e.in_table2 = true;
+    e.t2 = {-1, 1182, 2, 6, 6, 34.77, 51.50, 62.18, true, true, true};
+    add(e);
+  }
+  {
+    auto e = entry("s1488", 8, 19, 6, 653, CS::Controller, 21);
+    e.t1 = {1486, 51, 820, 4.31, 4.27, 0.37};
+    e.in_table2 = true;
+    e.t2 = {-1, 666, 2, 2, 2, 2.56, 3.31, 9.82, false, false, false};
+    e.in_table3 = true;
+    e.t3 = {590, 110, 3, 3, 3, 3.10, 2.54, 3.40, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s1494", 8, 19, 6, 647, CS::Controller, 22);
+    e.t1 = {1506, 51, 817, 4.61, 4.48, 0.40};
+    e.in_table2 = true;
+    e.t2 = {-1, 689, 2, 2, 2, 2.72, 3.34, 12.59, false, false, false};
+    e.in_table3 = true;
+    e.t3 = {469, 134, 5, 5, 5, 2.51, 2.58, 3.79, false, false, false};
+    add(e);
+  }
+  {
+    auto e = entry("s5378", 35, 49, 179, 2779, CS::RandomLogic, 23);
+    e.t1 = {4603, 1647, 2327, 23.68, 18.44, 1.35};
+    e.in_table2 = true;
+    e.t2 = {-1, 2276, 7, 12, 99, 115, 401, 651, true, true, true};
+    e.in_table3 = true;
+    e.t3 = {408, 1196, 11, 19, 19, 61, 347, 543, true, true, true};
+    e.in_table4 = true;
+    e.t4 = {49, 200, 69, 0.36, 408, 21, 0.90, true, true};
+    add(e);
+  }
+  // Table-I-only giants (the paper's hybrid simulator stayed mostly in
+  // SOT mode for these due to the space requirements of rMOT/MOT).
+  {
+    auto e = entry("s9234.1", 36, 39, 211, 5597, CS::RandomLogic, 24);
+    e.t1 = {6927, 4417, 366, 183.25, 132.21, 2.56};
+    add(e);
+  }
+  {
+    auto e = entry("s13207.1", 62, 152, 638, 7951, CS::RandomLogic, 25);
+    e.t1 = {9815, 7476, 858, 318.53, 67.58, 3.85};
+    add(e);
+  }
+  {
+    auto e = entry("s15850.1", 77, 150, 534, 9772, CS::Pipeline, 26);
+    e.t1 = {11725, 6138, 1645, 326.11, 223.12, 4.61};
+    add(e);
+  }
+  {
+    auto e = entry("s35932", 35, 320, 1728, 16065, CS::RandomLogic, 27);
+    e.t1 = {39094, 4306, 22527, 267.34, 264.94, 11.82};
+    add(e);
+  }
+  {
+    auto e = entry("s38417", 28, 106, 1636, 22179, CS::Counter, 28);
+    e.t1 = {31180, 29172, 1098, 1034.19, 183.17, 12.07};
+    add(e);
+  }
+  {
+    auto e = entry("s38584.1", 38, 304, 1426, 19253, CS::RandomLogic, 29);
+    e.t1 = {36303, 6634, 12585, 2321.08, 2065.98, 20.35};
+    add(e);
+  }
+
+  return r;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkInfo>& benchmark_roster() {
+  static const std::vector<BenchmarkInfo> roster = build_roster();
+  return roster;
+}
+
+const BenchmarkInfo* find_benchmark(const std::string& name) {
+  for (const BenchmarkInfo& info : benchmark_roster()) {
+    if (info.spec.name == name) return &info;
+  }
+  return nullptr;
+}
+
+Netlist make_benchmark(const BenchmarkInfo& info) {
+  if (info.exact) return make_s27();
+  return generate_circuit(info.spec);
+}
+
+Netlist make_benchmark(const std::string& name) {
+  const BenchmarkInfo* info = find_benchmark(name);
+  if (info == nullptr) {
+    throw std::invalid_argument("unknown benchmark circuit: " + name);
+  }
+  return make_benchmark(*info);
+}
+
+}  // namespace motsim

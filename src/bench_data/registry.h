@@ -1,0 +1,76 @@
+#ifndef MOTSIM_BENCH_DATA_REGISTRY_H
+#define MOTSIM_BENCH_DATA_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "bench_data/synth_gen.h"
+#include "circuit/netlist.h"
+
+namespace motsim {
+
+/// Reference numbers transcribed from the paper's Table I (influence
+/// of ID_X-red on three-valued fault simulation, 200 random vectors).
+/// -1 / negative means "not reported".
+struct PaperTable1 {
+  int faults = -1;  ///< |F|
+  int xred = -1;    ///< X-red.
+  int fd = -1;      ///< |F_d|
+  double x01 = -1;  ///< X01 run time [s] (SPARCstation 10)
+  double x01p = -1; ///< X01_p run time [s]
+  double idxred = -1;  ///< ID_X-red run time [s]
+};
+
+/// Reference numbers from Table II (SOT vs rMOT vs MOT, 200 random
+/// vectors) / Table III (deterministic sequences). Stars mark results
+/// obtained with a temporary change to three-valued logic.
+struct PaperStrategyRow {
+  int T = -1;   ///< sequence length (Table III only)
+  int fu = -1;  ///< |F_u|
+  int sot = -1, rmot = -1, mot = -1;            ///< faults detected
+  double sot_s = -1, rmot_s = -1, mot_s = -1;   ///< CPU time [s]
+  bool sot_star = false, rmot_star = false, mot_star = false;
+};
+
+/// Reference numbers from Table IV (symbolic test evaluation).
+/// `partial` marks the paper's asterisk: only a partial symbolic
+/// output sequence was computed (leading frames three-valued).
+struct PaperTable4 {
+  int po = -1;
+  int rand_T = -1, rand_size = -1;
+  double rand_s = -1;
+  int det_T = -1, det_size = -1;
+  double det_s = -1;
+  bool rand_partial = false, det_partial = false;
+};
+
+/// One circuit of the paper's experimental roster: the generation spec
+/// of our synthetic stand-in (exact netlist for s27) plus every number
+/// the paper reports for it.
+struct BenchmarkInfo {
+  SynthSpec spec;
+  bool exact = false;  ///< s27: embedded verbatim, not synthesized
+  bool in_table2 = false, in_table3 = false, in_table4 = false;
+  PaperTable1 t1;
+  PaperStrategyRow t2;  ///< Table II (random sequences)
+  PaperStrategyRow t3;  ///< Table III (deterministic sequences)
+  PaperTable4 t4;
+};
+
+/// The full roster, in the paper's table order (s27 first as the
+/// exact reference circuit, then s208.1 ... s38584.1).
+[[nodiscard]] const std::vector<BenchmarkInfo>& benchmark_roster();
+
+/// Lookup by name; nullptr if unknown.
+[[nodiscard]] const BenchmarkInfo* find_benchmark(const std::string& name);
+
+/// Instantiates the circuit for an entry (exact s27 or synthetic).
+[[nodiscard]] Netlist make_benchmark(const BenchmarkInfo& info);
+
+/// Convenience: instantiate by name; throws std::invalid_argument for
+/// unknown names.
+[[nodiscard]] Netlist make_benchmark(const std::string& name);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_BENCH_DATA_REGISTRY_H

@@ -1,0 +1,19 @@
+#ifndef MOTSIM_BENCH_DATA_S27_H
+#define MOTSIM_BENCH_DATA_S27_H
+
+#include "circuit/netlist.h"
+
+namespace motsim {
+
+/// The ISCAS-89 benchmark s27 — small enough to be embedded verbatim
+/// (4 inputs, 1 output, 3 flip-flops, 10 gates). Used as the one
+/// *exact* reference circuit: every simulator is cross-validated on it
+/// against brute-force initial-state enumeration.
+[[nodiscard]] Netlist make_s27();
+
+/// The `.bench` source text of s27.
+[[nodiscard]] const char* s27_bench_text();
+
+}  // namespace motsim
+
+#endif  // MOTSIM_BENCH_DATA_S27_H

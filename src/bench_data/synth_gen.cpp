@@ -1,0 +1,558 @@
+#include "bench_data/synth_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace motsim {
+
+const char* to_cstring(CircuitStyle s) noexcept {
+  switch (s) {
+    case CircuitStyle::Counter:
+      return "counter";
+    case CircuitStyle::Controller:
+      return "controller";
+    case CircuitStyle::RandomLogic:
+      return "random-logic";
+    case CircuitStyle::TwinPaths:
+      return "twin-paths";
+    case CircuitStyle::Pipeline:
+      return "pipeline";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Builder utilities shared by all styles.
+class Builder {
+ public:
+  Builder(const SynthSpec& spec)
+      : spec_(spec), nl_(spec.name), rng_(spec.seed) {
+    for (std::size_t i = 0; i < spec.inputs; ++i) {
+      pis_.push_back(nl_.add_input("in" + std::to_string(i)));
+    }
+    for (std::size_t i = 0; i < spec.dffs; ++i) {
+      ffs_.push_back(nl_.add_dff(kNoNode, "ff" + std::to_string(i)));
+    }
+  }
+
+  NodeIndex gate(GateType t, std::vector<NodeIndex> fanins) {
+    for (NodeIndex f : fanins) mark_used(f);
+    ++gates_;
+    return nl_.add_gate(t, std::move(fanins), "g" + std::to_string(gates_));
+  }
+
+  /// Connects a flip-flop's D input (tracking usage).
+  void set_dff(NodeIndex ff, NodeIndex d) {
+    mark_used(d);
+    nl_.set_fanins(ff, {d});
+  }
+
+  void mark_used(NodeIndex n) {
+    if (n >= used_.size()) used_.resize(n + 1, 0);
+    used_[n] = 1;
+  }
+  [[nodiscard]] bool is_used(NodeIndex n) const {
+    return n < used_.size() && used_[n] != 0;
+  }
+
+  /// Folds every so-far-unused primary input and flip-flop output into
+  /// an XOR chain, so no source net is left dangling. Returns the
+  /// chain roots (empty if everything was already consumed).
+  std::vector<NodeIndex> sweep_unused_sources() {
+    std::vector<NodeIndex> pending;
+    for (NodeIndex n : pis_) {
+      if (!is_used(n)) pending.push_back(n);
+    }
+    for (NodeIndex n : ffs_) {
+      if (!is_used(n)) pending.push_back(n);
+    }
+    if (pending.empty()) return {};
+    NodeIndex acc = pending[0];
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+      acc = g_xor(acc, pending[i]);
+    }
+    if (pending.size() == 1) acc = g_not(acc);
+    return {acc};
+  }
+  NodeIndex g_not(NodeIndex a) { return gate(GateType::Not, {a}); }
+  NodeIndex g_and(NodeIndex a, NodeIndex b) {
+    return gate(GateType::And, {a, b});
+  }
+  NodeIndex g_or(NodeIndex a, NodeIndex b) {
+    return gate(GateType::Or, {a, b});
+  }
+  NodeIndex g_nand(NodeIndex a, NodeIndex b) {
+    return gate(GateType::Nand, {a, b});
+  }
+  NodeIndex g_nor(NodeIndex a, NodeIndex b) {
+    return gate(GateType::Nor, {a, b});
+  }
+
+  /// a XOR b out of AND/OR/NOT gates (ISCAS-89 idiom).
+  NodeIndex g_xor(NodeIndex a, NodeIndex b) {
+    const NodeIndex na = g_not(a);
+    const NodeIndex nb = g_not(b);
+    return g_or(g_and(a, nb), g_and(na, b));
+  }
+  /// a XNOR b out of AND/OR/NOT gates.
+  NodeIndex g_xnor(NodeIndex a, NodeIndex b) {
+    const NodeIndex na = g_not(a);
+    const NodeIndex nb = g_not(b);
+    return g_or(g_and(a, b), g_and(na, nb));
+  }
+
+  /// Balanced AND/OR reduction tree over `items` (alternating kinds
+  /// for non-degenerate functions).
+  NodeIndex tree(std::vector<NodeIndex> items, bool start_and) {
+    if (items.empty()) throw std::logic_error("tree over no items");
+    bool use_and = start_and;
+    while (items.size() > 1) {
+      std::vector<NodeIndex> next;
+      for (std::size_t i = 0; i + 1 < items.size(); i += 2) {
+        next.push_back(use_and ? g_and(items[i], items[i + 1])
+                               : g_or(items[i], items[i + 1]));
+      }
+      if (items.size() % 2 == 1) next.push_back(items.back());
+      items = std::move(next);
+      use_and = !use_and;
+    }
+    return items[0];
+  }
+
+  /// Random already-defined signal (input, flip-flop or earlier gate).
+  NodeIndex random_signal() {
+    const std::size_t total = pis_.size() + ffs_.size() + gate_nodes_.size();
+    const std::size_t r = rng_.below(total);
+    if (r < pis_.size()) return pis_[r];
+    if (r < pis_.size() + ffs_.size()) return ffs_[r - pis_.size()];
+    return gate_nodes_[r - pis_.size() - ffs_.size()];
+  }
+
+  /// Registers a gate output as a reusable signal for random picks.
+  void offer(NodeIndex n) { gate_nodes_.push_back(n); }
+
+  /// Pads the circuit with observable random logic until the target
+  /// gate count is (roughly) reached; returns pad roots to fold into
+  /// the primary outputs. Pads form chains — each gate consumes its
+  /// predecessor — so no pad is ever left dangling.
+  std::vector<NodeIndex> pad_to_target(std::size_t reserve_gates) {
+    std::vector<NodeIndex> roots;
+    NodeIndex chain = kNoNode;
+    while (gates_ + reserve_gates + 4 < spec_.target_gates) {
+      const NodeIndex a = chain != kNoNode ? chain : random_signal();
+      NodeIndex b = random_signal();
+      NodeIndex g;
+      if (a == b) {
+        g = g_not(a);
+      } else {
+        switch (rng_.below(5)) {
+          case 0:
+            g = g_and(a, b);
+            break;
+          case 1:
+            g = g_or(a, b);
+            break;
+          case 2:
+            g = g_nand(a, b);
+            break;
+          case 3:
+            g = g_nor(a, b);
+            break;
+          default:
+            g = g_not(a);
+            break;
+        }
+      }
+      offer(g);
+      chain = g;
+      // Occasionally close a pad cone so the pads form several
+      // independent trees rather than one long chain.
+      if (rng_.chance(0.2)) {
+        roots.push_back(g);
+        chain = kNoNode;
+      }
+    }
+    if (chain != kNoNode) roots.push_back(chain);
+    return roots;
+  }
+
+  /// Distributes `contributors` over the primary outputs: output j is
+  /// a reduction tree over its share. Every contributor gets a sink.
+  void build_outputs(std::vector<NodeIndex> contributors) {
+    if (contributors.empty()) contributors.push_back(random_signal());
+    const std::size_t npo = std::max<std::size_t>(spec_.outputs, 1);
+    std::vector<std::vector<NodeIndex>> shares(npo);
+    for (std::size_t i = 0; i < contributors.size(); ++i) {
+      shares[i % npo].push_back(contributors[i]);
+    }
+    for (std::size_t j = 0; j < npo; ++j) {
+      if (shares[j].empty()) shares[j].push_back(random_signal());
+      const NodeIndex po = tree(std::move(shares[j]), (j % 2) == 0);
+      nl_.mark_output(po);
+    }
+  }
+
+  const SynthSpec& spec() const { return spec_; }
+  Netlist& netlist() { return nl_; }
+  Rng& rng() { return rng_; }
+  const std::vector<NodeIndex>& pis() const { return pis_; }
+  const std::vector<NodeIndex>& ffs() const { return ffs_; }
+  std::size_t gate_count() const { return gates_; }
+
+ private:
+  SynthSpec spec_;
+  Netlist nl_;
+  Rng rng_;
+  std::vector<NodeIndex> pis_;
+  std::vector<NodeIndex> ffs_;
+  std::vector<NodeIndex> gate_nodes_;
+  std::vector<std::uint8_t> used_;
+  std::size_t gates_ = 0;
+};
+
+/// Ripple-carry counter with enable; XOR feedback, no reset.
+Netlist build_counter(const SynthSpec& spec) {
+  Builder b(spec);
+  Netlist& nl = b.netlist();
+  const auto& in = b.pis();
+  const auto& ff = b.ffs();
+  const std::size_t m = ff.size();
+
+  // Toggle chain: t_0 = enable, t_i = t_{i-1} & b_{i-1}.
+  const NodeIndex enable = in[0];
+  std::vector<NodeIndex> toggles(m);
+  NodeIndex carry = enable;
+  for (std::size_t i = 0; i < m; ++i) {
+    toggles[i] = carry;
+    if (i + 1 < m) carry = b.g_and(carry, ff[i]);
+    const NodeIndex next = b.g_xor(ff[i], toggles[i]);
+    b.set_dff(ff[i], next);
+    b.offer(next);
+  }
+
+  // Terminal-count core plus comparators keep the data inputs
+  // observable. Alternating state-vs-input and input-vs-input
+  // comparators give the restricted MOT strategy a foothold: an
+  // input-only subterm can force an output to a *constant* value in
+  // some frames even though the state never leaves X under
+  // three-valued logic.
+  std::vector<NodeIndex> contributors;
+  contributors.push_back(b.tree({ff.begin(), ff.end()}, /*start_and=*/true));
+  for (std::size_t j = 1; j < in.size(); ++j) {
+    if (j % 2 == 0 && in.size() > 2) {
+      contributors.push_back(b.g_xnor(in[j], in[(j + 1) % in.size()]));
+    } else {
+      contributors.push_back(b.g_xnor(in[j], ff[(j - 1) % m]));
+    }
+  }
+
+  auto pads = b.pad_to_target(/*reserve_gates=*/contributors.size() + 4);
+  contributors.insert(contributors.end(), pads.begin(), pads.end());
+  for (NodeIndex n : b.sweep_unused_sources()) contributors.push_back(n);
+  b.build_outputs(std::move(contributors));
+
+  nl.finalize();
+  return std::move(b.netlist());
+}
+
+/// Synchronizable FSM: a decoded input pattern clears the registers.
+Netlist build_controller(const SynthSpec& spec) {
+  Builder b(spec);
+  Netlist& nl = b.netlist();
+  Rng& rng = b.rng();
+  const auto& in = b.pis();
+  const auto& ff = b.ffs();
+
+  // Reset decode over up to three inputs (mixed polarities).
+  std::vector<NodeIndex> literals;
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, in.size()); ++i) {
+    literals.push_back(rng.flip() ? in[i] : b.g_not(in[i]));
+  }
+  const NodeIndex rst = b.tree(literals, /*start_and=*/true);
+  const NodeIndex nrst = b.g_not(rst);
+
+  auto random_literal = [&] {
+    const NodeIndex s = b.random_signal();
+    return rng.flip() ? s : b.g_not(s);
+  };
+
+  // Random two-input product over distinct operands (a duplicate draw
+  // degenerates to a literal through an inverter).
+  auto random_product = [&] {
+    const NodeIndex l1 = random_literal();
+    NodeIndex l2 = random_literal();
+    if (l1 == l2) l2 = b.g_not(l2);
+    return b.g_and(l1, l2);
+  };
+
+  // Next state: two-level random logic gated by the reset.
+  for (NodeIndex f : ff) {
+    const NodeIndex sum = b.g_or(random_product(), random_product());
+    const NodeIndex next = b.g_and(sum, nrst);
+    b.set_dff(f, next);
+    b.offer(next);
+  }
+
+  // Output cores: random two-level logic over state and inputs.
+  std::vector<NodeIndex> contributors;
+  for (std::size_t j = 0; j < spec.outputs; ++j) {
+    contributors.push_back(b.g_or(random_product(), random_product()));
+  }
+
+  auto pads = b.pad_to_target(contributors.size() + 4);
+  contributors.insert(contributors.end(), pads.begin(), pads.end());
+  for (NodeIndex n : b.sweep_unused_sources()) contributors.push_back(n);
+  b.build_outputs(std::move(contributors));
+
+  nl.finalize();
+  return std::move(b.netlist());
+}
+
+/// Random gate network with state feedback.
+Netlist build_random_logic(const SynthSpec& spec) {
+  Builder b(spec);
+  Netlist& nl = b.netlist();
+  Rng& rng = b.rng();
+  const auto& ff = b.ffs();
+
+  // Frontier of currently sinkless signals; gates prefer to consume it
+  // so the finished circuit has no dead logic.
+  std::vector<NodeIndex> frontier(b.pis());
+  frontier.insert(frontier.end(), ff.begin(), ff.end());
+
+  auto take = [&]() -> NodeIndex {
+    if (!frontier.empty() && rng.chance(0.7)) {
+      const std::size_t i = rng.below(frontier.size());
+      const NodeIndex n = frontier[i];
+      frontier[i] = frontier.back();
+      frontier.pop_back();
+      return n;
+    }
+    return b.random_signal();
+  };
+
+  const std::size_t reserve = ff.size() + spec.outputs + 8;
+  while (b.gate_count() + reserve < spec.target_gates) {
+    const std::uint64_t kind = rng.below(6);
+    NodeIndex g;
+    if (kind == 5) {
+      g = b.g_not(take());
+    } else {
+      NodeIndex a = take();
+      NodeIndex c = take();
+      if (a == c) {
+        // Both takes hit the same node; a unary gate still gives it a
+        // sink without creating a duplicate fanin.
+        b.offer(a);
+        g = b.g_not(a);
+        frontier.push_back(g);
+        continue;
+      }
+      switch (kind) {
+        case 0:
+          g = b.g_and(a, c);
+          break;
+        case 1:
+          g = b.g_or(a, c);
+          break;
+        case 2:
+          g = b.g_nand(a, c);
+          break;
+        case 3:
+          g = b.g_nor(a, c);
+          break;
+        default: {
+          const NodeIndex d = b.random_signal();
+          g = rng.flip() ? b.g_and(b.g_or(a, c), d) : b.g_or(b.g_and(a, c), d);
+          break;
+        }
+      }
+    }
+    b.offer(g);
+    frontier.push_back(g);
+  }
+
+  // Next state from the frontier (keeps those cones observable through
+  // the registers). A share of the flip-flops loads through an
+  // input-gated AND — those registers synchronize under random
+  // vectors, giving the intermediate X01 coverage profile of the
+  // paper's random-logic circuits (s641, s713, s5378, ...).
+  for (NodeIndex f : ff) {
+    if (rng.chance(0.5)) {
+      const NodeIndex gate_in = b.pis()[rng.below(b.pis().size())];
+      b.set_dff(f, b.g_and(take(), gate_in));
+    } else {
+      b.set_dff(f, take());
+    }
+  }
+
+  // Outputs soak up whatever is left sinkless, plus any source the
+  // random draws never touched.
+  for (NodeIndex n : b.sweep_unused_sources()) frontier.push_back(n);
+  b.build_outputs(std::move(frontier));
+
+  nl.finalize();
+  return std::move(b.netlist());
+}
+
+/// Twin-path comparators: three-valued simulation sees X everywhere,
+/// symbolic simulation sees constants.
+Netlist build_twin_paths(const SynthSpec& spec) {
+  Builder b(spec);
+  Netlist& nl = b.netlist();
+  Rng& rng = b.rng();
+  const auto& in = b.pis();
+  const auto& ff = b.ffs();
+  const std::size_t m = ff.size();
+
+  // State never synchronizes in three-valued logic: XOR feedback.
+  for (std::size_t i = 0; i < m; ++i) {
+    const NodeIndex mix = b.g_xor(ff[i], in[i % in.size()]);
+    const NodeIndex next =
+        b.g_xor(mix, ff[(i + 1) % m]);
+    b.set_dff(ff[i], next);
+    b.offer(next);
+  }
+
+  // Each output compares two structurally different implementations of
+  // the same function f = (a | b) & c over random (state, input)
+  // operands: copy1 = AND(OR(a,b),c), copy2 = OR(AND(a,c),AND(b,c)).
+  // Symbolically XNOR(copy1, copy2) == 1; three-valued it is X
+  // whenever a state operand is X. A stuck-at fault in either copy
+  // breaks the identity.
+  std::vector<NodeIndex> contributors;
+  const std::size_t cores =
+      std::max<std::size_t>(spec.outputs, spec.target_gates / 12);
+  for (std::size_t j = 0; j < cores; ++j) {
+    // Half of the cores are input-only: a fault inside one produces an
+    // input-determined (hence symbolically *constant*) faulty
+    // response, which already the SOT strategy can observe; the
+    // state-involving cores need rMOT/MOT.
+    const bool input_only = (j % 2) == 0;
+    const std::size_t ai = rng.below(m);
+    NodeIndex a, bb;
+    if (input_only && in.size() > 1) {
+      const std::size_t ia = rng.below(in.size());
+      a = in[ia];
+      bb = in[(ia + 1 + rng.below(in.size() - 1)) % in.size()];
+    } else {
+      a = rng.flip() ? ff[ai] : in[rng.below(in.size())];
+      bb = ff[rng.below(m)];
+      if (bb == a) bb = m > 1 ? ff[(ai + 1) % m] : b.g_not(a);
+    }
+    NodeIndex c = in[rng.below(in.size())];
+    if (c == a || c == bb) c = b.g_not(c);
+    const NodeIndex copy1 = b.g_and(b.g_or(a, bb), c);
+    const NodeIndex copy2 = b.g_or(b.g_and(a, c), b.g_and(bb, c));
+    const NodeIndex core = b.g_xnor(copy1, copy2);
+    // X-transparent wrapper: OR(AND(core,s), AND(core,!s)) == core
+    // symbolically but X under three-valued logic whenever the state
+    // bit s is X — this is what keeps X01 blind (the paper's s510
+    // detects *zero* faults three-valued) while symbolic SOT sees a
+    // constant.
+    const NodeIndex sbit = ff[j % m];
+    const NodeIndex wrapped =
+        b.g_or(b.g_and(core, sbit), b.g_and(core, b.g_not(sbit)));
+    contributors.push_back(wrapped);
+    if (b.gate_count() + spec.outputs + 8 >= spec.target_gates) break;
+  }
+
+  // Outputs are AND trees over the (symbolically constant-1) cores, so
+  // a single broken core pulls its output to an input-determined —
+  // often constant — faulty value that already SOT can observe. The
+  // state-dependent pad logic is confined to the last output so it
+  // cannot mask the comparator outputs.
+  auto pads = b.pad_to_target(contributors.size() + 4);
+  const std::size_t npo = std::max<std::size_t>(spec.outputs, 1);
+  std::vector<std::vector<NodeIndex>> shares(npo);
+  for (std::size_t i = 0; i < contributors.size(); ++i) {
+    shares[i % npo].push_back(contributors[i]);
+  }
+  for (NodeIndex p : pads) shares[npo - 1].push_back(p);
+  for (NodeIndex n : b.sweep_unused_sources()) {
+    // Route swept sources through an X-opaque identity — XOR with the
+    // symbolically-constant-0 term XOR(s,s) — so the three-valued
+    // blindness of the style is preserved for either value of n.
+    shares[npo - 1].push_back(b.g_xor(n, b.g_xor(ff[0], ff[0])));
+  }
+  for (std::size_t j = 0; j < npo; ++j) {
+    if (shares[j].empty()) shares[j].push_back(b.random_signal());
+    nl.mark_output(b.tree(std::move(shares[j]), /*start_and=*/true));
+  }
+
+  nl.finalize();
+  return std::move(b.netlist());
+}
+
+/// Deep shift-register pipeline: stage 0 loads input logic, every
+/// stage shifts, every fourth stage XORs in an input tap. The unknown
+/// initial state drains out one stage per frame.
+Netlist build_pipeline(const SynthSpec& spec) {
+  Builder b(spec);
+  Netlist& nl = b.netlist();
+  Rng& rng = b.rng();
+  const auto& in = b.pis();
+  const auto& ff = b.ffs();
+  const std::size_t m = ff.size();
+
+  // Head stage: a small input-only cone.
+  NodeIndex head = in[0];
+  if (in.size() > 1) head = b.g_xor(in[0], in[1]);
+  b.set_dff(ff[0], head);
+  b.offer(head);
+
+  // Shift chain with sparse input taps.
+  for (std::size_t i = 1; i < m; ++i) {
+    NodeIndex d = ff[i - 1];
+    if (i % 4 == 0) {
+      d = b.g_xor(d, in[i % in.size()]);
+      b.offer(d);
+    }
+    b.set_dff(ff[i], d);
+  }
+
+  // Outputs observe the tail stages (deep state) and some comparators
+  // against inputs (shallow, input-driven).
+  std::vector<NodeIndex> contributors;
+  const std::size_t taps = std::min<std::size_t>(m, spec.outputs + 2);
+  for (std::size_t t = 0; t < taps; ++t) {
+    contributors.push_back(
+        b.g_xnor(ff[m - 1 - t], in[(t + 1) % in.size()]));
+  }
+  (void)rng;
+
+  auto pads = b.pad_to_target(contributors.size() + 4);
+  contributors.insert(contributors.end(), pads.begin(), pads.end());
+  for (NodeIndex n : b.sweep_unused_sources()) contributors.push_back(n);
+  b.build_outputs(std::move(contributors));
+
+  nl.finalize();
+  return std::move(b.netlist());
+}
+
+}  // namespace
+
+Netlist generate_circuit(const SynthSpec& spec) {
+  if (spec.inputs == 0 || spec.dffs == 0 || spec.outputs == 0) {
+    throw std::invalid_argument(
+        "generate_circuit: inputs, outputs and dffs must be positive");
+  }
+  switch (spec.style) {
+    case CircuitStyle::Counter:
+      return build_counter(spec);
+    case CircuitStyle::Controller:
+      return build_controller(spec);
+    case CircuitStyle::RandomLogic:
+      return build_random_logic(spec);
+    case CircuitStyle::TwinPaths:
+      return build_twin_paths(spec);
+    case CircuitStyle::Pipeline:
+      return build_pipeline(spec);
+  }
+  throw std::invalid_argument("generate_circuit: unknown style");
+}
+
+}  // namespace motsim

@@ -1,0 +1,65 @@
+#ifndef MOTSIM_BENCH_DATA_SYNTH_GEN_H
+#define MOTSIM_BENCH_DATA_SYNTH_GEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace motsim {
+
+/// Structural style of a synthetic benchmark circuit. The styles
+/// reproduce the *phenomena* the paper's ISCAS-89 circuits exhibit
+/// (the original netlists are not available offline; see DESIGN.md §4):
+enum class CircuitStyle : std::uint8_t {
+  /// Ripple-carry counter with enable and no reset (s208.1 / s420.1 /
+  /// s838.1): the XOR feedback keeps every flip-flop at X under
+  /// three-valued logic forever, so X01 detects almost nothing while
+  /// the symbolic strategies — above all full MOT — recover many
+  /// faults.
+  Counter,
+  /// Synchronizable FSM: a decoded input pattern clears the state
+  /// registers, so random vectors synchronize the machine quickly,
+  /// three-valued simulation performs well and rMOT adds only a
+  /// trickle (s298, s344, ..., s1488/s1494).
+  Controller,
+  /// Random gate network with state feedback; intermediate profile
+  /// (s641, s713, s1196, ..., s5378 and the Table-I-only giants).
+  RandomLogic,
+  /// Twin-path comparators: each output compares two structurally
+  /// different implementations of the same function, so outputs are
+  /// symbolically constant but X under three-valued logic — massive
+  /// X-pessimism (s510, s953): X01 detects nothing or little while
+  /// symbolic SOT already detects hundreds of faults.
+  TwinPaths,
+  /// Deep shift-register pipelines with input taps (s1423, s15850.1):
+  /// the unknown state flushes out stage by stage, so three-valued
+  /// coverage ramps up with sequence length and a sizable
+  /// X-redundant tail remains at the deep stages.
+  Pipeline,
+};
+
+[[nodiscard]] const char* to_cstring(CircuitStyle s) noexcept;
+
+/// Generation parameters for one synthetic circuit.
+struct SynthSpec {
+  std::string name;
+  std::size_t inputs = 4;
+  std::size_t outputs = 1;
+  std::size_t dffs = 4;
+  /// Approximate combinational gate count; the generator pads with
+  /// observable logic until it is reached (never exceeded by more than
+  /// a small tree).
+  std::size_t target_gates = 50;
+  CircuitStyle style = CircuitStyle::RandomLogic;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a deterministic synthetic synchronous circuit obeying the
+/// spec. The result is finalized, structurally valid, and free of
+/// dangling or unobservable logic (checked in tests with validate()).
+[[nodiscard]] Netlist generate_circuit(const SynthSpec& spec);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_BENCH_DATA_SYNTH_GEN_H

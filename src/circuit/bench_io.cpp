@@ -1,0 +1,182 @@
+#include "circuit/bench_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace motsim {
+
+namespace {
+
+struct PendingGate {
+  std::string output;
+  std::string keyword;
+  std::vector<std::string> operands;
+  int line;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("bench parse error at line " +
+                              std::to_string(line) + ": " + message);
+}
+
+GateType keyword_to_type(const std::string& kw, int line) {
+  const std::string k = to_upper(kw);
+  if (k == "AND") return GateType::And;
+  if (k == "NAND") return GateType::Nand;
+  if (k == "OR") return GateType::Or;
+  if (k == "NOR") return GateType::Nor;
+  if (k == "NOT" || k == "INV") return GateType::Not;
+  if (k == "BUF" || k == "BUFF") return GateType::Buf;
+  if (k == "XOR") return GateType::Xor;
+  if (k == "XNOR") return GateType::Xnor;
+  if (k == "DFF") return GateType::Dff;
+  if (k == "CONST0") return GateType::Const0;
+  if (k == "CONST1") return GateType::Const1;
+  fail(line, "unknown gate keyword '" + kw + "'");
+}
+
+}  // namespace
+
+Netlist parse_bench(std::istream& in, const std::string& circuit_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> pending;
+
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    // INPUT(x) / OUTPUT(x)
+    auto parse_decl = [&](std::string_view keyword) -> std::string {
+      std::string_view rest = line.substr(keyword.size());
+      rest = trim(rest);
+      if (rest.empty() || rest.front() != '(' || rest.back() != ')') {
+        fail(line_no, "expected '" + std::string(keyword) + "(signal)'");
+      }
+      return std::string(trim(rest.substr(1, rest.size() - 2)));
+    };
+
+    if (starts_with(to_upper(std::string(line)), "INPUT")) {
+      input_names.push_back(parse_decl("INPUT"));
+      continue;
+    }
+    if (starts_with(to_upper(std::string(line)), "OUTPUT")) {
+      output_names.push_back(parse_decl("OUTPUT"));
+      continue;
+    }
+
+    // out = KEYWORD(a, b, ...)
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      fail(line_no, "expected assignment or declaration");
+    }
+    PendingGate g;
+    g.output = std::string(trim(line.substr(0, eq)));
+    g.line = line_no;
+    std::string_view rhs = trim(line.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      fail(line_no, "expected 'signal = GATE(operands)'");
+    }
+    g.keyword = std::string(trim(rhs.substr(0, open)));
+    const std::string_view args = rhs.substr(open + 1, close - open - 1);
+    if (!trim(args).empty()) {
+      for (std::string& op : split(args, ',')) {
+        if (op.empty()) fail(line_no, "empty operand");
+        g.operands.push_back(std::move(op));
+      }
+    }
+    if (g.output.empty()) fail(line_no, "empty output signal name");
+    pending.push_back(std::move(g));
+  }
+
+  // Pass 1: create all nodes so feedback references resolve.
+  Netlist nl(circuit_name);
+  std::unordered_map<std::string, NodeIndex> nodes;
+  for (const std::string& name : input_names) {
+    if (nodes.count(name) != 0) {
+      throw std::invalid_argument("duplicate signal '" + name + "'");
+    }
+    nodes.emplace(name, nl.add_input(name));
+  }
+  for (const PendingGate& g : pending) {
+    if (nodes.count(g.output) != 0) {
+      fail(g.line, "duplicate signal '" + g.output + "'");
+    }
+    const GateType type = keyword_to_type(g.keyword, g.line);
+    if (type == GateType::Dff) {
+      nodes.emplace(g.output, nl.add_dff(kNoNode, g.output));
+    } else {
+      nodes.emplace(g.output, nl.add_gate(type, {}, g.output));
+    }
+  }
+
+  // Pass 2: connect fanins.
+  for (const PendingGate& g : pending) {
+    std::vector<NodeIndex> fanins;
+    fanins.reserve(g.operands.size());
+    for (const std::string& op : g.operands) {
+      const auto it = nodes.find(op);
+      if (it == nodes.end()) {
+        fail(g.line, "undefined signal '" + op + "'");
+      }
+      fanins.push_back(it->second);
+    }
+    nl.set_fanins(nodes.at(g.output), std::move(fanins));
+  }
+
+  for (const std::string& name : output_names) {
+    const auto it = nodes.find(name);
+    if (it == nodes.end()) {
+      throw std::invalid_argument("undefined output signal '" + name + "'");
+    }
+    nl.mark_output(it->second);
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+Netlist parse_bench_string(const std::string& text,
+                           const std::string& circuit_name) {
+  std::istringstream in(text);
+  return parse_bench(in, circuit_name);
+}
+
+void write_bench(std::ostream& out, const Netlist& netlist) {
+  out << "# " << netlist.name() << "\n";
+  for (NodeIndex n : netlist.inputs()) {
+    out << "INPUT(" << netlist.gate(n).name << ")\n";
+  }
+  for (NodeIndex n : netlist.outputs()) {
+    out << "OUTPUT(" << netlist.gate(n).name << ")\n";
+  }
+  for (NodeIndex n = 0; n < netlist.node_count(); ++n) {
+    const Gate& g = netlist.gate(n);
+    if (g.type == GateType::Input) continue;
+    out << g.name << " = " << to_cstring(g.type) << "(";
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << netlist.gate(g.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& netlist) {
+  std::ostringstream os;
+  write_bench(os, netlist);
+  return os.str();
+}
+
+}  // namespace motsim

@@ -1,0 +1,38 @@
+#ifndef MOTSIM_CIRCUIT_BENCH_IO_H
+#define MOTSIM_CIRCUIT_BENCH_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace motsim {
+
+/// Reads a circuit in the ISCAS-89 `.bench` format:
+///
+///   # comment
+///   INPUT(G0)
+///   OUTPUT(G17)
+///   G5 = DFF(G10)
+///   G8 = AND(G14, G6)
+///
+/// Signals may be referenced before definition (sequential feedback).
+/// Supported gate keywords: AND, NAND, OR, NOR, NOT, BUF/BUFF, XOR,
+/// XNOR, DFF. The returned netlist is finalized.
+/// Throws std::invalid_argument with a line number on malformed input.
+[[nodiscard]] Netlist parse_bench(std::istream& in,
+                                  const std::string& circuit_name);
+
+/// Convenience overload parsing from a string.
+[[nodiscard]] Netlist parse_bench_string(const std::string& text,
+                                         const std::string& circuit_name);
+
+/// Writes `netlist` in `.bench` format. Round-trips with parse_bench.
+void write_bench(std::ostream& out, const Netlist& netlist);
+
+/// Convenience overload producing a string.
+[[nodiscard]] std::string write_bench_string(const Netlist& netlist);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CIRCUIT_BENCH_IO_H

@@ -1,0 +1,61 @@
+#include "circuit/ffr.h"
+
+#include <stdexcept>
+
+namespace motsim {
+
+namespace {
+
+/// A net ends its region (is a head) when it cannot be followed
+/// forward inside a tree: multiple sinks, no sinks, primary output, or
+/// its single sink is a flip-flop (the region boundary of the
+/// combinational frame).
+bool net_is_head(const Netlist& nl, NodeIndex node) {
+  const auto& fanouts = nl.fanouts(node);
+  if (fanouts.size() != 1) return true;
+  if (nl.is_output(node)) return true;
+  if (nl.type(fanouts[0].node) == GateType::Dff) return true;
+  return false;
+}
+
+}  // namespace
+
+FanoutFreeRegions::FanoutFreeRegions(const Netlist& netlist)
+    : netlist_(&netlist) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("FanoutFreeRegions requires a finalized netlist");
+  }
+  head_.assign(netlist.node_count(), kNoNode);
+
+  // Walk the topological order backwards: every node either is a head
+  // or inherits the head of its unique sink.
+  const auto& topo = netlist.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeIndex n = *it;
+    if (net_is_head(netlist, n)) {
+      head_[n] = n;
+      heads_.push_back(n);
+    } else {
+      head_[n] = head_[netlist.fanouts(n)[0].node];
+    }
+  }
+}
+
+std::vector<NodeIndex> FanoutFreeRegions::members_backward(
+    NodeIndex head) const {
+  if (head_[head] != head) {
+    throw std::invalid_argument("members_backward: node is not a region head");
+  }
+  // BFS from the head against fanin edges, staying inside the region.
+  std::vector<NodeIndex> members{head};
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const Gate& g = netlist_->gate(members[i]);
+    if (is_frame_input(g.type)) continue;  // region inputs stop here
+    for (NodeIndex f : g.fanins) {
+      if (head_[f] == head && f != head) members.push_back(f);
+    }
+  }
+  return members;
+}
+
+}  // namespace motsim

@@ -1,0 +1,50 @@
+#ifndef MOTSIM_CIRCUIT_FFR_H
+#define MOTSIM_CIRCUIT_FFR_H
+
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace motsim {
+
+/// Fanout-free regions (FFRs) of the combinational network.
+///
+/// An FFR is a maximal tree of gates in which every internal net has
+/// exactly one sink. Region outputs ("heads") are nets that fan out to
+/// more than one sink, feed a primary output, feed a flip-flop D-pin,
+/// or have no sink at all. Step 3 of the paper's ID_X-red procedure
+/// computes lead observabilities *inside* each FFR by one backward
+/// traversal from the head.
+class FanoutFreeRegions {
+ public:
+  explicit FanoutFreeRegions(const Netlist& netlist);
+
+  /// Head node of the region containing `node`'s output net.
+  [[nodiscard]] NodeIndex head_of(NodeIndex node) const {
+    return head_[node];
+  }
+
+  /// True if `node`'s output net is itself a region head.
+  [[nodiscard]] bool is_head(NodeIndex node) const {
+    return head_[node] == node;
+  }
+
+  /// All region heads.
+  [[nodiscard]] const std::vector<NodeIndex>& heads() const noexcept {
+    return heads_;
+  }
+
+  /// Members of the region with the given head, in reverse-topological
+  /// order starting with the head itself (the traversal order needed
+  /// by a backward pass).
+  [[nodiscard]] std::vector<NodeIndex> members_backward(NodeIndex head) const;
+
+ private:
+  const Netlist* netlist_;
+  std::vector<NodeIndex> head_;
+  std::vector<NodeIndex> heads_;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CIRCUIT_FFR_H

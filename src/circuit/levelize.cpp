@@ -1,0 +1,54 @@
+#include "circuit/levelize.h"
+
+#include <stdexcept>
+
+namespace motsim {
+
+EventQueue::EventQueue(const Netlist& netlist) : netlist_(&netlist) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("EventQueue requires a finalized netlist");
+  }
+  buckets_.resize(netlist.max_level() + 1);
+  queued_.assign(netlist.node_count(), 0);
+}
+
+void EventQueue::push(NodeIndex node) {
+  if (queued_[node]) return;
+  queued_[node] = 1;
+  const std::uint32_t level = netlist_->level(node);
+  buckets_[level].push_back(node);
+  ++pending_;
+  if (level < cursor_) cursor_ = level;
+}
+
+NodeIndex EventQueue::pop() {
+  if (pending_ == 0) return kNoNode;
+  while (buckets_[cursor_].empty()) ++cursor_;
+  const NodeIndex node = buckets_[cursor_].back();
+  buckets_[cursor_].pop_back();
+  queued_[node] = 0;
+  --pending_;
+  return node;
+}
+
+void EventQueue::clear() {
+  for (auto& bucket : buckets_) {
+    for (NodeIndex n : bucket) queued_[n] = 0;
+    bucket.clear();
+  }
+  pending_ = 0;
+  cursor_ = 0;
+}
+
+std::vector<std::vector<NodeIndex>> nodes_by_level(const Netlist& netlist) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("nodes_by_level requires a finalized netlist");
+  }
+  std::vector<std::vector<NodeIndex>> levels(netlist.max_level() + 1);
+  for (NodeIndex n = 0; n < netlist.node_count(); ++n) {
+    levels[netlist.level(n)].push_back(n);
+  }
+  return levels;
+}
+
+}  // namespace motsim

@@ -1,0 +1,49 @@
+#ifndef MOTSIM_CIRCUIT_LEVELIZE_H
+#define MOTSIM_CIRCUIT_LEVELIZE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace motsim {
+
+/// Level-bucketed event queue for event-driven simulation.
+///
+/// Both the three-valued and the symbolic fault simulators propagate
+/// fault effects in level order: a node must be (re)evaluated only
+/// after all of its possibly-divergent fanins. The queue holds each
+/// node at most once (a `queued` bitmap suppresses duplicates) and
+/// pops nodes level by level.
+class EventQueue {
+ public:
+  explicit EventQueue(const Netlist& netlist);
+
+  /// Schedules `node` for evaluation; duplicates are ignored.
+  void push(NodeIndex node);
+
+  /// Pops the lowest-level pending node; kNoNode when empty.
+  [[nodiscard]] NodeIndex pop();
+
+  [[nodiscard]] bool empty() const noexcept { return pending_ == 0; }
+
+  /// Forgets all pending events (e.g. after a fault is detected and
+  /// dropped mid-propagation).
+  void clear();
+
+ private:
+  const Netlist* netlist_;
+  std::vector<std::vector<NodeIndex>> buckets_;  ///< one per level
+  std::vector<std::uint8_t> queued_;
+  std::size_t pending_ = 0;
+  std::uint32_t cursor_ = 0;  ///< lowest level that may be non-empty
+};
+
+/// Nodes grouped by combinational level (level 0 = frame inputs);
+/// useful for full-pass evaluations.
+[[nodiscard]] std::vector<std::vector<NodeIndex>> nodes_by_level(
+    const Netlist& netlist);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CIRCUIT_LEVELIZE_H

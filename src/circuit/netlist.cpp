@@ -1,0 +1,261 @@
+#include "circuit/netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace motsim {
+
+const char* to_cstring(GateType t) noexcept {
+  switch (t) {
+    case GateType::Input:
+      return "INPUT";
+    case GateType::Const0:
+      return "CONST0";
+    case GateType::Const1:
+      return "CONST1";
+    case GateType::Buf:
+      return "BUF";
+    case GateType::Not:
+      return "NOT";
+    case GateType::And:
+      return "AND";
+    case GateType::Nand:
+      return "NAND";
+    case GateType::Or:
+      return "OR";
+    case GateType::Nor:
+      return "NOR";
+    case GateType::Xor:
+      return "XOR";
+    case GateType::Xnor:
+      return "XNOR";
+    case GateType::Dff:
+      return "DFF";
+  }
+  return "?";
+}
+
+Netlist::Netlist(std::string name) : name_(std::move(name)) {}
+
+void Netlist::require_not_finalized() const {
+  if (finalized_) {
+    throw std::logic_error("Netlist is finalized; structure is frozen");
+  }
+}
+
+NodeIndex Netlist::add_input(const std::string& name) {
+  require_not_finalized();
+  const auto idx = static_cast<NodeIndex>(gates_.size());
+  gates_.push_back(Gate{GateType::Input, {}, name});
+  inputs_.push_back(idx);
+  by_name_.emplace(name, idx);
+  return idx;
+}
+
+NodeIndex Netlist::add_gate(GateType type, std::vector<NodeIndex> fanins,
+                            const std::string& name) {
+  require_not_finalized();
+  if (type == GateType::Input) {
+    throw std::invalid_argument("use add_input for primary inputs");
+  }
+  if (type == GateType::Dff) {
+    throw std::invalid_argument("use add_dff for flip-flops");
+  }
+  const auto idx = static_cast<NodeIndex>(gates_.size());
+  gates_.push_back(Gate{type, std::move(fanins), name});
+  by_name_.emplace(name, idx);
+  return idx;
+}
+
+NodeIndex Netlist::add_dff(NodeIndex d, const std::string& name) {
+  require_not_finalized();
+  const auto idx = static_cast<NodeIndex>(gates_.size());
+  std::vector<NodeIndex> fanins;
+  if (d != kNoNode) fanins.push_back(d);
+  gates_.push_back(Gate{GateType::Dff, std::move(fanins), name});
+  dffs_.push_back(idx);
+  by_name_.emplace(name, idx);
+  return idx;
+}
+
+void Netlist::set_fanins(NodeIndex node, std::vector<NodeIndex> fanins) {
+  require_not_finalized();
+  gates_.at(node).fanins = std::move(fanins);
+}
+
+void Netlist::mark_output(NodeIndex node) {
+  require_not_finalized();
+  if (node >= gates_.size()) {
+    throw std::invalid_argument("mark_output: no such node");
+  }
+  outputs_.push_back(node);
+}
+
+std::size_t Netlist::gate_count() const noexcept {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (!is_frame_input(g.type)) ++n;
+  }
+  return n;
+}
+
+NodeIndex Netlist::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoNode : it->second;
+}
+
+bool Netlist::is_output(NodeIndex node) const {
+  if (finalized_) return is_output_flag_[node] != 0;
+  return std::find(outputs_.begin(), outputs_.end(), node) != outputs_.end();
+}
+
+void Netlist::finalize() {
+  require_not_finalized();
+
+  // Structural validation (arity, dangling fanins).
+  for (NodeIndex n = 0; n < gates_.size(); ++n) {
+    const Gate& g = gates_[n];
+    for (NodeIndex f : g.fanins) {
+      if (f >= gates_.size()) {
+        throw std::invalid_argument("node '" + g.name +
+                                    "' has a dangling fanin");
+      }
+    }
+    switch (g.type) {
+      case GateType::Input:
+      case GateType::Const0:
+      case GateType::Const1:
+        if (!g.fanins.empty()) {
+          throw std::invalid_argument("source node '" + g.name +
+                                      "' must have no fanins");
+        }
+        break;
+      case GateType::Buf:
+      case GateType::Not:
+      case GateType::Dff:
+        if (g.fanins.size() != 1) {
+          throw std::invalid_argument("node '" + g.name +
+                                      "' must have exactly one fanin");
+        }
+        break;
+      default:
+        if (g.fanins.size() < 2) {
+          throw std::invalid_argument("gate '" + g.name +
+                                      "' needs at least two fanins");
+        }
+        break;
+    }
+  }
+
+  compute_fanouts();
+  compute_levels_and_topo();
+
+  dff_pos_.assign(gates_.size(), 0xFFFFFFFFu);
+  for (std::uint32_t i = 0; i < dffs_.size(); ++i) {
+    dff_pos_[dffs_[i]] = i;
+  }
+
+  is_output_flag_.assign(gates_.size(), 0);
+  for (NodeIndex n : outputs_) is_output_flag_[n] = 1;
+
+  finalized_ = true;
+}
+
+void Netlist::compute_fanouts() {
+  fanouts_.assign(gates_.size(), {});
+  for (NodeIndex n = 0; n < gates_.size(); ++n) {
+    const Gate& g = gates_[n];
+    for (std::uint32_t pin = 0; pin < g.fanins.size(); ++pin) {
+      fanouts_[g.fanins[pin]].push_back(FanoutRef{n, pin});
+    }
+  }
+}
+
+void Netlist::compute_levels_and_topo() {
+  // Kahn's algorithm over the combinational dependency graph: DFF
+  // outputs and sources have no combinational predecessors; a DFF's
+  // D-fanin edge belongs to the *next* frame and is ignored here.
+  levels_.assign(gates_.size(), 0);
+  topo_.clear();
+  topo_.reserve(gates_.size());
+
+  std::vector<std::uint32_t> pending(gates_.size(), 0);
+  std::vector<NodeIndex> ready;
+  for (NodeIndex n = 0; n < gates_.size(); ++n) {
+    const Gate& g = gates_[n];
+    pending[n] =
+        is_frame_input(g.type) ? 0 : static_cast<std::uint32_t>(g.fanins.size());
+    if (pending[n] == 0) ready.push_back(n);
+  }
+
+  max_level_ = 0;
+  while (!ready.empty()) {
+    const NodeIndex n = ready.back();
+    ready.pop_back();
+    topo_.push_back(n);
+    for (const FanoutRef& fo : fanouts_[n]) {
+      if (is_frame_input(gates_[fo.node].type)) continue;  // DFF D-pin
+      levels_[fo.node] = std::max(levels_[fo.node], levels_[n] + 1);
+      if (--pending[fo.node] == 0) {
+        ready.push_back(fo.node);
+        max_level_ = std::max(max_level_, levels_[fo.node]);
+      }
+    }
+  }
+
+  if (topo_.size() != gates_.size()) {
+    throw std::invalid_argument("netlist '" + name_ +
+                                "' contains a combinational cycle");
+  }
+}
+
+bool eval_gate2(GateType type, const std::vector<bool>& ins) {
+  switch (type) {
+    case GateType::Buf:
+      return ins.at(0);
+    case GateType::Not:
+      return !ins.at(0);
+    case GateType::And: {
+      for (bool b : ins) {
+        if (!b) return false;
+      }
+      return true;
+    }
+    case GateType::Nand: {
+      for (bool b : ins) {
+        if (!b) return true;
+      }
+      return false;
+    }
+    case GateType::Or: {
+      for (bool b : ins) {
+        if (b) return true;
+      }
+      return false;
+    }
+    case GateType::Nor: {
+      for (bool b : ins) {
+        if (b) return false;
+      }
+      return true;
+    }
+    case GateType::Xor: {
+      bool acc = false;
+      for (bool b : ins) acc = acc != b;
+      return acc;
+    }
+    case GateType::Xnor: {
+      bool acc = false;
+      for (bool b : ins) acc = acc != b;
+      return !acc;
+    }
+    case GateType::Const0:
+      return false;
+    case GateType::Const1:
+      return true;
+    default:
+      throw std::logic_error("eval_gate2: not a combinational gate");
+  }
+}
+
+}  // namespace motsim

@@ -1,0 +1,201 @@
+#ifndef MOTSIM_CIRCUIT_NETLIST_H
+#define MOTSIM_CIRCUIT_NETLIST_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace motsim {
+
+/// Gate types of the ISCAS-89 netlist format plus constants.
+///
+/// `Dff` is a positive-edge D flip-flop; its node value is the present
+/// state (Q), its single fanin the next-state input (D). A synchronous
+/// sequential circuit in this library is a combinational gate network
+/// whose frame inputs are the primary inputs plus the DFF outputs
+/// (secondary inputs in the paper's terminology) and whose frame
+/// outputs are the primary outputs plus the DFF inputs (secondary
+/// outputs).
+enum class GateType : std::uint8_t {
+  Input,   ///< primary input
+  Const0,  ///< constant 0 source
+  Const1,  ///< constant 1 source
+  Buf,
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+  Dff,
+};
+
+/// Printable mnemonic ("AND", "DFF", ...).
+[[nodiscard]] const char* to_cstring(GateType t) noexcept;
+
+/// True for node kinds that act as frame inputs of the combinational
+/// network (primary inputs, constants and flip-flop outputs).
+[[nodiscard]] constexpr bool is_frame_input(GateType t) noexcept {
+  return t == GateType::Input || t == GateType::Const0 ||
+         t == GateType::Const1 || t == GateType::Dff;
+}
+
+/// Index of a node (gate, input or flip-flop) within a Netlist.
+using NodeIndex = std::uint32_t;
+inline constexpr NodeIndex kNoNode = 0xFFFFFFFFu;
+
+/// One sink of a net: consuming node and the input pin it enters.
+struct FanoutRef {
+  NodeIndex node;
+  std::uint32_t pin;
+
+  friend bool operator==(const FanoutRef&, const FanoutRef&) = default;
+};
+
+/// A single node of the netlist.
+struct Gate {
+  GateType type;
+  std::vector<NodeIndex> fanins;
+  std::string name;
+};
+
+/// Gate-level synchronous sequential circuit.
+///
+/// Build with add_input/add_gate/add_dff (+ set_fanins for feedback
+/// loops), mark primary outputs, then call finalize() exactly once.
+/// finalize() derives fanout lists, combinational levels and a
+/// topological order, and validates structure (arity, combinational
+/// acyclicity). All simulators require a finalized netlist.
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "netlist");
+
+  // ---- construction --------------------------------------------------
+
+  /// Adds a primary input. Order of calls defines input vector order.
+  NodeIndex add_input(const std::string& name);
+
+  /// Adds a gate with the given fanins (may be empty and filled later
+  /// with set_fanins, to express feedback).
+  NodeIndex add_gate(GateType type, std::vector<NodeIndex> fanins,
+                     const std::string& name);
+
+  /// Adds a D flip-flop. `d` may be kNoNode and set later.
+  NodeIndex add_dff(NodeIndex d, const std::string& name);
+
+  /// Replaces the fanins of `node` (only before finalize()).
+  void set_fanins(NodeIndex node, std::vector<NodeIndex> fanins);
+
+  /// Declares `node`'s output a primary output. Order of calls defines
+  /// output vector order. The same node may be marked more than once
+  /// (distinct PO positions observing one net).
+  void mark_output(NodeIndex node);
+
+  /// Freezes the structure; computes fanouts, levels, topological
+  /// order; throws std::invalid_argument on malformed circuits.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  // ---- basic queries --------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return gates_.size();
+  }
+  [[nodiscard]] const Gate& gate(NodeIndex n) const { return gates_[n]; }
+  [[nodiscard]] GateType type(NodeIndex n) const { return gates_[n].type; }
+
+  /// Primary inputs, in declaration order.
+  [[nodiscard]] const std::vector<NodeIndex>& inputs() const noexcept {
+    return inputs_;
+  }
+  /// Primary output nets, in declaration order.
+  [[nodiscard]] const std::vector<NodeIndex>& outputs() const noexcept {
+    return outputs_;
+  }
+  /// Flip-flops, in declaration order.
+  [[nodiscard]] const std::vector<NodeIndex>& dffs() const noexcept {
+    return dffs_;
+  }
+
+  [[nodiscard]] std::size_t input_count() const noexcept {
+    return inputs_.size();
+  }
+  [[nodiscard]] std::size_t output_count() const noexcept {
+    return outputs_.size();
+  }
+  [[nodiscard]] std::size_t dff_count() const noexcept {
+    return dffs_.size();
+  }
+  /// Number of combinational gates (everything except inputs,
+  /// constants and flip-flops).
+  [[nodiscard]] std::size_t gate_count() const noexcept;
+
+  /// Node by name; kNoNode if absent.
+  [[nodiscard]] NodeIndex find(const std::string& name) const;
+
+  /// True if `node` is marked as (at least one) primary output.
+  /// Constant time after finalize(), linear before.
+  [[nodiscard]] bool is_output(NodeIndex node) const;
+
+  // ---- derived structure (available after finalize) -------------------
+
+  /// Sinks of `node`'s output net.
+  [[nodiscard]] const std::vector<FanoutRef>& fanouts(NodeIndex node) const {
+    return fanouts_[node];
+  }
+
+  /// Combinational level: frame inputs are level 0; a gate is one
+  /// above its deepest fanin.
+  [[nodiscard]] std::uint32_t level(NodeIndex node) const {
+    return levels_[node];
+  }
+  [[nodiscard]] std::uint32_t max_level() const noexcept {
+    return max_level_;
+  }
+
+  /// All nodes in a topological order compatible with `level`
+  /// (frame inputs first).
+  [[nodiscard]] const std::vector<NodeIndex>& topo_order() const noexcept {
+    return topo_;
+  }
+
+  /// Position of each flip-flop in dffs() (kNoNode-free inverse map);
+  /// 0xFFFFFFFF for non-DFF nodes.
+  [[nodiscard]] std::uint32_t dff_position(NodeIndex node) const {
+    return dff_pos_[node];
+  }
+
+ private:
+  void require_not_finalized() const;
+  void compute_fanouts();
+  void compute_levels_and_topo();
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<NodeIndex> inputs_;
+  std::vector<NodeIndex> outputs_;
+  std::vector<NodeIndex> dffs_;
+  std::unordered_map<std::string, NodeIndex> by_name_;
+
+  std::vector<std::vector<FanoutRef>> fanouts_;
+  std::vector<std::uint8_t> is_output_flag_;
+  std::vector<std::uint32_t> levels_;
+  std::vector<NodeIndex> topo_;
+  std::vector<std::uint32_t> dff_pos_;
+  std::uint32_t max_level_ = 0;
+  bool finalized_ = false;
+};
+
+/// Evaluates one gate over bool operands (combinational semantics;
+/// must not be called for frame-input kinds).
+[[nodiscard]] bool eval_gate2(GateType type, const std::vector<bool>& ins);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CIRCUIT_NETLIST_H

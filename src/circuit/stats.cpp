@@ -1,0 +1,60 @@
+#include "circuit/stats.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace motsim {
+
+CircuitStats CircuitStats::of(const Netlist& nl) {
+  if (!nl.finalized()) {
+    throw std::logic_error("CircuitStats requires a finalized netlist");
+  }
+  CircuitStats s;
+  s.inputs = nl.input_count();
+  s.outputs = nl.output_count();
+  s.dffs = nl.dff_count();
+  s.gates = nl.gate_count();
+  s.depth = nl.max_level();
+
+  std::size_t total_fanout = 0;
+  std::size_t branch_sites = 0;
+  for (NodeIndex n = 0; n < nl.node_count(); ++n) {
+    s.by_type[static_cast<std::size_t>(nl.type(n))] += 1;
+    const std::size_t fanout = nl.fanouts(n).size();
+    total_fanout += fanout;
+    s.max_fanout = std::max(s.max_fanout, fanout);
+    if (fanout > 1) ++s.fanout_stems;
+    branch_sites += nl.gate(n).fanins.size();
+  }
+  s.avg_fanout = nl.node_count() == 0
+                     ? 0.0
+                     : static_cast<double>(total_fanout) /
+                           static_cast<double>(nl.node_count());
+  s.fault_sites = nl.node_count() + branch_sites;
+  return s;
+}
+
+std::string CircuitStats::to_string() const {
+  std::ostringstream os;
+  os << "inputs " << inputs << ", outputs " << outputs << ", flip-flops "
+     << dffs << ", gates " << gates << "\n";
+  os << "depth " << depth << ", max fanout " << max_fanout
+     << ", avg fanout ";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", avg_fanout);
+  os << buf << ", fanout stems " << fanout_stems << "\n";
+  os << "fault sites " << fault_sites << " (uncollapsed faults "
+     << 2 * fault_sites << ")\n";
+  static const GateType kKinds[] = {
+      GateType::And, GateType::Nand, GateType::Or,  GateType::Nor,
+      GateType::Not, GateType::Buf,  GateType::Xor, GateType::Xnor};
+  os << "gate mix:";
+  for (GateType t : kKinds) {
+    const std::size_t count = by_type[static_cast<std::size_t>(t)];
+    if (count != 0) os << " " << to_cstring(t) << "=" << count;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace motsim

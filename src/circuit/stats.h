@@ -1,0 +1,41 @@
+#ifndef MOTSIM_CIRCUIT_STATS_H
+#define MOTSIM_CIRCUIT_STATS_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace motsim {
+
+/// Structural statistics of a netlist — the numbers a user wants to
+/// see before deciding between the three-valued, symbolic and hybrid
+/// simulators (state width drives OBDD cost, depth drives event-driven
+/// cost, fanout drives the branch-fault population).
+struct CircuitStats {
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t dffs = 0;
+  std::size_t gates = 0;
+  /// Per-gate-kind counts, indexed by GateType.
+  std::array<std::size_t, 12> by_type{};
+  /// Combinational depth (maximum level).
+  std::size_t depth = 0;
+  std::size_t max_fanout = 0;
+  double avg_fanout = 0.0;
+  /// Nets with more than one sink (the stems with distinct branch
+  /// faults).
+  std::size_t fanout_stems = 0;
+  /// Total fault sites (stems + branches) before collapsing.
+  std::size_t fault_sites = 0;
+
+  [[nodiscard]] static CircuitStats of(const Netlist& netlist);
+
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CIRCUIT_STATS_H

@@ -1,0 +1,81 @@
+#include "circuit/transform.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace motsim {
+
+Netlist with_synchronous_reset(const Netlist& src,
+                               const std::string& reset_name) {
+  if (!src.finalized()) {
+    throw std::logic_error("with_synchronous_reset: source not finalized");
+  }
+  if (src.find(reset_name) != kNoNode) {
+    throw std::invalid_argument("with_synchronous_reset: signal '" +
+                                reset_name + "' already exists");
+  }
+
+  Netlist out(src.name() + "+reset");
+
+  // Clone nodes in index order; indices are preserved, so fanin lists
+  // can be copied verbatim.
+  for (NodeIndex n = 0; n < src.node_count(); ++n) {
+    const Gate& g = src.gate(n);
+    switch (g.type) {
+      case GateType::Input:
+        out.add_input(g.name);
+        break;
+      case GateType::Dff:
+        out.add_dff(kNoNode, g.name);
+        break;
+      default:
+        out.add_gate(g.type, {}, g.name);
+        break;
+    }
+  }
+  for (NodeIndex n = 0; n < src.node_count(); ++n) {
+    const Gate& g = src.gate(n);
+    if (g.type == GateType::Input) continue;
+    if (g.type == GateType::Dff) continue;  // rewired below
+    out.set_fanins(n, g.fanins);
+  }
+
+  // The reset plumbing: every D input becomes AND(NOT reset, D).
+  const NodeIndex reset = out.add_input(reset_name);
+  const NodeIndex nreset =
+      out.add_gate(GateType::Not, {reset}, reset_name + "_n");
+  for (NodeIndex dff : src.dffs()) {
+    const NodeIndex d = src.gate(dff).fanins[0];
+    const NodeIndex gated = out.add_gate(
+        GateType::And, {nreset, d}, src.gate(dff).name + "_rst");
+    out.set_fanins(dff, {gated});
+  }
+
+  for (NodeIndex po : src.outputs()) out.mark_output(po);
+  out.finalize();
+  return out;
+}
+
+std::string netlist_to_dot(const Netlist& nl) {
+  std::ostringstream os;
+  os << "digraph \"" << nl.name() << "\" {\n  rankdir=LR;\n";
+  for (NodeIndex n = 0; n < nl.node_count(); ++n) {
+    const Gate& g = nl.gate(n);
+    const char* shape = "ellipse";
+    if (g.type == GateType::Input) shape = "invtriangle";
+    if (g.type == GateType::Dff) shape = "box";
+    os << "  n" << n << " [label=\"" << g.name << "\\n"
+       << to_cstring(g.type) << "\", shape=" << shape
+       << (nl.is_output(n) ? ", peripheries=2" : "") << "];\n";
+  }
+  for (NodeIndex n = 0; n < nl.node_count(); ++n) {
+    for (NodeIndex f : nl.gate(n).fanins) {
+      os << "  n" << f << " -> n" << n
+         << (nl.type(n) == GateType::Dff ? " [style=dashed]" : "") << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace motsim

@@ -1,0 +1,33 @@
+#ifndef MOTSIM_CIRCUIT_TRANSFORM_H
+#define MOTSIM_CIRCUIT_TRANSFORM_H
+
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace motsim {
+
+/// Design-for-test transform: adds a synchronous active-high reset.
+///
+/// The paper's introduction mentions the classical alternative to MOT:
+/// "circuit modifications ... made to permit setting the circuit into
+/// a known initial state". This transform performs exactly that
+/// modification — a new primary input `reset_name` gates every
+/// flip-flop's D input through AND(NOT reset, D), so asserting reset
+/// for one clock drives the whole machine to the all-zero state. The
+/// returned netlist is finalized; the original is untouched.
+///
+/// bench/ablation_reset measures the effect the paper alludes to: a
+/// counter that was X01-blind becomes almost fully coverable
+/// three-valued once a reset exists — at the cost of one extra pin and
+/// 2m+1 gates.
+[[nodiscard]] Netlist with_synchronous_reset(
+    const Netlist& netlist, const std::string& reset_name = "reset");
+
+/// Graphviz export of the netlist structure (flip-flops boxed, primary
+/// outputs double-circled). For documentation and debugging.
+[[nodiscard]] std::string netlist_to_dot(const Netlist& netlist);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CIRCUIT_TRANSFORM_H

@@ -1,0 +1,33 @@
+#ifndef MOTSIM_CIRCUIT_VALIDATE_H
+#define MOTSIM_CIRCUIT_VALIDATE_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace motsim {
+
+/// Results of the structural lint pass.
+struct ValidationReport {
+  /// Nets with no sink that are not primary outputs (dead logic).
+  std::vector<NodeIndex> dangling_nets;
+  /// Nodes from which no primary output or flip-flop is reachable.
+  std::vector<NodeIndex> unobservable_nodes;
+  /// Gates fed twice by the same net (legal but usually a generator
+  /// bug; constant-producing for XOR/XNOR).
+  std::vector<NodeIndex> duplicate_fanin_gates;
+  /// Human-readable one-line summaries of all findings.
+  std::vector<std::string> messages;
+
+  [[nodiscard]] bool clean() const noexcept { return messages.empty(); }
+};
+
+/// Structural lint beyond Netlist::finalize()'s hard checks: detects
+/// dead logic, unobservable cones and duplicate fanins. Used by the
+/// synthetic circuit generator's self-check and by tests.
+[[nodiscard]] ValidationReport validate(const Netlist& netlist);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CIRCUIT_VALIDATE_H

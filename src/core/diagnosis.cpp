@@ -1,0 +1,147 @@
+#include "core/diagnosis.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/sym_true_value.h"
+
+namespace motsim {
+
+using bdd::Bdd;
+
+FaultDictionary::FaultDictionary(const Netlist& nl, bdd::BddManager& mgr,
+                                 const std::vector<Fault>& faults,
+                                 const TestSequence& sequence)
+    : fault_count_(faults.size()) {
+  if (!nl.finalized()) {
+    throw std::logic_error("FaultDictionary requires a finalized netlist");
+  }
+  const StateVars vars(nl.dff_count());
+  mgr.ensure_vars(vars.var_count());
+
+  // Pass 1: fault-free symbolic simulation defines the well-defined
+  // observation points (constant outputs), per frame.
+  {
+    SymTrueValueSim good(nl, mgr, vars);
+    for (std::size_t t = 0; t < sequence.size(); ++t) {
+      const std::vector<Bdd> outs = good.step(sequence[t]);
+      for (std::size_t j = 0; j < outs.size(); ++j) {
+        if (outs[j].is_const()) {
+          points_.push_back(Point{static_cast<std::uint32_t>(t),
+                                  static_cast<std::uint32_t>(j),
+                                  outs[j].is_one()});
+        }
+      }
+    }
+  }
+  // Points grouped per frame for the per-fault pass.
+  std::vector<std::vector<std::size_t>> points_by_frame(sequence.size());
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    points_by_frame[points_[p].frame].push_back(p);
+  }
+
+  can_mismatch_.assign(fault_count_ * points_.size(), 0);
+
+  // Pass 2: per fault, a full (non-event-driven) symbolic simulation
+  // of the faulty machine; at every well-defined point, the fault can
+  // mismatch iff its output function is not identically the expected
+  // constant. Dictionary building is a diagnosis-time tool for
+  // generator-scale circuits, so the simple full evaluation is fine.
+  for (std::size_t fi = 0; fi < fault_count_; ++fi) {
+    const Fault& fault = faults[fi];
+    const bool stem = fault.site.is_stem();
+    const Bdd sv = mgr.constant(fault.stuck_value);
+
+    std::vector<Bdd> values(nl.node_count());
+    std::vector<Bdd> state;
+    state.reserve(nl.dff_count());
+    for (std::size_t i = 0; i < nl.dff_count(); ++i) {
+      state.push_back(mgr.var(vars.x(i)));
+    }
+
+    for (std::size_t t = 0; t < sequence.size(); ++t) {
+      for (std::size_t j = 0; j < nl.input_count(); ++j) {
+        values[nl.inputs()[j]] =
+            mgr.constant(sequence[t][j] == Val3::One);
+      }
+      for (std::size_t i = 0; i < nl.dff_count(); ++i) {
+        values[nl.dffs()[i]] = state[i];
+      }
+      if (stem) values[fault.site.node] = sv;
+
+      for (NodeIndex n : nl.topo_order()) {
+        const Gate& g = nl.gate(n);
+        if (is_frame_input(g.type)) {
+          if (g.type == GateType::Const0) values[n] = mgr.zero();
+          if (g.type == GateType::Const1) values[n] = mgr.one();
+          if (stem && n == fault.site.node) values[n] = sv;
+          continue;
+        }
+        if (stem && n == fault.site.node) {
+          values[n] = sv;
+          continue;
+        }
+        const bool here = !stem && n == fault.site.node;
+        values[n] = eval_gate_sym(mgr, g.type, g.fanins.size(),
+                                  [&](std::size_t i) -> const Bdd& {
+                                    if (here && i == fault.site.pin) {
+                                      return sv;
+                                    }
+                                    return values[g.fanins[i]];
+                                  });
+      }
+
+      for (std::size_t p : points_by_frame[t]) {
+        const Bdd& out = values[nl.outputs()[points_[p].output]];
+        const Bdd expected = mgr.constant(points_[p].expected);
+        if (out != expected) {
+          can_mismatch_[fi * points_.size() + p] = 1;
+        }
+      }
+
+      for (std::size_t i = 0; i < nl.dff_count(); ++i) {
+        const NodeIndex dff = nl.dffs()[i];
+        Bdd v = values[nl.gate(dff).fanins[0]];
+        if (!stem && fault.site.node == dff) v = sv;
+        state[i] = std::move(v);
+      }
+    }
+    mgr.gc();
+  }
+}
+
+std::vector<FaultDictionary::Candidate> FaultDictionary::diagnose(
+    const std::vector<std::vector<bool>>& response) const {
+  // Observed mismatch set over the well-defined points.
+  std::vector<std::size_t> observed;
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    const Point& pt = points_[p];
+    if (pt.frame >= response.size() ||
+        pt.output >= response[pt.frame].size()) {
+      throw std::invalid_argument("diagnose: response too short");
+    }
+    if (response[pt.frame][pt.output] != pt.expected) observed.push_back(p);
+  }
+  if (observed.empty()) return {};
+
+  std::vector<Candidate> candidates;
+  for (std::size_t fi = 0; fi < fault_count_; ++fi) {
+    Candidate c{fi, 0, 0};
+    for (std::size_t p : observed) {
+      if (can_mismatch(fi, p)) {
+        ++c.explained;
+      } else {
+        ++c.contradicted;
+      }
+    }
+    if (c.contradicted == 0) candidates.push_back(c);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.explained != b.explained) return a.explained > b.explained;
+              return a.fault_index < b.fault_index;
+            });
+  return candidates;
+}
+
+}  // namespace motsim

@@ -1,0 +1,87 @@
+#ifndef MOTSIM_CORE_DIAGNOSIS_H
+#define MOTSIM_CORE_DIAGNOSIS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/test_eval.h"
+#include "faults/fault.h"
+#include "logic/val3.h"
+#include "tpg/sequences.h"
+
+namespace motsim {
+
+/// Symbolic fault dictionary for diagnosis under an unknown power-up
+/// state.
+///
+/// Conventional fault dictionaries store, per fault, the exact
+/// mismatch signature of the tester response — which is ill-defined
+/// when the response depends on the unknown initial state. Following
+/// the paper's symbolic treatment, this dictionary stores for every
+/// fault f and every *well-defined* observation point (t, j) (where
+/// the fault-free output is the constant b_{t,j} for all power-up
+/// states) whether the faulty machine CAN mismatch there, i.e.
+/// whether o^f_j(x, t) != b_{t,j} is satisfiable over the faulty
+/// initial state x.
+///
+/// Diagnosis is then set-theoretic and sound: a fault is *excluded*
+/// exactly when the observed response mismatches at a point where the
+/// fault provably cannot mismatch; the injected fault is never
+/// excluded. Candidates are ranked by how much of the observed
+/// signature they can explain.
+class FaultDictionary {
+ public:
+  /// Builds the dictionary by symbolic fault simulation of every fault
+  /// over the sequence. `mgr` must outlive the dictionary.
+  FaultDictionary(const Netlist& netlist, bdd::BddManager& mgr,
+                  const std::vector<Fault>& faults,
+                  const TestSequence& sequence);
+
+  /// Well-defined observation points of the fault-free machine.
+  struct Point {
+    std::uint32_t frame;   ///< 0-based
+    std::uint32_t output;  ///< output position
+    bool expected;         ///< the constant fault-free value
+  };
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return points_;
+  }
+
+  /// True if fault `fi` (index into the constructor's list) can
+  /// produce a mismatch at point `pi` for some power-up state.
+  [[nodiscard]] bool can_mismatch(std::size_t fi, std::size_t pi) const {
+    return can_mismatch_[fi * points_.size() + pi] != 0;
+  }
+
+  /// One diagnosis candidate.
+  struct Candidate {
+    std::size_t fault_index;
+    /// Observed mismatches this fault can explain.
+    std::size_t explained;
+    /// Observed mismatches at points where the fault cannot mismatch
+    /// (0 for all returned candidates — nonzero would exclude it).
+    std::size_t contradicted;
+  };
+
+  /// Matches a tester response (frame-major, binary) against the
+  /// dictionary. Returns the non-excluded faults, ranked by explained
+  /// mismatches (descending). An empty observed-mismatch set returns
+  /// an empty list: the response is consistent with the fault-free
+  /// machine, so nothing can be diagnosed.
+  [[nodiscard]] std::vector<Candidate> diagnose(
+      const std::vector<std::vector<bool>>& response) const;
+
+  [[nodiscard]] std::size_t fault_count() const noexcept {
+    return fault_count_;
+  }
+
+ private:
+  std::size_t fault_count_;
+  std::vector<Point> points_;
+  /// fault-major matrix: fault_count_ x points_.size().
+  std::vector<std::uint8_t> can_mismatch_;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CORE_DIAGNOSIS_H

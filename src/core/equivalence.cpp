@@ -1,0 +1,115 @@
+#include "core/equivalence.h"
+
+#include <algorithm>
+
+#include "core/symbolic_fsm.h"
+
+namespace motsim {
+
+namespace {
+
+using bdd::Bdd;
+
+/// Decodes a satisfying assignment of `diff` into (state, inputs).
+void fill_counterexample(const SymbolicFsm& fsm, const Bdd& diff,
+                         EquivalenceResult& out) {
+  const auto assignment = fsm.manager().pick_one(diff);
+  if (!assignment.has_value()) return;
+  std::vector<bool> state(fsm.vars().dff_count());
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    state[i] = (*assignment)[fsm.vars().x(i)] == 1;
+  }
+  std::vector<bool> inputs(fsm.netlist().input_count());
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    inputs[j] = (*assignment)[fsm.input_var(j)] == 1;
+  }
+  out.counterexample_state = std::move(state);
+  out.counterexample_inputs = std::move(inputs);
+}
+
+EquivalenceResult compare(const SymbolicFsm& fa,
+                          const std::vector<Bdd>& lambda_b,
+                          const std::vector<Bdd>& delta_b) {
+  EquivalenceResult result;
+  for (std::size_t j = 0; j < fa.netlist().output_count(); ++j) {
+    if (fa.lambda(j) != lambda_b[j]) {
+      result.reason = "output " + std::to_string(j) + " ('" +
+                      fa.netlist().gate(fa.netlist().outputs()[j]).name +
+                      "') differs";
+      fill_counterexample(fa, fa.lambda(j) ^ lambda_b[j], result);
+      return result;
+    }
+  }
+  for (std::size_t i = 0; i < fa.netlist().dff_count(); ++i) {
+    if (fa.delta(i) != delta_b[i]) {
+      result.reason = "next-state function of flip-flop " +
+                      std::to_string(i) + " ('" +
+                      fa.netlist().gate(fa.netlist().dffs()[i]).name +
+                      "') differs";
+      fill_counterexample(fa, fa.delta(i) ^ delta_b[i], result);
+      return result;
+    }
+  }
+  result.equivalent = true;
+  return result;
+}
+
+}  // namespace
+
+EquivalenceResult check_equivalence(const Netlist& a, const Netlist& b) {
+  // The general path with nothing tied: both machines share the state
+  // variables; b's (separately allocated) input variables are
+  // substituted by a's positionally.
+  return check_equivalence_with_tied_inputs(a, b, {});
+}
+
+EquivalenceResult check_equivalence_with_tied_inputs(
+    const Netlist& a, const Netlist& b,
+    const std::vector<std::pair<std::size_t, bool>>& tied) {
+  EquivalenceResult result;
+  if (a.dff_count() != b.dff_count() ||
+      a.output_count() != b.output_count() ||
+      a.input_count() + tied.size() != b.input_count()) {
+    result.reason = "interface mismatch (after tying)";
+    return result;
+  }
+
+  bdd::BddManager mgr;
+  const StateVars vars(a.dff_count());
+  const SymbolicFsm fa(a, mgr, vars);
+  const SymbolicFsm fb(b, mgr, vars);
+
+  // Restrict b's functions by the tied inputs, then substitute b's
+  // free input variables with a's (positional match).
+  std::vector<std::size_t> free_inputs;
+  for (std::size_t j = 0; j < b.input_count(); ++j) {
+    const auto it =
+        std::find_if(tied.begin(), tied.end(),
+                     [&](const auto& t) { return t.first == j; });
+    if (it == tied.end()) free_inputs.push_back(j);
+  }
+
+  auto adapt = [&](Bdd f) {
+    for (const auto& [pos, value] : tied) {
+      f = mgr.restrict_var(f, fb.input_var(pos), value);
+    }
+    for (std::size_t k = 0; k < free_inputs.size(); ++k) {
+      // a's k-th input variable replaces b's k-th free input variable.
+      f = mgr.compose(f, fb.input_var(free_inputs[k]),
+                      mgr.var(fa.input_var(k)));
+    }
+    return f;
+  };
+
+  std::vector<Bdd> lambda_b;
+  for (std::size_t j = 0; j < b.output_count(); ++j) {
+    lambda_b.push_back(adapt(fb.lambda(j)));
+  }
+  std::vector<Bdd> delta_b;
+  for (std::size_t i = 0; i < b.dff_count(); ++i) {
+    delta_b.push_back(adapt(fb.delta(i)));
+  }
+  return compare(fa, lambda_b, delta_b);
+}
+
+}  // namespace motsim

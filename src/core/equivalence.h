@@ -1,0 +1,49 @@
+#ifndef MOTSIM_CORE_EQUIVALENCE_H
+#define MOTSIM_CORE_EQUIVALENCE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "logic/val3.h"
+
+namespace motsim {
+
+/// Outcome of the symbolic equivalence check.
+struct EquivalenceResult {
+  bool equivalent = false;
+  /// Human-readable reason when not equivalent (interface mismatch or
+  /// the index of the differing output/flip-flop).
+  std::string reason;
+  /// A distinguishing assignment when a function mismatch was found:
+  /// present-state bits followed by input bits.
+  std::optional<std::vector<bool>> counterexample_state;
+  std::optional<std::vector<bool>> counterexample_inputs;
+};
+
+/// Symbolic combinational-equivalence check of two sequential circuits
+/// that share a state encoding: the machines are equivalent iff they
+/// have the same interface (|PI|, |PO|, |FF|) and, as OBDDs over the
+/// shared present-state and input variables, identical output
+/// functions lambda_j and next-state functions delta_i.
+///
+/// This is the right notion for verifying structure-preserving
+/// rewrites — .bench round trips, the reset transform with the reset
+/// pin tied low, generator refactorings — and is exactly how the
+/// test-suite validates circuit/transform.h. (It is NOT a general
+/// sequential-equivalence check across different state encodings.)
+[[nodiscard]] EquivalenceResult check_equivalence(const Netlist& a,
+                                                  const Netlist& b);
+
+/// Convenience: equivalence of `b` against `a` with some of b's
+/// trailing inputs tied to constants (e.g. the inserted reset pin tied
+/// to 0). `tied` maps b's input position -> forced value; inputs of
+/// `a` are matched positionally against the non-tied inputs of `b`.
+[[nodiscard]] EquivalenceResult check_equivalence_with_tied_inputs(
+    const Netlist& a, const Netlist& b,
+    const std::vector<std::pair<std::size_t, bool>>& tied);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CORE_EQUIVALENCE_H

@@ -1,0 +1,240 @@
+#include "core/hybrid_sim.h"
+
+#include <stdexcept>
+
+#include "core/sym_true_value.h"
+#include "sim3/fault_sim3.h"
+#include "sim3/good_sim3.h"
+
+namespace motsim {
+
+using bdd::Bdd;
+
+HybridFaultSim::HybridFaultSim(const Netlist& netlist,
+                               std::vector<Fault> faults, HybridConfig config)
+    : netlist_(&netlist),
+      faults_(std::move(faults)),
+      config_(config),
+      initial_status_(faults_.size(), FaultStatus::Undetected) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("HybridFaultSim requires a finalized netlist");
+  }
+  if (config_.node_limit == 0 || config_.fallback_frames == 0 ||
+      config_.hard_limit_factor == 0) {
+    throw std::invalid_argument("HybridConfig: limits must be positive");
+  }
+}
+
+void HybridFaultSim::set_initial_status(std::vector<FaultStatus> status) {
+  if (status.size() != faults_.size()) {
+    throw std::invalid_argument("set_initial_status: wrong size");
+  }
+  initial_status_ = std::move(status);
+}
+
+namespace {
+
+Val3 bdd_to_val3(const Bdd& b) {
+  if (b.is_zero()) return Val3::Zero;
+  if (b.is_one()) return Val3::One;
+  return Val3::X;
+}
+
+}  // namespace
+
+HybridResult HybridFaultSim::run(
+    const std::vector<std::vector<Val3>>& sequence) {
+  const Netlist& nl = *netlist_;
+
+  bdd::BddConfig bddc = config_.bdd;
+  bddc.hard_node_limit = config_.node_limit * config_.hard_limit_factor;
+  bdd::BddManager mgr(bddc);
+  const StateVars vars(nl.dff_count(), config_.layout);
+  SymTrueValueSim sym(nl, mgr, vars);
+  SymFaultPropagator symprop(nl, mgr, vars);
+  FaultPropagator3 prop3(nl);
+  GoodSim3 good3(nl);
+
+  HybridResult result;
+  result.status = initial_status_;
+  result.detect_frame.assign(faults_.size(), 0);
+
+  struct Live {
+    std::size_t index;
+    SymFaultState sym;  ///< valid in symbolic mode
+    StateDiff3 diff3;   ///< valid in three-valued mode
+  };
+  std::vector<Live> live;
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (initial_status_[i] == FaultStatus::Undetected) {
+      live.push_back(Live{i, SymFaultState{mgr.one(), {}}, {}});
+    }
+  }
+
+  enum class Mode { Symbolic, ThreeValued };
+  Mode mode = Mode::Symbolic;
+  std::size_t window_left = 0;
+  const FaultStatus det = detected_status(config_.strategy);
+
+  // Converts one fault's symbolic state divergence into a three-valued
+  // divergence against the given three-valued good state. Symbolic
+  // functions that are not constant become X; entries that no longer
+  // differ are dropped (both unknown == "assume equal", which only
+  // grows the represented state set, keeping all detection claims
+  // sound).
+  auto diff_to_3v = [](const SymFaultState& fs,
+                       const std::vector<Val3>& good_state3) {
+    StateDiff3 d3;
+    for (const auto& [pos, b] : fs.state_diff) {
+      const Val3 fv = bdd_to_val3(b);
+      if (fv != good_state3[pos]) d3.emplace_back(pos, fv);
+    }
+    return d3;
+  };
+
+  auto enter_three_valued = [&](const std::vector<Val3>& good_state3,
+                                std::vector<StateDiff3> diffs3) {
+    good3.set_state(good_state3);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      live[i].diff3 = std::move(diffs3[i]);
+      live[i].sym.state_diff.clear();
+      live[i].sym.detect = Bdd();
+    }
+    sym.release();
+    mgr.gc();
+    mode = Mode::ThreeValued;
+    window_left = config_.fallback_frames;
+    result.used_fallback = true;
+    ++result.fallback_windows;
+  };
+
+  auto resume_symbolic = [&] {
+    const std::vector<Val3>& state3 = good3.state();
+    // Unknown bits are re-seeded with the state variables; every
+    // detection function restarts at constant 1 (paper Section IV.A).
+    std::vector<Bdd> state_bdds;
+    state_bdds.reserve(state3.size());
+    for (std::size_t i = 0; i < state3.size(); ++i) {
+      state_bdds.push_back(state3[i] == Val3::X
+                               ? mgr.var(vars.x(i))
+                               : mgr.constant(state3[i] == Val3::One));
+    }
+    sym.set_state(std::move(state_bdds));
+    for (Live& lf : live) {
+      lf.sym.detect = mgr.one();
+      lf.sym.state_diff.clear();
+      for (const auto& [pos, v] : lf.diff3) {
+        const Bdd fb = v == Val3::X ? mgr.var(vars.x(pos))
+                                    : mgr.constant(v == Val3::One);
+        const Bdd gb = state3[pos] == Val3::X
+                           ? mgr.var(vars.x(pos))
+                           : mgr.constant(state3[pos] == Val3::One);
+        if (fb != gb) lf.sym.state_diff.emplace_back(pos, fb);
+      }
+      lf.diff3.clear();
+    }
+    mode = Mode::Symbolic;
+  };
+
+  std::size_t t = 0;
+  while (t < sequence.size() && !live.empty()) {
+    if (mode == Mode::Symbolic) {
+      // Snapshot the pre-frame machine in three-valued form so an
+      // aborted frame (hard-limit overflow) can be redone in the
+      // three-valued mode.
+      const std::vector<Val3> pre_state3 = sym.state_as_val3();
+      std::vector<StateDiff3> pre_diffs3;
+      pre_diffs3.reserve(live.size());
+      for (const Live& lf : live) {
+        pre_diffs3.push_back(diff_to_3v(lf.sym, pre_state3));
+      }
+
+      try {
+        sym.step(sequence[t]);
+        SymFrameContext ctx(sym.values(), sym.state(), nl.output_count());
+
+        // `live` is compacted only after the whole frame succeeds so
+        // the exception path below sees the vector intact and aligned
+        // with pre_diffs3.
+        for (Live& lf : live) {
+          if (symprop.step(faults_[lf.index], config_.strategy, lf.sym,
+                           ctx)) {
+            result.status[lf.index] = det;
+            result.detect_frame[lf.index] = static_cast<std::uint32_t>(t + 1);
+            ++result.detected_count;
+          }
+        }
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          if (result.status[live[i].index] == det) continue;
+          if (keep != i) live[keep] = std::move(live[i]);
+          ++keep;
+        }
+        live.resize(keep);
+
+        ++result.symbolic_frames;
+        ++t;
+        mgr.gc();
+        result.peak_live_nodes =
+            std::max(result.peak_live_nodes, mgr.live_node_count());
+        if (mgr.live_node_count() > config_.node_limit && t < sequence.size()) {
+          // Soft limit: leave symbolic mode at the frame boundary.
+          const std::vector<Val3> post_state3 = sym.state_as_val3();
+          std::vector<StateDiff3> diffs3;
+          diffs3.reserve(live.size());
+          for (const Live& lf : live) {
+            diffs3.push_back(diff_to_3v(lf.sym, post_state3));
+          }
+          enter_three_valued(post_state3, std::move(diffs3));
+        }
+      } catch (const bdd::BddOverflow&) {
+        // Hard limit mid-frame: discard the frame's partial symbolic
+        // work and redo frame t in three-valued mode. Faults already
+        // marked detected this frame keep their (valid) verdicts;
+        // snapshot diffs restore every surviving fault.
+        std::size_t keep = 0;
+        std::vector<StateDiff3> survivors;
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          if (result.status[live[i].index] == det) continue;  // dropped
+          survivors.push_back(std::move(pre_diffs3[i]));
+          if (keep != i) live[keep] = std::move(live[i]);
+          ++keep;
+        }
+        live.resize(keep);
+        enter_three_valued(pre_state3, std::move(survivors));
+        // t intentionally not advanced: the frame reruns three-valued.
+      }
+    } else {
+      good3.step(sequence[t]);
+      const std::vector<Val3>& good_values = good3.values();
+      const std::vector<Val3>& good_next = good3.state();
+
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (prop3.step(faults_[live[i].index], live[i].diff3, good_values,
+                       good_next)) {
+          // A three-valued detection is a genuine detection under
+          // every strategy (constant opposite binary responses).
+          result.status[live[i].index] = det;
+          result.detect_frame[live[i].index] =
+              static_cast<std::uint32_t>(t + 1);
+          ++result.detected_count;
+        } else {
+          if (keep != i) live[keep] = std::move(live[i]);
+          ++keep;
+        }
+      }
+      live.resize(keep);
+
+      ++result.three_valued_frames;
+      ++t;
+      if (--window_left == 0 && t < sequence.size() && !live.empty()) {
+        resume_symbolic();
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace motsim

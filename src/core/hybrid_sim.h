@@ -1,0 +1,78 @@
+#ifndef MOTSIM_CORE_HYBRID_SIM_H
+#define MOTSIM_CORE_HYBRID_SIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "core/sym_fault_sim.h"
+#include "faults/fault.h"
+#include "logic/val3.h"
+
+namespace motsim {
+
+/// Configuration of the hybrid fault simulator.
+struct HybridConfig {
+  Strategy strategy = Strategy::Mot;
+  /// Placement of the x/y state variables (see VarLayout).
+  VarLayout layout = VarLayout::Interleaved;
+  /// Soft space limit checked after each symbolic frame (the paper
+  /// uses 30,000 OBDD nodes); exceeding it triggers a three-valued
+  /// window.
+  std::size_t node_limit = 30000;
+  /// Length of a three-valued fallback window, in frames.
+  std::size_t fallback_frames = 8;
+  /// Mid-frame abort threshold = node_limit * hard_limit_factor; a
+  /// single frame whose intermediate OBDDs blow past this aborts the
+  /// frame and redoes it three-valued.
+  std::size_t hard_limit_factor = 8;
+  /// Tuning of the underlying BDD manager (the hard limit field is
+  /// overridden from node_limit/hard_limit_factor).
+  bdd::BddConfig bdd;
+};
+
+/// Result of a hybrid run.
+struct HybridResult {
+  std::vector<FaultStatus> status;
+  std::vector<std::uint32_t> detect_frame;  ///< 1-based; 0 = never
+  std::size_t detected_count = 0;
+  /// True when at least one three-valued window ran — the asterisk in
+  /// the paper's Tables II/III (coverage may then be inexact).
+  bool used_fallback = false;
+  std::size_t fallback_windows = 0;
+  std::size_t symbolic_frames = 0;
+  std::size_t three_valued_frames = 0;
+  std::size_t peak_live_nodes = 0;
+};
+
+/// Hybrid fault simulator (paper Sections I and IV.A, following [8]):
+/// symbolic simulation under the configured observation strategy, with
+/// bounded OBDD space. When the live node count exceeds the limit the
+/// simulator converts machine state to three-valued logic, simulates a
+/// few frames with the conventional event-driven simulator (still
+/// detecting and dropping faults), then re-enters symbolic mode:
+/// unknown state bits are re-seeded with state variables and every
+/// detection function D̃ restarts at constant 1. All claims made in
+/// fallback and after resumption remain sound — the represented state
+/// sets only ever grow.
+class HybridFaultSim {
+ public:
+  HybridFaultSim(const Netlist& netlist, std::vector<Fault> faults,
+                 HybridConfig config = {});
+
+  /// Pre-classifies faults; non-Undetected entries are not simulated.
+  void set_initial_status(std::vector<FaultStatus> status);
+
+  [[nodiscard]] HybridResult run(
+      const std::vector<std::vector<Val3>>& sequence);
+
+ private:
+  const Netlist* netlist_;
+  std::vector<Fault> faults_;
+  HybridConfig config_;
+  std::vector<FaultStatus> initial_status_;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CORE_HYBRID_SIM_H

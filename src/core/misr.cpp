@@ -1,0 +1,33 @@
+#include "core/misr.h"
+
+#include <stdexcept>
+
+namespace motsim {
+
+Misr::Misr(unsigned width, std::uint64_t taps) : width_(width), taps_(taps) {
+  if (width == 0 || width > 64) {
+    throw std::invalid_argument("Misr: width must be in [1, 64]");
+  }
+  mask_ = width == 64 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << width) - 1);
+  taps_ &= mask_;
+}
+
+void Misr::shift(const std::vector<bool>& outputs) {
+  // Galois-style LFSR step, then XOR the parallel inputs in.
+  const bool msb = (state_ >> (width_ - 1)) & 1;
+  state_ = (state_ << 1) & mask_;
+  if (msb) state_ ^= taps_;
+  for (std::size_t j = 0; j < outputs.size(); ++j) {
+    if (outputs[j]) state_ ^= std::uint64_t{1} << (j % width_);
+  }
+}
+
+std::uint64_t Misr::of(const std::vector<std::vector<bool>>& response,
+                       unsigned width, std::uint64_t taps) {
+  Misr m(width, taps);
+  for (const auto& frame : response) m.shift(frame);
+  return m.signature();
+}
+
+}  // namespace motsim

@@ -1,0 +1,50 @@
+#ifndef MOTSIM_CORE_MISR_H
+#define MOTSIM_CORE_MISR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace motsim {
+
+/// Multiple-input signature register (MISR) — the classic test-response
+/// compactor: an LFSR that folds one output vector per clock into a
+/// fixed-width signature.
+///
+/// Included as the counterpoint to the paper's Section IV.B: signature
+/// comparison presumes a UNIQUE fault-free response, which machines
+/// with an unknown power-up state do not have. A fault-free chip can
+/// produce as many distinct signatures as it has distinguishable
+/// power-up states, so MISR-based go/no-go testing false-fails unless
+/// the test was generated under rMOT (outputs checked only at
+/// well-defined points) or evaluated symbolically
+/// (core/test_eval.h). tests/test_misr.cpp demonstrates both effects.
+class Misr {
+ public:
+  /// `width` up to 64 bits; `taps` is the feedback polynomial mask
+  /// (bit i set = stage i feeds back). Default: a maximal-length-ish
+  /// 32-bit polynomial.
+  explicit Misr(unsigned width = 32,
+                std::uint64_t taps = 0xC3308C66ull);
+
+  /// Folds one output vector (output j -> stage j mod width).
+  void shift(const std::vector<bool>& outputs);
+
+  [[nodiscard]] std::uint64_t signature() const noexcept { return state_; }
+
+  void reset() noexcept { state_ = 0; }
+
+  /// Convenience: signature of a whole response (frame-major).
+  [[nodiscard]] static std::uint64_t of(
+      const std::vector<std::vector<bool>>& response, unsigned width = 32,
+      std::uint64_t taps = 0xC3308C66ull);
+
+ private:
+  unsigned width_;
+  std::uint64_t taps_;
+  std::uint64_t mask_;
+  std::uint64_t state_ = 0;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CORE_MISR_H

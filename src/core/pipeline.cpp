@@ -1,0 +1,79 @@
+#include "core/pipeline.h"
+
+#include "core/xred.h"
+#include "sim3/fault_sim3.h"
+#include "sim3/parallel_fault_sim3.h"
+#include "util/stopwatch.h"
+
+namespace motsim {
+
+PipelineResult run_pipeline(const Netlist& netlist,
+                            const std::vector<Fault>& faults,
+                            const TestSequence& sequence,
+                            const PipelineConfig& config) {
+  PipelineResult result;
+
+  // ---- Stage 1: ID_X-red ------------------------------------------------
+  std::vector<FaultStatus> status(faults.size(), FaultStatus::Undetected);
+  if (config.run_xred) {
+    Stopwatch timer;
+    const XRedResult xr = run_id_x_red(netlist, sequence);
+    status = xr.classify(faults);
+    result.seconds_xred = timer.elapsed_seconds();
+    result.x_redundant = xr.count_x_redundant(faults);
+  }
+
+  // ---- Stage 2: three-valued simulation ----------------------------------
+  {
+    Stopwatch timer;
+    FaultSim3Result r3;
+    if (config.parallel_sim3) {
+      ParallelFaultSim3 sim(netlist, faults);
+      sim.set_initial_status(status);
+      r3 = sim.run(sequence);
+    } else {
+      FaultSim3 sim(netlist, faults);
+      sim.set_initial_status(status);
+      r3 = sim.run(sequence);
+    }
+    result.seconds_3v = timer.elapsed_seconds();
+    result.detected_3v = r3.detected_count;
+    status = std::move(r3.status);
+  }
+
+  // ---- Stage 3: symbolic simulation of the remainder ---------------------
+  bool has_x_inputs = false;
+  for (const auto& frame : sequence) {
+    for (Val3 v : frame) has_x_inputs |= !is_binary(v);
+  }
+  if (config.run_symbolic && has_x_inputs) {
+    result.symbolic_skipped_x_inputs = true;
+  }
+  if (config.run_symbolic && !has_x_inputs) {
+    // X-redundant faults are *not* lost causes symbolically; re-enable
+    // them alongside the three-valued leftovers.
+    std::vector<FaultStatus> leftover = status;
+    for (auto& s : leftover) {
+      if (s == FaultStatus::XRedundant) s = FaultStatus::Undetected;
+    }
+
+    Stopwatch timer;
+    HybridFaultSim sym(netlist, faults, config.hybrid);
+    sym.set_initial_status(leftover);
+    const HybridResult rs = sym.run(sequence);
+    result.seconds_symbolic = timer.elapsed_seconds();
+    result.detected_symbolic = rs.detected_count;
+    result.used_fallback = rs.used_fallback;
+
+    // Merge: symbolic detections override; everything else keeps its
+    // stage-1/2 classification.
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (is_detected(rs.status[i])) status[i] = rs.status[i];
+    }
+  }
+
+  result.status = std::move(status);
+  return result;
+}
+
+}  // namespace motsim

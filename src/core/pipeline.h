@@ -1,0 +1,70 @@
+#ifndef MOTSIM_CORE_PIPELINE_H
+#define MOTSIM_CORE_PIPELINE_H
+
+#include <vector>
+
+#include "core/hybrid_sim.h"
+#include "faults/fault.h"
+#include "faults/report.h"
+#include "logic/val3.h"
+#include "tpg/sequences.h"
+
+namespace motsim {
+
+/// Configuration of the full fault-simulation pipeline of the paper:
+/// ID_X-red -> three-valued simulation -> symbolic simulation of the
+/// remainder under the chosen observation strategy.
+struct PipelineConfig {
+  /// Run ID_X-red before the three-valued stage (paper Section III).
+  bool run_xred = true;
+  /// Use the bit-parallel three-valued simulator instead of the
+  /// serial event-driven one (identical results).
+  bool parallel_sim3 = false;
+  /// Skip the symbolic stage entirely (pure X01 run).
+  bool run_symbolic = true;
+  /// Hybrid simulator settings for the symbolic stage; its `strategy`
+  /// field selects SOT / rMOT / MOT.
+  HybridConfig hybrid;
+};
+
+/// Outcome of run_pipeline. `status` holds the final per-fault
+/// classification: X-redundant faults that the symbolic stage
+/// subsequently detected carry the symbolic Detected* status.
+struct PipelineResult {
+  std::vector<FaultStatus> status;
+  /// Faults ID_X-red flagged (before the symbolic stage re-enabled
+  /// them).
+  std::size_t x_redundant = 0;
+  std::size_t detected_3v = 0;
+  std::size_t detected_symbolic = 0;
+  /// True if the hybrid simulator used three-valued fallback windows
+  /// (the paper's asterisk: symbolic coverage then a lower bound).
+  bool used_fallback = false;
+  /// True if the symbolic stage was skipped because the sequence
+  /// carries X (partially specified) inputs, which only the
+  /// three-valued stage supports.
+  bool symbolic_skipped_x_inputs = false;
+  double seconds_xred = 0;
+  double seconds_3v = 0;
+  double seconds_symbolic = 0;
+
+  [[nodiscard]] CoverageSummary summary() const {
+    return CoverageSummary::from_status(status);
+  }
+};
+
+/// Runs the paper's complete flow on one fault list and test sequence.
+///
+/// Stage order and semantics follow Section V's experimental protocol:
+/// X-redundant faults are skipped by the three-valued stage (that is
+/// the whole point of ID_X-red) but handed to the symbolic stage
+/// together with the three-valued leftovers — symbolic simulation can
+/// detect faults that are undetectable under three-valued logic.
+[[nodiscard]] PipelineResult run_pipeline(const Netlist& netlist,
+                                          const std::vector<Fault>& faults,
+                                          const TestSequence& sequence,
+                                          const PipelineConfig& config = {});
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CORE_PIPELINE_H

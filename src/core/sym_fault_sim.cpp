@@ -1,0 +1,459 @@
+#include "core/sym_fault_sim.h"
+
+#include <stdexcept>
+
+namespace motsim {
+
+using bdd::Bdd;
+
+const char* to_cstring(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::Sot:
+      return "SOT";
+    case Strategy::Rmot:
+      return "rMOT";
+    case Strategy::Mot:
+      return "MOT";
+  }
+  return "?";
+}
+
+FaultStatus detected_status(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::Sot:
+      return FaultStatus::DetectedSot;
+    case Strategy::Rmot:
+      return FaultStatus::DetectedRmot;
+    default:
+      return FaultStatus::DetectedMot;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SymFrameContext
+// ---------------------------------------------------------------------------
+
+SymFrameContext::SymFrameContext(const std::vector<Bdd>& good_values,
+                                 const std::vector<Bdd>& good_next_state,
+                                 std::size_t output_count)
+    : good_values_(&good_values),
+      good_next_state_(&good_next_state),
+      out_y_(output_count),
+      eq_term_(output_count) {}
+
+const Bdd& SymFrameContext::good_output_y(
+    std::size_t j, const Bdd& good_out, bdd::BddManager& mgr,
+    const std::vector<bdd::VarIndex>& x2y) {
+  if (out_y_[j].is_null()) out_y_[j] = mgr.rename(good_out, x2y);
+  return out_y_[j];
+}
+
+const Bdd& SymFrameContext::good_eq_term(
+    std::size_t j, const Bdd& good_out, bdd::BddManager& mgr,
+    const std::vector<bdd::VarIndex>& x2y) {
+  if (eq_term_[j].is_null()) {
+    eq_term_[j] = good_out.xnor(good_output_y(j, good_out, mgr, x2y));
+  }
+  return eq_term_[j];
+}
+
+// ---------------------------------------------------------------------------
+// SymFaultPropagator
+// ---------------------------------------------------------------------------
+
+SymFaultPropagator::SymFaultPropagator(const Netlist& netlist,
+                                       bdd::BddManager& mgr,
+                                       const StateVars& vars)
+    : netlist_(&netlist),
+      mgr_(&mgr),
+      vars_(vars),
+      x2y_(vars.x_to_y_mapping()),
+      scratch_val_(netlist.node_count()),
+      scratch_stamp_(netlist.node_count(), 0),
+      queue_(netlist) {
+  mgr.ensure_vars(vars.var_count());
+}
+
+const Bdd& SymFaultPropagator::fval(NodeIndex node,
+                                    const std::vector<Bdd>& good) const {
+  return scratch_stamp_[node] == stamp_ ? scratch_val_[node] : good[node];
+}
+
+void SymFaultPropagator::propagate(
+    const Fault& fault, const Bdd& sv,
+    const std::vector<std::pair<std::uint32_t, Bdd>>& state_diff,
+    const std::vector<Bdd>& good) {
+  const Netlist& nl = *netlist_;
+
+  ++stamp_;
+  changed_.clear();
+
+  auto set_fval = [&](NodeIndex n, const Bdd& v) {
+    if (scratch_stamp_[n] != stamp_) {
+      scratch_stamp_[n] = stamp_;
+      changed_.push_back(n);
+    }
+    scratch_val_[n] = v;
+  };
+
+  auto enqueue_fanouts = [&](NodeIndex n) {
+    for (const FanoutRef& fo : nl.fanouts(n)) {
+      if (nl.type(fo.node) != GateType::Dff) queue_.push(fo.node);
+    }
+  };
+
+  // Seed 1: diverging present-state bits (the flip-flop nodes carry
+  // the *present* state as frame inputs in the good-value vector).
+  for (const auto& [pos, v] : state_diff) {
+    const NodeIndex dff = nl.dffs()[pos];
+    set_fval(dff, v);
+    enqueue_fanouts(dff);
+  }
+
+  // Seed 2: the fault site.
+  const NodeIndex site_node = fault.site.node;
+  if (fault.site.is_stem()) {
+    const bool diverges = fval(site_node, good) != sv;
+    set_fval(site_node, sv);
+    if (diverges) enqueue_fanouts(site_node);
+  } else if (nl.type(site_node) != GateType::Dff) {
+    const NodeIndex src = nl.gate(site_node).fanins[fault.site.pin];
+    if (fval(src, good) != sv) queue_.push(site_node);
+  }
+
+  // Propagate divergence in level order.
+  for (NodeIndex n = queue_.pop(); n != kNoNode; n = queue_.pop()) {
+    if (fault.site.is_stem() && n == site_node) continue;  // output pinned
+    const Gate& g = nl.gate(n);
+    const bool branch_here = !fault.site.is_stem() && n == site_node;
+    const Bdd newv = eval_gate_sym(
+        *mgr_, g.type, g.fanins.size(), [&](std::size_t i) -> const Bdd& {
+          if (branch_here && i == fault.site.pin) return sv;
+          return fval(g.fanins[i], good);
+        });
+    if (newv != fval(n, good)) {
+      set_fval(n, newv);
+      enqueue_fanouts(n);
+    }
+  }
+}
+
+bool SymFaultPropagator::detect_sot(const std::vector<Bdd>& good) const {
+  // Both responses constant and opposite (paper IV.A case 1).
+  const Netlist& nl = *netlist_;
+  for (NodeIndex n : changed_) {
+    if (!nl.is_output(n)) continue;
+    const Bdd& gv = good[n];
+    const Bdd& fv = scratch_val_[n];
+    if (gv.is_const() && fv.is_const() && gv != fv) return true;
+  }
+  return false;
+}
+
+bool SymFaultPropagator::update_rmot(Bdd& detect,
+                                     const std::vector<Bdd>& good) {
+  // Accumulate over diverged outputs whose fault-free value is
+  // constant (paper IV.A case 2); undiverged outputs contribute the
+  // unit term.
+  const Netlist& nl = *netlist_;
+  for (NodeIndex n : changed_) {
+    if (!nl.is_output(n) || !good[n].is_const()) continue;
+    const Bdd& fv = scratch_val_[n];
+    if (fv == good[n]) continue;
+    const Bdd term = good[n].is_one() ? fv : !fv;
+    detect &= term;
+    if (detect.is_zero()) return true;
+  }
+  return false;
+}
+
+bool SymFaultPropagator::update_mot(Bdd& detect, SymFrameContext& ctx) {
+  // All outputs contribute [o(x,t) == o^f(y,t)] (paper IV.A case 3);
+  // the faulty x-based response is mapped to the independent initial
+  // state y by the order-preserving rename.
+  const Netlist& nl = *netlist_;
+  const std::vector<Bdd>& good = ctx.good_values();
+  const auto& outputs = nl.outputs();
+  for (std::size_t j = 0; j < outputs.size(); ++j) {
+    const NodeIndex n = outputs[j];
+    const bool diverged =
+        scratch_stamp_[n] == stamp_ && scratch_val_[n] != good[n];
+    Bdd term;
+    if (diverged) {
+      const Bdd of_y = mgr_->rename(scratch_val_[n], x2y_);
+      term = good[n].xnor(of_y);
+    } else if (good[n].is_const()) {
+      continue;  // [b == b] == 1
+    } else {
+      term = ctx.good_eq_term(j, good[n], *mgr_, x2y_);
+    }
+    detect &= term;
+    if (detect.is_zero()) return true;
+  }
+  return false;
+}
+
+void SymFaultPropagator::latch_diffs(
+    const Fault& fault, const Bdd& sv, SymFrameContext& ctx,
+    std::vector<std::pair<std::uint32_t, Bdd>>& out) {
+  const Netlist& nl = *netlist_;
+  const std::vector<Bdd>& good = ctx.good_values();
+  const std::vector<Bdd>& good_next = ctx.good_next_state();
+  out.clear();
+  for (std::uint32_t pos = 0; pos < nl.dffs().size(); ++pos) {
+    const NodeIndex dff = nl.dffs()[pos];
+    const NodeIndex d = nl.gate(dff).fanins[0];
+    Bdd fv = fval(d, good);
+    if (!fault.site.is_stem() && fault.site.node == dff) fv = sv;
+    if (fv != good_next[pos]) out.emplace_back(pos, fv);
+  }
+}
+
+void SymFaultPropagator::release_scratch() {
+  // Releases the scratch handles so dead intermediate functions can be
+  // collected; the stamp already invalidates them logically.
+  for (NodeIndex n : changed_) scratch_val_[n] = Bdd();
+}
+
+bool SymFaultPropagator::step(const Fault& fault, Strategy strategy,
+                              SymFaultState& fs, SymFrameContext& ctx) {
+  const Bdd sv = mgr_->constant(fault.stuck_value);
+  propagate(fault, sv, fs.state_diff, ctx.good_values());
+
+  bool detected = false;
+  switch (strategy) {
+    case Strategy::Sot:
+      detected = detect_sot(ctx.good_values());
+      break;
+    case Strategy::Rmot:
+      detected = update_rmot(fs.detect, ctx.good_values());
+      break;
+    case Strategy::Mot:
+      detected = update_mot(fs.detect, ctx);
+      break;
+  }
+  if (detected) {
+    queue_.clear();
+    release_scratch();
+    return true;
+  }
+
+  latch_diffs(fault, sv, ctx, fs.state_diff);
+  release_scratch();
+  return false;
+}
+
+bool SymFaultPropagator::step_multi(const Fault& fault, MultiFaultState& ms,
+                                    SymFrameContext& ctx,
+                                    std::uint32_t frame) {
+  const Bdd sv = mgr_->constant(fault.stuck_value);
+  propagate(fault, sv, ms.state_diff, ctx.good_values());
+
+  if (!ms.sot_done && detect_sot(ctx.good_values())) {
+    ms.sot_done = true;
+    ms.sot_frame = frame;
+  }
+  if (!ms.rmot_done && update_rmot(ms.rmot_detect, ctx.good_values())) {
+    ms.rmot_done = true;
+    ms.rmot_frame = frame;
+    ms.rmot_detect = Bdd();
+  }
+  if (!ms.mot_done && update_mot(ms.mot_detect, ctx)) {
+    ms.mot_done = true;
+    ms.mot_frame = frame;
+    ms.mot_detect = Bdd();
+  }
+
+  if (ms.all_done()) {
+    queue_.clear();
+    release_scratch();
+    return true;
+  }
+  latch_diffs(fault, sv, ctx, ms.state_diff);
+  release_scratch();
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// SymFaultSim (pure symbolic sequence driver)
+// ---------------------------------------------------------------------------
+
+SymFaultSim::SymFaultSim(const Netlist& netlist, std::vector<Fault> faults,
+                         Strategy strategy, const bdd::BddConfig& bdd_config,
+                         VarLayout layout)
+    : netlist_(&netlist),
+      faults_(std::move(faults)),
+      strategy_(strategy),
+      initial_status_(faults_.size(), FaultStatus::Undetected),
+      bdd_config_(bdd_config),
+      layout_(layout) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("SymFaultSim requires a finalized netlist");
+  }
+}
+
+void SymFaultSim::set_initial_status(std::vector<FaultStatus> status) {
+  if (status.size() != faults_.size()) {
+    throw std::invalid_argument("set_initial_status: wrong size");
+  }
+  initial_status_ = std::move(status);
+}
+
+SymFaultSimResult SymFaultSim::run(
+    const std::vector<std::vector<Val3>>& sequence) {
+  const Netlist& nl = *netlist_;
+
+  bdd::BddManager mgr(bdd_config_);
+  const StateVars vars(nl.dff_count(), layout_);
+  SymTrueValueSim good(nl, mgr, vars);
+  SymFaultPropagator prop(nl, mgr, vars);
+
+  SymFaultSimResult result;
+  result.status = initial_status_;
+  result.detect_frame.assign(faults_.size(), 0);
+  if (collect_witnesses_) result.witnesses.resize(faults_.size());
+
+  struct Live {
+    std::size_t index;
+    SymFaultState fs;
+  };
+  std::vector<Live> live;
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (initial_status_[i] == FaultStatus::Undetected) {
+      live.push_back(Live{i, SymFaultState{mgr.one(), {}}});
+    }
+  }
+
+  const FaultStatus det = detected_status(strategy_);
+  for (std::size_t t = 0; t < sequence.size() && !live.empty(); ++t) {
+    good.step(sequence[t]);
+    SymFrameContext ctx(good.values(), good.state(), nl.output_count());
+
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (prop.step(faults_[live[i].index], strategy_, live[i].fs, ctx)) {
+        result.status[live[i].index] = det;
+        result.detect_frame[live[i].index] = static_cast<std::uint32_t>(t + 1);
+        ++result.detected_count;
+      } else {
+        if (keep != i) live[keep] = std::move(live[i]);
+        ++keep;
+      }
+    }
+    live.resize(keep);
+    mgr.gc();
+    result.peak_live_nodes =
+        std::max(result.peak_live_nodes, mgr.live_node_count());
+  }
+
+  // Witnesses for the survivors: D~ is nonzero, so a satisfying
+  // assignment names a (p, q) pair the test cannot distinguish.
+  if (collect_witnesses_ && strategy_ != Strategy::Sot) {
+    for (const Live& lf : live) {
+      const auto assignment = mgr.pick_one(lf.fs.detect);
+      if (!assignment.has_value()) continue;  // defensive; D~ != 0 here
+      IndistinguishablePair pair;
+      pair.fault_free_state.resize(nl.dff_count());
+      pair.faulty_state.resize(nl.dff_count());
+      for (std::size_t i = 0; i < nl.dff_count(); ++i) {
+        const auto xv = (*assignment)[vars.x(i)];
+        const auto yv = strategy_ == Strategy::Mot ? (*assignment)[vars.y(i)]
+                                                   : xv;
+        // Don't-care bits (-1) may take either value; pick 0.
+        pair.faulty_state[i] = strategy_ == Strategy::Mot ? yv == 1 : xv == 1;
+        pair.fault_free_state[i] = xv == 1;
+        if (strategy_ == Strategy::Rmot) {
+          // rMOT's D~ ranges over the faulty initial state only; the
+          // fault-free side is reported equal to q by convention.
+          pair.fault_free_state[i] = pair.faulty_state[i];
+        }
+      }
+      result.witnesses[lf.index] = std::move(pair);
+    }
+  }
+
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// run_all_strategies (single-pass multi-strategy driver)
+// ---------------------------------------------------------------------------
+
+MultiStrategyResult run_all_strategies(
+    const Netlist& nl, const std::vector<Fault>& faults,
+    const std::vector<std::vector<Val3>>& sequence,
+    const bdd::BddConfig& bdd_config, VarLayout layout) {
+  if (!nl.finalized()) {
+    throw std::logic_error("run_all_strategies requires a finalized netlist");
+  }
+
+  bdd::BddManager mgr(bdd_config);
+  const StateVars vars(nl.dff_count(), layout);
+  SymTrueValueSim good(nl, mgr, vars);
+  SymFaultPropagator prop(nl, mgr, vars);
+
+  MultiStrategyResult result;
+  for (SymFaultSimResult* r : {&result.sot, &result.rmot, &result.mot}) {
+    r->status.assign(faults.size(), FaultStatus::Undetected);
+    r->detect_frame.assign(faults.size(), 0);
+  }
+
+  struct Live {
+    std::size_t index;
+    SymFaultPropagator::MultiFaultState ms;
+  };
+  std::vector<Live> live;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    Live lf;
+    lf.index = i;
+    lf.ms.rmot_detect = mgr.one();
+    lf.ms.mot_detect = mgr.one();
+    live.push_back(std::move(lf));
+  }
+
+  auto record = [&](const Live& lf) {
+    const std::size_t i = lf.index;
+    if (lf.ms.sot_done && result.sot.detect_frame[i] == 0) {
+      result.sot.status[i] = FaultStatus::DetectedSot;
+      result.sot.detect_frame[i] = lf.ms.sot_frame;
+      ++result.sot.detected_count;
+    }
+    if (lf.ms.rmot_done && result.rmot.detect_frame[i] == 0) {
+      result.rmot.status[i] = FaultStatus::DetectedRmot;
+      result.rmot.detect_frame[i] = lf.ms.rmot_frame;
+      ++result.rmot.detected_count;
+    }
+    if (lf.ms.mot_done && result.mot.detect_frame[i] == 0) {
+      result.mot.status[i] = FaultStatus::DetectedMot;
+      result.mot.detect_frame[i] = lf.ms.mot_frame;
+      ++result.mot.detected_count;
+    }
+  };
+
+  for (std::size_t t = 0; t < sequence.size() && !live.empty(); ++t) {
+    good.step(sequence[t]);
+    SymFrameContext ctx(good.values(), good.state(), nl.output_count());
+
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const bool done = prop.step_multi(
+          faults[live[i].index], live[i].ms, ctx,
+          static_cast<std::uint32_t>(t + 1));
+      record(live[i]);
+      if (!done) {
+        if (keep != i) live[keep] = std::move(live[i]);
+        ++keep;
+      }
+    }
+    live.resize(keep);
+    mgr.gc();
+    const std::size_t peak = mgr.live_node_count();
+    result.sot.peak_live_nodes = std::max(result.sot.peak_live_nodes, peak);
+    result.rmot.peak_live_nodes = result.sot.peak_live_nodes;
+    result.mot.peak_live_nodes = result.sot.peak_live_nodes;
+  }
+
+  return result;
+}
+
+}  // namespace motsim

@@ -1,0 +1,122 @@
+#include "core/sym_true_value.h"
+
+#include <stdexcept>
+
+namespace motsim {
+
+std::vector<bdd::VarIndex> StateVars::x_to_y_mapping() const {
+  std::vector<bdd::VarIndex> mapping(var_count());
+  for (std::size_t i = 0; i < m_; ++i) {
+    mapping[x(i)] = y(i);
+    mapping[y(i)] = y(i);  // y variables stay put
+  }
+  return mapping;
+}
+
+std::vector<bdd::VarIndex> StateVars::x_vars() const {
+  std::vector<bdd::VarIndex> out(m_);
+  for (std::size_t i = 0; i < m_; ++i) out[i] = x(i);
+  return out;
+}
+
+std::vector<bdd::VarIndex> StateVars::y_vars() const {
+  std::vector<bdd::VarIndex> out(m_);
+  for (std::size_t i = 0; i < m_; ++i) out[i] = y(i);
+  return out;
+}
+
+SymTrueValueSim::SymTrueValueSim(const Netlist& netlist, bdd::BddManager& mgr,
+                                 const StateVars& vars)
+    : netlist_(&netlist), mgr_(&mgr), vars_(vars) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("SymTrueValueSim requires a finalized netlist");
+  }
+  if (vars.dff_count() != netlist.dff_count()) {
+    throw std::invalid_argument("StateVars plan does not match the netlist");
+  }
+  mgr.ensure_vars(vars.var_count());
+  values_.assign(netlist.node_count(), mgr.zero());
+  reset_symbolic();
+}
+
+void SymTrueValueSim::reset_symbolic() {
+  state_.clear();
+  state_.reserve(netlist_->dff_count());
+  for (std::size_t i = 0; i < netlist_->dff_count(); ++i) {
+    state_.push_back(mgr_->var(vars_.x(i)));
+  }
+}
+
+void SymTrueValueSim::set_state(std::vector<bdd::Bdd> state) {
+  if (state.size() != netlist_->dff_count()) {
+    throw std::invalid_argument("set_state: wrong state width");
+  }
+  state_ = std::move(state);
+}
+
+std::vector<Val3> SymTrueValueSim::state_as_val3() const {
+  std::vector<Val3> out;
+  out.reserve(state_.size());
+  for (const bdd::Bdd& b : state_) {
+    if (b.is_zero()) {
+      out.push_back(Val3::Zero);
+    } else if (b.is_one()) {
+      out.push_back(Val3::One);
+    } else {
+      out.push_back(Val3::X);
+    }
+  }
+  return out;
+}
+
+void SymTrueValueSim::release() {
+  for (bdd::Bdd& b : values_) b = bdd::Bdd();
+  for (bdd::Bdd& b : state_) b = bdd::Bdd();
+}
+
+std::vector<bdd::Bdd> SymTrueValueSim::step(const std::vector<Val3>& inputs) {
+  const Netlist& nl = *netlist_;
+  if (inputs.size() != nl.input_count()) {
+    throw std::invalid_argument("step: wrong input vector width");
+  }
+
+  // Frame inputs: binary test-vector values and the symbolic state.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (!is_binary(inputs[i])) {
+      throw std::invalid_argument(
+          "symbolic simulation requires fully specified input vectors");
+    }
+    values_[nl.inputs()[i]] = mgr_->constant(inputs[i] == Val3::One);
+  }
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    values_[nl.dffs()[i]] = state_[i];
+  }
+
+  for (NodeIndex n : nl.topo_order()) {
+    const Gate& g = nl.gate(n);
+    if (is_frame_input(g.type)) {
+      if (g.type == GateType::Const0) values_[n] = mgr_->zero();
+      if (g.type == GateType::Const1) values_[n] = mgr_->one();
+      continue;
+    }
+    values_[n] = eval_gate_sym(*mgr_, g.type, g.fanins.size(),
+                               [&](std::size_t i) -> const bdd::Bdd& {
+                                 return values_[g.fanins[i]];
+                               });
+  }
+
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    state_[i] = values_[nl.gate(nl.dffs()[i]).fanins[0]];
+  }
+
+  return outputs();
+}
+
+std::vector<bdd::Bdd> SymTrueValueSim::outputs() const {
+  std::vector<bdd::Bdd> out;
+  out.reserve(netlist_->outputs().size());
+  for (NodeIndex n : netlist_->outputs()) out.push_back(values_[n]);
+  return out;
+}
+
+}  // namespace motsim

@@ -1,0 +1,225 @@
+#include "core/symbolic_fsm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace motsim {
+
+using bdd::Bdd;
+using bdd::VarIndex;
+
+SymbolicFsm::SymbolicFsm(const Netlist& netlist, bdd::BddManager& mgr,
+                         const StateVars& vars)
+    : netlist_(&netlist), mgr_(&mgr), vars_(vars) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("SymbolicFsm requires a finalized netlist");
+  }
+  if (vars.dff_count() != netlist.dff_count()) {
+    throw std::invalid_argument("StateVars plan does not match the netlist");
+  }
+
+  // Input variables sit above the whole state-variable block.
+  mgr.ensure_vars(vars.var_count());
+  input_base_ = mgr.var_count();
+  for (std::size_t j = 0; j < netlist.input_count(); ++j) {
+    input_vars_.push_back(input_var(j));
+  }
+  mgr.ensure_vars(input_base_ +
+                  static_cast<VarIndex>(netlist.input_count()));
+  for (std::size_t i = 0; i < vars.dff_count(); ++i) {
+    x_vars_.push_back(vars.x(i));
+  }
+
+  // One symbolic evaluation of the combinational network with
+  // *symbolic* inputs yields delta and lambda.
+  std::vector<Bdd> values(netlist.node_count());
+  for (std::size_t j = 0; j < netlist.input_count(); ++j) {
+    values[netlist.inputs()[j]] = mgr.var(input_var(j));
+  }
+  for (std::size_t i = 0; i < netlist.dff_count(); ++i) {
+    values[netlist.dffs()[i]] = mgr.var(vars.x(i));
+  }
+  for (NodeIndex n : netlist.topo_order()) {
+    const Gate& g = netlist.gate(n);
+    if (is_frame_input(g.type)) {
+      if (g.type == GateType::Const0) values[n] = mgr.zero();
+      if (g.type == GateType::Const1) values[n] = mgr.one();
+      continue;
+    }
+    values[n] = eval_gate_sym(mgr, g.type, g.fanins.size(),
+                              [&](std::size_t i) -> const Bdd& {
+                                return values[g.fanins[i]];
+                              });
+  }
+
+  delta_.reserve(netlist.dff_count());
+  for (NodeIndex dff : netlist.dffs()) {
+    delta_.push_back(values[netlist.gate(dff).fanins[0]]);
+  }
+  lambda_.reserve(netlist.output_count());
+  for (NodeIndex po : netlist.outputs()) {
+    lambda_.push_back(values[po]);
+  }
+}
+
+double SymbolicFsm::count_states(const Bdd& states) const {
+  // sat_count ranges over every manager variable; divide the free
+  // (non-x) dimensions back out.
+  const VarIndex total = mgr_->var_count();
+  const double raw = mgr_->sat_count(states, total);
+  const double free_dims =
+      static_cast<double>(total) - static_cast<double>(vars_.dff_count());
+  return raw / std::pow(2.0, free_dims);
+}
+
+Bdd SymbolicFsm::image_through(
+    const Bdd& states, const std::vector<Bdd>& fs,
+    const std::vector<VarIndex>& quantify) const {
+  // Img(y) = exists quantify . S(x) /\ prod_i [y_i == fs_i(x, in)],
+  // then rename y back to x (order-preserving under both layouts).
+  // The last conjunction is fused with the quantification through the
+  // relational product (and_exists) to avoid materializing the full
+  // transition relation.
+  Bdd relation = states;
+  Bdd img_y;
+  if (fs.empty()) {
+    img_y = mgr_->exists(relation, quantify);
+  } else {
+    for (std::size_t i = 0; i + 1 < fs.size(); ++i) {
+      relation &= mgr_->var(vars_.y(i)).xnor(fs[i]);
+      if (relation.is_zero()) break;
+    }
+    const Bdd last =
+        mgr_->var(vars_.y(fs.size() - 1)).xnor(fs[fs.size() - 1]);
+    img_y = mgr_->and_exists(relation, last, quantify);
+  }
+
+  std::vector<VarIndex> y2x(mgr_->var_count());
+  for (VarIndex v = 0; v < mgr_->var_count(); ++v) y2x[v] = v;
+  for (std::size_t i = 0; i < vars_.dff_count(); ++i) {
+    y2x[vars_.y(i)] = vars_.x(i);
+  }
+  return mgr_->rename(img_y, y2x);
+}
+
+Bdd SymbolicFsm::image(const Bdd& states,
+                       const std::vector<Val3>& input) const {
+  if (input.size() != netlist_->input_count()) {
+    throw std::invalid_argument("image: wrong input vector width");
+  }
+  std::vector<Bdd> fs = delta_;
+  for (std::size_t j = 0; j < input.size(); ++j) {
+    if (!is_binary(input[j])) {
+      throw std::invalid_argument("image: X in input vector");
+    }
+    for (Bdd& f : fs) {
+      f = mgr_->restrict_var(f, input_var(j), input[j] == Val3::One);
+    }
+  }
+  return image_through(states, fs, x_vars_);
+}
+
+Bdd SymbolicFsm::image_any_input(const Bdd& states) const {
+  std::vector<VarIndex> quantify = x_vars_;
+  quantify.insert(quantify.end(), input_vars_.begin(), input_vars_.end());
+  return image_through(states, delta_, quantify);
+}
+
+Bdd SymbolicFsm::reachable(const Bdd& init,
+                           std::size_t max_iterations) const {
+  Bdd reached = init;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    const Bdd next = reached | image_any_input(reached);
+    if (next == reached) break;
+    reached = next;
+  }
+  return reached;
+}
+
+SyncSearchResult find_synchronizing_sequence(const SymbolicFsm& fsm,
+                                             std::size_t max_length,
+                                             std::size_t max_nodes,
+                                             std::size_t max_enumerated_inputs,
+                                             std::uint64_t sample_seed) {
+  const std::size_t k = fsm.netlist().input_count();
+  Rng rng(sample_seed);
+
+  // Candidate input vectors tried at every BFS level.
+  std::vector<std::vector<Val3>> candidates;
+  if (k <= max_enumerated_inputs) {
+    for (std::size_t bits = 0; bits < (std::size_t{1} << k); ++bits) {
+      std::vector<Val3> v(k);
+      for (std::size_t j = 0; j < k; ++j) {
+        v[j] = to_val3(((bits >> j) & 1) != 0);
+      }
+      candidates.push_back(std::move(v));
+    }
+  } else {
+    candidates.emplace_back(k, Val3::Zero);
+    candidates.emplace_back(k, Val3::One);
+    for (int i = 0; i < 62; ++i) {
+      std::vector<Val3> v(k);
+      for (std::size_t j = 0; j < k; ++j) v[j] = to_val3(rng.flip());
+      candidates.push_back(std::move(v));
+    }
+  }
+
+  struct Node {
+    Bdd uncertainty;
+    std::size_t parent;          ///< index into nodes; SIZE_MAX = root
+    std::size_t via;             ///< candidate index used to get here
+    std::size_t depth;
+  };
+  std::vector<Node> nodes;
+  nodes.push_back(Node{fsm.all_states(), SIZE_MAX, 0, 0});
+
+  std::unordered_set<bdd::NodeId> visited{nodes[0].uncertainty.id()};
+
+  SyncSearchResult result;
+  result.final_states = fsm.count_states(nodes[0].uncertainty);
+
+  auto reconstruct = [&](std::size_t leaf) {
+    TestSequence seq;
+    for (std::size_t at = leaf; nodes[at].parent != SIZE_MAX;
+         at = nodes[at].parent) {
+      seq.push_back(candidates[nodes[at].via]);
+    }
+    std::reverse(seq.begin(), seq.end());
+    return seq;
+  };
+
+  if (result.final_states <= 1.0) {  // degenerate: single-state machine
+    result.found = true;
+    result.explored = 1;
+    return result;
+  }
+
+  for (std::size_t at = 0; at < nodes.size() && nodes.size() < max_nodes;
+       ++at) {
+    if (nodes[at].depth >= max_length) continue;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      Bdd next = fsm.image(nodes[at].uncertainty, candidates[c]);
+      if (!visited.insert(next.id()).second) continue;
+      nodes.push_back(Node{next, at, c, nodes[at].depth + 1});
+      const double count = fsm.count_states(next);
+      result.final_states = std::min(result.final_states, count);
+      if (count <= 1.0) {
+        result.found = true;
+        result.sequence = reconstruct(nodes.size() - 1);
+        result.explored = nodes.size();
+        result.final_states = count;
+        return result;
+      }
+      if (nodes.size() >= max_nodes) break;
+    }
+  }
+
+  result.explored = nodes.size();
+  return result;
+}
+
+}  // namespace motsim

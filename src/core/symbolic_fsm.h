@@ -1,0 +1,122 @@
+#ifndef MOTSIM_CORE_SYMBOLIC_FSM_H
+#define MOTSIM_CORE_SYMBOLIC_FSM_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "circuit/netlist.h"
+#include "core/sym_true_value.h"
+#include "logic/val3.h"
+#include "tpg/sequences.h"
+
+namespace motsim {
+
+/// Fully symbolic view of the sequential circuit as an FSM
+/// M = (I, O, S, delta, lambda): the next-state and output functions
+/// are OBDDs over the present-state variables x_i AND symbolic input
+/// variables (allocated after the state-variable block).
+///
+/// This is the machinery behind the paper's motivation (Section I):
+/// synchronizing-sequence analysis [5, 11] explains *why* three-valued
+/// simulation under-approximates — circuits without short synchronizing
+/// sequences (the Counter style) leave X everywhere, yet are perfectly
+/// testable under MOT. The class provides image computation,
+/// reachability fixpoints and a breadth-first synchronizing-sequence
+/// search over symbolically represented uncertainty sets.
+class SymbolicFsm {
+ public:
+  /// The manager must outlive the FSM. `vars` supplies the state
+  /// variable plan; input variables are created on top.
+  SymbolicFsm(const Netlist& netlist, bdd::BddManager& mgr,
+              const StateVars& vars);
+
+  [[nodiscard]] const Netlist& netlist() const noexcept { return *netlist_; }
+  [[nodiscard]] bdd::BddManager& manager() const noexcept { return *mgr_; }
+  [[nodiscard]] const StateVars& vars() const noexcept { return vars_; }
+
+  /// BDD variable carrying primary input j.
+  [[nodiscard]] bdd::VarIndex input_var(std::size_t j) const {
+    return input_base_ + static_cast<bdd::VarIndex>(j);
+  }
+
+  /// Next-state function delta_i(x, in) of flip-flop i.
+  [[nodiscard]] const bdd::Bdd& delta(std::size_t i) const {
+    return delta_[i];
+  }
+  /// Output function lambda_j(x, in) of primary output j.
+  [[nodiscard]] const bdd::Bdd& lambda(std::size_t j) const {
+    return lambda_[j];
+  }
+
+  /// Characteristic function of the full state space (constant 1).
+  [[nodiscard]] bdd::Bdd all_states() const { return mgr_->one(); }
+
+  /// Number of states in a set S(x).
+  [[nodiscard]] double count_states(const bdd::Bdd& states) const;
+
+  /// Forward image of a state set under one *fully specified* input
+  /// vector: { delta(s, v) : s in S }.
+  [[nodiscard]] bdd::Bdd image(const bdd::Bdd& states,
+                               const std::vector<Val3>& input) const;
+
+  /// Forward image with the inputs existentially quantified:
+  /// { delta(s, v) : s in S, v in I }.
+  [[nodiscard]] bdd::Bdd image_any_input(const bdd::Bdd& states) const;
+
+  /// Least fixpoint of states reachable from `init` under any inputs.
+  /// `max_iterations` bounds the frame depth (the diameter).
+  [[nodiscard]] bdd::Bdd reachable(const bdd::Bdd& init,
+                                   std::size_t max_iterations = SIZE_MAX)
+      const;
+
+ private:
+  /// Builds the image of S through the function vector `fs` (each a
+  /// function of x and possibly inputs), quantifying `quantify`.
+  [[nodiscard]] bdd::Bdd image_through(
+      const bdd::Bdd& states, const std::vector<bdd::Bdd>& fs,
+      const std::vector<bdd::VarIndex>& quantify) const;
+
+  const Netlist* netlist_;
+  bdd::BddManager* mgr_;
+  StateVars vars_;
+  bdd::VarIndex input_base_;
+  std::vector<bdd::Bdd> delta_;
+  std::vector<bdd::Bdd> lambda_;
+  std::vector<bdd::VarIndex> x_vars_;
+  std::vector<bdd::VarIndex> input_vars_;
+};
+
+/// Result of the synchronizing-sequence search.
+struct SyncSearchResult {
+  /// True if a sequence was found within the bounds.
+  bool found = false;
+  /// The synchronizing input sequence (empty when !found).
+  TestSequence sequence;
+  /// Size of the final uncertainty set (1 when found; the smallest set
+  /// encountered otherwise).
+  double final_states = 0;
+  /// Uncertainty-set nodes explored by the BFS.
+  std::size_t explored = 0;
+};
+
+/// Breadth-first search for a synchronizing sequence: starting from
+/// the full uncertainty set U = S, every input vector maps U to
+/// image(U, v); a sequence is synchronizing when |U| collapses to 1.
+/// Uncertainty sets are BDDs, deduplicated by canonical node id —
+/// the symbolic-traversal formulation of [5].
+///
+/// `max_length` bounds the sequence length, `max_nodes` the number of
+/// distinct uncertainty sets explored. Circuits with more than
+/// `max_enumerated_inputs` primary inputs are searched over a random
+/// sample of input vectors per level (plus the all-0/all-1 vectors)
+/// instead of the full 2^k enumeration.
+[[nodiscard]] SyncSearchResult find_synchronizing_sequence(
+    const SymbolicFsm& fsm, std::size_t max_length = 32,
+    std::size_t max_nodes = 4096, std::size_t max_enumerated_inputs = 10,
+    std::uint64_t sample_seed = 1);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CORE_SYMBOLIC_FSM_H

@@ -1,0 +1,152 @@
+#include "core/test_eval.h"
+
+#include <stdexcept>
+
+#include "core/sym_true_value.h"
+#include "sim3/good_sim3.h"
+
+namespace motsim {
+
+using bdd::Bdd;
+
+SymbolicResponse::SymbolicResponse(
+    const Netlist& netlist, bdd::BddManager& mgr,
+    const std::vector<std::vector<Val3>>& sequence, std::size_t skip_frames)
+    : mgr_(&mgr), output_count_(netlist.output_count()) {
+  if (skip_frames > sequence.size()) skip_frames = sequence.size();
+  skipped_ = skip_frames;
+  frames_ = sequence.size() - skip_frames;
+
+  // Leading three-valued frames (partial evaluation for large
+  // circuits).
+  GoodSim3 sim3(netlist);
+  three_valued_.reserve(skipped_ * output_count_);
+  for (std::size_t t = 0; t < skipped_; ++t) {
+    const std::vector<Val3> outs = sim3.step(sequence[t]);
+    three_valued_.insert(three_valued_.end(), outs.begin(), outs.end());
+  }
+
+  // Symbolic frames. The state handed over from the three-valued
+  // prefix re-seeds unknown bits with state variables, exactly as the
+  // hybrid simulator does.
+  const StateVars vars(netlist.dff_count());
+  SymTrueValueSim sym(netlist, mgr, vars);
+  if (skipped_ > 0) {
+    std::vector<Bdd> state;
+    state.reserve(netlist.dff_count());
+    const std::vector<Val3>& s3 = sim3.state();
+    for (std::size_t i = 0; i < s3.size(); ++i) {
+      state.push_back(s3[i] == Val3::X ? mgr.var(vars.x(i))
+                                       : mgr.constant(s3[i] == Val3::One));
+    }
+    sym.set_state(std::move(state));
+  }
+  symbolic_.reserve(frames_ * output_count_);
+  for (std::size_t t = skipped_; t < sequence.size(); ++t) {
+    std::vector<Bdd> outs = sym.step(sequence[t]);
+    for (Bdd& b : outs) symbolic_.push_back(std::move(b));
+  }
+}
+
+const Bdd& SymbolicResponse::output(std::size_t t, std::size_t j) const {
+  if (t < skipped_ || t >= frame_count() || j >= output_count_) {
+    throw std::out_of_range("SymbolicResponse::output");
+  }
+  return symbolic_[(t - skipped_) * output_count_ + j];
+}
+
+Val3 SymbolicResponse::skipped_output(std::size_t t, std::size_t j) const {
+  if (t >= skipped_ || j >= output_count_) {
+    throw std::out_of_range("SymbolicResponse::skipped_output");
+  }
+  return three_valued_[t * output_count_ + j];
+}
+
+std::size_t SymbolicResponse::bdd_size() const {
+  return mgr_->node_count(std::span<const Bdd>(symbolic_));
+}
+
+TestEvaluator::TestEvaluator(const SymbolicResponse& response)
+    : response_(&response) {}
+
+Verdict TestEvaluator::evaluate(
+    const std::vector<std::vector<bool>>& response) const {
+  Session session(*response_);
+  for (const auto& frame : response) {
+    if (session.feed(frame) == Verdict::Faulty) return Verdict::Faulty;
+  }
+  return session.verdict();
+}
+
+TestEvaluator::Session::Session(const SymbolicResponse& response)
+    : response_(&response), product_(response.manager().one()) {}
+
+Verdict TestEvaluator::Session::feed(const std::vector<bool>& frame_outputs) {
+  if (t_ >= response_->frame_count()) {
+    throw std::out_of_range("TestEvaluator: more frames than the sequence");
+  }
+  if (frame_outputs.size() != response_->output_count()) {
+    throw std::invalid_argument("TestEvaluator: wrong output width");
+  }
+  if (verdict_ == Verdict::Faulty) {
+    ++t_;
+    return verdict_;  // Faulty is sticky
+  }
+
+  if (t_ < response_->skipped_frames()) {
+    // Three-valued prefix: classic evaluation against defined values.
+    for (std::size_t j = 0; j < frame_outputs.size(); ++j) {
+      const Val3 expected = response_->skipped_output(t_, j);
+      if (is_binary(expected) &&
+          (expected == Val3::One) != frame_outputs[j]) {
+        verdict_ = Verdict::Faulty;
+        break;
+      }
+    }
+  } else {
+    bdd::BddManager& mgr = response_->manager();
+    for (std::size_t j = 0; j < frame_outputs.size(); ++j) {
+      const Bdd& o = response_->output(t_, j);
+      product_ &= frame_outputs[j] ? o : !o;
+      if (product_.is_zero()) {
+        verdict_ = Verdict::Faulty;
+        break;
+      }
+    }
+    (void)mgr;
+  }
+  ++t_;
+  return verdict_;
+}
+
+RmotEvaluator::RmotEvaluator(const SymbolicResponse& response)
+    : frame_count_(response.frame_count()),
+      output_count_(response.output_count()) {
+  for (std::size_t t = 0; t < response.frame_count(); ++t) {
+    for (std::size_t j = 0; j < response.output_count(); ++j) {
+      if (t < response.skipped_frames()) {
+        const Val3 v = response.skipped_output(t, j);
+        if (is_binary(v)) points_.push_back({t, j, v == Val3::One});
+      } else {
+        const bdd::Bdd& o = response.output(t, j);
+        if (o.is_const()) points_.push_back({t, j, o.is_one()});
+      }
+    }
+  }
+}
+
+Verdict RmotEvaluator::evaluate(
+    const std::vector<std::vector<bool>>& response) const {
+  if (response.size() != frame_count_) {
+    throw std::invalid_argument("RmotEvaluator: wrong frame count");
+  }
+  for (const Point& p : points_) {
+    if (response[p.t].size() != output_count_) {
+      throw std::invalid_argument("RmotEvaluator: wrong output width");
+    }
+    if (response[p.t][p.j] != p.value) return Verdict::Faulty;
+  }
+  return Verdict::Pass;
+}
+
+}  // namespace motsim

@@ -1,0 +1,137 @@
+#ifndef MOTSIM_CORE_TEST_EVAL_H
+#define MOTSIM_CORE_TEST_EVAL_H
+
+#include <cstddef>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "circuit/netlist.h"
+#include "logic/val3.h"
+
+namespace motsim {
+
+/// The symbolic output sequence o(x,1), ..., o(x,n) of the fault-free
+/// machine (paper Section IV.B) — one OBDD per (frame, output),
+/// functions of the unknown initial state x.
+///
+/// `skip_frames` reproduces the paper's partial evaluation for large
+/// circuits (s5378 footnote of Table IV): the first frames are
+/// simulated three-valued and contribute classic binary-mismatch
+/// checks instead of symbolic terms.
+class SymbolicResponse {
+ public:
+  SymbolicResponse(const Netlist& netlist, bdd::BddManager& mgr,
+                   const std::vector<std::vector<Val3>>& sequence,
+                   std::size_t skip_frames = 0);
+
+  [[nodiscard]] std::size_t frame_count() const noexcept {
+    return frames_ + skipped_;
+  }
+  [[nodiscard]] std::size_t skipped_frames() const noexcept {
+    return skipped_;
+  }
+  [[nodiscard]] std::size_t output_count() const noexcept {
+    return output_count_;
+  }
+
+  /// o_j(x,t); `t` is 0-based and must be >= skipped_frames().
+  [[nodiscard]] const bdd::Bdd& output(std::size_t t, std::size_t j) const;
+
+  /// Three-valued output of a skipped frame (t < skipped_frames()).
+  [[nodiscard]] Val3 skipped_output(std::size_t t, std::size_t j) const;
+
+  /// Shared DAG size of the whole stored symbolic sequence — the
+  /// "BDD Size" column of the paper's Table IV.
+  [[nodiscard]] std::size_t bdd_size() const;
+
+  [[nodiscard]] bdd::BddManager& manager() const noexcept { return *mgr_; }
+
+ private:
+  bdd::BddManager* mgr_;
+  std::size_t frames_ = 0;   ///< symbolic frames stored
+  std::size_t skipped_ = 0;  ///< leading three-valued frames
+  std::size_t output_count_ = 0;
+  std::vector<bdd::Bdd> symbolic_;  ///< frames_ x output_count_
+  std::vector<Val3> three_valued_;  ///< skipped_ x output_count_
+};
+
+/// Decision of the test evaluator.
+enum class Verdict : unsigned char {
+  Faulty,  ///< response impossible for any initial state -> CUT faulty
+  Pass,    ///< response consistent with some initial state
+};
+
+/// Test evaluation per Section IV.B: the circuit-under-test's response
+/// c(1..n) is checked against the symbolic fault-free sequence by
+/// evaluating, frame by frame, the product
+///     prod_t prod_j [o_j(x,t) == c_j(t)].
+/// The CUT is declared faulty iff the product becomes the zero
+/// function (no initial state of the fault-free machine could have
+/// produced the response). Works for MOT-generated tests where the
+/// fault-free response is not unique.
+class TestEvaluator {
+ public:
+  explicit TestEvaluator(const SymbolicResponse& response);
+
+  /// Evaluates a full response (frame-major, binary values). Stops at
+  /// the first frame that forces the product to zero.
+  [[nodiscard]] Verdict evaluate(
+      const std::vector<std::vector<bool>>& response) const;
+
+  /// Incremental interface: feed frames one at a time.
+  class Session {
+   public:
+    explicit Session(const SymbolicResponse& response);
+    /// Feeds the next frame's observed outputs; returns the verdict so
+    /// far (Faulty is sticky).
+    Verdict feed(const std::vector<bool>& frame_outputs);
+    [[nodiscard]] Verdict verdict() const noexcept { return verdict_; }
+    /// The constraint accumulated so far (zero iff Faulty).
+    [[nodiscard]] const bdd::Bdd& constraint() const noexcept {
+      return product_;
+    }
+
+   private:
+    const SymbolicResponse* response_;
+    bdd::Bdd product_;
+    std::size_t t_ = 0;
+    Verdict verdict_ = Verdict::Pass;
+  };
+
+ private:
+  const SymbolicResponse* response_;
+};
+
+/// Standard (rMOT/SOT) test evaluation — the paper's Section IV.B
+/// "easy" case and the key practical advantage of the restricted MOT
+/// strategy: the CUT is faulty iff its response differs from the
+/// *well-defined* fault-free output values, i.e. the (t, j) points
+/// where o_j(x,t) is a constant. No symbolic computation happens at
+/// evaluation time; the well-defined points are extracted from the
+/// symbolic response once, up front.
+class RmotEvaluator {
+ public:
+  explicit RmotEvaluator(const SymbolicResponse& response);
+
+  /// Checks a full response against the well-defined points.
+  [[nodiscard]] Verdict evaluate(
+      const std::vector<std::vector<bool>>& response) const;
+
+  /// Number of well-defined (t, j) observation points.
+  [[nodiscard]] std::size_t well_defined_count() const noexcept {
+    return points_.size();
+  }
+
+ private:
+  struct Point {
+    std::size_t t, j;
+    bool value;
+  };
+  std::size_t frame_count_;
+  std::size_t output_count_;
+  std::vector<Point> points_;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CORE_TEST_EVAL_H

@@ -1,0 +1,100 @@
+#include "faults/collapse.h"
+
+#include <numeric>
+
+namespace motsim {
+
+CollapsedFaultList::CollapsedFaultList(const Netlist& netlist)
+    : sites_(netlist) {
+  parent_.resize(sites_.fault_count());
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+
+  auto stem_id = [&](NodeIndex node, bool v) {
+    return sites_.fault_id(Fault{FaultSite{node, kStemPin}, v});
+  };
+  auto branch_id = [&](NodeIndex node, std::uint32_t pin, bool v) {
+    return sites_.fault_id(Fault{FaultSite{node, pin}, v});
+  };
+
+  for (NodeIndex n = 0; n < netlist.node_count(); ++n) {
+    const Gate& g = netlist.gate(n);
+    switch (g.type) {
+      case GateType::Buf:
+      case GateType::Dff:
+        unite(branch_id(n, 0, false), stem_id(n, false));
+        unite(branch_id(n, 0, true), stem_id(n, true));
+        break;
+      case GateType::Not:
+        unite(branch_id(n, 0, false), stem_id(n, true));
+        unite(branch_id(n, 0, true), stem_id(n, false));
+        break;
+      case GateType::And:
+        for (std::uint32_t p = 0; p < g.fanins.size(); ++p) {
+          unite(branch_id(n, p, false), stem_id(n, false));
+        }
+        break;
+      case GateType::Nand:
+        for (std::uint32_t p = 0; p < g.fanins.size(); ++p) {
+          unite(branch_id(n, p, false), stem_id(n, true));
+        }
+        break;
+      case GateType::Or:
+        for (std::uint32_t p = 0; p < g.fanins.size(); ++p) {
+          unite(branch_id(n, p, true), stem_id(n, true));
+        }
+        break;
+      case GateType::Nor:
+        for (std::uint32_t p = 0; p < g.fanins.size(); ++p) {
+          unite(branch_id(n, p, true), stem_id(n, false));
+        }
+        break;
+      default:
+        break;  // XOR/XNOR/sources: no structural input equivalences
+    }
+  }
+
+  // Fanout-free nets: the one branch is the stem.
+  for (NodeIndex n = 0; n < netlist.node_count(); ++n) {
+    const auto& fanouts = netlist.fanouts(n);
+    if (fanouts.size() == 1) {
+      const FanoutRef fo = fanouts[0];
+      unite(branch_id(fo.node, fo.pin, false), stem_id(n, false));
+      unite(branch_id(fo.node, fo.pin, true), stem_id(n, true));
+    }
+  }
+
+  // unite() keeps the smallest id as the class root, so the roots are
+  // exactly the class minima — collect them as representatives.
+  for (std::size_t f = 0; f < parent_.size(); ++f) {
+    if (find(f) == f) {
+      representatives_.push_back(sites_.fault_from_id(f));
+    }
+  }
+}
+
+std::size_t CollapsedFaultList::find(std::size_t x) const {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+void CollapsedFaultList::unite(std::size_t a, std::size_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return;
+  // Union by value: smaller id becomes the root so representatives are
+  // stable and stem-biased.
+  if (a < b) {
+    parent_[b] = a;
+  } else {
+    parent_[a] = b;
+  }
+}
+
+std::size_t CollapsedFaultList::representative_of(std::size_t fault_id) const {
+  return find(fault_id);
+}
+
+}  // namespace motsim

@@ -1,0 +1,62 @@
+#ifndef MOTSIM_FAULTS_COLLAPSE_H
+#define MOTSIM_FAULTS_COLLAPSE_H
+
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "faults/fault.h"
+#include "faults/fault_list.h"
+
+namespace motsim {
+
+/// Equivalence-collapsed single stuck-at fault list.
+///
+/// Classic structural equivalences are merged with a union-find:
+///  * BUF / DFF : input s-a-v       == output s-a-v
+///  * NOT       : input s-a-v       == output s-a-(1-v)
+///  * AND       : every input s-a-0 == output s-a-0
+///  * NAND      : every input s-a-0 == output s-a-1
+///  * OR        : every input s-a-1 == output s-a-1
+///  * NOR       : every input s-a-1 == output s-a-0
+///  * fanout-free net: the single branch fault == the stem fault
+///
+/// (DFF input/output equivalence is the usual sequential convention:
+/// the flip-flop merely delays the value by one frame.)
+/// Representatives are the lowest-numbered fault of each class in the
+/// SiteTable numbering, which biases representatives toward stems.
+class CollapsedFaultList {
+ public:
+  explicit CollapsedFaultList(const Netlist& netlist);
+
+  /// Representative faults, in SiteTable id order. This is the |F|
+  /// the paper's tables count.
+  [[nodiscard]] const std::vector<Fault>& faults() const noexcept {
+    return representatives_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return representatives_.size();
+  }
+
+  /// Representative fault id of any (possibly non-representative)
+  /// fault id; detection results transfer across a class.
+  [[nodiscard]] std::size_t representative_of(std::size_t fault_id) const;
+
+  /// Number of faults before collapsing.
+  [[nodiscard]] std::size_t uncollapsed_size() const noexcept {
+    return parent_.size();
+  }
+
+  [[nodiscard]] const SiteTable& sites() const noexcept { return sites_; }
+
+ private:
+  std::size_t find(std::size_t x) const;
+  void unite(std::size_t a, std::size_t b);
+
+  SiteTable sites_;
+  mutable std::vector<std::size_t> parent_;
+  std::vector<Fault> representatives_;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_FAULTS_COLLAPSE_H

@@ -1,0 +1,32 @@
+#include "faults/fault.h"
+
+namespace motsim {
+
+std::string fault_name(const Netlist& netlist, const Fault& f) {
+  std::string name = netlist.gate(f.site.node).name;
+  if (!f.site.is_stem()) {
+    name += ".in" + std::to_string(f.site.pin);
+  }
+  name += f.stuck_value ? "/SA1" : "/SA0";
+  return name;
+}
+
+const char* to_cstring(FaultStatus s) noexcept {
+  switch (s) {
+    case FaultStatus::Undetected:
+      return "undetected";
+    case FaultStatus::XRedundant:
+      return "X-redundant";
+    case FaultStatus::DetectedSim3:
+      return "detected(X01)";
+    case FaultStatus::DetectedSot:
+      return "detected(SOT)";
+    case FaultStatus::DetectedRmot:
+      return "detected(rMOT)";
+    case FaultStatus::DetectedMot:
+      return "detected(MOT)";
+  }
+  return "?";
+}
+
+}  // namespace motsim

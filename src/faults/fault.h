@@ -1,0 +1,64 @@
+#ifndef MOTSIM_FAULTS_FAULT_H
+#define MOTSIM_FAULTS_FAULT_H
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace motsim {
+
+/// Pin value designating a fault on the output stem of a node (as
+/// opposed to one of its input branches).
+inline constexpr std::uint32_t kStemPin = 0xFFFFFFFFu;
+
+/// A fault location ("lead" in the paper): either the output stem of a
+/// node, or one specific input pin of a node (a fanout branch).
+///
+/// Stem and branch faults behave differently in the presence of
+/// fanout: a branch fault perturbs only the one path through that pin,
+/// a stem fault perturbs every branch.
+struct FaultSite {
+  NodeIndex node = kNoNode;
+  std::uint32_t pin = kStemPin;
+
+  [[nodiscard]] bool is_stem() const noexcept { return pin == kStemPin; }
+
+  friend bool operator==(const FaultSite&, const FaultSite&) = default;
+};
+
+/// A single stuck-at fault.
+struct Fault {
+  FaultSite site;
+  bool stuck_value = false;  ///< stuck-at-0 (false) or stuck-at-1 (true)
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Human-readable fault name, e.g. "G8/SA0" (stem) or "G8.in1/SA1"
+/// (input branch).
+[[nodiscard]] std::string fault_name(const Netlist& netlist, const Fault& f);
+
+/// Classification assigned by the simulation pipeline. The order
+/// mirrors the pipeline stages of the paper's experiments: ID_X-red
+/// first, then three-valued simulation, then the symbolic strategies.
+enum class FaultStatus : std::uint8_t {
+  Undetected,     ///< not (yet) classified as detectable
+  XRedundant,     ///< eliminated by ID_X-red (Section III)
+  DetectedSim3,   ///< detected by three-valued simulation (X01)
+  DetectedSot,    ///< detected by symbolic SOT
+  DetectedRmot,   ///< detected by symbolic restricted MOT
+  DetectedMot,    ///< detected by symbolic full MOT
+};
+
+[[nodiscard]] const char* to_cstring(FaultStatus s) noexcept;
+
+/// True for every Detected* state.
+[[nodiscard]] constexpr bool is_detected(FaultStatus s) noexcept {
+  return s == FaultStatus::DetectedSim3 || s == FaultStatus::DetectedSot ||
+         s == FaultStatus::DetectedRmot || s == FaultStatus::DetectedMot;
+}
+
+}  // namespace motsim
+
+#endif  // MOTSIM_FAULTS_FAULT_H

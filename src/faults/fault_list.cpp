@@ -1,0 +1,51 @@
+#include "faults/fault_list.h"
+
+#include <stdexcept>
+
+namespace motsim {
+
+SiteTable::SiteTable(const Netlist& netlist)
+    : node_count_(netlist.node_count()) {
+  branch_base_.resize(node_count_);
+  std::size_t next = node_count_;  // branches start after all stems
+  for (NodeIndex n = 0; n < node_count_; ++n) {
+    branch_base_[n] = next;
+    next += netlist.gate(n).fanins.size();
+  }
+  total_sites_ = next;
+}
+
+FaultSite SiteTable::site_from_index(std::size_t index) const {
+  if (index < node_count_) {
+    return FaultSite{static_cast<NodeIndex>(index), kStemPin};
+  }
+  if (index >= total_sites_) {
+    throw std::out_of_range("SiteTable: site index out of range");
+  }
+  // Binary search for the owning node in the branch_base_ prefix sums.
+  std::size_t lo = 0, hi = node_count_ - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (branch_base_[mid] <= index) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return FaultSite{static_cast<NodeIndex>(lo),
+                   static_cast<std::uint32_t>(index - branch_base_[lo])};
+}
+
+std::vector<Fault> all_faults(const Netlist& netlist) {
+  const SiteTable sites(netlist);
+  std::vector<Fault> out;
+  out.reserve(sites.fault_count());
+  for (std::size_t s = 0; s < sites.site_count(); ++s) {
+    const FaultSite site = sites.site_from_index(s);
+    out.push_back(Fault{site, false});
+    out.push_back(Fault{site, true});
+  }
+  return out;
+}
+
+}  // namespace motsim

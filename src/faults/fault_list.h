@@ -1,0 +1,62 @@
+#ifndef MOTSIM_FAULTS_FAULT_LIST_H
+#define MOTSIM_FAULTS_FAULT_LIST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "faults/fault.h"
+
+namespace motsim {
+
+/// Dense numbering of all fault sites of a netlist.
+///
+/// Sites are ordered: all output stems first (site index == node
+/// index), then all input branches in (node, pin) order. Fault ids are
+/// `2 * site + stuck_value`. This numbering is shared by the fault
+/// simulators, ID_X-red and the collapser.
+class SiteTable {
+ public:
+  explicit SiteTable(const Netlist& netlist);
+
+  [[nodiscard]] std::size_t site_count() const noexcept {
+    return total_sites_;
+  }
+  [[nodiscard]] std::size_t fault_count() const noexcept {
+    return 2 * total_sites_;
+  }
+
+  /// Site index of a stem / branch.
+  [[nodiscard]] std::size_t stem_site(NodeIndex node) const { return node; }
+  [[nodiscard]] std::size_t branch_site(NodeIndex node,
+                                        std::uint32_t pin) const {
+    return branch_base_[node] + pin;
+  }
+  [[nodiscard]] std::size_t site_of(const FaultSite& s) const {
+    return s.is_stem() ? stem_site(s.node) : branch_site(s.node, s.pin);
+  }
+
+  /// Inverse mapping.
+  [[nodiscard]] FaultSite site_from_index(std::size_t index) const;
+
+  [[nodiscard]] std::size_t fault_id(const Fault& f) const {
+    return 2 * site_of(f.site) + (f.stuck_value ? 1 : 0);
+  }
+  [[nodiscard]] Fault fault_from_id(std::size_t id) const {
+    return Fault{site_from_index(id / 2), (id % 2) != 0};
+  }
+
+ private:
+  std::size_t node_count_;
+  std::size_t total_sites_;
+  std::vector<std::size_t> branch_base_;  ///< first branch site per node
+};
+
+/// Builds the uncollapsed list of all single stuck-at faults of the
+/// netlist: two per output stem and two per gate input pin (including
+/// flip-flop D-pins). Order follows the SiteTable numbering.
+[[nodiscard]] std::vector<Fault> all_faults(const Netlist& netlist);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_FAULTS_FAULT_LIST_H

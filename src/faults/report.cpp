@@ -1,0 +1,77 @@
+#include "faults/report.h"
+
+#include <sstream>
+
+namespace motsim {
+
+CoverageSummary CoverageSummary::from_status(
+    const std::vector<FaultStatus>& status) {
+  CoverageSummary s;
+  s.total = status.size();
+  for (FaultStatus st : status) {
+    switch (st) {
+      case FaultStatus::XRedundant:
+        ++s.x_redundant;
+        break;
+      case FaultStatus::DetectedSim3:
+        ++s.detected_3v;
+        break;
+      case FaultStatus::DetectedSot:
+        ++s.detected_sot;
+        break;
+      case FaultStatus::DetectedRmot:
+        ++s.detected_rmot;
+        break;
+      case FaultStatus::DetectedMot:
+        ++s.detected_mot;
+        break;
+      case FaultStatus::Undetected:
+        ++s.undetected;
+        break;
+    }
+  }
+  return s;
+}
+
+std::string CoverageSummary::to_string() const {
+  std::ostringstream os;
+  os << "faults total          " << total << "\n";
+  os << "  detected (X01)      " << detected_3v << "\n";
+  if (detected_sot != 0) os << "  detected (SOT)      " << detected_sot << "\n";
+  if (detected_rmot != 0) {
+    os << "  detected (rMOT)     " << detected_rmot << "\n";
+  }
+  if (detected_mot != 0) os << "  detected (MOT)      " << detected_mot << "\n";
+  os << "  X-redundant         " << x_redundant << "\n";
+  os << "  undetected          " << undetected << "\n";
+  os << "fault coverage        ";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", coverage() * 100.0);
+  os << buf << "\n";
+  return os.str();
+}
+
+std::string CoverageSummary::to_json() const {
+  std::ostringstream os;
+  os << "{\"total\":" << total << ",\"detected_3v\":" << detected_3v
+     << ",\"detected_sot\":" << detected_sot << ",\"detected_rmot\":"
+     << detected_rmot << ",\"detected_mot\":" << detected_mot
+     << ",\"x_redundant\":" << x_redundant << ",\"undetected\":"
+     << undetected << ",\"coverage\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", coverage());
+  os << buf << "}";
+  return os.str();
+}
+
+std::vector<std::string> faults_with_status(
+    const Netlist& netlist, const std::vector<Fault>& faults,
+    const std::vector<FaultStatus>& status, FaultStatus wanted) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < faults.size() && i < status.size(); ++i) {
+    if (status[i] == wanted) out.push_back(fault_name(netlist, faults[i]));
+  }
+  return out;
+}
+
+}  // namespace motsim

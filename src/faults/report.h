@@ -1,0 +1,57 @@
+#ifndef MOTSIM_FAULTS_REPORT_H
+#define MOTSIM_FAULTS_REPORT_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "faults/fault.h"
+
+namespace motsim {
+
+/// Aggregated view of a fault-classification vector.
+///
+/// Coverage follows the paper's conventions: the three-valued SOT
+/// number is a *lower bound*; the symbolic strategies refine it. The
+/// X-redundant class counts faults undetectable by the given sequence
+/// under three-valued logic (they may still be detected symbolically
+/// when re-enabled for the symbolic stage).
+struct CoverageSummary {
+  std::size_t total = 0;
+  std::size_t x_redundant = 0;
+  std::size_t detected_3v = 0;
+  std::size_t detected_sot = 0;
+  std::size_t detected_rmot = 0;
+  std::size_t detected_mot = 0;
+  std::size_t undetected = 0;
+
+  [[nodiscard]] std::size_t detected_total() const noexcept {
+    return detected_3v + detected_sot + detected_rmot + detected_mot;
+  }
+
+  /// Fault coverage = detected / total (0 when the list is empty).
+  [[nodiscard]] double coverage() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(detected_total()) /
+                            static_cast<double>(total);
+  }
+
+  /// Builds the summary from a status vector.
+  [[nodiscard]] static CoverageSummary from_status(
+      const std::vector<FaultStatus>& status);
+
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Single-line JSON object (for CI pipelines and scripts).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Lists the faults in a given status, formatted with fault_name.
+[[nodiscard]] std::vector<std::string> faults_with_status(
+    const Netlist& netlist, const std::vector<Fault>& faults,
+    const std::vector<FaultStatus>& status, FaultStatus wanted);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_FAULTS_REPORT_H

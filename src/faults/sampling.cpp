@@ -1,0 +1,45 @@
+#include "faults/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace motsim {
+
+std::vector<Fault> sample_faults(const std::vector<Fault>& faults,
+                                 std::size_t sample_size,
+                                 std::uint64_t seed) {
+  if (sample_size >= faults.size()) return faults;
+  // Partial Fisher-Yates: draw sample_size distinct positions.
+  std::vector<std::size_t> index(faults.size());
+  for (std::size_t i = 0; i < index.size(); ++i) index[i] = i;
+  Rng rng(seed);
+  std::vector<Fault> out;
+  out.reserve(sample_size);
+  for (std::size_t i = 0; i < sample_size; ++i) {
+    const std::size_t j = i + rng.below(index.size() - i);
+    std::swap(index[i], index[j]);
+    out.push_back(faults[index[i]]);
+  }
+  // Keep the sample in original list order (stable reporting).
+  std::sort(out.begin(), out.end(),
+            [&](const Fault& a, const Fault& b) {
+              if (a.site.node != b.site.node) return a.site.node < b.site.node;
+              if (a.site.pin != b.site.pin) return a.site.pin < b.site.pin;
+              return a.stuck_value < b.stuck_value;
+            });
+  return out;
+}
+
+double sampling_error(double p, std::size_t sample_size,
+                      std::size_t population) {
+  if (sample_size == 0 || population == 0) return 1.0;
+  if (sample_size >= population) return 0.0;
+  const double n = static_cast<double>(sample_size);
+  const double N = static_cast<double>(population);
+  const double fpc = (N - n) / (N - 1.0);  // finite population correction
+  return 1.96 * std::sqrt(std::max(p * (1.0 - p), 0.0) / n * fpc);
+}
+
+}  // namespace motsim

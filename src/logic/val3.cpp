@@ -1,0 +1,42 @@
+#include "logic/val3.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace motsim {
+
+char to_char(Val3 v) noexcept {
+  switch (v) {
+    case Val3::Zero:
+      return '0';
+    case Val3::One:
+      return '1';
+    default:
+      return 'X';
+  }
+}
+
+Val3 val3_from_char(char c) {
+  switch (c) {
+    case '0':
+      return Val3::Zero;
+    case '1':
+      return Val3::One;
+    case 'x':
+    case 'X':
+      return Val3::X;
+    default:
+      throw std::invalid_argument(std::string("not a Val3 character: ") + c);
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, Val3 v) { return os << to_char(v); }
+
+std::string to_string(const std::vector<Val3>& values) {
+  std::string s;
+  s.reserve(values.size());
+  for (Val3 v : values) s.push_back(to_char(v));
+  return s;
+}
+
+}  // namespace motsim

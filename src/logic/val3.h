@@ -1,0 +1,86 @@
+#ifndef MOTSIM_LOGIC_VAL3_H
+#define MOTSIM_LOGIC_VAL3_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace motsim {
+
+/// Three-valued logic value (Kleene logic) used by the conventional
+/// sequential fault simulator: 0, 1 and X (unknown).
+///
+/// X models the unknown initial state of memory elements. Simulation
+/// with Val3 computes a *lower bound* of fault coverage under the
+/// single observation time (SOT) strategy — the inaccuracy the paper's
+/// symbolic techniques remove.
+enum class Val3 : std::uint8_t {
+  Zero = 0,
+  One = 1,
+  X = 2,
+};
+
+/// True if `v` is a defined binary value (0 or 1).
+[[nodiscard]] constexpr bool is_binary(Val3 v) noexcept {
+  return v == Val3::Zero || v == Val3::One;
+}
+
+/// Converts a bool to the corresponding binary Val3.
+[[nodiscard]] constexpr Val3 to_val3(bool b) noexcept {
+  return b ? Val3::One : Val3::Zero;
+}
+
+/// Kleene conjunction: 0 dominates, X is absorbed by 0.
+[[nodiscard]] constexpr Val3 and3(Val3 a, Val3 b) noexcept {
+  if (a == Val3::Zero || b == Val3::Zero) return Val3::Zero;
+  if (a == Val3::One && b == Val3::One) return Val3::One;
+  return Val3::X;
+}
+
+/// Kleene disjunction: 1 dominates, X is absorbed by 1.
+[[nodiscard]] constexpr Val3 or3(Val3 a, Val3 b) noexcept {
+  if (a == Val3::One || b == Val3::One) return Val3::One;
+  if (a == Val3::Zero && b == Val3::Zero) return Val3::Zero;
+  return Val3::X;
+}
+
+/// Kleene negation: X stays X.
+[[nodiscard]] constexpr Val3 not3(Val3 a) noexcept {
+  if (a == Val3::Zero) return Val3::One;
+  if (a == Val3::One) return Val3::Zero;
+  return Val3::X;
+}
+
+/// Kleene exclusive-or: X on either side yields X.
+[[nodiscard]] constexpr Val3 xor3(Val3 a, Val3 b) noexcept {
+  if (!is_binary(a) || !is_binary(b)) return Val3::X;
+  return to_val3(a != b);
+}
+
+/// Kleene exclusive-nor.
+[[nodiscard]] constexpr Val3 xnor3(Val3 a, Val3 b) noexcept {
+  return not3(xor3(a, b));
+}
+
+/// Information ordering of Kleene logic: X is refined by 0 and by 1.
+/// Used by property tests: a three-valued simulation result must be an
+/// abstraction of every concrete two-valued simulation.
+[[nodiscard]] constexpr bool refines(Val3 concrete, Val3 abstract) noexcept {
+  return abstract == Val3::X || abstract == concrete;
+}
+
+/// One-character display: '0', '1', 'X'.
+[[nodiscard]] char to_char(Val3 v) noexcept;
+
+/// Parses '0', '1', 'x'/'X'. Throws std::invalid_argument otherwise.
+[[nodiscard]] Val3 val3_from_char(char c);
+
+std::ostream& operator<<(std::ostream& os, Val3 v);
+
+/// Renders a vector of Val3 as a compact string like "01X0".
+[[nodiscard]] std::string to_string(const std::vector<Val3>& values);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_LOGIC_VAL3_H

@@ -1,0 +1,24 @@
+#include "logic/val4.h"
+
+#include <ostream>
+
+namespace motsim {
+
+const char* to_cstring(Val4 v) noexcept {
+  switch (v) {
+    case Val4::X:
+      return "{X}";
+    case Val4::X0:
+      return "{X,0}";
+    case Val4::X1:
+      return "{X,1}";
+    default:
+      return "{X,0,1}";
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, Val4 v) {
+  return os << to_cstring(v);
+}
+
+}  // namespace motsim

@@ -1,0 +1,80 @@
+#ifndef MOTSIM_LOGIC_VAL4_H
+#define MOTSIM_LOGIC_VAL4_H
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "logic/val3.h"
+
+namespace motsim {
+
+/// The four-valued I_X encoding of Section III of the paper.
+///
+/// After a three-valued true-value simulation of the whole test
+/// sequence, each lead is summarized by *which binary values it ever
+/// assumed*. The element always contains X (the unknown initial state
+/// makes every lead potentially unknown); the two data bits record
+/// whether the lead ever evaluated to 0 and whether it ever evaluated
+/// to 1:
+///
+///   {X}       — the lead never assumes 0 or 1,
+///   {X,0}     — the lead assumes 0 but never 1,
+///   {X,1}     — the lead assumes 1 but never 0,
+///   {X,0,1}   — the lead assumes both binary values.
+///
+/// The lattice order (information content) is {X} < {X,0},{X,1} < {X,0,1}.
+enum class Val4 : std::uint8_t {
+  X = 0b00,    ///< {X}
+  X0 = 0b01,   ///< {X,0}
+  X1 = 0b10,   ///< {X,1}
+  X01 = 0b11,  ///< {X,0,1}
+};
+
+/// True if the lead ever assumed binary value 0.
+[[nodiscard]] constexpr bool saw_zero(Val4 v) noexcept {
+  return (static_cast<std::uint8_t>(v) & 0b01) != 0;
+}
+
+/// True if the lead ever assumed binary value 1.
+[[nodiscard]] constexpr bool saw_one(Val4 v) noexcept {
+  return (static_cast<std::uint8_t>(v) & 0b10) != 0;
+}
+
+/// Lattice join: union of the observed value sets.
+[[nodiscard]] constexpr Val4 join(Val4 a, Val4 b) noexcept {
+  return static_cast<Val4>(static_cast<std::uint8_t>(a) |
+                           static_cast<std::uint8_t>(b));
+}
+
+/// Lattice meet: intersection of the observed value sets.
+[[nodiscard]] constexpr Val4 meet(Val4 a, Val4 b) noexcept {
+  return static_cast<Val4>(static_cast<std::uint8_t>(a) &
+                           static_cast<std::uint8_t>(b));
+}
+
+/// Accumulates one simulation-step value into the I_X summary:
+/// a binary 0 sets the saw-0 bit, a binary 1 the saw-1 bit, X nothing.
+[[nodiscard]] constexpr Val4 accumulate(Val4 acc, Val3 step) noexcept {
+  switch (step) {
+    case Val3::Zero:
+      return join(acc, Val4::X0);
+    case Val3::One:
+      return join(acc, Val4::X1);
+    default:
+      return acc;
+  }
+}
+
+/// Partial order test: every value set is ordered by inclusion.
+[[nodiscard]] constexpr bool leq(Val4 a, Val4 b) noexcept {
+  return meet(a, b) == a;
+}
+
+/// Display form: "{X}", "{X,0}", "{X,1}", "{X,0,1}".
+[[nodiscard]] const char* to_cstring(Val4 v) noexcept;
+
+std::ostream& operator<<(std::ostream& os, Val4 v);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_LOGIC_VAL4_H

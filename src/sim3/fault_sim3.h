@@ -1,0 +1,98 @@
+#ifndef MOTSIM_SIM3_FAULT_SIM3_H
+#define MOTSIM_SIM3_FAULT_SIM3_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/levelize.h"
+#include "circuit/netlist.h"
+#include "faults/fault.h"
+#include "logic/val3.h"
+#include "sim3/good_sim3.h"
+
+namespace motsim {
+
+/// Sparse divergence of a faulty machine's present state from the
+/// fault-free state: (flip-flop position, faulty value). Entries
+/// always differ from the fault-free value.
+using StateDiff3 = std::vector<std::pair<std::uint32_t, Val3>>;
+
+/// Event-driven three-valued single-fault frame kernel.
+///
+/// Injects one stuck-at fault into the current frame (whose fault-free
+/// values are supplied), propagates the divergence in level order
+/// through the cone of influence, decides SOT detection (opposite
+/// binary values at a primary output) and updates the faulty machine's
+/// next-state divergence. Shared by FaultSim3 and by the three-valued
+/// windows of the hybrid simulator.
+class FaultPropagator3 {
+ public:
+  explicit FaultPropagator3(const Netlist& netlist);
+
+  /// Simulates `fault` through the current frame; `state_diff` is
+  /// updated in place with the next-state divergence. Returns true if
+  /// the fault is detected this frame. With the default
+  /// `latch_even_if_detected = false` the next-state update is skipped
+  /// on detection (the caller drops the fault anyway); N-detect
+  /// callers pass true to keep the faulty machine coherent across
+  /// further frames.
+  bool step(const Fault& fault, StateDiff3& state_diff,
+            const std::vector<Val3>& good_values,
+            const std::vector<Val3>& good_next_state,
+            bool latch_even_if_detected = false);
+
+ private:
+  [[nodiscard]] Val3 fval(NodeIndex node,
+                          const std::vector<Val3>& good_values) const;
+
+  const Netlist* netlist_;
+  std::vector<Val3> scratch_val_;
+  std::vector<std::uint32_t> scratch_stamp_;
+  std::uint32_t stamp_ = 0;
+  EventQueue queue_;
+  std::vector<NodeIndex> changed_;
+};
+
+/// Per-fault outcome of a three-valued fault simulation run.
+struct FaultSim3Result {
+  /// One entry per fault of the simulated list: DetectedSim3 or the
+  /// entry's initial status (e.g. XRedundant faults are skipped).
+  std::vector<FaultStatus> status;
+  /// Frame (1-based) at which each fault was detected; 0 if never.
+  std::vector<std::uint32_t> detect_frame;
+  std::size_t detected_count = 0;
+  std::size_t simulated_faults = 0;  ///< faults actually simulated
+};
+
+/// Event-driven three-valued serial fault simulator with fault
+/// dropping — the paper's baseline `X01`.
+///
+/// The machine model follows Section II: both the fault-free and every
+/// faulty machine start in the unknown (all-X) state. Detection uses
+/// the SOT strategy under three-valued logic: a fault is detected at
+/// frame t if some primary output has a *binary* fault-free value and
+/// the *opposite binary* faulty value. This yields the lower bound of
+/// fault coverage that the paper's symbolic strategies improve on.
+class FaultSim3 {
+ public:
+  FaultSim3(const Netlist& netlist, std::vector<Fault> faults);
+
+  /// Pre-classifies faults (e.g. XRedundant from ID_X-red); faults not
+  /// Undetected are never simulated. Must be called before run().
+  void set_initial_status(std::vector<FaultStatus> status);
+
+  /// Simulates the whole input sequence (outer index = frame) from the
+  /// all-X initial state and returns the classification.
+  [[nodiscard]] FaultSim3Result run(
+      const std::vector<std::vector<Val3>>& sequence);
+
+ private:
+  const Netlist* netlist_;
+  std::vector<Fault> faults_;
+  std::vector<FaultStatus> initial_status_;
+  FaultPropagator3 propagator_;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_SIM3_FAULT_SIM3_H

@@ -1,0 +1,68 @@
+#include "sim3/good_sim3.h"
+
+#include <stdexcept>
+
+namespace motsim {
+
+Val3 eval_gate3(GateType type, const std::vector<Val3>& ins) {
+  return eval_gate3(type, ins.size(), [&](std::size_t i) { return ins[i]; });
+}
+
+GoodSim3::GoodSim3(const Netlist& netlist, Val3 initial)
+    : netlist_(&netlist),
+      values_(netlist.node_count(), Val3::X),
+      state_(netlist.dff_count(), initial) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("GoodSim3 requires a finalized netlist");
+  }
+}
+
+void GoodSim3::set_state(std::vector<Val3> state) {
+  if (state.size() != state_.size()) {
+    throw std::invalid_argument("set_state: wrong state width");
+  }
+  state_ = std::move(state);
+}
+
+std::vector<Val3> GoodSim3::step(const std::vector<Val3>& inputs) {
+  const Netlist& nl = *netlist_;
+  if (inputs.size() != nl.input_count()) {
+    throw std::invalid_argument("step: wrong input vector width");
+  }
+
+  // Frame inputs.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    values_[nl.inputs()[i]] = inputs[i];
+  }
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    values_[nl.dffs()[i]] = state_[i];
+  }
+
+  // Combinational evaluation in topological order.
+  for (NodeIndex n : nl.topo_order()) {
+    const Gate& g = nl.gate(n);
+    if (is_frame_input(g.type)) {
+      if (g.type == GateType::Const0) values_[n] = Val3::Zero;
+      if (g.type == GateType::Const1) values_[n] = Val3::One;
+      continue;
+    }
+    values_[n] = eval_gate3(g.type, g.fanins.size(),
+                            [&](std::size_t i) { return values_[g.fanins[i]]; });
+  }
+
+  // Latch next state.
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    state_[i] = values_[nl.gate(nl.dffs()[i]).fanins[0]];
+  }
+
+  return outputs();
+}
+
+std::vector<Val3> GoodSim3::outputs() const {
+  std::vector<Val3> out;
+  out.reserve(netlist_->outputs().size());
+  for (NodeIndex n : netlist_->outputs()) out.push_back(values_[n]);
+  return out;
+}
+
+}  // namespace motsim

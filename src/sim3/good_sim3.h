@@ -1,0 +1,95 @@
+#ifndef MOTSIM_SIM3_GOOD_SIM3_H
+#define MOTSIM_SIM3_GOOD_SIM3_H
+
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "logic/val3.h"
+
+namespace motsim {
+
+/// Evaluates one combinational gate in three-valued (Kleene) logic.
+/// `get(i)` must return the value of input pin i.
+template <typename Getter>
+[[nodiscard]] Val3 eval_gate3(GateType type, std::size_t arity, Getter get) {
+  switch (type) {
+    case GateType::Const0:
+      return Val3::Zero;
+    case GateType::Const1:
+      return Val3::One;
+    case GateType::Buf:
+      return get(0);
+    case GateType::Not:
+      return not3(get(0));
+    case GateType::And:
+    case GateType::Nand: {
+      Val3 acc = Val3::One;
+      for (std::size_t i = 0; i < arity; ++i) {
+        acc = and3(acc, get(i));
+        if (acc == Val3::Zero) break;  // controlling value
+      }
+      return type == GateType::Nand ? not3(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      Val3 acc = Val3::Zero;
+      for (std::size_t i = 0; i < arity; ++i) {
+        acc = or3(acc, get(i));
+        if (acc == Val3::One) break;  // controlling value
+      }
+      return type == GateType::Nor ? not3(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      Val3 acc = Val3::Zero;
+      for (std::size_t i = 0; i < arity; ++i) acc = xor3(acc, get(i));
+      return type == GateType::Xnor ? not3(acc) : acc;
+    }
+    default:
+      return Val3::X;  // frame inputs are never evaluated here
+  }
+}
+
+/// Convenience overload over a materialized operand vector.
+[[nodiscard]] Val3 eval_gate3(GateType type, const std::vector<Val3>& ins);
+
+/// Three-valued true-value (fault-free) simulator.
+///
+/// The machine starts in the all-X state (the paper's unknown initial
+/// state); step() applies one input vector, evaluates the
+/// combinational network in topological order, latches the next state
+/// and returns the primary output values.
+class GoodSim3 {
+ public:
+  explicit GoodSim3(const Netlist& netlist, Val3 initial = Val3::X);
+
+  /// Overrides the present state (one value per flip-flop, in
+  /// Netlist::dffs() order).
+  void set_state(std::vector<Val3> state);
+  [[nodiscard]] const std::vector<Val3>& state() const noexcept {
+    return state_;
+  }
+
+  /// Applies one input vector (one value per primary input, in
+  /// Netlist::inputs() order); returns the primary output values.
+  std::vector<Val3> step(const std::vector<Val3>& inputs);
+
+  /// Per-node values of the most recent frame (valid after step()).
+  [[nodiscard]] const std::vector<Val3>& values() const noexcept {
+    return values_;
+  }
+
+  /// Output values of the most recent frame.
+  [[nodiscard]] std::vector<Val3> outputs() const;
+
+  [[nodiscard]] const Netlist& netlist() const noexcept { return *netlist_; }
+
+ private:
+  const Netlist* netlist_;
+  std::vector<Val3> values_;  ///< per node, last frame
+  std::vector<Val3> state_;   ///< per flip-flop (present state)
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_SIM3_GOOD_SIM3_H

@@ -1,0 +1,65 @@
+#include "sim3/ndetect.h"
+
+#include <stdexcept>
+
+#include "sim3/fault_sim3.h"
+#include "sim3/good_sim3.h"
+
+namespace motsim {
+
+NDetectResult run_n_detect(const Netlist& nl,
+                           const std::vector<Fault>& faults,
+                           const TestSequence& sequence,
+                           std::uint32_t n_required) {
+  if (n_required == 0) {
+    throw std::invalid_argument("run_n_detect: n_required must be >= 1");
+  }
+
+  NDetectResult result;
+  result.detections.assign(faults.size(), 0);
+  result.detection_frames.assign(faults.size(), {});
+
+  FaultPropagator3 propagator(nl);
+  struct Live {
+    std::size_t index;
+    StateDiff3 diff;
+  };
+  std::vector<Live> live;
+  live.reserve(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) live.push_back({i, {}});
+
+  GoodSim3 good(nl);
+  for (std::size_t t = 0; t < sequence.size() && !live.empty(); ++t) {
+    good.step(sequence[t]);
+    const std::vector<Val3>& values = good.values();
+    const std::vector<Val3>& next = good.state();
+
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      Live& lf = live[i];
+      // latch_even_if_detected keeps the faulty machine coherent so
+      // later frames can score further observations.
+      const bool observed =
+          propagator.step(faults[lf.index], lf.diff, values, next,
+                          /*latch_even_if_detected=*/true);
+      if (observed) {
+        auto& frames = result.detection_frames[lf.index];
+        frames.push_back(static_cast<std::uint32_t>(t + 1));
+        if (++result.detections[lf.index] >= n_required) {
+          continue;  // fully N-detected: drop
+        }
+      }
+      if (keep != i) live[keep] = std::move(live[i]);
+      ++keep;
+    }
+    live.resize(keep);
+  }
+
+  for (std::uint32_t d : result.detections) {
+    result.detected_once_count += (d > 0);
+    result.n_detected_count += (d >= n_required);
+  }
+  return result;
+}
+
+}  // namespace motsim

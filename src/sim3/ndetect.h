@@ -1,0 +1,42 @@
+#ifndef MOTSIM_SIM3_NDETECT_H
+#define MOTSIM_SIM3_NDETECT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "faults/fault.h"
+#include "logic/val3.h"
+#include "tpg/sequences.h"
+
+namespace motsim {
+
+/// Result of an N-detect three-valued fault simulation.
+struct NDetectResult {
+  /// Number of frames at which each fault produced an observable
+  /// (binary, opposite) output difference, capped at the requested N.
+  std::vector<std::uint32_t> detections;
+  /// Frames (1-based) of the first min(N, total) detections per fault.
+  std::vector<std::vector<std::uint32_t>> detection_frames;
+  /// Faults reaching the full N detections.
+  std::size_t n_detected_count = 0;
+  /// Faults with at least one detection (the classic coverage).
+  std::size_t detected_once_count = 0;
+};
+
+/// N-detect fault simulation (three-valued, SOT): every fault is kept
+/// alive until it has been observed at N *distinct frames* (or the
+/// sequence ends). N-detect coverage is the standard quality metric
+/// for defect coverage beyond the plain stuck-at model: sequences that
+/// detect each fault several times, through different propagation
+/// paths and machine states, catch more unmodeled defects.
+///
+/// With n_required = 1 this degenerates to FaultSim3 (asserted by the
+/// test-suite).
+[[nodiscard]] NDetectResult run_n_detect(
+    const Netlist& netlist, const std::vector<Fault>& faults,
+    const TestSequence& sequence, std::uint32_t n_required);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_SIM3_NDETECT_H

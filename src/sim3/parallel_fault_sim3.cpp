@@ -1,0 +1,228 @@
+#include "sim3/parallel_fault_sim3.h"
+
+#include <stdexcept>
+
+#include "sim3/good_sim3.h"
+
+namespace motsim {
+
+namespace {
+
+/// Applies a stem force: the forced slots are overwritten, all other
+/// slots keep their computed value.
+PackedVal3 apply_force(PackedVal3 value, PackedVal3 force) {
+  const std::uint64_t mask = force.ones | force.zeros;
+  return {(value.ones & ~mask) | force.ones,
+          (value.zeros & ~mask) | force.zeros};
+}
+
+/// Evaluates one gate over packed operands. `get(i)` returns operand i
+/// (already including any branch-fault override).
+template <typename Getter>
+PackedVal3 eval_gate_packed(GateType type, std::size_t arity, Getter get) {
+  switch (type) {
+    case GateType::Const0:
+      return broadcast(Val3::Zero);
+    case GateType::Const1:
+      return broadcast(Val3::One);
+    case GateType::Buf:
+      return get(0);
+    case GateType::Not:
+      return pnot(get(0));
+    case GateType::And:
+    case GateType::Nand: {
+      PackedVal3 acc = broadcast(Val3::One);
+      for (std::size_t i = 0; i < arity; ++i) acc = pand(acc, get(i));
+      return type == GateType::Nand ? pnot(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      PackedVal3 acc = broadcast(Val3::Zero);
+      for (std::size_t i = 0; i < arity; ++i) acc = por(acc, get(i));
+      return type == GateType::Nor ? pnot(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      PackedVal3 acc = broadcast(Val3::Zero);
+      for (std::size_t i = 0; i < arity; ++i) acc = pxor(acc, get(i));
+      return type == GateType::Xnor ? pnot(acc) : acc;
+    }
+    default:
+      throw std::logic_error("eval_gate_packed: not a combinational gate");
+  }
+}
+
+}  // namespace
+
+ParallelFaultSim3::ParallelFaultSim3(const Netlist& netlist,
+                                     std::vector<Fault> faults)
+    : netlist_(&netlist),
+      faults_(std::move(faults)),
+      initial_status_(faults_.size(), FaultStatus::Undetected) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("ParallelFaultSim3 requires a finalized netlist");
+  }
+}
+
+void ParallelFaultSim3::set_initial_status(std::vector<FaultStatus> status) {
+  if (status.size() != faults_.size()) {
+    throw std::invalid_argument("set_initial_status: wrong size");
+  }
+  initial_status_ = std::move(status);
+}
+
+FaultSim3Result ParallelFaultSim3::run(
+    const std::vector<std::vector<Val3>>& sequence) {
+  const Netlist& nl = *netlist_;
+
+  FaultSim3Result result;
+  result.status = initial_status_;
+  result.detect_frame.assign(faults_.size(), 0);
+
+  // Build groups of up to 64 live faults, with the per-slot forcing
+  // masks precomputed.
+  std::vector<Group> groups;
+  Group current;
+  auto flush = [&] {
+    if (!current.members.empty()) {
+      groups.push_back(std::move(current));
+      current = Group{};
+    }
+  };
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (initial_status_[i] != FaultStatus::Undetected) continue;
+    const unsigned slot = static_cast<unsigned>(current.members.size());
+    const Fault& f = faults_[i];
+    const std::uint64_t bit = std::uint64_t{1} << slot;
+    const PackedVal3 force =
+        f.stuck_value ? PackedVal3{bit, 0} : PackedVal3{0, bit};
+    if (f.site.is_stem()) {
+      current.stem_forces.emplace_back(f.site.node, force);
+    } else if (nl.type(f.site.node) == GateType::Dff) {
+      current.latch_forces.emplace_back(nl.dff_position(f.site.node),
+                                        force);
+    } else {
+      current.branch_forces.emplace_back(
+          f.site.node, BranchForce{f.site.pin, force.ones, force.zeros});
+    }
+    current.members.push_back(i);
+    if (current.members.size() == 64) flush();
+  }
+  flush();
+  result.simulated_faults = 0;
+  for (const Group& g : groups) result.simulated_faults += g.members.size();
+
+  for (const Group& group : groups) {
+    simulate_group(group, sequence, result);
+  }
+  result.detected_count = 0;
+  for (FaultStatus s : result.status) {
+    result.detected_count += (s == FaultStatus::DetectedSim3);
+  }
+  return result;
+}
+
+void ParallelFaultSim3::simulate_group(
+    const Group& group, const std::vector<std::vector<Val3>>& sequence,
+    FaultSim3Result& result) {
+  const Netlist& nl = *netlist_;
+  const std::size_t width = group.members.size();
+  const std::uint64_t full_mask =
+      width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+
+  // Per-node force lookup tables for this group (dense; built once).
+  std::vector<PackedVal3> stem_force(nl.node_count());
+  std::vector<std::uint8_t> has_stem(nl.node_count(), 0);
+  std::vector<std::vector<BranchForce>> branch_force(nl.node_count());
+  for (const auto& [node, force] : group.stem_forces) {
+    // Both polarities of one stem can sit in the same group (distinct
+    // slots); merge their disjoint masks.
+    stem_force[node].ones |= force.ones;
+    stem_force[node].zeros |= force.zeros;
+    has_stem[node] = 1;
+  }
+  for (const auto& [node, force] : group.branch_forces) {
+    branch_force[node].push_back(force);
+  }
+
+  GoodSim3 good(nl);
+  std::vector<PackedVal3> values(nl.node_count());
+  std::vector<PackedVal3> state(nl.dff_count());  // all-X start
+
+  std::uint64_t alive = full_mask;
+
+  for (std::size_t t = 0; t < sequence.size() && alive != 0; ++t) {
+    good.step(sequence[t]);
+
+    // Frame inputs.
+    for (std::size_t i = 0; i < nl.input_count(); ++i) {
+      const NodeIndex n = nl.inputs()[i];
+      PackedVal3 v = broadcast(sequence[t][i]);
+      if (has_stem[n]) v = apply_force(v, stem_force[n]);
+      values[n] = v;
+    }
+    for (std::size_t i = 0; i < nl.dff_count(); ++i) {
+      const NodeIndex n = nl.dffs()[i];
+      PackedVal3 v = state[i];
+      if (has_stem[n]) v = apply_force(v, stem_force[n]);
+      values[n] = v;
+    }
+
+    // Combinational evaluation.
+    for (NodeIndex n : nl.topo_order()) {
+      const Gate& g = nl.gate(n);
+      if (is_frame_input(g.type)) {
+        if (g.type == GateType::Const0 || g.type == GateType::Const1) {
+          PackedVal3 v = broadcast(
+              g.type == GateType::Const1 ? Val3::One : Val3::Zero);
+          if (has_stem[n]) v = apply_force(v, stem_force[n]);
+          values[n] = v;
+        }
+        continue;
+      }
+      const auto& overrides = branch_force[n];
+      PackedVal3 v = eval_gate_packed(
+          g.type, g.fanins.size(), [&](std::size_t i) {
+            PackedVal3 in = values[g.fanins[i]];
+            for (const BranchForce& bf : overrides) {
+              if (bf.pin == i) {
+                in = apply_force(in, PackedVal3{bf.ones, bf.zeros});
+              }
+            }
+            return in;
+          });
+      if (has_stem[n]) v = apply_force(v, stem_force[n]);
+      values[n] = v;
+    }
+
+    // Detection: a slot is caught when some primary output has a
+    // binary fault-free value and the opposite binary slot value.
+    for (NodeIndex po : nl.outputs()) {
+      const Val3 gv = good.values()[po];
+      if (!is_binary(gv)) continue;
+      const std::uint64_t caught =
+          (gv == Val3::One ? values[po].zeros : values[po].ones) & alive;
+      if (caught == 0) continue;
+      for (unsigned slot = 0; slot < width; ++slot) {
+        if (caught & (std::uint64_t{1} << slot)) {
+          const std::size_t fi = group.members[slot];
+          result.status[fi] = FaultStatus::DetectedSim3;
+          result.detect_frame[fi] = static_cast<std::uint32_t>(t + 1);
+        }
+      }
+      alive &= ~caught;
+      if (alive == 0) break;
+    }
+
+    // Latch, including DFF D-pin branch forces.
+    for (std::size_t i = 0; i < nl.dff_count(); ++i) {
+      const NodeIndex d = nl.gate(nl.dffs()[i]).fanins[0];
+      state[i] = values[d];
+    }
+    for (const auto& [pos, force] : group.latch_forces) {
+      state[pos] = apply_force(state[pos], force);
+    }
+  }
+}
+
+}  // namespace motsim

@@ -1,0 +1,111 @@
+#ifndef MOTSIM_SIM3_PARALLEL_FAULT_SIM3_H
+#define MOTSIM_SIM3_PARALLEL_FAULT_SIM3_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "faults/fault.h"
+#include "logic/val3.h"
+#include "sim3/fault_sim3.h"
+
+namespace motsim {
+
+/// 64 three-valued values in two machine words ("two-rail" encoding):
+/// bit i of `ones` set means slot i carries 1, bit i of `zeros` means
+/// slot i carries 0, neither bit means X. The invariant
+/// `ones & zeros == 0` holds for every well-formed pack.
+struct PackedVal3 {
+  std::uint64_t ones = 0;
+  std::uint64_t zeros = 0;
+
+  friend bool operator==(const PackedVal3&, const PackedVal3&) = default;
+};
+
+/// Slot-wise Kleene operations.
+[[nodiscard]] constexpr PackedVal3 pand(PackedVal3 a, PackedVal3 b) {
+  return {a.ones & b.ones, a.zeros | b.zeros};
+}
+[[nodiscard]] constexpr PackedVal3 por(PackedVal3 a, PackedVal3 b) {
+  return {a.ones | b.ones, a.zeros & b.zeros};
+}
+[[nodiscard]] constexpr PackedVal3 pnot(PackedVal3 a) {
+  return {a.zeros, a.ones};
+}
+[[nodiscard]] constexpr PackedVal3 pxor(PackedVal3 a, PackedVal3 b) {
+  return {(a.ones & b.zeros) | (a.zeros & b.ones),
+          (a.ones & b.ones) | (a.zeros & b.zeros)};
+}
+
+/// All 64 slots set to the same scalar value.
+[[nodiscard]] constexpr PackedVal3 broadcast(Val3 v) {
+  switch (v) {
+    case Val3::Zero:
+      return {0, ~std::uint64_t{0}};
+    case Val3::One:
+      return {~std::uint64_t{0}, 0};
+    default:
+      return {0, 0};
+  }
+}
+
+/// Value of one slot.
+[[nodiscard]] constexpr Val3 slot_value(PackedVal3 p, unsigned slot) {
+  const std::uint64_t bit = std::uint64_t{1} << slot;
+  if (p.ones & bit) return Val3::One;
+  if (p.zeros & bit) return Val3::Zero;
+  return Val3::X;
+}
+
+/// Bit-parallel ("PROOFS-style") three-valued fault simulator.
+///
+/// Packs up to 64 faulty machines into one pass: each bit slot of a
+/// PackedVal3 word simulates one fault of the group, with the fault
+/// permanently injected in its slot. Unlike the event-driven serial
+/// simulator (FaultSim3), every frame evaluates the whole
+/// combinational network once per group — the parallelism pays when
+/// fault counts are large relative to circuit depth. Results
+/// (detected set AND detection frames) are identical to FaultSim3;
+/// bench/ablation_parallel_sim compares throughput.
+///
+/// Not part of the 1995 paper (its baseline is serial); provided as
+/// the natural production optimization and as a cross-check oracle.
+class ParallelFaultSim3 {
+ public:
+  ParallelFaultSim3(const Netlist& netlist, std::vector<Fault> faults);
+
+  /// Pre-classifies faults; non-Undetected entries are not simulated.
+  void set_initial_status(std::vector<FaultStatus> status);
+
+  /// Simulates the sequence from the all-X initial state.
+  [[nodiscard]] FaultSim3Result run(
+      const std::vector<std::vector<Val3>>& sequence);
+
+ private:
+  struct BranchForce {
+    std::uint32_t pin;
+    std::uint64_t ones;
+    std::uint64_t zeros;
+  };
+  struct Group {
+    std::vector<std::size_t> members;  ///< fault indices (<= 64)
+    /// Per-node output forcing masks (stem faults).
+    std::vector<std::pair<NodeIndex, PackedVal3>> stem_forces;
+    /// Per-node input-pin forcing masks (branch faults).
+    std::vector<std::pair<NodeIndex, BranchForce>> branch_forces;
+    /// Next-state forcing masks for DFF D-pin branch faults.
+    std::vector<std::pair<std::uint32_t, PackedVal3>> latch_forces;
+  };
+
+  void simulate_group(const Group& group,
+                      const std::vector<std::vector<Val3>>& sequence,
+                      FaultSim3Result& result);
+
+  const Netlist* netlist_;
+  std::vector<Fault> faults_;
+  std::vector<FaultStatus> initial_status_;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_SIM3_PARALLEL_FAULT_SIM3_H

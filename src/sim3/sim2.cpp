@@ -1,0 +1,105 @@
+#include "sim3/sim2.h"
+
+#include <stdexcept>
+
+namespace motsim {
+
+Sim2::Sim2(const Netlist& netlist, std::optional<Fault> fault)
+    : netlist_(&netlist),
+      fault_(fault),
+      values_(netlist.node_count(), false),
+      state_(netlist.dff_count(), false) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("Sim2 requires a finalized netlist");
+  }
+}
+
+void Sim2::set_state(std::vector<bool> state) {
+  if (state.size() != state_.size()) {
+    throw std::invalid_argument("set_state: wrong state width");
+  }
+  state_ = std::move(state);
+}
+
+std::vector<bool> Sim2::step(const std::vector<bool>& inputs) {
+  const Netlist& nl = *netlist_;
+  if (inputs.size() != nl.input_count()) {
+    throw std::invalid_argument("step: wrong input vector width");
+  }
+
+  const bool stem_fault = fault_.has_value() && fault_->site.is_stem();
+  const bool branch_fault = fault_.has_value() && !fault_->site.is_stem();
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    values_[nl.inputs()[i]] = inputs[i];
+  }
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    values_[nl.dffs()[i]] = state_[i];
+  }
+  if (stem_fault) values_[fault_->site.node] = fault_->stuck_value;
+
+  for (NodeIndex n : nl.topo_order()) {
+    const Gate& g = nl.gate(n);
+    if (is_frame_input(g.type)) {
+      if (g.type == GateType::Const0) values_[n] = false;
+      if (g.type == GateType::Const1) values_[n] = true;
+      if (stem_fault && n == fault_->site.node) {
+        values_[n] = fault_->stuck_value;
+      }
+      continue;
+    }
+    if (stem_fault && n == fault_->site.node) {
+      values_[n] = fault_->stuck_value;
+      continue;
+    }
+    const bool here = branch_fault && n == fault_->site.node;
+    std::vector<bool> ins(g.fanins.size());
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      ins[i] = (here && i == fault_->site.pin) ? fault_->stuck_value
+                                               : values_[g.fanins[i]];
+    }
+    values_[n] = eval_gate2(g.type, ins);
+  }
+
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    const NodeIndex dff = nl.dffs()[i];
+    bool v = values_[nl.gate(dff).fanins[0]];
+    if (branch_fault && fault_->site.node == dff) v = fault_->stuck_value;
+    state_[i] = v;
+  }
+
+  std::vector<bool> out;
+  out.reserve(nl.outputs().size());
+  for (NodeIndex n : nl.outputs()) out.push_back(values_[n]);
+  return out;
+}
+
+std::vector<std::vector<bool>> Sim2::run(
+    const std::vector<bool>& initial,
+    const std::vector<std::vector<bool>>& sequence) {
+  set_state(initial);
+  std::vector<std::vector<bool>> out;
+  out.reserve(sequence.size());
+  for (const auto& vec : sequence) out.push_back(step(vec));
+  return out;
+}
+
+std::vector<std::vector<bool>> to_bool_sequence(
+    const std::vector<std::vector<Val3>>& sequence) {
+  std::vector<std::vector<bool>> out;
+  out.reserve(sequence.size());
+  for (const auto& vec : sequence) {
+    std::vector<bool> row;
+    row.reserve(vec.size());
+    for (Val3 v : vec) {
+      if (!is_binary(v)) {
+        throw std::invalid_argument("to_bool_sequence: X in test vector");
+      }
+      row.push_back(v == Val3::One);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace motsim

@@ -1,0 +1,62 @@
+#ifndef MOTSIM_SIM3_SIM2_H
+#define MOTSIM_SIM3_SIM2_H
+
+#include <optional>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "faults/fault.h"
+#include "logic/val3.h"
+
+namespace motsim {
+
+/// Concrete two-valued reference simulator with optional fault
+/// injection.
+///
+/// Simulates the machine from a *fully specified* binary initial state
+/// — the ground truth against which the three-valued and symbolic
+/// simulators are validated (a Val3 simulation must abstract every
+/// Sim2 run; a symbolic detection claim must hold on every enumerated
+/// initial-state pair). Also used to produce circuit-under-test
+/// responses for the test-evaluation demos.
+class Sim2 {
+ public:
+  /// `fault`, if present, is permanently injected (single stuck-at).
+  explicit Sim2(const Netlist& netlist,
+                std::optional<Fault> fault = std::nullopt);
+
+  /// Sets the present state (one bit per flip-flop).
+  void set_state(std::vector<bool> state);
+  [[nodiscard]] const std::vector<bool>& state() const noexcept {
+    return state_;
+  }
+
+  /// Applies one binary input vector; returns the output values.
+  std::vector<bool> step(const std::vector<bool>& inputs);
+
+  /// Convenience: runs a whole sequence from `initial` and returns the
+  /// output sequence (outer index = frame).
+  [[nodiscard]] std::vector<std::vector<bool>> run(
+      const std::vector<bool>& initial,
+      const std::vector<std::vector<bool>>& sequence);
+
+  /// Per-node values of the most recent frame.
+  [[nodiscard]] const std::vector<bool>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  const Netlist* netlist_;
+  std::optional<Fault> fault_;
+  std::vector<bool> values_;
+  std::vector<bool> state_;
+};
+
+/// Converts a binary Val3 sequence (test vectors) into bool form.
+/// Throws std::invalid_argument on X entries.
+[[nodiscard]] std::vector<std::vector<bool>> to_bool_sequence(
+    const std::vector<std::vector<Val3>>& sequence);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_SIM3_SIM2_H

@@ -1,0 +1,104 @@
+#include "tpg/compaction.h"
+
+#include "sim3/fault_sim3.h"
+#include "sim3/good_sim3.h"
+
+namespace motsim {
+
+CompactionResult generate_deterministic_sequence(
+    const Netlist& netlist, const std::vector<Fault>& faults,
+    const CompactionConfig& config) {
+  Rng rng(config.seed);
+  FaultPropagator3 propagator(netlist);
+
+  // Committed simulation state: fault-free machine + per-live-fault
+  // state divergence, advanced only when a segment is accepted.
+  GoodSim3 good(netlist);
+  struct Live {
+    std::size_t index;
+    StateDiff3 diff;
+  };
+  std::vector<Live> live;
+  live.reserve(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) live.push_back({i, {}});
+
+  CompactionResult result;
+  std::size_t stale = 0;
+
+  while (stale < config.stale_rounds && !live.empty() &&
+         result.sequence.size() < config.max_length) {
+    ++result.rounds;
+
+    // Try a few candidate segments from the committed state; keep the
+    // first that detects something new.
+    bool accepted = false;
+    for (std::size_t c = 0; c < config.candidates_per_round && !accepted;
+         ++c) {
+      Rng seg_rng = rng.fork();
+      TestSequence segment =
+          random_sequence(netlist, config.segment_length, seg_rng);
+
+      // Trial simulation on copies.
+      GoodSim3 trial_good = good;
+      std::vector<Live> trial_live = live;
+      std::vector<std::size_t> detected;
+      for (const auto& vec : segment) {
+        trial_good.step(vec);
+        const std::vector<Val3>& values = trial_good.values();
+        const std::vector<Val3>& next = trial_good.state();
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < trial_live.size(); ++i) {
+          if (propagator.step(faults[trial_live[i].index],
+                              trial_live[i].diff, values, next)) {
+            detected.push_back(trial_live[i].index);
+          } else {
+            if (keep != i) trial_live[keep] = std::move(trial_live[i]);
+            ++keep;
+          }
+        }
+        trial_live.resize(keep);
+      }
+
+      if (!detected.empty()) {
+        // Commit.
+        good = std::move(trial_good);
+        live = std::move(trial_live);
+        result.detected_faults += detected.size();
+        for (auto& vec : segment) result.sequence.push_back(std::move(vec));
+        accepted = true;
+      }
+    }
+
+    stale = accepted ? 0 : stale + 1;
+  }
+
+  // Optional padding up to min_length: append random segments,
+  // committing their simulation effects (and any detections).
+  while (result.sequence.size() < config.min_length && !live.empty() &&
+         result.sequence.size() < config.max_length) {
+    Rng seg_rng = rng.fork();
+    TestSequence segment =
+        random_sequence(netlist, config.segment_length, seg_rng);
+    for (const auto& vec : segment) {
+      good.step(vec);
+      const std::vector<Val3>& values = good.values();
+      const std::vector<Val3>& next = good.state();
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (propagator.step(faults[live[i].index], live[i].diff, values,
+                            next)) {
+          ++result.detected_faults;
+        } else {
+          if (keep != i) live[keep] = std::move(live[i]);
+          ++keep;
+        }
+      }
+      live.resize(keep);
+    }
+    for (auto& vec : segment) result.sequence.push_back(std::move(vec));
+  }
+
+  return result;
+}
+
+}  // namespace motsim

@@ -1,0 +1,49 @@
+#ifndef MOTSIM_TPG_COMPACTION_H
+#define MOTSIM_TPG_COMPACTION_H
+
+#include <cstdint>
+
+#include "faults/fault.h"
+#include "tpg/sequences.h"
+
+namespace motsim {
+
+/// Parameters of the greedy sequence compactor.
+struct CompactionConfig {
+  /// Candidate segment length in frames.
+  std::size_t segment_length = 8;
+  /// Candidates tried per accepted position before giving up.
+  std::size_t candidates_per_round = 4;
+  /// Stop after this many consecutive rounds without a new detection.
+  std::size_t stale_rounds = 6;
+  /// Hard cap on the produced sequence length.
+  std::size_t max_length = 4096;
+  /// Minimum length: if the greedy phase stalls early the sequence is
+  /// padded with random segments (they keep the committed machine
+  /// state moving and may still detect faults downstream).
+  std::size_t min_length = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of the compactor.
+struct CompactionResult {
+  TestSequence sequence;
+  std::size_t detected_faults = 0;  ///< under three-valued SOT
+  std::size_t rounds = 0;
+};
+
+/// Fault-simulation-guided greedy sequence generation.
+///
+/// Stand-in for the deterministic (ATPG/HOPE) sequences of the paper's
+/// Table III: random candidate segments are three-valued
+/// fault-simulated incrementally, and a segment is appended only if it
+/// detects at least one previously undetected fault. The result is a
+/// short, targeted sequence with a much higher per-vector yield than a
+/// raw random sequence — the property Table III exercises.
+[[nodiscard]] CompactionResult generate_deterministic_sequence(
+    const Netlist& netlist, const std::vector<Fault>& faults,
+    const CompactionConfig& config = {});
+
+}  // namespace motsim
+
+#endif  // MOTSIM_TPG_COMPACTION_H

@@ -1,0 +1,62 @@
+#ifndef MOTSIM_TPG_MOT_TPG_H
+#define MOTSIM_TPG_MOT_TPG_H
+
+#include <cstdint>
+
+#include "core/hybrid_sim.h"
+#include "faults/fault.h"
+#include "tpg/sequences.h"
+
+namespace motsim {
+
+/// Parameters of the MOT-guided greedy test generator.
+struct MotTpgConfig {
+  /// Observation strategy judging candidate segments.
+  Strategy strategy = Strategy::Mot;
+  /// Candidate segment length in frames.
+  std::size_t segment_length = 8;
+  /// Candidates tried per round; the best one (most new detections) is
+  /// kept.
+  std::size_t candidates_per_round = 3;
+  /// Stop after this many consecutive rounds without improvement.
+  std::size_t stale_rounds = 3;
+  /// Hard cap on the produced sequence length.
+  std::size_t max_length = 256;
+  /// OBDD space limit of the judging hybrid simulator.
+  std::size_t node_limit = 30000;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of the generator.
+struct MotTpgResult {
+  TestSequence sequence;
+  /// Faults the final sequence detects under the configured strategy
+  /// (full pipeline verdict: X01 plus symbolic).
+  std::size_t detected = 0;
+  std::size_t rounds = 0;
+  /// Final classification per fault.
+  std::vector<FaultStatus> status;
+};
+
+/// MOT-guided greedy test generation — the paper's stated future work
+/// ("MOT-based test generation should be supported by a MOT-based
+/// fault simulation", Section I): candidate random segments are scored
+/// by the *symbolic* fault simulator under the chosen observation
+/// strategy, so segments are kept exactly when they improve MOT (or
+/// rMOT) coverage — including faults that are three-valued
+/// undetectable and therefore invisible to conventional
+/// simulation-guided generators like the compactor in
+/// tpg/compaction.h.
+///
+/// Complexity note: symbolic fault-simulation state (the detection
+/// functions D~) cannot be checkpointed across candidate extensions,
+/// so every candidate is scored by re-simulating the full prefix —
+/// O(L^2) in the final length L. Intended for generator-scale
+/// circuits, not the Table-I giants.
+[[nodiscard]] MotTpgResult generate_mot_sequence(
+    const Netlist& netlist, const std::vector<Fault>& faults,
+    const MotTpgConfig& config = {});
+
+}  // namespace motsim
+
+#endif  // MOTSIM_TPG_MOT_TPG_H

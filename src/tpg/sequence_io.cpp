@@ -1,0 +1,69 @@
+#include "tpg/sequence_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace motsim {
+
+TestSequence read_sequence(std::istream& in) {
+  TestSequence seq;
+  std::string raw;
+  int line_no = 0;
+  std::size_t width = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    std::vector<Val3> frame;
+    frame.reserve(line.size());
+    for (char c : line) {
+      try {
+        frame.push_back(val3_from_char(c));
+      } catch (const std::invalid_argument&) {
+        throw std::invalid_argument(
+            "sequence parse error at line " + std::to_string(line_no) +
+            ": unexpected character '" + c + "'");
+      }
+    }
+    if (width == 0) {
+      width = frame.size();
+    } else if (frame.size() != width) {
+      throw std::invalid_argument(
+          "sequence parse error at line " + std::to_string(line_no) +
+          ": frame width " + std::to_string(frame.size()) +
+          " does not match " + std::to_string(width));
+    }
+    seq.push_back(std::move(frame));
+  }
+  return seq;
+}
+
+TestSequence read_sequence_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_sequence(in);
+}
+
+void write_sequence(std::ostream& out, const TestSequence& sequence,
+                    const std::string& comment) {
+  if (!comment.empty()) out << "# " << comment << "\n";
+  for (const auto& frame : sequence) {
+    for (Val3 v : frame) out << to_char(v);
+    out << "\n";
+  }
+}
+
+std::string write_sequence_string(const TestSequence& sequence,
+                                  const std::string& comment) {
+  std::ostringstream os;
+  write_sequence(os, sequence, comment);
+  return os.str();
+}
+
+}  // namespace motsim

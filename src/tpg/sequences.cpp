@@ -1,0 +1,27 @@
+#include "tpg/sequences.h"
+
+namespace motsim {
+
+TestSequence random_sequence(const Netlist& netlist, std::size_t length,
+                             Rng& rng) {
+  TestSequence seq(length);
+  for (auto& frame : seq) {
+    frame.resize(netlist.input_count());
+    for (Val3& v : frame) v = to_val3(rng.flip());
+  }
+  return seq;
+}
+
+TestSequence sequence_from_strings(const std::vector<std::string>& rows) {
+  TestSequence seq;
+  seq.reserve(rows.size());
+  for (const std::string& row : rows) {
+    std::vector<Val3> frame;
+    frame.reserve(row.size());
+    for (char c : row) frame.push_back(val3_from_char(c));
+    seq.push_back(std::move(frame));
+  }
+  return seq;
+}
+
+}  // namespace motsim

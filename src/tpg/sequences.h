@@ -1,0 +1,30 @@
+#ifndef MOTSIM_TPG_SEQUENCES_H
+#define MOTSIM_TPG_SEQUENCES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "logic/val3.h"
+#include "util/rng.h"
+
+namespace motsim {
+
+/// A test sequence: one fully specified input vector per frame.
+using TestSequence = std::vector<std::vector<Val3>>;
+
+/// Uniform random binary sequence of `length` vectors for `netlist`'s
+/// inputs — the workload of the paper's Tables I and II ("random test
+/// sequences of length 200").
+[[nodiscard]] TestSequence random_sequence(const Netlist& netlist,
+                                           std::size_t length, Rng& rng);
+
+/// Parses rows like {"101", "011"} into a sequence (row = frame;
+/// characters 0/1/X). Used by tests and examples.
+[[nodiscard]] TestSequence sequence_from_strings(
+    const std::vector<std::string>& rows);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_TPG_SEQUENCES_H

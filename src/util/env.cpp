@@ -1,0 +1,25 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace motsim {
+
+bool env_flag(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return false;
+  const std::string s = to_lower(trim(v));
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+}  // namespace motsim

@@ -1,0 +1,20 @@
+#ifndef MOTSIM_UTIL_ENV_H
+#define MOTSIM_UTIL_ENV_H
+
+#include <cstdint>
+#include <string>
+
+namespace motsim {
+
+/// True if the environment variable `name` is set to a truthy value
+/// ("1", "true", "yes", "on"; case-insensitive).
+[[nodiscard]] bool env_flag(const std::string& name);
+
+/// Integer value of environment variable `name`, or `fallback` if the
+/// variable is unset or unparsable.
+[[nodiscard]] std::int64_t env_int(const std::string& name,
+                                   std::int64_t fallback);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_UTIL_ENV_H

@@ -1,0 +1,4 @@
+// Header-only implementation; this translation unit exists so the
+// library has a stable object for the module and to catch ODR issues
+// early.
+#include "util/stopwatch.h"

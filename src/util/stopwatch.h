@@ -1,0 +1,73 @@
+#ifndef MOTSIM_UTIL_STOPWATCH_H
+#define MOTSIM_UTIL_STOPWATCH_H
+
+#include <chrono>
+
+namespace motsim {
+
+/// A simple monotonic stopwatch used for all run-time measurements
+/// reported by the benchmark harnesses (the paper reports CPU seconds
+/// on a SPARCstation 10; we report wall-clock seconds on the host).
+class Stopwatch {
+ public:
+  /// Creates a stopwatch and starts it immediately.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement from zero.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across several disjoint measurement windows.
+/// Useful when a phase (e.g. symbolic simulation) is interleaved with
+/// another phase (e.g. three-valued fallback) and both must be timed
+/// separately.
+class AccumulatingTimer {
+ public:
+  /// Opens a measurement window. Calling start() twice without an
+  /// intervening stop() restarts the current window.
+  void start() {
+    running_ = true;
+    window_.reset();
+  }
+
+  /// Closes the current window and adds it to the running total.
+  void stop() {
+    if (running_) {
+      total_ += window_.elapsed_seconds();
+      running_ = false;
+    }
+  }
+
+  /// Total seconds accumulated over all closed windows (plus the open
+  /// window, if any).
+  [[nodiscard]] double total_seconds() const {
+    return total_ + (running_ ? window_.elapsed_seconds() : 0.0);
+  }
+
+  /// Drops all accumulated time and closes any open window.
+  void reset() {
+    total_ = 0.0;
+    running_ = false;
+  }
+
+ private:
+  Stopwatch window_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_UTIL_STOPWATCH_H

@@ -1,0 +1,31 @@
+#ifndef MOTSIM_UTIL_STRINGS_H
+#define MOTSIM_UTIL_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace motsim {
+
+/// Returns `s` without leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits `s` at every occurrence of `sep`, trimming each piece.
+/// Empty pieces are kept (so "a,,b" yields three entries).
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// ASCII-lowercases a copy of `s`.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// ASCII-uppercases a copy of `s`.
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats a double with `prec` digits after the point (fixed).
+[[nodiscard]] std::string format_fixed(double v, int prec);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_UTIL_STRINGS_H

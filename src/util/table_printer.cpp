@@ -1,0 +1,72 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace motsim {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void TablePrinter::add_separator() {
+  rows_.push_back(Row{{}, /*separator=*/true});
+}
+
+std::size_t TablePrinter::row_count() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) {
+    if (!r.separator) ++n;
+  }
+  return n;
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) {
+    if (!r.separator) widen(r.cells);
+  }
+
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : std::string{};
+      const std::string pad(width[i] - cell.size(), ' ');
+      // First column left-aligned, the rest right-aligned.
+      os << "| " << (i == 0 ? cell + pad : pad + cell) << ' ';
+    }
+    os << "|\n";
+  };
+
+  auto print_sep = [&] {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      os << '|' << std::string(width[i] + 2, '-');
+    }
+    os << "|\n";
+  };
+
+  print_sep();
+  print_cells(header_);
+  print_sep();
+  for (const auto& r : rows_) {
+    if (r.separator) {
+      print_sep();
+    } else {
+      print_cells(r.cells);
+    }
+  }
+  print_sep();
+}
+
+}  // namespace motsim

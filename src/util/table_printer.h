@@ -1,0 +1,46 @@
+#ifndef MOTSIM_UTIL_TABLE_PRINTER_H
+#define MOTSIM_UTIL_TABLE_PRINTER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace motsim {
+
+/// Column-aligned console table used by the benchmark harnesses to
+/// print paper-style result tables (Tables I-IV of the paper).
+///
+/// Usage:
+///   TablePrinter t({"Circ.", "|F|", "X-red"});
+///   t.add_row({"s298", "308", "71"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are padded with
+  /// empty cells; longer rows extend the table width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders the table. The first column is left-aligned, all other
+  /// columns right-aligned (the convention of the paper's tables).
+  void print(std::ostream& os) const;
+
+  /// Number of data rows added so far (separators excluded).
+  [[nodiscard]] std::size_t row_count() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_UTIL_TABLE_PRINTER_H

@@ -1,0 +1,128 @@
+#ifndef MOTSIM_TESTS_REFERENCE_H
+#define MOTSIM_TESTS_REFERENCE_H
+
+// Brute-force reference implementations of the paper's detectability
+// definitions, by exhaustive enumeration of initial states with the
+// two-valued simulator. Only usable for small memory-element counts;
+// the property-based suites cross-validate every fault simulator
+// against these.
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_data/synth_gen.h"
+#include "circuit/netlist.h"
+#include "faults/fault.h"
+#include "logic/val3.h"
+#include "sim3/sim2.h"
+#include "tpg/sequences.h"
+
+namespace motsim::testing {
+
+/// Output sequences (frame-major) of machine `nl` (faulty if `fault`
+/// given) for every initial state, indexed by the state's integer
+/// encoding (bit i of the index = flip-flop i).
+inline std::vector<std::vector<std::vector<bool>>> all_responses(
+    const Netlist& nl, const std::optional<Fault>& fault,
+    const TestSequence& sequence) {
+  const std::size_t m = nl.dff_count();
+  const std::size_t nstates = std::size_t{1} << m;
+  const auto seq2 = to_bool_sequence(sequence);
+
+  std::vector<std::vector<std::vector<bool>>> out;
+  out.reserve(nstates);
+  for (std::size_t s = 0; s < nstates; ++s) {
+    std::vector<bool> init(m);
+    for (std::size_t i = 0; i < m; ++i) init[i] = ((s >> i) & 1) != 0;
+    Sim2 sim(nl, fault);
+    out.push_back(sim.run(init, seq2));
+  }
+  return out;
+}
+
+/// Definition 2 (SOT): detectable iff there are t, i, b with
+/// o_i(p,t) = b for every fault-free initial state p and
+/// o_i^f(q,t) = !b for every faulty initial state q.
+inline bool ref_sot_detectable(const Netlist& nl, const Fault& fault,
+                               const TestSequence& sequence) {
+  const auto good = all_responses(nl, std::nullopt, sequence);
+  const auto bad = all_responses(nl, fault, sequence);
+  for (std::size_t t = 0; t < sequence.size(); ++t) {
+    for (std::size_t i = 0; i < nl.output_count(); ++i) {
+      bool good_const = true, bad_const = true;
+      const bool g0 = good[0][t][i];
+      const bool b0 = bad[0][t][i];
+      for (const auto& r : good) good_const &= (r[t][i] == g0);
+      for (const auto& r : bad) bad_const &= (r[t][i] == b0);
+      if (good_const && bad_const && g0 != b0) return true;
+    }
+  }
+  return false;
+}
+
+/// Definition 3 (MOT): detectable iff for every pair of initial states
+/// (p, q) the output sequences differ somewhere.
+inline bool ref_mot_detectable(const Netlist& nl, const Fault& fault,
+                               const TestSequence& sequence) {
+  const auto good = all_responses(nl, std::nullopt, sequence);
+  const auto bad = all_responses(nl, fault, sequence);
+  for (const auto& gp : good) {
+    for (const auto& bq : bad) {
+      if (gp == bq) return false;  // an indistinguishable pair exists
+    }
+  }
+  return true;
+}
+
+/// Restricted MOT: let W be the (t, i) points where the fault-free
+/// output is the same value b for every initial state; detectable iff
+/// every faulty initial state mismatches some point of W.
+inline bool ref_rmot_detectable(const Netlist& nl, const Fault& fault,
+                                const TestSequence& sequence) {
+  const auto good = all_responses(nl, std::nullopt, sequence);
+  const auto bad = all_responses(nl, fault, sequence);
+
+  struct WellDefined {
+    std::size_t t, i;
+    bool b;
+  };
+  std::vector<WellDefined> w;
+  for (std::size_t t = 0; t < sequence.size(); ++t) {
+    for (std::size_t i = 0; i < nl.output_count(); ++i) {
+      bool is_const = true;
+      const bool g0 = good[0][t][i];
+      for (const auto& r : good) is_const &= (r[t][i] == g0);
+      if (is_const) w.push_back({t, i, g0});
+    }
+  }
+
+  for (const auto& bq : bad) {
+    bool mismatch = false;
+    for (const auto& point : w) {
+      if (bq[point.t][point.i] != point.b) {
+        mismatch = true;
+        break;
+      }
+    }
+    if (!mismatch) return false;  // this faulty start mimics the spec
+  }
+  return true;
+}
+
+/// Small random circuit for property tests (<= a handful of
+/// flip-flops so exhaustive enumeration stays cheap).
+inline Netlist small_random_circuit(std::uint64_t seed) {
+  SynthSpec spec;
+  spec.name = "prop" + std::to_string(seed);
+  spec.inputs = 2 + seed % 3;
+  spec.outputs = 1 + seed % 3;
+  spec.dffs = 2 + seed % 4;        // at most 5 -> <= 32 initial states
+  spec.target_gates = 18 + (seed % 5) * 6;
+  spec.style = static_cast<CircuitStyle>(seed % 4);
+  spec.seed = seed * 0x9E3779B9ull + 1;
+  return generate_circuit(spec);
+}
+
+}  // namespace motsim::testing
+
+#endif  // MOTSIM_TESTS_REFERENCE_H

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.h"
+
+namespace motsim::bdd {
+namespace {
+
+TEST(BddBasic, TerminalsAreDistinctConstants) {
+  BddManager mgr;
+  const Bdd zero = mgr.zero();
+  const Bdd one = mgr.one();
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_TRUE(one.is_one());
+  EXPECT_TRUE(zero.is_const());
+  EXPECT_TRUE(one.is_const());
+  EXPECT_NE(zero, one);
+  EXPECT_EQ(mgr.constant(false), zero);
+  EXPECT_EQ(mgr.constant(true), one);
+}
+
+TEST(BddBasic, NullHandle) {
+  Bdd b;
+  EXPECT_TRUE(b.is_null());
+  EXPECT_FALSE(b.is_zero());
+  EXPECT_FALSE(b.is_one());
+  EXPECT_EQ(b.manager(), nullptr);
+}
+
+TEST(BddBasic, VariablesAreCanonical) {
+  BddManager mgr;
+  const Bdd x0 = mgr.var(0);
+  const Bdd x0_again = mgr.var(0);
+  EXPECT_EQ(x0, x0_again);
+  EXPECT_EQ(mgr.live_node_count(), 1u);  // one shared node
+  EXPECT_EQ(x0.top_var(), 0u);
+  EXPECT_TRUE(x0.high().is_one());
+  EXPECT_TRUE(x0.low().is_zero());
+}
+
+TEST(BddBasic, NegatedVariable) {
+  BddManager mgr;
+  const Bdd nx = mgr.nvar(3);
+  EXPECT_EQ(nx.top_var(), 3u);
+  EXPECT_TRUE(nx.high().is_zero());
+  EXPECT_TRUE(nx.low().is_one());
+  EXPECT_EQ(nx, !mgr.var(3));
+}
+
+TEST(BddBasic, VarCountTracksCreation) {
+  BddManager mgr;
+  EXPECT_EQ(mgr.var_count(), 0u);
+  (void)mgr.var(4);
+  EXPECT_EQ(mgr.var_count(), 5u);
+  mgr.ensure_vars(10);
+  EXPECT_EQ(mgr.var_count(), 10u);
+  mgr.ensure_vars(3);  // never shrinks
+  EXPECT_EQ(mgr.var_count(), 10u);
+}
+
+TEST(BddBasic, ReductionRuleMergesEqualChildren) {
+  BddManager mgr;
+  const Bdd x = mgr.var(0);
+  // x | !x == 1 must collapse to the terminal, creating no new node.
+  const Bdd tauto = x | !x;
+  EXPECT_TRUE(tauto.is_one());
+  const Bdd contra = x & !x;
+  EXPECT_TRUE(contra.is_zero());
+}
+
+TEST(BddBasic, StructuralSharingAcrossExpressions) {
+  BddManager mgr;
+  const Bdd a = mgr.var(0), b = mgr.var(1);
+  const Bdd f = a & b;
+  const Bdd g = b & a;
+  EXPECT_EQ(f, g);  // canonicity: same function, same node
+}
+
+TEST(BddBasic, EvalWalksTheGraph) {
+  BddManager mgr;
+  const Bdd a = mgr.var(0), b = mgr.var(1), c = mgr.var(2);
+  const Bdd f = (a & b) | c;
+  EXPECT_FALSE(f.eval({false, false, false}));
+  EXPECT_TRUE(f.eval({true, true, false}));
+  EXPECT_TRUE(f.eval({false, false, true}));
+  EXPECT_FALSE(f.eval({true, false, false}));
+}
+
+TEST(BddBasic, NodeCountOfSimpleFunctions) {
+  BddManager mgr;
+  const Bdd a = mgr.var(0), b = mgr.var(1);
+  EXPECT_EQ(mgr.zero().node_count(), 0u);
+  EXPECT_EQ(a.node_count(), 1u);
+  EXPECT_EQ((a & b).node_count(), 2u);
+  EXPECT_EQ((a ^ b).node_count(), 3u);  // xor needs both phases of b
+}
+
+TEST(BddBasic, SharedNodeCountOfSets) {
+  BddManager mgr;
+  const Bdd a = mgr.var(0), b = mgr.var(1);
+  const Bdd f = a & b;
+  const Bdd g = a | b;
+  const Bdd fs[] = {f, g};
+  const std::size_t shared = mgr.node_count(std::span<const Bdd>(fs));
+  EXPECT_LE(shared, f.node_count() + g.node_count());
+  EXPECT_GE(shared, std::max(f.node_count(), g.node_count()));
+}
+
+TEST(BddBasic, HandleCopyAndMoveKeepRegistration) {
+  BddManager mgr;
+  EXPECT_EQ(mgr.handle_count(), 0u);
+  {
+    Bdd a = mgr.var(0);
+    EXPECT_EQ(mgr.handle_count(), 1u);
+    Bdd b = a;  // copy
+    EXPECT_EQ(mgr.handle_count(), 2u);
+    Bdd c = std::move(a);  // move detaches the source
+    EXPECT_EQ(mgr.handle_count(), 2u);
+    EXPECT_TRUE(a.is_null());
+    EXPECT_EQ(b, c);
+    c = b;  // self-family assignment
+    EXPECT_EQ(mgr.handle_count(), 2u);
+  }
+  EXPECT_EQ(mgr.handle_count(), 0u);
+}
+
+TEST(BddBasic, SelfAssignmentIsSafe) {
+  BddManager mgr;
+  Bdd a = mgr.var(0);
+  Bdd& alias = a;
+  a = alias;
+  EXPECT_EQ(a.top_var(), 0u);
+  EXPECT_EQ(mgr.handle_count(), 1u);
+}
+
+TEST(BddBasic, EqualityIsPerManager) {
+  BddManager m1, m2;
+  const Bdd a = m1.var(0);
+  const Bdd b = m2.var(0);
+  EXPECT_NE(a, b);  // same index, different managers
+}
+
+TEST(BddBasic, ImpliesAndXnor) {
+  BddManager mgr;
+  const Bdd a = mgr.var(0), b = mgr.var(1);
+  EXPECT_EQ(a.implies(b), (!a) | b);
+  EXPECT_EQ(a.xnor(b), !(a ^ b));
+  EXPECT_TRUE(a.implies(a).is_one());
+}
+
+TEST(BddBasic, ToDotContainsStructure) {
+  BddManager mgr;
+  const Bdd f = mgr.var(0) & mgr.var(1);
+  const std::string dot = mgr.to_dot(f, "f");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("x0"), std::string::npos);
+  EXPECT_NE(dot.find("x1"), std::string::npos);
+}
+
+TEST(BddBasic, StatsCountNodeCreation) {
+  BddManager mgr;
+  const auto before = mgr.stats().nodes_created;
+  (void)(mgr.var(0) & mgr.var(1));
+  EXPECT_GT(mgr.stats().nodes_created, before);
+}
+
+}  // namespace
+}  // namespace motsim::bdd

@@ -1,0 +1,395 @@
+// Composition, renaming, quantification and analysis operations,
+// validated against brute-force truth-table semantics.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.h"
+#include "util/rng.h"
+
+namespace motsim::bdd {
+namespace {
+
+constexpr unsigned kVars = 6;
+
+bool bit(unsigned a, unsigned v) { return ((a >> v) & 1) != 0; }
+
+Bdd random_function(BddManager& mgr, Rng& rng, int depth,
+                    unsigned var_limit = kVars) {
+  if (depth == 0 || rng.chance(0.3)) {
+    return mgr.var(static_cast<unsigned>(rng.below(var_limit)));
+  }
+  const Bdd l = random_function(mgr, rng, depth - 1, var_limit);
+  const Bdd r = random_function(mgr, rng, depth - 1, var_limit);
+  switch (rng.below(4)) {
+    case 0:
+      return l & r;
+    case 1:
+      return l | r;
+    case 2:
+      return l ^ r;
+    default:
+      return !l;
+  }
+}
+
+std::vector<bool> assignment_of(unsigned a) {
+  std::vector<bool> out(kVars);
+  for (unsigned v = 0; v < kVars; ++v) out[v] = bit(a, v);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// compose
+// ---------------------------------------------------------------------------
+
+class BddComposeProp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BddComposeProp, ComposeMatchesSubstitutionSemantics) {
+  BddManager mgr;
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 15; ++iter) {
+    const Bdd f = random_function(mgr, rng, 3);
+    const Bdd g = random_function(mgr, rng, 3);
+    const unsigned v = static_cast<unsigned>(rng.below(kVars));
+    const Bdd composed = mgr.compose(f, v, g);
+    for (unsigned a = 0; a < (1u << kVars); ++a) {
+      std::vector<bool> asg = assignment_of(a);
+      asg[v] = g.eval(assignment_of(a));
+      EXPECT_EQ(composed.eval(assignment_of(a)), f.eval(asg))
+          << "compose(f," << v << ",g) wrong at " << a;
+    }
+  }
+}
+
+TEST_P(BddComposeProp, ComposeWithProjectionIsIdentity) {
+  BddManager mgr;
+  Rng rng(GetParam() ^ 0x55);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Bdd f = random_function(mgr, rng, 3);
+    const unsigned v = static_cast<unsigned>(rng.below(kVars));
+    EXPECT_EQ(mgr.compose(f, v, mgr.var(v)), f);
+  }
+}
+
+TEST_P(BddComposeProp, ComposeWithConstantIsRestrict) {
+  BddManager mgr;
+  Rng rng(GetParam() ^ 0x99);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Bdd f = random_function(mgr, rng, 3);
+    const unsigned v = static_cast<unsigned>(rng.below(kVars));
+    EXPECT_EQ(mgr.compose(f, v, mgr.one()), mgr.restrict_var(f, v, true));
+    EXPECT_EQ(mgr.compose(f, v, mgr.zero()), mgr.restrict_var(f, v, false));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddComposeProp,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+// ---------------------------------------------------------------------------
+// rename
+// ---------------------------------------------------------------------------
+
+TEST(BddRename, InterleavedXToYShift) {
+  // The simulators' variable plan: x_i = 2i, y_i = 2i+1. Renaming
+  // x_i -> y_i is order-preserving.
+  BddManager mgr;
+  const Bdd x0 = mgr.var(0), x1 = mgr.var(2), x2 = mgr.var(4);
+  const Bdd f = (x0 & x1) | (x1 ^ x2);
+  std::vector<VarIndex> map{1, 1, 3, 3, 5, 5};
+  const Bdd g = mgr.rename(f, map);
+
+  const Bdd y0 = mgr.var(1), y1 = mgr.var(3), y2 = mgr.var(5);
+  EXPECT_EQ(g, (y0 & y1) | (y1 ^ y2));
+}
+
+TEST(BddRename, RenameAgreesWithIteratedCompose) {
+  BddManager mgr;
+  Rng rng(31);
+  for (int iter = 0; iter < 10; ++iter) {
+    // Build f over even variables only, shift to odd.
+    Bdd f = mgr.one();
+    for (unsigned i = 0; i < 3; ++i) {
+      const Bdd v = mgr.var(2 * i);
+      f = rng.flip() ? (f & (rng.flip() ? v : !v)) : (f ^ v);
+    }
+    std::vector<VarIndex> map{1, 1, 3, 3, 5, 5};
+    const Bdd renamed = mgr.rename(f, map);
+
+    // Iterated compose from the bottom variable up is equivalent for
+    // this disjoint-range map.
+    Bdd composed = f;
+    for (int i = 2; i >= 0; --i) {
+      composed = mgr.compose(composed, 2 * static_cast<unsigned>(i),
+                             mgr.var(2 * static_cast<unsigned>(i) + 1));
+    }
+    EXPECT_EQ(renamed, composed);
+  }
+}
+
+TEST(BddRename, IdentityMapping) {
+  BddManager mgr;
+  const Bdd f = mgr.var(0) ^ mgr.var(1);
+  EXPECT_EQ(mgr.rename(f, {0, 1}), f);
+  EXPECT_EQ(mgr.rename(f, {}), f);  // short mapping = identity
+}
+
+TEST(BddRename, RejectsOrderViolatingMaps) {
+  BddManager mgr;
+  const Bdd f = mgr.var(0) & mgr.var(1);
+  // Swapping 0 and 1 is not order-preserving on the support.
+  std::vector<VarIndex> swap{1, 0};
+  EXPECT_THROW((void)mgr.rename(f, swap), std::invalid_argument);
+  // Collapsing two support variables onto one is rejected too.
+  std::vector<VarIndex> collapse{2, 2};
+  EXPECT_THROW((void)mgr.rename(f, collapse), std::invalid_argument);
+}
+
+TEST(BddRename, ConstantsAreUntouched) {
+  BddManager mgr;
+  EXPECT_EQ(mgr.rename(mgr.one(), {5, 6}), mgr.one());
+  EXPECT_EQ(mgr.rename(mgr.zero(), {5, 6}), mgr.zero());
+}
+
+// ---------------------------------------------------------------------------
+// quantification
+// ---------------------------------------------------------------------------
+
+class BddQuantProp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BddQuantProp, ExistsMatchesCofactorDisjunction) {
+  BddManager mgr;
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 10; ++iter) {
+    const Bdd f = random_function(mgr, rng, 3);
+    const unsigned v = static_cast<unsigned>(rng.below(kVars));
+    EXPECT_EQ(mgr.exists(f, {v}), mgr.restrict_var(f, v, false) |
+                                      mgr.restrict_var(f, v, true));
+    EXPECT_EQ(mgr.forall(f, {v}), mgr.restrict_var(f, v, false) &
+                                      mgr.restrict_var(f, v, true));
+  }
+}
+
+TEST_P(BddQuantProp, MultiVariableQuantificationOrderIrrelevant) {
+  BddManager mgr;
+  Rng rng(GetParam() ^ 0x1111);
+  for (int iter = 0; iter < 8; ++iter) {
+    const Bdd f = random_function(mgr, rng, 3);
+    const Bdd e1 = mgr.exists(f, {0, 2});
+    const Bdd e2 = mgr.exists(mgr.exists(f, {2}), {0});
+    EXPECT_EQ(e1, e2);
+    const Bdd a1 = mgr.forall(f, {1, 3});
+    const Bdd a2 = mgr.forall(mgr.forall(f, {3}), {1});
+    EXPECT_EQ(a1, a2);
+  }
+}
+
+TEST_P(BddQuantProp, DualityOfQuantifiers) {
+  BddManager mgr;
+  Rng rng(GetParam() ^ 0x2222);
+  for (int iter = 0; iter < 8; ++iter) {
+    const Bdd f = random_function(mgr, rng, 3);
+    EXPECT_EQ(mgr.exists(f, {0, 1}), !mgr.forall(!f, {0, 1}));
+  }
+}
+
+TEST_P(BddQuantProp, AndExistsEqualsComposedForm) {
+  // The relational product must equal exists(vars, f & g) exactly.
+  BddManager mgr;
+  Rng rng(GetParam() ^ 0x3333);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Bdd f = random_function(mgr, rng, 3);
+    const Bdd g = random_function(mgr, rng, 3);
+    std::vector<VarIndex> vars;
+    for (unsigned v = 0; v < kVars; ++v) {
+      if (rng.flip()) vars.push_back(v);
+    }
+    EXPECT_EQ(mgr.and_exists(f, g, vars), mgr.exists(f & g, vars));
+  }
+}
+
+TEST_P(BddQuantProp, AndExistsTerminalCases) {
+  BddManager mgr;
+  Rng rng(GetParam() ^ 0x4444);
+  const Bdd f = random_function(mgr, rng, 3);
+  const std::vector<VarIndex> vars{0, 1, 2, 3, 4, 5};
+  EXPECT_TRUE(mgr.and_exists(f, mgr.zero(), vars).is_zero());
+  EXPECT_EQ(mgr.and_exists(f, mgr.one(), vars), mgr.exists(f, vars));
+  EXPECT_EQ(mgr.and_exists(mgr.one(), f, vars), mgr.exists(f, vars));
+  // Quantifying nothing is plain conjunction.
+  const Bdd g = random_function(mgr, rng, 3);
+  EXPECT_EQ(mgr.and_exists(f, g, {}), f & g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddQuantProp,
+                         ::testing::Values(41, 42, 43, 44));
+
+// ---------------------------------------------------------------------------
+// transfer (cross-manager / order-changing rebuild)
+// ---------------------------------------------------------------------------
+
+TEST(BddTransfer, IdentityMappingPreservesFunction) {
+  BddManager src, dst;
+  Rng rng(81);
+  for (int iter = 0; iter < 8; ++iter) {
+    const Bdd f = random_function(src, rng, 3);
+    const Bdd g = BddManager::transfer(f, dst, {});
+    for (unsigned a = 0; a < (1u << kVars); ++a) {
+      EXPECT_EQ(g.eval(assignment_of(a)), f.eval(assignment_of(a)));
+    }
+  }
+}
+
+TEST(BddTransfer, OrderReversingMapWorks) {
+  // rename() rejects order-reversing maps; transfer handles them.
+  BddManager src, dst;
+  Rng rng(83);
+  const std::vector<VarIndex> reverse{5, 4, 3, 2, 1, 0};
+  for (int iter = 0; iter < 8; ++iter) {
+    const Bdd f = random_function(src, rng, 3);
+    const Bdd g = BddManager::transfer(f, dst, reverse);
+    for (unsigned a = 0; a < (1u << kVars); ++a) {
+      std::vector<bool> permuted(kVars);
+      for (unsigned v = 0; v < kVars; ++v) {
+        permuted[reverse[v]] = bit(a, v);
+      }
+      EXPECT_EQ(g.eval(permuted), f.eval(assignment_of(a)));
+    }
+  }
+}
+
+TEST(BddTransfer, SameManagerGeneralRename) {
+  BddManager mgr;
+  const Bdd f = mgr.var(0) & !mgr.var(1);
+  const Bdd g = BddManager::transfer(f, mgr, {1, 0});  // swap 0 <-> 1
+  EXPECT_EQ(g, mgr.var(1) & !mgr.var(0));
+}
+
+TEST(BddTransfer, CollapsingMapIsFunctionComposition) {
+  // Mapping two variables onto one computes f with both identified.
+  BddManager src, dst;
+  const Bdd f = src.var(0) ^ src.var(1);
+  const Bdd g = BddManager::transfer(f, dst, {2, 2});
+  EXPECT_TRUE(g.is_zero());  // x ^ x == 0
+}
+
+TEST(BddTransfer, NullSourceRejected) {
+  BddManager dst;
+  Bdd null_handle;
+  EXPECT_THROW((void)BddManager::transfer(null_handle, dst, {}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// constrain (generalized cofactor)
+// ---------------------------------------------------------------------------
+
+class BddConstrainProp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BddConstrainProp, AgreesWithFOnTheCareSet) {
+  // The defining property: constrain(f, c) & c == f & c.
+  BddManager mgr;
+  Rng rng(GetParam() ^ 0x6666);
+  for (int iter = 0; iter < 12; ++iter) {
+    const Bdd f = random_function(mgr, rng, 3);
+    Bdd c = random_function(mgr, rng, 3);
+    if (c.is_zero()) c = mgr.one();
+    const Bdd g = mgr.constrain(f, c);
+    EXPECT_EQ(g & c, f & c);
+  }
+}
+
+TEST_P(BddConstrainProp, IdentityAndAbsorption) {
+  BddManager mgr;
+  Rng rng(GetParam() ^ 0x7777);
+  for (int iter = 0; iter < 8; ++iter) {
+    const Bdd f = random_function(mgr, rng, 3);
+    EXPECT_EQ(mgr.constrain(f, mgr.one()), f);
+    if (!f.is_zero()) {
+      EXPECT_TRUE(mgr.constrain(f, f).is_one());
+    }
+    EXPECT_TRUE(mgr.constrain(mgr.one(), f.is_zero() ? mgr.one() : f)
+                    .is_one());
+  }
+}
+
+TEST(BddConstrain, RejectsEmptyCareSet) {
+  BddManager mgr;
+  const Bdd f = mgr.var(0);
+  EXPECT_THROW((void)mgr.constrain(f, mgr.zero()), std::invalid_argument);
+}
+
+TEST(BddConstrain, ProjectsForcedVariables) {
+  // c = x0 forces x0 = 1: constrain(f, x0) is the positive cofactor.
+  BddManager mgr;
+  const Bdd x0 = mgr.var(0), x1 = mgr.var(1);
+  const Bdd f = x0 ^ x1;
+  EXPECT_EQ(mgr.constrain(f, x0), !x1);
+  EXPECT_EQ(mgr.constrain(f, !x0), x1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddConstrainProp,
+                         ::testing::Values(71, 72, 73, 74, 75));
+
+// ---------------------------------------------------------------------------
+// analysis: support, sat_count, pick_one
+// ---------------------------------------------------------------------------
+
+TEST(BddAnalysis, SupportListsDependencies) {
+  BddManager mgr;
+  const Bdd f = (mgr.var(1) & mgr.var(4)) | mgr.var(2);
+  EXPECT_EQ(mgr.support(f), (std::vector<VarIndex>{1, 2, 4}));
+  EXPECT_TRUE(mgr.support(mgr.one()).empty());
+  // x & !x vanishes: support must be empty.
+  const Bdd gone = mgr.var(0) & !mgr.var(0);
+  EXPECT_TRUE(mgr.support(gone).empty());
+}
+
+TEST(BddAnalysis, SatCountMatchesEnumeration) {
+  BddManager mgr;
+  Rng rng(51);
+  mgr.ensure_vars(kVars);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Bdd f = random_function(mgr, rng, 3);
+    std::size_t expected = 0;
+    for (unsigned a = 0; a < (1u << kVars); ++a) {
+      expected += f.eval(assignment_of(a));
+    }
+    EXPECT_DOUBLE_EQ(mgr.sat_count(f, kVars),
+                     static_cast<double>(expected));
+  }
+}
+
+TEST(BddAnalysis, SatCountOfConstants) {
+  BddManager mgr;
+  mgr.ensure_vars(4);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.zero(), 4), 0.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.one(), 4), 16.0);
+}
+
+TEST(BddAnalysis, PickOneReturnsWitness) {
+  BddManager mgr;
+  Rng rng(61);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Bdd f = random_function(mgr, rng, 3);
+    const auto witness = mgr.pick_one(f);
+    if (f.is_zero()) {
+      EXPECT_FALSE(witness.has_value());
+      continue;
+    }
+    ASSERT_TRUE(witness.has_value());
+    std::vector<bool> asg(mgr.var_count(), false);
+    for (std::size_t v = 0; v < witness->size(); ++v) {
+      if ((*witness)[v] == 1) asg[v] = true;
+    }
+    EXPECT_TRUE(f.eval(asg));
+  }
+}
+
+TEST(BddAnalysis, PickOneOfZeroIsEmpty) {
+  BddManager mgr;
+  EXPECT_FALSE(mgr.pick_one(mgr.zero()).has_value());
+  EXPECT_TRUE(mgr.pick_one(mgr.one()).has_value());
+}
+
+}  // namespace
+}  // namespace motsim::bdd

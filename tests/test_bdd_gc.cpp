@@ -1,0 +1,156 @@
+// Garbage collection, the node limit and memory-management invariants.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.h"
+#include "util/rng.h"
+
+namespace motsim::bdd {
+namespace {
+
+TEST(BddGc, CollectsUnreferencedNodes) {
+  BddManager mgr;
+  const Bdd a = mgr.var(0), b = mgr.var(1), c = mgr.var(2);
+  {
+    const Bdd garbage = (a ^ b) | (b ^ c);
+    EXPECT_GT(mgr.live_node_count(), 3u);
+  }
+  mgr.gc();
+  // Only the three projection nodes survive.
+  EXPECT_EQ(mgr.live_node_count(), 3u);
+}
+
+TEST(BddGc, KeepsEverythingReachableFromHandles) {
+  BddManager mgr;
+  Rng rng(5);
+  std::vector<Bdd> keep;
+  for (int i = 0; i < 20; ++i) {
+    Bdd f = mgr.var(static_cast<unsigned>(rng.below(6)));
+    for (int j = 0; j < 5; ++j) {
+      f = rng.flip() ? (f & mgr.var(static_cast<unsigned>(rng.below(6))))
+                     : (f ^ mgr.var(static_cast<unsigned>(rng.below(6))));
+    }
+    keep.push_back(f);
+  }
+  // Remember truth tables, collect, and verify the functions survive.
+  std::vector<std::vector<bool>> truth;
+  for (const Bdd& f : keep) {
+    std::vector<bool> t;
+    for (unsigned a = 0; a < 64; ++a) {
+      std::vector<bool> asg(6);
+      for (unsigned v = 0; v < 6; ++v) asg[v] = ((a >> v) & 1) != 0;
+      t.push_back(f.eval(asg));
+    }
+    truth.push_back(std::move(t));
+  }
+  mgr.gc();
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    for (unsigned a = 0; a < 64; ++a) {
+      std::vector<bool> asg(6);
+      for (unsigned v = 0; v < 6; ++v) asg[v] = ((a >> v) & 1) != 0;
+      EXPECT_EQ(keep[i].eval(asg), truth[i][a]);
+    }
+  }
+}
+
+TEST(BddGc, CanonicityHoldsAcrossCollections) {
+  BddManager mgr;
+  const Bdd a = mgr.var(0), b = mgr.var(1);
+  const Bdd f = a & b;
+  mgr.gc();
+  // Rebuilding the same function after GC must find the same node.
+  const Bdd g = a & b;
+  EXPECT_EQ(f, g);
+}
+
+TEST(BddGc, SlotsAreReused) {
+  BddManager mgr;
+  const Bdd a = mgr.var(0), b = mgr.var(1), c = mgr.var(2);
+  { const Bdd t1 = (a ^ b) ^ c; }
+  mgr.gc();
+  const std::size_t live_after_gc = mgr.live_node_count();
+  { const Bdd t2 = (a | b) & c; }
+  mgr.gc();
+  EXPECT_EQ(mgr.live_node_count(), live_after_gc);
+}
+
+TEST(BddGc, HardLimitThrowsBddOverflow) {
+  BddConfig cfg;
+  cfg.hard_node_limit = 40;
+  BddManager mgr(cfg);
+  EXPECT_THROW(
+      {
+        Bdd parity = mgr.zero();
+        for (unsigned v = 0; v < 32; ++v) parity ^= mgr.var(v);
+      },
+      BddOverflow);
+}
+
+TEST(BddGc, LimitCanBeRaisedAfterOverflow) {
+  BddConfig cfg;
+  cfg.hard_node_limit = 30;
+  BddManager mgr(cfg);
+  auto build = [&] {
+    Bdd parity = mgr.zero();
+    for (unsigned v = 0; v < 12; ++v) parity ^= mgr.var(v);
+    return parity;
+  };
+  EXPECT_THROW((void)build(), BddOverflow);
+  mgr.gc();  // reclaim the partial garbage
+  mgr.set_hard_node_limit(static_cast<std::size_t>(-1));
+  const Bdd parity = build();
+  EXPECT_EQ(parity.node_count(), 23u);
+}
+
+TEST(BddGc, AutoGcTriggersUnderChurn) {
+  BddConfig cfg;
+  cfg.auto_gc_floor = 256;  // tiny so the test exercises the path
+  BddManager mgr(cfg);
+  Rng rng(9);
+  auto v = [&] { return mgr.var(static_cast<unsigned>(rng.below(10))); };
+  for (int i = 0; i < 2000; ++i) {
+    const Bdd t = ((v() ^ v()) & (v() | v())) ^ v();
+    (void)t;  // dropped immediately: pure churn
+  }
+  EXPECT_GT(mgr.stats().gc_runs, 0u);
+  // Churn must not accumulate: after one more manual GC only the
+  // projections (and nothing proportional to the loop count) remain.
+  mgr.gc();
+  EXPECT_LT(mgr.live_node_count(), 64u);
+}
+
+TEST(BddGc, CacheSurvivesLogicallyAfterInvalidation) {
+  // The computed cache is wiped on GC; results must still be correct
+  // (recomputed) afterwards.
+  BddManager mgr;
+  const Bdd a = mgr.var(0), b = mgr.var(1);
+  const Bdd f1 = a ^ b;
+  mgr.gc();
+  const Bdd f2 = a ^ b;
+  EXPECT_EQ(f1, f2);
+}
+
+TEST(BddGc, ManagerOutlivesDetachedHandles) {
+  // Handles destructed after their manager must not crash: the manager
+  // detaches them on destruction.
+  Bdd stray;
+  {
+    BddManager mgr;
+    stray = mgr.var(0);
+    EXPECT_FALSE(stray.is_null());
+  }
+  EXPECT_TRUE(stray.is_null());
+}
+
+TEST(BddGc, PeakLiveNodesIsMonotone) {
+  BddManager mgr;
+  Bdd f = mgr.zero();
+  for (unsigned v = 0; v < 10; ++v) f ^= mgr.var(v);
+  const std::size_t peak = mgr.stats().peak_live_nodes;
+  mgr.gc();
+  EXPECT_GE(mgr.stats().peak_live_nodes, peak);
+  EXPECT_GE(peak, mgr.live_node_count());
+}
+
+}  // namespace
+}  // namespace motsim::bdd

@@ -1,0 +1,220 @@
+// Dynamic variable reordering: the adjacent exchange, full-order
+// imposition and sifting must preserve every handle's function while
+// changing only the DAG shape.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.h"
+#include "util/rng.h"
+
+namespace motsim::bdd {
+namespace {
+
+constexpr unsigned kVars = 6;
+
+bool bit(unsigned a, unsigned v) { return ((a >> v) & 1) != 0; }
+
+Bdd random_function(BddManager& mgr, Rng& rng, int depth) {
+  if (depth == 0 || rng.chance(0.3)) {
+    return mgr.var(static_cast<unsigned>(rng.below(kVars)));
+  }
+  const Bdd l = random_function(mgr, rng, depth - 1);
+  const Bdd r = random_function(mgr, rng, depth - 1);
+  switch (rng.below(4)) {
+    case 0:
+      return l & r;
+    case 1:
+      return l | r;
+    case 2:
+      return l ^ r;
+    default:
+      return !l;
+  }
+}
+
+/// Truth table over kVars variables (indexed by variable, not level —
+/// eval() walks the structure, so this is order-independent).
+std::vector<bool> truth_table(const Bdd& f) {
+  std::vector<bool> out;
+  for (unsigned a = 0; a < (1u << kVars); ++a) {
+    std::vector<bool> asg(kVars);
+    for (unsigned v = 0; v < kVars; ++v) asg[v] = bit(a, v);
+    out.push_back(f.eval(asg));
+  }
+  return out;
+}
+
+TEST(BddReorder, DefaultOrderIsIdentity) {
+  BddManager mgr;
+  mgr.ensure_vars(5);
+  for (VarIndex v = 0; v < 5; ++v) {
+    EXPECT_EQ(mgr.level_of_var(v), v);
+    EXPECT_EQ(mgr.var_at_level(v), v);
+  }
+}
+
+TEST(BddReorder, SwapUpdatesTheMaps) {
+  BddManager mgr;
+  mgr.ensure_vars(3);
+  mgr.swap_adjacent_levels(0);
+  EXPECT_EQ(mgr.var_at_level(0), 1u);
+  EXPECT_EQ(mgr.var_at_level(1), 0u);
+  EXPECT_EQ(mgr.level_of_var(0), 1u);
+  EXPECT_EQ(mgr.level_of_var(1), 0u);
+  EXPECT_EQ(mgr.level_of_var(2), 2u);
+  EXPECT_THROW(mgr.swap_adjacent_levels(2), std::out_of_range);
+}
+
+class BddReorderProp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BddReorderProp, SwapPreservesEveryHandleFunction) {
+  BddManager mgr;
+  Rng rng(GetParam());
+  std::vector<Bdd> funcs;
+  std::vector<std::vector<bool>> tables;
+  for (int i = 0; i < 10; ++i) {
+    funcs.push_back(random_function(mgr, rng, 4));
+    tables.push_back(truth_table(funcs.back()));
+  }
+  mgr.ensure_vars(kVars);
+  for (int round = 0; round < 20; ++round) {
+    mgr.swap_adjacent_levels(
+        static_cast<VarIndex>(rng.below(kVars - 1)));
+    if (round % 5 == 0) mgr.gc();
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+      EXPECT_EQ(truth_table(funcs[i]), tables[i])
+          << "function " << i << " changed after round " << round;
+    }
+  }
+}
+
+TEST_P(BddReorderProp, OperationsStayCorrectAfterReorder) {
+  // The computed cache survives reordering because ids keep denoting
+  // the same functions; ops run after a swap must still be exact.
+  BddManager mgr;
+  Rng rng(GetParam() ^ 0xAA);
+  const Bdd f = random_function(mgr, rng, 4);
+  const Bdd g = random_function(mgr, rng, 4);
+  const auto tf = truth_table(f);
+  const auto tg = truth_table(g);
+  (void)(f & g);  // warm the cache
+  mgr.ensure_vars(kVars);
+  mgr.swap_adjacent_levels(1);
+  mgr.swap_adjacent_levels(3);
+
+  const Bdd conj = f & g;
+  const Bdd x = f ^ g;
+  const auto tc = truth_table(conj);
+  const auto tx = truth_table(x);
+  for (unsigned a = 0; a < (1u << kVars); ++a) {
+    EXPECT_EQ(tc[a], tf[a] && tg[a]);
+    EXPECT_EQ(tx[a], tf[a] != tg[a]);
+  }
+}
+
+TEST_P(BddReorderProp, SetVariableOrderReversal) {
+  BddManager mgr;
+  Rng rng(GetParam() ^ 0xBB);
+  const Bdd f = random_function(mgr, rng, 4);
+  const auto table = truth_table(f);
+  mgr.ensure_vars(kVars);
+
+  std::vector<VarIndex> reversed;
+  for (VarIndex v = kVars; v-- > 0;) reversed.push_back(v);
+  mgr.set_variable_order(reversed);
+  for (VarIndex l = 0; l < kVars; ++l) {
+    EXPECT_EQ(mgr.var_at_level(l), kVars - 1 - l);
+  }
+  EXPECT_EQ(truth_table(f), table);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddReorderProp,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(BddReorder, SetVariableOrderValidation) {
+  BddManager mgr;
+  mgr.ensure_vars(3);
+  EXPECT_THROW(mgr.set_variable_order({0, 1}), std::invalid_argument);
+  EXPECT_THROW(mgr.set_variable_order({0, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(mgr.set_variable_order({0, 1, 5}), std::invalid_argument);
+  mgr.set_variable_order({2, 0, 1});  // fine
+}
+
+TEST(BddReorder, OrderSensitiveFunctionSizes) {
+  // The classic 2-level function a0&b0 | a1&b1 | a2&b2: linear when
+  // the pairs are adjacent in the order, exponential when all a's
+  // precede all b's. Variables: a_i = i, b_i = 3 + i.
+  BddManager mgr;
+  Bdd f = mgr.zero();
+  for (unsigned i = 0; i < 3; ++i) {
+    f |= mgr.var(i) & mgr.var(3 + i);
+  }
+  // Blocked order (the creation order): size 2^(n+1) - 2-ish.
+  const std::size_t blocked = f.node_count();
+
+  // Interleave the pairs: a0 b0 a1 b1 a2 b2.
+  mgr.set_variable_order({0, 3, 1, 4, 2, 5});
+  const std::size_t interleaved = f.node_count();
+  EXPECT_LT(interleaved, blocked);
+  EXPECT_EQ(interleaved, 6u);  // one node per literal
+
+  // And back.
+  mgr.set_variable_order({0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(f.node_count(), blocked);
+}
+
+TEST(BddReorder, SiftFindsTheGoodOrder) {
+  // Sifting from the blocked order must reach (near-)linear size for
+  // the pairwise AND-OR function.
+  BddManager mgr;
+  Bdd f = mgr.zero();
+  for (unsigned i = 0; i < 4; ++i) {
+    f |= mgr.var(i) & mgr.var(4 + i);
+  }
+  const std::size_t before = f.node_count();
+  const std::size_t after_total = mgr.reorder_sift(4.0);
+  const std::size_t after = f.node_count();
+  EXPECT_LT(after, before);
+  EXPECT_LE(after, 12u);  // linear: ~2 nodes per pair
+  EXPECT_EQ(after_total, mgr.live_node_count());
+  // Function unchanged.
+  std::vector<bool> asg(8, false);
+  asg[2] = asg[6] = true;
+  EXPECT_TRUE(f.eval(asg));
+  asg[6] = false;
+  EXPECT_FALSE(f.eval(asg));
+}
+
+TEST(BddReorder, SiftRespectsGrowthBoundArgument) {
+  BddManager mgr;
+  (void)mgr.var(0);
+  EXPECT_THROW((void)mgr.reorder_sift(0.5), std::invalid_argument);
+  // Single-variable manager: nothing to do (the sift's own GC runs
+  // first, so evaluate it before reading the live count).
+  const std::size_t sifted = mgr.reorder_sift(1.5);
+  EXPECT_EQ(sifted, mgr.live_node_count());
+}
+
+TEST(BddReorder, RenameRespectsTheActiveOrder) {
+  // After swapping variables 0 and 1, the map {0->2, 1->3} is no
+  // longer order-preserving (1 sits above 0 now, but 3 sits below 2
+  // ... actually both flip consistently) — construct a genuinely
+  // violating case: f over {0,1}, map identity; after the swap the
+  // LEVELS of 0 and 1 are inverted, so mapping 0->0, 1->1 is still
+  // monotone. The violating map sends the upper variable below the
+  // lower one: {0->5, 1->4} pre-swap is monotone-by-level? level(0)=0
+  // < level(1)=1 and level(5)=5 > level(4)=4 — violation pre-swap;
+  // after swap_adjacent_levels(0) it becomes monotone.
+  BddManager mgr;
+  const Bdd f = mgr.var(0) & !mgr.var(1);
+  mgr.ensure_vars(6);
+  std::vector<VarIndex> map{5, 4};
+  EXPECT_THROW((void)mgr.rename(f, map), std::invalid_argument);
+  mgr.swap_adjacent_levels(0);  // now level(1) < level(0)
+  const Bdd g = mgr.rename(f, map);
+  // g = var5 & !var4 with the same structure-by-level.
+  EXPECT_EQ(g, mgr.var(5) & !mgr.var(4));
+}
+
+}  // namespace
+}  // namespace motsim::bdd

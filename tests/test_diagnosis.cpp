@@ -1,0 +1,152 @@
+// Symbolic fault dictionary and diagnosis (core/diagnosis.h).
+
+#include <gtest/gtest.h>
+
+#include "bench_data/registry.h"
+#include "bench_data/s27.h"
+#include "core/diagnosis.h"
+#include "faults/collapse.h"
+#include "reference.h"
+#include "sim3/sim2.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+
+namespace motsim {
+namespace {
+
+using testing::small_random_circuit;
+
+TEST(FaultDictionary, PointsAreWellDefined) {
+  // o = NOT(q) with q loading a: after one frame the output is
+  // constant — exactly one point per later frame.
+  Netlist nl("pts");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(a, "q");
+  const NodeIndex o = nl.add_gate(GateType::Not, {q}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  const TestSequence seq = sequence_from_strings({"1", "0", "1"});
+  bdd::BddManager mgr;
+  const CollapsedFaultList c(nl);
+  const FaultDictionary dict(nl, mgr, c.faults(), seq);
+
+  ASSERT_EQ(dict.points().size(), 2u);  // frames 2 and 3
+  EXPECT_EQ(dict.points()[0].frame, 1u);
+  EXPECT_EQ(dict.points()[0].expected, false);  // NOT(1)
+  EXPECT_EQ(dict.points()[1].frame, 2u);
+  EXPECT_EQ(dict.points()[1].expected, true);  // NOT(0)
+}
+
+TEST(FaultDictionary, FaultFreeResponseDiagnosesToNothing) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  Rng rng(3);
+  const TestSequence seq = random_sequence(nl, 20, rng);
+  bdd::BddManager mgr;
+  const FaultDictionary dict(nl, mgr, c.faults(), seq);
+
+  Sim2 cut(nl);
+  const auto resp = cut.run({true, false, true}, to_bool_sequence(seq));
+  EXPECT_TRUE(dict.diagnose(resp).empty());
+}
+
+class DiagnosisSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiagnosisSoundness, InjectedFaultIsNeverExcluded) {
+  // Whatever initial state the faulty machine powered up in, the true
+  // fault must appear among the candidates whenever the response
+  // mismatches at all.
+  const Netlist nl = small_random_circuit(GetParam());
+  if (nl.dff_count() > 5) GTEST_SKIP();
+  Rng rng(GetParam() * 41 + 3);
+  const TestSequence seq = random_sequence(nl, 8, rng);
+  const auto seq2 = to_bool_sequence(seq);
+  const CollapsedFaultList c(nl);
+
+  bdd::BddManager mgr;
+  const FaultDictionary dict(nl, mgr, c.faults(), seq);
+
+  std::size_t diagnosed = 0;
+  for (std::size_t fi = 0; fi < c.size() && diagnosed < 6; ++fi) {
+    for (std::size_t s = 0; s < (std::size_t{1} << nl.dff_count());
+         s += 2) {
+      std::vector<bool> init(nl.dff_count());
+      for (std::size_t i = 0; i < init.size(); ++i) {
+        init[i] = ((s >> i) & 1) != 0;
+      }
+      Sim2 cut(nl, c.faults()[fi]);
+      const auto resp = cut.run(init, seq2);
+      const auto candidates = dict.diagnose(resp);
+      if (candidates.empty()) continue;  // no observable mismatch
+      ++diagnosed;
+      bool present = false;
+      for (const auto& cand : candidates) {
+        present |= (cand.fault_index == fi);
+      }
+      EXPECT_TRUE(present) << fault_name(nl, c.faults()[fi])
+                           << " excluded by its own response";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiagnosisSoundness,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(FaultDictionary, RankingPutsFullExplainersFirst) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  Rng rng(9);
+  const TestSequence seq = random_sequence(nl, 24, rng);
+  bdd::BddManager mgr;
+  const FaultDictionary dict(nl, mgr, c.faults(), seq);
+
+  // Inject a fault and diagnose its response.
+  const std::size_t fi = 2;
+  Sim2 cut(nl, c.faults()[fi]);
+  const auto resp = cut.run({false, false, false}, to_bool_sequence(seq));
+  const auto candidates = dict.diagnose(resp);
+  if (candidates.empty()) GTEST_SKIP() << "fault silent from this state";
+  // Ranked by explained, descending.
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GE(candidates[i - 1].explained, candidates[i].explained);
+  }
+  // No candidate carries contradictions.
+  for (const auto& cand : candidates) {
+    EXPECT_EQ(cand.contradicted, 0u);
+  }
+}
+
+TEST(FaultDictionary, DiagnosisNarrowsTheCandidateSet) {
+  // On s27 a mismatching response must rule out a decent share of the
+  // fault list (otherwise the dictionary carries no information).
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  Rng rng(11);
+  const TestSequence seq = random_sequence(nl, 40, rng);
+  bdd::BddManager mgr;
+  const FaultDictionary dict(nl, mgr, c.faults(), seq);
+
+  std::size_t informative = 0;
+  for (std::size_t fi = 0; fi < c.size(); ++fi) {
+    Sim2 cut(nl, c.faults()[fi]);
+    const auto resp = cut.run({true, true, false}, to_bool_sequence(seq));
+    const auto candidates = dict.diagnose(resp);
+    if (!candidates.empty() && candidates.size() < c.size()) ++informative;
+  }
+  EXPECT_GT(informative, c.size() / 3);
+}
+
+TEST(FaultDictionary, RejectsShortResponses) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  Rng rng(13);
+  const TestSequence seq = random_sequence(nl, 5, rng);
+  bdd::BddManager mgr;
+  const FaultDictionary dict(nl, mgr, c.faults(), seq);
+  if (dict.points().empty()) GTEST_SKIP();
+  EXPECT_THROW((void)dict.diagnose({{true}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace motsim

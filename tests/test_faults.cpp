@@ -1,0 +1,241 @@
+// Fault sites, fault lists and equivalence collapsing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bench_data/s27.h"
+#include "faults/collapse.h"
+#include "faults/fault.h"
+#include "faults/fault_list.h"
+
+namespace motsim {
+namespace {
+
+Netlist two_gate() {
+  Netlist nl("two");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex b = nl.add_input("b");
+  const NodeIndex g = nl.add_gate(GateType::And, {a, b}, "g");
+  const NodeIndex o = nl.add_gate(GateType::Not, {g}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+  return nl;
+}
+
+TEST(SiteTable, CountsStemsAndBranches) {
+  const Netlist nl = two_gate();
+  const SiteTable sites(nl);
+  // 4 stems (a, b, g, o) + 3 branches (g.in0, g.in1, o.in0).
+  EXPECT_EQ(sites.site_count(), 7u);
+  EXPECT_EQ(sites.fault_count(), 14u);
+}
+
+TEST(SiteTable, RoundTripsEverySite) {
+  const Netlist nl = make_s27();
+  const SiteTable sites(nl);
+  for (std::size_t s = 0; s < sites.site_count(); ++s) {
+    const FaultSite site = sites.site_from_index(s);
+    EXPECT_EQ(sites.site_of(site), s);
+  }
+  EXPECT_THROW((void)sites.site_from_index(sites.site_count()),
+               std::out_of_range);
+}
+
+TEST(SiteTable, FaultIdsRoundTrip) {
+  const Netlist nl = make_s27();
+  const SiteTable sites(nl);
+  for (std::size_t id = 0; id < sites.fault_count(); ++id) {
+    const Fault f = sites.fault_from_id(id);
+    EXPECT_EQ(sites.fault_id(f), id);
+  }
+}
+
+TEST(FaultList, EnumeratesAllFaults) {
+  const Netlist nl = two_gate();
+  const auto faults = all_faults(nl);
+  EXPECT_EQ(faults.size(), 14u);
+  // Both polarities present for every site.
+  std::set<std::pair<std::size_t, bool>> seen;
+  const SiteTable sites(nl);
+  for (const Fault& f : faults) {
+    seen.insert({sites.site_of(f.site), f.stuck_value});
+  }
+  EXPECT_EQ(seen.size(), 14u);
+}
+
+TEST(FaultName, FormatsStemAndBranch) {
+  const Netlist nl = two_gate();
+  EXPECT_EQ(fault_name(nl, Fault{FaultSite{nl.find("g"), kStemPin}, false}),
+            "g/SA0");
+  EXPECT_EQ(fault_name(nl, Fault{FaultSite{nl.find("g"), 1}, true}),
+            "g.in1/SA1");
+}
+
+TEST(FaultStatusNames, AllDistinct) {
+  std::set<std::string> names;
+  for (FaultStatus s :
+       {FaultStatus::Undetected, FaultStatus::XRedundant,
+        FaultStatus::DetectedSim3, FaultStatus::DetectedSot,
+        FaultStatus::DetectedRmot, FaultStatus::DetectedMot}) {
+    names.insert(to_cstring(s));
+  }
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_FALSE(is_detected(FaultStatus::Undetected));
+  EXPECT_FALSE(is_detected(FaultStatus::XRedundant));
+  EXPECT_TRUE(is_detected(FaultStatus::DetectedSim3));
+  EXPECT_TRUE(is_detected(FaultStatus::DetectedMot));
+}
+
+// ---------------------------------------------------------------------------
+// Collapsing
+// ---------------------------------------------------------------------------
+
+TEST(Collapse, AndGateEquivalences) {
+  // AND: in s-a-0 == out s-a-0; a fanout-free input branch also merges
+  // with its source stem.
+  Netlist nl("and1");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex b = nl.add_input("b");
+  const NodeIndex g = nl.add_gate(GateType::And, {a, b}, "g");
+  nl.mark_output(g);
+  nl.finalize();
+
+  const CollapsedFaultList c(nl);
+  const SiteTable& sites = c.sites();
+  // Uncollapsed: 3 stems + 2 branches = 10 faults.
+  EXPECT_EQ(c.uncollapsed_size(), 10u);
+  // Classes: {a0, g.in0-0, g0}, {b0, g.in1-0, g0} -> all s-a-0 merge
+  // into one class with the output; s-a-1 faults stay distinct:
+  // {a1, g.in0-1}, {b1, g.in1-1}, {g1}. Total 4 classes... plus the
+  // shared s-a-0 class = 4.
+  EXPECT_EQ(c.size(), 4u);
+
+  const auto rep = [&](const Fault& f) {
+    return c.representative_of(sites.fault_id(f));
+  };
+  const Fault a0{FaultSite{a, kStemPin}, false};
+  const Fault g0{FaultSite{g, kStemPin}, false};
+  const Fault b0{FaultSite{b, kStemPin}, false};
+  EXPECT_EQ(rep(a0), rep(g0));
+  EXPECT_EQ(rep(b0), rep(g0));
+  const Fault a1{FaultSite{a, kStemPin}, true};
+  const Fault g1{FaultSite{g, kStemPin}, true};
+  EXPECT_NE(rep(a1), rep(g1));
+}
+
+TEST(Collapse, NotGateSwapsPolarity) {
+  Netlist nl("not1");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex g = nl.add_gate(GateType::Not, {a}, "g");
+  nl.mark_output(g);
+  nl.finalize();
+
+  const CollapsedFaultList c(nl);
+  const SiteTable& sites = c.sites();
+  const auto rep = [&](const Fault& f) {
+    return c.representative_of(sites.fault_id(f));
+  };
+  // a-sa0 == branch-sa0 == g-sa1; a-sa1 == g-sa0. Two classes.
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(rep(Fault{FaultSite{a, kStemPin}, false}),
+            rep(Fault{FaultSite{g, kStemPin}, true}));
+  EXPECT_EQ(rep(Fault{FaultSite{a, kStemPin}, true}),
+            rep(Fault{FaultSite{g, kStemPin}, false}));
+}
+
+TEST(Collapse, OrNorNandRules) {
+  Netlist nl("mix");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex b = nl.add_input("b");
+  const NodeIndex o1 = nl.add_gate(GateType::Or, {a, b}, "o1");
+  const NodeIndex o2 = nl.add_gate(GateType::Nand, {a, b}, "o2");
+  const NodeIndex o3 = nl.add_gate(GateType::Nor, {o1, o2}, "o3");
+  nl.mark_output(o3);
+  nl.finalize();
+
+  const CollapsedFaultList c(nl);
+  const SiteTable& sites = c.sites();
+  const auto rep = [&](const Fault& f) {
+    return c.representative_of(sites.fault_id(f));
+  };
+  // OR: input s-a-1 == output s-a-1.
+  EXPECT_EQ(rep(Fault{FaultSite{o1, 0}, true}),
+            rep(Fault{FaultSite{o1, kStemPin}, true}));
+  // NAND: input s-a-0 == output s-a-1.
+  EXPECT_EQ(rep(Fault{FaultSite{o2, 0}, false}),
+            rep(Fault{FaultSite{o2, kStemPin}, true}));
+  // NOR: input s-a-1 == output s-a-0; o1 is fanout-free into o3.
+  EXPECT_EQ(rep(Fault{FaultSite{o1, kStemPin}, true}),
+            rep(Fault{FaultSite{o3, kStemPin}, false}));
+}
+
+TEST(Collapse, FanoutBlocksStemBranchMerge) {
+  Netlist nl("fan");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex g1 = nl.add_gate(GateType::Not, {a}, "g1");
+  const NodeIndex g2 = nl.add_gate(GateType::Not, {a}, "g2");
+  nl.mark_output(g1);
+  nl.mark_output(g2);
+  nl.finalize();
+
+  const CollapsedFaultList c(nl);
+  const SiteTable& sites = c.sites();
+  const auto rep = [&](const Fault& f) {
+    return c.representative_of(sites.fault_id(f));
+  };
+  // With fanout 2, the stem fault is NOT equivalent to either branch.
+  EXPECT_NE(rep(Fault{FaultSite{a, kStemPin}, false}),
+            rep(Fault{FaultSite{g1, 0}, false}));
+  EXPECT_NE(rep(Fault{FaultSite{g1, 0}, false}),
+            rep(Fault{FaultSite{g2, 0}, false}));
+}
+
+TEST(Collapse, DffActsAsBuffer) {
+  Netlist nl("dffc");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(a, "q");
+  const NodeIndex o = nl.add_gate(GateType::Not, {q}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  const CollapsedFaultList c(nl);
+  const SiteTable& sites = c.sites();
+  const auto rep = [&](const Fault& f) {
+    return c.representative_of(sites.fault_id(f));
+  };
+  EXPECT_EQ(rep(Fault{FaultSite{a, kStemPin}, false}),
+            rep(Fault{FaultSite{q, kStemPin}, false}));
+}
+
+TEST(Collapse, RepresentativesAreCanonicalAndSorted) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  const SiteTable& sites = c.sites();
+  std::size_t last = 0;
+  bool first = true;
+  for (const Fault& f : c.faults()) {
+    const std::size_t id = sites.fault_id(f);
+    EXPECT_EQ(c.representative_of(id), id);  // reps represent themselves
+    if (!first) {
+      EXPECT_GT(id, last);
+    }
+    last = id;
+    first = false;
+  }
+  EXPECT_LT(c.size(), c.uncollapsed_size());
+}
+
+TEST(Collapse, EveryFaultHasARepresentativeInTheList) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  const SiteTable& sites = c.sites();
+  std::set<std::size_t> reps;
+  for (const Fault& f : c.faults()) reps.insert(sites.fault_id(f));
+  for (std::size_t id = 0; id < c.uncollapsed_size(); ++id) {
+    EXPECT_TRUE(reps.count(c.representative_of(id)) == 1);
+  }
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,0 +1,201 @@
+// Hybrid fault simulation: agreement with the pure symbolic simulator
+// when space is ample, soundness under space pressure (every claim it
+// makes still holds per the brute-force definitions), and fallback
+// bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "bench_data/registry.h"
+#include "bench_data/s27.h"
+#include "core/hybrid_sim.h"
+#include "core/sym_fault_sim.h"
+#include "faults/collapse.h"
+#include "reference.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+
+namespace motsim {
+namespace {
+
+using testing::ref_mot_detectable;
+using testing::ref_rmot_detectable;
+using testing::ref_sot_detectable;
+using testing::small_random_circuit;
+
+HybridConfig ample(Strategy s) {
+  HybridConfig cfg;
+  cfg.strategy = s;
+  cfg.node_limit = 1u << 22;  // effectively unlimited
+  return cfg;
+}
+
+HybridConfig tight(Strategy s, std::size_t limit, std::size_t window = 2) {
+  HybridConfig cfg;
+  cfg.strategy = s;
+  cfg.node_limit = limit;
+  cfg.fallback_frames = window;
+  cfg.hard_limit_factor = 2;
+  return cfg;
+}
+
+class HybridVsPure : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HybridVsPure, AmpleSpaceMatchesPureSymbolic) {
+  const Netlist nl = small_random_circuit(GetParam());
+  Rng rng(GetParam() * 5 + 2);
+  const TestSequence seq = random_sequence(nl, 8, rng);
+  const CollapsedFaultList c(nl);
+
+  for (Strategy s : {Strategy::Sot, Strategy::Rmot, Strategy::Mot}) {
+    SymFaultSim pure(nl, c.faults(), s);
+    const auto rp = pure.run(seq);
+
+    HybridFaultSim hybrid(nl, c.faults(), ample(s));
+    const auto rh = hybrid.run(seq);
+
+    EXPECT_FALSE(rh.used_fallback);
+    EXPECT_EQ(rh.fallback_windows, 0u);
+    EXPECT_EQ(rh.three_valued_frames, 0u);
+    EXPECT_EQ(rh.detected_count, rp.detected_count) << to_cstring(s);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_EQ(is_detected(rh.status[i]), is_detected(rp.status[i]))
+          << to_cstring(s) << " " << fault_name(nl, c.faults()[i]);
+      if (is_detected(rh.status[i])) {
+        EXPECT_EQ(rh.detect_frame[i], rp.detect_frame[i]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridVsPure,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class HybridSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HybridSoundness, TightLimitClaimsRemainTrue) {
+  // Force heavy fallback with a tiny node limit: whatever the hybrid
+  // still detects must be genuinely detectable per the definitions.
+  const Netlist nl = small_random_circuit(GetParam());
+  if (nl.dff_count() > 5) GTEST_SKIP();
+  Rng rng(GetParam() * 11 + 9);
+  const TestSequence seq = random_sequence(nl, 6, rng);
+  const CollapsedFaultList c(nl);
+
+  for (Strategy s : {Strategy::Sot, Strategy::Rmot, Strategy::Mot}) {
+    HybridFaultSim hybrid(nl, c.faults(), tight(s, 24));
+    const auto r = hybrid.run(seq);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (!is_detected(r.status[i])) continue;
+      const Fault& f = c.faults()[i];
+      bool ok = false;
+      switch (s) {
+        case Strategy::Sot:
+          ok = ref_sot_detectable(nl, f, seq);
+          break;
+        case Strategy::Rmot:
+          ok = ref_rmot_detectable(nl, f, seq);
+          break;
+        case Strategy::Mot:
+          ok = ref_mot_detectable(nl, f, seq);
+          break;
+      }
+      EXPECT_TRUE(ok) << to_cstring(s) << " over-claimed "
+                      << fault_name(nl, f) << " in " << nl.name();
+    }
+  }
+}
+
+TEST_P(HybridSoundness, FrameAccountingAddsUp) {
+  const Netlist nl = small_random_circuit(GetParam() + 60);
+  Rng rng(GetParam() * 3 + 8);
+  const TestSequence seq = random_sequence(nl, 10, rng);
+  const CollapsedFaultList c(nl);
+
+  HybridFaultSim hybrid(nl, c.faults(), tight(Strategy::Mot, 32, 3));
+  const auto r = hybrid.run(seq);
+  // Every frame ran in exactly one mode — unless all faults dropped
+  // early and the run stopped.
+  EXPECT_LE(r.symbolic_frames + r.three_valued_frames, seq.size());
+  if (r.detected_count < c.size()) {
+    EXPECT_EQ(r.symbolic_frames + r.three_valued_frames, seq.size());
+  }
+  if (r.used_fallback) {
+    EXPECT_GT(r.fallback_windows, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridSoundness,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(Hybrid, FallbackActuallyTriggersOnCounter) {
+  // The s208.1-like counter under MOT with the paper's 30k limit stays
+  // symbolic; with a very small limit it must fall back and still
+  // detect a nonzero set.
+  const Netlist nl = make_benchmark("s208.1");
+  const CollapsedFaultList c(nl);
+  Rng rng(77);
+  const TestSequence seq = random_sequence(nl, 40, rng);
+
+  HybridFaultSim small_sim(nl, c.faults(), tight(Strategy::Mot, 400, 4));
+  const auto rs = small_sim.run(seq);
+  EXPECT_TRUE(rs.used_fallback);
+  EXPECT_GT(rs.three_valued_frames, 0u);
+  EXPECT_GT(rs.symbolic_frames, 0u);
+
+  HybridFaultSim big(nl, c.faults(), ample(Strategy::Mot));
+  const auto rb = big.run(seq);
+  // The space-pressured run can only be less accurate.
+  EXPECT_LE(rs.detected_count, rb.detected_count);
+}
+
+TEST(Hybrid, PeakNodesRespectsOrderOfMagnitude) {
+  const Netlist nl = make_benchmark("s208.1");
+  const CollapsedFaultList c(nl);
+  Rng rng(78);
+  const TestSequence seq = random_sequence(nl, 30, rng);
+  HybridFaultSim sim(nl, c.faults(), tight(Strategy::Mot, 1000, 4));
+  const auto r = sim.run(seq);
+  // Peak is measured after GC at frame boundaries; the hard cap is
+  // node_limit * factor during a frame.
+  EXPECT_LE(r.peak_live_nodes, 2000u * 2u);
+}
+
+TEST(Hybrid, InvalidConfigRejected) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  HybridConfig cfg;
+  cfg.node_limit = 0;
+  EXPECT_THROW(HybridFaultSim(nl, c.faults(), cfg), std::invalid_argument);
+  cfg = HybridConfig{};
+  cfg.fallback_frames = 0;
+  EXPECT_THROW(HybridFaultSim(nl, c.faults(), cfg), std::invalid_argument);
+}
+
+TEST(Hybrid, InitialStatusSkips) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  HybridFaultSim sim(nl, c.faults(), ample(Strategy::Rmot));
+  sim.set_initial_status(
+      std::vector<FaultStatus>(c.size(), FaultStatus::XRedundant));
+  Rng rng(5);
+  const auto r = sim.run(random_sequence(nl, 5, rng));
+  EXPECT_EQ(r.detected_count, 0u);
+  for (FaultStatus s : r.status) EXPECT_EQ(s, FaultStatus::XRedundant);
+}
+
+TEST(Hybrid, ThreeValuedWindowStillDropsFaults) {
+  // With limit so small that almost everything runs three-valued, the
+  // hybrid should roughly match the plain three-valued detector.
+  const Netlist nl = make_benchmark("s298");
+  const CollapsedFaultList c(nl);
+  Rng rng(99);
+  const TestSequence seq = random_sequence(nl, 30, rng);
+
+  HybridFaultSim sim(nl, c.faults(), tight(Strategy::Mot, 8, 30));
+  const auto r = sim.run(seq);
+  EXPECT_TRUE(r.used_fallback);
+  EXPECT_GT(r.detected_count, 0u);
+}
+
+}  // namespace
+}  // namespace motsim

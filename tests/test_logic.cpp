@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "logic/val3.h"
+#include "logic/val4.h"
+
+namespace motsim {
+namespace {
+
+const Val3 kAll3[] = {Val3::Zero, Val3::One, Val3::X};
+const Val4 kAll4[] = {Val4::X, Val4::X0, Val4::X1, Val4::X01};
+
+/// Concretizations of a Val3: the binary values it may stand for.
+std::vector<bool> concretizations(Val3 v) {
+  switch (v) {
+    case Val3::Zero:
+      return {false};
+    case Val3::One:
+      return {true};
+    default:
+      return {false, true};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Val3: Kleene tables by exhaustive abstraction check
+// ---------------------------------------------------------------------------
+
+TEST(Val3, AndIsSoundAndPreciseAbstraction) {
+  for (Val3 a : kAll3) {
+    for (Val3 b : kAll3) {
+      const Val3 r = and3(a, b);
+      // Soundness: every concrete outcome refines the abstract result.
+      bool all_true = true, all_false = true;
+      for (bool ca : concretizations(a)) {
+        for (bool cb : concretizations(b)) {
+          const bool c = ca && cb;
+          EXPECT_TRUE(refines(to_val3(c), r))
+              << to_char(a) << "&" << to_char(b);
+          all_true &= c;
+          all_false &= !c;
+        }
+      }
+      // Precision: if all concretizations agree, the result is binary.
+      if (all_true) {
+        EXPECT_EQ(r, Val3::One);
+      }
+      if (all_false) {
+        EXPECT_EQ(r, Val3::Zero);
+      }
+    }
+  }
+}
+
+TEST(Val3, OrIsSoundAndPreciseAbstraction) {
+  for (Val3 a : kAll3) {
+    for (Val3 b : kAll3) {
+      const Val3 r = or3(a, b);
+      bool all_true = true, all_false = true;
+      for (bool ca : concretizations(a)) {
+        for (bool cb : concretizations(b)) {
+          const bool c = ca || cb;
+          EXPECT_TRUE(refines(to_val3(c), r));
+          all_true &= c;
+          all_false &= !c;
+        }
+      }
+      if (all_true) {
+        EXPECT_EQ(r, Val3::One);
+      }
+      if (all_false) {
+        EXPECT_EQ(r, Val3::Zero);
+      }
+    }
+  }
+}
+
+TEST(Val3, XorIsSoundAbstraction) {
+  for (Val3 a : kAll3) {
+    for (Val3 b : kAll3) {
+      const Val3 r = xor3(a, b);
+      for (bool ca : concretizations(a)) {
+        for (bool cb : concretizations(b)) {
+          EXPECT_TRUE(refines(to_val3(ca != cb), r));
+        }
+      }
+    }
+  }
+}
+
+TEST(Val3, NotTable) {
+  EXPECT_EQ(not3(Val3::Zero), Val3::One);
+  EXPECT_EQ(not3(Val3::One), Val3::Zero);
+  EXPECT_EQ(not3(Val3::X), Val3::X);
+}
+
+TEST(Val3, XnorIsNegatedXor) {
+  for (Val3 a : kAll3) {
+    for (Val3 b : kAll3) {
+      EXPECT_EQ(xnor3(a, b), not3(xor3(a, b)));
+    }
+  }
+}
+
+TEST(Val3, ControllingValuesAbsorbX) {
+  EXPECT_EQ(and3(Val3::Zero, Val3::X), Val3::Zero);
+  EXPECT_EQ(and3(Val3::X, Val3::Zero), Val3::Zero);
+  EXPECT_EQ(or3(Val3::One, Val3::X), Val3::One);
+  EXPECT_EQ(or3(Val3::X, Val3::One), Val3::One);
+}
+
+TEST(Val3, XPropagatesWithoutControllingValue) {
+  EXPECT_EQ(and3(Val3::One, Val3::X), Val3::X);
+  EXPECT_EQ(or3(Val3::Zero, Val3::X), Val3::X);
+  EXPECT_EQ(xor3(Val3::One, Val3::X), Val3::X);
+  EXPECT_EQ(xor3(Val3::X, Val3::X), Val3::X);
+}
+
+TEST(Val3, CommutativityAndAssociativity) {
+  for (Val3 a : kAll3) {
+    for (Val3 b : kAll3) {
+      EXPECT_EQ(and3(a, b), and3(b, a));
+      EXPECT_EQ(or3(a, b), or3(b, a));
+      EXPECT_EQ(xor3(a, b), xor3(b, a));
+      for (Val3 c : kAll3) {
+        EXPECT_EQ(and3(and3(a, b), c), and3(a, and3(b, c)));
+        EXPECT_EQ(or3(or3(a, b), c), or3(a, or3(b, c)));
+      }
+    }
+  }
+}
+
+TEST(Val3, RefinesOrdering) {
+  EXPECT_TRUE(refines(Val3::Zero, Val3::X));
+  EXPECT_TRUE(refines(Val3::One, Val3::X));
+  EXPECT_TRUE(refines(Val3::Zero, Val3::Zero));
+  EXPECT_FALSE(refines(Val3::Zero, Val3::One));
+  EXPECT_FALSE(refines(Val3::One, Val3::Zero));
+}
+
+TEST(Val3, CharConversionsRoundTrip) {
+  for (Val3 v : kAll3) {
+    EXPECT_EQ(val3_from_char(to_char(v)), v);
+  }
+  EXPECT_EQ(val3_from_char('x'), Val3::X);
+  EXPECT_THROW((void)val3_from_char('2'), std::invalid_argument);
+}
+
+TEST(Val3, StreamAndVectorFormat) {
+  std::ostringstream os;
+  os << Val3::Zero << Val3::One << Val3::X;
+  EXPECT_EQ(os.str(), "01X");
+  EXPECT_EQ(to_string(std::vector<Val3>{Val3::One, Val3::X}), "1X");
+}
+
+// ---------------------------------------------------------------------------
+// Val4: the I_X lattice
+// ---------------------------------------------------------------------------
+
+TEST(Val4, BitsMatchSemantics) {
+  EXPECT_FALSE(saw_zero(Val4::X));
+  EXPECT_FALSE(saw_one(Val4::X));
+  EXPECT_TRUE(saw_zero(Val4::X0));
+  EXPECT_FALSE(saw_one(Val4::X0));
+  EXPECT_FALSE(saw_zero(Val4::X1));
+  EXPECT_TRUE(saw_one(Val4::X1));
+  EXPECT_TRUE(saw_zero(Val4::X01));
+  EXPECT_TRUE(saw_one(Val4::X01));
+}
+
+TEST(Val4, JoinIsLatticeJoin) {
+  for (Val4 a : kAll4) {
+    EXPECT_EQ(join(a, a), a);          // idempotent
+    EXPECT_EQ(join(a, Val4::X), a);    // {X} is bottom
+    EXPECT_EQ(join(a, Val4::X01), Val4::X01);  // {X,0,1} is top
+    for (Val4 b : kAll4) {
+      EXPECT_EQ(join(a, b), join(b, a));
+      EXPECT_TRUE(leq(a, join(a, b)));
+      EXPECT_TRUE(leq(b, join(a, b)));
+    }
+  }
+  EXPECT_EQ(join(Val4::X0, Val4::X1), Val4::X01);
+}
+
+TEST(Val4, MeetIsLatticeMeet) {
+  EXPECT_EQ(meet(Val4::X0, Val4::X1), Val4::X);
+  EXPECT_EQ(meet(Val4::X01, Val4::X1), Val4::X1);
+  for (Val4 a : kAll4) {
+    EXPECT_EQ(meet(a, a), a);
+    EXPECT_TRUE(leq(meet(a, Val4::X0), a));
+  }
+}
+
+TEST(Val4, AccumulateRecordsObservedValues) {
+  Val4 acc = Val4::X;
+  acc = accumulate(acc, Val3::X);
+  EXPECT_EQ(acc, Val4::X);
+  acc = accumulate(acc, Val3::Zero);
+  EXPECT_EQ(acc, Val4::X0);
+  acc = accumulate(acc, Val3::Zero);
+  EXPECT_EQ(acc, Val4::X0);
+  acc = accumulate(acc, Val3::One);
+  EXPECT_EQ(acc, Val4::X01);
+}
+
+TEST(Val4, LeqIsPartialOrder) {
+  for (Val4 a : kAll4) {
+    EXPECT_TRUE(leq(Val4::X, a));
+    EXPECT_TRUE(leq(a, Val4::X01));
+    EXPECT_TRUE(leq(a, a));
+  }
+  EXPECT_FALSE(leq(Val4::X0, Val4::X1));
+  EXPECT_FALSE(leq(Val4::X1, Val4::X0));
+  EXPECT_FALSE(leq(Val4::X01, Val4::X0));
+}
+
+TEST(Val4, Display) {
+  std::ostringstream os;
+  os << Val4::X << Val4::X0 << Val4::X1 << Val4::X01;
+  EXPECT_EQ(os.str(), "{X}{X,0}{X,1}{X,0,1}");
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,0 +1,88 @@
+// The single-pass multi-strategy simulator must agree EXACTLY (status
+// and detection frames) with three dedicated runs.
+
+#include <gtest/gtest.h>
+
+#include "bench_data/registry.h"
+#include "bench_data/s27.h"
+#include "core/sym_fault_sim.h"
+#include "faults/collapse.h"
+#include "reference.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+
+namespace motsim {
+namespace {
+
+using testing::small_random_circuit;
+
+void expect_agrees_with_dedicated_runs(const Netlist& nl,
+                                       const TestSequence& seq) {
+  const CollapsedFaultList c(nl);
+  const MultiStrategyResult multi =
+      run_all_strategies(nl, c.faults(), seq);
+
+  const Strategy strategies[] = {Strategy::Sot, Strategy::Rmot,
+                                 Strategy::Mot};
+  const SymFaultSimResult* multi_results[] = {&multi.sot, &multi.rmot,
+                                              &multi.mot};
+  for (int k = 0; k < 3; ++k) {
+    SymFaultSim dedicated(nl, c.faults(), strategies[k]);
+    const SymFaultSimResult r = dedicated.run(seq);
+    EXPECT_EQ(multi_results[k]->detected_count, r.detected_count)
+        << to_cstring(strategies[k]) << " on " << nl.name();
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_EQ(is_detected(multi_results[k]->status[i]),
+                is_detected(r.status[i]))
+          << to_cstring(strategies[k]) << " "
+          << fault_name(nl, c.faults()[i]);
+      EXPECT_EQ(multi_results[k]->detect_frame[i], r.detect_frame[i])
+          << to_cstring(strategies[k]) << " "
+          << fault_name(nl, c.faults()[i]);
+    }
+  }
+}
+
+TEST(MultiStrategy, AgreesOnS27) {
+  const Netlist nl = make_s27();
+  Rng rng(1);
+  expect_agrees_with_dedicated_runs(nl, random_sequence(nl, 40, rng));
+}
+
+class MultiStrategyProp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiStrategyProp, AgreesOnRandomCircuits) {
+  const Netlist nl = small_random_circuit(GetParam());
+  Rng rng(GetParam() * 19 + 7);
+  expect_agrees_with_dedicated_runs(nl, random_sequence(nl, 10, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiStrategyProp,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(MultiStrategy, AgreesOnRosterCounterAndTwinPaths) {
+  Rng rng(5);
+  for (const char* name : {"s208.1", "s510"}) {
+    const Netlist nl = make_benchmark(name);
+    expect_agrees_with_dedicated_runs(nl, random_sequence(nl, 30, rng));
+  }
+}
+
+TEST(MultiStrategy, HierarchyHoldsInsideOnePass) {
+  const Netlist nl = make_benchmark("s298");
+  const CollapsedFaultList c(nl);
+  Rng rng(9);
+  const MultiStrategyResult r =
+      run_all_strategies(nl, c.faults(), random_sequence(nl, 40, rng));
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (is_detected(r.sot.status[i])) {
+      EXPECT_TRUE(is_detected(r.rmot.status[i]));
+    }
+    if (is_detected(r.rmot.status[i])) {
+      EXPECT_TRUE(is_detected(r.mot.status[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,0 +1,104 @@
+// N-detect three-valued fault simulation (sim3/ndetect.h).
+
+#include <gtest/gtest.h>
+
+#include "bench_data/registry.h"
+#include "bench_data/s27.h"
+#include "faults/collapse.h"
+#include "sim3/fault_sim3.h"
+#include "sim3/ndetect.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+
+namespace motsim {
+namespace {
+
+TEST(NDetect, NEqualsOneMatchesFaultSim3) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  Rng rng(3);
+  const TestSequence seq = random_sequence(nl, 40, rng);
+
+  FaultSim3 classic(nl, c.faults());
+  const auto r1 = classic.run(seq);
+  const NDetectResult rn = run_n_detect(nl, c.faults(), seq, 1);
+
+  EXPECT_EQ(rn.detected_once_count, r1.detected_count);
+  EXPECT_EQ(rn.n_detected_count, r1.detected_count);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(rn.detections[i] > 0,
+              r1.status[i] == FaultStatus::DetectedSim3);
+    if (r1.status[i] == FaultStatus::DetectedSim3) {
+      ASSERT_FALSE(rn.detection_frames[i].empty());
+      EXPECT_EQ(rn.detection_frames[i][0], r1.detect_frame[i]);
+    }
+  }
+}
+
+TEST(NDetect, CountsAreMonotoneInN) {
+  const Netlist nl = make_benchmark("s298");
+  const CollapsedFaultList c(nl);
+  Rng rng(7);
+  const TestSequence seq = random_sequence(nl, 60, rng);
+
+  const NDetectResult r1 = run_n_detect(nl, c.faults(), seq, 1);
+  const NDetectResult r3 = run_n_detect(nl, c.faults(), seq, 3);
+  const NDetectResult r8 = run_n_detect(nl, c.faults(), seq, 8);
+
+  // Single-detection coverage is N-independent.
+  EXPECT_EQ(r1.detected_once_count, r3.detected_once_count);
+  EXPECT_EQ(r3.detected_once_count, r8.detected_once_count);
+  // Full-N coverage can only shrink as N grows.
+  EXPECT_GE(r1.n_detected_count, r3.n_detected_count);
+  EXPECT_GE(r3.n_detected_count, r8.n_detected_count);
+  // On a synchronizable circuit with 60 vectors, many faults are
+  // detected repeatedly.
+  EXPECT_GT(r3.n_detected_count, 0u);
+}
+
+TEST(NDetect, DetectionFramesAreStrictlyIncreasingAndCapped) {
+  const Netlist nl = make_benchmark("s344");
+  const CollapsedFaultList c(nl);
+  Rng rng(9);
+  const TestSequence seq = random_sequence(nl, 50, rng);
+  const std::uint32_t n = 4;
+  const NDetectResult r = run_n_detect(nl, c.faults(), seq, n);
+
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const auto& frames = r.detection_frames[i];
+    EXPECT_LE(frames.size(), n);
+    EXPECT_EQ(frames.size(), r.detections[i]);
+    for (std::size_t k = 1; k < frames.size(); ++k) {
+      EXPECT_LT(frames[k - 1], frames[k]);
+    }
+  }
+}
+
+TEST(NDetect, LongerSequencesOnlyAddDetections) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  Rng rng(11);
+  const TestSequence seq = random_sequence(nl, 60, rng);
+  const TestSequence prefix(seq.begin(), seq.begin() + 30);
+
+  const NDetectResult rshort = run_n_detect(nl, c.faults(), prefix, 1000);
+  const NDetectResult rlong = run_n_detect(nl, c.faults(), seq, 1000);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_GE(rlong.detections[i], rshort.detections[i]);
+    // The prefix detections are literally a prefix of the long run's.
+    for (std::size_t k = 0; k < rshort.detection_frames[i].size(); ++k) {
+      EXPECT_EQ(rlong.detection_frames[i][k],
+                rshort.detection_frames[i][k]);
+    }
+  }
+}
+
+TEST(NDetect, RejectsZeroN) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  EXPECT_THROW((void)run_n_detect(nl, c.faults(), {}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,0 +1,165 @@
+// Bit-parallel fault simulator: packed-logic algebra, and exact
+// agreement (status AND detection frame) with the serial event-driven
+// simulator across the roster and random circuits.
+
+#include <gtest/gtest.h>
+
+#include "bench_data/registry.h"
+#include "bench_data/s27.h"
+#include "faults/collapse.h"
+#include "reference.h"
+#include "sim3/parallel_fault_sim3.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+
+namespace motsim {
+namespace {
+
+using testing::small_random_circuit;
+
+const Val3 kAll3[] = {Val3::Zero, Val3::One, Val3::X};
+
+TEST(PackedVal3, BroadcastAndSlotRoundTrip) {
+  for (Val3 v : kAll3) {
+    const PackedVal3 p = broadcast(v);
+    for (unsigned slot : {0u, 1u, 31u, 63u}) {
+      EXPECT_EQ(slot_value(p, slot), v);
+    }
+  }
+}
+
+TEST(PackedVal3, OpsMatchScalarKleeneLogic) {
+  // Pack all 9 operand combinations into 9 slots and compare each
+  // slot against the scalar operations.
+  PackedVal3 a{}, b{};
+  Val3 sa[9], sb[9];
+  unsigned slot = 0;
+  for (Val3 va : kAll3) {
+    for (Val3 vb : kAll3) {
+      const std::uint64_t bit = std::uint64_t{1} << slot;
+      if (va == Val3::One) a.ones |= bit;
+      if (va == Val3::Zero) a.zeros |= bit;
+      if (vb == Val3::One) b.ones |= bit;
+      if (vb == Val3::Zero) b.zeros |= bit;
+      sa[slot] = va;
+      sb[slot] = vb;
+      ++slot;
+    }
+  }
+  const PackedVal3 pa = pand(a, b);
+  const PackedVal3 po = por(a, b);
+  const PackedVal3 px = pxor(a, b);
+  const PackedVal3 pn = pnot(a);
+  for (unsigned s = 0; s < 9; ++s) {
+    EXPECT_EQ(slot_value(pa, s), and3(sa[s], sb[s])) << s;
+    EXPECT_EQ(slot_value(po, s), or3(sa[s], sb[s])) << s;
+    EXPECT_EQ(slot_value(px, s), xor3(sa[s], sb[s])) << s;
+    EXPECT_EQ(slot_value(pn, s), not3(sa[s])) << s;
+  }
+}
+
+TEST(PackedVal3, InvariantOnesAndZerosDisjoint) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    // Construct well-formed packs and check closure of the ops.
+    const std::uint64_t o1 = rng(), z1 = rng() & ~o1;
+    const std::uint64_t o2 = rng(), z2 = rng() & ~o2;
+    const PackedVal3 a{o1, z1}, b{o2, z2};
+    for (PackedVal3 r : {pand(a, b), por(a, b), pxor(a, b), pnot(a)}) {
+      EXPECT_EQ(r.ones & r.zeros, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exact agreement with the serial simulator
+// ---------------------------------------------------------------------------
+
+void expect_same_results(const Netlist& nl, const TestSequence& seq,
+                         const std::vector<FaultStatus>* initial = nullptr) {
+  const CollapsedFaultList c(nl);
+
+  FaultSim3 serial(nl, c.faults());
+  ParallelFaultSim3 parallel(nl, c.faults());
+  if (initial != nullptr) {
+    serial.set_initial_status(*initial);
+    parallel.set_initial_status(*initial);
+  }
+  const auto rs = serial.run(seq);
+  const auto rp = parallel.run(seq);
+
+  EXPECT_EQ(rs.detected_count, rp.detected_count) << nl.name();
+  EXPECT_EQ(rs.simulated_faults, rp.simulated_faults);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(rs.status[i], rp.status[i])
+        << nl.name() << " " << fault_name(nl, c.faults()[i]);
+    EXPECT_EQ(rs.detect_frame[i], rp.detect_frame[i])
+        << nl.name() << " " << fault_name(nl, c.faults()[i]);
+  }
+}
+
+TEST(ParallelFaultSim3, MatchesSerialOnS27) {
+  const Netlist nl = make_s27();
+  Rng rng(11);
+  expect_same_results(nl, random_sequence(nl, 50, rng));
+}
+
+class ParallelVsSerial : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelVsSerial, IdenticalOnRandomCircuits) {
+  const Netlist nl = small_random_circuit(GetParam());
+  Rng rng(GetParam() * 101 + 13);
+  expect_same_results(nl, random_sequence(nl, 15, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelVsSerial,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+TEST(ParallelFaultSim3, MatchesSerialOnRosterCircuits) {
+  Rng rng(17);
+  for (const char* name : {"s298", "s344", "s820", "s208.1", "s510"}) {
+    const Netlist nl = make_benchmark(name);
+    expect_same_results(nl, random_sequence(nl, 40, rng));
+  }
+}
+
+TEST(ParallelFaultSim3, RespectsInitialStatus) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  Rng rng(19);
+  const TestSequence seq = random_sequence(nl, 30, rng);
+
+  std::vector<FaultStatus> initial(c.size(), FaultStatus::Undetected);
+  for (std::size_t i = 0; i < initial.size(); i += 2) {
+    initial[i] = FaultStatus::XRedundant;
+  }
+  expect_same_results(nl, seq, &initial);
+
+  ParallelFaultSim3 sim(nl, c.faults());
+  sim.set_initial_status(initial);
+  const auto r = sim.run(seq);
+  for (std::size_t i = 0; i < initial.size(); i += 2) {
+    EXPECT_EQ(r.status[i], FaultStatus::XRedundant);
+  }
+}
+
+TEST(ParallelFaultSim3, GroupsLargerThan64Faults) {
+  // s298-like has >64 faults, exercising multi-group packing.
+  const Netlist nl = make_benchmark("s298");
+  const CollapsedFaultList c(nl);
+  ASSERT_GT(c.size(), 64u);
+  Rng rng(23);
+  expect_same_results(nl, random_sequence(nl, 25, rng));
+}
+
+TEST(ParallelFaultSim3, EmptySequenceDetectsNothing) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  ParallelFaultSim3 sim(nl, c.faults());
+  const auto r = sim.run({});
+  EXPECT_EQ(r.detected_count, 0u);
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,0 +1,62 @@
+// Test-sequence text I/O (tpg/sequence_io.h).
+
+#include <gtest/gtest.h>
+
+#include "bench_data/s27.h"
+#include "tpg/sequence_io.h"
+#include "util/rng.h"
+
+namespace motsim {
+namespace {
+
+TEST(SequenceIo, RoundTrip) {
+  const Netlist nl = make_s27();
+  Rng rng(1);
+  const TestSequence original = random_sequence(nl, 25, rng);
+  const TestSequence reparsed =
+      read_sequence_string(write_sequence_string(original, "s27 vectors"));
+  EXPECT_EQ(reparsed, original);
+}
+
+TEST(SequenceIo, ParsesCommentsBlanksAndX) {
+  const TestSequence seq = read_sequence_string(
+      "# header comment\n"
+      "\n"
+      "10X1\n"
+      "0011  # trailing comment\n"
+      "   1100\n");
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0],
+            (std::vector<Val3>{Val3::One, Val3::Zero, Val3::X, Val3::One}));
+  EXPECT_EQ(seq[1][2], Val3::One);
+  EXPECT_EQ(seq[2][0], Val3::One);
+}
+
+TEST(SequenceIo, EmptyInputGivesEmptySequence) {
+  EXPECT_TRUE(read_sequence_string("").empty());
+  EXPECT_TRUE(read_sequence_string("# only comments\n\n").empty());
+}
+
+TEST(SequenceIo, RejectsBadCharactersWithLineNumber) {
+  try {
+    (void)read_sequence_string("101\n1Z1\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SequenceIo, RejectsRaggedFrames) {
+  EXPECT_THROW((void)read_sequence_string("101\n10\n"),
+               std::invalid_argument);
+}
+
+TEST(SequenceIo, WriterEmitsComment) {
+  const std::string text =
+      write_sequence_string(sequence_from_strings({"01"}), "hello");
+  EXPECT_NE(text.find("# hello"), std::string::npos);
+  EXPECT_NE(text.find("01\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,0 +1,333 @@
+// Three-valued simulation: abstraction soundness against the concrete
+// two-valued simulator, and fault-simulation soundness against the
+// SOT detectability definition (Definition 2).
+
+#include <gtest/gtest.h>
+
+#include "bench_data/s27.h"
+#include "faults/collapse.h"
+#include "reference.h"
+#include "sim3/fault_sim3.h"
+#include "sim3/parallel_fault_sim3.h"
+#include "sim3/good_sim3.h"
+#include "sim3/sim2.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+
+namespace motsim {
+namespace {
+
+using testing::all_responses;
+using testing::ref_sot_detectable;
+using testing::small_random_circuit;
+
+// ---------------------------------------------------------------------------
+// GoodSim3 directed behaviour
+// ---------------------------------------------------------------------------
+
+TEST(GoodSim3, StartsAllX) {
+  const Netlist nl = make_s27();
+  GoodSim3 sim(nl);
+  for (Val3 v : sim.state()) EXPECT_EQ(v, Val3::X);
+}
+
+TEST(GoodSim3, InputWidthIsChecked) {
+  const Netlist nl = make_s27();
+  GoodSim3 sim(nl);
+  EXPECT_THROW((void)sim.step({Val3::One}), std::invalid_argument);
+  EXPECT_THROW(sim.set_state({Val3::X}), std::invalid_argument);
+}
+
+TEST(GoodSim3, BinaryStateBehavesConcretely) {
+  // With a fully specified state the three-valued simulator must match
+  // the two-valued one exactly.
+  const Netlist nl = make_s27();
+  Rng rng(3);
+  const TestSequence seq = random_sequence(nl, 20, rng);
+  const auto seq2 = to_bool_sequence(seq);
+
+  GoodSim3 sim3(nl);
+  sim3.set_state({Val3::Zero, Val3::One, Val3::Zero});
+  Sim2 sim2(nl);
+  sim2.set_state({false, true, false});
+
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    const auto out3 = sim3.step(seq[t]);
+    const auto out2 = sim2.step(seq2[t]);
+    ASSERT_EQ(out3.size(), out2.size());
+    for (std::size_t i = 0; i < out3.size(); ++i) {
+      EXPECT_EQ(out3[i], to_val3(out2[i])) << "t=" << t << " o=" << i;
+    }
+  }
+}
+
+class Sim3Refinement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Sim3Refinement, XStateAbstractsEveryConcreteRun) {
+  // The all-X three-valued run must abstract the concrete run from
+  // EVERY initial state: wherever sim3 says 0/1, sim2 agrees.
+  const Netlist nl = small_random_circuit(GetParam());
+  Rng rng(GetParam() * 17 + 1);
+  const TestSequence seq = random_sequence(nl, 8, rng);
+  const auto seq2 = to_bool_sequence(seq);
+  const std::size_t m = nl.dff_count();
+
+  // Reference runs for all initial states.
+  for (std::size_t s = 0; s < (std::size_t{1} << m); ++s) {
+    std::vector<bool> init(m);
+    for (std::size_t i = 0; i < m; ++i) init[i] = ((s >> i) & 1) != 0;
+
+    GoodSim3 sim3(nl);
+    Sim2 sim2(nl);
+    sim2.set_state(init);
+    for (std::size_t t = 0; t < seq.size(); ++t) {
+      sim3.step(seq[t]);
+      sim2.step(seq2[t]);
+      for (NodeIndex n = 0; n < nl.node_count(); ++n) {
+        EXPECT_TRUE(refines(to_val3(sim2.values()[n]), sim3.values()[n]))
+            << "node " << nl.gate(n).name << " frame " << t << " state "
+            << s;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Sim3Refinement,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------------------------------------------------------------------------
+// FaultSim3: directed cases
+// ---------------------------------------------------------------------------
+
+TEST(FaultSim3, DetectsObviousOutputFault) {
+  // o = NOT(a): a-sa0 forces o to 1; applying a=1 yields good 0 vs
+  // faulty 1 at a primary output.
+  Netlist nl("inv");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(a, "q");  // keep it sequential
+  (void)q;
+  const NodeIndex o = nl.add_gate(GateType::Not, {a}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  const std::vector<Fault> faults{Fault{FaultSite{a, kStemPin}, false}};
+  FaultSim3 sim(nl, faults);
+  const auto result = sim.run(sequence_from_strings({"1"}));
+  EXPECT_EQ(result.detected_count, 1u);
+  EXPECT_EQ(result.status[0], FaultStatus::DetectedSim3);
+  EXPECT_EQ(result.detect_frame[0], 1u);
+}
+
+TEST(FaultSim3, FaultMaskedByXStateIsNotDetected) {
+  // o = AND(a, q) with q unknown: a-sa0 gives good X vs faulty 0 — not
+  // a three-valued detection.
+  Netlist nl("mask");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(kNoNode, "q");
+  const NodeIndex o = nl.add_gate(GateType::And, {a, q}, "o");
+  nl.set_fanins(q, {q});  // state holds itself: stays X forever
+  nl.mark_output(o);
+  nl.finalize();
+
+  const std::vector<Fault> faults{Fault{FaultSite{a, kStemPin}, false}};
+  FaultSim3 sim(nl, faults);
+  const auto result = sim.run(sequence_from_strings({"1", "1", "1"}));
+  EXPECT_EQ(result.detected_count, 0u);
+}
+
+TEST(FaultSim3, DetectionThroughStateNeedsTwoFrames) {
+  // q latches a; o = NOT(q). A fault on a shows up one frame later.
+  Netlist nl("lat");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(a, "q");
+  const NodeIndex o = nl.add_gate(GateType::Not, {q}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  const std::vector<Fault> faults{Fault{FaultSite{a, kStemPin}, false}};
+  FaultSim3 sim(nl, faults);
+  const auto result = sim.run(sequence_from_strings({"1", "0"}));
+  EXPECT_EQ(result.detected_count, 1u);
+  EXPECT_EQ(result.detect_frame[0], 2u);
+}
+
+TEST(FaultSim3, InitialStatusSkipsFaults) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  FaultSim3 sim(nl, c.faults());
+  std::vector<FaultStatus> init(c.size(), FaultStatus::XRedundant);
+  sim.set_initial_status(init);
+  Rng rng(5);
+  const auto result = sim.run(random_sequence(nl, 10, rng));
+  EXPECT_EQ(result.simulated_faults, 0u);
+  EXPECT_EQ(result.detected_count, 0u);
+  for (FaultStatus s : result.status) EXPECT_EQ(s, FaultStatus::XRedundant);
+}
+
+TEST(FaultSim3, BranchFaultIsDistinguishedFromStem) {
+  // a fans out to two NOT gates; a branch fault affects one output,
+  // the stem fault both.
+  Netlist nl("branch");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex d = nl.add_dff(a, "d");  // sequential for form
+  (void)d;
+  const NodeIndex o1 = nl.add_gate(GateType::Not, {a}, "o1");
+  const NodeIndex o2 = nl.add_gate(GateType::Not, {a}, "o2");
+  nl.mark_output(o1);
+  nl.mark_output(o2);
+  nl.finalize();
+
+  const std::vector<Fault> faults{
+      Fault{FaultSite{o1, 0}, false},       // branch into o1
+      Fault{FaultSite{a, kStemPin}, false}  // stem
+  };
+  FaultSim3 sim(nl, faults);
+  const auto result = sim.run(sequence_from_strings({"1"}));
+  EXPECT_EQ(result.detected_count, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultSim3: property — soundness & exactness vs Definition 2
+// ---------------------------------------------------------------------------
+
+class FaultSim3Props : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultSim3Props, DetectionImpliesSotDetectability) {
+  // Three-valued detection is sound: every detected fault is SOT
+  // detectable per Definition 2 (checked by exhaustive enumeration).
+  const Netlist nl = small_random_circuit(GetParam());
+  if (nl.dff_count() > 5) GTEST_SKIP();
+  Rng rng(GetParam() * 31 + 7);
+  const TestSequence seq = random_sequence(nl, 6, rng);
+
+  const CollapsedFaultList c(nl);
+  FaultSim3 sim(nl, c.faults());
+  const auto result = sim.run(seq);
+
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (result.status[i] == FaultStatus::DetectedSim3) {
+      EXPECT_TRUE(ref_sot_detectable(nl, c.faults()[i], seq))
+          << fault_name(nl, c.faults()[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSim3Props,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18,
+                                           19, 20, 21, 22));
+
+// ---------------------------------------------------------------------------
+// Partially specified (X-carrying) test vectors — the HOPE-style
+// sequences the paper's Table III sources could contain. Three-valued
+// simulation handles them natively; a detection under X inputs must
+// hold for EVERY completion of the X bits.
+// ---------------------------------------------------------------------------
+
+class XInputProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XInputProps, DetectionSoundForEveryCompletion) {
+  const Netlist nl = small_random_circuit(GetParam());
+  if (nl.dff_count() > 4 || nl.input_count() > 4) GTEST_SKIP();
+  Rng rng(GetParam() * 77 + 5);
+
+  // Random sequence with ~25% X bits.
+  TestSequence seq = random_sequence(nl, 5, rng);
+  std::vector<std::pair<std::size_t, std::size_t>> x_positions;
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    for (std::size_t j = 0; j < seq[t].size(); ++j) {
+      if (rng.chance(0.25)) {
+        seq[t][j] = Val3::X;
+        x_positions.emplace_back(t, j);
+      }
+    }
+  }
+  if (x_positions.size() > 8) GTEST_SKIP();  // keep enumeration cheap
+
+  const CollapsedFaultList c(nl);
+  FaultSim3 sim(nl, c.faults());
+  const auto result = sim.run(seq);
+
+  // Enumerate every completion of the X bits; each detected fault must
+  // be SOT-detectable under each completion.
+  for (std::size_t bits = 0; bits < (std::size_t{1} << x_positions.size());
+       ++bits) {
+    TestSequence completed = seq;
+    for (std::size_t k = 0; k < x_positions.size(); ++k) {
+      completed[x_positions[k].first][x_positions[k].second] =
+          to_val3(((bits >> k) & 1) != 0);
+    }
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (result.status[i] == FaultStatus::DetectedSim3) {
+        EXPECT_TRUE(testing::ref_sot_detectable(nl, c.faults()[i],
+                                                completed))
+            << fault_name(nl, c.faults()[i]) << " completion " << bits;
+      }
+    }
+  }
+}
+
+TEST_P(XInputProps, SerialAndParallelAgreeOnXVectors) {
+  const Netlist nl = small_random_circuit(GetParam() + 50);
+  Rng rng(GetParam() * 91 + 7);
+  TestSequence seq = random_sequence(nl, 10, rng);
+  for (auto& frame : seq) {
+    for (Val3& v : frame) {
+      if (rng.chance(0.3)) v = Val3::X;
+    }
+  }
+  const CollapsedFaultList c(nl);
+  FaultSim3 serial(nl, c.faults());
+  ParallelFaultSim3 parallel(nl, c.faults());
+  const auto rs = serial.run(seq);
+  const auto rp = parallel.run(seq);
+  EXPECT_EQ(rs.status, rp.status);
+  EXPECT_EQ(rs.detect_frame, rp.detect_frame);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XInputProps,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Sim2 reference simulator
+// ---------------------------------------------------------------------------
+
+TEST(Sim2, FaultFreeAndStemFaultDiffer) {
+  Netlist nl("s2");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(a, "q");
+  const NodeIndex o = nl.add_gate(GateType::Not, {q}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  Sim2 good(nl);
+  Sim2 bad(nl, Fault{FaultSite{q, kStemPin}, true});
+  const auto gr = good.run({false}, {{true}, {true}});
+  const auto br = bad.run({false}, {{true}, {true}});
+  // Good: q=0 then 1 -> o = 1 then 0. Faulty q stuck 1 -> o = 0, 0.
+  EXPECT_EQ(gr[0][0], true);
+  EXPECT_EQ(gr[1][0], false);
+  EXPECT_EQ(br[0][0], false);
+  EXPECT_EQ(br[1][0], false);
+}
+
+TEST(Sim2, DffBranchFaultPinsNextState) {
+  Netlist nl("s2d");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(a, "q");
+  const NodeIndex o = nl.add_gate(GateType::Buf, {q}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  Sim2 bad(nl, Fault{FaultSite{q, 0}, true});  // D-pin stuck-at-1
+  const auto r = bad.run({false}, {{false}, {false}});
+  EXPECT_EQ(r[0][0], false);  // initial state still visible
+  EXPECT_EQ(r[1][0], true);   // every latched value is 1
+}
+
+TEST(Sim2, ToBoolSequenceRejectsX) {
+  EXPECT_THROW((void)to_bool_sequence(sequence_from_strings({"1X"})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace motsim

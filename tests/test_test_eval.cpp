@@ -1,0 +1,301 @@
+// Symbolic test evaluation (paper Section IV.B): the CUT is declared
+// faulty iff its response is impossible for EVERY initial state of the
+// fault-free machine.
+
+#include <gtest/gtest.h>
+
+#include "bench_data/s27.h"
+#include "core/sym_fault_sim.h"
+#include "core/test_eval.h"
+#include "faults/collapse.h"
+#include "reference.h"
+#include "sim3/sim2.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+
+namespace motsim {
+namespace {
+
+using testing::ref_mot_detectable;
+using testing::small_random_circuit;
+
+class TestEvalProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TestEvalProps, FaultFreeResponsesAlwaysPass) {
+  // Whatever initial state the (fault-free) CUT powered up in, its
+  // response must be accepted.
+  const Netlist nl = small_random_circuit(GetParam());
+  Rng rng(GetParam() * 23 + 1);
+  const TestSequence seq = random_sequence(nl, 8, rng);
+  const auto seq2 = to_bool_sequence(seq);
+  const std::size_t m = nl.dff_count();
+
+  bdd::BddManager mgr;
+  const SymbolicResponse response(nl, mgr, seq);
+  const TestEvaluator eval(response);
+
+  for (std::size_t s = 0; s < (std::size_t{1} << m); ++s) {
+    std::vector<bool> init(m);
+    for (std::size_t i = 0; i < m; ++i) init[i] = ((s >> i) & 1) != 0;
+    Sim2 cut(nl);
+    EXPECT_EQ(eval.evaluate(cut.run(init, seq2)), Verdict::Pass)
+        << "fault-free start " << s << " rejected";
+  }
+}
+
+TEST_P(TestEvalProps, MotDetectedFaultsAlwaysFail) {
+  // If a fault is MOT-detectable by the sequence, then the faulty
+  // machine's response is impossible for the fault-free machine from
+  // EVERY faulty initial state — the evaluator must say Faulty.
+  const Netlist nl = small_random_circuit(GetParam());
+  if (nl.dff_count() > 5) GTEST_SKIP();
+  Rng rng(GetParam() * 29 + 2);
+  const TestSequence seq = random_sequence(nl, 6, rng);
+  const auto seq2 = to_bool_sequence(seq);
+  const std::size_t m = nl.dff_count();
+  const CollapsedFaultList c(nl);
+
+  bdd::BddManager mgr;
+  const SymbolicResponse response(nl, mgr, seq);
+  const TestEvaluator eval(response);
+
+  std::size_t checked = 0;
+  for (const Fault& f : c.faults()) {
+    if (!ref_mot_detectable(nl, f, seq)) continue;
+    if (++checked > 8) break;  // keep the test fast
+    for (std::size_t s = 0; s < (std::size_t{1} << m); ++s) {
+      std::vector<bool> init(m);
+      for (std::size_t i = 0; i < m; ++i) init[i] = ((s >> i) & 1) != 0;
+      Sim2 cut(nl, f);
+      EXPECT_EQ(eval.evaluate(cut.run(init, seq2)), Verdict::Faulty)
+          << fault_name(nl, f) << " from faulty start " << s;
+    }
+  }
+}
+
+TEST_P(TestEvalProps, UndetectedFaultHasAPassingDisguise) {
+  // A fault NOT MOT-detectable has, by Definition 3, some faulty
+  // initial state whose response matches a fault-free run — the
+  // evaluator must accept that response.
+  const Netlist nl = small_random_circuit(GetParam());
+  if (nl.dff_count() > 5) GTEST_SKIP();
+  Rng rng(GetParam() * 31 + 3);
+  const TestSequence seq = random_sequence(nl, 6, rng);
+  const auto seq2 = to_bool_sequence(seq);
+  const std::size_t m = nl.dff_count();
+  const CollapsedFaultList c(nl);
+
+  bdd::BddManager mgr;
+  const SymbolicResponse response(nl, mgr, seq);
+  const TestEvaluator eval(response);
+
+  std::size_t checked = 0;
+  for (const Fault& f : c.faults()) {
+    if (ref_mot_detectable(nl, f, seq)) continue;
+    if (++checked > 8) break;
+    bool some_pass = false;
+    for (std::size_t s = 0; s < (std::size_t{1} << m) && !some_pass; ++s) {
+      std::vector<bool> init(m);
+      for (std::size_t i = 0; i < m; ++i) init[i] = ((s >> i) & 1) != 0;
+      Sim2 cut(nl, f);
+      some_pass = eval.evaluate(cut.run(init, seq2)) == Verdict::Pass;
+    }
+    EXPECT_TRUE(some_pass) << fault_name(nl, f)
+                           << " should have an accepted response";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TestEvalProps,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------------------------------------------------------------------------
+// Directed behaviour
+// ---------------------------------------------------------------------------
+
+TEST(SymbolicResponse, DimensionsAndAccess) {
+  const Netlist nl = make_s27();
+  Rng rng(4);
+  const TestSequence seq = random_sequence(nl, 10, rng);
+  bdd::BddManager mgr;
+  const SymbolicResponse r(nl, mgr, seq);
+  EXPECT_EQ(r.frame_count(), 10u);
+  EXPECT_EQ(r.skipped_frames(), 0u);
+  EXPECT_EQ(r.output_count(), 1u);
+  EXPECT_GT(r.bdd_size() + 1, 0u);  // may be 0 if outputs constant
+  (void)r.output(0, 0);
+  EXPECT_THROW((void)r.output(10, 0), std::out_of_range);
+  EXPECT_THROW((void)r.output(0, 1), std::out_of_range);
+}
+
+TEST(SymbolicResponse, PartialEvaluationSkipsLeadingFrames) {
+  const Netlist nl = make_s27();
+  Rng rng(5);
+  const TestSequence seq = random_sequence(nl, 10, rng);
+  bdd::BddManager mgr;
+  const SymbolicResponse r(nl, mgr, seq, /*skip_frames=*/4);
+  EXPECT_EQ(r.frame_count(), 10u);
+  EXPECT_EQ(r.skipped_frames(), 4u);
+  (void)r.skipped_output(3, 0);
+  EXPECT_THROW((void)r.skipped_output(4, 0), std::out_of_range);
+  EXPECT_THROW((void)r.output(3, 0), std::out_of_range);
+  (void)r.output(4, 0);
+}
+
+TEST(SymbolicResponse, PartialEvaluationStillSoundOnFaultFreeRuns) {
+  const Netlist nl = make_s27();
+  Rng rng(6);
+  const TestSequence seq = random_sequence(nl, 12, rng);
+  const auto seq2 = to_bool_sequence(seq);
+  bdd::BddManager mgr;
+  const SymbolicResponse r(nl, mgr, seq, /*skip_frames=*/5);
+  const TestEvaluator eval(r);
+  for (std::size_t s = 0; s < 8; ++s) {
+    std::vector<bool> init{(s & 1) != 0, (s & 2) != 0, (s & 4) != 0};
+    Sim2 cut(nl);
+    EXPECT_EQ(eval.evaluate(cut.run(init, seq2)), Verdict::Pass);
+  }
+}
+
+TEST(TestEvaluatorSession, IncrementalFeedIsSticky) {
+  // o = NOT(q), q loads input a. Claiming an impossible response must
+  // flip the session to Faulty and keep it there.
+  Netlist nl("ev");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(a, "q");
+  const NodeIndex o = nl.add_gate(GateType::Not, {q}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  const TestSequence seq = sequence_from_strings({"1", "0"});
+  bdd::BddManager mgr;
+  const SymbolicResponse r(nl, mgr, seq);
+  TestEvaluator::Session session(r);
+  // Frame 1 output is NOT(initial state) — either response is OK.
+  EXPECT_EQ(session.feed({true}), Verdict::Pass);
+  // Frame 2 output must be NOT(1) = 0; observing 1 is a fault.
+  EXPECT_EQ(session.feed({true}), Verdict::Faulty);
+  EXPECT_EQ(session.verdict(), Verdict::Faulty);
+  EXPECT_TRUE(session.constraint().is_zero());
+}
+
+TEST(TestEvaluatorSession, RejectsWrongWidthAndOverfeed) {
+  const Netlist nl = make_s27();
+  Rng rng(7);
+  const TestSequence seq = random_sequence(nl, 2, rng);
+  bdd::BddManager mgr;
+  const SymbolicResponse r(nl, mgr, seq);
+  TestEvaluator::Session session(r);
+  EXPECT_THROW((void)session.feed({true, false}), std::invalid_argument);
+  (void)session.feed({true});
+  (void)session.feed({true});
+  EXPECT_THROW((void)session.feed({true}), std::out_of_range);
+}
+
+TEST(TestEvaluatorSession, ConstraintNarrowsToConsistentStates) {
+  // The accumulated constraint is exactly the set of initial states
+  // that could have produced the observed prefix.
+  Netlist nl("narrow");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(a, "q");
+  const NodeIndex o = nl.add_gate(GateType::Buf, {q}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  const TestSequence seq = sequence_from_strings({"1"});
+  bdd::BddManager mgr;
+  const SymbolicResponse r(nl, mgr, seq);
+  TestEvaluator::Session session(r);
+  // Observing o=1 at frame 1 pins the initial state to q=1: the
+  // constraint must be exactly the projection x_0.
+  EXPECT_EQ(session.feed({true}), Verdict::Pass);
+  const StateVars vars(1);
+  EXPECT_EQ(session.constraint(), mgr.var(vars.x(0)));
+}
+
+// ---------------------------------------------------------------------------
+// RmotEvaluator: the standard evaluation of Section IV.B
+// ---------------------------------------------------------------------------
+
+TEST_P(TestEvalProps, RmotEvaluatorIsWeakerButConsistent) {
+  // The standard evaluation only checks the well-defined points, so it
+  // (a) accepts everything the full symbolic evaluator accepts, and
+  // (b) flags faulty only responses the symbolic evaluator also flags.
+  const Netlist nl = small_random_circuit(GetParam() + 7);
+  if (nl.dff_count() > 5) GTEST_SKIP();
+  Rng rng(GetParam() * 37 + 5);
+  const TestSequence seq = random_sequence(nl, 6, rng);
+  const auto seq2 = to_bool_sequence(seq);
+  const std::size_t m = nl.dff_count();
+  const CollapsedFaultList c(nl);
+
+  bdd::BddManager mgr;
+  const SymbolicResponse response(nl, mgr, seq);
+  const TestEvaluator full(response);
+  const RmotEvaluator standard(response);
+
+  std::size_t checked = 0;
+  for (const Fault& f : c.faults()) {
+    if (++checked > 6) break;
+    for (std::size_t s = 0; s < (std::size_t{1} << m); s += 3) {
+      std::vector<bool> init(m);
+      for (std::size_t i = 0; i < m; ++i) init[i] = ((s >> i) & 1) != 0;
+      Sim2 cut(nl, f);
+      const auto resp = cut.run(init, seq2);
+      const Verdict vf = full.evaluate(resp);
+      const Verdict vs = standard.evaluate(resp);
+      if (vs == Verdict::Faulty) {
+        EXPECT_EQ(vf, Verdict::Faulty)
+            << fault_name(nl, f) << " start " << s
+            << ": standard evaluation over-claimed";
+      }
+    }
+  }
+}
+
+TEST(RmotEvaluator, FaultFreeResponsesPass) {
+  const Netlist nl = make_s27();
+  Rng rng(8);
+  const TestSequence seq = random_sequence(nl, 20, rng);
+  const auto seq2 = to_bool_sequence(seq);
+  bdd::BddManager mgr;
+  const SymbolicResponse r(nl, mgr, seq);
+  const RmotEvaluator eval(r);
+  for (std::size_t s = 0; s < 8; ++s) {
+    std::vector<bool> init{(s & 1) != 0, (s & 2) != 0, (s & 4) != 0};
+    Sim2 cut(nl);
+    EXPECT_EQ(eval.evaluate(cut.run(init, seq2)), Verdict::Pass);
+  }
+}
+
+TEST(RmotEvaluator, FlagsMismatchAtWellDefinedPoint) {
+  // o = NOT(q) with q loading a: frame 2 output is well-defined.
+  Netlist nl("rme");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(a, "q");
+  const NodeIndex o = nl.add_gate(GateType::Not, {q}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  const TestSequence seq = sequence_from_strings({"1", "0"});
+  bdd::BddManager mgr;
+  const SymbolicResponse r(nl, mgr, seq);
+  const RmotEvaluator eval(r);
+  EXPECT_EQ(eval.well_defined_count(), 1u);  // only frame 2
+  // Correct response: frame2 o = NOT(1) = 0. Frame-1 value is free.
+  EXPECT_EQ(eval.evaluate({{true}, {false}}), Verdict::Pass);
+  EXPECT_EQ(eval.evaluate({{false}, {false}}), Verdict::Pass);
+  EXPECT_EQ(eval.evaluate({{true}, {true}}), Verdict::Faulty);
+}
+
+TEST(RmotEvaluator, WidthChecks) {
+  const Netlist nl = make_s27();
+  Rng rng(9);
+  const TestSequence seq = random_sequence(nl, 3, rng);
+  bdd::BddManager mgr;
+  const SymbolicResponse r(nl, mgr, seq);
+  const RmotEvaluator eval(r);
+  EXPECT_THROW((void)eval.evaluate({{true}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace motsim

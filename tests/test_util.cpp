@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "motsim.h"  // umbrella header must compile standalone
+
+#include <set>
+#include <sstream>
+
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace motsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.25, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.fork();
+  // The child stream should not replay the parent stream.
+  Rng b(21);
+  (void)b.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (child() == b());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, SplitMix64KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);  // same seed, same first output
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, SplitKeepsEmptyPieces) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitTrimsPieces) {
+  const auto parts = split(" x , y ", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "x");
+  EXPECT_EQ(parts[1], "y");
+}
+
+TEST(Strings, CaseConversions) {
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_EQ(to_upper("AbC"), "ABC");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("INPUT(x)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------------------
+// Stopwatch
+// ---------------------------------------------------------------------------
+
+TEST(Stopwatch, MonotoneNonNegative) {
+  Stopwatch sw;
+  const double a = sw.elapsed_seconds();
+  const double b = sw.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch sw;
+  sw.reset();
+  EXPECT_LT(sw.elapsed_seconds(), 1.0);
+}
+
+TEST(AccumulatingTimer, AccumulatesWindows) {
+  AccumulatingTimer t;
+  EXPECT_EQ(t.total_seconds(), 0.0);
+  t.start();
+  t.stop();
+  const double after_one = t.total_seconds();
+  EXPECT_GE(after_one, 0.0);
+  t.start();
+  t.stop();
+  EXPECT_GE(t.total_seconds(), after_one);
+  t.reset();
+  EXPECT_EQ(t.total_seconds(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// TablePrinter
+// ---------------------------------------------------------------------------
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"Circ.", "|F|"});
+  t.add_row({"s298", "308"});
+  t.add_row({"s38584.1", "36303"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("s298"), std::string::npos);
+  EXPECT_NE(out.find("36303"), std::string::npos);
+  // All lines between separators must have the same width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinter, RowCountIgnoresSeparators) {
+  TablePrinter t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Env
+// ---------------------------------------------------------------------------
+
+TEST(Env, FlagParsesTruthyValues) {
+  ::setenv("MOTSIM_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(env_flag("MOTSIM_TEST_FLAG"));
+  ::setenv("MOTSIM_TEST_FLAG", "yes", 1);
+  EXPECT_TRUE(env_flag("MOTSIM_TEST_FLAG"));
+  ::setenv("MOTSIM_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("MOTSIM_TEST_FLAG"));
+  ::unsetenv("MOTSIM_TEST_FLAG");
+  EXPECT_FALSE(env_flag("MOTSIM_TEST_FLAG"));
+}
+
+TEST(Env, IntFallsBack) {
+  ::unsetenv("MOTSIM_TEST_INT");
+  EXPECT_EQ(env_int("MOTSIM_TEST_INT", 42), 42);
+  ::setenv("MOTSIM_TEST_INT", "17", 1);
+  EXPECT_EQ(env_int("MOTSIM_TEST_INT", 42), 17);
+  ::setenv("MOTSIM_TEST_INT", "junk", 1);
+  EXPECT_EQ(env_int("MOTSIM_TEST_INT", 42), 42);
+  ::unsetenv("MOTSIM_TEST_INT");
+}
+
+}  // namespace
+}  // namespace motsim

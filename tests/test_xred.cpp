@@ -1,0 +1,220 @@
+// ID_X-red (paper Section III): directed step behaviour plus the key
+// soundness property — a fault flagged X-redundant is never detected
+// by the three-valued fault simulation of the same sequence.
+
+#include <gtest/gtest.h>
+
+#include "bench_data/registry.h"
+#include "bench_data/s27.h"
+#include "core/xred.h"
+#include "faults/collapse.h"
+#include "reference.h"
+#include "sim3/fault_sim3.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+
+namespace motsim {
+namespace {
+
+using testing::small_random_circuit;
+
+TEST(XRed, ActivationRule) {
+  // o = AND(a, b) with b tied to 1 by the sequence: the lead a never
+  // carries 0, so a-sa1 cannot be activated; a-sa0 can.
+  Netlist nl("act");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex b = nl.add_input("b");
+  const NodeIndex q = nl.add_dff(a, "q");
+  (void)q;
+  const NodeIndex o = nl.add_gate(GateType::And, {a, b}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  // a toggles, b stays 1 -> I_X(a) = {X,0,1}, I_X(b) = {X,1}.
+  const TestSequence seq = sequence_from_strings({"11", "01"});
+  const XRedResult xr = run_id_x_red(nl, seq);
+
+  EXPECT_EQ(xr.ix(FaultSite{a, kStemPin}), Val4::X01);
+  EXPECT_EQ(xr.ix(FaultSite{b, kStemPin}), Val4::X1);
+  EXPECT_FALSE(xr.is_x_redundant(Fault{FaultSite{b, kStemPin}, false}));
+  EXPECT_TRUE(xr.is_x_redundant(Fault{FaultSite{b, kStemPin}, true}));
+}
+
+TEST(XRed, AlwaysXLeadIsFullyRedundant) {
+  // A self-holding flip-flop never leaves X; both faults on its output
+  // stem are X-redundant.
+  Netlist nl("selfx");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(kNoNode, "q");
+  nl.set_fanins(q, {q});
+  const NodeIndex o = nl.add_gate(GateType::And, {a, q}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  const XRedResult xr = run_id_x_red(nl, sequence_from_strings({"1", "1"}));
+  EXPECT_EQ(xr.ix(FaultSite{q, kStemPin}), Val4::X);
+  EXPECT_TRUE(xr.is_x_redundant(Fault{FaultSite{q, kStemPin}, false}));
+  EXPECT_TRUE(xr.is_x_redundant(Fault{FaultSite{q, kStemPin}, true}));
+}
+
+TEST(XRed, BackwardPassLowersUnobservableCone) {
+  // A gate whose only path to an output crosses an always-X lead is
+  // itself lowered to {X} by step 2.
+  Netlist nl("cone");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(kNoNode, "q");
+  nl.set_fanins(q, {q});  // q always X
+  const NodeIndex g = nl.add_gate(GateType::Not, {a}, "g");
+  const NodeIndex o = nl.add_gate(GateType::And, {g, q}, "o");
+  // o = AND(g, X) is X whenever g=1, 0 when g=0.
+  nl.mark_output(o);
+  nl.finalize();
+
+  const TestSequence seq = sequence_from_strings({"0", "1"});
+  const XRedResult xr = run_id_x_red(nl, seq);
+  // g itself toggles (1 then 0), so its I_X is {X,0,1}; the fault
+  // g-sa0 is activated when g=1, but then o = AND(1, X) = X — only the
+  // observability side can rule it out, not the backward {X} pass.
+  EXPECT_EQ(xr.ix(FaultSite{g, kStemPin}), Val4::X01);
+}
+
+TEST(XRed, ObservabilityThroughAndNeedsNonControllingSibling) {
+  // o = AND(a, b); b never carries 1 -> a's branch into o is
+  // unobservable (the AND is always controlled), so faults at a are
+  // X-redundant even though a toggles.
+  Netlist nl("obs");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex b = nl.add_input("b");
+  const NodeIndex q = nl.add_dff(a, "q");
+  (void)q;
+  const NodeIndex o = nl.add_gate(GateType::And, {a, b}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  const TestSequence seq = sequence_from_strings({"10", "00"});
+  const XRedResult xr = run_id_x_red(nl, seq);
+  EXPECT_FALSE(xr.observable(FaultSite{o, 0}));  // a's branch
+  EXPECT_TRUE(xr.is_x_redundant(Fault{FaultSite{o, 0}, false}));
+  EXPECT_TRUE(xr.is_x_redundant(Fault{FaultSite{o, 0}, true}));
+  // b's branch sees a's 1 in frame 1 -> observable.
+  EXPECT_TRUE(xr.observable(FaultSite{o, 1}));
+}
+
+TEST(XRed, ObservabilityThroughOrNeedsZeroSibling) {
+  Netlist nl("obs-or");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex b = nl.add_input("b");
+  const NodeIndex q = nl.add_dff(a, "q");
+  (void)q;
+  const NodeIndex o = nl.add_gate(GateType::Or, {a, b}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  // b is constantly 1: it controls the OR, a is never observable.
+  const TestSequence seq = sequence_from_strings({"11", "01"});
+  const XRedResult xr = run_id_x_red(nl, seq);
+  EXPECT_FALSE(xr.observable(FaultSite{o, 0}));
+  EXPECT_TRUE(xr.observable(FaultSite{o, 1}));
+}
+
+TEST(XRed, ClassifyMapsToInitialStatus) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  Rng rng(9);
+  const TestSequence seq = random_sequence(nl, 16, rng);
+  const XRedResult xr = run_id_x_red(nl, seq);
+  const auto status = xr.classify(c.faults());
+  ASSERT_EQ(status.size(), c.size());
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (status[i] == FaultStatus::XRedundant) {
+      EXPECT_TRUE(xr.is_x_redundant(c.faults()[i]));
+      ++flagged;
+    } else {
+      EXPECT_EQ(status[i], FaultStatus::Undetected);
+    }
+  }
+  EXPECT_EQ(flagged, xr.count_x_redundant(c.faults()));
+}
+
+// ---------------------------------------------------------------------------
+// The paper's claim, as a property: eliminating X-redundant faults
+// never changes the three-valued result.
+// ---------------------------------------------------------------------------
+
+class XRedSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XRedSoundness, FlaggedFaultsAreNeverDetectedByX01) {
+  const Netlist nl = small_random_circuit(GetParam());
+  Rng rng(GetParam() * 1337 + 5);
+  const TestSequence seq = random_sequence(nl, 12, rng);
+
+  const CollapsedFaultList c(nl);
+  const XRedResult xr = run_id_x_red(nl, seq);
+
+  // Run the FULL fault list through X01 (no elimination) and check no
+  // flagged fault is detected.
+  FaultSim3 sim(nl, c.faults());
+  const auto result = sim.run(seq);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (xr.is_x_redundant(c.faults()[i])) {
+      EXPECT_NE(result.status[i], FaultStatus::DetectedSim3)
+          << fault_name(nl, c.faults()[i]) << " in " << nl.name();
+    }
+  }
+}
+
+TEST_P(XRedSoundness, EliminationPreservesDetectedSet) {
+  // With ID_X-red pre-classification, exactly the same faults are
+  // detected as without it (X01_p vs X01 in Table I) — only faster.
+  const Netlist nl = small_random_circuit(GetParam() + 100);
+  Rng rng(GetParam() * 71 + 3);
+  const TestSequence seq = random_sequence(nl, 12, rng);
+
+  const CollapsedFaultList c(nl);
+  FaultSim3 plain(nl, c.faults());
+  const auto full = plain.run(seq);
+
+  const XRedResult xr = run_id_x_red(nl, seq);
+  FaultSim3 pruned(nl, c.faults());
+  pruned.set_initial_status(xr.classify(c.faults()));
+  const auto fast = pruned.run(seq);
+
+  EXPECT_EQ(full.detected_count, fast.detected_count);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(full.status[i] == FaultStatus::DetectedSim3,
+              fast.status[i] == FaultStatus::DetectedSim3)
+        << fault_name(nl, c.faults()[i]);
+  }
+  EXPECT_LE(fast.simulated_faults, full.simulated_faults);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XRedSoundness,
+                         ::testing::Range<std::uint64_t>(1, 29));
+
+TEST(XRed, BenchRosterSmokeAndStats) {
+  // On the s298-like controller a substantial share of faults must be
+  // X-redundant-free (the circuit synchronizes), while the counter
+  // keeps almost everything X-redundant — the Table I contrast.
+  Rng rng(123);
+  const Netlist counter = make_benchmark("s208.1");
+  const Netlist controller = make_benchmark("s298");
+  const TestSequence seq_counter = random_sequence(counter, 50, rng);
+  const TestSequence seq_ctrl = random_sequence(controller, 50, rng);
+
+  const CollapsedFaultList fc(counter);
+  const CollapsedFaultList cc(controller);
+  const double counter_ratio =
+      static_cast<double>(
+          run_id_x_red(counter, seq_counter).count_x_redundant(fc.faults())) /
+      static_cast<double>(fc.size());
+  const double ctrl_ratio =
+      static_cast<double>(
+          run_id_x_red(controller, seq_ctrl).count_x_redundant(cc.faults())) /
+      static_cast<double>(cc.size());
+  EXPECT_GT(counter_ratio, 0.6);
+  EXPECT_LT(ctrl_ratio, 0.4);
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,0 +1,306 @@
+// motsim_cli — command-line front end for the fault-simulation
+// pipeline.
+//
+//   motsim_cli [options] <circuit>
+//
+//   <circuit>        roster name (s27, s298, ...) or path to a
+//                    .bench file
+//   --list           list the benchmark roster and exit
+//   --vectors N      random test-sequence length       (default 200)
+//   --seed N         workload seed                     (default 1)
+//   --strategy S     sot | rmot | mot                  (default mot)
+//   --node-limit N   hybrid OBDD space limit           (default 30000)
+//   --layout L       interleaved | blocked             (default interleaved)
+//   --no-xred        skip the ID_X-red stage
+//   --no-symbolic    three-valued only (pure X01)
+//   --parallel       bit-parallel three-valued simulator
+//   --deterministic  compacted sequence instead of random vectors
+//   --sync           also run the synchronizing-sequence analysis
+//   --show-undetected  list the faults left undetected
+//   --stats          structural statistics
+//   --reset          insert a synchronous reset before everything
+//   --dot FILE       Graphviz export of the netlist
+//   --save-seq FILE / --load-seq FILE   sequence file I/O
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_data/registry.h"
+#include "circuit/bench_io.h"
+#include "circuit/stats.h"
+#include "circuit/transform.h"
+#include "core/pipeline.h"
+#include "core/symbolic_fsm.h"
+#include "faults/collapse.h"
+#include "tpg/compaction.h"
+#include "tpg/sequence_io.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+using namespace motsim;
+
+namespace {
+
+struct Options {
+  std::string circuit;
+  std::size_t vectors = 200;
+  std::uint64_t seed = 1;
+  Strategy strategy = Strategy::Mot;
+  std::size_t node_limit = 30000;
+  VarLayout layout = VarLayout::Interleaved;
+  bool xred = true;
+  bool symbolic = true;
+  bool parallel = false;
+  bool deterministic = false;
+  bool sync = false;
+  bool show_undetected = false;
+  bool list = false;
+  bool stats = false;
+  bool json = false;
+  bool add_reset = false;
+  std::string dot_file;
+  std::string save_seq;
+  std::string load_seq;
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: motsim_cli [options] <circuit>\n"
+               "  <circuit>          roster name (try --list) or .bench "
+               "file path\n"
+               "  --list             list the benchmark roster\n"
+               "  --vectors N        random sequence length (default 200)\n"
+               "  --seed N           workload seed (default 1)\n"
+               "  --strategy S       sot | rmot | mot (default mot)\n"
+               "  --node-limit N     hybrid OBDD limit (default 30000)\n"
+               "  --layout L         interleaved | blocked\n"
+               "  --no-xred          skip ID_X-red\n"
+               "  --no-symbolic      pure three-valued run\n"
+               "  --parallel         bit-parallel three-valued simulator\n"
+               "  --deterministic    compacted (targeted) sequence\n"
+               "  --sync             synchronizing-sequence analysis\n"
+               "  --show-undetected  list undetected faults\n"
+               "  --stats            print structural statistics\n"
+               "  --reset            insert a synchronous reset first\n"
+               "  --dot FILE         write the netlist as Graphviz dot\n"
+               "  --json             print the summary as JSON too\n"
+               "  --save-seq FILE    save the test sequence\n"
+               "  --load-seq FILE    replay a saved sequence instead of\n"
+               "                     generating one\n");
+  std::exit(code);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") usage(0);
+    else if (a == "--list") o.list = true;
+    else if (a == "--vectors") o.vectors = std::stoul(next());
+    else if (a == "--seed") o.seed = std::stoull(next());
+    else if (a == "--node-limit") o.node_limit = std::stoul(next());
+    else if (a == "--strategy") {
+      const std::string s = to_lower(next());
+      if (s == "sot") o.strategy = Strategy::Sot;
+      else if (s == "rmot") o.strategy = Strategy::Rmot;
+      else if (s == "mot") o.strategy = Strategy::Mot;
+      else usage(2);
+    } else if (a == "--layout") {
+      const std::string s = to_lower(next());
+      if (s == "interleaved") o.layout = VarLayout::Interleaved;
+      else if (s == "blocked") o.layout = VarLayout::Blocked;
+      else usage(2);
+    } else if (a == "--no-xred") o.xred = false;
+    else if (a == "--no-symbolic") o.symbolic = false;
+    else if (a == "--parallel") o.parallel = true;
+    else if (a == "--deterministic") o.deterministic = true;
+    else if (a == "--sync") o.sync = true;
+    else if (a == "--show-undetected") o.show_undetected = true;
+    else if (a == "--stats") o.stats = true;
+    else if (a == "--json") o.json = true;
+    else if (a == "--reset") o.add_reset = true;
+    else if (a == "--dot") o.dot_file = next();
+    else if (a == "--save-seq") o.save_seq = next();
+    else if (a == "--load-seq") o.load_seq = next();
+    else if (!a.empty() && a[0] == '-') usage(2);
+    else if (o.circuit.empty()) o.circuit = a;
+    else usage(2);
+  }
+  if (!o.list && o.circuit.empty()) usage(2);
+  return o;
+}
+
+Netlist load_circuit(const std::string& name) {
+  if (find_benchmark(name) != nullptr) return make_benchmark(name);
+  std::ifstream file(name);
+  if (!file) {
+    std::fprintf(stderr,
+                 "error: '%s' is neither a roster circuit nor a readable "
+                 ".bench file\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  return parse_bench(file, name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_args(argc, argv);
+
+  if (o.list) {
+    std::printf("%-10s %6s %4s %4s %6s  %s\n", "name", "PI", "PO", "FF",
+                "gates", "style");
+    for (const BenchmarkInfo& info : benchmark_roster()) {
+      std::printf("%-10s %6zu %4zu %4zu %6zu  %s%s\n",
+                  info.spec.name.c_str(), info.spec.inputs,
+                  info.spec.outputs, info.spec.dffs, info.spec.target_gates,
+                  info.exact ? "exact" : to_cstring(info.spec.style),
+                  info.exact ? "" : " (synthetic)");
+    }
+    return 0;
+  }
+
+  Netlist nl = load_circuit(o.circuit);
+  if (o.add_reset) {
+    nl = with_synchronous_reset(nl);
+    std::printf("inserted synchronous reset (drive the extra last input "
+                "high to clear the state)\n");
+  }
+  const CollapsedFaultList faults(nl);
+  std::printf("circuit %s: %zu PI, %zu PO, %zu FF, %zu gates; %zu "
+              "collapsed faults\n",
+              nl.name().c_str(), nl.input_count(), nl.output_count(),
+              nl.dff_count(), nl.gate_count(), faults.size());
+
+  if (o.stats) {
+    std::printf("%s", CircuitStats::of(nl).to_string().c_str());
+  }
+  if (!o.dot_file.empty()) {
+    std::ofstream dot(o.dot_file);
+    if (!dot) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   o.dot_file.c_str());
+      return 1;
+    }
+    dot << netlist_to_dot(nl);
+    std::printf("wrote %s\n", o.dot_file.c_str());
+  }
+
+  // Test sequence.
+  TestSequence seq;
+  if (!o.load_seq.empty()) {
+    std::ifstream in(o.load_seq);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", o.load_seq.c_str());
+      return 1;
+    }
+    seq = read_sequence(in);
+    if (!seq.empty() && seq[0].size() != nl.input_count()) {
+      std::fprintf(stderr,
+                   "error: sequence width %zu does not match %zu inputs\n",
+                   seq[0].size(), nl.input_count());
+      return 1;
+    }
+    std::printf("loaded sequence: %zu vectors from %s\n", seq.size(),
+                o.load_seq.c_str());
+  } else if (o.deterministic) {
+    CompactionConfig cfg;
+    cfg.seed = o.seed;
+    cfg.max_length = 2 * o.vectors;
+    cfg.min_length = o.vectors / 4;
+    const CompactionResult gen =
+        generate_deterministic_sequence(nl, faults.faults(), cfg);
+    seq = gen.sequence;
+    std::printf("deterministic sequence: %zu vectors (%zu greedy rounds)\n",
+                seq.size(), gen.rounds);
+  } else {
+    Rng rng(o.seed);
+    seq = random_sequence(nl, o.vectors, rng);
+    std::printf("random sequence: %zu vectors (seed %llu)\n", seq.size(),
+                static_cast<unsigned long long>(o.seed));
+  }
+  if (seq.empty()) {
+    std::fprintf(stderr, "error: empty test sequence\n");
+    return 1;
+  }
+  if (!o.save_seq.empty()) {
+    std::ofstream out(o.save_seq);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", o.save_seq.c_str());
+      return 1;
+    }
+    write_sequence(out, seq, nl.name() + " test sequence");
+    std::printf("saved sequence to %s\n", o.save_seq.c_str());
+  }
+
+  // Pipeline.
+  PipelineConfig cfg;
+  cfg.run_xred = o.xred;
+  cfg.parallel_sim3 = o.parallel;
+  cfg.run_symbolic = o.symbolic;
+  cfg.hybrid.strategy = o.strategy;
+  cfg.hybrid.layout = o.layout;
+  cfg.hybrid.node_limit = o.node_limit;
+  const PipelineResult r = run_pipeline(nl, faults.faults(), seq, cfg);
+
+  std::printf("\n--- %s pipeline ---\n", to_cstring(o.strategy));
+  if (o.xred) {
+    std::printf("ID_X-red:   %zu X-redundant faults      (%.3f s)\n",
+                r.x_redundant, r.seconds_xred);
+  }
+  std::printf("X01 stage:  %zu faults detected          (%.3f s%s)\n",
+              r.detected_3v, r.seconds_3v,
+              o.parallel ? ", bit-parallel" : "");
+  if (o.symbolic && r.symbolic_skipped_x_inputs) {
+    std::printf("symbolic:   skipped — the sequence carries X inputs "
+                "(three-valued only)\n");
+  } else if (o.symbolic) {
+    std::printf("symbolic:   %zu additional faults        (%.3f s)%s\n",
+                r.detected_symbolic, r.seconds_symbolic,
+                r.used_fallback ? "  [*three-valued fallback ran]" : "");
+  }
+  std::printf("\n%s", r.summary().to_string().c_str());
+  if (o.json) std::printf("%s\n", r.summary().to_json().c_str());
+
+  if (o.show_undetected) {
+    std::printf("\nundetected faults:\n");
+    for (const std::string& name :
+         faults_with_status(nl, faults.faults(), r.status,
+                            FaultStatus::Undetected)) {
+      std::printf("  %s\n", name.c_str());
+    }
+    for (const std::string& name :
+         faults_with_status(nl, faults.faults(), r.status,
+                            FaultStatus::XRedundant)) {
+      std::printf("  %s (X-redundant)\n", name.c_str());
+    }
+  }
+
+  if (o.sync) {
+    std::printf("\n--- synchronizing-sequence analysis ---\n");
+    bdd::BddManager mgr;
+    const SymbolicFsm fsm(nl, mgr, StateVars(nl.dff_count()));
+    const SyncSearchResult sr = find_synchronizing_sequence(fsm);
+    if (sr.found) {
+      std::printf("synchronizing sequence of length %zu found "
+                  "(%zu uncertainty sets explored)\n",
+                  sr.sequence.size(), sr.explored);
+    } else {
+      std::printf("no synchronizing sequence within bounds; smallest "
+                  "uncertainty set: %.0f states\n",
+                  sr.final_states);
+      std::printf("(three-valued simulation will under-approximate badly "
+                  "on this circuit — use MOT)\n");
+    }
+  }
+
+  return 0;
+}
