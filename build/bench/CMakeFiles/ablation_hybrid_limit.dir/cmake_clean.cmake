@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid_limit.dir/ablation_hybrid_limit.cpp.o"
+  "CMakeFiles/ablation_hybrid_limit.dir/ablation_hybrid_limit.cpp.o.d"
+  "ablation_hybrid_limit"
+  "ablation_hybrid_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mot_tpg.dir/ablation_mot_tpg.cpp.o"
+  "CMakeFiles/ablation_mot_tpg.dir/ablation_mot_tpg.cpp.o.d"
+  "ablation_mot_tpg"
+  "ablation_mot_tpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mot_tpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ndetect.dir/ablation_ndetect.cpp.o"
+  "CMakeFiles/ablation_ndetect.dir/ablation_ndetect.cpp.o.d"
+  "ablation_ndetect"
+  "ablation_ndetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ndetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

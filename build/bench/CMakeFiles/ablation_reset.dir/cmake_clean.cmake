@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reset.dir/ablation_reset.cpp.o"
+  "CMakeFiles/ablation_reset.dir/ablation_reset.cpp.o.d"
+  "ablation_reset"
+  "ablation_reset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sift.dir/ablation_sift.cpp.o"
+  "CMakeFiles/ablation_sift.dir/ablation_sift.cpp.o.d"
+  "ablation_sift"
+  "ablation_sift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

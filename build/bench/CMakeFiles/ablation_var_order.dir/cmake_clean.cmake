@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_var_order.dir/ablation_var_order.cpp.o"
+  "CMakeFiles/ablation_var_order.dir/ablation_var_order.cpp.o.d"
+  "ablation_var_order"
+  "ablation_var_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_var_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_xred_steps.dir/ablation_xred_steps.cpp.o"
+  "CMakeFiles/ablation_xred_steps.dir/ablation_xred_steps.cpp.o.d"
+  "ablation_xred_steps"
+  "ablation_xred_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_xred_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdd_microbench.dir/bdd_microbench.cpp.o"
+  "CMakeFiles/bdd_microbench.dir/bdd_microbench.cpp.o.d"
+  "bdd_microbench"
+  "bdd_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

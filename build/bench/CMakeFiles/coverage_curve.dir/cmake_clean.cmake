@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_curve.dir/coverage_curve.cpp.o"
+  "CMakeFiles/coverage_curve.dir/coverage_curve.cpp.o.d"
+  "coverage_curve"
+  "coverage_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

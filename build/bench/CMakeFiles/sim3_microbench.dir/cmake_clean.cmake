@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim3_microbench.dir/sim3_microbench.cpp.o"
+  "CMakeFiles/sim3_microbench.dir/sim3_microbench.cpp.o.d"
+  "sim3_microbench"
+  "sim3_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim3_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

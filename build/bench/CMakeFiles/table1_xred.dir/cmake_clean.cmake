@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_xred.dir/table1_xred.cpp.o"
+  "CMakeFiles/table1_xred.dir/table1_xred.cpp.o.d"
+  "table1_xred"
+  "table1_xred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_xred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_random.dir/table2_random.cpp.o"
+  "CMakeFiles/table2_random.dir/table2_random.cpp.o.d"
+  "table2_random"
+  "table2_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

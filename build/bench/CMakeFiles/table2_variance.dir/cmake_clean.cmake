@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_variance.dir/table2_variance.cpp.o"
+  "CMakeFiles/table2_variance.dir/table2_variance.cpp.o.d"
+  "table2_variance"
+  "table2_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_deterministic.dir/table3_deterministic.cpp.o"
+  "CMakeFiles/table3_deterministic.dir/table3_deterministic.cpp.o.d"
+  "table3_deterministic"
+  "table3_deterministic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_deterministic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

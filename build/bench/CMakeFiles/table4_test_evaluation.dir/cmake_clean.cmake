@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_test_evaluation.dir/table4_test_evaluation.cpp.o"
+  "CMakeFiles/table4_test_evaluation.dir/table4_test_evaluation.cpp.o.d"
+  "table4_test_evaluation"
+  "table4_test_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_test_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

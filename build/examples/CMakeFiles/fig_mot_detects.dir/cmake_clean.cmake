@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_mot_detects.dir/fig_mot_detects.cpp.o"
+  "CMakeFiles/fig_mot_detects.dir/fig_mot_detects.cpp.o.d"
+  "fig_mot_detects"
+  "fig_mot_detects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_mot_detects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_mot_detects.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_mot_detects.
+# This may be replaced when dependencies are built.

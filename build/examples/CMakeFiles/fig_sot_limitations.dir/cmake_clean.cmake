@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_sot_limitations.dir/fig_sot_limitations.cpp.o"
+  "CMakeFiles/fig_sot_limitations.dir/fig_sot_limitations.cpp.o.d"
+  "fig_sot_limitations"
+  "fig_sot_limitations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sot_limitations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_sot_limitations.
+# This may be replaced when dependencies are built.

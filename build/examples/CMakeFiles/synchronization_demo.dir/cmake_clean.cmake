@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchronization_demo.dir/synchronization_demo.cpp.o"
+  "CMakeFiles/synchronization_demo.dir/synchronization_demo.cpp.o.d"
+  "synchronization_demo"
+  "synchronization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchronization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evaluation_demo.dir/test_evaluation_demo.cpp.o"
+  "CMakeFiles/test_evaluation_demo.dir/test_evaluation_demo.cpp.o.d"
+  "test_evaluation_demo"
+  "test_evaluation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evaluation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xred_walkthrough.dir/xred_walkthrough.cpp.o"
+  "CMakeFiles/xred_walkthrough.dir/xred_walkthrough.cpp.o.d"
+  "xred_walkthrough"
+  "xred_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xred_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

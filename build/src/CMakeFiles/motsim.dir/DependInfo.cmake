@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/bdd_analysis.cpp" "src/CMakeFiles/motsim.dir/bdd/bdd_analysis.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/bdd/bdd_analysis.cpp.o.d"
+  "/root/repo/src/bdd/bdd_compose.cpp" "src/CMakeFiles/motsim.dir/bdd/bdd_compose.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/bdd/bdd_compose.cpp.o.d"
+  "/root/repo/src/bdd/bdd_manager.cpp" "src/CMakeFiles/motsim.dir/bdd/bdd_manager.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/bdd/bdd_manager.cpp.o.d"
+  "/root/repo/src/bdd/bdd_ops.cpp" "src/CMakeFiles/motsim.dir/bdd/bdd_ops.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/bdd/bdd_ops.cpp.o.d"
+  "/root/repo/src/bdd/bdd_reorder.cpp" "src/CMakeFiles/motsim.dir/bdd/bdd_reorder.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/bdd/bdd_reorder.cpp.o.d"
+  "/root/repo/src/bench_data/registry.cpp" "src/CMakeFiles/motsim.dir/bench_data/registry.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/bench_data/registry.cpp.o.d"
+  "/root/repo/src/bench_data/s27.cpp" "src/CMakeFiles/motsim.dir/bench_data/s27.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/bench_data/s27.cpp.o.d"
+  "/root/repo/src/bench_data/synth_gen.cpp" "src/CMakeFiles/motsim.dir/bench_data/synth_gen.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/bench_data/synth_gen.cpp.o.d"
+  "/root/repo/src/circuit/bench_io.cpp" "src/CMakeFiles/motsim.dir/circuit/bench_io.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/circuit/bench_io.cpp.o.d"
+  "/root/repo/src/circuit/ffr.cpp" "src/CMakeFiles/motsim.dir/circuit/ffr.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/circuit/ffr.cpp.o.d"
+  "/root/repo/src/circuit/levelize.cpp" "src/CMakeFiles/motsim.dir/circuit/levelize.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/circuit/levelize.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/motsim.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/stats.cpp" "src/CMakeFiles/motsim.dir/circuit/stats.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/circuit/stats.cpp.o.d"
+  "/root/repo/src/circuit/transform.cpp" "src/CMakeFiles/motsim.dir/circuit/transform.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/circuit/transform.cpp.o.d"
+  "/root/repo/src/circuit/validate.cpp" "src/CMakeFiles/motsim.dir/circuit/validate.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/circuit/validate.cpp.o.d"
+  "/root/repo/src/core/diagnosis.cpp" "src/CMakeFiles/motsim.dir/core/diagnosis.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/core/diagnosis.cpp.o.d"
+  "/root/repo/src/core/equivalence.cpp" "src/CMakeFiles/motsim.dir/core/equivalence.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/core/equivalence.cpp.o.d"
+  "/root/repo/src/core/hybrid_sim.cpp" "src/CMakeFiles/motsim.dir/core/hybrid_sim.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/core/hybrid_sim.cpp.o.d"
+  "/root/repo/src/core/misr.cpp" "src/CMakeFiles/motsim.dir/core/misr.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/core/misr.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/motsim.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/sym_fault_sim.cpp" "src/CMakeFiles/motsim.dir/core/sym_fault_sim.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/core/sym_fault_sim.cpp.o.d"
+  "/root/repo/src/core/sym_true_value.cpp" "src/CMakeFiles/motsim.dir/core/sym_true_value.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/core/sym_true_value.cpp.o.d"
+  "/root/repo/src/core/symbolic_fsm.cpp" "src/CMakeFiles/motsim.dir/core/symbolic_fsm.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/core/symbolic_fsm.cpp.o.d"
+  "/root/repo/src/core/test_eval.cpp" "src/CMakeFiles/motsim.dir/core/test_eval.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/core/test_eval.cpp.o.d"
+  "/root/repo/src/core/xred.cpp" "src/CMakeFiles/motsim.dir/core/xred.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/core/xred.cpp.o.d"
+  "/root/repo/src/faults/collapse.cpp" "src/CMakeFiles/motsim.dir/faults/collapse.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/faults/collapse.cpp.o.d"
+  "/root/repo/src/faults/fault.cpp" "src/CMakeFiles/motsim.dir/faults/fault.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/faults/fault.cpp.o.d"
+  "/root/repo/src/faults/fault_list.cpp" "src/CMakeFiles/motsim.dir/faults/fault_list.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/faults/fault_list.cpp.o.d"
+  "/root/repo/src/faults/report.cpp" "src/CMakeFiles/motsim.dir/faults/report.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/faults/report.cpp.o.d"
+  "/root/repo/src/faults/sampling.cpp" "src/CMakeFiles/motsim.dir/faults/sampling.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/faults/sampling.cpp.o.d"
+  "/root/repo/src/logic/val3.cpp" "src/CMakeFiles/motsim.dir/logic/val3.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/logic/val3.cpp.o.d"
+  "/root/repo/src/logic/val4.cpp" "src/CMakeFiles/motsim.dir/logic/val4.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/logic/val4.cpp.o.d"
+  "/root/repo/src/sim3/fault_sim3.cpp" "src/CMakeFiles/motsim.dir/sim3/fault_sim3.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/sim3/fault_sim3.cpp.o.d"
+  "/root/repo/src/sim3/good_sim3.cpp" "src/CMakeFiles/motsim.dir/sim3/good_sim3.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/sim3/good_sim3.cpp.o.d"
+  "/root/repo/src/sim3/ndetect.cpp" "src/CMakeFiles/motsim.dir/sim3/ndetect.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/sim3/ndetect.cpp.o.d"
+  "/root/repo/src/sim3/parallel_fault_sim3.cpp" "src/CMakeFiles/motsim.dir/sim3/parallel_fault_sim3.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/sim3/parallel_fault_sim3.cpp.o.d"
+  "/root/repo/src/sim3/sim2.cpp" "src/CMakeFiles/motsim.dir/sim3/sim2.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/sim3/sim2.cpp.o.d"
+  "/root/repo/src/tpg/compaction.cpp" "src/CMakeFiles/motsim.dir/tpg/compaction.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/tpg/compaction.cpp.o.d"
+  "/root/repo/src/tpg/mot_tpg.cpp" "src/CMakeFiles/motsim.dir/tpg/mot_tpg.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/tpg/mot_tpg.cpp.o.d"
+  "/root/repo/src/tpg/sequence_io.cpp" "src/CMakeFiles/motsim.dir/tpg/sequence_io.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/tpg/sequence_io.cpp.o.d"
+  "/root/repo/src/tpg/sequences.cpp" "src/CMakeFiles/motsim.dir/tpg/sequences.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/tpg/sequences.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "src/CMakeFiles/motsim.dir/util/env.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/util/env.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/motsim.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stopwatch.cpp" "src/CMakeFiles/motsim.dir/util/stopwatch.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/util/stopwatch.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/motsim.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table_printer.cpp" "src/CMakeFiles/motsim.dir/util/table_printer.cpp.o" "gcc" "src/CMakeFiles/motsim.dir/util/table_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

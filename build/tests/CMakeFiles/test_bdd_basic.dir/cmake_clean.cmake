@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd_basic.dir/test_bdd_basic.cpp.o"
+  "CMakeFiles/test_bdd_basic.dir/test_bdd_basic.cpp.o.d"
+  "test_bdd_basic"
+  "test_bdd_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd_compose.dir/test_bdd_compose.cpp.o"
+  "CMakeFiles/test_bdd_compose.dir/test_bdd_compose.cpp.o.d"
+  "test_bdd_compose"
+  "test_bdd_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd_gc.dir/test_bdd_gc.cpp.o"
+  "CMakeFiles/test_bdd_gc.dir/test_bdd_gc.cpp.o.d"
+  "test_bdd_gc"
+  "test_bdd_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

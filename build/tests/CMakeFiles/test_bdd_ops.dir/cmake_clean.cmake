@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd_ops.dir/test_bdd_ops.cpp.o"
+  "CMakeFiles/test_bdd_ops.dir/test_bdd_ops.cpp.o.d"
+  "test_bdd_ops"
+  "test_bdd_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd_reorder.dir/test_bdd_reorder.cpp.o"
+  "CMakeFiles/test_bdd_reorder.dir/test_bdd_reorder.cpp.o.d"
+  "test_bdd_reorder"
+  "test_bdd_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

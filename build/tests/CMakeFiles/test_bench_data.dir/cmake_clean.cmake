@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_data.dir/test_bench_data.cpp.o"
+  "CMakeFiles/test_bench_data.dir/test_bench_data.cpp.o.d"
+  "test_bench_data"
+  "test_bench_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

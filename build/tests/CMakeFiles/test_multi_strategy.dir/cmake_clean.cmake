@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_strategy.dir/test_multi_strategy.cpp.o"
+  "CMakeFiles/test_multi_strategy.dir/test_multi_strategy.cpp.o.d"
+  "test_multi_strategy"
+  "test_multi_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

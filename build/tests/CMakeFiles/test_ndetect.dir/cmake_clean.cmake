@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ndetect.dir/test_ndetect.cpp.o"
+  "CMakeFiles/test_ndetect.dir/test_ndetect.cpp.o.d"
+  "test_ndetect"
+  "test_ndetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ndetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

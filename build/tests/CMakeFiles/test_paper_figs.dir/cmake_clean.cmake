@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_figs.dir/test_paper_figs.cpp.o"
+  "CMakeFiles/test_paper_figs.dir/test_paper_figs.cpp.o.d"
+  "test_paper_figs"
+  "test_paper_figs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_figs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

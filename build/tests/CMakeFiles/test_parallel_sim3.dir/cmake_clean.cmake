@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_sim3.dir/test_parallel_sim3.cpp.o"
+  "CMakeFiles/test_parallel_sim3.dir/test_parallel_sim3.cpp.o.d"
+  "test_parallel_sim3"
+  "test_parallel_sim3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_sim3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequence_io.dir/test_sequence_io.cpp.o"
+  "CMakeFiles/test_sequence_io.dir/test_sequence_io.cpp.o.d"
+  "test_sequence_io"
+  "test_sequence_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequence_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbolic_fsm.dir/test_symbolic_fsm.cpp.o"
+  "CMakeFiles/test_symbolic_fsm.dir/test_symbolic_fsm.cpp.o.d"
+  "test_symbolic_fsm"
+  "test_symbolic_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbolic_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpg.dir/test_tpg.cpp.o"
+  "CMakeFiles/test_tpg.dir/test_tpg.cpp.o.d"
+  "test_tpg"
+  "test_tpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

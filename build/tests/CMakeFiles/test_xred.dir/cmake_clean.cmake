@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xred.dir/test_xred.cpp.o"
+  "CMakeFiles/test_xred.dir/test_xred.cpp.o.d"
+  "test_xred"
+  "test_xred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motsim_cli.dir/motsim_cli.cpp.o"
+  "CMakeFiles/motsim_cli.dir/motsim_cli.cpp.o.d"
+  "motsim_cli"
+  "motsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
