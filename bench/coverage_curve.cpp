@@ -48,10 +48,11 @@ int main() {
       // full pipeline total (X01 + symbolic additions) per strategy.
       std::size_t x01 = 0, rmot = 0, mot = 0;
       for (Strategy st : {Strategy::Rmot, Strategy::Mot}) {
-        PipelineConfig cfg;
-        cfg.hybrid.strategy = st;
+        SimOptions opt;
+        opt.strategy = st;
+        opt.threads = 0;  // shard the symbolic stage across all cores
         const PipelineResult r =
-            run_pipeline(nl, faults.faults(), prefix, cfg);
+            run_pipeline(nl, faults.faults(), prefix, opt);
         x01 = r.detected_3v;
         (st == Strategy::Rmot ? rmot : mot) = r.summary().detected_total();
       }

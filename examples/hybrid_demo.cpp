@@ -12,6 +12,8 @@
 
 #include "bench_data/registry.h"
 #include "core/hybrid_sim.h"
+#include "core/options.h"
+#include "core/parallel_sym_sim.h"
 #include "faults/collapse.h"
 #include "tpg/sequences.h"
 #include "util/rng.h"
@@ -33,17 +35,39 @@ int main() {
               "fallbacks", "sym-frm", "3v-frm", "peak-nodes", "time[s]");
 
   for (std::size_t limit : {200u, 1000u, 5000u, 30000u, 200000u}) {
-    HybridConfig cfg;
-    cfg.strategy = Strategy::Mot;
-    cfg.node_limit = limit;
-    cfg.fallback_frames = 8;
-    HybridFaultSim sim(nl, faults.faults(), cfg);
+    // The flat SimOptions surface; validate() catches nonsense before
+    // any manager is allocated.
+    SimOptions opt;
+    opt.strategy = Strategy::Mot;
+    opt.node_limit = limit;
+    opt.fallback_frames = 8;
+    const auto checked = opt.validate();
+    if (!checked) {
+      std::fprintf(stderr, "bad options: %s\n", checked.error().c_str());
+      return 1;
+    }
+    HybridFaultSim sim(nl, faults.faults(), checked->to_hybrid_config());
     Stopwatch timer;
     const HybridResult r = sim.run(seq);
     std::printf("%10zu %9zu %9zu %8zu %8zu %10zu %9.3f%s\n", limit,
                 r.detected_count, r.fallback_windows, r.symbolic_frames,
                 r.three_valued_frames, r.peak_live_nodes,
                 timer.elapsed_seconds(), r.used_fallback ? "  *" : "");
+  }
+
+  // The same engine, fault-sharded across worker threads (one private
+  // BddManager per shard). The result is bit-identical for any thread
+  // count; only the wall clock changes.
+  {
+    ParallelSymConfig pc;
+    pc.hybrid.strategy = Strategy::Mot;
+    pc.threads = 0;  // one worker per hardware thread
+    ParallelSymSim par(nl, faults.faults(), pc);
+    Stopwatch timer;
+    const HybridResult r = par.run(seq);
+    std::printf("\nfault-sharded (%zu threads): %zu detected in %.3f s\n",
+                par.resolved_threads(), r.detected_count,
+                timer.elapsed_seconds());
   }
 
   std::printf(

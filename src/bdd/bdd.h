@@ -159,7 +159,28 @@ class Bdd {
 };
 
 /// Manager owning the node table, the unique table and the computed
-/// cache. Not thread-safe; one manager per simulation thread.
+/// cache.
+///
+/// THREAD-OWNERSHIP CONTRACT (relied on by core/parallel_sym_sim):
+/// a BddManager and every Bdd handle attached to it are single-
+/// threaded *by design* — no operation takes a lock, the handle
+/// registry is an unsynchronized intrusive list, and GC walks it
+/// concurrently with nothing. The rules:
+///
+///   1. One manager is owned by exactly one thread at a time; all
+///      operations on it and on its handles (including Bdd copy/move/
+///      destruction, which touch the registry) must run on that
+///      thread.
+///   2. Handles never cross manager boundaries; to move a function to
+///      another thread's manager, rebuild it there via transfer().
+///   3. Distinct managers on distinct threads never synchronize and
+///      are therefore freely concurrent — the fault-sharded parallel
+///      driver runs one private manager per worker chunk and merges
+///      only plain (non-BDD) results.
+///
+/// Ownership may migrate between threads only across a happens-before
+/// edge with no operations in flight (e.g. a thread-pool task finishes
+/// with the manager quiescent before another task picks it up).
 class BddManager {
  public:
   explicit BddManager(const BddConfig& config = {});

@@ -74,6 +74,7 @@ HybridResult HybridFaultSim::run(
   enum class Mode { Symbolic, ThreeValued };
   Mode mode = Mode::Symbolic;
   std::size_t window_left = 0;
+  std::size_t t = 0;  ///< index of the next frame to simulate
   const FaultStatus det = detected_status(config_.strategy);
 
   // Converts one fault's symbolic state divergence into a three-valued
@@ -106,6 +107,9 @@ HybridResult HybridFaultSim::run(
     window_left = config_.fallback_frames;
     result.used_fallback = true;
     ++result.fallback_windows;
+    // Both entry paths leave `t` pointing at the first frame the
+    // window will simulate, so t + 1 is its 1-based number.
+    if (progress_) progress_->on_fallback_window(t + 1, config_.fallback_frames);
   };
 
   auto resume_symbolic = [&] {
@@ -136,7 +140,6 @@ HybridResult HybridFaultSim::run(
     mode = Mode::Symbolic;
   };
 
-  std::size_t t = 0;
   while (t < sequence.size() && !live.empty()) {
     if (mode == Mode::Symbolic) {
       // Snapshot the pre-frame machine in three-valued form so an
@@ -162,6 +165,10 @@ HybridResult HybridFaultSim::run(
             result.status[lf.index] = det;
             result.detect_frame[lf.index] = static_cast<std::uint32_t>(t + 1);
             ++result.detected_count;
+            if (progress_) {
+              progress_->on_fault_detected(lf.index,
+                                           result.detect_frame[lf.index]);
+            }
           }
         }
         std::size_t keep = 0;
@@ -177,6 +184,9 @@ HybridResult HybridFaultSim::run(
         mgr.gc();
         result.peak_live_nodes =
             std::max(result.peak_live_nodes, mgr.live_node_count());
+        if (progress_) {
+          progress_->on_frame(t, mgr.live_node_count(), live.size());
+        }
         if (mgr.live_node_count() > config_.node_limit && t < sequence.size()) {
           // Soft limit: leave symbolic mode at the frame boundary.
           const std::vector<Val3> post_state3 = sym.state_as_val3();
@@ -219,6 +229,10 @@ HybridResult HybridFaultSim::run(
           result.detect_frame[live[i].index] =
               static_cast<std::uint32_t>(t + 1);
           ++result.detected_count;
+          if (progress_) {
+            progress_->on_fault_detected(live[i].index,
+                                         result.detect_frame[live[i].index]);
+          }
         } else {
           if (keep != i) live[keep] = std::move(live[i]);
           ++keep;
@@ -228,6 +242,7 @@ HybridResult HybridFaultSim::run(
 
       ++result.three_valued_frames;
       ++t;
+      if (progress_) progress_->on_frame(t, 0, live.size());
       if (--window_left == 0 && t < sequence.size() && !live.empty()) {
         resume_symbolic();
       }

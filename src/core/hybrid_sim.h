@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bdd/bdd.h"
+#include "core/progress.h"
 #include "core/sym_fault_sim.h"
 #include "faults/fault.h"
 #include "logic/val3.h"
@@ -12,6 +13,11 @@
 namespace motsim {
 
 /// Configuration of the hybrid fault simulator.
+///
+/// Compatibility note: new code should prefer the flat SimOptions
+/// (core/options.h) and its to_hybrid_config() conversion; this struct
+/// remains the engine-level representation and a thin wrapper for
+/// existing callers.
 struct HybridConfig {
   Strategy strategy = Strategy::Mot;
   /// Placement of the x/y state variables (see VarLayout).
@@ -63,6 +69,11 @@ class HybridFaultSim {
   /// Pre-classifies faults; non-Undetected entries are not simulated.
   void set_initial_status(std::vector<FaultStatus> status);
 
+  /// Observer for the run (see ProgressSink). Called from the thread
+  /// that executes run(); nullptr (the default) keeps the hot path
+  /// free of everything but one predictable branch per event.
+  void set_progress(ProgressSink* sink) noexcept { progress_ = sink; }
+
   [[nodiscard]] HybridResult run(
       const std::vector<std::vector<Val3>>& sequence);
 
@@ -71,6 +82,7 @@ class HybridFaultSim {
   std::vector<Fault> faults_;
   HybridConfig config_;
   std::vector<FaultStatus> initial_status_;
+  ProgressSink* progress_ = nullptr;
 };
 
 }  // namespace motsim

@@ -1,0 +1,106 @@
+#include "core/options.h"
+
+#include "core/pipeline.h"
+
+namespace motsim {
+
+namespace {
+
+/// Hard sanity ceiling on worker threads: far above any real machine,
+/// low enough to catch a garbage value (e.g. a negative int cast to
+/// size_t) before it allocates thousands of BDD managers.
+constexpr std::size_t kMaxThreads = 1024;
+
+}  // namespace
+
+Expected<SimOptions, std::string> SimOptions::validate() const {
+  using Err = Unexpected<std::string>;
+  if (node_limit == 0) {
+    return Err{"node_limit must be positive"};
+  }
+  if (fallback_frames == 0) {
+    return Err{"fallback_frames must be positive"};
+  }
+  if (hard_limit_factor == 0) {
+    return Err{"hard_limit_factor must be positive"};
+  }
+  if (threads > kMaxThreads) {
+    return Err{"threads must be at most " + std::to_string(kMaxThreads) +
+               " (0 = one per hardware thread)"};
+  }
+  if (bdd_initial_capacity < 2) {
+    return Err{"bdd_initial_capacity must hold at least the two terminals"};
+  }
+  if (bdd_cache_size_log2 < 4 || bdd_cache_size_log2 > 30) {
+    return Err{"bdd_cache_size_log2 must be in [4, 30]"};
+  }
+  switch (strategy) {
+    case Strategy::Sot:
+    case Strategy::Rmot:
+    case Strategy::Mot:
+      break;
+    default:
+      return Err{"strategy is not a valid Strategy value"};
+  }
+  switch (layout) {
+    case VarLayout::Interleaved:
+    case VarLayout::Blocked:
+      break;
+    default:
+      return Err{"layout is not a valid VarLayout value"};
+  }
+  return *this;
+}
+
+bdd::BddConfig SimOptions::to_bdd_config() const {
+  bdd::BddConfig c;
+  c.initial_capacity = bdd_initial_capacity;
+  c.cache_size_log2 = bdd_cache_size_log2;
+  c.auto_gc_floor = bdd_auto_gc_floor;
+  // hard_node_limit is derived by the hybrid simulator from
+  // node_limit * hard_limit_factor; the raw BddConfig keeps its
+  // default (unlimited) here.
+  return c;
+}
+
+HybridConfig SimOptions::to_hybrid_config() const {
+  HybridConfig c;
+  c.strategy = strategy;
+  c.layout = layout;
+  c.node_limit = node_limit;
+  c.fallback_frames = fallback_frames;
+  c.hard_limit_factor = hard_limit_factor;
+  c.bdd = to_bdd_config();
+  return c;
+}
+
+PipelineConfig SimOptions::to_pipeline_config() const {
+  PipelineConfig c;
+  c.run_xred = run_xred;
+  c.parallel_sim3 = parallel_sim3;
+  c.run_symbolic = run_symbolic;
+  c.threads = threads;
+  c.chunk_size = chunk_size;
+  c.hybrid = to_hybrid_config();
+  return c;
+}
+
+SimOptions SimOptions::from_pipeline_config(const PipelineConfig& config) {
+  SimOptions o;
+  o.run_xred = config.run_xred;
+  o.parallel_sim3 = config.parallel_sim3;
+  o.run_symbolic = config.run_symbolic;
+  o.threads = config.threads;
+  o.chunk_size = config.chunk_size;
+  o.strategy = config.hybrid.strategy;
+  o.layout = config.hybrid.layout;
+  o.node_limit = config.hybrid.node_limit;
+  o.fallback_frames = config.hybrid.fallback_frames;
+  o.hard_limit_factor = config.hybrid.hard_limit_factor;
+  o.bdd_initial_capacity = config.hybrid.bdd.initial_capacity;
+  o.bdd_cache_size_log2 = config.hybrid.bdd.cache_size_log2;
+  o.bdd_auto_gc_floor = config.hybrid.bdd.auto_gc_floor;
+  return o;
+}
+
+}  // namespace motsim

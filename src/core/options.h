@@ -1,0 +1,98 @@
+#ifndef MOTSIM_CORE_OPTIONS_H
+#define MOTSIM_CORE_OPTIONS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "bdd/bdd.h"
+#include "core/hybrid_sim.h"
+#include "core/sym_fault_sim.h"
+#include "util/expected.h"
+
+namespace motsim {
+
+struct PipelineConfig;  // core/pipeline.h
+
+/// The unified, flat configuration surface of the fault-simulation
+/// engines. One struct covers everything the pipeline, the hybrid
+/// simulator, the parallel driver and the BDD package used to spread
+/// over the nested PipelineConfig -> HybridConfig -> BddConfig chain;
+/// those structs remain as thin compatibility wrappers (and as the
+/// internal representation) for one release — new code should build a
+/// SimOptions, validate() it, and hand it to run_pipeline or
+/// ParallelSymSim.
+///
+/// Every field has the same default as the legacy structs, so a
+/// default-constructed SimOptions reproduces today's behaviour
+/// exactly.
+struct SimOptions {
+  // ---- pipeline stages ------------------------------------------------
+  /// Run ID_X-red before the three-valued stage (paper Section III).
+  bool run_xred = true;
+  /// Bit-parallel (PROOFS-style) three-valued simulator instead of the
+  /// serial event-driven one (identical results).
+  bool parallel_sim3 = false;
+  /// Run the symbolic stage (false = pure X01 run).
+  bool run_symbolic = true;
+
+  // ---- symbolic engine ------------------------------------------------
+  /// Observation strategy of the symbolic stage: SOT / rMOT / MOT.
+  Strategy strategy = Strategy::Mot;
+  /// Placement of the x/y state variables (see VarLayout).
+  VarLayout layout = VarLayout::Interleaved;
+  /// Soft OBDD space limit per BDD manager (the paper uses 30,000
+  /// nodes); exceeding it triggers a three-valued window.
+  std::size_t node_limit = 30000;
+  /// Length of a three-valued fallback window, in frames.
+  std::size_t fallback_frames = 8;
+  /// Mid-frame abort threshold = node_limit * hard_limit_factor.
+  std::size_t hard_limit_factor = 8;
+
+  // ---- parallel execution --------------------------------------------
+  /// Worker threads for the symbolic stage: 1 = the serial
+  /// HybridFaultSim (exactly the legacy path), 0 = one per hardware
+  /// thread, N >= 2 = fault-sharded ParallelSymSim with N workers.
+  std::size_t threads = 1;
+  /// Faults per shard of the parallel driver; 0 = the driver's default
+  /// (kDefaultChunkSize). The partition depends only on this value and
+  /// the fault list — never on `threads` — which is what makes results
+  /// independent of the thread count (see docs/PARALLEL.md).
+  std::size_t chunk_size = 0;
+
+  // ---- workload -------------------------------------------------------
+  /// Seed recorded for workload generation (sequence generation is
+  /// outside run_pipeline, but front ends carry the seed here so one
+  /// struct describes a whole reproducible run).
+  std::uint64_t seed = 1;
+
+  // ---- BDD tuning -----------------------------------------------------
+  /// Initial node-table capacity of each BDD manager.
+  std::size_t bdd_initial_capacity = 1u << 12;
+  /// log2 of the computed-cache size of each BDD manager.
+  unsigned bdd_cache_size_log2 = 16;
+  /// Auto-GC floor of each BDD manager (see BddConfig::auto_gc_floor).
+  std::size_t bdd_auto_gc_floor = 1u << 16;
+
+  /// Checks every field and returns a normalized copy, or a
+  /// human-readable description of the first problem found. The only
+  /// normalization applied: nothing today — the copy is returned so
+  /// future versions may canonicalize without breaking callers.
+  [[nodiscard]] Expected<SimOptions, std::string> validate() const;
+
+  // ---- conversions to the legacy structs ------------------------------
+  [[nodiscard]] bdd::BddConfig to_bdd_config() const;
+  [[nodiscard]] HybridConfig to_hybrid_config() const;
+  [[nodiscard]] PipelineConfig to_pipeline_config() const;
+
+  /// Lifts a legacy nested config into the flat surface (seed keeps
+  /// its default — PipelineConfig never carried one).
+  [[nodiscard]] static SimOptions from_pipeline_config(
+      const PipelineConfig& config);
+
+  friend bool operator==(const SimOptions&, const SimOptions&) = default;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CORE_OPTIONS_H

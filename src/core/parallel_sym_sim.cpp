@@ -1,0 +1,170 @@
+#include "core/parallel_sym_sim.h"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace motsim {
+
+namespace {
+
+/// Per-chunk progress adapter: serializes callbacks through the shared
+/// mutex and maps the chunk-local fault indices that HybridFaultSim
+/// reports back to the caller's global fault list.
+class ChunkProgressAdapter final : public ProgressSink {
+ public:
+  ChunkProgressAdapter(ProgressSink* sink, std::mutex* mutex,
+                       const std::size_t* global_indices)
+      : sink_(sink), mutex_(mutex), global_indices_(global_indices) {}
+
+  void on_frame(std::size_t frame, std::size_t live_nodes,
+                std::size_t faults_remaining) override {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    sink_->on_frame(frame, live_nodes, faults_remaining);
+  }
+
+  void on_fallback_window(std::size_t frame,
+                          std::size_t window_frames) override {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    sink_->on_fallback_window(frame, window_frames);
+  }
+
+  void on_fault_detected(std::size_t fault_index,
+                         std::uint32_t frame) override {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    sink_->on_fault_detected(global_indices_[fault_index], frame);
+  }
+
+ private:
+  ProgressSink* sink_;
+  std::mutex* mutex_;
+  const std::size_t* global_indices_;
+};
+
+}  // namespace
+
+ParallelSymSim::ParallelSymSim(const Netlist& netlist,
+                               std::vector<Fault> faults,
+                               ParallelSymConfig config)
+    : netlist_(&netlist),
+      faults_(std::move(faults)),
+      config_(config),
+      initial_status_(faults_.size(), FaultStatus::Undetected) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("ParallelSymSim requires a finalized netlist");
+  }
+  if (config_.hybrid.node_limit == 0 || config_.hybrid.fallback_frames == 0 ||
+      config_.hybrid.hard_limit_factor == 0) {
+    throw std::invalid_argument("ParallelSymConfig: limits must be positive");
+  }
+}
+
+void ParallelSymSim::set_initial_status(std::vector<FaultStatus> status) {
+  if (status.size() != faults_.size()) {
+    throw std::invalid_argument("set_initial_status: wrong size");
+  }
+  initial_status_ = std::move(status);
+}
+
+std::size_t ParallelSymSim::resolved_threads() const noexcept {
+  return config_.threads == 0 ? ThreadPool::default_thread_count()
+                              : config_.threads;
+}
+
+std::size_t ParallelSymSim::resolved_chunk_size() const noexcept {
+  return config_.chunk_size == 0 ? kDefaultChunkSize : config_.chunk_size;
+}
+
+HybridResult ParallelSymSim::run(
+    const std::vector<std::vector<Val3>>& sequence) {
+  // The partition: live faults, in fault-list order, cut into fixed
+  // chunks. Everything downstream is a pure function of this list and
+  // the sequence, so the merged result cannot depend on thread count.
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (initial_status_[i] == FaultStatus::Undetected) live.push_back(i);
+  }
+  const std::size_t chunk_size = resolved_chunk_size();
+  const std::size_t chunk_count = (live.size() + chunk_size - 1) / chunk_size;
+
+  HybridResult merged;
+  merged.status = initial_status_;
+  merged.detect_frame.assign(faults_.size(), 0);
+  if (chunk_count == 0) return merged;
+
+  std::vector<HybridResult> chunk_results(chunk_count);
+  std::atomic<std::size_t> next_chunk{0};
+  std::mutex progress_mutex;
+  std::mutex error_mutex;
+  std::string first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1);
+      if (c >= chunk_count) return;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error.empty()) return;  // fail fast, drain the queue
+      }
+      const std::size_t begin = c * chunk_size;
+      const std::size_t end = std::min(begin + chunk_size, live.size());
+      std::vector<Fault> chunk_faults;
+      chunk_faults.reserve(end - begin);
+      for (std::size_t k = begin; k < end; ++k) {
+        chunk_faults.push_back(faults_[live[k]]);
+      }
+      try {
+        // One private BddManager per worker-chunk lives inside this
+        // HybridFaultSim::run call; nothing symbolic crosses threads.
+        HybridFaultSim sim(*netlist_, std::move(chunk_faults),
+                           config_.hybrid);
+        ChunkProgressAdapter adapter(progress_, &progress_mutex,
+                                     live.data() + begin);
+        if (progress_ != nullptr) sim.set_progress(&adapter);
+        chunk_results[c] = sim.run(sequence);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.empty()) first_error = e.what();
+      }
+    }
+  };
+
+  const std::size_t workers =
+      std::min(resolved_threads(), chunk_count);
+  if (workers <= 1) {
+    worker();
+  } else {
+    ThreadPool pool(workers);
+    for (std::size_t i = 0; i < workers; ++i) pool.submit(worker);
+    pool.wait_idle();
+  }
+  if (!first_error.empty()) {
+    throw std::runtime_error("ParallelSymSim worker failed: " + first_error);
+  }
+
+  // Deterministic merge, in chunk order (chunks own disjoint fault
+  // index ranges, so completion order is irrelevant).
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    const HybridResult& r = chunk_results[c];
+    const std::size_t begin = c * chunk_size;
+    for (std::size_t i = 0; i < r.status.size(); ++i) {
+      const std::size_t g = live[begin + i];
+      merged.status[g] = r.status[i];
+      merged.detect_frame[g] = r.detect_frame[i];
+    }
+    merged.detected_count += r.detected_count;
+    merged.used_fallback |= r.used_fallback;
+    merged.fallback_windows += r.fallback_windows;
+    merged.symbolic_frames += r.symbolic_frames;
+    merged.three_valued_frames += r.three_valued_frames;
+    merged.peak_live_nodes =
+        std::max(merged.peak_live_nodes, r.peak_live_nodes);
+  }
+  return merged;
+}
+
+}  // namespace motsim

@@ -1,0 +1,97 @@
+#ifndef MOTSIM_CORE_PARALLEL_SYM_SIM_H
+#define MOTSIM_CORE_PARALLEL_SYM_SIM_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/hybrid_sim.h"
+#include "core/progress.h"
+#include "faults/fault.h"
+#include "logic/val3.h"
+
+namespace motsim {
+
+/// Default shard size of the parallel driver: small enough to load-
+/// balance a handful of workers on a ~1k-fault list, large enough that
+/// the per-shard fixed cost (BDD manager + symbolic true-value
+/// simulation of the whole sequence) stays amortized.
+inline constexpr std::size_t kDefaultChunkSize = 64;
+
+/// Configuration of the fault-sharded parallel symbolic driver.
+struct ParallelSymConfig {
+  /// Settings of each per-shard HybridFaultSim. Note that `node_limit`
+  /// is per shard (per BDD manager): a shard enters its three-valued
+  /// fallback window based on its own manager's live-node count.
+  HybridConfig hybrid;
+  /// Worker threads; 0 = one per hardware thread.
+  std::size_t threads = 0;
+  /// Faults per shard; 0 = kDefaultChunkSize. Results depend on the
+  /// partition only when fallback windows trigger (the window schedule
+  /// is a function of each shard's aggregate OBDD size); they NEVER
+  /// depend on `threads`.
+  std::size_t chunk_size = 0;
+};
+
+/// Fault-sharded parallel symbolic fault simulator.
+///
+/// The paper's hybrid engine is embarrassingly parallel across the
+/// fault list — each faulty machine's detection function D̃ evolves
+/// independently of every other fault — so this driver partitions the
+/// live faults into fixed chunks, runs one HybridFaultSim per chunk,
+/// each with its own private bdd::BddManager (the manager is single-
+/// threaded by design; see bdd/bdd.h), and lets a pool of workers
+/// drain the chunk queue via an atomic cursor.
+///
+/// Determinism: the chunk partition is a pure function of the fault
+/// list, the initial statuses and `chunk_size` — never of `threads` or
+/// of scheduling — and every chunk's simulation is self-contained, so
+/// the merged result is bit-identical for ANY thread count (1, 2, 8,
+/// ...), including runs where fallback windows trigger. Relative to
+/// the UNsharded serial engine the per-fault statuses also match
+/// whenever no fallback window runs in either engine (the common
+/// case); under memory pressure the window *schedules* differ — the
+/// serial engine trips its limit on the whole fault list's nodes, a
+/// shard only on its own — and coverage may legitimately differ while
+/// remaining sound in both. docs/PARALLEL.md spells this out.
+///
+/// The merged HybridResult: per-fault status/detect_frame are written
+/// into the global fault order; detected_count, fallback_windows,
+/// symbolic_frames and three_valued_frames are summed over shards
+/// (each shard walks the whole sequence, so frame counters scale with
+/// the shard count); peak_live_nodes is the max over shards;
+/// used_fallback is the OR.
+class ParallelSymSim {
+ public:
+  /// Validates the configuration like HybridFaultSim does (throws
+  /// std::invalid_argument / std::logic_error on bad limits or a
+  /// non-finalized netlist).
+  ParallelSymSim(const Netlist& netlist, std::vector<Fault> faults,
+                 ParallelSymConfig config = {});
+
+  /// Pre-classifies faults; non-Undetected entries are not simulated.
+  void set_initial_status(std::vector<FaultStatus> status);
+
+  /// Observer for the run; callbacks are serialized through a mutex
+  /// and fault indices are translated to this fault list's indexing.
+  /// Pass nullptr (default) for zero overhead.
+  void set_progress(ProgressSink* sink) noexcept { progress_ = sink; }
+
+  /// Thread count after resolving 0 to the hardware default.
+  [[nodiscard]] std::size_t resolved_threads() const noexcept;
+  /// Shard size after resolving 0 to kDefaultChunkSize.
+  [[nodiscard]] std::size_t resolved_chunk_size() const noexcept;
+
+  [[nodiscard]] HybridResult run(
+      const std::vector<std::vector<Val3>>& sequence);
+
+ private:
+  const Netlist* netlist_;
+  std::vector<Fault> faults_;
+  ParallelSymConfig config_;
+  std::vector<FaultStatus> initial_status_;
+  ProgressSink* progress_ = nullptr;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_CORE_PARALLEL_SYM_SIM_H

@@ -1,5 +1,8 @@
 #include "core/pipeline.h"
 
+#include <stdexcept>
+
+#include "core/parallel_sym_sim.h"
 #include "core/xred.h"
 #include "sim3/fault_sim3.h"
 #include "sim3/parallel_fault_sim3.h"
@@ -10,8 +13,10 @@ namespace motsim {
 PipelineResult run_pipeline(const Netlist& netlist,
                             const std::vector<Fault>& faults,
                             const TestSequence& sequence,
-                            const PipelineConfig& config) {
+                            const PipelineConfig& config,
+                            ProgressSink* progress) {
   PipelineResult result;
+  result.detect_frame.assign(faults.size(), 0);
 
   // ---- Stage 1: ID_X-red ------------------------------------------------
   std::vector<FaultStatus> status(faults.size(), FaultStatus::Undetected);
@@ -39,6 +44,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
     result.seconds_3v = timer.elapsed_seconds();
     result.detected_3v = r3.detected_count;
     status = std::move(r3.status);
+    result.detect_frame = std::move(r3.detect_frame);
   }
 
   // ---- Stage 3: symbolic simulation of the remainder ---------------------
@@ -58,22 +64,55 @@ PipelineResult run_pipeline(const Netlist& netlist,
     }
 
     Stopwatch timer;
-    HybridFaultSim sym(netlist, faults, config.hybrid);
-    sym.set_initial_status(leftover);
-    const HybridResult rs = sym.run(sequence);
+    HybridResult rs;
+    if (config.threads == 1) {
+      HybridFaultSim sym(netlist, faults, config.hybrid);
+      sym.set_initial_status(leftover);
+      sym.set_progress(progress);
+      rs = sym.run(sequence);
+    } else {
+      ParallelSymConfig pc;
+      pc.hybrid = config.hybrid;
+      pc.threads = config.threads;
+      pc.chunk_size = config.chunk_size;
+      ParallelSymSim sym(netlist, faults, pc);
+      sym.set_initial_status(leftover);
+      sym.set_progress(progress);
+      rs = sym.run(sequence);
+    }
     result.seconds_symbolic = timer.elapsed_seconds();
     result.detected_symbolic = rs.detected_count;
     result.used_fallback = rs.used_fallback;
 
     // Merge: symbolic detections override; everything else keeps its
-    // stage-1/2 classification.
+    // stage-1/2 classification (and its three-valued detection frame).
+    // A nonzero symbolic detect_frame identifies the faults the hybrid
+    // stage itself detected — faults it merely inherited as detected
+    // (DetectedSim3 pre-classifications) carry frame 0 and must keep
+    // their stage-2 frame.
     for (std::size_t i = 0; i < faults.size(); ++i) {
-      if (is_detected(rs.status[i])) status[i] = rs.status[i];
+      if (rs.detect_frame[i] != 0) {
+        status[i] = rs.status[i];
+        result.detect_frame[i] = rs.detect_frame[i];
+      }
     }
   }
 
   result.status = std::move(status);
   return result;
+}
+
+PipelineResult run_pipeline(const Netlist& netlist,
+                            const std::vector<Fault>& faults,
+                            const TestSequence& sequence,
+                            const SimOptions& options,
+                            ProgressSink* progress) {
+  const Expected<SimOptions, std::string> checked = options.validate();
+  if (!checked.has_value()) {
+    throw std::invalid_argument("SimOptions: " + checked.error());
+  }
+  return run_pipeline(netlist, faults, sequence,
+                      checked->to_pipeline_config(), progress);
 }
 
 }  // namespace motsim

@@ -1,9 +1,12 @@
 #ifndef MOTSIM_CORE_PIPELINE_H
 #define MOTSIM_CORE_PIPELINE_H
 
+#include <cstdint>
 #include <vector>
 
 #include "core/hybrid_sim.h"
+#include "core/options.h"
+#include "core/progress.h"
 #include "faults/fault.h"
 #include "faults/report.h"
 #include "logic/val3.h"
@@ -14,6 +17,10 @@ namespace motsim {
 /// Configuration of the full fault-simulation pipeline of the paper:
 /// ID_X-red -> three-valued simulation -> symbolic simulation of the
 /// remainder under the chosen observation strategy.
+///
+/// Compatibility note: new code should prefer the flat SimOptions
+/// (core/options.h); this struct remains as a thin wrapper (and the
+/// internal representation) for one release.
 struct PipelineConfig {
   /// Run ID_X-red before the three-valued stage (paper Section III).
   bool run_xred = true;
@@ -22,6 +29,15 @@ struct PipelineConfig {
   bool parallel_sim3 = false;
   /// Skip the symbolic stage entirely (pure X01 run).
   bool run_symbolic = true;
+  /// Worker threads of the symbolic stage: 1 = the serial
+  /// HybridFaultSim (exactly the historical path), 0 = one per
+  /// hardware thread, N >= 2 = fault-sharded ParallelSymSim. Results
+  /// are bit-identical for every N >= 2 and 0; see
+  /// core/parallel_sym_sim.h for when they match the serial engine.
+  std::size_t threads = 1;
+  /// Shard size of the parallel driver (0 = default); ignored when
+  /// `threads == 1`.
+  std::size_t chunk_size = 0;
   /// Hybrid simulator settings for the symbolic stage; its `strategy`
   /// field selects SOT / rMOT / MOT.
   HybridConfig hybrid;
@@ -32,6 +48,11 @@ struct PipelineConfig {
 /// subsequently detected carry the symbolic Detected* status.
 struct PipelineResult {
   std::vector<FaultStatus> status;
+  /// Frame (1-based) at which each fault was detected, aligned with
+  /// `status`; 0 = never. Three-valued and symbolic detections both
+  /// record their frame, so test-evaluation and diagnosis callers no
+  /// longer re-run the simulator to recover detection times.
+  std::vector<std::uint32_t> detect_frame;
   /// Faults ID_X-red flagged (before the symbolic stage re-enabled
   /// them).
   std::size_t x_redundant = 0;
@@ -60,10 +81,23 @@ struct PipelineResult {
 /// the whole point of ID_X-red) but handed to the symbolic stage
 /// together with the three-valued leftovers — symbolic simulation can
 /// detect faults that are undetectable under three-valued logic.
+///
+/// `progress` (optional) observes the symbolic stage; see ProgressSink
+/// for the threading contract under `config.threads != 1`.
 [[nodiscard]] PipelineResult run_pipeline(const Netlist& netlist,
                                           const std::vector<Fault>& faults,
                                           const TestSequence& sequence,
-                                          const PipelineConfig& config = {});
+                                          const PipelineConfig& config = {},
+                                          ProgressSink* progress = nullptr);
+
+/// SimOptions front door: validates the options (throws
+/// std::invalid_argument with the validation message on failure) and
+/// runs the pipeline.
+[[nodiscard]] PipelineResult run_pipeline(const Netlist& netlist,
+                                          const std::vector<Fault>& faults,
+                                          const TestSequence& sequence,
+                                          const SimOptions& options,
+                                          ProgressSink* progress = nullptr);
 
 }  // namespace motsim
 

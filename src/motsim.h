@@ -29,14 +29,19 @@
 #include "sim3/ndetect.h"
 #include "sim3/parallel_fault_sim3.h"
 #include "sim3/sim2.h"
+#include "util/expected.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 /// The paper's contribution and its extensions ---------------------------
 #include "core/diagnosis.h"
 #include "core/equivalence.h"
 #include "core/hybrid_sim.h"
 #include "core/misr.h"
+#include "core/options.h"
+#include "core/parallel_sym_sim.h"
 #include "core/pipeline.h"
+#include "core/progress.h"
 #include "core/sym_fault_sim.h"
 #include "core/sym_true_value.h"
 #include "core/symbolic_fsm.h"

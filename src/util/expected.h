@@ -1,0 +1,71 @@
+#ifndef MOTSIM_UTIL_EXPECTED_H
+#define MOTSIM_UTIL_EXPECTED_H
+
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+namespace motsim {
+
+/// Error wrapper used to construct a failed Expected (mirrors
+/// std::unexpected, which is C++23; this project targets C++20).
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+[[nodiscard]] Unexpected<std::decay_t<E>> make_unexpected(E&& error) {
+  return {std::forward<E>(error)};
+}
+
+/// Minimal std::expected stand-in: either a value of type T or an
+/// error of type E (the two types must differ). Used by validating
+/// constructors/factories — most prominently SimOptions::validate() —
+/// so misconfiguration is reported as data instead of an exception.
+template <typename T, typename E>
+class Expected {
+  static_assert(!std::is_same_v<T, E>,
+                "Expected<T, E> requires distinct value and error types");
+
+ public:
+  Expected(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> u) : v_(std::in_place_index<1>, std::move(u.error)) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return v_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  /// Throws std::logic_error when accessed in the error state.
+  [[nodiscard]] T& value() {
+    check();
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] const T& value() const {
+    check();
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] T& operator*() { return value(); }
+  [[nodiscard]] const T& operator*() const { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  /// Requires !has_value().
+  [[nodiscard]] const E& error() const { return std::get<1>(v_); }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<0>(v_) : std::move(fallback);
+  }
+
+ private:
+  void check() const {
+    if (!has_value()) {
+      throw std::logic_error("Expected: value() called in error state");
+    }
+  }
+
+  std::variant<T, E> v_;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_UTIL_EXPECTED_H

@@ -7,6 +7,7 @@
 #include "core/pipeline.h"
 #include "faults/collapse.h"
 #include "faults/report.h"
+#include "sim3/fault_sim3.h"
 #include "tpg/sequences.h"
 #include "util/rng.h"
 
@@ -107,6 +108,64 @@ TEST(Pipeline, XInputsSkipTheSymbolicStageGracefully) {
   EXPECT_TRUE(r.symbolic_skipped_x_inputs);
   EXPECT_EQ(r.detected_symbolic, 0u);
   EXPECT_GT(r.detected_3v + r.summary().undetected + r.x_redundant, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PipelineResult::detect_frame
+// ---------------------------------------------------------------------------
+
+TEST(Pipeline, DetectFrameCoversEveryDetectedFault) {
+  const Netlist nl = make_benchmark("s298");
+  const CollapsedFaultList faults(nl);
+  Rng rng(6);
+  const TestSequence seq = random_sequence(nl, 50, rng);
+
+  PipelineConfig cfg;
+  cfg.hybrid.strategy = Strategy::Mot;
+  const PipelineResult r = run_pipeline(nl, faults.faults(), seq, cfg);
+  ASSERT_EQ(r.detect_frame.size(), faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (is_detected(r.status[i])) {
+      EXPECT_GT(r.detect_frame[i], 0u) << "fault " << i;
+      EXPECT_LE(r.detect_frame[i], seq.size()) << "fault " << i;
+    } else {
+      EXPECT_EQ(r.detect_frame[i], 0u) << "fault " << i;
+    }
+  }
+}
+
+TEST(Pipeline, DetectFrameMatchesDirectThreeValuedRun) {
+  // With the symbolic stage off, the pipeline's frames are exactly the
+  // X01 stage's frames.
+  const Netlist nl = make_benchmark("s344");
+  const CollapsedFaultList faults(nl);
+  Rng rng(7);
+  const TestSequence seq = random_sequence(nl, 40, rng);
+
+  PipelineConfig cfg;
+  cfg.run_xred = false;
+  cfg.run_symbolic = false;
+  const PipelineResult r = run_pipeline(nl, faults.faults(), seq, cfg);
+
+  FaultSim3 direct(nl, faults.faults());
+  const FaultSim3Result d = direct.run(seq);
+  EXPECT_EQ(r.detect_frame, d.detect_frame);
+}
+
+TEST(Pipeline, DetectFrameIsThreadCountInvariant) {
+  const Netlist nl = make_benchmark("s208.1");
+  const CollapsedFaultList faults(nl);
+  Rng rng(8);
+  const TestSequence seq = random_sequence(nl, 60, rng);
+
+  PipelineConfig serial;
+  serial.hybrid.strategy = Strategy::Mot;
+  PipelineConfig sharded = serial;
+  sharded.threads = 4;
+  const PipelineResult r1 = run_pipeline(nl, faults.faults(), seq, serial);
+  const PipelineResult r4 = run_pipeline(nl, faults.faults(), seq, sharded);
+  EXPECT_EQ(r1.status, r4.status);
+  EXPECT_EQ(r1.detect_frame, r4.detect_frame);
 }
 
 // ---------------------------------------------------------------------------

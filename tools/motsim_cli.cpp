@@ -11,6 +11,10 @@
 //   --strategy S     sot | rmot | mot                  (default mot)
 //   --node-limit N   hybrid OBDD space limit           (default 30000)
 //   --layout L       interleaved | blocked             (default interleaved)
+//   --threads N      symbolic-stage workers; 0 = all
+//                    hardware threads                  (default 1)
+//   --chunk-size N   faults per parallel shard; 0 = auto
+//   --progress       live progress of the symbolic stage on stderr
 //   --no-xred        skip the ID_X-red stage
 //   --no-symbolic    three-valued only (pure X01)
 //   --parallel       bit-parallel three-valued simulator
@@ -31,7 +35,9 @@
 #include "circuit/bench_io.h"
 #include "circuit/stats.h"
 #include "circuit/transform.h"
+#include "core/options.h"
 #include "core/pipeline.h"
+#include "core/progress.h"
 #include "core/symbolic_fsm.h"
 #include "faults/collapse.h"
 #include "tpg/compaction.h"
@@ -46,14 +52,11 @@ namespace {
 
 struct Options {
   std::string circuit;
+  /// Engine configuration — the unified SimOptions surface; the CLI
+  /// flags below map 1:1 onto its fields.
+  SimOptions sim;
   std::size_t vectors = 200;
-  std::uint64_t seed = 1;
-  Strategy strategy = Strategy::Mot;
-  std::size_t node_limit = 30000;
-  VarLayout layout = VarLayout::Interleaved;
-  bool xred = true;
-  bool symbolic = true;
-  bool parallel = false;
+  bool progress = false;
   bool deterministic = false;
   bool sync = false;
   bool show_undetected = false;
@@ -77,6 +80,11 @@ struct Options {
                "  --strategy S       sot | rmot | mot (default mot)\n"
                "  --node-limit N     hybrid OBDD limit (default 30000)\n"
                "  --layout L         interleaved | blocked\n"
+               "  --threads N        symbolic-stage workers; 0 = all "
+               "hardware threads\n"
+               "  --chunk-size N     faults per parallel shard (0 = auto)\n"
+               "  --progress         live symbolic-stage progress on "
+               "stderr\n"
                "  --no-xred          skip ID_X-red\n"
                "  --no-symbolic      pure three-valued run\n"
                "  --parallel         bit-parallel three-valued simulator\n"
@@ -104,22 +112,25 @@ Options parse_args(int argc, char** argv) {
     if (a == "--help" || a == "-h") usage(0);
     else if (a == "--list") o.list = true;
     else if (a == "--vectors") o.vectors = std::stoul(next());
-    else if (a == "--seed") o.seed = std::stoull(next());
-    else if (a == "--node-limit") o.node_limit = std::stoul(next());
+    else if (a == "--seed") o.sim.seed = std::stoull(next());
+    else if (a == "--node-limit") o.sim.node_limit = std::stoul(next());
+    else if (a == "--threads") o.sim.threads = std::stoul(next());
+    else if (a == "--chunk-size") o.sim.chunk_size = std::stoul(next());
+    else if (a == "--progress") o.progress = true;
     else if (a == "--strategy") {
       const std::string s = to_lower(next());
-      if (s == "sot") o.strategy = Strategy::Sot;
-      else if (s == "rmot") o.strategy = Strategy::Rmot;
-      else if (s == "mot") o.strategy = Strategy::Mot;
+      if (s == "sot") o.sim.strategy = Strategy::Sot;
+      else if (s == "rmot") o.sim.strategy = Strategy::Rmot;
+      else if (s == "mot") o.sim.strategy = Strategy::Mot;
       else usage(2);
     } else if (a == "--layout") {
       const std::string s = to_lower(next());
-      if (s == "interleaved") o.layout = VarLayout::Interleaved;
-      else if (s == "blocked") o.layout = VarLayout::Blocked;
+      if (s == "interleaved") o.sim.layout = VarLayout::Interleaved;
+      else if (s == "blocked") o.sim.layout = VarLayout::Blocked;
       else usage(2);
-    } else if (a == "--no-xred") o.xred = false;
-    else if (a == "--no-symbolic") o.symbolic = false;
-    else if (a == "--parallel") o.parallel = true;
+    } else if (a == "--no-xred") o.sim.run_xred = false;
+    else if (a == "--no-symbolic") o.sim.run_symbolic = false;
+    else if (a == "--parallel") o.sim.parallel_sim3 = true;
     else if (a == "--deterministic") o.deterministic = true;
     else if (a == "--sync") o.sync = true;
     else if (a == "--show-undetected") o.show_undetected = true;
@@ -136,6 +147,35 @@ Options parse_args(int argc, char** argv) {
   if (!o.list && o.circuit.empty()) usage(2);
   return o;
 }
+
+/// --progress sink: a line on stderr every few frames plus one per
+/// fallback window. Under --threads N the parallel driver serializes
+/// the callbacks, so plain counters suffice.
+class StderrProgress final : public ProgressSink {
+ public:
+  void on_frame(std::size_t frame, std::size_t live_nodes,
+                std::size_t faults_remaining) override {
+    if (frame % 25 != 0) return;
+    std::fprintf(stderr,
+                 "[sym] frame %zu: %zu live nodes, %zu faults left, "
+                 "%zu detected so far\n",
+                 frame, live_nodes, faults_remaining, detected_);
+  }
+  void on_fallback_window(std::size_t frame,
+                          std::size_t window_frames) override {
+    std::fprintf(stderr,
+                 "[sym] frame %zu: node limit hit — three-valued window "
+                 "of %zu frames\n",
+                 frame, window_frames);
+  }
+  void on_fault_detected(std::size_t /*fault_index*/,
+                         std::uint32_t /*frame*/) override {
+    ++detected_;
+  }
+
+ private:
+  std::size_t detected_ = 0;
+};
 
 Netlist load_circuit(const std::string& name) {
   if (find_benchmark(name) != nullptr) return make_benchmark(name);
@@ -213,7 +253,7 @@ int main(int argc, char** argv) {
                 o.load_seq.c_str());
   } else if (o.deterministic) {
     CompactionConfig cfg;
-    cfg.seed = o.seed;
+    cfg.seed = o.sim.seed;
     cfg.max_length = 2 * o.vectors;
     cfg.min_length = o.vectors / 4;
     const CompactionResult gen =
@@ -222,10 +262,10 @@ int main(int argc, char** argv) {
     std::printf("deterministic sequence: %zu vectors (%zu greedy rounds)\n",
                 seq.size(), gen.rounds);
   } else {
-    Rng rng(o.seed);
+    Rng rng(o.sim.seed);
     seq = random_sequence(nl, o.vectors, rng);
     std::printf("random sequence: %zu vectors (seed %llu)\n", seq.size(),
-                static_cast<unsigned long long>(o.seed));
+                static_cast<unsigned long long>(o.sim.seed));
   }
   if (seq.empty()) {
     std::fprintf(stderr, "error: empty test sequence\n");
@@ -241,30 +281,32 @@ int main(int argc, char** argv) {
     std::printf("saved sequence to %s\n", o.save_seq.c_str());
   }
 
-  // Pipeline.
-  PipelineConfig cfg;
-  cfg.run_xred = o.xred;
-  cfg.parallel_sim3 = o.parallel;
-  cfg.run_symbolic = o.symbolic;
-  cfg.hybrid.strategy = o.strategy;
-  cfg.hybrid.layout = o.layout;
-  cfg.hybrid.node_limit = o.node_limit;
-  const PipelineResult r = run_pipeline(nl, faults.faults(), seq, cfg);
+  // Pipeline — one validated SimOptions drives everything.
+  const auto checked = o.sim.validate();
+  if (!checked.has_value()) {
+    std::fprintf(stderr, "error: %s\n", checked.error().c_str());
+    return 2;
+  }
+  StderrProgress progress;
+  const PipelineResult r =
+      run_pipeline(nl, faults.faults(), seq, *checked,
+                   o.progress ? &progress : nullptr);
 
-  std::printf("\n--- %s pipeline ---\n", to_cstring(o.strategy));
-  if (o.xred) {
+  std::printf("\n--- %s pipeline ---\n", to_cstring(o.sim.strategy));
+  if (o.sim.run_xred) {
     std::printf("ID_X-red:   %zu X-redundant faults      (%.3f s)\n",
                 r.x_redundant, r.seconds_xred);
   }
   std::printf("X01 stage:  %zu faults detected          (%.3f s%s)\n",
               r.detected_3v, r.seconds_3v,
-              o.parallel ? ", bit-parallel" : "");
-  if (o.symbolic && r.symbolic_skipped_x_inputs) {
+              o.sim.parallel_sim3 ? ", bit-parallel" : "");
+  if (o.sim.run_symbolic && r.symbolic_skipped_x_inputs) {
     std::printf("symbolic:   skipped — the sequence carries X inputs "
                 "(three-valued only)\n");
-  } else if (o.symbolic) {
-    std::printf("symbolic:   %zu additional faults        (%.3f s)%s\n",
+  } else if (o.sim.run_symbolic) {
+    std::printf("symbolic:   %zu additional faults        (%.3f s%s)%s\n",
                 r.detected_symbolic, r.seconds_symbolic,
+                o.sim.threads == 1 ? "" : ", fault-sharded",
                 r.used_fallback ? "  [*three-valued fallback ran]" : "");
   }
   std::printf("\n%s", r.summary().to_string().c_str());
