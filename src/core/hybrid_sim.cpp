@@ -1,5 +1,6 @@
 #include "core/hybrid_sim.h"
 
+#include <numeric>
 #include <stdexcept>
 
 #include "core/sym_true_value.h"
@@ -30,6 +31,22 @@ void HybridFaultSim::set_initial_status(std::vector<FaultStatus> status) {
     throw std::invalid_argument("set_initial_status: wrong size");
   }
   initial_status_ = std::move(status);
+  resume_.reset();
+}
+
+void HybridFaultSim::set_resume(ChunkCheckpoint checkpoint) {
+  if (checkpoint.status.size() != faults_.size() ||
+      checkpoint.detect_frame.size() != faults_.size() ||
+      checkpoint.diff.size() != faults_.size()) {
+    throw std::invalid_argument("set_resume: checkpoint does not match the "
+                                "fault list");
+  }
+  if (checkpoint.good_state.size() != netlist_->dff_count()) {
+    throw std::invalid_argument("set_resume: checkpoint state width does "
+                                "not match the netlist");
+  }
+  initial_status_ = checkpoint.status;
+  resume_ = std::move(checkpoint);
 }
 
 namespace {
@@ -57,7 +74,8 @@ HybridResult HybridFaultSim::run(
 
   HybridResult result;
   result.status = initial_status_;
-  result.detect_frame.assign(faults_.size(), 0);
+  result.detect_frame = resume_ ? resume_->detect_frame
+                                : std::vector<std::uint32_t>(faults_.size(), 0);
 
   struct Live {
     std::size_t index;
@@ -68,6 +86,7 @@ HybridResult HybridFaultSim::run(
   for (std::size_t i = 0; i < faults_.size(); ++i) {
     if (initial_status_[i] == FaultStatus::Undetected) {
       live.push_back(Live{i, SymFaultState{mgr.one(), {}}, {}});
+      if (resume_) live.back().diff3 = resume_->diff[i];
     }
   }
 
@@ -75,6 +94,14 @@ HybridResult HybridFaultSim::run(
   Mode mode = Mode::Symbolic;
   std::size_t window_left = 0;
   std::size_t t = 0;  ///< index of the next frame to simulate
+  if (resume_) {
+    if (resume_->frame > sequence.size()) {
+      throw std::invalid_argument("set_resume: checkpoint frame beyond the "
+                                  "sequence");
+    }
+    t = resume_->frame;
+  }
+  const std::size_t start_frame = t;
   const FaultStatus det = detected_status(config_.strategy);
 
   // Converts one fault's symbolic state divergence into a three-valued
@@ -112,10 +139,15 @@ HybridResult HybridFaultSim::run(
     if (progress_) progress_->on_fallback_window(t + 1, config_.fallback_frames);
   };
 
-  auto resume_symbolic = [&] {
-    const std::vector<Val3>& state3 = good3.state();
-    // Unknown bits are re-seeded with the state variables; every
-    // detection function restarts at constant 1 (paper Section IV.A).
+  // Seeds the symbolic machine from a three-valued snapshot (paper
+  // Section IV.A): unknown state bits become state variables, every
+  // detection function restarts at constant 1, and per-fault
+  // divergences are rebuilt against the seeded good state. `diffs3` is
+  // aligned with `live`. Serves three entry paths identically:
+  // re-entry after a fallback window, a checkpoint synchronization,
+  // and resumption from a stored checkpoint.
+  auto seed_symbolic = [&](const std::vector<Val3>& state3,
+                           const std::vector<StateDiff3>& diffs3) {
     std::vector<Bdd> state_bdds;
     state_bdds.reserve(state3.size());
     for (std::size_t i = 0; i < state3.size(); ++i) {
@@ -124,10 +156,11 @@ HybridResult HybridFaultSim::run(
                                : mgr.constant(state3[i] == Val3::One));
     }
     sym.set_state(std::move(state_bdds));
-    for (Live& lf : live) {
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      Live& lf = live[i];
       lf.sym.detect = mgr.one();
       lf.sym.state_diff.clear();
-      for (const auto& [pos, v] : lf.diff3) {
+      for (const auto& [pos, v] : diffs3[i]) {
         const Bdd fb = v == Val3::X ? mgr.var(vars.x(pos))
                                     : mgr.constant(v == Val3::One);
         const Bdd gb = state3[pos] == Val3::X
@@ -139,6 +172,63 @@ HybridResult HybridFaultSim::run(
     }
     mode = Mode::Symbolic;
   };
+
+  auto resume_symbolic = [&] {
+    const std::vector<Val3> state3 = good3.state();
+    std::vector<StateDiff3> diffs3;
+    diffs3.reserve(live.size());
+    for (Live& lf : live) diffs3.push_back(std::move(lf.diff3));
+    seed_symbolic(state3, diffs3);
+  };
+
+  // Builds the current boundary snapshot. In a three-valued window the
+  // state is already in snapshot form; in symbolic mode the machine is
+  // converted (the caller then decides whether to also re-seed).
+  auto make_checkpoint = [&](bool complete) {
+    ChunkCheckpoint ck;
+    ck.frame = t;
+    ck.complete = complete;
+    ck.fault_index.resize(faults_.size());
+    std::iota(ck.fault_index.begin(), ck.fault_index.end(), std::size_t{0});
+    ck.status = result.status;
+    ck.detect_frame = result.detect_frame;
+    ck.diff.resize(faults_.size());
+    if (mode == Mode::ThreeValued) {
+      ck.in_window = true;
+      ck.window_left = window_left;
+      ck.good_state = good3.state();
+      for (const Live& lf : live) ck.diff[lf.index] = lf.diff3;
+    } else {
+      ck.good_state = sym.state_as_val3();
+      for (const Live& lf : live) {
+        ck.diff[lf.index] = diff_to_3v(lf.sym, ck.good_state);
+      }
+    }
+    return ck;
+  };
+
+  const std::size_t interval = config_.checkpoint_interval;
+  auto at_boundary = [&] {
+    return interval != 0 && t % interval == 0 && t < sequence.size() &&
+           !live.empty();
+  };
+
+  // ---- resume entry ----------------------------------------------------
+  if (resume_ && t < sequence.size() && !live.empty()) {
+    if (resume_->in_window && resume_->window_left > 0) {
+      good3.set_state(resume_->good_state);
+      mode = Mode::ThreeValued;
+      window_left = resume_->window_left;
+      result.used_fallback = true;
+    } else {
+      // A snapshot at a sync boundary (or at the very end of a
+      // window): re-seed exactly like the uninterrupted run did.
+      std::vector<StateDiff3> diffs3;
+      diffs3.reserve(live.size());
+      for (const Live& lf : live) diffs3.push_back(resume_->diff[lf.index]);
+      seed_symbolic(resume_->good_state, diffs3);
+    }
+  }
 
   while (t < sequence.size() && !live.empty()) {
     if (mode == Mode::Symbolic) {
@@ -152,6 +242,7 @@ HybridResult HybridFaultSim::run(
         pre_diffs3.push_back(diff_to_3v(lf.sym, pre_state3));
       }
 
+      bool frame_completed = false;
       try {
         sym.step(sequence[t]);
         SymFrameContext ctx(sym.values(), sym.state(), nl.output_count());
@@ -181,6 +272,7 @@ HybridResult HybridFaultSim::run(
 
         ++result.symbolic_frames;
         ++t;
+        frame_completed = true;
         mgr.gc();
         result.peak_live_nodes =
             std::max(result.peak_live_nodes, mgr.live_node_count());
@@ -214,6 +306,25 @@ HybridResult HybridFaultSim::run(
         enter_three_valued(pre_state3, std::move(survivors));
         // t intentionally not advanced: the frame reruns three-valued.
       }
+
+      if (frame_completed && at_boundary()) {
+        if (mode == Mode::Symbolic) {
+          // Checkpoint synchronization: convert, snapshot, re-seed.
+          const ChunkCheckpoint ck = make_checkpoint(false);
+          if (checkpoint_) checkpoint_->on_checkpoint(ck);
+          std::vector<StateDiff3> diffs3;
+          diffs3.reserve(live.size());
+          for (const Live& lf : live) diffs3.push_back(ck.diff[lf.index]);
+          sym.release();
+          seed_symbolic(ck.good_state, diffs3);
+          mgr.gc();
+          ++result.checkpoint_syncs;
+        } else if (checkpoint_) {
+          // The soft limit just opened a window: snapshot its entry
+          // state without disturbing it.
+          checkpoint_->on_checkpoint(make_checkpoint(false));
+        }
+      }
     } else {
       good3.step(sequence[t]);
       const std::vector<Val3>& good_values = good3.values();
@@ -242,11 +353,22 @@ HybridResult HybridFaultSim::run(
 
       ++result.three_valued_frames;
       ++t;
+      --window_left;
       if (progress_) progress_->on_frame(t, 0, live.size());
-      if (--window_left == 0 && t < sequence.size() && !live.empty()) {
+      if (checkpoint_ && at_boundary()) {
+        checkpoint_->on_checkpoint(make_checkpoint(false));
+      }
+      if (window_left == 0 && t < sequence.size() && !live.empty()) {
         resume_symbolic();
       }
     }
+  }
+
+  // Final snapshot: marks the chunk complete and carries the state
+  // incremental re-simulation extends from. Suppressed when a resumed
+  // run had nothing left to do (the store already holds this record).
+  if (checkpoint_ && interval != 0 && (t > start_frame || !resume_)) {
+    checkpoint_->on_checkpoint(make_checkpoint(true));
   }
 
   return result;

@@ -2,9 +2,11 @@
 #define MOTSIM_CORE_HYBRID_SIM_H
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "bdd/bdd.h"
+#include "core/checkpoint.h"
 #include "core/progress.h"
 #include "core/sym_fault_sim.h"
 #include "faults/fault.h"
@@ -32,6 +34,23 @@ struct HybridConfig {
   /// single frame whose intermediate OBDDs blow past this aborts the
   /// frame and redoes it three-valued.
   std::size_t hard_limit_factor = 8;
+  /// Checkpoint-synchronization interval in frames (0 = off, the
+  /// historical behaviour). Every `checkpoint_interval` completed
+  /// frames the engine brings itself into three-valued-representable
+  /// form: inside a fallback window the state already is; in symbolic
+  /// mode it converts the machine state to three-valued logic and
+  /// immediately re-enters symbolic mode (unknown bits re-seeded with
+  /// state variables, every D̃ restarted at constant 1 — the paper's
+  /// fallback re-entry with a zero-length window). The snapshot is
+  /// handed to the CheckpointSink, if any. The synchronization happens
+  /// whether or not a sink listens, so a run's results depend only on
+  /// this configuration — which is what makes a resumed run
+  /// bit-identical to an uninterrupted one. All claims stay sound
+  /// (state sets only grow), but like fallback windows a sync can
+  /// lose symbolic cross-frame correlations, so coverage with
+  /// checkpointing enabled is a (typically equal) lower bound on the
+  /// K=0 run.
+  std::size_t checkpoint_interval = 0;
   /// Tuning of the underlying BDD manager (the hard limit field is
   /// overridden from node_limit/hard_limit_factor).
   bdd::BddConfig bdd;
@@ -49,6 +68,9 @@ struct HybridResult {
   std::size_t symbolic_frames = 0;
   std::size_t three_valued_frames = 0;
   std::size_t peak_live_nodes = 0;
+  /// Checkpoint synchronizations performed (symbolic-mode re-seeds at
+  /// checkpoint boundaries; window-mode checkpoints do not sync).
+  std::size_t checkpoint_syncs = 0;
 };
 
 /// Hybrid fault simulator (paper Sections I and IV.A, following [8]):
@@ -74,6 +96,22 @@ class HybridFaultSim {
   /// free of everything but one predictable branch per event.
   void set_progress(ProgressSink* sink) noexcept { progress_ = sink; }
 
+  /// Receiver of checkpoint snapshots (see core/checkpoint.h); only
+  /// consulted when config.checkpoint_interval != 0. Called from the
+  /// thread that executes run(). Emitted chunk ids are 0 and fault
+  /// indices are this fault list's (the parallel driver translates).
+  void set_checkpoint_sink(CheckpointSink* sink) noexcept {
+    checkpoint_ = sink;
+  }
+
+  /// Resumes a previous run from a snapshot this engine emitted:
+  /// run() starts at frame `ck.frame` in the recorded mode, with
+  /// statuses, detection frames and per-fault state divergences
+  /// restored. Replaces any set_initial_status. With the same
+  /// configuration (same checkpoint_interval in particular) the
+  /// resumed run's result is bit-identical to the uninterrupted run.
+  void set_resume(ChunkCheckpoint checkpoint);
+
   [[nodiscard]] HybridResult run(
       const std::vector<std::vector<Val3>>& sequence);
 
@@ -83,6 +121,8 @@ class HybridFaultSim {
   HybridConfig config_;
   std::vector<FaultStatus> initial_status_;
   ProgressSink* progress_ = nullptr;
+  CheckpointSink* checkpoint_ = nullptr;
+  std::optional<ChunkCheckpoint> resume_;
 };
 
 }  // namespace motsim

@@ -70,6 +70,7 @@ HybridConfig SimOptions::to_hybrid_config() const {
   c.node_limit = node_limit;
   c.fallback_frames = fallback_frames;
   c.hard_limit_factor = hard_limit_factor;
+  c.checkpoint_interval = checkpoint_interval;
   c.bdd = to_bdd_config();
   return c;
 }
@@ -97,6 +98,7 @@ SimOptions SimOptions::from_pipeline_config(const PipelineConfig& config) {
   o.node_limit = config.hybrid.node_limit;
   o.fallback_frames = config.hybrid.fallback_frames;
   o.hard_limit_factor = config.hybrid.hard_limit_factor;
+  o.checkpoint_interval = config.hybrid.checkpoint_interval;
   o.bdd_initial_capacity = config.hybrid.bdd.initial_capacity;
   o.bdd_cache_size_log2 = config.hybrid.bdd.cache_size_log2;
   o.bdd_auto_gc_floor = config.hybrid.bdd.auto_gc_floor;

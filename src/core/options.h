@@ -48,6 +48,14 @@ struct SimOptions {
   std::size_t fallback_frames = 8;
   /// Mid-frame abort threshold = node_limit * hard_limit_factor.
   std::size_t hard_limit_factor = 8;
+  /// Checkpoint-synchronization interval in frames (0 = off). Every K
+  /// completed frames the symbolic engine converts machine state to
+  /// three-valued form and re-seeds (a zero-length fallback window) so
+  /// a snapshot can be persisted; the sync happens whether or not a
+  /// CheckpointSink listens, making resumed runs bit-identical to
+  /// uninterrupted ones. See HybridConfig::checkpoint_interval and
+  /// docs/CHECKPOINT.md.
+  std::size_t checkpoint_interval = 0;
 
   // ---- parallel execution --------------------------------------------
   /// Worker threads for the symbolic stage: 1 = the serial

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <mutex>
+#include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -43,6 +45,36 @@ class ChunkProgressAdapter final : public ProgressSink {
   ProgressSink* sink_;
   std::mutex* mutex_;
   const std::size_t* global_indices_;
+};
+
+/// Per-chunk checkpoint adapter: stamps the chunk id, maps fault
+/// indices to the global fault list and serializes on_checkpoint calls
+/// through the shared sink mutex so one store can log every shard.
+class ChunkCheckpointAdapter final : public CheckpointSink {
+ public:
+  ChunkCheckpointAdapter(CheckpointSink* sink, std::mutex* mutex,
+                         const std::size_t* global_indices,
+                         std::size_t chunk)
+      : sink_(sink),
+        mutex_(mutex),
+        global_indices_(global_indices),
+        chunk_(chunk) {}
+
+  void on_checkpoint(const ChunkCheckpoint& checkpoint) override {
+    ChunkCheckpoint global = checkpoint;
+    global.chunk = chunk_;
+    for (std::size_t& index : global.fault_index) {
+      index = global_indices_[index];
+    }
+    std::lock_guard<std::mutex> lock(*mutex_);
+    sink_->on_checkpoint(global);
+  }
+
+ private:
+  CheckpointSink* sink_;
+  std::mutex* mutex_;
+  const std::size_t* global_indices_;
+  std::size_t chunk_;
 };
 
 }  // namespace
@@ -96,6 +128,49 @@ HybridResult ParallelSymSim::run(
   merged.detect_frame.assign(faults_.size(), 0);
   if (chunk_count == 0) return merged;
 
+  // Validate resume snapshots against the recomputed partition up
+  // front (clear errors beat a worker rethrow) and translate each to
+  // the chunk-local indexing HybridFaultSim::set_resume expects.
+  std::vector<std::optional<ChunkCheckpoint>> resume_of(chunk_count);
+  for (const ChunkCheckpoint& ck : resume_) {
+    if (ck.chunk >= chunk_count) {
+      throw std::invalid_argument(
+          "ParallelSymSim::set_resume: checkpoint names chunk " +
+          std::to_string(ck.chunk) + " but the partition has " +
+          std::to_string(chunk_count) + " chunks");
+    }
+    if (resume_of[ck.chunk].has_value()) {
+      throw std::invalid_argument(
+          "ParallelSymSim::set_resume: duplicate checkpoint for chunk " +
+          std::to_string(ck.chunk));
+    }
+    const std::size_t begin = ck.chunk * chunk_size;
+    const std::size_t end = std::min(begin + chunk_size, live.size());
+    const std::size_t n = end - begin;
+    if (ck.fault_index.size() != n || ck.status.size() != n ||
+        ck.detect_frame.size() != n || ck.diff.size() != n) {
+      throw std::invalid_argument(
+          "ParallelSymSim::set_resume: checkpoint for chunk " +
+          std::to_string(ck.chunk) + " has " +
+          std::to_string(ck.fault_index.size()) + " faults, partition has " +
+          std::to_string(n));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ck.fault_index[i] != live[begin + i]) {
+        throw std::invalid_argument(
+            "ParallelSymSim::set_resume: checkpoint for chunk " +
+            std::to_string(ck.chunk) +
+            " does not match the chunk partition (fault list, initial "
+            "statuses or chunk_size changed)");
+      }
+    }
+    ChunkCheckpoint local = ck;
+    local.chunk = 0;
+    std::iota(local.fault_index.begin(), local.fault_index.end(),
+              std::size_t{0});
+    resume_of[ck.chunk] = std::move(local);
+  }
+
   std::vector<HybridResult> chunk_results(chunk_count);
   std::atomic<std::size_t> next_chunk{0};
   std::mutex progress_mutex;
@@ -125,6 +200,10 @@ HybridResult ParallelSymSim::run(
         ChunkProgressAdapter adapter(progress_, &progress_mutex,
                                      live.data() + begin);
         if (progress_ != nullptr) sim.set_progress(&adapter);
+        ChunkCheckpointAdapter ck_adapter(checkpoint_, &progress_mutex,
+                                          live.data() + begin, c);
+        if (checkpoint_ != nullptr) sim.set_checkpoint_sink(&ck_adapter);
+        if (resume_of[c].has_value()) sim.set_resume(*resume_of[c]);
         chunk_results[c] = sim.run(sequence);
       } catch (const std::exception& e) {
         std::lock_guard<std::mutex> lock(error_mutex);
@@ -161,6 +240,7 @@ HybridResult ParallelSymSim::run(
     merged.fallback_windows += r.fallback_windows;
     merged.symbolic_frames += r.symbolic_frames;
     merged.three_valued_frames += r.three_valued_frames;
+    merged.checkpoint_syncs += r.checkpoint_syncs;
     merged.peak_live_nodes =
         std::max(merged.peak_live_nodes, r.peak_live_nodes);
   }

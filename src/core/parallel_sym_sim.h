@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/hybrid_sim.h"
 #include "core/progress.h"
 #include "faults/fault.h"
@@ -76,6 +77,28 @@ class ParallelSymSim {
   /// Pass nullptr (default) for zero overhead.
   void set_progress(ProgressSink* sink) noexcept { progress_ = sink; }
 
+  /// Receiver of checkpoint snapshots (config.hybrid.checkpoint_interval
+  /// must be nonzero for any to fire). Calls are serialized through
+  /// the same mutex as progress callbacks; `chunk` and `fault_index`
+  /// are translated to this driver's global chunk/fault numbering, so
+  /// one sink (e.g. a RunStore) can persist every shard's snapshots
+  /// into a single log. A sink that throws aborts the run.
+  void set_checkpoint_sink(CheckpointSink* sink) noexcept {
+    checkpoint_ = sink;
+  }
+
+  /// Resumes from per-chunk snapshots previously emitted through a
+  /// checkpoint sink (global numbering, at most one per chunk; chunks
+  /// without a snapshot start from frame 0). The caller must recreate
+  /// the original partition: same fault list, same initial statuses,
+  /// same chunk_size. run() validates each snapshot's fault set
+  /// against the partition and throws std::invalid_argument on any
+  /// mismatch. Thread count may differ from the original run — the
+  /// merged result is still bit-identical.
+  void set_resume(std::vector<ChunkCheckpoint> chunks) {
+    resume_ = std::move(chunks);
+  }
+
   /// Thread count after resolving 0 to the hardware default.
   [[nodiscard]] std::size_t resolved_threads() const noexcept;
   /// Shard size after resolving 0 to kDefaultChunkSize.
@@ -90,6 +113,8 @@ class ParallelSymSim {
   ParallelSymConfig config_;
   std::vector<FaultStatus> initial_status_;
   ProgressSink* progress_ = nullptr;
+  CheckpointSink* checkpoint_ = nullptr;
+  std::vector<ChunkCheckpoint> resume_;
 };
 
 }  // namespace motsim

@@ -14,7 +14,8 @@ PipelineResult run_pipeline(const Netlist& netlist,
                             const std::vector<Fault>& faults,
                             const TestSequence& sequence,
                             const PipelineConfig& config,
-                            ProgressSink* progress) {
+                            ProgressSink* progress,
+                            CheckpointSink* checkpoint) {
   PipelineResult result;
   result.detect_frame.assign(faults.size(), 0);
 
@@ -69,6 +70,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
       HybridFaultSim sym(netlist, faults, config.hybrid);
       sym.set_initial_status(leftover);
       sym.set_progress(progress);
+      sym.set_checkpoint_sink(checkpoint);
       rs = sym.run(sequence);
     } else {
       ParallelSymConfig pc;
@@ -78,6 +80,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
       ParallelSymSim sym(netlist, faults, pc);
       sym.set_initial_status(leftover);
       sym.set_progress(progress);
+      sym.set_checkpoint_sink(checkpoint);
       rs = sym.run(sequence);
     }
     result.seconds_symbolic = timer.elapsed_seconds();
@@ -106,13 +109,14 @@ PipelineResult run_pipeline(const Netlist& netlist,
                             const std::vector<Fault>& faults,
                             const TestSequence& sequence,
                             const SimOptions& options,
-                            ProgressSink* progress) {
+                            ProgressSink* progress,
+                            CheckpointSink* checkpoint) {
   const Expected<SimOptions, std::string> checked = options.validate();
   if (!checked.has_value()) {
     throw std::invalid_argument("SimOptions: " + checked.error());
   }
   return run_pipeline(netlist, faults, sequence,
-                      checked->to_pipeline_config(), progress);
+                      checked->to_pipeline_config(), progress, checkpoint);
 }
 
 }  // namespace motsim

@@ -84,11 +84,18 @@ struct PipelineResult {
 ///
 /// `progress` (optional) observes the symbolic stage; see ProgressSink
 /// for the threading contract under `config.threads != 1`.
+///
+/// `checkpoint` (optional) receives symbolic-stage snapshots when
+/// `config.hybrid.checkpoint_interval != 0` (see core/checkpoint.h);
+/// checkpointed *campaigns* — persistence, resume, incremental
+/// extension — live in store/campaign.h, which bypasses the
+/// three-valued stage for exact resumability.
 [[nodiscard]] PipelineResult run_pipeline(const Netlist& netlist,
                                           const std::vector<Fault>& faults,
                                           const TestSequence& sequence,
                                           const PipelineConfig& config = {},
-                                          ProgressSink* progress = nullptr);
+                                          ProgressSink* progress = nullptr,
+                                          CheckpointSink* checkpoint = nullptr);
 
 /// SimOptions front door: validates the options (throws
 /// std::invalid_argument with the validation message on failure) and
@@ -97,7 +104,8 @@ struct PipelineResult {
                                           const std::vector<Fault>& faults,
                                           const TestSequence& sequence,
                                           const SimOptions& options,
-                                          ProgressSink* progress = nullptr);
+                                          ProgressSink* progress = nullptr,
+                                          CheckpointSink* checkpoint = nullptr);
 
 }  // namespace motsim
 

@@ -1,6 +1,8 @@
 #include "faults/report.h"
 
+#include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 namespace motsim {
 
@@ -72,6 +74,84 @@ std::vector<std::string> faults_with_status(
     if (status[i] == wanted) out.push_back(fault_name(netlist, faults[i]));
   }
   return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+FaultReport FaultReport::build(const Netlist& netlist,
+                               const std::vector<Fault>& faults,
+                               const std::vector<FaultStatus>& status,
+                               const std::vector<std::uint32_t>& detect_frame) {
+  if (status.size() != faults.size()) {
+    throw std::invalid_argument("FaultReport::build: status size mismatch");
+  }
+  if (!detect_frame.empty() && detect_frame.size() != faults.size()) {
+    throw std::invalid_argument(
+        "FaultReport::build: detect_frame size mismatch");
+  }
+  FaultReport report;
+  report.entries.reserve(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    Entry e;
+    e.name = fault_name(netlist, faults[i]);
+    e.status = status[i];
+    e.detect_frame = detect_frame.empty() ? 0 : detect_frame[i];
+    report.entries.push_back(std::move(e));
+  }
+  return report;
+}
+
+CoverageSummary FaultReport::summary() const {
+  std::vector<FaultStatus> status;
+  status.reserve(entries.size());
+  for (const Entry& e : entries) status.push_back(e.status);
+  return CoverageSummary::from_status(status);
+}
+
+std::string FaultReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"summary\": " << summary().to_json() << ",\n  \"faults\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": \"" << json_escape(e.name) << "\", \"status\": \""
+       << to_cstring(e.status) << "\", \"detect_frame\": " << e.detect_frame
+       << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
 }
 
 }  // namespace motsim

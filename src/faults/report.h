@@ -2,6 +2,7 @@
 #define MOTSIM_FAULTS_REPORT_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,39 @@ struct CoverageSummary {
 [[nodiscard]] std::vector<std::string> faults_with_status(
     const Netlist& netlist, const std::vector<Fault>& faults,
     const std::vector<FaultStatus>& status, FaultStatus wanted);
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Full per-fault report: one entry per fault with its human-readable
+/// name, final status and detection frame. This is what
+/// `motsim_cli --report-json` dumps and what the run store writes as
+/// report.json.
+struct FaultReport {
+  struct Entry {
+    std::string name;
+    FaultStatus status = FaultStatus::Undetected;
+    std::uint32_t detect_frame = 0;  ///< 1-based; 0 = never
+  };
+  std::vector<Entry> entries;
+
+  /// `detect_frame` must be empty (all frames unknown, reported as 0)
+  /// or have `faults.size()` entries; `status` must have
+  /// `faults.size()` entries. Throws std::invalid_argument otherwise.
+  [[nodiscard]] static FaultReport build(
+      const Netlist& netlist, const std::vector<Fault>& faults,
+      const std::vector<FaultStatus>& status,
+      const std::vector<std::uint32_t>& detect_frame = {});
+
+  [[nodiscard]] CoverageSummary summary() const;
+
+  /// Multi-line JSON document:
+  ///   {"summary": {...}, "faults": [{"name": ..., "status": ...,
+  ///    "detect_frame": ...}, ...]}
+  /// `status` uses to_cstring(FaultStatus) strings.
+  [[nodiscard]] std::string to_json() const;
+};
 
 }  // namespace motsim
 

@@ -1,0 +1,97 @@
+#include "store/fingerprint.h"
+
+#include <cstdio>
+
+namespace motsim {
+
+void Fnv1a64::update(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash_ ^= bytes[i];
+    hash_ *= 0x100000001b3ull;
+  }
+}
+
+void Fnv1a64::update(const std::string& s) noexcept {
+  // Length prefix keeps concatenated strings unambiguous ("ab","c" vs
+  // "a","bc").
+  update_u64(s.size());
+  update(s.data(), s.size());
+}
+
+void Fnv1a64::update_u64(std::uint64_t v) noexcept {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  update(bytes, 8);
+}
+
+std::uint64_t fingerprint_netlist(const Netlist& netlist) {
+  Fnv1a64 h;
+  h.update(netlist.name());
+  h.update_u64(netlist.node_count());
+  for (NodeIndex n = 0; n < netlist.node_count(); ++n) {
+    const Gate& g = netlist.gate(n);
+    h.update_u64(static_cast<std::uint64_t>(g.type));
+    h.update(g.name);
+    h.update_u64(g.fanins.size());
+    for (NodeIndex f : g.fanins) h.update_u64(f);
+  }
+  h.update_u64(netlist.inputs().size());
+  for (NodeIndex n : netlist.inputs()) h.update_u64(n);
+  h.update_u64(netlist.outputs().size());
+  for (NodeIndex n : netlist.outputs()) h.update_u64(n);
+  h.update_u64(netlist.dffs().size());
+  for (NodeIndex n : netlist.dffs()) h.update_u64(n);
+  return h.digest();
+}
+
+std::uint64_t fingerprint_faults(const std::vector<Fault>& faults) {
+  Fnv1a64 h;
+  h.update_u64(faults.size());
+  for (const Fault& f : faults) {
+    h.update_u64(f.site.node);
+    h.update_u64(f.site.pin);
+    h.update_u64(f.stuck_value ? 1 : 0);
+  }
+  return h.digest();
+}
+
+std::uint64_t fingerprint_options(const SimOptions& options) {
+  Fnv1a64 h;
+  h.update_u64(1);  // fingerprint schema version
+  h.update_u64(options.run_xred ? 1 : 0);
+  h.update_u64(options.parallel_sim3 ? 1 : 0);
+  h.update_u64(options.run_symbolic ? 1 : 0);
+  h.update_u64(static_cast<std::uint64_t>(options.strategy));
+  h.update_u64(static_cast<std::uint64_t>(options.layout));
+  h.update_u64(options.node_limit);
+  h.update_u64(options.fallback_frames);
+  h.update_u64(options.hard_limit_factor);
+  h.update_u64(options.checkpoint_interval);
+  h.update_u64(options.chunk_size);
+  h.update_u64(options.bdd_initial_capacity);
+  h.update_u64(options.bdd_cache_size_log2);
+  h.update_u64(options.bdd_auto_gc_floor);
+  return h.digest();
+}
+
+std::uint64_t fingerprint_sequence(const TestSequence& sequence) {
+  Fnv1a64 h;
+  h.update_u64(sequence.size());
+  for (const auto& frame : sequence) {
+    h.update_u64(frame.size());
+    for (Val3 v : frame) h.update_u64(static_cast<std::uint64_t>(v));
+  }
+  return h.digest();
+}
+
+std::string fingerprint_to_hex(std::uint64_t fp) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return std::string(buffer, 16);
+}
+
+}  // namespace motsim

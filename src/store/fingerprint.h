@@ -1,0 +1,63 @@
+#ifndef MOTSIM_STORE_FINGERPRINT_H
+#define MOTSIM_STORE_FINGERPRINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "core/options.h"
+#include "faults/fault.h"
+#include "tpg/sequences.h"
+
+namespace motsim {
+
+/// 64-bit FNV-1a content fingerprints used by the run store to reject
+/// a resume against a changed workload. Not cryptographic — they guard
+/// against accidents (edited netlist file, regenerated fault list,
+/// different option set), not adversaries.
+///
+/// All four fingerprints are pure functions of their input's logical
+/// content: equal inputs hash equal across platforms and runs.
+
+/// Incremental FNV-1a 64 accumulator. Exposed so callers can fold
+/// several pieces (and tests can cross-check the file format fuzzer).
+class Fnv1a64 {
+ public:
+  void update(const void* data, std::size_t size) noexcept;
+  void update(const std::string& s) noexcept;
+  void update_u64(std::uint64_t v) noexcept;  ///< little-endian fold
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/// Structure + names: gate types, fanins, input/output/dff order and
+/// every node name. Two netlists with the same graph but renamed nodes
+/// fingerprint differently (fault lists refer to names in reports).
+[[nodiscard]] std::uint64_t fingerprint_netlist(const Netlist& netlist);
+
+/// Fault sites and stuck values, in list order (order is identity: the
+/// store's per-fault records are positional).
+[[nodiscard]] std::uint64_t fingerprint_faults(
+    const std::vector<Fault>& faults);
+
+/// Every option that influences campaign *results*: strategy, layout,
+/// limits, checkpoint interval, chunk size and the BDD tuning knobs.
+/// Deliberately excluded: `threads` (results are thread-count
+/// independent by construction) and `seed` (the sequence itself is
+/// fingerprinted; the seed is provenance, not behaviour).
+[[nodiscard]] std::uint64_t fingerprint_options(const SimOptions& options);
+
+/// Frames and values, in order.
+[[nodiscard]] std::uint64_t fingerprint_sequence(
+    const TestSequence& sequence);
+
+/// 16-digit lower-case hex, zero-padded — the manifest encoding.
+[[nodiscard]] std::string fingerprint_to_hex(std::uint64_t fp);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_STORE_FINGERPRINT_H

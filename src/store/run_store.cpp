@@ -1,0 +1,699 @@
+#include "store/run_store.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "store/fingerprint.h"
+#include "tpg/sequence_io.h"
+
+namespace motsim {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- enum <-> token helpers ------------------------------------------------
+
+const char* strategy_token(Strategy s) {
+  switch (s) {
+    case Strategy::Sot:
+      return "sot";
+    case Strategy::Rmot:
+      return "rmot";
+    case Strategy::Mot:
+      return "mot";
+  }
+  return "?";
+}
+
+bool parse_strategy_token(const std::string& t, Strategy& out) {
+  if (t == "sot") out = Strategy::Sot;
+  else if (t == "rmot") out = Strategy::Rmot;
+  else if (t == "mot") out = Strategy::Mot;
+  else return false;
+  return true;
+}
+
+const char* layout_token(VarLayout l) {
+  switch (l) {
+    case VarLayout::Interleaved:
+      return "interleaved";
+    case VarLayout::Blocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+bool parse_layout_token(const std::string& t, VarLayout& out) {
+  if (t == "interleaved") out = VarLayout::Interleaved;
+  else if (t == "blocked") out = VarLayout::Blocked;
+  else return false;
+  return true;
+}
+
+/// Two-character-max mnemonics for FaultStatus in CKPT/INIT records.
+const char* status_token(FaultStatus s) {
+  switch (s) {
+    case FaultStatus::Undetected:
+      return "U";
+    case FaultStatus::XRedundant:
+      return "XR";
+    case FaultStatus::DetectedSim3:
+      return "D3";
+    case FaultStatus::DetectedSot:
+      return "DS";
+    case FaultStatus::DetectedRmot:
+      return "DR";
+    case FaultStatus::DetectedMot:
+      return "DM";
+  }
+  return "?";
+}
+
+bool parse_status_token(const std::string& t, FaultStatus& out) {
+  if (t == "U") out = FaultStatus::Undetected;
+  else if (t == "XR") out = FaultStatus::XRedundant;
+  else if (t == "D3") out = FaultStatus::DetectedSim3;
+  else if (t == "DS") out = FaultStatus::DetectedSot;
+  else if (t == "DR") out = FaultStatus::DetectedRmot;
+  else if (t == "DM") out = FaultStatus::DetectedMot;
+  else return false;
+  return true;
+}
+
+bool parse_u64(const std::string& t, std::uint64_t& out, int base = 10) {
+  if (t.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(t.c_str(), &end, base);
+  if (errno != 0 || end != t.c_str() + t.size() || t[0] == '-') return false;
+  out = v;
+  return true;
+}
+
+bool parse_size(const std::string& t, std::size_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(t, v)) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+std::string val3_string(const std::vector<Val3>& values) {
+  if (values.empty()) return "-";
+  std::string s;
+  s.reserve(values.size());
+  for (Val3 v : values) s.push_back(to_char(v));
+  return s;
+}
+
+bool parse_val3_string(const std::string& t, std::vector<Val3>& out) {
+  out.clear();
+  if (t == "-") return true;
+  out.reserve(t.size());
+  for (char c : t) {
+    if (c == '0') out.push_back(Val3::Zero);
+    else if (c == '1') out.push_back(Val3::One);
+    else if (c == 'X' || c == 'x') out.push_back(Val3::X);
+    else return false;
+  }
+  return true;
+}
+
+std::string diff_string(const StateDiff3& diff) {
+  if (diff.empty()) return "-";
+  std::string s;
+  for (std::size_t i = 0; i < diff.size(); ++i) {
+    if (i != 0) s.push_back(',');
+    s += std::to_string(diff[i].first);
+    s.push_back(':');
+    s.push_back(to_char(diff[i].second));
+  }
+  return s;
+}
+
+bool parse_diff_string(const std::string& t, StateDiff3& out) {
+  out.clear();
+  if (t == "-") return true;
+  std::size_t pos = 0;
+  while (pos < t.size()) {
+    const std::size_t colon = t.find(':', pos);
+    if (colon == std::string::npos || colon + 1 >= t.size()) return false;
+    std::uint64_t ff = 0;
+    if (!parse_u64(t.substr(pos, colon - pos), ff)) return false;
+    const char c = t[colon + 1];
+    Val3 v;
+    if (c == '0') v = Val3::Zero;
+    else if (c == '1') v = Val3::One;
+    else if (c == 'X' || c == 'x') v = Val3::X;
+    else return false;
+    out.emplace_back(static_cast<std::uint32_t>(ff), v);
+    pos = colon + 2;
+    if (pos < t.size()) {
+      if (t[pos] != ',') return false;
+      ++pos;
+      if (pos == t.size()) return false;  // trailing comma
+    }
+  }
+  return !out.empty();
+}
+
+Expected<bool, std::string> read_file(const std::string& path,
+                                      std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Unexpected<std::string>{"cannot open " + path + " for reading"};
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) {
+    return Unexpected<std::string>{"I/O error reading " + path};
+  }
+  out = os.str();
+  return true;
+}
+
+Expected<bool, std::string> write_file_atomic(const std::string& path,
+                                              const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Unexpected<std::string>{"cannot open " + tmp + " for writing"};
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      return Unexpected<std::string>{"I/O error writing " + tmp};
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Unexpected<std::string>{"cannot rename " + tmp + " to " + path +
+                                   ": " + ec.message()};
+  }
+  return true;
+}
+
+void append_line_or_throw(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    throw std::runtime_error("RunStore: cannot open " + path +
+                             " for appending");
+  }
+  out << line << '\n';
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("RunStore: I/O error appending to " + path);
+  }
+}
+
+/// Serializes the INIT record: the frozen ID_X-red pre-classification.
+std::string serialize_init_line(const std::vector<FaultStatus>& status) {
+  std::string line = "INIT 1 " + std::to_string(status.size()) + ' ';
+  if (status.empty()) {
+    line += '-';
+  } else {
+    for (FaultStatus s : status) {
+      line += (s == FaultStatus::XRedundant) ? 'X' : 'U';
+    }
+  }
+  line += " END";
+  return line;
+}
+
+Expected<std::vector<FaultStatus>, std::string> parse_init_line(
+    const std::string& line) {
+  using Err = Unexpected<std::string>;
+  std::istringstream in(line);
+  std::string tag, version, count, digits, end, extra;
+  if (!(in >> tag >> version >> count >> digits >> end) || tag != "INIT") {
+    return Err{"malformed INIT record"};
+  }
+  if (version != "1") {
+    return Err{"unsupported INIT record version " + version};
+  }
+  if (end != "END" || (in >> extra)) {
+    return Err{"INIT record not terminated by END"};
+  }
+  std::size_t n = 0;
+  if (!parse_size(count, n)) {
+    return Err{"INIT record has a bad fault count"};
+  }
+  std::vector<FaultStatus> status;
+  if (digits == "-") {
+    if (n != 0) return Err{"INIT record count does not match its digits"};
+    return status;
+  }
+  if (digits.size() != n) {
+    return Err{"INIT record count does not match its digits"};
+  }
+  status.reserve(n);
+  for (char c : digits) {
+    if (c == 'U') status.push_back(FaultStatus::Undetected);
+    else if (c == 'X') status.push_back(FaultStatus::XRedundant);
+    else return Err{std::string("INIT record has a bad status digit '") + c +
+                    "'"};
+  }
+  return status;
+}
+
+}  // namespace
+
+// ---- checkpoint line format ------------------------------------------------
+
+std::string serialize_checkpoint_line(const ChunkCheckpoint& ck) {
+  std::ostringstream os;
+  os << "CKPT " << ck.chunk << ' ' << ck.frame << ' ' << (ck.in_window ? 1 : 0)
+     << ' ' << ck.window_left << ' ' << (ck.complete ? 1 : 0) << ' '
+     << val3_string(ck.good_state) << ' ' << ck.fault_index.size();
+  for (std::size_t i = 0; i < ck.fault_index.size(); ++i) {
+    os << ' ' << ck.fault_index[i] << ' ' << status_token(ck.status[i]) << ' '
+       << ck.detect_frame[i] << ' ' << diff_string(ck.diff[i]);
+  }
+  os << " END";
+  return os.str();
+}
+
+Expected<ChunkCheckpoint, std::string> parse_checkpoint_line(
+    const std::string& line) {
+  using Err = Unexpected<std::string>;
+  std::istringstream in(line);
+  std::string tag;
+  if (!(in >> tag) || tag != "CKPT") {
+    return Err{"not a CKPT record"};
+  }
+  ChunkCheckpoint ck;
+  std::string chunk, frame, in_window, window_left, complete, good, count;
+  if (!(in >> chunk >> frame >> in_window >> window_left >> complete >> good >>
+        count)) {
+    return Err{"truncated CKPT header"};
+  }
+  std::size_t n = 0;
+  if (!parse_size(chunk, ck.chunk) || !parse_size(frame, ck.frame) ||
+      !parse_size(window_left, ck.window_left) || !parse_size(count, n)) {
+    return Err{"CKPT header has a non-numeric field"};
+  }
+  if (in_window != "0" && in_window != "1") {
+    return Err{"CKPT in_window flag must be 0 or 1"};
+  }
+  if (complete != "0" && complete != "1") {
+    return Err{"CKPT complete flag must be 0 or 1"};
+  }
+  ck.in_window = in_window == "1";
+  ck.complete = complete == "1";
+  if (!parse_val3_string(good, ck.good_state)) {
+    return Err{"CKPT good_state has a bad value character"};
+  }
+  ck.fault_index.reserve(n);
+  ck.status.reserve(n);
+  ck.detect_frame.reserve(n);
+  ck.diff.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string index, status, detect, diff;
+    if (!(in >> index >> status >> detect >> diff)) {
+      return Err{"CKPT record truncated at fault entry " + std::to_string(i)};
+    }
+    std::size_t idx = 0;
+    std::uint64_t df = 0;
+    FaultStatus st;
+    StateDiff3 d;
+    if (!parse_size(index, idx) || !parse_u64(detect, df) ||
+        df > 0xFFFFFFFFull) {
+      return Err{"CKPT fault entry " + std::to_string(i) +
+                 " has a non-numeric field"};
+    }
+    if (!parse_status_token(status, st)) {
+      return Err{"CKPT fault entry " + std::to_string(i) +
+                 " has an unknown status '" + status + "'"};
+    }
+    if (!parse_diff_string(diff, d)) {
+      return Err{"CKPT fault entry " + std::to_string(i) +
+                 " has a malformed state diff"};
+    }
+    ck.fault_index.push_back(idx);
+    ck.status.push_back(st);
+    ck.detect_frame.push_back(static_cast<std::uint32_t>(df));
+    ck.diff.push_back(std::move(d));
+  }
+  std::string end, extra;
+  if (!(in >> end) || end != "END" || (in >> extra)) {
+    return Err{"CKPT record not terminated by END"};
+  }
+  return ck;
+}
+
+// ---- manifest --------------------------------------------------------------
+
+std::string StoreManifest::to_text() const {
+  std::ostringstream os;
+  os << "version " << version << '\n';
+  os << "circuit " << circuit << '\n';
+  os << "inputs " << inputs << '\n';
+  os << "dffs " << dffs << '\n';
+  os << "faults " << faults << '\n';
+  os << "seed " << seed << '\n';
+  os << "complete " << (complete ? 1 : 0) << '\n';
+  os << "sequence_length " << sequence_length << '\n';
+  os << "segment_lengths";
+  for (std::size_t s : segment_lengths) os << ' ' << s;
+  os << '\n';
+  os << "fp_netlist " << fingerprint_to_hex(fp_netlist) << '\n';
+  os << "fp_faults " << fingerprint_to_hex(fp_faults) << '\n';
+  os << "fp_options " << fingerprint_to_hex(fp_options) << '\n';
+  os << "fp_sequence " << fingerprint_to_hex(fp_sequence) << '\n';
+  os << "opt_run_xred " << (options.run_xred ? 1 : 0) << '\n';
+  os << "opt_parallel_sim3 " << (options.parallel_sim3 ? 1 : 0) << '\n';
+  os << "opt_run_symbolic " << (options.run_symbolic ? 1 : 0) << '\n';
+  os << "opt_strategy " << strategy_token(options.strategy) << '\n';
+  os << "opt_layout " << layout_token(options.layout) << '\n';
+  os << "opt_node_limit " << options.node_limit << '\n';
+  os << "opt_fallback_frames " << options.fallback_frames << '\n';
+  os << "opt_hard_limit_factor " << options.hard_limit_factor << '\n';
+  os << "opt_checkpoint_interval " << options.checkpoint_interval << '\n';
+  os << "opt_threads " << options.threads << '\n';
+  os << "opt_chunk_size " << options.chunk_size << '\n';
+  os << "opt_seed " << options.seed << '\n';
+  os << "opt_bdd_initial_capacity " << options.bdd_initial_capacity << '\n';
+  os << "opt_bdd_cache_size_log2 " << options.bdd_cache_size_log2 << '\n';
+  os << "opt_bdd_auto_gc_floor " << options.bdd_auto_gc_floor << '\n';
+  return os.str();
+}
+
+Expected<StoreManifest, std::string> StoreManifest::from_text(
+    const std::string& text) {
+  using Err = Unexpected<std::string>;
+  StoreManifest m;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  bool saw_version = false;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (raw.empty() || raw[0] == '#') continue;
+    std::istringstream ls(raw);
+    std::string key;
+    ls >> key;
+    if (key.empty()) continue;
+    const auto bad = [&](const std::string& what) {
+      return Err{"manifest line " + std::to_string(line_no) + ": " + what};
+    };
+    std::string value;
+    const auto next = [&]() -> bool { return static_cast<bool>(ls >> value); };
+    const auto get_size = [&](std::size_t& out) -> bool {
+      return next() && parse_size(value, out);
+    };
+    const auto get_u64 = [&](std::uint64_t& out, int base = 10) -> bool {
+      return next() && parse_u64(value, out, base);
+    };
+    const auto get_bool = [&](bool& out) -> bool {
+      if (!next() || (value != "0" && value != "1")) return false;
+      out = value == "1";
+      return true;
+    };
+
+    if (key == "version") {
+      std::size_t v = 0;
+      if (!get_size(v)) return bad("bad version");
+      m.version = static_cast<int>(v);
+      saw_version = true;
+      if (m.version != 1) {
+        return Err{"unsupported store version " + std::to_string(m.version)};
+      }
+    } else if (key == "circuit") {
+      if (!next()) return bad("missing circuit name");
+      m.circuit = value;
+    } else if (key == "inputs") {
+      if (!get_size(m.inputs)) return bad("bad inputs count");
+    } else if (key == "dffs") {
+      if (!get_size(m.dffs)) return bad("bad dffs count");
+    } else if (key == "faults") {
+      if (!get_size(m.faults)) return bad("bad faults count");
+    } else if (key == "seed") {
+      if (!get_u64(m.seed)) return bad("bad seed");
+    } else if (key == "complete") {
+      if (!get_bool(m.complete)) return bad("complete must be 0 or 1");
+    } else if (key == "sequence_length") {
+      if (!get_size(m.sequence_length)) return bad("bad sequence_length");
+    } else if (key == "segment_lengths") {
+      m.segment_lengths.clear();
+      std::size_t s = 0;
+      while (next()) {
+        if (!parse_size(value, s)) return bad("bad segment length");
+        m.segment_lengths.push_back(s);
+      }
+    } else if (key == "fp_netlist") {
+      if (!get_u64(m.fp_netlist, 16)) return bad("bad fp_netlist");
+    } else if (key == "fp_faults") {
+      if (!get_u64(m.fp_faults, 16)) return bad("bad fp_faults");
+    } else if (key == "fp_options") {
+      if (!get_u64(m.fp_options, 16)) return bad("bad fp_options");
+    } else if (key == "fp_sequence") {
+      if (!get_u64(m.fp_sequence, 16)) return bad("bad fp_sequence");
+    } else if (key == "opt_run_xred") {
+      if (!get_bool(m.options.run_xred)) return bad("bad opt_run_xred");
+    } else if (key == "opt_parallel_sim3") {
+      if (!get_bool(m.options.parallel_sim3)) {
+        return bad("bad opt_parallel_sim3");
+      }
+    } else if (key == "opt_run_symbolic") {
+      if (!get_bool(m.options.run_symbolic)) return bad("bad opt_run_symbolic");
+    } else if (key == "opt_strategy") {
+      if (!next() || !parse_strategy_token(value, m.options.strategy)) {
+        return bad("bad opt_strategy");
+      }
+    } else if (key == "opt_layout") {
+      if (!next() || !parse_layout_token(value, m.options.layout)) {
+        return bad("bad opt_layout");
+      }
+    } else if (key == "opt_node_limit") {
+      if (!get_size(m.options.node_limit)) return bad("bad opt_node_limit");
+    } else if (key == "opt_fallback_frames") {
+      if (!get_size(m.options.fallback_frames)) {
+        return bad("bad opt_fallback_frames");
+      }
+    } else if (key == "opt_hard_limit_factor") {
+      if (!get_size(m.options.hard_limit_factor)) {
+        return bad("bad opt_hard_limit_factor");
+      }
+    } else if (key == "opt_checkpoint_interval") {
+      if (!get_size(m.options.checkpoint_interval)) {
+        return bad("bad opt_checkpoint_interval");
+      }
+    } else if (key == "opt_threads") {
+      if (!get_size(m.options.threads)) return bad("bad opt_threads");
+    } else if (key == "opt_chunk_size") {
+      if (!get_size(m.options.chunk_size)) return bad("bad opt_chunk_size");
+    } else if (key == "opt_seed") {
+      if (!get_u64(m.options.seed)) return bad("bad opt_seed");
+    } else if (key == "opt_bdd_initial_capacity") {
+      if (!get_size(m.options.bdd_initial_capacity)) {
+        return bad("bad opt_bdd_initial_capacity");
+      }
+    } else if (key == "opt_bdd_cache_size_log2") {
+      std::size_t v = 0;
+      if (!get_size(v)) return bad("bad opt_bdd_cache_size_log2");
+      m.options.bdd_cache_size_log2 = static_cast<unsigned>(v);
+    } else if (key == "opt_bdd_auto_gc_floor") {
+      if (!get_size(m.options.bdd_auto_gc_floor)) {
+        return bad("bad opt_bdd_auto_gc_floor");
+      }
+    } else {
+      return bad("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_version) {
+    return Err{"manifest has no version line"};
+  }
+  std::size_t sum = 0;
+  for (std::size_t s : m.segment_lengths) sum += s;
+  if (sum != m.sequence_length) {
+    return Err{"manifest segment_lengths do not sum to sequence_length"};
+  }
+  return m;
+}
+
+// ---- RunStore --------------------------------------------------------------
+
+Expected<RunStore, std::string> RunStore::create(
+    std::string dir, StoreManifest manifest, const TestSequence& sequence,
+    const std::vector<FaultStatus>& initial_status) {
+  using Err = Unexpected<std::string>;
+  RunStore store(std::move(dir));
+  std::error_code ec;
+  fs::create_directories(store.dir_, ec);
+  if (ec) {
+    return Err{"cannot create store directory " + store.dir_ + ": " +
+               ec.message()};
+  }
+  if (fs::exists(store.manifest_path())) {
+    return Err{"store directory " + store.dir_ +
+               " already contains a campaign (manifest.txt exists); "
+               "use --resume or point --store at a fresh directory"};
+  }
+  store.manifest_ = std::move(manifest);
+  {
+    std::ostringstream os;
+    write_sequence(os, sequence, "campaign sequence, segment 0");
+    const auto w = write_file_atomic(store.sequence_path(), os.str());
+    if (!w.has_value()) return Err{w.error()};
+  }
+  {
+    const auto w = write_file_atomic(
+        store.checkpoints_path(), serialize_init_line(initial_status) + "\n");
+    if (!w.has_value()) return Err{w.error()};
+  }
+  const auto w = store.save_manifest();
+  if (!w.has_value()) return Err{w.error()};
+  return store;
+}
+
+Expected<RunStore, std::string> RunStore::open(std::string dir) {
+  using Err = Unexpected<std::string>;
+  RunStore store(std::move(dir));
+  std::string text;
+  if (const auto r = read_file(store.manifest_path(), text); !r.has_value()) {
+    return Err{"cannot open store at " + store.dir_ + ": " + r.error()};
+  }
+  auto manifest = StoreManifest::from_text(text);
+  if (!manifest.has_value()) {
+    return Err{"store at " + store.dir_ + ": " + manifest.error()};
+  }
+  store.manifest_ = std::move(*manifest);
+  return store;
+}
+
+Expected<bool, std::string> RunStore::save_manifest() {
+  return write_file_atomic(manifest_path(), manifest_.to_text());
+}
+
+Expected<TestSequence, std::string> RunStore::load_sequence() const {
+  using Err = Unexpected<std::string>;
+  std::ifstream in(sequence_path(), std::ios::binary);
+  if (!in) {
+    return Err{"cannot open " + sequence_path()};
+  }
+  try {
+    return read_sequence(in);
+  } catch (const std::exception& e) {
+    return Err{sequence_path() + ": " + e.what()};
+  }
+}
+
+Expected<bool, std::string> RunStore::append_sequence(
+    const TestSequence& extra) {
+  std::ofstream out(sequence_path(), std::ios::binary | std::ios::app);
+  if (!out) {
+    return Unexpected<std::string>{"cannot open " + sequence_path() +
+                                   " for appending"};
+  }
+  write_sequence(out, extra,
+                 "extension segment " +
+                     std::to_string(manifest_.segment_lengths.size()));
+  out.flush();
+  if (!out) {
+    return Unexpected<std::string>{"I/O error appending to " +
+                                   sequence_path()};
+  }
+  return true;
+}
+
+Expected<StoreState, std::string> RunStore::load_state() const {
+  using Err = Unexpected<std::string>;
+  std::string text;
+  if (const auto r = read_file(checkpoints_path(), text); !r.has_value()) {
+    return Err{r.error()};
+  }
+
+  StoreState state;
+  // Newest record per chunk wins; the map is keyed by chunk id.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  bool last_line_unterminated = false;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      // No trailing newline: the final append was torn mid-line.
+      lines.push_back(text.substr(start));
+      last_line_unterminated = true;
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines.empty()) {
+    return Err{checkpoints_path() + ": empty checkpoint log"};
+  }
+
+  const auto init = parse_init_line(lines.front());
+  if (!init.has_value()) {
+    return Err{checkpoints_path() + " line 1: " + init.error()};
+  }
+  state.initial_status = *init;
+
+  std::vector<ChunkCheckpoint> newest;  // index = chunk, empty slots marked
+  std::vector<bool> have;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const bool last = i + 1 == lines.size();
+    if (lines[i].empty()) {
+      if (last) continue;
+      return Err{checkpoints_path() + " line " + std::to_string(i + 1) +
+                 ": empty record"};
+    }
+    auto ck = parse_checkpoint_line(lines[i]);
+    if (!ck.has_value()) {
+      if (last) continue;  // torn trailing write from a crash: drop it
+      return Err{checkpoints_path() + " line " + std::to_string(i + 1) +
+                 ": " + ck.error()};
+    }
+    if (last && last_line_unterminated) continue;  // torn but parseable
+    const std::size_t c = ck->chunk;
+    if (c >= newest.size()) {
+      newest.resize(c + 1);
+      have.resize(c + 1, false);
+    }
+    newest[c] = std::move(*ck);
+    have[c] = true;
+  }
+  for (std::size_t c = 0; c < newest.size(); ++c) {
+    if (have[c]) state.checkpoints.push_back(std::move(newest[c]));
+  }
+  return state;
+}
+
+void RunStore::append_checkpoint(const ChunkCheckpoint& checkpoint) {
+  append_line_or_throw(checkpoints_path(),
+                       serialize_checkpoint_line(checkpoint));
+}
+
+void RunStore::append_event(const std::string& json_object) {
+  append_line_or_throw(events_path(), json_object);
+}
+
+Expected<bool, std::string> RunStore::write_report(const std::string& json) {
+  return write_file_atomic(report_path(), json);
+}
+
+std::string RunStore::manifest_path() const {
+  return (fs::path(dir_) / "manifest.txt").string();
+}
+std::string RunStore::sequence_path() const {
+  return (fs::path(dir_) / "sequence.txt").string();
+}
+std::string RunStore::checkpoints_path() const {
+  return (fs::path(dir_) / "checkpoints.log").string();
+}
+std::string RunStore::events_path() const {
+  return (fs::path(dir_) / "events.jsonl").string();
+}
+std::string RunStore::report_path() const {
+  return (fs::path(dir_) / "report.json").string();
+}
+
+}  // namespace motsim

@@ -1,0 +1,142 @@
+#ifndef MOTSIM_STORE_RUN_STORE_H
+#define MOTSIM_STORE_RUN_STORE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/options.h"
+#include "faults/fault.h"
+#include "tpg/sequences.h"
+#include "util/expected.h"
+
+namespace motsim {
+
+/// On-disk layout of a campaign store (one directory per campaign):
+///
+///   manifest.txt      key-value metadata + fingerprints (atomic
+///                     rewrite via tmp+rename)
+///   sequence.txt      the test sequence, tpg/sequence_io text format;
+///                     extensions append frames
+///   checkpoints.log   append-only, line-based: one INIT record (the
+///                     ID_X-red pre-classification, frozen for the
+///                     campaign's lifetime) followed by CKPT records,
+///                     newest-wins per chunk; every record ends in an
+///                     "END" token so a torn trailing write (crash
+///                     mid-append) is detected and dropped on load
+///   events.jsonl      append-only event log (one JSON object per
+///                     line): lifecycle, fallback windows, detections,
+///                     checkpoints
+///   report.json       full per-fault FaultReport, written when a
+///                     campaign segment completes
+///
+/// The formats are versioned through `StoreManifest::version` and the
+/// INIT record's leading version field; readers reject versions they
+/// do not know.
+
+/// Parsed manifest.txt. `options.threads` is recorded for provenance
+/// only — a campaign may be resumed with any thread count and results
+/// do not change (see core/parallel_sym_sim.h).
+struct StoreManifest {
+  int version = 1;
+  std::string circuit;
+  std::size_t inputs = 0;
+  std::size_t dffs = 0;
+  std::size_t faults = 0;
+  std::uint64_t seed = 1;
+  bool complete = false;
+  std::size_t sequence_length = 0;
+  /// Length of each campaign segment: the base run, then one entry
+  /// per --extend-vectors extension. Sums to sequence_length.
+  std::vector<std::size_t> segment_lengths;
+  std::uint64_t fp_netlist = 0;
+  std::uint64_t fp_faults = 0;
+  std::uint64_t fp_options = 0;
+  std::uint64_t fp_sequence = 0;
+  SimOptions options;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static Expected<StoreManifest, std::string> from_text(
+      const std::string& text);
+};
+
+/// Everything checkpoints.log holds after recovery: the frozen initial
+/// classification and the newest checkpoint per chunk (ascending chunk
+/// order).
+struct StoreState {
+  std::vector<FaultStatus> initial_status;
+  std::vector<ChunkCheckpoint> checkpoints;
+};
+
+/// Serializes one checkpoint as a single CKPT line (no trailing
+/// newline). parse_checkpoint_line inverts it; both are exposed for
+/// the store-format round-trip fuzzer.
+[[nodiscard]] std::string serialize_checkpoint_line(
+    const ChunkCheckpoint& checkpoint);
+[[nodiscard]] Expected<ChunkCheckpoint, std::string> parse_checkpoint_line(
+    const std::string& line);
+
+/// Handle on one campaign directory. Factories validate; the append_*
+/// methods are called from simulation callbacks and therefore throw
+/// std::runtime_error on I/O failure (a failing store must abort the
+/// run, not silently drop state).
+class RunStore {
+ public:
+  /// Creates `dir` (parents included) and writes manifest, sequence
+  /// and the INIT record. Fails if `dir` already contains a manifest.
+  [[nodiscard]] static Expected<RunStore, std::string> create(
+      std::string dir, StoreManifest manifest, const TestSequence& sequence,
+      const std::vector<FaultStatus>& initial_status);
+
+  /// Opens an existing store and parses its manifest.
+  [[nodiscard]] static Expected<RunStore, std::string> open(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] const StoreManifest& manifest() const noexcept {
+    return manifest_;
+  }
+  [[nodiscard]] StoreManifest& manifest() noexcept { return manifest_; }
+
+  /// Atomically rewrites manifest.txt (tmp + rename).
+  [[nodiscard]] Expected<bool, std::string> save_manifest();
+
+  [[nodiscard]] Expected<TestSequence, std::string> load_sequence() const;
+
+  /// Appends frames to sequence.txt (the caller updates and saves the
+  /// manifest's lengths/fingerprint).
+  [[nodiscard]] Expected<bool, std::string> append_sequence(
+      const TestSequence& extra);
+
+  /// Replays checkpoints.log: INIT + newest CKPT per chunk. A torn
+  /// final line (no END / no newline) is dropped; corruption anywhere
+  /// else is an error.
+  [[nodiscard]] Expected<StoreState, std::string> load_state() const;
+
+  /// Appends one CKPT record. Throws std::runtime_error on I/O error.
+  void append_checkpoint(const ChunkCheckpoint& checkpoint);
+
+  /// Appends one pre-formatted JSON object line to events.jsonl.
+  /// Throws std::runtime_error on I/O error.
+  void append_event(const std::string& json_object);
+
+  [[nodiscard]] Expected<bool, std::string> write_report(
+      const std::string& json);
+
+  [[nodiscard]] std::string manifest_path() const;
+  [[nodiscard]] std::string sequence_path() const;
+  [[nodiscard]] std::string checkpoints_path() const;
+  [[nodiscard]] std::string events_path() const;
+  [[nodiscard]] std::string report_path() const;
+
+ private:
+  explicit RunStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string dir_;
+  StoreManifest manifest_;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_STORE_RUN_STORE_H

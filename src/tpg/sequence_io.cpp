@@ -1,5 +1,6 @@
 #include "tpg/sequence_io.h"
 
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -64,6 +65,39 @@ std::string write_sequence_string(const TestSequence& sequence,
   std::ostringstream os;
   write_sequence(os, sequence, comment);
   return os.str();
+}
+
+Expected<TestSequence, std::string> read_sequence_file(
+    const std::string& path) {
+  using Err = Unexpected<std::string>;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Err{"cannot open sequence file " + path};
+  }
+  try {
+    TestSequence seq = read_sequence(in);
+    if (in.bad()) {
+      return Err{"I/O error reading sequence file " + path};
+    }
+    return seq;
+  } catch (const std::exception& e) {
+    return Err{path + ": " + e.what()};
+  }
+}
+
+Expected<bool, std::string> write_sequence_file(const std::string& path,
+                                                const TestSequence& sequence,
+                                                const std::string& comment) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Unexpected<std::string>{"cannot open " + path + " for writing"};
+  }
+  write_sequence(out, sequence, comment);
+  out.flush();
+  if (!out) {
+    return Unexpected<std::string>{"I/O error writing " + path};
+  }
+  return true;
 }
 
 }  // namespace motsim

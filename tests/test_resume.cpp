@@ -1,0 +1,293 @@
+// Kill/resume and incremental-extension semantics of campaigns
+// (store/campaign.h): a campaign interrupted between two checkpoint
+// writes and resumed — with any thread count — must classify every
+// fault bit-identically to the uninterrupted run, and an extension
+// must equal a from-scratch run over the concatenated sequence while
+// never re-evaluating detected or X-redundant faults.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_data/registry.h"
+#include "faults/collapse.h"
+#include "store/campaign.h"
+#include "store/run_store.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+
+namespace motsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  explicit TempDir(const std::string& tag)
+      : path((fs::temp_directory_path() /
+              ("motsim_resume_" + tag + "_" +
+               std::to_string(::testing::UnitTest::GetInstance()->random_seed())))
+                 .string()) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string sub(const std::string& name) const {
+    return (fs::path(path) / name).string();
+  }
+  std::string path;
+};
+
+/// Simulates a crash: lets `allow` checkpoints persist, then throws
+/// out of the engine (the store keeps everything written so far).
+class ThrowingTap final : public CheckpointSink {
+ public:
+  explicit ThrowingTap(std::size_t allow) : allow_(allow) {}
+  void on_checkpoint(const ChunkCheckpoint&) override {
+    if (++count_ > allow_) throw std::runtime_error("simulated crash");
+  }
+  std::size_t count() const { return count_; }
+
+ private:
+  std::size_t allow_;
+  std::size_t count_ = 0;
+};
+
+class RecordingTap final : public CheckpointSink {
+ public:
+  void on_checkpoint(const ChunkCheckpoint& ck) override {
+    records.push_back(ck);
+  }
+  std::vector<ChunkCheckpoint> records;
+};
+
+struct Workload {
+  Workload() : nl(make_benchmark("s298")), faults(nl) {
+    Rng rng(11);
+    base = random_sequence(nl, 32, rng);
+    extra = random_sequence(nl, 16, rng);
+    full = base;
+    full.insert(full.end(), extra.begin(), extra.end());
+    opts.checkpoint_interval = 8;  // divides the 32-frame base segment
+  }
+  Netlist nl;
+  CollapsedFaultList faults;
+  TestSequence base;
+  TestSequence extra;
+  TestSequence full;
+  SimOptions opts;
+};
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.status.size(), b.status.size());
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.detect_frame, b.detect_frame);
+  EXPECT_EQ(a.x_redundant, b.x_redundant);
+}
+
+/// Kill a campaign after `allow` persisted checkpoints, resume it, and
+/// require the final classification to match the uninterrupted
+/// baseline exactly.
+void check_kill_resume(const Workload& w, const SimOptions& opts,
+                       std::size_t resume_threads, const char* tag) {
+  TempDir tmp(tag);
+  const auto baseline = run_campaign(w.nl, w.faults.faults(), w.base, opts,
+                                     tmp.sub("baseline"));
+  ASSERT_TRUE(baseline.has_value()) << baseline.error();
+
+  ThrowingTap tap(5);
+  const auto killed = run_campaign(w.nl, w.faults.faults(), w.base, opts,
+                                   tmp.sub("killed"), nullptr, &tap);
+  ASSERT_FALSE(killed.has_value());
+  EXPECT_NE(killed.error().find("campaign aborted"), std::string::npos);
+  EXPECT_GE(tap.count(), 5u);  // the crash really hit mid-run
+
+  const auto resumed = resume_campaign(w.nl, w.faults.faults(),
+                                       tmp.sub("killed"), resume_threads);
+  ASSERT_TRUE(resumed.has_value()) << resumed.error();
+  EXPECT_TRUE(resumed->resumed);
+  expect_identical(*resumed, *baseline);
+}
+
+TEST(Resume, KillResumeBitIdenticalSingleThread) {
+  const Workload w;
+  check_kill_resume(w, w.opts, 1, "serial");
+}
+
+TEST(Resume, KillResumeBitIdenticalFourThreads) {
+  const Workload w;
+  SimOptions opts = w.opts;
+  opts.threads = 4;
+  check_kill_resume(w, opts, 4, "par");
+}
+
+TEST(Resume, ThreadCountMayChangeAcrossResume) {
+  // Killed with 1 thread, resumed with 4 — the chunk partition depends
+  // only on the fault list, so the classification cannot change.
+  const Workload w;
+  check_kill_resume(w, w.opts, 4, "retarget");
+}
+
+TEST(Resume, KillResumeWithForcedFallbackWindows) {
+  const Workload w;
+  SimOptions opts = w.opts;
+  opts.node_limit = 60;  // tiny: forces three-valued fallback windows
+  opts.fallback_frames = 4;
+
+  TempDir tmp("fallback");
+  const auto baseline = run_campaign(w.nl, w.faults.faults(), w.base, opts,
+                                     tmp.sub("baseline"));
+  ASSERT_TRUE(baseline.has_value()) << baseline.error();
+  ASSERT_GT(baseline->sym.fallback_windows, 0u)
+      << "node_limit did not force a fallback window; the scenario is vacuous";
+
+  ThrowingTap tap(3);
+  const auto killed = run_campaign(w.nl, w.faults.faults(), w.base, opts,
+                                   tmp.sub("killed"), nullptr, &tap);
+  ASSERT_FALSE(killed.has_value());
+
+  const auto resumed =
+      resume_campaign(w.nl, w.faults.faults(), tmp.sub("killed"));
+  ASSERT_TRUE(resumed.has_value()) << resumed.error();
+  expect_identical(*resumed, *baseline);
+}
+
+TEST(Resume, SurvivesTwoConsecutiveCrashes) {
+  const Workload w;
+  TempDir tmp("twice");
+  const auto baseline = run_campaign(w.nl, w.faults.faults(), w.base, w.opts,
+                                     tmp.sub("baseline"));
+  ASSERT_TRUE(baseline.has_value()) << baseline.error();
+
+  ThrowingTap first(2);
+  ASSERT_FALSE(run_campaign(w.nl, w.faults.faults(), w.base, w.opts,
+                            tmp.sub("killed"), nullptr, &first)
+                   .has_value());
+  ThrowingTap second(1);
+  ASSERT_FALSE(resume_campaign(w.nl, w.faults.faults(), tmp.sub("killed"),
+                               std::nullopt, nullptr, &second)
+                   .has_value());
+
+  const auto resumed =
+      resume_campaign(w.nl, w.faults.faults(), tmp.sub("killed"));
+  ASSERT_TRUE(resumed.has_value()) << resumed.error();
+  expect_identical(*resumed, *baseline);
+}
+
+TEST(Resume, ResumingCompletedCampaignIsIdempotent) {
+  const Workload w;
+  TempDir tmp("idem");
+  const auto first =
+      run_campaign(w.nl, w.faults.faults(), w.base, w.opts, tmp.sub("c"));
+  ASSERT_TRUE(first.has_value()) << first.error();
+
+  const auto again = resume_campaign(w.nl, w.faults.faults(), tmp.sub("c"));
+  ASSERT_TRUE(again.has_value()) << again.error();
+  expect_identical(*again, *first);
+  EXPECT_EQ(again->sym.checkpoint_syncs, 0u);  // nothing was re-simulated
+}
+
+TEST(Extend, MatchesFromScratchOverConcatenatedSequence) {
+  const Workload w;
+  TempDir tmp("equal");
+
+  // Incremental: base campaign, then a 16-frame extension. The
+  // checkpoint interval (8) divides the 32-frame segment boundary, so
+  // the sync schedules of both runs line up exactly.
+  ASSERT_TRUE(run_campaign(w.nl, w.faults.faults(), w.base, w.opts,
+                           tmp.sub("inc"))
+                  .has_value());
+  const auto extended =
+      extend_campaign(w.nl, w.faults.faults(), w.extra, tmp.sub("inc"));
+  ASSERT_TRUE(extended.has_value()) << extended.error();
+  EXPECT_EQ(extended->frames_total, w.full.size());
+
+  const auto scratch = run_campaign(w.nl, w.faults.faults(), w.full, w.opts,
+                                    tmp.sub("scratch"));
+  ASSERT_TRUE(scratch.has_value()) << scratch.error();
+  expect_identical(*extended, *scratch);
+
+  // The store now describes the concatenated sequence.
+  auto store = RunStore::open(tmp.sub("inc"));
+  ASSERT_TRUE(store.has_value()) << store.error();
+  EXPECT_EQ(store->manifest().sequence_length, w.full.size());
+  EXPECT_EQ(store->manifest().segment_lengths,
+            (std::vector<std::size_t>{32, 16}));
+  const auto seq = store->load_sequence();
+  ASSERT_TRUE(seq.has_value()) << seq.error();
+  EXPECT_EQ(*seq, w.full);
+}
+
+TEST(Extend, NeverReEvaluatesDetectedOrXRedundantFaults) {
+  const Workload w;
+  TempDir tmp("skip");
+  const auto base =
+      run_campaign(w.nl, w.faults.faults(), w.base, w.opts, tmp.sub("c"));
+  ASSERT_TRUE(base.has_value()) << base.error();
+
+  RecordingTap tap;
+  const auto extended = extend_campaign(w.nl, w.faults.faults(), w.extra,
+                                        tmp.sub("c"), std::nullopt, nullptr,
+                                        &tap);
+  ASSERT_TRUE(extended.has_value()) << extended.error();
+  ASSERT_FALSE(tap.records.empty());
+
+  std::set<std::size_t> xred;
+  for (std::size_t i = 0; i < base->status.size(); ++i) {
+    if (base->status[i] == FaultStatus::XRedundant) xred.insert(i);
+  }
+  ASSERT_FALSE(xred.empty()) << "s298 workload should have X-redundant faults";
+
+  for (const ChunkCheckpoint& ck : tap.records) {
+    for (std::size_t i = 0; i < ck.fault_index.size(); ++i) {
+      const std::size_t g = ck.fault_index[i];
+      // X-redundant faults are frozen out of the partition entirely.
+      EXPECT_EQ(xred.count(g), 0u) << "X-redundant fault " << g
+                                   << " appeared in an extension chunk";
+      // A fault detected by the base run keeps its verdict and frame
+      // verbatim — the extension never touches it again.
+      if (is_detected(base->status[g])) {
+        EXPECT_EQ(ck.status[i], base->status[g]) << "fault " << g;
+        EXPECT_EQ(ck.detect_frame[i], base->detect_frame[g]) << "fault " << g;
+      }
+    }
+  }
+
+  // Detection frames from the base segment survive the extension.
+  for (std::size_t g = 0; g < base->status.size(); ++g) {
+    if (is_detected(base->status[g])) {
+      EXPECT_EQ(extended->status[g], base->status[g]);
+      EXPECT_EQ(extended->detect_frame[g], base->detect_frame[g]);
+    }
+  }
+}
+
+TEST(Extend, RefusesIncompleteCampaignsAndBadFrames) {
+  const Workload w;
+  TempDir tmp("refuse");
+
+  ThrowingTap tap(1);
+  ASSERT_FALSE(run_campaign(w.nl, w.faults.faults(), w.base, w.opts,
+                            tmp.sub("killed"), nullptr, &tap)
+                   .has_value());
+  const auto incomplete =
+      extend_campaign(w.nl, w.faults.faults(), w.extra, tmp.sub("killed"));
+  ASSERT_FALSE(incomplete.has_value());
+  EXPECT_NE(incomplete.error().find("resume it before extending"),
+            std::string::npos);
+
+  ASSERT_TRUE(run_campaign(w.nl, w.faults.faults(), w.base, w.opts,
+                           tmp.sub("done"))
+                  .has_value());
+  EXPECT_FALSE(extend_campaign(w.nl, w.faults.faults(), {}, tmp.sub("done"))
+                   .has_value());
+  TestSequence ragged = {std::vector<Val3>(w.nl.input_count() + 1, Val3::One)};
+  EXPECT_FALSE(
+      extend_campaign(w.nl, w.faults.faults(), ragged, tmp.sub("done"))
+          .has_value());
+}
+
+}  // namespace
+}  // namespace motsim

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "bench_data/synth_gen.h"
+#include "store/run_store.h"
 #include "circuit/bench_io.h"
 #include "faults/collapse.h"
 #include "sim3/fault_sim3.h"
@@ -109,6 +110,127 @@ TEST_P(BenchRoundTripFuzz, FaultClassificationAgrees) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BenchRoundTripFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+// ---- run-store formats (store/run_store.h) ---------------------------------
+// Same philosophy as the .bench fuzz above: any state the store can be
+// asked to persist must survive serialize -> parse unchanged, and
+// mutated lines must be rejected rather than misread (a misparsed
+// checkpoint would silently corrupt a resumed campaign).
+
+Val3 random_val3(Rng& rng) {
+  const std::uint64_t r = rng.below(3);
+  return r == 0 ? Val3::Zero : (r == 1 ? Val3::One : Val3::X);
+}
+
+ChunkCheckpoint random_checkpoint(std::uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  ChunkCheckpoint ck;
+  ck.chunk = rng.below(32);
+  ck.frame = rng.below(4096);
+  ck.in_window = rng.flip();
+  ck.window_left = ck.in_window ? rng.below(8) : 0;
+  ck.complete = rng.flip();
+  const std::size_t dffs = rng.below(24);
+  for (std::size_t i = 0; i < dffs; ++i) {
+    ck.good_state.push_back(random_val3(rng));
+  }
+  const std::size_t n = rng.below(40);
+  static constexpr FaultStatus kStatuses[] = {
+      FaultStatus::Undetected,   FaultStatus::XRedundant,
+      FaultStatus::DetectedSim3, FaultStatus::DetectedSot,
+      FaultStatus::DetectedRmot, FaultStatus::DetectedMot};
+  for (std::size_t i = 0; i < n; ++i) {
+    ck.fault_index.push_back(rng.below(10000));
+    ck.status.push_back(kStatuses[rng.below(6)]);
+    ck.detect_frame.push_back(static_cast<std::uint32_t>(rng.below(5000)));
+    StateDiff3 diff;
+    const std::size_t d = dffs == 0 ? 0 : rng.below(dffs + 1);
+    for (std::size_t j = 0; j < d; ++j) {
+      diff.emplace_back(static_cast<std::uint32_t>(rng.below(dffs)),
+                        random_val3(rng));
+    }
+    ck.diff.push_back(std::move(diff));
+  }
+  return ck;
+}
+
+class StoreFormatFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreFormatFuzz, CheckpointLineRoundTrips) {
+  const ChunkCheckpoint ck = random_checkpoint(GetParam());
+  const std::string line = serialize_checkpoint_line(ck);
+  const auto back = parse_checkpoint_line(line);
+  ASSERT_TRUE(back.has_value()) << back.error() << "\nline: " << line;
+  EXPECT_EQ(back->chunk, ck.chunk);
+  EXPECT_EQ(back->frame, ck.frame);
+  EXPECT_EQ(back->in_window, ck.in_window);
+  EXPECT_EQ(back->window_left, ck.window_left);
+  EXPECT_EQ(back->complete, ck.complete);
+  EXPECT_EQ(back->good_state, ck.good_state);
+  EXPECT_EQ(back->fault_index, ck.fault_index);
+  EXPECT_EQ(back->status, ck.status);
+  EXPECT_EQ(back->detect_frame, ck.detect_frame);
+  EXPECT_EQ(back->diff, ck.diff);
+}
+
+TEST_P(StoreFormatFuzz, TruncatedCheckpointLinesNeverParse) {
+  const std::string line =
+      serialize_checkpoint_line(random_checkpoint(GetParam() + 50));
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 16; ++trial) {
+    const std::size_t cut = rng.below(line.size());
+    EXPECT_FALSE(parse_checkpoint_line(line.substr(0, cut)).has_value())
+        << "prefix of length " << cut << " parsed: " << line.substr(0, cut);
+  }
+}
+
+TEST_P(StoreFormatFuzz, ManifestRoundTrips) {
+  Rng rng(GetParam() * 0xC0FFEEull + 5);
+  StoreManifest m;
+  m.circuit = "fuzz" + std::to_string(GetParam());
+  m.inputs = rng.below(100);
+  m.dffs = rng.below(100);
+  m.faults = rng.below(10000);
+  m.seed = rng();
+  m.complete = rng.flip();
+  const std::size_t segments = 1 + rng.below(4);
+  for (std::size_t i = 0; i < segments; ++i) {
+    m.segment_lengths.push_back(1 + rng.below(500));
+    m.sequence_length += m.segment_lengths.back();
+  }
+  m.fp_netlist = rng();
+  m.fp_faults = rng();
+  m.fp_options = rng();
+  m.fp_sequence = rng();
+  m.options.strategy = static_cast<Strategy>(rng.below(3));
+  m.options.layout = static_cast<VarLayout>(rng.below(2));
+  m.options.node_limit = 1 + rng.below(100000);
+  m.options.fallback_frames = 1 + rng.below(32);
+  m.options.checkpoint_interval = rng.below(256);
+  m.options.threads = rng.below(16);
+  m.options.chunk_size = rng.below(256);
+  m.options.seed = rng();
+
+  const auto back = StoreManifest::from_text(m.to_text());
+  ASSERT_TRUE(back.has_value()) << back.error();
+  EXPECT_EQ(back->circuit, m.circuit);
+  EXPECT_EQ(back->inputs, m.inputs);
+  EXPECT_EQ(back->dffs, m.dffs);
+  EXPECT_EQ(back->faults, m.faults);
+  EXPECT_EQ(back->seed, m.seed);
+  EXPECT_EQ(back->complete, m.complete);
+  EXPECT_EQ(back->sequence_length, m.sequence_length);
+  EXPECT_EQ(back->segment_lengths, m.segment_lengths);
+  EXPECT_EQ(back->fp_netlist, m.fp_netlist);
+  EXPECT_EQ(back->fp_faults, m.fp_faults);
+  EXPECT_EQ(back->fp_options, m.fp_options);
+  EXPECT_EQ(back->fp_sequence, m.fp_sequence);
+  EXPECT_EQ(back->options, m.options);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreFormatFuzz,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
                                            12, 13, 14, 15, 16));
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "bench_data/s27.h"
 #include "tpg/sequence_io.h"
 #include "util/rng.h"
@@ -56,6 +59,87 @@ TEST(SequenceIo, WriterEmitsComment) {
       write_sequence_string(sequence_from_strings({"01"}), "hello");
   EXPECT_NE(text.find("# hello"), std::string::npos);
   EXPECT_NE(text.find("01\n"), std::string::npos);
+}
+
+// ---- file front ends and their error paths ---------------------------------
+
+namespace fs = std::filesystem;
+
+std::string temp_file(const std::string& name) {
+  return (fs::temp_directory_path() /
+          ("motsim_seqio_" + name + "_" +
+           std::to_string(::testing::UnitTest::GetInstance()->random_seed())))
+      .string();
+}
+
+void write_raw(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << data;
+}
+
+TEST(SequenceIoFile, RoundTrip) {
+  const std::string path = temp_file("roundtrip");
+  const Netlist nl = make_s27();
+  Rng rng(9);
+  const TestSequence original = random_sequence(nl, 17, rng);
+  const auto w = write_sequence_file(path, original, "round trip");
+  ASSERT_TRUE(w.has_value()) << w.error();
+  const auto r = read_sequence_file(path);
+  ASSERT_TRUE(r.has_value()) << r.error();
+  EXPECT_EQ(*r, original);
+  fs::remove(path);
+}
+
+TEST(SequenceIoFile, MissingFileReportsPath) {
+  const auto r = read_sequence_file("/nonexistent/dir/vectors.seq");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_NE(r.error().find("/nonexistent/dir/vectors.seq"),
+            std::string::npos);
+  EXPECT_NE(r.error().find("cannot open"), std::string::npos);
+}
+
+TEST(SequenceIoFile, TruncatedFrameReportsLineAndPath) {
+  // A file cut off mid-frame leaves a short final line — the ragged
+  // width must be reported as data, with the path and line number.
+  const std::string path = temp_file("truncated");
+  write_raw(path, "1011\n0010\n11");
+  const auto r = read_sequence_file(path);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_NE(r.error().find(path), std::string::npos);
+  EXPECT_NE(r.error().find("line 3"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(SequenceIoFile, BadWidthAndBadCharacterAreErrorsNotThrows) {
+  const std::string path = temp_file("badwidth");
+  write_raw(path, "101\n10101\n");
+  EXPECT_FALSE(read_sequence_file(path).has_value());
+  write_raw(path, "101\n1Q1\n");
+  const auto r = read_sequence_file(path);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_NE(r.error().find("'Q'"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(SequenceIoFile, AcceptsCrlfLineEndings) {
+  // Sequences written on Windows (or passed through git with CRLF
+  // translation) carry \r\n; the trailing \r must be trimmed, not
+  // treated as a frame character.
+  const std::string path = temp_file("crlf");
+  write_raw(path, "# dos file\r\n1011\r\n0010\r\n");
+  const auto r = read_sequence_file(path);
+  ASSERT_TRUE(r.has_value()) << r.error();
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0].size(), 4u);
+  EXPECT_EQ((*r)[1][2], Val3::One);
+  fs::remove(path);
+}
+
+TEST(SequenceIoFile, UnwritableTargetReportsPath) {
+  const auto w = write_sequence_file("/nonexistent/dir/out.seq",
+                                     sequence_from_strings({"01"}));
+  ASSERT_FALSE(w.has_value());
+  EXPECT_NE(w.error().find("/nonexistent/dir/out.seq"), std::string::npos);
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 // motsim_cli — command-line front end for the fault-simulation
-// pipeline.
+// pipeline and for checkpointed campaigns.
 //
 //   motsim_cli [options] <circuit>
 //
@@ -25,10 +25,23 @@
 //   --reset          insert a synchronous reset before everything
 //   --dot FILE       Graphviz export of the netlist
 //   --save-seq FILE / --load-seq FILE   sequence file I/O
+//   --report-json FILE   full per-fault report as JSON
+//
+// Campaign mode (docs/CHECKPOINT.md):
+//   --store DIR            run as a checkpointed campaign in DIR
+//   --resume               continue the campaign persisted in DIR
+//   --extend-vectors N     append N random vectors to a completed
+//                          campaign and simulate only the extension
+//   --checkpoint-interval K  sync/checkpoint every K frames
+//                          (campaign default 32; 0 = engine default)
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "bench_data/registry.h"
@@ -40,6 +53,9 @@
 #include "core/progress.h"
 #include "core/symbolic_fsm.h"
 #include "faults/collapse.h"
+#include "faults/report.h"
+#include "store/campaign.h"
+#include "store/run_store.h"
 #include "tpg/compaction.h"
 #include "tpg/sequence_io.h"
 #include "tpg/sequences.h"
@@ -56,6 +72,8 @@ struct Options {
   /// flags below map 1:1 onto its fields.
   SimOptions sim;
   std::size_t vectors = 200;
+  bool vectors_set = false;
+  bool threads_set = false;
   bool progress = false;
   bool deterministic = false;
   bool sync = false;
@@ -67,6 +85,10 @@ struct Options {
   std::string dot_file;
   std::string save_seq;
   std::string load_seq;
+  std::string report_json;
+  std::string store_dir;
+  bool resume = false;
+  std::size_t extend_vectors = 0;
 };
 
 [[noreturn]] void usage(int code) {
@@ -97,8 +119,51 @@ struct Options {
                "  --json             print the summary as JSON too\n"
                "  --save-seq FILE    save the test sequence\n"
                "  --load-seq FILE    replay a saved sequence instead of\n"
-               "                     generating one\n");
+               "                     generating one\n"
+               "  --report-json FILE full per-fault report as JSON\n"
+               "campaign mode (see docs/CHECKPOINT.md):\n"
+               "  --store DIR        checkpointed campaign in DIR\n"
+               "  --resume           continue the campaign in --store DIR\n"
+               "  --extend-vectors N append N random vectors to a\n"
+               "                     completed campaign; only still-live\n"
+               "                     faults are re-simulated\n"
+               "  --checkpoint-interval K  checkpoint every K frames\n"
+               "                     (campaign default 32)\n");
   std::exit(code);
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::fprintf(stderr, "run 'motsim_cli --help' for usage\n");
+  std::exit(2);
+}
+
+/// Strict unsigned parse: the whole token must be digits and fit the
+/// result type. No std::stoul here — its silent acceptance of
+/// "12abc"/"-3" and uncaught exceptions on garbage were exactly the
+/// failure mode this front end is supposed to catch.
+std::uint64_t parse_u64_flag(const std::string& flag, const std::string& v) {
+  if (v.empty()) fail(flag + " expects a non-negative integer");
+  for (char c : v) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      fail(flag + " expects a non-negative integer, got '" + v + "'");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long r = std::strtoull(v.c_str(), &end, 10);
+  if (errno == ERANGE || end != v.c_str() + v.size()) {
+    fail(flag + " value out of range: '" + v + "'");
+  }
+  return r;
+}
+
+std::size_t parse_size_flag(const std::string& flag, const std::string& v) {
+  const std::uint64_t r = parse_u64_flag(flag, v);
+  if (r > static_cast<std::uint64_t>(static_cast<std::size_t>(-1))) {
+    fail(flag + " value out of range: '" + v + "'");
+  }
+  return static_cast<std::size_t>(r);
 }
 
 Options parse_args(int argc, char** argv) {
@@ -106,28 +171,35 @@ Options parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(2);
+      if (i + 1 >= argc) fail(a + " expects a value");
       return argv[++i];
     };
     if (a == "--help" || a == "-h") usage(0);
     else if (a == "--list") o.list = true;
-    else if (a == "--vectors") o.vectors = std::stoul(next());
-    else if (a == "--seed") o.sim.seed = std::stoull(next());
-    else if (a == "--node-limit") o.sim.node_limit = std::stoul(next());
-    else if (a == "--threads") o.sim.threads = std::stoul(next());
-    else if (a == "--chunk-size") o.sim.chunk_size = std::stoul(next());
-    else if (a == "--progress") o.progress = true;
+    else if (a == "--vectors") {
+      o.vectors = parse_size_flag(a, next());
+      o.vectors_set = true;
+    } else if (a == "--seed") o.sim.seed = parse_u64_flag(a, next());
+    else if (a == "--node-limit") o.sim.node_limit = parse_size_flag(a, next());
+    else if (a == "--threads") {
+      o.sim.threads = parse_size_flag(a, next());
+      o.threads_set = true;
+    } else if (a == "--chunk-size") {
+      o.sim.chunk_size = parse_size_flag(a, next());
+    } else if (a == "--checkpoint-interval") {
+      o.sim.checkpoint_interval = parse_size_flag(a, next());
+    } else if (a == "--progress") o.progress = true;
     else if (a == "--strategy") {
       const std::string s = to_lower(next());
       if (s == "sot") o.sim.strategy = Strategy::Sot;
       else if (s == "rmot") o.sim.strategy = Strategy::Rmot;
       else if (s == "mot") o.sim.strategy = Strategy::Mot;
-      else usage(2);
+      else fail("--strategy expects sot, rmot or mot, got '" + s + "'");
     } else if (a == "--layout") {
       const std::string s = to_lower(next());
       if (s == "interleaved") o.sim.layout = VarLayout::Interleaved;
       else if (s == "blocked") o.sim.layout = VarLayout::Blocked;
-      else usage(2);
+      else fail("--layout expects interleaved or blocked, got '" + s + "'");
     } else if (a == "--no-xred") o.sim.run_xred = false;
     else if (a == "--no-symbolic") o.sim.run_symbolic = false;
     else if (a == "--parallel") o.sim.parallel_sim3 = true;
@@ -140,11 +212,56 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--dot") o.dot_file = next();
     else if (a == "--save-seq") o.save_seq = next();
     else if (a == "--load-seq") o.load_seq = next();
-    else if (!a.empty() && a[0] == '-') usage(2);
-    else if (o.circuit.empty()) o.circuit = a;
-    else usage(2);
+    else if (a == "--report-json") o.report_json = next();
+    else if (a == "--store") o.store_dir = next();
+    else if (a == "--resume") o.resume = true;
+    else if (a == "--extend-vectors") {
+      o.extend_vectors = parse_size_flag(a, next());
+      if (o.extend_vectors == 0) {
+        fail("--extend-vectors expects a positive vector count");
+      }
+    } else if (!a.empty() && a[0] == '-') {
+      fail("unknown option '" + a + "'");
+    } else if (o.circuit.empty()) {
+      o.circuit = a;
+    } else {
+      fail("unexpected argument '" + a + "' (circuit already given: '" +
+           o.circuit + "')");
+    }
   }
-  if (!o.list && o.circuit.empty()) usage(2);
+  if (!o.list && o.circuit.empty()) fail("no circuit given");
+
+  // Flag-combination rules: catch contradictions here, with named
+  // messages, instead of surprising the user downstream.
+  if (o.resume && o.store_dir.empty()) fail("--resume requires --store DIR");
+  if (o.extend_vectors != 0 && o.store_dir.empty()) {
+    fail("--extend-vectors requires --store DIR");
+  }
+  if (o.resume && o.extend_vectors != 0) {
+    fail("--resume and --extend-vectors are mutually exclusive (resume an "
+         "incomplete campaign first, then extend it)");
+  }
+  if (!o.store_dir.empty() && !o.sim.run_symbolic) {
+    fail("--store campaigns require the symbolic engine; drop "
+         "--no-symbolic");
+  }
+  if (o.resume || o.extend_vectors != 0) {
+    if (o.vectors_set) {
+      fail("--vectors cannot be combined with --resume/--extend-vectors "
+           "(the campaign sequence lives in the store)");
+    }
+    if (o.deterministic) {
+      fail("--deterministic cannot be combined with "
+           "--resume/--extend-vectors");
+    }
+    if (!o.load_seq.empty()) {
+      fail("--load-seq cannot be combined with --resume/--extend-vectors");
+    }
+    if (!o.save_seq.empty()) {
+      fail("--save-seq cannot be combined with --resume/--extend-vectors "
+           "(the sequence is already in the store)");
+    }
+  }
   return o;
 }
 
@@ -188,6 +305,117 @@ Netlist load_circuit(const std::string& name) {
     std::exit(1);
   }
   return parse_bench(file, name);
+}
+
+int write_report_json(const Options& o, const Netlist& nl,
+                      const std::vector<Fault>& faults,
+                      const std::vector<FaultStatus>& status,
+                      const std::vector<std::uint32_t>& detect_frame) {
+  if (o.report_json.empty()) return 0;
+  const FaultReport report =
+      FaultReport::build(nl, faults, status, detect_frame);
+  std::ofstream out(o.report_json, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", o.report_json.c_str());
+    return 1;
+  }
+  out << report.to_json();
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: I/O error writing '%s'\n",
+                 o.report_json.c_str());
+    return 1;
+  }
+  std::printf("wrote per-fault report to %s\n", o.report_json.c_str());
+  return 0;
+}
+
+void show_undetected(const Netlist& nl, const std::vector<Fault>& faults,
+                     const std::vector<FaultStatus>& status) {
+  std::printf("\nundetected faults:\n");
+  for (const std::string& name :
+       faults_with_status(nl, faults, status, FaultStatus::Undetected)) {
+    std::printf("  %s\n", name.c_str());
+  }
+  for (const std::string& name :
+       faults_with_status(nl, faults, status, FaultStatus::XRedundant)) {
+    std::printf("  %s (X-redundant)\n", name.c_str());
+  }
+}
+
+void run_sync_analysis(const Netlist& nl) {
+  std::printf("\n--- synchronizing-sequence analysis ---\n");
+  bdd::BddManager mgr;
+  const SymbolicFsm fsm(nl, mgr, StateVars(nl.dff_count()));
+  const SyncSearchResult sr = find_synchronizing_sequence(fsm);
+  if (sr.found) {
+    std::printf("synchronizing sequence of length %zu found "
+                "(%zu uncertainty sets explored)\n",
+                sr.sequence.size(), sr.explored);
+  } else {
+    std::printf("no synchronizing sequence within bounds; smallest "
+                "uncertainty set: %.0f states\n",
+                sr.final_states);
+    std::printf("(three-valued simulation will under-approximate badly "
+                "on this circuit — use MOT)\n");
+  }
+}
+
+/// Campaign front end: fresh run, resume, or incremental extension.
+int run_campaign_mode(const Options& o, const Netlist& nl,
+                      const std::vector<Fault>& faults,
+                      const TestSequence& seq) {
+  StderrProgress progress;
+  ProgressSink* sink = o.progress ? &progress : nullptr;
+  const std::optional<std::size_t> threads =
+      o.threads_set ? std::optional<std::size_t>(o.sim.threads)
+                    : std::nullopt;
+
+  Expected<CampaignResult, std::string> res =
+      Unexpected<std::string>{"unreachable"};
+  const char* mode = "fresh";
+  if (o.resume) {
+    mode = "resumed";
+    res = resume_campaign(nl, faults, o.store_dir, threads, sink);
+  } else if (o.extend_vectors != 0) {
+    mode = "extended";
+    // Extension vectors continue the stored seed's random stream: the
+    // generator is replayed past every frame the store already holds,
+    // so repeated extensions are reproducible from the manifest alone.
+    auto store = RunStore::open(o.store_dir);
+    if (!store.has_value()) {
+      std::fprintf(stderr, "error: %s\n", store.error().c_str());
+      return 1;
+    }
+    Rng rng(store->manifest().seed);
+    (void)random_sequence(nl, store->manifest().sequence_length, rng);
+    const TestSequence extra = random_sequence(nl, o.extend_vectors, rng);
+    std::printf("extension: %zu random vectors (continuing seed %llu)\n",
+                extra.size(),
+                static_cast<unsigned long long>(store->manifest().seed));
+    res = extend_campaign(nl, faults, extra, o.store_dir, threads, sink);
+  } else {
+    res = run_campaign(nl, faults, seq, o.sim, o.store_dir, sink);
+  }
+
+  if (!res.has_value()) {
+    std::fprintf(stderr, "error: %s\n", res.error().c_str());
+    return 1;
+  }
+  const CampaignResult& r = *res;
+  std::printf("\n--- campaign (%s) in %s ---\n", mode, o.store_dir.c_str());
+  std::printf("frames:     %zu total%s\n", r.frames_total,
+              r.resumed ? " (continued from checkpoints)" : "");
+  std::printf("X-redundant %zu faults (frozen at the base run)\n",
+              r.x_redundant);
+  std::printf("engine:     %zu checkpoint syncs, %zu fallback windows%s\n",
+              r.sym.checkpoint_syncs, r.sym.fallback_windows,
+              r.sym.used_fallback ? "  [*coverage is a lower bound]" : "");
+  std::printf("\n%s", r.summary().to_string().c_str());
+  if (o.json) std::printf("%s\n", r.summary().to_json().c_str());
+  if (o.show_undetected) show_undetected(nl, faults, r.status);
+  if (o.sync) run_sync_analysis(nl);
+  return write_report_json(o, nl, faults, r.status, r.detect_frame);
 }
 
 }  // namespace
@@ -234,59 +462,70 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", o.dot_file.c_str());
   }
 
-  // Test sequence.
-  TestSequence seq;
-  if (!o.load_seq.empty()) {
-    std::ifstream in(o.load_seq);
-    if (!in) {
-      std::fprintf(stderr, "error: cannot read '%s'\n", o.load_seq.c_str());
-      return 1;
-    }
-    seq = read_sequence(in);
-    if (!seq.empty() && seq[0].size() != nl.input_count()) {
-      std::fprintf(stderr,
-                   "error: sequence width %zu does not match %zu inputs\n",
-                   seq[0].size(), nl.input_count());
-      return 1;
-    }
-    std::printf("loaded sequence: %zu vectors from %s\n", seq.size(),
-                o.load_seq.c_str());
-  } else if (o.deterministic) {
-    CompactionConfig cfg;
-    cfg.seed = o.sim.seed;
-    cfg.max_length = 2 * o.vectors;
-    cfg.min_length = o.vectors / 4;
-    const CompactionResult gen =
-        generate_deterministic_sequence(nl, faults.faults(), cfg);
-    seq = gen.sequence;
-    std::printf("deterministic sequence: %zu vectors (%zu greedy rounds)\n",
-                seq.size(), gen.rounds);
-  } else {
-    Rng rng(o.sim.seed);
-    seq = random_sequence(nl, o.vectors, rng);
-    std::printf("random sequence: %zu vectors (seed %llu)\n", seq.size(),
-                static_cast<unsigned long long>(o.sim.seed));
-  }
-  if (seq.empty()) {
-    std::fprintf(stderr, "error: empty test sequence\n");
-    return 1;
-  }
-  if (!o.save_seq.empty()) {
-    std::ofstream out(o.save_seq);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n", o.save_seq.c_str());
-      return 1;
-    }
-    write_sequence(out, seq, nl.name() + " test sequence");
-    std::printf("saved sequence to %s\n", o.save_seq.c_str());
-  }
-
-  // Pipeline — one validated SimOptions drives everything.
+  // Every flag combination is checked before anything runs; a bad
+  // SimOptions exits 2 with the validator's message.
   const auto checked = o.sim.validate();
   if (!checked.has_value()) {
     std::fprintf(stderr, "error: %s\n", checked.error().c_str());
     return 2;
   }
+
+  // Test sequence — not generated for --resume/--extend-vectors, whose
+  // sequence lives in the store.
+  TestSequence seq;
+  if (!o.resume && o.extend_vectors == 0) {
+    if (!o.load_seq.empty()) {
+      auto loaded = read_sequence_file(o.load_seq);
+      if (!loaded.has_value()) {
+        std::fprintf(stderr, "error: %s\n", loaded.error().c_str());
+        return 1;
+      }
+      seq = std::move(*loaded);
+      if (!seq.empty() && seq[0].size() != nl.input_count()) {
+        std::fprintf(stderr,
+                     "error: sequence width %zu does not match %zu inputs\n",
+                     seq[0].size(), nl.input_count());
+        return 1;
+      }
+      std::printf("loaded sequence: %zu vectors from %s\n", seq.size(),
+                  o.load_seq.c_str());
+    } else if (o.deterministic) {
+      CompactionConfig cfg;
+      cfg.seed = o.sim.seed;
+      cfg.max_length = 2 * o.vectors;
+      cfg.min_length = o.vectors / 4;
+      const CompactionResult gen =
+          generate_deterministic_sequence(nl, faults.faults(), cfg);
+      seq = gen.sequence;
+      std::printf("deterministic sequence: %zu vectors (%zu greedy "
+                  "rounds)\n",
+                  seq.size(), gen.rounds);
+    } else {
+      Rng rng(o.sim.seed);
+      seq = random_sequence(nl, o.vectors, rng);
+      std::printf("random sequence: %zu vectors (seed %llu)\n", seq.size(),
+                  static_cast<unsigned long long>(o.sim.seed));
+    }
+    if (seq.empty()) {
+      std::fprintf(stderr, "error: empty test sequence\n");
+      return 1;
+    }
+    if (!o.save_seq.empty()) {
+      if (const auto w =
+              write_sequence_file(o.save_seq, seq,
+                                  nl.name() + " test sequence");
+          !w.has_value()) {
+        std::fprintf(stderr, "error: %s\n", w.error().c_str());
+        return 1;
+      }
+      std::printf("saved sequence to %s\n", o.save_seq.c_str());
+    }
+  }
+
+  if (!o.store_dir.empty()) {
+    return run_campaign_mode(o, nl, faults.faults(), seq);
+  }
+
   StderrProgress progress;
   const PipelineResult r =
       run_pipeline(nl, faults.faults(), seq, *checked,
@@ -312,37 +551,9 @@ int main(int argc, char** argv) {
   std::printf("\n%s", r.summary().to_string().c_str());
   if (o.json) std::printf("%s\n", r.summary().to_json().c_str());
 
-  if (o.show_undetected) {
-    std::printf("\nundetected faults:\n");
-    for (const std::string& name :
-         faults_with_status(nl, faults.faults(), r.status,
-                            FaultStatus::Undetected)) {
-      std::printf("  %s\n", name.c_str());
-    }
-    for (const std::string& name :
-         faults_with_status(nl, faults.faults(), r.status,
-                            FaultStatus::XRedundant)) {
-      std::printf("  %s (X-redundant)\n", name.c_str());
-    }
-  }
+  if (o.show_undetected) show_undetected(nl, faults.faults(), r.status);
 
-  if (o.sync) {
-    std::printf("\n--- synchronizing-sequence analysis ---\n");
-    bdd::BddManager mgr;
-    const SymbolicFsm fsm(nl, mgr, StateVars(nl.dff_count()));
-    const SyncSearchResult sr = find_synchronizing_sequence(fsm);
-    if (sr.found) {
-      std::printf("synchronizing sequence of length %zu found "
-                  "(%zu uncertainty sets explored)\n",
-                  sr.sequence.size(), sr.explored);
-    } else {
-      std::printf("no synchronizing sequence within bounds; smallest "
-                  "uncertainty set: %.0f states\n",
-                  sr.final_states);
-      std::printf("(three-valued simulation will under-approximate badly "
-                  "on this circuit — use MOT)\n");
-    }
-  }
+  if (o.sync) run_sync_analysis(nl);
 
-  return 0;
+  return write_report_json(o, nl, faults.faults(), r.status, r.detect_frame);
 }
