@@ -1,0 +1,172 @@
+// Static X-redundancy ablation: what does --lint pruning buy, and
+// does it really change nothing?
+//
+// Runs the full pipeline on registry circuits twice — with and without
+// the sequence-independent static analysis (SimOptions::analysis,
+// src/analysis/static_xred.h) — and compares:
+//
+//  * fault-list size entering the simulation stages (statically pruned
+//    faults are skipped by every engine),
+//  * wall-clock of the whole pipeline (best of N),
+//  * and, as a hard correctness gate, the detected-fault sets: the
+//    analysis is a pure pre-pass, so the detected set and every
+//    detection frame must be bit-identical. Any mismatch exits
+//    nonzero — this harness doubles as the soundness check of
+//    docs/ANALYSIS.md on real workloads.
+//
+// Registry circuits are lint-clean by construction, so the pruned
+// count is typically 0 there; a synthetic dead-logic variant is added
+// to show the pruning actually firing.
+//
+// Environment (see bench_common.h): MOTSIM_FULL, MOTSIM_VECTORS,
+// MOTSIM_SEED.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "faults/collapse.h"
+#include "faults/fault.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace motsim;
+using namespace motsim::bench;
+
+namespace {
+
+struct Measurement {
+  double seconds = 1e100;
+  PipelineResult result;
+};
+
+Measurement measure(const Netlist& nl, const std::vector<Fault>& faults,
+                    const TestSequence& seq, bool analysis, int reps) {
+  SimOptions opts;
+  opts.analysis = analysis;
+  Measurement best;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch timer;
+    PipelineResult r = run_pipeline(nl, faults, seq, opts);
+    const double secs = timer.elapsed_seconds();
+    if (secs < best.seconds) {
+      best.seconds = secs;
+      best.result = std::move(r);
+    }
+  }
+  return best;
+}
+
+/// Registry circuit plus a parallel cone of dead logic: NOT/AND chains
+/// hanging off the first inputs with no path to any output or
+/// flip-flop. Purely additive, so live-fault verdicts are unaffected.
+Netlist with_dead_logic(const std::string& name) {
+  const Netlist base = make_benchmark(name);
+  Netlist nl(base.name() + "+dead");
+  std::vector<NodeIndex> map(base.node_count(), kNoNode);
+  for (NodeIndex n = 0; n < base.node_count(); ++n) {
+    const Gate& g = base.gate(n);
+    switch (g.type) {
+      case GateType::Input:
+        map[n] = nl.add_input(g.name);
+        break;
+      case GateType::Dff:
+        map[n] = nl.add_dff(kNoNode, g.name);
+        break;
+      default:
+        map[n] = nl.add_gate(g.type, {}, g.name);
+        break;
+    }
+  }
+  for (NodeIndex n = 0; n < base.node_count(); ++n) {
+    std::vector<NodeIndex> fanins;
+    for (NodeIndex f : base.gate(n).fanins) fanins.push_back(map[f]);
+    if (!fanins.empty()) nl.set_fanins(map[n], fanins);
+  }
+  for (NodeIndex n : base.outputs()) nl.mark_output(map[n]);
+  const NodeIndex a = map[base.inputs()[0]];
+  const NodeIndex b = map[base.inputs()[1 % base.input_count()]];
+  NodeIndex prev = nl.add_gate(GateType::And, {a, b}, "dead_root");
+  for (int i = 0; i < 8; ++i) {
+    prev = nl.add_gate(GateType::Not, {prev}, "dead_" + std::to_string(i));
+  }
+  nl.finalize();
+  return nl;
+}
+
+/// True when the two runs have identical detected sets and frames.
+bool detection_identical(const Netlist& nl, const std::vector<Fault>& faults,
+                         const PipelineResult& off,
+                         const PipelineResult& on) {
+  bool ok = off.status.size() == on.status.size();
+  for (std::size_t i = 0; ok && i < off.status.size(); ++i) {
+    if (is_detected(off.status[i]) != is_detected(on.status[i]) ||
+        off.detect_frame[i] != on.detect_frame[i]) {
+      std::fprintf(stderr,
+                   "MISMATCH: %s %s: off=%s@%u on=%s@%u\n", nl.name().c_str(),
+                   fault_name(nl, faults[i]).c_str(),
+                   to_cstring(off.status[i]), off.detect_frame[i],
+                   to_cstring(on.status[i]), on.detect_frame[i]);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  print_preamble("static X-red ablation",
+                 "pipeline with vs without sequence-independent pruning");
+
+  const std::size_t vectors =
+      static_cast<std::size_t>(env_int("MOTSIM_VECTORS", 96));
+  const int reps = full_mode() ? 5 : 3;
+
+  std::vector<std::string> names{"s526"};
+  if (full_mode()) {
+    names.push_back("s1238");
+    names.push_back("s1423");
+  }
+
+  bool all_identical = true;
+  std::printf("%-14s %8s %8s %8s %9s %9s %9s\n", "circuit", "faults",
+              "pruned", "live", "off[s]", "on[s]", "detected");
+  for (const std::string& name : names) {
+    for (const bool dead : {false, true}) {
+      const Netlist nl = dead ? with_dead_logic(name) : make_benchmark(name);
+      const CollapsedFaultList faults(nl);
+      Rng rng(workload_seed());
+      const TestSequence seq = random_sequence(nl, vectors, rng);
+
+      const Measurement off =
+          measure(nl, faults.faults(), seq, false, reps);
+      const Measurement on = measure(nl, faults.faults(), seq, true, reps);
+
+      const std::size_t pruned = on.result.static_x_redundant;
+      const std::size_t live = faults.size() - pruned;
+      std::printf("%-14s %8zu %8zu %8zu %9.3f %9.3f %9zu\n",
+                  nl.name().c_str(), faults.size(), pruned, live, off.seconds,
+                  on.seconds, on.result.summary().detected_total());
+
+      if (!detection_identical(nl, faults.faults(), off.result, on.result)) {
+        all_identical = false;
+      }
+      if (off.result.summary().detected_total() !=
+          on.result.summary().detected_total()) {
+        all_identical = false;
+      }
+    }
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAILURE: static pruning changed a detection result.\n");
+    return 1;
+  }
+  std::printf("\ndetected-fault sets are identical with and without static "
+              "pruning on every circuit.\n");
+  return 0;
+}

@@ -1,0 +1,357 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "faults/report.h"
+
+namespace motsim {
+
+const char* to_cstring(Severity s) noexcept {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "?";
+}
+
+void DiagnosticReport::add(const Netlist& netlist, std::string id,
+                           Severity severity, NodeIndex node,
+                           std::string message) {
+  Diagnostic d;
+  d.id = std::move(id);
+  d.severity = severity;
+  d.node = node;
+  if (node != kNoNode && node < netlist.node_count()) {
+    d.name = netlist.gate(node).name;
+  }
+  d.message = std::move(message);
+  diagnostics_.push_back(std::move(d));
+}
+
+void DiagnosticReport::add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+std::size_t DiagnosticReport::count(Severity s) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+bool DiagnosticReport::has(std::string_view id) const noexcept {
+  return std::any_of(diagnostics_.begin(), diagnostics_.end(),
+                     [id](const Diagnostic& d) { return d.id == id; });
+}
+
+std::vector<NodeIndex> DiagnosticReport::nodes_with(std::string_view id) const {
+  std::vector<NodeIndex> out;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.id == id) out.push_back(d.node);
+  }
+  return out;
+}
+
+int DiagnosticReport::exit_code() const noexcept {
+  if (count(Severity::Error) != 0) return 2;
+  if (count(Severity::Warning) != 0) return 1;
+  return 0;
+}
+
+std::string DiagnosticReport::to_text() const {
+  std::ostringstream os;
+  os << circuit_ << ":\n";
+  for (const Diagnostic& d : diagnostics_) {
+    os << "  " << to_cstring(d.severity) << "[" << d.id << "]";
+    if (!d.name.empty()) os << " " << d.name;
+    os << ": " << d.message << "\n";
+  }
+  os << "  " << count(Severity::Error) << " error(s), "
+     << count(Severity::Warning) << " warning(s), " << count(Severity::Note)
+     << " note(s)\n";
+  return os.str();
+}
+
+std::string DiagnosticReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"circuit\": \"" << json_escape(circuit_) << "\",\n";
+  os << "  \"counts\": {\"errors\": " << count(Severity::Error)
+     << ", \"warnings\": " << count(Severity::Warning)
+     << ", \"notes\": " << count(Severity::Note) << "},\n";
+  os << "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"id\": \"" << json_escape(d.id) << "\", \"severity\": \""
+       << to_cstring(d.severity) << "\", \"node\": ";
+    if (d.node == kNoNode) {
+      os << -1;
+    } else {
+      os << d.node;
+    }
+    os << ", \"name\": \"" << json_escape(d.name) << "\", \"message\": \""
+       << json_escape(d.message) << "\"}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+namespace {
+
+/// Hand-rolled recursive-descent parser for the subset of JSON that
+/// to_json() emits (objects, arrays, strings with json_escape's escape
+/// set, integers). Kept private to the renderer it inverts.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (!eat('"')) return fail("expected '\"'");
+    out.clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          if (code > 0x7F) return fail("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_int(long long& out) {
+    skip_ws();
+    bool neg = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      neg = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() ||
+        std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+      return fail("expected integer");
+    }
+    long long v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      v = v * 10 + (text_[pos_++] - '0');
+    }
+    out = neg ? -v : v;
+    return true;
+  }
+
+  /// Skips one value of any supported kind (for unknown keys).
+  bool skip_value() {
+    skip_ws();
+    if (peek('"')) {
+      std::string s;
+      return parse_string(s);
+    }
+    if (eat('{')) {
+      if (eat('}')) return true;
+      do {
+        std::string key;
+        if (!parse_string(key)) return false;
+        if (!eat(':')) return fail("expected ':'");
+        if (!skip_value()) return false;
+      } while (eat(','));
+      return eat('}') || fail("expected '}'");
+    }
+    if (eat('[')) {
+      if (eat(']')) return true;
+      do {
+        if (!skip_value()) return false;
+      } while (eat(','));
+      return eat(']') || fail("expected ']'");
+    }
+    long long n = 0;
+    return parse_int(n);
+  }
+
+  bool fail(const char* what) {
+    if (error_.empty()) {
+      error_ = "DiagnosticReport::from_json: ";
+      error_ += what;
+      error_ += " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool parse_severity(const std::string& s, Severity& out) {
+  if (s == "note") {
+    out = Severity::Note;
+  } else if (s == "warning") {
+    out = Severity::Warning;
+  } else if (s == "error") {
+    out = Severity::Error;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_diagnostic(JsonCursor& cur, Diagnostic& d) {
+  if (!cur.eat('{')) return cur.fail("expected '{'");
+  if (cur.eat('}')) return true;
+  do {
+    std::string key;
+    if (!cur.parse_string(key)) return false;
+    if (!cur.eat(':')) return cur.fail("expected ':'");
+    if (key == "id") {
+      if (!cur.parse_string(d.id)) return false;
+    } else if (key == "severity") {
+      std::string sev;
+      if (!cur.parse_string(sev)) return false;
+      if (!parse_severity(sev, d.severity)) {
+        return cur.fail("unknown severity");
+      }
+    } else if (key == "node") {
+      long long n = 0;
+      if (!cur.parse_int(n)) return false;
+      d.node = n < 0 ? kNoNode : static_cast<NodeIndex>(n);
+    } else if (key == "name") {
+      if (!cur.parse_string(d.name)) return false;
+    } else if (key == "message") {
+      if (!cur.parse_string(d.message)) return false;
+    } else {
+      if (!cur.skip_value()) return false;
+    }
+  } while (cur.eat(','));
+  if (!cur.eat('}')) return cur.fail("expected '}'");
+  return true;
+}
+
+}  // namespace
+
+Expected<DiagnosticReport, std::string> DiagnosticReport::from_json(
+    const std::string& text) {
+  JsonCursor cur(text);
+  DiagnosticReport report;
+  std::string circuit;
+  std::vector<Diagnostic> diagnostics;
+  if (!cur.eat('{')) {
+    cur.fail("expected '{'");
+    return make_unexpected(cur.error());
+  }
+  if (!cur.eat('}')) {
+    do {
+      std::string key;
+      if (!cur.parse_string(key)) return make_unexpected(cur.error());
+      if (!cur.eat(':')) {
+        cur.fail("expected ':'");
+        return make_unexpected(cur.error());
+      }
+      if (key == "circuit") {
+        if (!cur.parse_string(circuit)) return make_unexpected(cur.error());
+      } else if (key == "diagnostics") {
+        if (!cur.eat('[')) {
+          cur.fail("expected '['");
+          return make_unexpected(cur.error());
+        }
+        if (!cur.eat(']')) {
+          do {
+            Diagnostic d;
+            if (!parse_diagnostic(cur, d)) return make_unexpected(cur.error());
+            diagnostics.push_back(std::move(d));
+          } while (cur.eat(','));
+          if (!cur.eat(']')) {
+            cur.fail("expected ']'");
+            return make_unexpected(cur.error());
+          }
+        }
+      } else {
+        // "counts" and any future keys are derived data: skip.
+        if (!cur.skip_value()) return make_unexpected(cur.error());
+      }
+    } while (cur.eat(','));
+    if (!cur.eat('}')) {
+      cur.fail("expected '}'");
+      return make_unexpected(cur.error());
+    }
+  }
+  report.circuit_ = std::move(circuit);
+  report.diagnostics_ = std::move(diagnostics);
+  return report;
+}
+
+}  // namespace motsim

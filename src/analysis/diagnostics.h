@@ -1,0 +1,111 @@
+#ifndef MOTSIM_ANALYSIS_DIAGNOSTICS_H
+#define MOTSIM_ANALYSIS_DIAGNOSTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "util/expected.h"
+
+namespace motsim {
+
+/// Severity of a static-analysis finding. Notes are informational
+/// facts (e.g. static X-redundancy annotations), warnings mark
+/// suspicious-but-simulatable structure, errors mark structure no
+/// simulator can run (combinational cycles, undriven pins).
+enum class Severity : std::uint8_t {
+  Note,
+  Warning,
+  Error,
+};
+
+/// Printable mnemonic ("note", "warning", "error").
+[[nodiscard]] const char* to_cstring(Severity s) noexcept;
+
+/// One static-analysis finding.
+///
+/// `id` is a stable dotted identifier from the catalog in
+/// docs/ANALYSIS.md (e.g. "lint.dangling-net") — scripts filter on it,
+/// never on the free-form `message`. `node` anchors the finding
+/// (kNoNode for circuit-level findings); `name` is the anchored node's
+/// name, captured eagerly so a Diagnostic outlives its Netlist.
+struct Diagnostic {
+  std::string id;
+  Severity severity = Severity::Warning;
+  NodeIndex node = kNoNode;
+  std::string name;
+  std::string message;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Ordered collector of one analysis run's findings over one circuit,
+/// with text and JSON renderers. Passes append through add(); the CLI
+/// maps worst_severity() to its exit code (0 clean — notes allowed —
+/// 1 warnings, 2 errors).
+class DiagnosticReport {
+ public:
+  DiagnosticReport() = default;
+  explicit DiagnosticReport(std::string circuit)
+      : circuit_(std::move(circuit)) {}
+
+  /// Appends a finding; the node name is looked up in `netlist`
+  /// (pass kNoNode for circuit-level findings).
+  void add(const Netlist& netlist, std::string id, Severity severity,
+           NodeIndex node, std::string message);
+
+  /// Appends a fully spelled-out finding (used by from_json and tests).
+  void add(Diagnostic diagnostic);
+
+  [[nodiscard]] const std::string& circuit() const noexcept {
+    return circuit_;
+  }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+  /// True when no finding of any severity was recorded.
+  [[nodiscard]] bool clean() const noexcept { return diagnostics_.empty(); }
+
+  [[nodiscard]] std::size_t count(Severity s) const noexcept;
+
+  /// True if any finding carries the given id.
+  [[nodiscard]] bool has(std::string_view id) const noexcept;
+
+  /// Nodes of every finding with the given id, in report order.
+  [[nodiscard]] std::vector<NodeIndex> nodes_with(std::string_view id) const;
+
+  /// Severity-based process exit code: 2 if any error, 1 if any
+  /// warning (and no error), 0 otherwise — notes never fail a run.
+  [[nodiscard]] int exit_code() const noexcept;
+
+  /// One "severity[id] name: message" line per finding plus a summary
+  /// line, prefixed with the circuit name.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Multi-line JSON document:
+  ///   {"circuit": ..., "counts": {"errors": n, "warnings": n,
+  ///    "notes": n}, "diagnostics": [{"id": ..., "severity": ...,
+  ///    "node": ..., "name": ..., "message": ...}, ...]}
+  [[nodiscard]] std::string to_json() const;
+
+  /// Inverse of to_json(): parses a rendered report back (unknown keys
+  /// are ignored, key order is free). to_json() -> from_json() is the
+  /// identity; see test_analysis.cpp.
+  [[nodiscard]] static Expected<DiagnosticReport, std::string> from_json(
+      const std::string& text);
+
+  friend bool operator==(const DiagnosticReport&,
+                         const DiagnosticReport&) = default;
+
+ private:
+  std::string circuit_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_ANALYSIS_DIAGNOSTICS_H

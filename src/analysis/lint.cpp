@@ -1,0 +1,194 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/static_xred.h"
+
+namespace motsim {
+
+namespace {
+
+bool is_logic_gate(GateType t) noexcept {
+  return !is_frame_input(t);
+}
+
+/// Extracts one concrete combinational cycle, given the set of nodes
+/// Kahn's algorithm could not order. Every such node has at least one
+/// combinational fanin that is also unordered, so walking unordered
+/// fanins must revisit a node; the segment between the two visits is a
+/// cycle.
+std::vector<NodeIndex> extract_cycle(const Netlist& nl, NodeIndex start,
+                                     const std::vector<std::uint8_t>& ordered) {
+  std::vector<NodeIndex> path;
+  std::vector<std::uint32_t> visited_at(nl.node_count(), kNoNode);
+  NodeIndex cur = start;
+  while (visited_at[cur] == kNoNode) {
+    visited_at[cur] = static_cast<std::uint32_t>(path.size());
+    path.push_back(cur);
+    NodeIndex next = kNoNode;
+    for (NodeIndex f : nl.gate(cur).fanins) {
+      if (f != kNoNode && ordered[f] == 0 && !is_frame_input(nl.type(f))) {
+        next = f;
+        break;
+      }
+    }
+    if (next == kNoNode) return {};  // cannot happen on a true cycle set
+    cur = next;
+  }
+  path.erase(path.begin(), path.begin() + visited_at[cur]);
+  std::reverse(path.begin(), path.end());  // fanin walk goes against edges
+  return path;
+}
+
+}  // namespace
+
+DiagnosticReport run_lint(const Netlist& nl) {
+  DiagnosticReport report(nl.name());
+  const std::size_t count = nl.node_count();
+
+  // ---- undriven pins (errors) ---------------------------------------
+  for (NodeIndex n = 0; n < count; ++n) {
+    if (!is_logic_gate(nl.type(n)) && nl.type(n) != GateType::Dff) continue;
+    const auto& fanins = nl.gate(n).fanins;
+    if (fanins.empty()) {
+      report.add(nl, "lint.undriven-pin", Severity::Error, n,
+                 std::string(to_cstring(nl.type(n))) + " gate has no fanins");
+      continue;
+    }
+    for (std::size_t pin = 0; pin < fanins.size(); ++pin) {
+      if (fanins[pin] == kNoNode) {
+        report.add(nl, "lint.undriven-pin", Severity::Error, n,
+                   "input pin " + std::to_string(pin) + " is undriven");
+      }
+    }
+  }
+
+  // ---- combinational cycles (error), via local Kahn ordering --------
+  // indegree counts combinational dependencies only: DFFs consume
+  // their D through a frame boundary and never contribute an edge.
+  std::vector<std::uint32_t> indegree(count, 0);
+  for (NodeIndex n = 0; n < count; ++n) {
+    if (!is_logic_gate(nl.type(n))) continue;
+    for (NodeIndex f : nl.gate(n).fanins) {
+      if (f != kNoNode) ++indegree[n];
+    }
+  }
+  // Local fanout view (finalize() may not have run).
+  std::vector<std::vector<NodeIndex>> sinks(count);
+  for (NodeIndex n = 0; n < count; ++n) {
+    for (NodeIndex f : nl.gate(n).fanins) {
+      if (f != kNoNode) sinks[f].push_back(n);
+    }
+  }
+  std::vector<NodeIndex> topo;
+  topo.reserve(count);
+  std::vector<std::uint8_t> ordered(count, 0);
+  for (NodeIndex n = 0; n < count; ++n) {
+    if (indegree[n] == 0) {
+      topo.push_back(n);
+      ordered[n] = 1;
+    }
+  }
+  for (std::size_t head = 0; head < topo.size(); ++head) {
+    for (NodeIndex s : sinks[topo[head]]) {
+      if (is_logic_gate(nl.type(s)) && --indegree[s] == 0) {
+        topo.push_back(s);
+        ordered[s] = 1;
+      }
+    }
+  }
+  if (topo.size() < count) {
+    NodeIndex witness = kNoNode;
+    for (NodeIndex n = 0; n < count; ++n) {
+      if (ordered[n] == 0) {
+        witness = n;
+        break;
+      }
+    }
+    const std::vector<NodeIndex> cycle = extract_cycle(nl, witness, ordered);
+    std::string names;
+    for (NodeIndex n : cycle) {
+      if (!names.empty()) names += " -> ";
+      names += nl.gate(n).name;
+    }
+    report.add(nl, "lint.comb-cycle", Severity::Error,
+               cycle.empty() ? witness : cycle.front(),
+               "combinational cycle: " + names);
+  }
+
+  // ---- floating inputs and dangling nets (warnings) -----------------
+  for (NodeIndex n = 0; n < count; ++n) {
+    if (!sinks[n].empty() || nl.is_output(n)) continue;
+    if (nl.type(n) == GateType::Input) {
+      report.add(nl, "lint.floating-input", Severity::Warning, n,
+                 "primary input drives nothing");
+    } else {
+      report.add(nl, "lint.dangling-net", Severity::Warning, n,
+                 "net has no sink and is not an output");
+    }
+  }
+
+  // ---- unobservable cones (warnings) --------------------------------
+  // Backward reachability from {POs} ∪ {DFFs}, same seeds as
+  // StaticXRedAnalysis (a value is observed at an output or via the
+  // state it leaves in a flip-flop).
+  std::vector<std::uint8_t> observable(count, 0);
+  std::vector<NodeIndex> stack;
+  auto seed = [&](NodeIndex n) {
+    if (observable[n] == 0) {
+      observable[n] = 1;
+      stack.push_back(n);
+    }
+  };
+  for (NodeIndex n : nl.outputs()) seed(n);
+  for (NodeIndex n : nl.dffs()) seed(n);
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    for (NodeIndex f : nl.gate(n).fanins) {
+      if (f != kNoNode) seed(f);
+    }
+  }
+  for (NodeIndex n = 0; n < count; ++n) {
+    if (observable[n] == 0) {
+      report.add(nl, "lint.unobservable", Severity::Warning, n,
+                 "no output or flip-flop is reachable from this node");
+    }
+  }
+
+  // ---- constant-propagating gates (warnings) ------------------------
+  const std::vector<ConstVal> consts = structural_constants(nl, topo);
+  for (NodeIndex n = 0; n < count; ++n) {
+    if (!is_logic_gate(nl.type(n)) || consts[n] == ConstVal::Unknown) {
+      continue;
+    }
+    report.add(nl, "lint.const-gate", Severity::Warning, n,
+               std::string("gate output is structurally constant ") +
+                   (consts[n] == ConstVal::One ? "1" : "0"));
+  }
+
+  // ---- duplicate fanins (warnings) ----------------------------------
+  for (NodeIndex n = 0; n < count; ++n) {
+    const auto& fanins = nl.gate(n).fanins;
+    std::unordered_set<NodeIndex> fanin_set;
+    for (NodeIndex f : fanins) {
+      if (f == kNoNode) continue;
+      if (!fanin_set.insert(f).second) {
+        const bool parity =
+            nl.type(n) == GateType::Xor || nl.type(n) == GateType::Xnor;
+        report.add(nl, "lint.duplicate-fanin", Severity::Warning, n,
+                   parity ? "same net feeds two pins of a parity gate "
+                            "(output constant for binary inputs)"
+                          : "same net feeds two pins");
+        break;
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace motsim

@@ -1,0 +1,32 @@
+#ifndef MOTSIM_ANALYSIS_LINT_H
+#define MOTSIM_ANALYSIS_LINT_H
+
+#include "analysis/diagnostics.h"
+#include "circuit/netlist.h"
+
+namespace motsim {
+
+/// Structural lint over a netlist, finalized or not (it builds its own
+/// fanout and ordering views, so it can diagnose exactly the circuits
+/// finalize() rejects). Emitted diagnostic ids — catalog and rationale
+/// in docs/ANALYSIS.md:
+///
+///   lint.comb-cycle       error    combinational feedback loop
+///   lint.undriven-pin     error    gate input left unset (kNoNode or
+///                                  missing fanins entirely)
+///   lint.floating-input   warning  primary input that drives nothing
+///   lint.dangling-net     warning  non-input net with no sink that is
+///                                  not a primary output (dead logic)
+///   lint.unobservable     warning  node from which no output and no
+///                                  flip-flop is reachable
+///   lint.const-gate       warning  logic gate whose output is forced
+///                                  constant by its fanins
+///   lint.duplicate-fanin  warning  gate fed twice by the same net
+///
+/// A clean report (no findings at all) is the expectation for every
+/// registry circuit; see tests/test_analysis.cpp.
+[[nodiscard]] DiagnosticReport run_lint(const Netlist& netlist);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_ANALYSIS_LINT_H

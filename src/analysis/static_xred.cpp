@@ -1,0 +1,173 @@
+#include "analysis/static_xred.h"
+
+#include <stdexcept>
+
+namespace motsim {
+
+namespace {
+
+/// Negation on the constant lattice (Unknown maps to itself).
+ConstVal const_not(ConstVal v) noexcept {
+  switch (v) {
+    case ConstVal::Zero:
+      return ConstVal::One;
+    case ConstVal::One:
+      return ConstVal::Zero;
+    case ConstVal::Unknown:
+      break;
+  }
+  return ConstVal::Unknown;
+}
+
+ConstVal eval_const_gate(const Netlist& nl, NodeIndex n,
+                         const std::vector<ConstVal>& val) {
+  const Gate& g = nl.gate(n);
+  switch (g.type) {
+    case GateType::Const0:
+      return ConstVal::Zero;
+    case GateType::Const1:
+      return ConstVal::One;
+    case GateType::Input:
+    case GateType::Dff:
+      return ConstVal::Unknown;
+    default:
+      break;
+  }
+  if (g.fanins.empty()) return ConstVal::Unknown;
+
+  const bool invert = g.type == GateType::Nand || g.type == GateType::Nor ||
+                      g.type == GateType::Not || g.type == GateType::Xnor;
+  ConstVal out = ConstVal::Unknown;
+  switch (g.type) {
+    case GateType::Buf:
+    case GateType::Not:
+      out = g.fanins[0] == kNoNode ? ConstVal::Unknown : val[g.fanins[0]];
+      break;
+    case GateType::And:
+    case GateType::Nand: {
+      bool all_one = true;
+      for (NodeIndex f : g.fanins) {
+        const ConstVal v = f == kNoNode ? ConstVal::Unknown : val[f];
+        if (v == ConstVal::Zero) return invert ? ConstVal::One : ConstVal::Zero;
+        if (v != ConstVal::One) all_one = false;
+      }
+      out = all_one ? ConstVal::One : ConstVal::Unknown;
+      break;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      bool all_zero = true;
+      for (NodeIndex f : g.fanins) {
+        const ConstVal v = f == kNoNode ? ConstVal::Unknown : val[f];
+        if (v == ConstVal::One) return invert ? ConstVal::Zero : ConstVal::One;
+        if (v != ConstVal::Zero) all_zero = false;
+      }
+      out = all_zero ? ConstVal::Zero : ConstVal::Unknown;
+      break;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      // Parity is constant only when every operand is constant.
+      bool parity = false;
+      for (NodeIndex f : g.fanins) {
+        const ConstVal v = f == kNoNode ? ConstVal::Unknown : val[f];
+        if (v == ConstVal::Unknown) return ConstVal::Unknown;
+        parity ^= (v == ConstVal::One);
+      }
+      out = parity ? ConstVal::One : ConstVal::Zero;
+      break;
+    }
+    default:
+      break;
+  }
+  return invert ? const_not(out) : out;
+}
+
+}  // namespace
+
+std::vector<ConstVal> structural_constants(const Netlist& netlist,
+                                           const std::vector<NodeIndex>& topo) {
+  std::vector<ConstVal> val(netlist.node_count(), ConstVal::Unknown);
+  for (NodeIndex n : topo) {
+    val[n] = eval_const_gate(netlist, n, val);
+  }
+  return val;
+}
+
+std::vector<ConstVal> structural_constants(const Netlist& netlist) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("structural_constants requires a finalized netlist");
+  }
+  return structural_constants(netlist, netlist.topo_order());
+}
+
+StaticXRedAnalysis::StaticXRedAnalysis(const Netlist& netlist)
+    : netlist_(netlist) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("StaticXRedAnalysis requires a finalized netlist");
+  }
+  // Backward reachability from the frame outputs {POs} ∪ {DFFs}: a
+  // fault effect on an unreached node can never arrive at an
+  // observation point, in this frame or any later one. Seeding the
+  // flip-flop node (rather than only its D fanin) mirrors ID_X-red's
+  // treatment of D-pins as secondary outputs.
+  observable_.assign(netlist.node_count(), 0);
+  std::vector<NodeIndex> stack;
+  auto seed = [&](NodeIndex n) {
+    if (observable_[n] == 0) {
+      observable_[n] = 1;
+      stack.push_back(n);
+    }
+  };
+  for (NodeIndex n : netlist.outputs()) seed(n);
+  for (NodeIndex n : netlist.dffs()) seed(n);
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    for (NodeIndex f : netlist.gate(n).fanins) seed(f);
+  }
+
+  const_of_ = structural_constants(netlist);
+}
+
+bool StaticXRedAnalysis::is_static_x_redundant(const Fault& fault) const {
+  const NodeIndex n = fault.site.node;
+  const ConstVal stuck =
+      fault.stuck_value ? ConstVal::One : ConstVal::Zero;
+  if (fault.site.is_stem()) {
+    // Rule 1: nothing downstream of the stem reaches an observation
+    // point. Rule 2: the net's fault-free value is the stuck value in
+    // every frame, so the fault is never activated.
+    return observable_[n] == 0 || const_of_[n] == stuck;
+  }
+  // Branch fault on pin `pin` of gate n: the effect exists only inside
+  // gate n, so n's observability gates rule 1; the fault-free value of
+  // the branch is the driver's value, so the driver's constant gates
+  // rule 2.
+  if (observable_[n] == 0) return true;
+  const auto& fanins = netlist_.gate(n).fanins;
+  if (fault.site.pin >= fanins.size()) return false;
+  const NodeIndex driver = fanins[fault.site.pin];
+  return driver != kNoNode && const_of_[driver] == stuck;
+}
+
+std::vector<FaultStatus> StaticXRedAnalysis::classify(
+    const std::vector<Fault>& faults) const {
+  std::vector<FaultStatus> status(faults.size(), FaultStatus::Undetected);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (is_static_x_redundant(faults[i])) {
+      status[i] = FaultStatus::StaticXRed;
+    }
+  }
+  return status;
+}
+
+std::size_t StaticXRedAnalysis::count(const std::vector<Fault>& faults) const {
+  std::size_t n = 0;
+  for (const Fault& f : faults) {
+    if (is_static_x_redundant(f)) ++n;
+  }
+  return n;
+}
+
+}  // namespace motsim

@@ -1,0 +1,85 @@
+#ifndef MOTSIM_ANALYSIS_STATIC_XRED_H
+#define MOTSIM_ANALYSIS_STATIC_XRED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "faults/fault.h"
+
+namespace motsim {
+
+/// Structurally derived constant value of a net (three-point lattice;
+/// Unknown is the top element, not a logic X).
+enum class ConstVal : std::uint8_t {
+  Unknown,
+  Zero,
+  One,
+};
+
+/// Combinational structural constant propagation over an explicit
+/// topological order (any order where every non-flip-flop gate appears
+/// after its fanins; nodes absent from `topo` stay Unknown). Const0 and
+/// Const1 sources seed the lattice; primary inputs and flip-flop
+/// outputs are Unknown — a flip-flop's initial state is unknown, so
+/// nothing sequential is ever assumed constant. Because every derived
+/// constant rests on binary premises only (controlling values and
+/// fully-binary operand sets), a net marked Zero/One here carries that
+/// exact binary value in *every* frame of *any* three-valued or
+/// symbolic simulation.
+[[nodiscard]] std::vector<ConstVal> structural_constants(
+    const Netlist& netlist, const std::vector<NodeIndex>& topo);
+
+/// Convenience overload using the finalized netlist's own topo order.
+[[nodiscard]] std::vector<ConstVal> structural_constants(
+    const Netlist& netlist);
+
+/// Sequence-independent over-approximation of the paper's ID_X-red
+/// pass: classifies a stuck-at fault as statically X-redundant when no
+/// test sequence whatsoever can detect it under the multiple
+/// observation time strategy. Two purely structural rules are used:
+///
+///  1. unobservable site — no primary output and no flip-flop is
+///     reachable from the fault site, so a fault effect can never
+///     propagate to an observation point (in any frame);
+///  2. constant site — the fault-free value of the site equals the
+///     stuck value in every frame (structural_constants), so the fault
+///     is never activated.
+///
+/// Both rules are sound w.r.t. the per-sequence ID_X-red verdict: for
+/// every input sequence, a fault flagged here is also flagged by
+/// run_id_x_red (see docs/ANALYSIS.md for the argument). Requires a
+/// finalized netlist.
+class StaticXRedAnalysis {
+ public:
+  explicit StaticXRedAnalysis(const Netlist& netlist);
+
+  /// True if any output or flip-flop is reachable from `node`.
+  [[nodiscard]] bool observable(NodeIndex node) const {
+    return observable_[node] != 0;
+  }
+
+  /// Structural constant of `node`'s output net (Unknown if free).
+  [[nodiscard]] ConstVal constant_of(NodeIndex node) const {
+    return const_of_[node];
+  }
+
+  [[nodiscard]] bool is_static_x_redundant(const Fault& fault) const;
+
+  /// Per-fault verdicts: StaticXRed or Undetected, aligned with
+  /// `faults`.
+  [[nodiscard]] std::vector<FaultStatus> classify(
+      const std::vector<Fault>& faults) const;
+
+  /// Number of faults in `faults` flagged statically X-redundant.
+  [[nodiscard]] std::size_t count(const std::vector<Fault>& faults) const;
+
+ private:
+  const Netlist& netlist_;
+  std::vector<std::uint8_t> observable_;
+  std::vector<ConstVal> const_of_;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_ANALYSIS_STATIC_XRED_H

@@ -1,0 +1,281 @@
+#include "analysis/testability.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "circuit/stats.h"
+
+namespace motsim {
+
+namespace {
+
+struct CcPair {
+  std::uint32_t cc0 = kScoapInf;
+  std::uint32_t cc1 = kScoapInf;
+};
+
+CcPair controllability_of(const Netlist& nl, NodeIndex n,
+                          const std::vector<std::uint32_t>& cc0,
+                          const std::vector<std::uint32_t>& cc1) {
+  const Gate& g = nl.gate(n);
+  CcPair out;
+  switch (g.type) {
+    case GateType::Input:
+      out.cc0 = out.cc1 = 1;
+      return out;
+    case GateType::Const0:
+      out.cc0 = 1;
+      return out;
+    case GateType::Const1:
+      out.cc1 = 1;
+      return out;
+    case GateType::Dff:
+      // One frame of sequential effort per flip-flop crossing.
+      if (!g.fanins.empty()) {
+        out.cc0 = scoap_add(cc0[g.fanins[0]], 1);
+        out.cc1 = scoap_add(cc1[g.fanins[0]], 1);
+      }
+      return out;
+    case GateType::Buf:
+      out.cc0 = scoap_add(cc0[g.fanins[0]], 1);
+      out.cc1 = scoap_add(cc1[g.fanins[0]], 1);
+      return out;
+    case GateType::Not:
+      out.cc0 = scoap_add(cc1[g.fanins[0]], 1);
+      out.cc1 = scoap_add(cc0[g.fanins[0]], 1);
+      return out;
+    case GateType::And:
+    case GateType::Nand: {
+      std::uint32_t all_one = 0;
+      std::uint32_t any_zero = kScoapInf;
+      for (NodeIndex f : g.fanins) {
+        all_one = scoap_add(all_one, cc1[f]);
+        any_zero = std::min(any_zero, cc0[f]);
+      }
+      const std::uint32_t hi = scoap_add(all_one, 1);
+      const std::uint32_t lo = scoap_add(any_zero, 1);
+      out.cc0 = g.type == GateType::And ? lo : hi;
+      out.cc1 = g.type == GateType::And ? hi : lo;
+      return out;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      std::uint32_t all_zero = 0;
+      std::uint32_t any_one = kScoapInf;
+      for (NodeIndex f : g.fanins) {
+        all_zero = scoap_add(all_zero, cc0[f]);
+        any_one = std::min(any_one, cc1[f]);
+      }
+      const std::uint32_t lo = scoap_add(all_zero, 1);
+      const std::uint32_t hi = scoap_add(any_one, 1);
+      out.cc0 = g.type == GateType::Or ? lo : hi;
+      out.cc1 = g.type == GateType::Or ? hi : lo;
+      return out;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      // Cheapest even-/odd-parity operand assignment, by running
+      // minimum over prefixes.
+      std::uint32_t even = 0;
+      std::uint32_t odd = kScoapInf;
+      for (NodeIndex f : g.fanins) {
+        const std::uint32_t e =
+            std::min(scoap_add(even, cc0[f]), scoap_add(odd, cc1[f]));
+        const std::uint32_t o =
+            std::min(scoap_add(odd, cc0[f]), scoap_add(even, cc1[f]));
+        even = e;
+        odd = o;
+      }
+      const std::uint32_t lo = scoap_add(even, 1);
+      const std::uint32_t hi = scoap_add(odd, 1);
+      out.cc0 = g.type == GateType::Xor ? lo : hi;
+      out.cc1 = g.type == GateType::Xor ? hi : lo;
+      return out;
+    }
+  }
+  return out;
+}
+
+/// Observability of one input branch, given the consuming gate's stem
+/// observability and the side-input controllabilities needed to open
+/// the path through it.
+std::uint32_t branch_observability(const Netlist& nl, NodeIndex n,
+                                   std::uint32_t pin,
+                                   const TestabilityScores& ts,
+                                   const SiteTable& sites) {
+  const Gate& g = nl.gate(n);
+  std::uint32_t stem = ts.co[sites.stem_site(n)];
+  std::uint32_t side = 0;
+  switch (g.type) {
+    case GateType::And:
+    case GateType::Nand:
+      for (std::size_t j = 0; j < g.fanins.size(); ++j) {
+        if (j != pin) side = scoap_add(side, ts.cc1[g.fanins[j]]);
+      }
+      break;
+    case GateType::Or:
+    case GateType::Nor:
+      for (std::size_t j = 0; j < g.fanins.size(); ++j) {
+        if (j != pin) side = scoap_add(side, ts.cc0[g.fanins[j]]);
+      }
+      break;
+    case GateType::Xor:
+    case GateType::Xnor:
+      // Any binary side values propagate a parity difference; pay the
+      // cheaper of the two per side input.
+      for (std::size_t j = 0; j < g.fanins.size(); ++j) {
+        if (j != pin) {
+          side = scoap_add(side,
+                           std::min(ts.cc0[g.fanins[j]], ts.cc1[g.fanins[j]]));
+        }
+      }
+      break;
+    default:
+      break;  // Buf, Not, Dff: path is always open
+  }
+  return scoap_add(scoap_add(stem, side), 1);
+}
+
+}  // namespace
+
+TestabilityScores compute_testability(const Netlist& nl,
+                                      const SiteTable& sites) {
+  if (!nl.finalized()) {
+    throw std::logic_error("compute_testability requires a finalized netlist");
+  }
+  const std::size_t count = nl.node_count();
+  TestabilityScores ts;
+  ts.cc0.assign(count, kScoapInf);
+  ts.cc1.assign(count, kScoapInf);
+  ts.co.assign(sites.site_count(), kScoapInf);
+  ts.seq_depth.assign(count, kScoapInf);
+
+  // Any minimum-cost path crosses each flip-flop at most once (scores
+  // strictly increase along a path), so dff_count + 1 monotone sweeps
+  // reach the fixpoint; +1 more verifies stability.
+  const std::size_t max_sweeps = nl.dff_count() + 2;
+
+  // ---- controllability: forward sweeps ------------------------------
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool changed = false;
+    for (NodeIndex n : nl.topo_order()) {
+      const CcPair c = controllability_of(nl, n, ts.cc0, ts.cc1);
+      if (c.cc0 < ts.cc0[n]) {
+        ts.cc0[n] = c.cc0;
+        changed = true;
+      }
+      if (c.cc1 < ts.cc1[n]) {
+        ts.cc1[n] = c.cc1;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // ---- observability and sequential depth: backward sweeps ----------
+  const auto& topo = nl.topo_order();
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool changed = false;
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const NodeIndex n = *it;
+      // Stem: directly at an output, or through the cheapest branch.
+      std::uint32_t stem = nl.is_output(n) ? 0 : kScoapInf;
+      std::uint32_t depth = nl.is_output(n) ? 0 : kScoapInf;
+      for (const FanoutRef& fo : nl.fanouts(n)) {
+        stem = std::min(stem, ts.co[sites.branch_site(fo.node, fo.pin)]);
+        const bool crossing = nl.type(fo.node) == GateType::Dff;
+        depth = std::min(depth, scoap_add(ts.seq_depth[fo.node],
+                                          crossing ? 1 : 0));
+      }
+      if (stem < ts.co[sites.stem_site(n)]) {
+        ts.co[sites.stem_site(n)] = stem;
+        changed = true;
+      }
+      if (depth < ts.seq_depth[n]) {
+        ts.seq_depth[n] = depth;
+        changed = true;
+      }
+      // Branches of this gate's input pins.
+      const std::size_t fanin_count = nl.gate(n).fanins.size();
+      for (std::uint32_t pin = 0; pin < fanin_count; ++pin) {
+        const std::uint32_t co = branch_observability(nl, n, pin, ts, sites);
+        const std::size_t site = sites.branch_site(n, pin);
+        if (co < ts.co[site]) {
+          ts.co[site] = co;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  return ts;
+}
+
+std::uint32_t TestabilityScores::fault_difficulty(const SiteTable& sites,
+                                                  const Netlist& netlist,
+                                                  const Fault& fault) const {
+  // Activation drives the site to the complement of the stuck value.
+  NodeIndex driver = fault.site.node;
+  if (!fault.site.is_stem()) {
+    const auto& fanins = netlist.gate(fault.site.node).fanins;
+    if (fault.site.pin >= fanins.size()) return kScoapInf;
+    driver = fanins[fault.site.pin];
+  }
+  const std::uint32_t activation =
+      fault.stuck_value ? cc0[driver] : cc1[driver];
+  return scoap_add(activation, co[sites.site_of(fault.site)]);
+}
+
+namespace {
+
+struct ScoapAggregates {
+  std::uint32_t max_cc = 0;
+  std::uint32_t max_co = 0;
+  std::uint32_t max_depth = 0;
+  std::size_t blocked_sites = 0;
+};
+
+ScoapAggregates aggregate(const Netlist& nl, const TestabilityScores& ts) {
+  ScoapAggregates a;
+  for (NodeIndex n = 0; n < nl.node_count(); ++n) {
+    if (ts.cc0[n] != kScoapInf) a.max_cc = std::max(a.max_cc, ts.cc0[n]);
+    if (ts.cc1[n] != kScoapInf) a.max_cc = std::max(a.max_cc, ts.cc1[n]);
+    if (ts.seq_depth[n] != kScoapInf) {
+      a.max_depth = std::max(a.max_depth, ts.seq_depth[n]);
+    }
+  }
+  for (std::uint32_t co : ts.co) {
+    if (co == kScoapInf) {
+      ++a.blocked_sites;
+    } else {
+      a.max_co = std::max(a.max_co, co);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+std::string testability_summary(const Netlist& nl,
+                                const TestabilityScores& ts) {
+  const ScoapAggregates a = aggregate(nl, ts);
+  std::ostringstream os;
+  os << "scoap: max CC " << a.max_cc << ", max CO " << a.max_co
+     << ", max seq depth " << a.max_depth << ", blocked sites "
+     << a.blocked_sites;
+  return os.str();
+}
+
+void attach_testability(CircuitStats& stats, const Netlist& nl,
+                        const TestabilityScores& ts) {
+  const ScoapAggregates a = aggregate(nl, ts);
+  stats.has_scoap = true;
+  stats.scoap_max_cc = a.max_cc;
+  stats.scoap_max_co = a.max_co;
+  stats.scoap_max_seq_depth = a.max_depth;
+  stats.scoap_blocked_sites = a.blocked_sites;
+}
+
+}  // namespace motsim

@@ -1,0 +1,83 @@
+#ifndef MOTSIM_ANALYSIS_TESTABILITY_H
+#define MOTSIM_ANALYSIS_TESTABILITY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "faults/fault.h"
+#include "faults/fault_list.h"
+
+namespace motsim {
+
+/// Saturation value for unattainable SCOAP scores (untestable nets).
+inline constexpr std::uint32_t kScoapInf = 0xFFFFFFu;
+
+/// Saturating add on SCOAP scores.
+[[nodiscard]] constexpr std::uint32_t scoap_add(std::uint32_t a,
+                                                std::uint32_t b) noexcept {
+  const std::uint32_t s = a + b;
+  return s >= kScoapInf ? kScoapInf : s;
+}
+
+/// SCOAP-style testability measures (Goldstein's controllability /
+/// observability, collapsed to a single combined measure where a
+/// flip-flop crossing costs one like a gate does). All scores saturate
+/// at kScoapInf; a saturated score means the value can never be
+/// *guaranteed* from the unknown power-up state. That covers the
+/// purely structural cases (observing a dead cone, setting a constant
+/// net) and the sequential ones: a feedback loop whose only entry is
+/// a flip-flop's power-up value — e.g. s27's G13=0 needs G12=1 needs
+/// G7=0 needs G13=0 one frame earlier — scores kScoapInf because no
+/// input sequence can establish it in three-valued logic, even though
+/// a lucky power-up state produces it.
+struct TestabilityScores {
+  /// Cost of driving each node's net to 0 / 1 (indexed by NodeIndex).
+  std::vector<std::uint32_t> cc0;
+  std::vector<std::uint32_t> cc1;
+  /// Cost of propagating each fault site's value to a primary output
+  /// (indexed by SiteTable site index; stems first, then branches).
+  std::vector<std::uint32_t> co;
+  /// Minimum number of flip-flops on any path from the node to a
+  /// primary output — the number of extra frames needed before the
+  /// node's value can be observed (kScoapInf if none).
+  std::vector<std::uint32_t> seq_depth;
+
+  /// Combined detection difficulty of one stuck-at fault: cost of
+  /// controlling the site to the activation value plus cost of
+  /// observing the site. kScoapInf is a *sound* untestability verdict
+  /// for three-valued simulation: an X01-detected fault yields a
+  /// finite score derivation (activation value and every side input
+  /// along the sensitized path were established from all-X, and
+  /// establishment implies finite controllability by induction over
+  /// frames), so an infinite-score fault is detectable — if at all —
+  /// only by the symbolic MOT strategies. tests/test_analysis.cpp
+  /// enforces this against FaultSim3.
+  [[nodiscard]] std::uint32_t fault_difficulty(const SiteTable& sites,
+                                               const Netlist& netlist,
+                                               const Fault& fault) const;
+};
+
+/// Computes all scores by forward (controllability) and backward
+/// (observability, sequential depth) fixpoint iteration over the
+/// levelized graph; flip-flop feedback makes both lattices iterate to
+/// convergence. Requires a finalized netlist.
+[[nodiscard]] TestabilityScores compute_testability(const Netlist& netlist,
+                                                    const SiteTable& sites);
+
+/// Compact per-circuit summary ("scoap: max CC …, max CO …, …") used
+/// by the lint CLI.
+[[nodiscard]] std::string testability_summary(const Netlist& netlist,
+                                              const TestabilityScores& scores);
+
+struct CircuitStats;  // circuit/stats.h
+
+/// Fills the scoap_* fields of a CircuitStats from computed scores
+/// (sets has_scoap).
+void attach_testability(CircuitStats& stats, const Netlist& netlist,
+                        const TestabilityScores& scores);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_ANALYSIS_TESTABILITY_H

@@ -383,7 +383,11 @@ Netlist build_random_logic(const SynthSpec& spec) {
   for (NodeIndex f : ff) {
     if (rng.chance(0.5)) {
       const NodeIndex gate_in = b.pis()[rng.below(b.pis().size())];
-      b.set_dff(f, b.g_and(take(), gate_in));
+      NodeIndex d = take();
+      // take() may hand back gate_in itself; invert it so the AND
+      // never sees the same net on both pins.
+      if (d == gate_in) d = b.g_not(d);
+      b.set_dff(f, b.g_and(d, gate_in));
     } else {
       b.set_dff(f, take());
     }

@@ -30,6 +30,15 @@ struct CircuitStats {
   /// Total fault sites (stems + branches) before collapsing.
   std::size_t fault_sites = 0;
 
+  /// SCOAP testability summary (filled by attach_testability in
+  /// analysis/testability.h; of() leaves it absent so circuit/ stays
+  /// independent of the analysis passes).
+  bool has_scoap = false;
+  std::uint32_t scoap_max_cc = 0;       ///< worst finite controllability
+  std::uint32_t scoap_max_co = 0;       ///< worst finite observability
+  std::uint32_t scoap_max_seq_depth = 0;
+  std::size_t scoap_blocked_sites = 0;  ///< sites with CO = infinity
+
   [[nodiscard]] static CircuitStats of(const Netlist& netlist);
 
   /// Multi-line human-readable report.

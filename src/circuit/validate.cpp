@@ -1,64 +1,23 @@
 #include "circuit/validate.h"
 
-#include <algorithm>
-#include <stdexcept>
-#include <unordered_set>
+#include "analysis/lint.h"
 
 namespace motsim {
 
 ValidationReport validate(const Netlist& nl) {
-  if (!nl.finalized()) {
-    throw std::logic_error("validate requires a finalized netlist");
-  }
+  const DiagnosticReport lint = run_lint(nl);
   ValidationReport report;
-
-  // Dangling nets: no sink and not a primary output.
-  for (NodeIndex n = 0; n < nl.node_count(); ++n) {
-    if (nl.fanouts(n).empty() && !nl.is_output(n)) {
-      report.dangling_nets.push_back(n);
-      report.messages.push_back("dangling net: " + nl.gate(n).name);
+  for (const Diagnostic& d : lint.diagnostics()) {
+    if (d.id == "lint.dangling-net" || d.id == "lint.floating-input") {
+      report.dangling_nets.push_back(d.node);
+    } else if (d.id == "lint.unobservable") {
+      report.unobservable_nodes.push_back(d.node);
+    } else if (d.id == "lint.duplicate-fanin") {
+      report.duplicate_fanin_gates.push_back(d.node);
     }
+    report.messages.push_back(d.id + ": " + d.name +
+                              (d.message.empty() ? "" : " — " + d.message));
   }
-
-  // Observability: backward reachability from POs and DFF D-pins.
-  // (A value can be observed either directly at an output or via the
-  // state it leaves in a flip-flop.)
-  std::vector<std::uint8_t> observable(nl.node_count(), 0);
-  std::vector<NodeIndex> stack;
-  auto seed = [&](NodeIndex n) {
-    if (!observable[n]) {
-      observable[n] = 1;
-      stack.push_back(n);
-    }
-  };
-  for (NodeIndex n : nl.outputs()) seed(n);
-  for (NodeIndex n : nl.dffs()) seed(n);
-  while (!stack.empty()) {
-    const NodeIndex n = stack.back();
-    stack.pop_back();
-    for (NodeIndex f : nl.gate(n).fanins) seed(f);
-  }
-  for (NodeIndex n = 0; n < nl.node_count(); ++n) {
-    if (!observable[n]) {
-      report.unobservable_nodes.push_back(n);
-      report.messages.push_back("unobservable node: " + nl.gate(n).name);
-    }
-  }
-
-  // Duplicate fanins.
-  for (NodeIndex n = 0; n < nl.node_count(); ++n) {
-    const auto& fanins = nl.gate(n).fanins;
-    std::unordered_set<NodeIndex> seen;
-    for (NodeIndex f : fanins) {
-      if (!seen.insert(f).second) {
-        report.duplicate_fanin_gates.push_back(n);
-        report.messages.push_back("duplicate fanin at gate: " +
-                                  nl.gate(n).name);
-        break;
-      }
-    }
-  }
-
   return report;
 }
 

@@ -8,24 +8,38 @@
 
 namespace motsim {
 
-/// Results of the structural lint pass.
+/// Compatibility shim over the diagnostics framework in src/analysis/.
+///
+/// This used to be the structural lint pass; run_lint (analysis/lint.h)
+/// absorbed and generalized it. The struct remains for the synthetic
+/// circuit generator's self-check and older tests — new code should
+/// call run_lint and consume DiagnosticReport directly.
 struct ValidationReport {
-  /// Nets with no sink that are not primary outputs (dead logic).
+  /// Nets with no sink that are not primary outputs (dead logic;
+  /// lint.dangling-net and lint.floating-input findings).
   std::vector<NodeIndex> dangling_nets;
-  /// Nodes from which no primary output or flip-flop is reachable.
+  /// Nodes from which no primary output or flip-flop is reachable
+  /// (lint.unobservable findings).
   std::vector<NodeIndex> unobservable_nodes;
-  /// Gates fed twice by the same net (legal but usually a generator
-  /// bug; constant-producing for XOR/XNOR).
+  /// Gates fed twice by the same net (lint.duplicate-fanin findings;
+  /// legal but usually a generator bug, constant-producing for
+  /// XOR/XNOR).
   std::vector<NodeIndex> duplicate_fanin_gates;
   /// Human-readable one-line summaries of all findings.
   std::vector<std::string> messages;
 
-  [[nodiscard]] bool clean() const noexcept { return messages.empty(); }
+  /// True when every finding vector is empty. (Derived from the
+  /// vectors, not from `messages`, so callers that filter or clear the
+  /// messages keep a truthful verdict.)
+  [[nodiscard]] bool clean() const noexcept {
+    return dangling_nets.empty() && unobservable_nodes.empty() &&
+           duplicate_fanin_gates.empty();
+  }
 };
 
-/// Structural lint beyond Netlist::finalize()'s hard checks: detects
-/// dead logic, unobservable cones and duplicate fanins. Used by the
-/// synthetic circuit generator's self-check and by tests.
+/// Runs run_lint and projects the findings this legacy surface knows
+/// about into a ValidationReport. Findings without a legacy vector
+/// (cycles, undriven pins, constant gates) appear in `messages` only.
 [[nodiscard]] ValidationReport validate(const Netlist& netlist);
 
 }  // namespace motsim

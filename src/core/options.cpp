@@ -77,6 +77,7 @@ HybridConfig SimOptions::to_hybrid_config() const {
 
 PipelineConfig SimOptions::to_pipeline_config() const {
   PipelineConfig c;
+  c.analysis = analysis;
   c.run_xred = run_xred;
   c.parallel_sim3 = parallel_sim3;
   c.run_symbolic = run_symbolic;
@@ -88,6 +89,7 @@ PipelineConfig SimOptions::to_pipeline_config() const {
 
 SimOptions SimOptions::from_pipeline_config(const PipelineConfig& config) {
   SimOptions o;
+  o.analysis = config.analysis;
   o.run_xred = config.run_xred;
   o.parallel_sim3 = config.parallel_sim3;
   o.run_symbolic = config.run_symbolic;

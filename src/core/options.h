@@ -28,6 +28,13 @@ struct PipelineConfig;  // core/pipeline.h
 /// exactly.
 struct SimOptions {
   // ---- pipeline stages ------------------------------------------------
+  /// Run the sequence-independent static analysis (StaticXRedAnalysis)
+  /// before every other stage: faults it proves undetectable by any
+  /// sequence are excluded up front with the StaticXRed verdict. Off by
+  /// default — the classification is sound, so enabling it never
+  /// changes coverage or the detected-fault set, only the bucketing of
+  /// never-detectable faults. CLI flag: --lint.
+  bool analysis = false;
   /// Run ID_X-red before the three-valued stage (paper Section III).
   bool run_xred = true;
   /// Bit-parallel (PROOFS-style) three-valued simulator instead of the

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "analysis/static_xred.h"
 #include "core/parallel_sym_sim.h"
 #include "core/xred.h"
 #include "sim3/fault_sim3.h"
@@ -19,14 +20,33 @@ PipelineResult run_pipeline(const Netlist& netlist,
   PipelineResult result;
   result.detect_frame.assign(faults.size(), 0);
 
-  // ---- Stage 1: ID_X-red ------------------------------------------------
+  // ---- Stage 0: sequence-independent static analysis ---------------------
   std::vector<FaultStatus> status(faults.size(), FaultStatus::Undetected);
+  if (config.analysis) {
+    Stopwatch timer;
+    const StaticXRedAnalysis sa(netlist);
+    status = sa.classify(faults);
+    result.seconds_analysis = timer.elapsed_seconds();
+    for (FaultStatus s : status) {
+      if (s == FaultStatus::StaticXRed) ++result.static_x_redundant;
+    }
+  }
+
+  // ---- Stage 1: ID_X-red ------------------------------------------------
   if (config.run_xred) {
     Stopwatch timer;
     const XRedResult xr = run_id_x_red(netlist, sequence);
-    status = xr.classify(faults);
+    const std::vector<FaultStatus> xs = xr.classify(faults);
+    // Statically pruned faults keep their (stronger) verdict; the
+    // x_redundant count therefore never overlaps static_x_redundant.
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (status[i] == FaultStatus::Undetected &&
+          xs[i] == FaultStatus::XRedundant) {
+        status[i] = FaultStatus::XRedundant;
+        ++result.x_redundant;
+      }
+    }
     result.seconds_xred = timer.elapsed_seconds();
-    result.x_redundant = xr.count_x_redundant(faults);
   }
 
   // ---- Stage 2: three-valued simulation ----------------------------------

@@ -22,6 +22,9 @@ namespace motsim {
 /// (core/options.h); this struct remains as a thin wrapper (and the
 /// internal representation) for one release.
 struct PipelineConfig {
+  /// Run the sequence-independent static analysis before every other
+  /// stage (see SimOptions::analysis).
+  bool analysis = false;
   /// Run ID_X-red before the three-valued stage (paper Section III).
   bool run_xred = true;
   /// Use the bit-parallel three-valued simulator instead of the
@@ -54,8 +57,13 @@ struct PipelineResult {
   /// longer re-run the simulator to recover detection times.
   std::vector<std::uint32_t> detect_frame;
   /// Faults ID_X-red flagged (before the symbolic stage re-enabled
-  /// them).
+  /// them). When the static analysis ran, only faults *not* already
+  /// statically pruned are counted here — the two buckets never
+  /// overlap.
   std::size_t x_redundant = 0;
+  /// Faults the static analysis proved undetectable by any sequence
+  /// (StaticXRed in `status`). 0 unless `config.analysis` was set.
+  std::size_t static_x_redundant = 0;
   std::size_t detected_3v = 0;
   std::size_t detected_symbolic = 0;
   /// True if the hybrid simulator used three-valued fallback windows
@@ -65,6 +73,7 @@ struct PipelineResult {
   /// carries X (partially specified) inputs, which only the
   /// three-valued stage supports.
   bool symbolic_skipped_x_inputs = false;
+  double seconds_analysis = 0;
   double seconds_xred = 0;
   double seconds_3v = 0;
   double seconds_symbolic = 0;

@@ -1,6 +1,10 @@
 #include "faults/collapse.h"
 
 #include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "analysis/static_xred.h"
 
 namespace motsim {
 
@@ -95,6 +99,34 @@ void CollapsedFaultList::unite(std::size_t a, std::size_t b) {
 
 std::size_t CollapsedFaultList::representative_of(std::size_t fault_id) const {
   return find(fault_id);
+}
+
+std::size_t prune_static_x_redundant(const StaticXRedAnalysis& analysis,
+                                     const CollapsedFaultList& faults,
+                                     std::vector<FaultStatus>& status) {
+  if (status.size() != faults.size()) {
+    throw std::invalid_argument(
+        "prune_static_x_redundant: status size mismatch");
+  }
+  const SiteTable& sites = faults.sites();
+  // Map representative fault id -> position in faults().
+  std::unordered_map<std::size_t, std::size_t> index_of;
+  index_of.reserve(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    index_of.emplace(sites.fault_id(faults.faults()[i]), i);
+  }
+  std::size_t flagged = 0;
+  for (std::size_t id = 0; id < faults.uncollapsed_size(); ++id) {
+    if (!analysis.is_static_x_redundant(sites.fault_from_id(id))) continue;
+    const auto it = index_of.find(faults.representative_of(id));
+    if (it == index_of.end()) continue;
+    FaultStatus& s = status[it->second];
+    if (s == FaultStatus::Undetected) {
+      s = FaultStatus::StaticXRed;
+      ++flagged;
+    }
+  }
+  return flagged;
 }
 
 }  // namespace motsim

@@ -57,6 +57,21 @@ class CollapsedFaultList {
   std::vector<Fault> representatives_;
 };
 
+class StaticXRedAnalysis;
+
+/// Applies the static X-redundancy analysis to a collapsed fault
+/// list's status vector: every representative whose equivalence class
+/// contains a statically X-redundant fault is marked StaticXRed
+/// (only Undetected entries are touched). Returns the number of newly
+/// flagged entries.
+///
+/// Transferring the verdict across a class is sound because equivalent
+/// faults are detected by exactly the same tests — if no sequence can
+/// detect one member, none can detect any member.
+std::size_t prune_static_x_redundant(const StaticXRedAnalysis& analysis,
+                                     const CollapsedFaultList& faults,
+                                     std::vector<FaultStatus>& status);
+
 }  // namespace motsim
 
 #endif  // MOTSIM_FAULTS_COLLAPSE_H

@@ -25,6 +25,8 @@ const char* to_cstring(FaultStatus s) noexcept {
       return "detected(rMOT)";
     case FaultStatus::DetectedMot:
       return "detected(MOT)";
+    case FaultStatus::StaticXRed:
+      return "static-X-red";
   }
   return "?";
 }

@@ -49,6 +49,9 @@ enum class FaultStatus : std::uint8_t {
   DetectedSot,    ///< detected by symbolic SOT
   DetectedRmot,   ///< detected by symbolic restricted MOT
   DetectedMot,    ///< detected by symbolic full MOT
+  StaticXRed,     ///< eliminated by sequence-independent static
+                  ///< analysis (StaticXRedAnalysis) — undetectable by
+                  ///< any sequence, stronger than XRedundant
 };
 
 [[nodiscard]] const char* to_cstring(FaultStatus s) noexcept;

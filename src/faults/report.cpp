@@ -30,6 +30,9 @@ CoverageSummary CoverageSummary::from_status(
       case FaultStatus::Undetected:
         ++s.undetected;
         break;
+      case FaultStatus::StaticXRed:
+        ++s.static_x_redundant;
+        break;
     }
   }
   return s;
@@ -45,6 +48,9 @@ std::string CoverageSummary::to_string() const {
   }
   if (detected_mot != 0) os << "  detected (MOT)      " << detected_mot << "\n";
   os << "  X-redundant         " << x_redundant << "\n";
+  if (static_x_redundant != 0) {
+    os << "  static X-red        " << static_x_redundant << "\n";
+  }
   os << "  undetected          " << undetected << "\n";
   os << "fault coverage        ";
   char buf[32];
@@ -58,8 +64,9 @@ std::string CoverageSummary::to_json() const {
   os << "{\"total\":" << total << ",\"detected_3v\":" << detected_3v
      << ",\"detected_sot\":" << detected_sot << ",\"detected_rmot\":"
      << detected_rmot << ",\"detected_mot\":" << detected_mot
-     << ",\"x_redundant\":" << x_redundant << ",\"undetected\":"
-     << undetected << ",\"coverage\":";
+     << ",\"x_redundant\":" << x_redundant
+     << ",\"static_x_redundant\":" << static_x_redundant
+     << ",\"undetected\":" << undetected << ",\"coverage\":";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6f", coverage());
   os << buf << "}";

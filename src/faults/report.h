@@ -20,6 +20,11 @@ namespace motsim {
 struct CoverageSummary {
   std::size_t total = 0;
   std::size_t x_redundant = 0;
+  /// Faults pruned by the sequence-independent static analysis
+  /// (`--lint`). Counted separately from x_redundant and never against
+  /// coverage: these faults stay in `total` but can never be detected,
+  /// so enabling the analysis leaves coverage bit-identical.
+  std::size_t static_x_redundant = 0;
   std::size_t detected_3v = 0;
   std::size_t detected_sot = 0;
   std::size_t detected_rmot = 0;

@@ -6,6 +6,10 @@
 /// specific module headers instead.
 ///
 /// Substrates ------------------------------------------------------------
+#include "analysis/diagnostics.h"
+#include "analysis/lint.h"
+#include "analysis/static_xred.h"
+#include "analysis/testability.h"
 #include "bdd/bdd.h"
 #include "bench_data/registry.h"
 #include "bench_data/s27.h"

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/static_xred.h"
 #include "circuit/netlist.h"
 #include "core/parallel_sym_sim.h"
 #include "core/xred.h"
@@ -147,8 +148,11 @@ Expected<CampaignResult, std::string> simulate_and_finish(
 
   CampaignResult result;
   result.resumed = resumed;
-  result.x_redundant =
-      initial_status.size() - count_live(initial_status);
+  for (FaultStatus s : initial_status) {
+    if (s == FaultStatus::StaticXRed) ++result.static_x_redundant;
+  }
+  result.x_redundant = initial_status.size() - count_live(initial_status) -
+                       result.static_x_redundant;
   result.frames_total = sequence.size();
 
   store.append_event(lifecycle_event(resumed ? "resume" : "run_start",
@@ -223,8 +227,16 @@ Expected<CampaignResult, std::string> run_campaign(
   }
 
   std::vector<FaultStatus> initial(faults.size(), FaultStatus::Undetected);
+  if (opts.analysis) {
+    initial = StaticXRedAnalysis(netlist).classify(faults);
+  }
   if (opts.run_xred) {
-    initial = run_id_x_red(netlist, sequence).classify(faults);
+    const std::vector<FaultStatus> xs =
+        run_id_x_red(netlist, sequence).classify(faults);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      // Statically pruned faults keep the stronger verdict.
+      if (initial[i] == FaultStatus::Undetected) initial[i] = xs[i];
+    }
   }
 
   StoreManifest manifest;

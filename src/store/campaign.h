@@ -33,8 +33,13 @@ struct CampaignResult {
   /// counting across extensions (an extension detection reports its
   /// position in the concatenated sequence).
   std::vector<std::uint32_t> detect_frame;
-  /// Faults the frozen ID_X-red pre-classification removed.
+  /// Faults the frozen ID_X-red pre-classification removed (excludes
+  /// the statically pruned ones below).
   std::size_t x_redundant = 0;
+  /// Faults the sequence-independent static analysis removed before
+  /// ID_X-red ran (SimOptions::analysis; frozen in the INIT record like
+  /// the X-redundant verdicts).
+  std::size_t static_x_redundant = 0;
   /// Total frames of the campaign sequence (all segments).
   std::size_t frames_total = 0;
   /// Merged engine counters of THIS invocation (a resumed invocation

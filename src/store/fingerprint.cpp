@@ -60,7 +60,8 @@ std::uint64_t fingerprint_faults(const std::vector<Fault>& faults) {
 
 std::uint64_t fingerprint_options(const SimOptions& options) {
   Fnv1a64 h;
-  h.update_u64(1);  // fingerprint schema version
+  h.update_u64(2);  // fingerprint schema version (2: + analysis)
+  h.update_u64(options.analysis ? 1 : 0);
   h.update_u64(options.run_xred ? 1 : 0);
   h.update_u64(options.parallel_sim3 ? 1 : 0);
   h.update_u64(options.run_symbolic ? 1 : 0);

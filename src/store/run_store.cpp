@@ -72,6 +72,8 @@ const char* status_token(FaultStatus s) {
       return "DR";
     case FaultStatus::DetectedMot:
       return "DM";
+    case FaultStatus::StaticXRed:
+      return "SX";
   }
   return "?";
 }
@@ -83,6 +85,7 @@ bool parse_status_token(const std::string& t, FaultStatus& out) {
   else if (t == "DS") out = FaultStatus::DetectedSot;
   else if (t == "DR") out = FaultStatus::DetectedRmot;
   else if (t == "DM") out = FaultStatus::DetectedMot;
+  else if (t == "SX") out = FaultStatus::StaticXRed;
   else return false;
   return true;
 }
@@ -221,7 +224,13 @@ std::string serialize_init_line(const std::vector<FaultStatus>& status) {
     line += '-';
   } else {
     for (FaultStatus s : status) {
-      line += (s == FaultStatus::XRedundant) ? 'X' : 'U';
+      if (s == FaultStatus::XRedundant) {
+        line += 'X';
+      } else if (s == FaultStatus::StaticXRed) {
+        line += 'S';
+      } else {
+        line += 'U';
+      }
     }
   }
   line += " END";
@@ -258,6 +267,7 @@ Expected<std::vector<FaultStatus>, std::string> parse_init_line(
   for (char c : digits) {
     if (c == 'U') status.push_back(FaultStatus::Undetected);
     else if (c == 'X') status.push_back(FaultStatus::XRedundant);
+    else if (c == 'S') status.push_back(FaultStatus::StaticXRed);
     else return Err{std::string("INIT record has a bad status digit '") + c +
                     "'"};
   }
@@ -368,6 +378,7 @@ std::string StoreManifest::to_text() const {
   os << "fp_faults " << fingerprint_to_hex(fp_faults) << '\n';
   os << "fp_options " << fingerprint_to_hex(fp_options) << '\n';
   os << "fp_sequence " << fingerprint_to_hex(fp_sequence) << '\n';
+  os << "opt_analysis " << (options.analysis ? 1 : 0) << '\n';
   os << "opt_run_xred " << (options.run_xred ? 1 : 0) << '\n';
   os << "opt_parallel_sim3 " << (options.parallel_sim3 ? 1 : 0) << '\n';
   os << "opt_run_symbolic " << (options.run_symbolic ? 1 : 0) << '\n';
@@ -456,6 +467,8 @@ Expected<StoreManifest, std::string> StoreManifest::from_text(
       if (!get_u64(m.fp_options, 16)) return bad("bad fp_options");
     } else if (key == "fp_sequence") {
       if (!get_u64(m.fp_sequence, 16)) return bad("bad fp_sequence");
+    } else if (key == "opt_analysis") {
+      if (!get_bool(m.options.analysis)) return bad("bad opt_analysis");
     } else if (key == "opt_run_xred") {
       if (!get_bool(m.options.run_xred)) return bad("bad opt_run_xred");
     } else if (key == "opt_parallel_sim3") {

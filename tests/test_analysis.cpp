@@ -1,0 +1,501 @@
+// The static-analysis subsystem: diagnostics framework, structural
+// lint, SCOAP testability and static X-redundancy — including the
+// soundness contract (static verdicts are a subset of every
+// per-sequence ID_X-red verdict and never change detection results).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/lint.h"
+#include "analysis/static_xred.h"
+#include "analysis/testability.h"
+#include "bench_data/registry.h"
+#include "bench_data/s27.h"
+#include "circuit/netlist.h"
+#include "circuit/stats.h"
+#include "core/options.h"
+#include "core/pipeline.h"
+#include "core/xred.h"
+#include "faults/collapse.h"
+#include "faults/fault_list.h"
+#include "faults/report.h"
+#include "sim3/fault_sim3.h"
+#include "store/fingerprint.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+
+namespace motsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+/// AND/OR core with one flip-flop and one PO, plus a dead inverter
+/// cone ("dead" has no sink): its faults are statically X-redundant.
+Netlist dead_cone_circuit() {
+  Netlist nl("deadcone");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex b = nl.add_input("b");
+  const NodeIndex q = nl.add_dff(kNoNode, "q");
+  const NodeIndex g = nl.add_gate(GateType::And, {a, b}, "g");
+  nl.set_fanins(q, {g});
+  const NodeIndex o = nl.add_gate(GateType::Or, {g, q}, "o");
+  (void)nl.add_gate(GateType::Not, {b}, "dead");
+  nl.mark_output(o);
+  nl.finalize();
+  return nl;
+}
+
+/// AND gate with a constant-0 side input: "g" is structurally
+/// constant 0, so its s-a-0 faults can never be activated.
+Netlist const_gate_circuit() {
+  Netlist nl("constand");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex z = nl.add_gate(GateType::Const0, {}, "zero");
+  const NodeIndex g = nl.add_gate(GateType::And, {a, z}, "g");
+  const NodeIndex o = nl.add_gate(GateType::Or, {g, a}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+  return nl;
+}
+
+// ---------------------------------------------------------------------------
+// DiagnosticReport
+// ---------------------------------------------------------------------------
+
+TEST(Diagnostics, ExitCodeTracksWorstSeverity) {
+  DiagnosticReport r("c");
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.exit_code(), 0);
+  r.add(Diagnostic{"x.note", Severity::Note, kNoNode, "", "fyi"});
+  EXPECT_EQ(r.exit_code(), 0);  // notes never fail a run
+  r.add(Diagnostic{"x.warn", Severity::Warning, 3, "n3", "careful"});
+  EXPECT_EQ(r.exit_code(), 1);
+  r.add(Diagnostic{"x.err", Severity::Error, 4, "n4", "broken"});
+  EXPECT_EQ(r.exit_code(), 2);
+  EXPECT_FALSE(r.clean());
+  EXPECT_EQ(r.count(Severity::Note), 1u);
+  EXPECT_EQ(r.count(Severity::Warning), 1u);
+  EXPECT_EQ(r.count(Severity::Error), 1u);
+  EXPECT_TRUE(r.has("x.warn"));
+  EXPECT_FALSE(r.has("x.gone"));
+  EXPECT_EQ(r.nodes_with("x.err"), std::vector<NodeIndex>{4});
+}
+
+TEST(Diagnostics, TextRenderingNamesEverything) {
+  DiagnosticReport r("tiny");
+  r.add(Diagnostic{"lint.dangling-net", Severity::Warning, 2, "n2",
+                   "net has no sink"});
+  const std::string text = r.to_text();
+  EXPECT_NE(text.find("tiny"), std::string::npos);
+  EXPECT_NE(text.find("warning[lint.dangling-net]"), std::string::npos);
+  EXPECT_NE(text.find("n2"), std::string::npos);
+  EXPECT_NE(text.find("1 warning"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonRoundTripIsIdentity) {
+  DiagnosticReport r("round \"trip\"\ncircuit");
+  r.add(Diagnostic{"x.a", Severity::Note, kNoNode, "", "plain"});
+  r.add(Diagnostic{"x.b", Severity::Warning, 7, "weird \"name\"\t",
+                   "escapes: \\ \" \n \r \t end"});
+  r.add(Diagnostic{"x.c", Severity::Error, 0, "n0", "last"});
+  const auto parsed = DiagnosticReport::from_json(r.to_json());
+  ASSERT_TRUE(parsed.has_value()) << parsed.error();
+  EXPECT_EQ(parsed.value(), r);
+}
+
+TEST(Diagnostics, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(DiagnosticReport::from_json("").has_value());
+  EXPECT_FALSE(DiagnosticReport::from_json("[1,2]").has_value());
+  EXPECT_FALSE(
+      DiagnosticReport::from_json("{\"circuit\": \"x\"").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Structural lint
+// ---------------------------------------------------------------------------
+
+TEST(Lint, RegistryCircuitsAreClean) {
+  for (const BenchmarkInfo& info : benchmark_roster()) {
+    if (info.spec.target_gates > 3000) continue;  // keep the test fast
+    const Netlist nl = make_benchmark(info);
+    const DiagnosticReport report = run_lint(nl);
+    EXPECT_TRUE(report.clean())
+        << info.spec.name << ":\n"
+        << report.to_text();
+  }
+}
+
+TEST(Lint, CombinationalCycleIsAnError) {
+  // finalize() would throw on this circuit — lint must diagnose it
+  // unfinalized (that is the point of the standalone pass).
+  Netlist nl("cyc");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex g1 = nl.add_gate(GateType::And, {}, "g1");
+  const NodeIndex g2 = nl.add_gate(GateType::Or, {g1, a}, "g2");
+  nl.set_fanins(g1, {g2, a});
+  nl.mark_output(g2);
+  const DiagnosticReport report = run_lint(nl);
+  EXPECT_TRUE(report.has("lint.comb-cycle"));
+  EXPECT_EQ(report.exit_code(), 2);
+  bool found = false;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.id != "lint.comb-cycle") continue;
+    found = true;
+    EXPECT_NE(d.message.find("combinational cycle:"), std::string::npos);
+    EXPECT_NE(d.message.find("g1"), std::string::npos);
+    EXPECT_NE(d.message.find("g2"), std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lint, UndrivenPinIsAnError) {
+  Netlist nl("undriven");
+  (void)nl.add_input("a");
+  const NodeIndex g = nl.add_gate(GateType::And, {}, "g");
+  const NodeIndex q = nl.add_dff(kNoNode, "q");
+  nl.mark_output(g);
+  const DiagnosticReport report = run_lint(nl);
+  EXPECT_EQ(report.exit_code(), 2);
+  const std::vector<NodeIndex> nodes = report.nodes_with("lint.undriven-pin");
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(), g), nodes.end());
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(), q), nodes.end());
+}
+
+TEST(Lint, FloatingInputIsAWarning) {
+  Netlist nl("floating");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex f = nl.add_input("floater");
+  const NodeIndex g = nl.add_gate(GateType::Not, {a}, "g");
+  nl.mark_output(g);
+  nl.finalize();
+  const DiagnosticReport report = run_lint(nl);
+  EXPECT_EQ(report.exit_code(), 1);
+  EXPECT_EQ(report.nodes_with("lint.floating-input"),
+            std::vector<NodeIndex>{f});
+  EXPECT_FALSE(report.has("lint.dangling-net"));
+}
+
+TEST(Lint, DeadConeIsDanglingAndUnobservable) {
+  const Netlist nl = dead_cone_circuit();
+  const DiagnosticReport report = run_lint(nl);
+  const NodeIndex dead = nl.find("dead");
+  EXPECT_EQ(report.nodes_with("lint.dangling-net"),
+            std::vector<NodeIndex>{dead});
+  EXPECT_EQ(report.nodes_with("lint.unobservable"),
+            std::vector<NodeIndex>{dead});
+  EXPECT_EQ(report.exit_code(), 1);
+}
+
+TEST(Lint, DuplicateXorFaninIsAWarning) {
+  Netlist nl("dupxor");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex g = nl.add_gate(GateType::Xor, {a, a}, "g");
+  nl.mark_output(g);
+  nl.finalize();
+  const DiagnosticReport report = run_lint(nl);
+  EXPECT_EQ(report.nodes_with("lint.duplicate-fanin"),
+            std::vector<NodeIndex>{g});
+  bool parity_message = false;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.id == "lint.duplicate-fanin" &&
+        d.message.find("parity") != std::string::npos) {
+      parity_message = true;
+    }
+  }
+  EXPECT_TRUE(parity_message);
+}
+
+TEST(Lint, ConstantGateIsAWarning) {
+  const Netlist nl = const_gate_circuit();
+  const DiagnosticReport report = run_lint(nl);
+  EXPECT_EQ(report.nodes_with("lint.const-gate"),
+            std::vector<NodeIndex>{nl.find("g")});
+  EXPECT_EQ(report.exit_code(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// SCOAP testability
+// ---------------------------------------------------------------------------
+
+TEST(Testability, HandComputedAndGate) {
+  Netlist nl("and2");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex b = nl.add_input("b");
+  const NodeIndex g = nl.add_gate(GateType::And, {a, b}, "g");
+  nl.mark_output(g);
+  nl.finalize();
+  const SiteTable sites(nl);
+  const TestabilityScores s = compute_testability(nl, sites);
+  EXPECT_EQ(s.cc0[a], 1u);
+  EXPECT_EQ(s.cc1[a], 1u);
+  EXPECT_EQ(s.cc0[g], 2u);  // min(CC0(a), CC0(b)) + 1
+  EXPECT_EQ(s.cc1[g], 3u);  // CC1(a) + CC1(b) + 1
+  EXPECT_EQ(s.co[sites.stem_site(g)], 0u);  // primary output
+  // Observing `a` needs the path through g open: CO(g) + CC1(b) + 1.
+  EXPECT_EQ(s.co[sites.stem_site(a)], 2u);
+  EXPECT_EQ(s.seq_depth[g], 0u);
+  // Fault a s-a-0: activate with a=1 (CC1=1) + observe (CO=2).
+  const std::uint32_t d =
+      s.fault_difficulty(sites, nl, Fault{FaultSite{a, kStemPin}, false});
+  EXPECT_EQ(d, 3u);
+}
+
+TEST(Testability, FlipFlopAddsControllabilityAndDepth) {
+  Netlist nl("ffchain");
+  const NodeIndex in = nl.add_input("in");
+  const NodeIndex n1 = nl.add_gate(GateType::Not, {in}, "n1");
+  const NodeIndex q = nl.add_dff(n1, "q");
+  const NodeIndex o = nl.add_gate(GateType::Buf, {q}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+  const SiteTable sites(nl);
+  const TestabilityScores s = compute_testability(nl, sites);
+  EXPECT_EQ(s.cc0[n1], 2u);  // CC1(in) + 1
+  EXPECT_EQ(s.cc0[q], 3u);   // CC0(n1) + 1: the flip-flop costs a frame
+  EXPECT_EQ(s.seq_depth[q], 0u);
+  EXPECT_EQ(s.seq_depth[n1], 1u);  // one flip-flop crossing to the PO
+  EXPECT_EQ(s.seq_depth[in], 1u);
+}
+
+TEST(Testability, UnobservableConeSaturates) {
+  const Netlist nl = dead_cone_circuit();
+  const SiteTable sites(nl);
+  const TestabilityScores s = compute_testability(nl, sites);
+  const NodeIndex dead = nl.find("dead");
+  EXPECT_EQ(s.co[sites.stem_site(dead)], kScoapInf);
+  EXPECT_EQ(s.seq_depth[dead], kScoapInf);
+  const std::uint32_t d = s.fault_difficulty(
+      sites, nl, Fault{FaultSite{dead, kStemPin}, false});
+  EXPECT_EQ(d, kScoapInf);
+  const std::string summary = testability_summary(nl, s);
+  EXPECT_NE(summary.find("scoap:"), std::string::npos);
+  EXPECT_NE(summary.find("blocked sites"), std::string::npos);
+}
+
+// s27's G13/G12/G7 loop can only be entered by the flip-flop's
+// power-up value (G13=0 needs G12=1 needs G7=0 needs G13=0 one frame
+// earlier), so the corresponding controllabilities saturate on a
+// circuit that lints perfectly clean — SCOAP infinity means "never
+// guaranteed from unknown power-up", not "structurally absent".
+TEST(Testability, SequentialLoopWithoutEntrySaturates) {
+  const Netlist nl = make_s27();
+  const SiteTable sites(nl);
+  const TestabilityScores s = compute_testability(nl, sites);
+  EXPECT_TRUE(run_lint(nl).clean());
+  EXPECT_EQ(s.cc0[nl.find("G13")], kScoapInf);
+  EXPECT_EQ(s.cc1[nl.find("G12")], kScoapInf);
+  EXPECT_EQ(s.cc0[nl.find("G7")], kScoapInf);
+  // Observing G1 or G2 needs those very values as side inputs.
+  EXPECT_EQ(s.co[sites.stem_site(nl.find("G1"))], kScoapInf);
+  EXPECT_EQ(s.co[sites.stem_site(nl.find("G2"))], kScoapInf);
+  std::size_t blocked = 0;
+  for (std::uint32_t co : s.co) blocked += co == kScoapInf ? 1 : 0;
+  EXPECT_EQ(blocked, 4u);
+  std::size_t infinite = 0;
+  for (const Fault& f : all_faults(nl)) {
+    infinite += s.fault_difficulty(sites, nl, f) == kScoapInf ? 1 : 0;
+  }
+  EXPECT_EQ(infinite, 15u);
+}
+
+// Infinite difficulty is a sound three-valued untestability verdict:
+// an X01 detection establishes the activation value and every side
+// input of the sensitized path from the all-X state, which forces a
+// finite score derivation. So no infinite-score fault may ever be
+// detected by FaultSim3, whatever the sequence.
+TEST(Testability, InfiniteDifficultyFaultsAreSim3Undetectable) {
+  for (const char* name : {"s27", "s208.1", "s298"}) {
+    const Netlist nl = make_benchmark(name);
+    const SiteTable sites(nl);
+    const TestabilityScores s = compute_testability(nl, sites);
+    const std::vector<Fault> faults = all_faults(nl);
+    for (std::uint32_t seed : {11u, 12u}) {
+      Rng rng(seed);
+      const TestSequence seq = random_sequence(nl, 100, rng);
+      FaultSim3 sim(nl, faults);
+      const FaultSim3Result r = sim.run(seq);
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (s.fault_difficulty(sites, nl, faults[i]) == kScoapInf) {
+          EXPECT_NE(r.status[i], FaultStatus::DetectedSim3)
+              << name << " seed " << seed << ": "
+              << fault_name(nl, faults[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Testability, AttachFillsCircuitStats) {
+  const Netlist nl = make_s27();
+  const SiteTable sites(nl);
+  const TestabilityScores s = compute_testability(nl, sites);
+  CircuitStats stats = CircuitStats::of(nl);
+  EXPECT_FALSE(stats.has_scoap);
+  attach_testability(stats, nl, s);
+  EXPECT_TRUE(stats.has_scoap);
+  EXPECT_GT(stats.scoap_max_cc, 0u);
+  EXPECT_NE(stats.to_string().find("scoap:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Static X-redundancy
+// ---------------------------------------------------------------------------
+
+TEST(StaticXRed, DeadConeFaultsAreFlagged) {
+  const Netlist nl = dead_cone_circuit();
+  const StaticXRedAnalysis sa(nl);
+  const NodeIndex dead = nl.find("dead");
+  EXPECT_FALSE(sa.observable(dead));
+  EXPECT_TRUE(sa.is_static_x_redundant(Fault{FaultSite{dead, kStemPin}, false}));
+  EXPECT_TRUE(sa.is_static_x_redundant(Fault{FaultSite{dead, 0}, true}));
+  // Everything outside the dead cone is live.
+  EXPECT_FALSE(
+      sa.is_static_x_redundant(Fault{FaultSite{nl.find("g"), kStemPin}, true}));
+  const std::vector<Fault> faults = all_faults(nl);
+  EXPECT_EQ(sa.count(faults), 4u);  // dead stem + dead.in0, both polarities
+}
+
+TEST(StaticXRed, ConstantSiteFaultsAreFlagged) {
+  const Netlist nl = const_gate_circuit();
+  const StaticXRedAnalysis sa(nl);
+  const NodeIndex g = nl.find("g");
+  const NodeIndex o = nl.find("o");
+  EXPECT_EQ(sa.constant_of(g), ConstVal::Zero);
+  EXPECT_EQ(sa.constant_of(o), ConstVal::Unknown);
+  // g is constant 0: s-a-0 can never be activated, s-a-1 can.
+  EXPECT_TRUE(sa.is_static_x_redundant(Fault{FaultSite{g, kStemPin}, false}));
+  EXPECT_FALSE(sa.is_static_x_redundant(Fault{FaultSite{g, kStemPin}, true}));
+  // The branch o.in0 sees the same constant driver.
+  EXPECT_TRUE(sa.is_static_x_redundant(Fault{FaultSite{o, 0}, false}));
+  EXPECT_FALSE(sa.is_static_x_redundant(Fault{FaultSite{o, 0}, true}));
+}
+
+TEST(StaticXRed, SubsetOfEveryPerSequenceIdXRed) {
+  // The soundness contract: for every sequence, a statically flagged
+  // fault is also flagged by ID_X-red (docs/ANALYSIS.md).
+  const Netlist circuits[] = {make_s27(), dead_cone_circuit(),
+                              const_gate_circuit(), make_benchmark("s298")};
+  for (const Netlist& nl : circuits) {
+    const StaticXRedAnalysis sa(nl);
+    const std::vector<Fault> faults = all_faults(nl);
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      Rng rng(seed);
+      const TestSequence seq =
+          random_sequence(nl, 5 + 15 * static_cast<std::size_t>(seed), rng);
+      const XRedResult xr = run_id_x_red(nl, seq);
+      for (const Fault& f : faults) {
+        if (!sa.is_static_x_redundant(f)) continue;
+        EXPECT_TRUE(xr.is_x_redundant(f))
+            << nl.name() << " seed " << seed << ": " << fault_name(nl, f)
+            << " is statically X-redundant but not ID_X-redundant";
+      }
+    }
+  }
+}
+
+TEST(StaticXRed, ClassifyMatchesPerFaultRule) {
+  const Netlist nl = dead_cone_circuit();
+  const StaticXRedAnalysis sa(nl);
+  const std::vector<Fault> faults = all_faults(nl);
+  const std::vector<FaultStatus> status = sa.classify(faults);
+  ASSERT_EQ(status.size(), faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(status[i] == FaultStatus::StaticXRed,
+              sa.is_static_x_redundant(faults[i]));
+  }
+}
+
+TEST(StaticXRed, PruneCollapsedListTransfersAcrossClasses) {
+  const Netlist nl = dead_cone_circuit();
+  const StaticXRedAnalysis sa(nl);
+  const CollapsedFaultList collapsed(nl);
+  std::vector<FaultStatus> status(collapsed.size(), FaultStatus::Undetected);
+  const std::size_t flagged = prune_static_x_redundant(sa, collapsed, status);
+  EXPECT_GT(flagged, 0u);
+  std::size_t count = 0;
+  for (const FaultStatus s : status) {
+    if (s == FaultStatus::StaticXRed) ++count;
+  }
+  EXPECT_EQ(count, flagged);
+  // Size mismatch is an error, not silent corruption.
+  std::vector<FaultStatus> bad(collapsed.size() + 1, FaultStatus::Undetected);
+  EXPECT_THROW((void)prune_static_x_redundant(sa, collapsed, bad),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline integration
+// ---------------------------------------------------------------------------
+
+void expect_analysis_changes_nothing(const Netlist& nl) {
+  const CollapsedFaultList collapsed(nl);
+  Rng rng(5);
+  const TestSequence seq = random_sequence(nl, 40, rng);
+
+  SimOptions off;
+  SimOptions on;
+  on.analysis = true;
+  const PipelineResult r_off = run_pipeline(nl, collapsed.faults(), seq, off);
+  const PipelineResult r_on = run_pipeline(nl, collapsed.faults(), seq, on);
+
+  ASSERT_EQ(r_off.status.size(), r_on.status.size());
+  std::size_t static_count = 0;
+  for (std::size_t i = 0; i < r_off.status.size(); ++i) {
+    if (r_on.status[i] == FaultStatus::StaticXRed) {
+      ++static_count;
+      // Statically pruned faults were never detectable: without the
+      // analysis they sit in the undetected or X-redundant bucket.
+      EXPECT_TRUE(r_off.status[i] == FaultStatus::Undetected ||
+                  r_off.status[i] == FaultStatus::XRedundant)
+          << fault_name(nl, collapsed.faults()[i]);
+    } else {
+      // Every other fault: bit-identical verdict and detection frame.
+      EXPECT_EQ(r_off.status[i], r_on.status[i])
+          << fault_name(nl, collapsed.faults()[i]);
+      EXPECT_EQ(r_off.detect_frame[i], r_on.detect_frame[i]);
+    }
+  }
+  EXPECT_EQ(r_on.static_x_redundant, static_count);
+  EXPECT_EQ(r_off.static_x_redundant, 0u);
+  EXPECT_EQ(r_off.summary().detected_total(), r_on.summary().detected_total());
+}
+
+TEST(PipelineAnalysis, CoverageIdenticalOnS27) {
+  expect_analysis_changes_nothing(make_s27());
+}
+
+TEST(PipelineAnalysis, CoverageIdenticalWithDeadCone) {
+  expect_analysis_changes_nothing(dead_cone_circuit());
+}
+
+TEST(PipelineAnalysis, CoverageIdenticalWithConstantGate) {
+  expect_analysis_changes_nothing(const_gate_circuit());
+}
+
+TEST(PipelineAnalysis, SummaryCountsStaticBucket) {
+  const std::vector<FaultStatus> status = {
+      FaultStatus::DetectedSim3, FaultStatus::StaticXRed,
+      FaultStatus::XRedundant, FaultStatus::Undetected};
+  const CoverageSummary s = CoverageSummary::from_status(status);
+  EXPECT_EQ(s.static_x_redundant, 1u);
+  EXPECT_EQ(s.x_redundant, 1u);
+  EXPECT_NE(s.to_string().find("static X-red"), std::string::npos);
+  EXPECT_NE(s.to_json().find("\"static_x_redundant\":1"), std::string::npos);
+}
+
+TEST(PipelineAnalysis, OptionsFingerprintCoversAnalysis) {
+  SimOptions a;
+  SimOptions b;
+  b.analysis = true;
+  EXPECT_NE(fingerprint_options(a), fingerprint_options(b));
+}
+
+}  // namespace
+}  // namespace motsim

@@ -65,6 +65,7 @@ StoreManifest sample_manifest() {
   m.fp_netlist = 0x0123456789ABCDEFull;
   m.fp_faults = 0xFEDCBA9876543210ull;
   m.fp_sequence = 42;
+  m.options.analysis = true;
   m.options.strategy = Strategy::Rmot;
   m.options.layout = VarLayout::Blocked;
   m.options.node_limit = 1234;

@@ -15,6 +15,8 @@
 //                    hardware threads                  (default 1)
 //   --chunk-size N   faults per parallel shard; 0 = auto
 //   --progress       live progress of the symbolic stage on stderr
+//   --lint           static analysis first: structurally undetectable
+//                    faults are pruned up front (verdict static-X-red)
 //   --no-xred        skip the ID_X-red stage
 //   --no-symbolic    three-valued only (pure X01)
 //   --parallel       bit-parallel three-valued simulator
@@ -107,6 +109,8 @@ struct Options {
                "  --chunk-size N     faults per parallel shard (0 = auto)\n"
                "  --progress         live symbolic-stage progress on "
                "stderr\n"
+               "  --lint             prune statically undetectable faults\n"
+               "                     first (see docs/ANALYSIS.md)\n"
                "  --no-xred          skip ID_X-red\n"
                "  --no-symbolic      pure three-valued run\n"
                "  --parallel         bit-parallel three-valued simulator\n"
@@ -200,7 +204,8 @@ Options parse_args(int argc, char** argv) {
       if (s == "interleaved") o.sim.layout = VarLayout::Interleaved;
       else if (s == "blocked") o.sim.layout = VarLayout::Blocked;
       else fail("--layout expects interleaved or blocked, got '" + s + "'");
-    } else if (a == "--no-xred") o.sim.run_xred = false;
+    } else if (a == "--lint") o.sim.analysis = true;
+    else if (a == "--no-xred") o.sim.run_xred = false;
     else if (a == "--no-symbolic") o.sim.run_symbolic = false;
     else if (a == "--parallel") o.sim.parallel_sim3 = true;
     else if (a == "--deterministic") o.deterministic = true;
@@ -408,6 +413,11 @@ int run_campaign_mode(const Options& o, const Netlist& nl,
               r.resumed ? " (continued from checkpoints)" : "");
   std::printf("X-redundant %zu faults (frozen at the base run)\n",
               r.x_redundant);
+  if (r.static_x_redundant != 0) {
+    std::printf("static:     %zu static-X-red faults (frozen at the base "
+                "run)\n",
+                r.static_x_redundant);
+  }
   std::printf("engine:     %zu checkpoint syncs, %zu fallback windows%s\n",
               r.sym.checkpoint_syncs, r.sym.fallback_windows,
               r.sym.used_fallback ? "  [*coverage is a lower bound]" : "");
@@ -532,6 +542,10 @@ int main(int argc, char** argv) {
                    o.progress ? &progress : nullptr);
 
   std::printf("\n--- %s pipeline ---\n", to_cstring(o.sim.strategy));
+  if (o.sim.analysis) {
+    std::printf("static:     %zu static-X-red faults      (%.3f s)\n",
+                r.static_x_redundant, r.seconds_analysis);
+  }
   if (o.sim.run_xred) {
     std::printf("ID_X-red:   %zu X-redundant faults      (%.3f s)\n",
                 r.x_redundant, r.seconds_xred);

@@ -1,0 +1,223 @@
+// motsim_lint — static netlist analysis front end (docs/ANALYSIS.md).
+//
+//   motsim_lint [options] <circuit> [<circuit> ...]
+//
+//   <circuit>        roster name (s27, s298, ...) or path to a
+//                    .bench file
+//   --list           list the benchmark roster and exit
+//   --json           machine-readable report instead of text (one
+//                    JSON document per circuit, in argument order)
+//   --scoap          SCOAP testability summary plus the hardest
+//                    faults (text mode only)
+//   --top N          how many hardest faults --scoap lists (default 5)
+//   --static-xred    append static X-redundancy notes (the
+//                    sequence-independent subset of ID_X-red) to the
+//                    report
+//
+// Exit code is the worst finding across all circuits: 0 clean (notes
+// never fail a run), 1 warnings, 2 errors.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/lint.h"
+#include "analysis/static_xred.h"
+#include "analysis/testability.h"
+#include "bench_data/registry.h"
+#include "circuit/bench_io.h"
+#include "faults/fault.h"
+#include "faults/fault_list.h"
+
+using namespace motsim;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> circuits;
+  bool list = false;
+  bool json = false;
+  bool scoap = false;
+  bool static_xred = false;
+  std::size_t top = 5;
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: motsim_lint [options] <circuit> [<circuit> ...]\n"
+               "  <circuit>      roster name (try --list) or .bench file "
+               "path\n"
+               "  --list         list the benchmark roster\n"
+               "  --json         JSON report (one document per circuit)\n"
+               "  --scoap        SCOAP testability summary + hardest "
+               "faults\n"
+               "  --top N        hardest faults to list (default 5)\n"
+               "  --static-xred  append static X-redundancy notes\n"
+               "exit code: 0 clean, 1 warnings, 2 errors (worst circuit "
+               "wins)\n");
+  std::exit(code);
+}
+
+[[noreturn]] void fail(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+std::size_t parse_size_flag(const std::string& flag, const std::string& v) {
+  if (v.empty()) fail(flag + " expects a number");
+  for (char c : v) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      fail(flag + " expects a number, got '" + v + "'");
+    }
+  }
+  return static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) fail(a + " expects a value");
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") usage(0);
+    else if (a == "--list") o.list = true;
+    else if (a == "--json") o.json = true;
+    else if (a == "--scoap") o.scoap = true;
+    else if (a == "--top") o.top = parse_size_flag(a, next());
+    else if (a == "--static-xred") o.static_xred = true;
+    else if (!a.empty() && a[0] == '-') fail("unknown option '" + a + "'");
+    else o.circuits.push_back(a);
+  }
+  if (!o.list && o.circuits.empty()) fail("no circuit given");
+  if (o.json && o.scoap) {
+    fail("--scoap is text-only and cannot be combined with --json");
+  }
+  return o;
+}
+
+Netlist load_circuit(const std::string& name) {
+  if (find_benchmark(name) != nullptr) return make_benchmark(name);
+  std::ifstream file(name);
+  if (!file) {
+    std::fprintf(stderr,
+                 "error: '%s' is neither a roster circuit nor a readable "
+                 ".bench file\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  return parse_bench(file, name);
+}
+
+/// Appends the static X-redundancy verdict as two circuit-level notes
+/// (counts per rule) plus one note per affected fault, so --json
+/// consumers can filter on "xred.static-unobservable" /
+/// "xred.static-constant" without re-running the analysis.
+void append_static_xred(const Netlist& nl, DiagnosticReport& report) {
+  const StaticXRedAnalysis analysis(nl);
+  const std::vector<Fault> faults = all_faults(nl);
+  std::size_t unobservable = 0;
+  std::size_t constant = 0;
+  for (const Fault& f : faults) {
+    if (!analysis.is_static_x_redundant(f)) continue;
+    const bool by_observability = !analysis.observable(f.site.node);
+    by_observability ? ++unobservable : ++constant;
+    report.add(nl,
+               by_observability ? "xred.static-unobservable"
+                                : "xred.static-constant",
+               Severity::Note, f.site.node,
+               "fault " + fault_name(nl, f) +
+                   (by_observability
+                        ? " can never reach an output or flip-flop"
+                        : " can never be activated (net is constant)"));
+  }
+  report.add(nl, "xred.static-summary", Severity::Note, kNoNode,
+             std::to_string(unobservable + constant) + " of " +
+                 std::to_string(faults.size()) +
+                 " faults statically X-redundant (" +
+                 std::to_string(unobservable) + " unobservable, " +
+                 std::to_string(constant) + " constant)");
+}
+
+void print_scoap(const Netlist& nl, std::size_t top) {
+  const SiteTable sites(nl);
+  const TestabilityScores scores = compute_testability(nl, sites);
+  std::printf("%s\n", testability_summary(nl, scores).c_str());
+
+  // Hardest testable faults first. Infinite-score faults are a count,
+  // not list entries: no input sequence can provably test them in
+  // three-valued logic from the unknown power-up state (dead cones,
+  // constant nets, or feedback loops only a lucky power-up value
+  // enters) — the symbolic MOT strategies are their only chance.
+  const std::vector<Fault> faults = all_faults(nl);
+  std::vector<std::pair<std::uint32_t, std::size_t>> ranked;
+  std::size_t untestable = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const std::uint32_t d = scores.fault_difficulty(sites, nl, faults[i]);
+    if (d == kScoapInf) {
+      ++untestable;
+    } else {
+      ranked.emplace_back(d, i);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  if (untestable != 0) {
+    std::printf("untestable in three-valued logic (infinite score): %zu\n",
+                untestable);
+  }
+  const std::size_t n = std::min(top, ranked.size());
+  if (n != 0) std::printf("hardest faults:\n");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::printf("  %-30s difficulty %u\n",
+                fault_name(nl, faults[ranked[i].second]).c_str(),
+                ranked[i].first);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_args(argc, argv);
+
+  if (o.list) {
+    std::printf("%-10s %6s %4s %4s %6s  %s\n", "name", "PI", "PO", "FF",
+                "gates", "style");
+    for (const BenchmarkInfo& info : benchmark_roster()) {
+      std::printf("%-10s %6zu %4zu %4zu %6zu  %s%s\n",
+                  info.spec.name.c_str(), info.spec.inputs,
+                  info.spec.outputs, info.spec.dffs, info.spec.target_gates,
+                  info.exact ? "exact" : to_cstring(info.spec.style),
+                  info.exact ? "" : " (synthetic)");
+    }
+    return 0;
+  }
+
+  int worst = 0;
+  bool first = true;
+  for (const std::string& name : o.circuits) {
+    const Netlist nl = load_circuit(name);
+    DiagnosticReport report = run_lint(nl);
+    if (o.static_xred) append_static_xred(nl, report);
+
+    if (!first) std::printf("\n");
+    first = false;
+    if (o.json) {
+      std::printf("%s\n", report.to_json().c_str());
+    } else {
+      std::printf("%s", report.to_text().c_str());
+      if (o.scoap) print_scoap(nl, o.top);
+    }
+    worst = std::max(worst, report.exit_code());
+  }
+  return worst;
+}
