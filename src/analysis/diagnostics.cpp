@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "faults/report.h"
+#include "util/strings.h"
 
 namespace motsim {
 

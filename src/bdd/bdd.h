@@ -62,14 +62,19 @@ struct BddConfig {
   std::size_t auto_gc_floor = 1u << 16;
 };
 
-/// Operation counters, exposed for the micro-benchmarks and tests.
+/// Operation counters, exposed for the micro-benchmarks, the tests and
+/// the telemetry layer (obs/telemetry.h maps them to bdd.* metrics).
 struct BddStats {
   std::uint64_t nodes_created = 0;
   std::uint64_t unique_hits = 0;
   std::uint64_t cache_lookups = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t gc_runs = 0;
+  /// Nodes freed across all gc() sweeps.
+  std::uint64_t gc_reclaimed_nodes = 0;
   std::size_t peak_live_nodes = 0;
+  /// Wall seconds spent inside reorder_sift / set_variable_order.
+  double reorder_seconds = 0;
 };
 
 /// RAII handle to a BDD function.
@@ -302,6 +307,12 @@ class BddManager {
   /// space limit.
   [[nodiscard]] std::size_t live_node_count() const noexcept {
     return live_count_;
+  }
+
+  /// Current unique-table bucket count; live_node_count() divided by
+  /// this is the table's load factor (telemetry reports both).
+  [[nodiscard]] std::size_t unique_bucket_count() const noexcept {
+    return buckets_.size();
   }
 
   /// Graphviz dump of one function, for debugging and docs.

@@ -259,6 +259,7 @@ void BddManager::mark_reachable(NodeId n,
 
 void BddManager::gc() {
   ++stats_.gc_runs;
+  const std::size_t live_before = live_count_;
 
   std::vector<std::uint8_t> mark(nodes_.size(), 0);
   mark[kFalseId] = mark[kTrueId] = 1;
@@ -289,6 +290,7 @@ void BddManager::gc() {
   // Cached results may reference collected nodes; invalidate wholesale.
   for (auto& e : cache_) e.op = Op::Invalid;
 
+  stats_.gc_reclaimed_nodes += live_before - live_count_;
   next_gc_at_ = std::max(auto_gc_floor_, live_count_ * 2);
 }
 

@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "bdd/bdd.h"
+#include "util/stopwatch.h"
 
 namespace motsim::bdd {
 
@@ -99,6 +100,7 @@ void BddManager::swap_adjacent_levels(VarIndex level) {
 
 void BddManager::set_variable_order(const std::vector<VarIndex>& order) {
   require_permutation(order, num_vars_);
+  const Stopwatch reorder_timer;
   // Selection-sort with adjacent exchanges: bubble each target
   // variable up to its final level, top to bottom.
   for (VarIndex target = 0; target < num_vars_; ++target) {
@@ -110,14 +112,19 @@ void BddManager::set_variable_order(const std::vector<VarIndex>& order) {
     }
   }
   gc();  // reclaim the exchange garbage in one sweep
+  stats_.reorder_seconds += reorder_timer.elapsed_seconds();
 }
 
 std::size_t BddManager::reorder_sift(double max_growth) {
   if (max_growth < 1.0) {
     throw std::invalid_argument("reorder_sift: max_growth must be >= 1");
   }
+  const Stopwatch reorder_timer;
   gc();
-  if (num_vars_ < 2) return live_count_;
+  if (num_vars_ < 2) {
+    stats_.reorder_seconds += reorder_timer.elapsed_seconds();
+    return live_count_;
+  }
   const std::size_t ceiling = static_cast<std::size_t>(
       static_cast<double>(live_count_) * max_growth) + 16;
 
@@ -167,6 +174,7 @@ std::size_t BddManager::reorder_sift(double max_growth) {
     }
     gc();
   }
+  stats_.reorder_seconds += reorder_timer.elapsed_seconds();
   return live_count_;
 }
 

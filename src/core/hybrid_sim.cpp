@@ -4,8 +4,10 @@
 #include <stdexcept>
 
 #include "core/sym_true_value.h"
+#include "obs/telemetry.h"
 #include "sim3/fault_sim3.h"
 #include "sim3/good_sim3.h"
+#include "util/stopwatch.h"
 
 namespace motsim {
 
@@ -104,6 +106,15 @@ HybridResult HybridFaultSim::run(
   const std::size_t start_frame = t;
   const FaultStatus det = detected_status(config_.strategy);
 
+  // Telemetry locals (all dormant when telemetry_ == nullptr): mode
+  // timers accumulate symbolic vs. three-valued wall seconds across
+  // the run's interleaved stretches; mode_span is the currently open
+  // "symbolic" / "fallback_window" trace span.
+  AccumulatingTimer sym_timer;
+  AccumulatingTimer fb_timer;
+  std::uint64_t reseeded_bits = 0;
+  std::optional<obs::SpanTracer::Span> mode_span;
+
   // Converts one fault's symbolic state divergence into a three-valued
   // divergence against the given three-valued good state. Symbolic
   // functions that are not constant become X; entries that no longer
@@ -148,6 +159,11 @@ HybridResult HybridFaultSim::run(
   // and resumption from a stored checkpoint.
   auto seed_symbolic = [&](const std::vector<Val3>& state3,
                            const std::vector<StateDiff3>& diffs3) {
+    if (telemetry_ != nullptr) {
+      for (Val3 v : state3) {
+        if (v == Val3::X) ++reseeded_bits;
+      }
+    }
     std::vector<Bdd> state_bdds;
     state_bdds.reserve(state3.size());
     for (std::size_t i = 0; i < state3.size(); ++i) {
@@ -230,7 +246,16 @@ HybridResult HybridFaultSim::run(
     }
   }
 
+  if (telemetry_ != nullptr && t < sequence.size() && !live.empty()) {
+    mode_span = telemetry_->tracer.span(
+        mode == Mode::Symbolic ? "symbolic" : "fallback_window");
+  }
+
   while (t < sequence.size() && !live.empty()) {
+    const Mode frame_mode = mode;
+    if (telemetry_ != nullptr) {
+      (frame_mode == Mode::Symbolic ? sym_timer : fb_timer).start();
+    }
     if (mode == Mode::Symbolic) {
       // Snapshot the pre-frame machine in three-valued form so an
       // aborted frame (hard-limit overflow) can be redone in the
@@ -319,6 +344,9 @@ HybridResult HybridFaultSim::run(
           seed_symbolic(ck.good_state, diffs3);
           mgr.gc();
           ++result.checkpoint_syncs;
+          if (telemetry_ != nullptr) {
+            telemetry_->tracer.instant("checkpoint_sync");
+          }
         } else if (checkpoint_) {
           // The soft limit just opened a window: snapshot its entry
           // state without disturbing it.
@@ -362,6 +390,14 @@ HybridResult HybridFaultSim::run(
         resume_symbolic();
       }
     }
+    if (telemetry_ != nullptr) {
+      (frame_mode == Mode::Symbolic ? sym_timer : fb_timer).stop();
+      if (mode != frame_mode) {
+        mode_span.reset();  // closes the stretch that just ended
+        mode_span = telemetry_->tracer.span(
+            mode == Mode::Symbolic ? "symbolic" : "fallback_window");
+      }
+    }
   }
 
   // Final snapshot: marks the chunk complete and carries the state
@@ -369,6 +405,37 @@ HybridResult HybridFaultSim::run(
   // run had nothing left to do (the store already holds this record).
   if (checkpoint_ && interval != 0 && (t > start_frame || !resume_)) {
     checkpoint_->on_checkpoint(make_checkpoint(true));
+  }
+
+  if (telemetry_ != nullptr) {
+    mode_span.reset();
+    obs::MetricsRegistry& m = telemetry_->metrics;
+    m.counter("hybrid.symbolic_frames").add(result.symbolic_frames);
+    m.counter("hybrid.three_valued_frames").add(result.three_valued_frames);
+    m.counter("hybrid.fallback_windows").add(result.fallback_windows);
+    m.counter("hybrid.checkpoint_syncs").add(result.checkpoint_syncs);
+    m.counter("hybrid.detected_faults").add(result.detected_count);
+    m.counter("engine.reseeded_state_bits").add(reseeded_bits);
+    m.gauge("hybrid.symbolic_seconds").add(sym_timer.total_seconds());
+    m.gauge("hybrid.fallback_seconds").add(fb_timer.total_seconds());
+
+    const bdd::BddStats& bs = mgr.stats();
+    m.counter("bdd.apply_cache_lookups").add(bs.cache_lookups);
+    m.counter("bdd.apply_cache_hits").add(bs.cache_hits);
+    m.counter("bdd.unique_hits").add(bs.unique_hits);
+    m.counter("bdd.nodes_created").add(bs.nodes_created);
+    m.counter("bdd.gc_runs").add(bs.gc_runs);
+    m.counter("bdd.gc_reclaimed_nodes").add(bs.gc_reclaimed_nodes);
+    m.gauge("bdd.reorder_seconds").add(bs.reorder_seconds);
+    m.gauge("bdd.peak_live_nodes")
+        .update_max(static_cast<double>(bs.peak_live_nodes));
+    m.gauge("bdd.unique_table_buckets")
+        .update_max(static_cast<double>(mgr.unique_bucket_count()));
+    if (mgr.unique_bucket_count() != 0) {
+      m.gauge("bdd.unique_table_load")
+          .update_max(static_cast<double>(mgr.live_node_count()) /
+                      static_cast<double>(mgr.unique_bucket_count()));
+    }
   }
 
   return result;

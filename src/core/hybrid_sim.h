@@ -14,6 +14,10 @@
 
 namespace motsim {
 
+namespace obs {
+struct Telemetry;  // obs/telemetry.h
+}
+
 /// Configuration of the hybrid fault simulator.
 ///
 /// Compatibility note: new code should prefer the flat SimOptions
@@ -96,6 +100,15 @@ class HybridFaultSim {
   /// free of everything but one predictable branch per event.
   void set_progress(ProgressSink* sink) noexcept { progress_ = sink; }
 
+  /// Telemetry context for the run (see obs/telemetry.h): symbolic /
+  /// fallback mode timers and spans, frame counters, re-seeded state
+  /// bits and the BDD manager's operation statistics. nullptr (the
+  /// default) costs one branch per frame. Called from the thread that
+  /// executes run().
+  void set_telemetry(obs::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
   /// Receiver of checkpoint snapshots (see core/checkpoint.h); only
   /// consulted when config.checkpoint_interval != 0. Called from the
   /// thread that executes run(). Emitted chunk ids are 0 and fault
@@ -122,6 +135,7 @@ class HybridFaultSim {
   std::vector<FaultStatus> initial_status_;
   ProgressSink* progress_ = nullptr;
   CheckpointSink* checkpoint_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
   std::optional<ChunkCheckpoint> resume_;
 };
 

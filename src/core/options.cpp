@@ -84,6 +84,7 @@ PipelineConfig SimOptions::to_pipeline_config() const {
   c.threads = threads;
   c.chunk_size = chunk_size;
   c.hybrid = to_hybrid_config();
+  c.telemetry = telemetry;
   return c;
 }
 
@@ -104,6 +105,7 @@ SimOptions SimOptions::from_pipeline_config(const PipelineConfig& config) {
   o.bdd_initial_capacity = config.hybrid.bdd.initial_capacity;
   o.bdd_cache_size_log2 = config.hybrid.bdd.cache_size_log2;
   o.bdd_auto_gc_floor = config.hybrid.bdd.auto_gc_floor;
+  o.telemetry = config.telemetry;
   return o;
 }
 

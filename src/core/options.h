@@ -14,6 +14,10 @@ namespace motsim {
 
 struct PipelineConfig;  // core/pipeline.h
 
+namespace obs {
+struct Telemetry;  // obs/telemetry.h
+}
+
 /// The unified, flat configuration surface of the fault-simulation
 /// engines. One struct covers everything the pipeline, the hybrid
 /// simulator, the parallel driver and the BDD package used to spread
@@ -89,6 +93,17 @@ struct SimOptions {
   /// Auto-GC floor of each BDD manager (see BddConfig::auto_gc_floor).
   std::size_t bdd_auto_gc_floor = 1u << 16;
 
+  // ---- observability ---------------------------------------------------
+  /// Telemetry context receiving metrics and trace spans from every
+  /// engine the run touches (see obs/telemetry.h and
+  /// docs/OBSERVABILITY.md). nullptr — the default — keeps each
+  /// instrumentation site at one predictable branch, exactly like
+  /// ProgressSink. Not part of a run's identity: excluded from
+  /// operator==, never serialized into a run-store manifest and never
+  /// fingerprinted, so a campaign recorded without telemetry resumes
+  /// bit-identically with it (and vice versa).
+  obs::Telemetry* telemetry = nullptr;
+
   /// Checks every field and returns a normalized copy, or a
   /// human-readable description of the first problem found. The only
   /// normalization applied: nothing today — the copy is returned so
@@ -105,7 +120,23 @@ struct SimOptions {
   [[nodiscard]] static SimOptions from_pipeline_config(
       const PipelineConfig& config);
 
-  friend bool operator==(const SimOptions&, const SimOptions&) = default;
+  /// Field-by-field equality of the *configuration* — the telemetry
+  /// pointer is deliberately ignored (observers don't change what a
+  /// run computes).
+  friend bool operator==(const SimOptions& a, const SimOptions& b) {
+    return a.analysis == b.analysis && a.run_xred == b.run_xred &&
+           a.parallel_sim3 == b.parallel_sim3 &&
+           a.run_symbolic == b.run_symbolic && a.strategy == b.strategy &&
+           a.layout == b.layout && a.node_limit == b.node_limit &&
+           a.fallback_frames == b.fallback_frames &&
+           a.hard_limit_factor == b.hard_limit_factor &&
+           a.checkpoint_interval == b.checkpoint_interval &&
+           a.threads == b.threads && a.chunk_size == b.chunk_size &&
+           a.seed == b.seed &&
+           a.bdd_initial_capacity == b.bdd_initial_capacity &&
+           a.bdd_cache_size_log2 == b.bdd_cache_size_log2 &&
+           a.bdd_auto_gc_floor == b.bdd_auto_gc_floor;
+  }
 };
 
 }  // namespace motsim

@@ -8,6 +8,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/telemetry.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace motsim {
@@ -171,6 +173,16 @@ HybridResult ParallelSymSim::run(
     resume_of[ck.chunk] = std::move(local);
   }
 
+  // Resolve the shard-latency histogram once; workers then observe
+  // into it lock-free. Bounds span sub-millisecond s27 shards to
+  // multi-minute stress runs.
+  obs::Histogram* shard_hist =
+      telemetry_ == nullptr
+          ? nullptr
+          : &telemetry_->metrics.histogram(
+                "parallel.shard_seconds",
+                {0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0});
+
   std::vector<HybridResult> chunk_results(chunk_count);
   std::atomic<std::size_t> next_chunk{0};
   std::mutex progress_mutex;
@@ -203,8 +215,17 @@ HybridResult ParallelSymSim::run(
         ChunkCheckpointAdapter ck_adapter(checkpoint_, &progress_mutex,
                                           live.data() + begin, c);
         if (checkpoint_ != nullptr) sim.set_checkpoint_sink(&ck_adapter);
+        if (telemetry_ != nullptr) sim.set_telemetry(telemetry_);
         if (resume_of[c].has_value()) sim.set_resume(*resume_of[c]);
+        std::optional<obs::SpanTracer::Span> shard_span;
+        if (telemetry_ != nullptr) {
+          shard_span = telemetry_->tracer.span("shard");
+        }
+        const Stopwatch shard_timer;
         chunk_results[c] = sim.run(sequence);
+        if (shard_hist != nullptr) {
+          shard_hist->observe(shard_timer.elapsed_seconds());
+        }
       } catch (const std::exception& e) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (first_error.empty()) first_error = e.what();
@@ -220,6 +241,20 @@ HybridResult ParallelSymSim::run(
     ThreadPool pool(workers);
     for (std::size_t i = 0; i < workers; ++i) pool.submit(worker);
     pool.wait_idle();
+    if (telemetry_ != nullptr) {
+      const ThreadPoolStats ps = pool.stats();
+      obs::MetricsRegistry& m = telemetry_->metrics;
+      m.counter("parallel.pool_tasks").add(ps.tasks_executed);
+      m.gauge("parallel.idle_seconds").add(ps.idle_seconds);
+      m.gauge("parallel.busy_seconds").add(ps.busy_seconds);
+      m.gauge("parallel.max_queue_depth")
+          .update_max(static_cast<double>(ps.max_queue_depth));
+    }
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.counter("parallel.shards").add(chunk_count);
+    telemetry_->metrics.gauge("parallel.workers")
+        .update_max(static_cast<double>(workers));
   }
   if (!first_error.empty()) {
     throw std::runtime_error("ParallelSymSim worker failed: " + first_error);

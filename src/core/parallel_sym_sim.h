@@ -77,6 +77,15 @@ class ParallelSymSim {
   /// Pass nullptr (default) for zero overhead.
   void set_progress(ProgressSink* sink) noexcept { progress_ = sink; }
 
+  /// Telemetry context shared by every shard (see obs/telemetry.h):
+  /// each worker-chunk's HybridFaultSim reports into it concurrently
+  /// (its instruments are thread-safe by construction), the driver
+  /// adds a per-shard "shard" span, the parallel.shard_seconds
+  /// histogram and the worker pool's statistics. nullptr = off.
+  void set_telemetry(obs::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
   /// Receiver of checkpoint snapshots (config.hybrid.checkpoint_interval
   /// must be nonzero for any to fire). Calls are serialized through
   /// the same mutex as progress callbacks; `chunk` and `fault_index`
@@ -114,6 +123,7 @@ class ParallelSymSim {
   std::vector<FaultStatus> initial_status_;
   ProgressSink* progress_ = nullptr;
   CheckpointSink* checkpoint_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
   std::vector<ChunkCheckpoint> resume_;
 };
 

@@ -1,15 +1,39 @@
 #include "core/pipeline.h"
 
 #include <stdexcept>
+#include <string>
+
+#include <optional>
 
 #include "analysis/static_xred.h"
 #include "core/parallel_sym_sim.h"
 #include "core/xred.h"
+#include "obs/telemetry.h"
 #include "sim3/fault_sim3.h"
 #include "sim3/parallel_fault_sim3.h"
 #include "util/stopwatch.h"
 
 namespace motsim {
+
+namespace {
+
+/// Closes out one pipeline stage: ends its trace span, reports it to
+/// the progress sink and records its wall seconds as a pipeline.*
+/// gauge (gauges add, so repeated runs into one context accumulate).
+void finish_stage(obs::Telemetry* telemetry, ProgressSink* progress,
+                  std::optional<obs::SpanTracer::Span>& span,
+                  const char* name, double seconds) {
+  span.reset();
+  if (telemetry != nullptr) {
+    telemetry->metrics.gauge(std::string("pipeline.") + name + "_seconds")
+        .add(seconds);
+  }
+  if (progress != nullptr) {
+    progress->on_stage((std::string("stage.") + name).c_str(), seconds);
+  }
+}
+
+}  // namespace
 
 PipelineResult run_pipeline(const Netlist& netlist,
                             const std::vector<Fault>& faults,
@@ -19,10 +43,13 @@ PipelineResult run_pipeline(const Netlist& netlist,
                             CheckpointSink* checkpoint) {
   PipelineResult result;
   result.detect_frame.assign(faults.size(), 0);
+  obs::Telemetry* const telemetry = config.telemetry;
 
   // ---- Stage 0: sequence-independent static analysis ---------------------
   std::vector<FaultStatus> status(faults.size(), FaultStatus::Undetected);
   if (config.analysis) {
+    std::optional<obs::SpanTracer::Span> span;
+    if (telemetry != nullptr) span = telemetry->tracer.span("stage.analysis");
     Stopwatch timer;
     const StaticXRedAnalysis sa(netlist);
     status = sa.classify(faults);
@@ -30,10 +57,14 @@ PipelineResult run_pipeline(const Netlist& netlist,
     for (FaultStatus s : status) {
       if (s == FaultStatus::StaticXRed) ++result.static_x_redundant;
     }
+    finish_stage(telemetry, progress, span, "analysis",
+                 result.seconds_analysis);
   }
 
   // ---- Stage 1: ID_X-red ------------------------------------------------
   if (config.run_xred) {
+    std::optional<obs::SpanTracer::Span> span;
+    if (telemetry != nullptr) span = telemetry->tracer.span("stage.xred");
     Stopwatch timer;
     const XRedResult xr = run_id_x_red(netlist, sequence);
     const std::vector<FaultStatus> xs = xr.classify(faults);
@@ -47,10 +78,13 @@ PipelineResult run_pipeline(const Netlist& netlist,
       }
     }
     result.seconds_xred = timer.elapsed_seconds();
+    finish_stage(telemetry, progress, span, "xred", result.seconds_xred);
   }
 
   // ---- Stage 2: three-valued simulation ----------------------------------
   {
+    std::optional<obs::SpanTracer::Span> span;
+    if (telemetry != nullptr) span = telemetry->tracer.span("stage.sim3");
     Stopwatch timer;
     FaultSim3Result r3;
     if (config.parallel_sim3) {
@@ -66,6 +100,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
     result.detected_3v = r3.detected_count;
     status = std::move(r3.status);
     result.detect_frame = std::move(r3.detect_frame);
+    finish_stage(telemetry, progress, span, "sim3", result.seconds_3v);
   }
 
   // ---- Stage 3: symbolic simulation of the remainder ---------------------
@@ -84,6 +119,8 @@ PipelineResult run_pipeline(const Netlist& netlist,
       if (s == FaultStatus::XRedundant) s = FaultStatus::Undetected;
     }
 
+    std::optional<obs::SpanTracer::Span> span;
+    if (telemetry != nullptr) span = telemetry->tracer.span("stage.symbolic");
     Stopwatch timer;
     HybridResult rs;
     if (config.threads == 1) {
@@ -91,6 +128,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
       sym.set_initial_status(leftover);
       sym.set_progress(progress);
       sym.set_checkpoint_sink(checkpoint);
+      sym.set_telemetry(telemetry);
       rs = sym.run(sequence);
     } else {
       ParallelSymConfig pc;
@@ -101,9 +139,12 @@ PipelineResult run_pipeline(const Netlist& netlist,
       sym.set_initial_status(leftover);
       sym.set_progress(progress);
       sym.set_checkpoint_sink(checkpoint);
+      sym.set_telemetry(telemetry);
       rs = sym.run(sequence);
     }
     result.seconds_symbolic = timer.elapsed_seconds();
+    finish_stage(telemetry, progress, span, "symbolic",
+                 result.seconds_symbolic);
     result.detected_symbolic = rs.detected_count;
     result.used_fallback = rs.used_fallback;
 

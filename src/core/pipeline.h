@@ -44,6 +44,9 @@ struct PipelineConfig {
   /// Hybrid simulator settings for the symbolic stage; its `strategy`
   /// field selects SOT / rMOT / MOT.
   HybridConfig hybrid;
+  /// Telemetry context observing the run (see SimOptions::telemetry);
+  /// nullptr = off, one branch per instrumentation site.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Outcome of run_pipeline. `status` holds the final per-fault

@@ -50,6 +50,15 @@ class ProgressSink {
     (void)fault_index;
     (void)frame;
   }
+
+  /// A pipeline stage finished: `name` is the stage's stable span name
+  /// ("stage.analysis", "stage.xred", "stage.sim3", "stage.symbolic" —
+  /// see docs/OBSERVABILITY.md), `seconds` its wall-clock duration.
+  /// Called from the thread that runs the pipeline, in stage order.
+  virtual void on_stage(const char* name, double seconds) {
+    (void)name;
+    (void)seconds;
+  }
 };
 
 }  // namespace motsim

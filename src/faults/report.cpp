@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/strings.h"
+
 namespace motsim {
 
 CoverageSummary CoverageSummary::from_status(
@@ -79,40 +81,6 @@ std::vector<std::string> faults_with_status(
   std::vector<std::string> out;
   for (std::size_t i = 0; i < faults.size() && i < status.size(); ++i) {
     if (status[i] == wanted) out.push_back(fault_name(netlist, faults[i]));
-  }
-  return out;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
   }
   return out;
 }

@@ -58,10 +58,6 @@ struct CoverageSummary {
     const Netlist& netlist, const std::vector<Fault>& faults,
     const std::vector<FaultStatus>& status, FaultStatus wanted);
 
-/// Escapes a string for embedding in a JSON string literal (quotes,
-/// backslashes, control characters).
-[[nodiscard]] std::string json_escape(const std::string& s);
-
 /// Full per-fault report: one entry per fault with its human-readable
 /// name, final status and detection frame. This is what
 /// `motsim_cli --report-json` dumps and what the run store writes as

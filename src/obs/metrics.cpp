@@ -1,0 +1,185 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace motsim::obs {
+
+std::size_t this_thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return shard;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  // Renderers assume ascending bounds; silently sorting beats a
+  // throwing constructor in an observability layer.
+  std::sort(bounds_.begin(), bounds_.end());
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    s.counters.emplace_back(name, c->value());
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.emplace_back(name, g->value());
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.buckets = h->bucket_counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    s.histograms.push_back(std::move(hs));
+  }
+  return s;
+}
+
+namespace {
+
+/// JSON number formatting: finite doubles with enough precision to
+/// round-trip; non-finite values (JSON has none) become null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+/// ids map dots (and any other byte) to underscores.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string prometheus_bound(double v) {
+  if (std::isinf(v)) return "+Inf";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << counters[i].first
+       << "\": " << counters[i].second;
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << gauges[i].first
+       << "\": " << json_number(gauges[i].second);
+  }
+  os << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << h.name
+       << "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      os << (b == 0 ? "" : ", ") << json_number(h.bounds[b]);
+    }
+    os << "], \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b == 0 ? "" : ", ") << h.buckets[b];
+    }
+    os << "], \"count\": " << h.count << ", \"sum\": " << json_number(h.sum)
+       << "}";
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " gauge\n" << p << " " << json_number(value)
+       << "\n";
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    const std::string p = prometheus_name(h.name);
+    os << "# TYPE " << p << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      const double bound = b < h.bounds.size()
+                               ? h.bounds[b]
+                               : std::numeric_limits<double>::infinity();
+      os << p << "_bucket{le=\"" << prometheus_bound(bound)
+         << "\"} " << cumulative << "\n";
+    }
+    os << p << "_sum " << json_number(h.sum) << "\n"
+       << p << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace motsim::obs

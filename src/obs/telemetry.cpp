@@ -1,0 +1,63 @@
+#include "obs/telemetry.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace motsim::obs {
+
+namespace {
+
+Expected<bool, std::string> write_file(const std::string& path,
+                                       const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return make_unexpected("cannot open for writing: " + path);
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    return make_unexpected("write failed: " + path);
+  }
+  return true;
+}
+
+}  // namespace
+
+Expected<bool, std::string> Telemetry::write_metrics_json(
+    const std::string& path) const {
+  return write_file(path, metrics.snapshot().to_json());
+}
+
+Expected<bool, std::string> Telemetry::write_trace_json(
+    const std::string& path) const {
+  return write_file(path, tracer.to_chrome_json());
+}
+
+std::string Telemetry::summary() const {
+  std::ostringstream os;
+  const std::string phases = tracer.phase_summary();
+  if (!phases.empty()) os << phases;
+
+  const MetricsSnapshot s = metrics.snapshot();
+  char line[160];
+  for (const auto& [name, value] : s.counters) {
+    std::snprintf(line, sizeof(line), "%-40s %14llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    os << line;
+  }
+  for (const auto& [name, value] : s.gauges) {
+    std::snprintf(line, sizeof(line), "%-40s %14.6g\n", name.c_str(), value);
+    os << line;
+  }
+  for (const HistogramSnapshot& h : s.histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%-40s count=%llu sum=%.6g mean=%.6g\n", h.name.c_str(),
+                  static_cast<unsigned long long>(h.count), h.sum,
+                  h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count));
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace motsim::obs

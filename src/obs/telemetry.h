@@ -1,0 +1,48 @@
+#ifndef MOTSIM_OBS_TELEMETRY_H
+#define MOTSIM_OBS_TELEMETRY_H
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/expected.h"
+
+namespace motsim::obs {
+
+/// One telemetry context for one run: a metrics registry plus a span
+/// tracer sharing a single monotonic epoch. Engines receive it as a
+/// nullable pointer (SimOptions::telemetry); nullptr — the default —
+/// means every instrumentation site is one predictable branch, the
+/// same contract as ProgressSink.
+///
+/// The metric ids and span names emitted into this context are
+/// catalogued in docs/OBSERVABILITY.md; treat them as a stable API.
+struct Telemetry {
+  MetricsRegistry metrics;
+  SpanTracer tracer;
+
+  Telemetry() = default;
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Seconds since this context was created — the shared time base of
+  /// the tracer's events and the run store's events.jsonl "t" fields.
+  [[nodiscard]] double seconds_since_start() const {
+    return tracer.seconds_since_start();
+  }
+
+  /// Writes metrics.snapshot().to_json() to `path`.
+  Expected<bool, std::string> write_metrics_json(const std::string& path) const;
+
+  /// Writes tracer.to_chrome_json() to `path` (load in Perfetto or
+  /// chrome://tracing).
+  Expected<bool, std::string> write_trace_json(const std::string& path) const;
+
+  /// Human-readable digest: the per-phase span table followed by
+  /// every counter and gauge, for --progress / log output.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace motsim::obs
+
+#endif  // MOTSIM_OBS_TELEMETRY_H

@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace motsim::obs {
+
+void SpanTracer::Span::close() noexcept {
+  if (tracer_ == nullptr) return;
+  SpanTracer* t = std::exchange(tracer_, nullptr);
+  try {
+    t->record(std::move(name_), start_,
+              t->epoch_.elapsed_seconds() - start_, /*instant=*/false);
+  } catch (...) {
+    // A tracer must never take down the simulation it observes; an
+    // allocation failure here just drops the event.
+  }
+}
+
+void SpanTracer::instant(std::string name) {
+  record(std::move(name), epoch_.elapsed_seconds(), 0.0, /*instant=*/true);
+}
+
+int SpanTracer::tid_of_this_thread() {
+  // Caller holds mutex_.
+  const auto id = std::this_thread::get_id();
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const int tid = next_tid_++;
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void SpanTracer::record(std::string name, double start, double duration,
+                        bool instant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent e;
+  e.name = std::move(name);
+  e.start_seconds = start;
+  e.duration_seconds = duration;
+  e.tid = tid_of_this_thread();
+  e.instant = instant;
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> SpanTracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string SpanTracer::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& [id, tid] : tids_) {
+    (void)id;
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"worker-" << tid << "\"}}";
+  }
+  char buffer[64];
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    // Chrome timestamps are microseconds; %.3f keeps sub-µs precision
+    // without scientific notation (which the format forbids).
+    std::snprintf(buffer, sizeof(buffer), "%.3f", e.start_seconds * 1e6);
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\""
+       << (e.instant ? "i" : "X") << "\",\"ts\":" << buffer;
+    if (!e.instant) {
+      std::snprintf(buffer, sizeof(buffer), "%.3f",
+                    e.duration_seconds * 1e6);
+      os << ",\"dur\":" << buffer;
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    os << ",\"pid\":1,\"tid\":" << e.tid << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+std::string SpanTracer::phase_summary() const {
+  struct Agg {
+    std::size_t count = 0;
+    double total = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const TraceEvent& e : events_) {
+      if (e.instant) continue;
+      Agg& a = by_name[e.name];
+      ++a.count;
+      a.total += e.duration_seconds;
+    }
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total > b.second.total;
+  });
+
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-28s %8s %10s %10s\n", "phase",
+                "count", "total[s]", "mean[ms]");
+  os << line;
+  for (const auto& [name, a] : rows) {
+    std::snprintf(line, sizeof(line), "%-28s %8zu %10.3f %10.3f\n",
+                  name.c_str(), a.count, a.total,
+                  a.count == 0 ? 0.0 : a.total * 1e3 / a.count);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace motsim::obs

@@ -1,0 +1,120 @@
+#ifndef MOTSIM_OBS_TRACE_H
+#define MOTSIM_OBS_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace motsim::obs {
+
+/// One recorded trace event. Times are seconds since the tracer's
+/// construction (one shared monotonic epoch for every thread).
+struct TraceEvent {
+  std::string name;
+  double start_seconds = 0;
+  double duration_seconds = 0;  ///< 0 for instant events
+  int tid = 0;                  ///< small per-tracer thread number
+  bool instant = false;
+};
+
+/// Scoped span tracer: RAII spans with nesting and thread ids,
+/// exported as Chrome trace_event JSON (loadable in Perfetto or
+/// chrome://tracing) plus a compact per-phase summary table.
+///
+/// Thread-safe: spans may open and close on any thread; recording
+/// takes one mutex per completed span (spans close at frame/stage
+/// granularity, so contention is negligible next to the work they
+/// measure). Nesting is implicit — Chrome's "X" (complete) events
+/// stack automatically when spans on one thread are properly nested,
+/// which RAII guarantees.
+class SpanTracer {
+ public:
+  SpanTracer() = default;
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// RAII handle: records one complete event when destroyed (or
+  /// close()d). Movable so it can live in std::optional for spans
+  /// whose extent is not a lexical scope (the hybrid engine's
+  /// symbolic stretches).
+  class Span {
+   public:
+    Span() noexcept = default;
+    Span(Span&& other) noexcept
+        : tracer_(std::exchange(other.tracer_, nullptr)),
+          name_(std::move(other.name_)),
+          start_(other.start_) {}
+    Span& operator=(Span&& other) noexcept {
+      if (this != &other) {
+        close();
+        tracer_ = std::exchange(other.tracer_, nullptr);
+        name_ = std::move(other.name_);
+        start_ = other.start_;
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { close(); }
+
+    /// Records the span now; further close() calls are no-ops.
+    void close() noexcept;
+
+   private:
+    friend class SpanTracer;
+    Span(SpanTracer* tracer, std::string name, double start) noexcept
+        : tracer_(tracer), name_(std::move(name)), start_(start) {}
+
+    SpanTracer* tracer_ = nullptr;
+    std::string name_;
+    double start_ = 0;
+  };
+
+  /// Opens a span; it records itself when it goes out of scope.
+  [[nodiscard]] Span span(std::string name) {
+    return Span(this, std::move(name), epoch_.elapsed_seconds());
+  }
+
+  /// Records a zero-duration marker (detections, checkpoints).
+  void instant(std::string name);
+
+  /// Seconds since the tracer was constructed — the shared time base
+  /// of every event (and of the run store's events.jsonl "t" fields
+  /// when the campaign owns the telemetry context).
+  [[nodiscard]] double seconds_since_start() const {
+    return epoch_.elapsed_seconds();
+  }
+
+  /// Copy of every recorded event, in recording order.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[...],
+  /// "displayTimeUnit":"ms"} with "X" complete events, "i" instants
+  /// and one "M" thread_name record per thread.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Aggregated per-phase table: one row per span name with count,
+  /// total seconds and mean milliseconds, longest total first.
+  [[nodiscard]] std::string phase_summary() const;
+
+ private:
+  void record(std::string name, double start, double duration, bool instant);
+  int tid_of_this_thread();
+
+  Stopwatch epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, int> tids_;
+  int next_tid_ = 0;
+};
+
+}  // namespace motsim::obs
+
+#endif  // MOTSIM_OBS_TRACE_H

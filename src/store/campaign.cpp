@@ -3,18 +3,48 @@
 #include <sstream>
 #include <utility>
 
+#include <cstdio>
+
 #include "analysis/static_xred.h"
 #include "circuit/netlist.h"
 #include "core/parallel_sym_sim.h"
 #include "core/xred.h"
+#include "obs/telemetry.h"
 #include "store/fingerprint.h"
 #include "store/run_store.h"
+#include "util/stopwatch.h"
 
 namespace motsim {
 
 namespace {
 
 using Err = Unexpected<std::string>;
+
+/// The time base of a campaign invocation's events.jsonl "t" fields:
+/// seconds since the entry point started. When a Telemetry context is
+/// attached its tracer epoch is used instead, so the event stream and
+/// the trace share one clock and can be correlated record-for-record.
+class EventClock {
+ public:
+  explicit EventClock(obs::Telemetry* telemetry) : telemetry_(telemetry) {}
+
+  [[nodiscard]] double now() const {
+    return telemetry_ != nullptr ? telemetry_->seconds_since_start()
+                                 : epoch_.elapsed_seconds();
+  }
+
+  /// `,"t":<seconds>` — appended to every event object. Fixed-point
+  /// with microsecond resolution; old readers ignore the extra field.
+  [[nodiscard]] std::string t_field() const {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), ",\"t\":%.6f", now());
+    return buffer;
+  }
+
+ private:
+  obs::Telemetry* telemetry_;
+  Stopwatch epoch_;
+};
 
 bool sequence_has_x(const TestSequence& sequence) {
   for (const auto& frame : sequence) {
@@ -30,8 +60,9 @@ bool sequence_has_x(const TestSequence& sequence) {
 /// the persisted write).
 class StoreCheckpointSink final : public CheckpointSink {
  public:
-  StoreCheckpointSink(RunStore& store, CheckpointSink* tap)
-      : store_(&store), tap_(tap) {}
+  StoreCheckpointSink(RunStore& store, CheckpointSink* tap,
+                      const EventClock* clock, obs::Telemetry* telemetry)
+      : store_(&store), tap_(tap), clock_(clock), telemetry_(telemetry) {}
 
   void on_checkpoint(const ChunkCheckpoint& ck) override {
     store_->append_checkpoint(ck);
@@ -44,14 +75,17 @@ class StoreCheckpointSink final : public CheckpointSink {
        << ",\"frame\":" << ck.frame << ",\"in_window\":"
        << (ck.in_window ? "true" : "false")
        << ",\"complete\":" << (ck.complete ? "true" : "false")
-       << ",\"live\":" << live << "}";
+       << ",\"live\":" << live << clock_->t_field() << "}";
     store_->append_event(os.str());
+    if (telemetry_ != nullptr) telemetry_->tracer.instant("event.checkpoint");
     if (tap_ != nullptr) tap_->on_checkpoint(ck);
   }
 
  private:
   RunStore* store_;
   CheckpointSink* tap_;
+  const EventClock* clock_;
+  obs::Telemetry* telemetry_;
 };
 
 /// Forwards to the user's sink (if any) and logs detections and
@@ -59,8 +93,9 @@ class StoreCheckpointSink final : public CheckpointSink {
 /// driver's sink mutex, so file appends never interleave.
 class StoreProgressSink final : public ProgressSink {
  public:
-  StoreProgressSink(RunStore& store, ProgressSink* user)
-      : store_(&store), user_(user) {}
+  StoreProgressSink(RunStore& store, ProgressSink* user,
+                    const EventClock* clock, obs::Telemetry* telemetry)
+      : store_(&store), user_(user), clock_(clock), telemetry_(telemetry) {}
 
   void on_frame(std::size_t frame, std::size_t live_nodes,
                 std::size_t faults_remaining) override {
@@ -71,8 +106,11 @@ class StoreProgressSink final : public ProgressSink {
                           std::size_t window_frames) override {
     std::ostringstream os;
     os << "{\"event\":\"fallback_window\",\"frame\":" << frame
-       << ",\"frames\":" << window_frames << "}";
+       << ",\"frames\":" << window_frames << clock_->t_field() << "}";
     store_->append_event(os.str());
+    if (telemetry_ != nullptr) {
+      telemetry_->tracer.instant("event.fallback_window");
+    }
     if (user_ != nullptr) user_->on_fallback_window(frame, window_frames);
   }
 
@@ -80,22 +118,38 @@ class StoreProgressSink final : public ProgressSink {
                          std::uint32_t frame) override {
     std::ostringstream os;
     os << "{\"event\":\"fault_detected\",\"fault\":" << fault_index
-       << ",\"frame\":" << frame << "}";
+       << ",\"frame\":" << frame << clock_->t_field() << "}";
     store_->append_event(os.str());
+    if (telemetry_ != nullptr) {
+      telemetry_->tracer.instant("event.fault_detected");
+    }
     if (user_ != nullptr) user_->on_fault_detected(fault_index, frame);
   }
 
  private:
   RunStore* store_;
   ProgressSink* user_;
+  const EventClock* clock_;
+  obs::Telemetry* telemetry_;
 };
 
 std::string lifecycle_event(const char* event, std::size_t frames,
-                            std::size_t live) {
+                            std::size_t live, const EventClock& clock) {
   std::ostringstream os;
   os << "{\"event\":\"" << event << "\",\"sequence_length\":" << frames
-     << ",\"live_faults\":" << live << "}";
+     << ",\"live_faults\":" << live << clock.t_field() << "}";
   return os.str();
+}
+
+/// One lifecycle record, mirrored into the tracer (when attached) so
+/// events.jsonl and the trace stream stay record-for-record alignable.
+void log_lifecycle(RunStore& store, obs::Telemetry* telemetry,
+                   const EventClock& clock, const char* event,
+                   std::size_t frames, std::size_t live) {
+  store.append_event(lifecycle_event(event, frames, live, clock));
+  if (telemetry != nullptr) {
+    telemetry->tracer.instant(std::string("event.") + event);
+  }
 }
 
 std::size_t count_live(const std::vector<FaultStatus>& status) {
@@ -139,7 +193,9 @@ Expected<CampaignResult, std::string> simulate_and_finish(
     const TestSequence& sequence, std::vector<FaultStatus> initial_status,
     std::vector<ChunkCheckpoint> resume, bool resumed,
     std::optional<std::size_t> threads, ProgressSink* progress,
-    CheckpointSink* tap) {
+    CheckpointSink* tap, obs::Telemetry* telemetry,
+    const EventClock& clock) {
+  store.set_telemetry(telemetry);
   const SimOptions& opts = store.manifest().options;
   ParallelSymConfig pc;
   pc.hybrid = opts.to_hybrid_config();
@@ -155,17 +211,17 @@ Expected<CampaignResult, std::string> simulate_and_finish(
                        result.static_x_redundant;
   result.frames_total = sequence.size();
 
-  store.append_event(lifecycle_event(resumed ? "resume" : "run_start",
-                                     sequence.size(),
-                                     count_live(initial_status)));
+  log_lifecycle(store, telemetry, clock, resumed ? "resume" : "run_start",
+                sequence.size(), count_live(initial_status));
 
-  StoreCheckpointSink ck_sink(store, tap);
-  StoreProgressSink ev_sink(store, progress);
+  StoreCheckpointSink ck_sink(store, tap, &clock, telemetry);
+  StoreProgressSink ev_sink(store, progress, &clock, telemetry);
   try {
     ParallelSymSim sym(netlist, faults, pc);
     sym.set_initial_status(std::move(initial_status));
     sym.set_progress(&ev_sink);
     sym.set_checkpoint_sink(&ck_sink);
+    sym.set_telemetry(telemetry);
     if (!resume.empty()) sym.set_resume(std::move(resume));
     result.sym = sym.run(sequence);
   } catch (const std::exception& e) {
@@ -186,8 +242,8 @@ Expected<CampaignResult, std::string> simulate_and_finish(
   if (const auto w = store.save_manifest(); !w.has_value()) {
     return Err{w.error()};
   }
-  store.append_event(lifecycle_event("run_complete", sequence.size(),
-                                     count_live(result.status)));
+  log_lifecycle(store, telemetry, clock, "run_complete", sequence.size(),
+                count_live(result.status));
   return result;
 }
 
@@ -239,6 +295,9 @@ Expected<CampaignResult, std::string> run_campaign(
     }
   }
 
+  obs::Telemetry* const telemetry = opts.telemetry;
+  const EventClock clock(telemetry);
+
   StoreManifest manifest;
   manifest.circuit = netlist.name();
   manifest.inputs = netlist.input_count();
@@ -253,6 +312,11 @@ Expected<CampaignResult, std::string> run_campaign(
   manifest.fp_options = fingerprint_options(opts);
   manifest.fp_sequence = fingerprint_sequence(sequence);
   manifest.options = opts;
+  // The manifest describes the *campaign*, not this invocation: the
+  // telemetry observer is invocation state (and a dangling pointer
+  // hazard), so the stored copy never carries it. The text format
+  // skips it anyway; this keeps the in-memory manifest honest too.
+  manifest.options.telemetry = nullptr;
 
   auto store = RunStore::create(store_dir, std::move(manifest), sequence,
                                 initial);
@@ -260,13 +324,14 @@ Expected<CampaignResult, std::string> run_campaign(
 
   return simulate_and_finish(*store, netlist, faults, sequence,
                              std::move(initial), {}, /*resumed=*/false,
-                             std::nullopt, progress, tap);
+                             std::nullopt, progress, tap, telemetry, clock);
 }
 
 Expected<CampaignResult, std::string> resume_campaign(
     const Netlist& netlist, const std::vector<Fault>& faults,
     const std::string& store_dir, std::optional<std::size_t> threads,
-    ProgressSink* progress, CheckpointSink* tap) {
+    ProgressSink* progress, CheckpointSink* tap, obs::Telemetry* telemetry) {
+  const EventClock clock(telemetry);
   auto store = RunStore::open(store_dir);
   if (!store.has_value()) return Err{store.error()};
   if (const auto ok = check_fingerprints(store->manifest(), netlist, faults,
@@ -299,14 +364,15 @@ Expected<CampaignResult, std::string> resume_campaign(
   return simulate_and_finish(*store, netlist, faults, *sequence,
                              std::move(state->initial_status),
                              std::move(state->checkpoints), /*resumed=*/true,
-                             threads, progress, tap);
+                             threads, progress, tap, telemetry, clock);
 }
 
 Expected<CampaignResult, std::string> extend_campaign(
     const Netlist& netlist, const std::vector<Fault>& faults,
     const TestSequence& extra_frames, const std::string& store_dir,
     std::optional<std::size_t> threads, ProgressSink* progress,
-    CheckpointSink* tap) {
+    CheckpointSink* tap, obs::Telemetry* telemetry) {
+  const EventClock clock(telemetry);
   if (extra_frames.empty()) {
     return Err{"extension must add at least one frame"};
   }
@@ -366,13 +432,14 @@ Expected<CampaignResult, std::string> extend_campaign(
   if (const auto w = store->save_manifest(); !w.has_value()) {
     return Err{w.error()};
   }
-  store->append_event(lifecycle_event("extend", full.size(),
-                                      count_live(state->initial_status)));
+  store->set_telemetry(telemetry);
+  log_lifecycle(*store, telemetry, clock, "extend", full.size(),
+                count_live(state->initial_status));
 
   return simulate_and_finish(*store, netlist, faults, full,
                              std::move(state->initial_status),
                              std::move(state->checkpoints), /*resumed=*/true,
-                             threads, progress, tap);
+                             threads, progress, tap, telemetry, clock);
 }
 
 }  // namespace motsim

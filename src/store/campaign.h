@@ -105,11 +105,16 @@ struct CampaignResult {
 /// `threads` (if set) overrides the recorded thread count — results do
 /// not depend on it. Resuming a completed campaign is a no-op that
 /// returns the stored result.
+/// `telemetry` (optional) observes the resumed run exactly like
+/// SimOptions::telemetry does for run_campaign — resume takes no
+/// SimOptions, so the context is passed directly. Attaching it never
+/// affects results or the store's fingerprints.
 [[nodiscard]] Expected<CampaignResult, std::string> resume_campaign(
     const Netlist& netlist, const std::vector<Fault>& faults,
     const std::string& store_dir,
     std::optional<std::size_t> threads = std::nullopt,
-    ProgressSink* progress = nullptr, CheckpointSink* tap = nullptr);
+    ProgressSink* progress = nullptr, CheckpointSink* tap = nullptr,
+    obs::Telemetry* telemetry = nullptr);
 
 /// Appends `extra_frames` to a *completed* campaign and simulates only
 /// the extension — detected and X-redundant faults are never
@@ -122,7 +127,8 @@ struct CampaignResult {
     const Netlist& netlist, const std::vector<Fault>& faults,
     const TestSequence& extra_frames, const std::string& store_dir,
     std::optional<std::size_t> threads = std::nullopt,
-    ProgressSink* progress = nullptr, CheckpointSink* tap = nullptr);
+    ProgressSink* progress = nullptr, CheckpointSink* tap = nullptr,
+    obs::Telemetry* telemetry = nullptr);
 
 }  // namespace motsim
 

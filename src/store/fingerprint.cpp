@@ -59,6 +59,10 @@ std::uint64_t fingerprint_faults(const std::vector<Fault>& faults) {
 }
 
 std::uint64_t fingerprint_options(const SimOptions& options) {
+  // Enumerates configuration fields explicitly: observer fields
+  // (options.telemetry, like the seed-independent threads count) are
+  // deliberately NOT hashed — attaching telemetry must never change a
+  // store's identity or block a resume.
   Fnv1a64 h;
   h.update_u64(2);  // fingerprint schema version (2: + analysis)
   h.update_u64(options.analysis ? 1 : 0);

@@ -9,8 +9,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/telemetry.h"
 #include "store/fingerprint.h"
 #include "tpg/sequence_io.h"
+#include "util/stopwatch.h"
 
 namespace motsim {
 
@@ -681,12 +683,30 @@ Expected<StoreState, std::string> RunStore::load_state() const {
 }
 
 void RunStore::append_checkpoint(const ChunkCheckpoint& checkpoint) {
-  append_line_or_throw(checkpoints_path(),
-                       serialize_checkpoint_line(checkpoint));
+  const std::string line = serialize_checkpoint_line(checkpoint);
+  const Stopwatch write_timer;
+  append_line_or_throw(checkpoints_path(), line);
+  if (telemetry_ != nullptr) {
+    obs::MetricsRegistry& m = telemetry_->metrics;
+    m.counter("store.checkpoint_writes").add(1);
+    m.counter("store.checkpoint_bytes").add(line.size() + 1);  // + newline
+    m.histogram("store.checkpoint_write_seconds",
+                {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0})
+        .observe(write_timer.elapsed_seconds());
+  }
 }
 
 void RunStore::append_event(const std::string& json_object) {
+  const Stopwatch write_timer;
   append_line_or_throw(events_path(), json_object);
+  if (telemetry_ != nullptr) {
+    obs::MetricsRegistry& m = telemetry_->metrics;
+    m.counter("store.event_writes").add(1);
+    m.counter("store.event_bytes").add(json_object.size() + 1);  // + newline
+    m.histogram("store.event_write_seconds",
+                {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0})
+        .observe(write_timer.elapsed_seconds());
+  }
 }
 
 Expected<bool, std::string> RunStore::write_report(const std::string& json) {

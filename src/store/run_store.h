@@ -121,6 +121,13 @@ class RunStore {
   /// Throws std::runtime_error on I/O error.
   void append_event(const std::string& json_object);
 
+  /// Telemetry context measuring this store's writes (checkpoint /
+  /// event write counts, bytes and latency histograms — the store.*
+  /// metrics of docs/OBSERVABILITY.md). nullptr = off.
+  void set_telemetry(obs::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
   [[nodiscard]] Expected<bool, std::string> write_report(
       const std::string& json);
 
@@ -135,6 +142,7 @@ class RunStore {
 
   std::string dir_;
   StoreManifest manifest_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace motsim

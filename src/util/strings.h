@@ -26,6 +26,10 @@ namespace motsim {
 /// Formats a double with `prec` digits after the point (fixed).
 [[nodiscard]] std::string format_fixed(double v, int prec);
 
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
 }  // namespace motsim
 
 #endif  // MOTSIM_UTIL_STRINGS_H

@@ -1,5 +1,9 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
 namespace motsim {
 
 ThreadPool::ThreadPool(std::size_t thread_count) {
@@ -24,6 +28,7 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
   }
   work_available_.notify_one();
 }
@@ -31,6 +36,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 std::size_t ThreadPool::default_thread_count() {
@@ -43,15 +53,21 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      const Stopwatch wait_timer;
       work_available_.wait(lock,
                            [this] { return shutdown_ || !queue_.empty(); });
+      stats_.idle_seconds += wait_timer.elapsed_seconds();
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const Stopwatch task_timer;
     task();
+    const double task_seconds = task_timer.elapsed_seconds();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.tasks_executed;
+      stats_.busy_seconds += task_seconds;
       --in_flight_;
       if (in_flight_ == 0) idle_.notify_all();
     }

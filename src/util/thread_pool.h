@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -10,6 +11,19 @@
 #include <vector>
 
 namespace motsim {
+
+/// Always-on execution statistics of a ThreadPool, collected under the
+/// pool's existing queue mutex (no extra synchronization on the task
+/// path). `idle_seconds` sums the time workers spent blocked waiting
+/// for work — including the final wait before shutdown — and
+/// `busy_seconds` the time spent inside tasks; both are summed across
+/// all workers, so a pool of N can accrue N seconds per wall second.
+struct ThreadPoolStats {
+  std::uint64_t tasks_executed = 0;
+  std::size_t max_queue_depth = 0;
+  double idle_seconds = 0;
+  double busy_seconds = 0;
+};
 
 /// Fixed-size worker pool with a FIFO task queue.
 ///
@@ -47,15 +61,21 @@ class ThreadPool {
   /// standard allows it to return 0 when undeterminable).
   [[nodiscard]] static std::size_t default_thread_count();
 
+  /// Point-in-time copy of the pool's execution statistics. Exact once
+  /// the pool is idle (after wait_idle()); a mid-run read is a
+  /// consistent snapshot of the completed work.
+  [[nodiscard]] ThreadPoolStats stats() const;
+
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  ///< queued + currently executing
   bool shutdown_ = false;
+  ThreadPoolStats stats_;  ///< guarded by mutex_
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,669 @@
+// The telemetry subsystem (src/obs/): metrics-registry correctness
+// under concurrent writers, histogram bucket semantics, trace-JSON
+// well-formedness, and the engine-level invariants of an instrumented
+// pipeline run — including that attaching a Telemetry context never
+// changes what the engines compute, for any thread count.
+//
+// tools/run_tsan.sh runs this binary under ThreadSanitizer; keep every
+// test here TSan-clean.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_data/registry.h"
+#include "core/options.h"
+#include "core/pipeline.h"
+#include "core/progress.h"
+#include "faults/collapse.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "store/campaign.h"
+#include "store/fingerprint.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace motsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON well-formedness checker (syntax only) for the
+// round-trip assertions on the renderers. Recursive descent over the
+// full grammar; no value model is built.
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool well_formed() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool json_well_formed(const std::string& text) {
+  return JsonChecker(text).well_formed();
+}
+
+TEST(JsonChecker, SelfTest) {
+  EXPECT_TRUE(json_well_formed("{\"a\": [1, -2.5e3, true, null, \"x\\n\"]}"));
+  EXPECT_FALSE(json_well_formed("{\"a\": }"));
+  EXPECT_FALSE(json_well_formed("[1, 2"));
+  EXPECT_FALSE(json_well_formed("{} extra"));
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&counter] {
+      for (int j = 0; j < kIncrements; ++j) counter.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Gauge, SetAddAndConcurrentUpdateMax) {
+  obs::Gauge g;
+  g.set(2.0);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+  obs::Gauge peak;
+  std::vector<std::thread> threads;
+  for (int i = 1; i <= 8; ++i) {
+    threads.emplace_back([&peak, i] {
+      for (int j = 0; j < 1000; ++j) peak.update_max(i * 1.0 + j * 1e-6);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(peak.value(), 8.0 + 999 * 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundsAreInclusiveUpperLimits) {
+  obs::Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);  // bucket 0
+  h.observe(1.0);  // bucket 0 (le semantics: boundary is inclusive)
+  h.observe(1.5);  // bucket 1
+  h.observe(2.0);  // bucket 1
+  h.observe(5.0);  // bucket 2
+  h.observe(5.1);  // overflow
+  const std::vector<std::uint64_t> want{2, 2, 1, 1};
+  EXPECT_EQ(h.bucket_counts(), want);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 5.1, 1e-12);
+}
+
+TEST(Histogram, UnsortedBoundsAreSortedOnConstruction) {
+  obs::Histogram h({5.0, 1.0, 2.0});
+  const std::vector<double> want{1.0, 2.0, 5.0};
+  EXPECT_EQ(h.bounds(), want);
+  h.observe(1.5);
+  const std::vector<std::uint64_t> counts{0, 1, 0, 0};
+  EXPECT_EQ(h.bucket_counts(), counts);
+}
+
+TEST(Histogram, ConcurrentObservesKeepCountConsistent) {
+  obs::Histogram h({0.25, 0.5, 0.75});
+  constexpr int kThreads = 4;
+  constexpr int kObs = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&h, i] {
+      for (int j = 0; j < kObs; ++j) h.observe((i * 0.25) + 0.1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kObs);
+  std::uint64_t total = 0;
+  for (std::uint64_t b : h.bucket_counts()) total += b;
+  EXPECT_EQ(total, h.count());
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, NamesAreStableAndSnapshotIsOrdered) {
+  obs::MetricsRegistry reg;
+  reg.counter("z.last").add(3);
+  reg.counter("a.first").add(1);
+  EXPECT_EQ(&reg.counter("a.first"), &reg.counter("a.first"));
+  reg.gauge("m.mid").set(7.5);
+  // Bounds bind on first creation; later bounds are ignored.
+  reg.histogram("h", {1.0, 2.0}).observe(1.5);
+  reg.histogram("h", {99.0}).observe(0.5);
+
+  const obs::MetricsSnapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].first, "a.first");
+  EXPECT_EQ(s.counters[1].first, "z.last");
+  EXPECT_EQ(s.counters[1].second, 3u);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.gauges[0].second, 7.5);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  const std::vector<double> bounds{1.0, 2.0};
+  EXPECT_EQ(s.histograms[0].bounds, bounds);
+  EXPECT_EQ(s.histograms[0].count, 2u);
+}
+
+TEST(Registry, SnapshotUnderConcurrentIncrementsIsExactAfterJoin) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 6;
+  constexpr int kIncrements = 5000;
+  std::atomic<bool> stop{false};
+  // A reader thread snapshotting concurrently must never crash or see
+  // torn registry structure (the values themselves are racy until the
+  // writers quiesce — that is the documented contract).
+  std::thread reader([&reg, &stop] {
+    while (!stop.load()) {
+      const obs::MetricsSnapshot s = reg.snapshot();
+      for (const auto& [name, v] : s.counters) {
+        (void)name;
+        (void)v;
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int i = 0; i < kThreads; ++i) {
+    writers.emplace_back([&reg] {
+      for (int j = 0; j < kIncrements; ++j) {
+        reg.counter("shared").add();
+        reg.gauge("peak").update_max(j);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  const obs::MetricsSnapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 1u);
+  EXPECT_EQ(s.counters[0].second,
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_DOUBLE_EQ(s.gauges[0].second, kIncrements - 1);
+}
+
+TEST(Registry, JsonRendererRoundTripParses) {
+  obs::MetricsRegistry reg;
+  EXPECT_TRUE(json_well_formed(reg.snapshot().to_json()));  // empty
+
+  reg.counter("bdd.apply_cache_hits").add(42);
+  reg.gauge("hybrid.symbolic_seconds").set(1.25);
+  reg.histogram("store.event_write_seconds", {1e-4, 1e-2}).observe(3e-3);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"bdd.apply_cache_hits\": 42"), std::string::npos);
+}
+
+TEST(Registry, PrometheusRendererExpandsHistograms) {
+  obs::MetricsRegistry reg;
+  reg.counter("bdd.gc_runs").add(2);
+  obs::Histogram& h = reg.histogram("parallel.shard_seconds", {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  const std::string text = reg.snapshot().to_prometheus();
+  EXPECT_NE(text.find("# TYPE bdd_gc_runs counter"), std::string::npos);
+  EXPECT_NE(text.find("bdd_gc_runs 2"), std::string::npos);
+  // Cumulative le buckets: 1 <= 0.1, 2 <= 1.0, 3 <= +Inf.
+  EXPECT_NE(text.find("parallel_shard_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("parallel_shard_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("parallel_shard_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("parallel_shard_seconds_count 3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SpanTracer
+// ---------------------------------------------------------------------------
+
+TEST(Trace, ChromeJsonIsWellFormedAndEscaped) {
+  obs::SpanTracer tracer;
+  {
+    auto outer = tracer.span("stage.symbolic");
+    auto inner = tracer.span("weird \"name\"\\with\nescapes");
+  }
+  tracer.instant("event.fault_detected");
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(Trace, EventsRecordNestingAndThreads) {
+  obs::SpanTracer tracer;
+  {
+    auto outer = tracer.span("outer");
+    { auto inner = tracer.span("inner"); }
+  }
+  std::thread other([&tracer] { auto s = tracer.span("worker"); });
+  other.join();
+
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  // RAII closes inner first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[2].name, "worker");
+  EXPECT_LE(events[1].start_seconds, events[0].start_seconds);
+  EXPECT_GE(events[1].duration_seconds, events[0].duration_seconds);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_NE(events[2].tid, events[0].tid);
+}
+
+TEST(Trace, MovedFromSpanDoesNotDoubleRecord) {
+  obs::SpanTracer tracer;
+  {
+    auto a = tracer.span("once");
+    auto b = std::move(a);
+    a.close();  // moved-from: no-op
+  }
+  EXPECT_EQ(tracer.events().size(), 1u);
+}
+
+TEST(Trace, PhaseSummaryAggregatesByName) {
+  obs::SpanTracer tracer;
+  { auto s = tracer.span("stage.sim3"); }
+  { auto s = tracer.span("stage.sim3"); }
+  tracer.instant("marker");  // instants do not appear in the table
+  const std::string table = tracer.phase_summary();
+  EXPECT_NE(table.find("stage.sim3"), std::string::npos);
+  EXPECT_EQ(table.find("marker"), std::string::npos);
+  std::istringstream lines(table);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_NE(row.find("2"), std::string::npos);  // count column
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool statistics
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolStats, CountsTasksAndQueueDepth) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([] {});
+  }
+  pool.wait_idle();
+  const ThreadPoolStats s = pool.stats();
+  EXPECT_EQ(s.tasks_executed, 32u);
+  EXPECT_GE(s.max_queue_depth, 1u);
+  EXPECT_GE(s.busy_seconds, 0.0);
+  EXPECT_GE(s.idle_seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// SimOptions / fingerprint: telemetry is an observer, not identity
+// ---------------------------------------------------------------------------
+
+TEST(Options, TelemetryExcludedFromEqualityAndFingerprint) {
+  obs::Telemetry telemetry;
+  SimOptions with, without;
+  with.telemetry = &telemetry;
+  EXPECT_TRUE(with == without);
+  EXPECT_EQ(fingerprint_options(with), fingerprint_options(without));
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented pipeline runs
+// ---------------------------------------------------------------------------
+
+struct PipelineRun {
+  explicit PipelineRun(std::size_t frames = 48) : nl(make_benchmark("s298")),
+                                                  faults(nl) {
+    Rng rng(7);
+    seq = random_sequence(nl, frames, rng);
+  }
+  Netlist nl;
+  CollapsedFaultList faults;
+  TestSequence seq;
+};
+
+double gauge_value(const obs::MetricsSnapshot& s, const std::string& name) {
+  for (const auto& [n, v] : s.gauges) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "gauge not found: " << name;
+  return 0;
+}
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& s,
+                            const std::string& name) {
+  for (const auto& [n, v] : s.counters) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "counter not found: " << name;
+  return 0;
+}
+
+TEST(PipelineTelemetry, ModeSecondsAndPeakNodesInvariants) {
+  const PipelineRun w;
+  obs::Telemetry telemetry;
+  SimOptions opts;
+  opts.node_limit = 120;  // small enough to force fallback windows
+  opts.fallback_frames = 4;
+  opts.telemetry = &telemetry;
+  const PipelineResult r =
+      run_pipeline(w.nl, w.faults.faults(), w.seq, opts);
+  ASSERT_TRUE(r.used_fallback)
+      << "node_limit did not force a fallback window; scenario is vacuous";
+
+  const obs::MetricsSnapshot s = telemetry.metrics.snapshot();
+  const double sym = gauge_value(s, "hybrid.symbolic_seconds");
+  const double fb = gauge_value(s, "hybrid.fallback_seconds");
+  EXPECT_GT(sym, 0.0);
+  EXPECT_GT(fb, 0.0);
+  // The two mode timers partition the frame loop of the symbolic
+  // stage: their sum can never exceed the stage's wall clock, and the
+  // part they miss (setup, seeding, result merge) is bounded.
+  const double total = gauge_value(s, "pipeline.symbolic_seconds");
+  EXPECT_LE(sym + fb, total + 1e-6);
+  EXPECT_NEAR(sym + fb, total, 0.5);
+
+  // Frame counters partition the simulated frames.
+  const std::uint64_t frames =
+      counter_value(s, "hybrid.symbolic_frames") +
+      counter_value(s, "hybrid.three_valued_frames");
+  EXPECT_GT(frames, 0u);
+  EXPECT_LE(frames, w.seq.size());
+  EXPECT_GT(counter_value(s, "hybrid.fallback_windows"), 0u);
+
+  // The space limit of the paper: the manager enforces the hard cap
+  // before creating a node, so the recorded peak must respect it.
+  const double peak = gauge_value(s, "bdd.peak_live_nodes");
+  EXPECT_GT(peak, 0.0);
+  EXPECT_LE(peak, static_cast<double>(opts.node_limit *
+                                      opts.hard_limit_factor));
+
+  // The apply cache saw traffic and hits never exceed lookups.
+  EXPECT_LE(counter_value(s, "bdd.apply_cache_hits"),
+            counter_value(s, "bdd.apply_cache_lookups"));
+  EXPECT_GT(counter_value(s, "bdd.apply_cache_lookups"), 0u);
+}
+
+TEST(PipelineTelemetry, ResultsBitIdenticalWithTelemetryAcrossThreads) {
+  const PipelineRun w;
+  SimOptions base;
+  base.node_limit = 120;  // exercise fallback windows too
+  base.fallback_frames = 4;
+  const PipelineResult reference =
+      run_pipeline(w.nl, w.faults.faults(), w.seq, base);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    obs::Telemetry telemetry;
+    SimOptions opts = base;
+    opts.threads = threads;
+    opts.telemetry = &telemetry;
+    const PipelineResult observed =
+        run_pipeline(w.nl, w.faults.faults(), w.seq, opts);
+    EXPECT_EQ(observed.status, reference.status) << "threads=" << threads;
+    EXPECT_EQ(observed.detect_frame, reference.detect_frame)
+        << "threads=" << threads;
+    EXPECT_EQ(observed.x_redundant, reference.x_redundant);
+    // The parallel driver reported its shards.
+    if (threads > 1) {
+      const obs::MetricsSnapshot s = telemetry.metrics.snapshot();
+      EXPECT_GT(counter_value(s, "parallel.shards"), 0u);
+      EXPECT_GT(counter_value(s, "parallel.pool_tasks"), 0u);
+    }
+  }
+}
+
+TEST(PipelineTelemetry, StageCallbacksFireInOrder) {
+  class StageRecorder final : public ProgressSink {
+   public:
+    void on_stage(const char* name, double seconds) override {
+      names.push_back(name);
+      EXPECT_GE(seconds, 0.0);
+    }
+    std::vector<std::string> names;
+  };
+
+  const PipelineRun w(16);
+  StageRecorder recorder;
+  SimOptions opts;
+  (void)run_pipeline(w.nl, w.faults.faults(), w.seq, opts, &recorder);
+  const std::vector<std::string> want{"stage.xred", "stage.sim3",
+                                      "stage.symbolic"};
+  EXPECT_EQ(recorder.names, want);
+
+  // A sink that overrides nothing must keep compiling and be usable —
+  // the default on_stage body is empty.
+  ProgressSink plain;
+  plain.on_stage("stage.sim3", 0.0);
+}
+
+TEST(PipelineTelemetry, TraceContainsStagesWindowsAndShards) {
+  const PipelineRun w;
+  obs::Telemetry telemetry;
+  SimOptions opts;
+  opts.node_limit = 120;
+  opts.fallback_frames = 4;
+  opts.threads = 2;
+  opts.telemetry = &telemetry;
+  (void)run_pipeline(w.nl, w.faults.faults(), w.seq, opts);
+
+  const std::string json = telemetry.tracer.to_chrome_json();
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"stage.symbolic\""), std::string::npos);
+  EXPECT_NE(json.find("\"symbolic\""), std::string::npos);
+  EXPECT_NE(json.find("\"fallback_window\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign event stream: wall-clock "t" fields
+// ---------------------------------------------------------------------------
+
+struct TempDir {
+  explicit TempDir(const std::string& tag)
+      : path((fs::temp_directory_path() /
+              ("motsim_obs_" + tag + "_" +
+               std::to_string(
+                   ::testing::UnitTest::GetInstance()->random_seed())))
+                 .string()) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+std::vector<std::string> read_lines(const std::string& file) {
+  std::ifstream in(file);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Extracts the `"t":<seconds>` field of one events.jsonl record.
+double t_of(const std::string& line) {
+  const std::size_t at = line.find("\"t\":");
+  EXPECT_NE(at, std::string::npos) << "record without t field: " << line;
+  if (at == std::string::npos) return -1;
+  return std::stod(line.substr(at + 4));
+}
+
+TEST(CampaignTelemetry, EventRecordsCarryMonotonicTimestamps) {
+  const Netlist nl = make_benchmark("s298");
+  const CollapsedFaultList faults(nl);
+  Rng rng(3);
+  const TestSequence seq = random_sequence(nl, 32, rng);
+
+  TempDir tmp("events");
+  obs::Telemetry telemetry;
+  SimOptions opts;
+  opts.checkpoint_interval = 8;
+  opts.telemetry = &telemetry;
+  const auto res = run_campaign(nl, faults.faults(), seq, opts, tmp.path);
+  ASSERT_TRUE(res.has_value()) << res.error();
+
+  const std::vector<std::string> lines =
+      read_lines(tmp.path + "/events.jsonl");
+  ASSERT_GE(lines.size(), 3u);  // run_start, >=1 checkpoint, run_complete
+  double last = 0;
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(json_well_formed(line)) << line;
+    const double t = t_of(line);
+    EXPECT_GE(t, last) << "timestamps must be non-decreasing: " << line;
+    last = t;
+  }
+  // The tracer saw the same events on the same clock.
+  const std::string trace = telemetry.tracer.to_chrome_json();
+  EXPECT_NE(trace.find("\"event.checkpoint\""), std::string::npos);
+  EXPECT_NE(trace.find("\"event.run_complete\""), std::string::npos);
+}
+
+TEST(CampaignTelemetry, EventsHaveTimestampsEvenWithoutTelemetry) {
+  const Netlist nl = make_benchmark("s27");
+  const CollapsedFaultList faults(nl);
+  Rng rng(3);
+  const TestSequence seq = random_sequence(nl, 16, rng);
+
+  TempDir tmp("notele");
+  SimOptions opts;
+  opts.checkpoint_interval = 8;
+  const auto res = run_campaign(nl, faults.faults(), seq, opts, tmp.path);
+  ASSERT_TRUE(res.has_value()) << res.error();
+  for (const std::string& line : read_lines(tmp.path + "/events.jsonl")) {
+    EXPECT_NE(line.find("\"t\":"), std::string::npos) << line;
+  }
+}
+
+}  // namespace
+}  // namespace motsim

@@ -15,6 +15,7 @@
 
 #include "bench_data/registry.h"
 #include "faults/collapse.h"
+#include "obs/telemetry.h"
 #include "store/campaign.h"
 #include "store/run_store.h"
 #include "tpg/sequences.h"
@@ -187,6 +188,49 @@ TEST(Resume, ResumingCompletedCampaignIsIdempotent) {
   ASSERT_TRUE(again.has_value()) << again.error();
   expect_identical(*again, *first);
   EXPECT_EQ(again->sym.checkpoint_syncs, 0u);  // nothing was re-simulated
+}
+
+TEST(Resume, TelemetryMayBeAttachedAcrossResume) {
+  // A campaign recorded with telemetry *off* must resume bit-identically
+  // with telemetry *on*: the Telemetry context is an observer, never
+  // part of a run's identity or its store fingerprints.
+  const Workload w;
+  TempDir tmp("telemetry");
+  const auto baseline = run_campaign(w.nl, w.faults.faults(), w.base, w.opts,
+                                     tmp.sub("baseline"));
+  ASSERT_TRUE(baseline.has_value()) << baseline.error();
+
+  ThrowingTap tap(3);
+  ASSERT_FALSE(run_campaign(w.nl, w.faults.faults(), w.base, w.opts,
+                            tmp.sub("killed"), nullptr, &tap)
+                   .has_value());
+
+  obs::Telemetry telemetry;
+  const auto resumed =
+      resume_campaign(w.nl, w.faults.faults(), tmp.sub("killed"),
+                      std::nullopt, nullptr, nullptr, &telemetry);
+  ASSERT_TRUE(resumed.has_value()) << resumed.error();
+  expect_identical(*resumed, *baseline);
+  // The observer really observed the resumed leg.
+  const auto snapshot = telemetry.metrics.snapshot();
+  bool saw_frames = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "hybrid.symbolic_frames" && value > 0) saw_frames = true;
+  }
+  EXPECT_TRUE(saw_frames);
+
+  // And the mirror image: recorded with telemetry on, resumed without.
+  obs::Telemetry recording;
+  SimOptions opts_on = w.opts;
+  opts_on.telemetry = &recording;
+  ThrowingTap tap2(3);
+  ASSERT_FALSE(run_campaign(w.nl, w.faults.faults(), w.base, opts_on,
+                            tmp.sub("killed2"), nullptr, &tap2)
+                   .has_value());
+  const auto resumed_plain =
+      resume_campaign(w.nl, w.faults.faults(), tmp.sub("killed2"));
+  ASSERT_TRUE(resumed_plain.has_value()) << resumed_plain.error();
+  expect_identical(*resumed_plain, *baseline);
 }
 
 TEST(Extend, MatchesFromScratchOverConcatenatedSequence) {

@@ -18,6 +18,7 @@
 #include "store/run_store.h"
 #include "tpg/sequences.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace motsim {
 namespace {

@@ -29,6 +29,11 @@
 //   --save-seq FILE / --load-seq FILE   sequence file I/O
 //   --report-json FILE   full per-fault report as JSON
 //
+// Observability (docs/OBSERVABILITY.md):
+//   --metrics-json FILE  engine metrics snapshot as one JSON object
+//   --trace FILE         Chrome trace_event JSON (load in Perfetto or
+//                        chrome://tracing)
+//
 // Campaign mode (docs/CHECKPOINT.md):
 //   --store DIR            run as a checkpointed campaign in DIR
 //   --resume               continue the campaign persisted in DIR
@@ -55,6 +60,7 @@
 #include "core/progress.h"
 #include "core/symbolic_fsm.h"
 #include "faults/collapse.h"
+#include "obs/telemetry.h"
 #include "faults/report.h"
 #include "store/campaign.h"
 #include "store/run_store.h"
@@ -62,6 +68,7 @@
 #include "tpg/sequence_io.h"
 #include "tpg/sequences.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 
 using namespace motsim;
@@ -88,6 +95,8 @@ struct Options {
   std::string save_seq;
   std::string load_seq;
   std::string report_json;
+  std::string metrics_json;
+  std::string trace_file;
   std::string store_dir;
   bool resume = false;
   std::size_t extend_vectors = 0;
@@ -125,6 +134,10 @@ struct Options {
                "  --load-seq FILE    replay a saved sequence instead of\n"
                "                     generating one\n"
                "  --report-json FILE full per-fault report as JSON\n"
+               "observability (see docs/OBSERVABILITY.md):\n"
+               "  --metrics-json FILE  engine metrics snapshot as JSON\n"
+               "  --trace FILE       Chrome trace_event JSON for\n"
+               "                     Perfetto / chrome://tracing\n"
                "campaign mode (see docs/CHECKPOINT.md):\n"
                "  --store DIR        checkpointed campaign in DIR\n"
                "  --resume           continue the campaign in --store DIR\n"
@@ -218,6 +231,8 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--save-seq") o.save_seq = next();
     else if (a == "--load-seq") o.load_seq = next();
     else if (a == "--report-json") o.report_json = next();
+    else if (a == "--metrics-json") o.metrics_json = next();
+    else if (a == "--trace") o.trace_file = next();
     else if (a == "--store") o.store_dir = next();
     else if (a == "--resume") o.resume = true;
     else if (a == "--extend-vectors") {
@@ -271,17 +286,38 @@ Options parse_args(int argc, char** argv) {
 }
 
 /// --progress sink: a line on stderr every few frames plus one per
-/// fallback window. Under --threads N the parallel driver serializes
-/// the callbacks, so plain counters suffice.
+/// fallback window and per finished pipeline stage. Under --threads N
+/// the parallel driver serializes the callbacks, so plain counters
+/// suffice. The throughput figure counts every on_frame call, so with
+/// fault sharding it is aggregate frames/s across the shards and the
+/// ETA (based on the reporting shard's frame index) is approximate.
 class StderrProgress final : public ProgressSink {
  public:
+  /// `total_frames` sizes the ETA; pass 0 when the sequence length is
+  /// not known up front (campaign resume) to omit it.
+  explicit StderrProgress(std::size_t total_frames)
+      : total_frames_(total_frames) {}
+
   void on_frame(std::size_t frame, std::size_t live_nodes,
                 std::size_t faults_remaining) override {
+    ++frames_done_;
     if (frame % 25 != 0) return;
+    const double elapsed = timer_.elapsed_seconds();
+    const double fps =
+        elapsed > 0 ? static_cast<double>(frames_done_) / elapsed : 0.0;
+    char rate[64] = "";
+    if (fps > 0) {
+      std::snprintf(rate, sizeof(rate), ", %.0f frames/s", fps);
+    }
+    char eta[48] = "";
+    if (fps > 0 && total_frames_ > frame) {
+      std::snprintf(eta, sizeof(eta), ", ETA %.1f s",
+                    static_cast<double>(total_frames_ - frame) / fps);
+    }
     std::fprintf(stderr,
                  "[sym] frame %zu: %zu live nodes, %zu faults left, "
-                 "%zu detected so far\n",
-                 frame, live_nodes, faults_remaining, detected_);
+                 "%zu detected so far%s%s\n",
+                 frame, live_nodes, faults_remaining, detected_, rate, eta);
   }
   void on_fallback_window(std::size_t frame,
                           std::size_t window_frames) override {
@@ -294,10 +330,46 @@ class StderrProgress final : public ProgressSink {
                          std::uint32_t /*frame*/) override {
     ++detected_;
   }
+  void on_stage(const char* name, double seconds) override {
+    std::fprintf(stderr, "[stage] %-16s %.3f s\n", name, seconds);
+  }
 
  private:
+  std::size_t total_frames_;
+  Stopwatch timer_;
+  std::size_t frames_done_ = 0;
   std::size_t detected_ = 0;
 };
+
+/// Flushes --metrics-json / --trace outputs (when requested) and, under
+/// --progress, the human-readable telemetry digest. Returns 0 or 1.
+int write_telemetry_outputs(const Options& o,
+                            const obs::Telemetry* telemetry) {
+  if (telemetry == nullptr) return 0;
+  if (o.progress) {
+    std::fprintf(stderr, "\n--- telemetry ---\n%s",
+                 telemetry->summary().c_str());
+  }
+  if (!o.metrics_json.empty()) {
+    if (const auto w = telemetry->write_metrics_json(o.metrics_json);
+        !w.has_value()) {
+      std::fprintf(stderr, "error: %s\n", w.error().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics to %s\n", o.metrics_json.c_str());
+  }
+  if (!o.trace_file.empty()) {
+    if (const auto w = telemetry->write_trace_json(o.trace_file);
+        !w.has_value()) {
+      std::fprintf(stderr, "error: %s\n", w.error().c_str());
+      return 1;
+    }
+    std::printf("wrote trace to %s (load in Perfetto or "
+                "chrome://tracing)\n",
+                o.trace_file.c_str());
+  }
+  return 0;
+}
 
 Netlist load_circuit(const std::string& name) {
   if (find_benchmark(name) != nullptr) return make_benchmark(name);
@@ -369,8 +441,9 @@ void run_sync_analysis(const Netlist& nl) {
 /// Campaign front end: fresh run, resume, or incremental extension.
 int run_campaign_mode(const Options& o, const Netlist& nl,
                       const std::vector<Fault>& faults,
-                      const TestSequence& seq) {
-  StderrProgress progress;
+                      const TestSequence& seq,
+                      obs::Telemetry* telemetry) {
+  StderrProgress progress(seq.size());
   ProgressSink* sink = o.progress ? &progress : nullptr;
   const std::optional<std::size_t> threads =
       o.threads_set ? std::optional<std::size_t>(o.sim.threads)
@@ -381,7 +454,8 @@ int run_campaign_mode(const Options& o, const Netlist& nl,
   const char* mode = "fresh";
   if (o.resume) {
     mode = "resumed";
-    res = resume_campaign(nl, faults, o.store_dir, threads, sink);
+    res = resume_campaign(nl, faults, o.store_dir, threads, sink, nullptr,
+                          telemetry);
   } else if (o.extend_vectors != 0) {
     mode = "extended";
     // Extension vectors continue the stored seed's random stream: the
@@ -398,9 +472,12 @@ int run_campaign_mode(const Options& o, const Netlist& nl,
     std::printf("extension: %zu random vectors (continuing seed %llu)\n",
                 extra.size(),
                 static_cast<unsigned long long>(store->manifest().seed));
-    res = extend_campaign(nl, faults, extra, o.store_dir, threads, sink);
+    res = extend_campaign(nl, faults, extra, o.store_dir, threads, sink,
+                          nullptr, telemetry);
   } else {
-    res = run_campaign(nl, faults, seq, o.sim, o.store_dir, sink);
+    SimOptions opts = o.sim;
+    opts.telemetry = telemetry;
+    res = run_campaign(nl, faults, seq, opts, o.store_dir, sink);
   }
 
   if (!res.has_value()) {
@@ -431,7 +508,17 @@ int run_campaign_mode(const Options& o, const Netlist& nl,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options o = parse_args(argc, argv);
+  Options o = parse_args(argc, argv);
+
+  // One telemetry context for the whole invocation, allocated only
+  // when an observability flag asks for it — the engines otherwise
+  // keep their one-branch disabled path.
+  std::optional<obs::Telemetry> telemetry;
+  if (!o.metrics_json.empty() || !o.trace_file.empty()) {
+    telemetry.emplace();
+  }
+  obs::Telemetry* const tele = telemetry.has_value() ? &*telemetry : nullptr;
+  o.sim.telemetry = tele;
 
   if (o.list) {
     std::printf("%-10s %6s %4s %4s %6s  %s\n", "name", "PI", "PO", "FF",
@@ -533,10 +620,12 @@ int main(int argc, char** argv) {
   }
 
   if (!o.store_dir.empty()) {
-    return run_campaign_mode(o, nl, faults.faults(), seq);
+    const int rc = run_campaign_mode(o, nl, faults.faults(), seq, tele);
+    const int trc = write_telemetry_outputs(o, tele);
+    return rc != 0 ? rc : trc;
   }
 
-  StderrProgress progress;
+  StderrProgress progress(seq.size());
   const PipelineResult r =
       run_pipeline(nl, faults.faults(), seq, *checked,
                    o.progress ? &progress : nullptr);
@@ -569,5 +658,8 @@ int main(int argc, char** argv) {
 
   if (o.sync) run_sync_analysis(nl);
 
-  return write_report_json(o, nl, faults.faults(), r.status, r.detect_frame);
+  const int rc =
+      write_report_json(o, nl, faults.faults(), r.status, r.detect_frame);
+  const int trc = write_telemetry_outputs(o, tele);
+  return rc != 0 ? rc : trc;
 }
