@@ -1,0 +1,201 @@
+// Implication-engine ablation: what do static learning, untestability
+// pruning and constant tying buy, and do they really change nothing?
+//
+// Runs the full pipeline on registry circuits twice — with and without
+// the sequence-independent static analysis (SimOptions::analysis,
+// which now includes src/analysis/implication.h on top of the
+// structural X-redundancy pass) — and compares:
+//
+//  * faults pruned up front (StaticXRed + StaticUntestable verdicts),
+//  * every-frame-constant nets the symbolic stage ties to constant
+//    OBDDs,
+//  * wall-clock of the whole pipeline (best of N),
+//  * and, as a hard correctness gate, the detected-fault sets: the
+//    analysis is a pure pre-pass, so the detected set and every
+//    detection frame must be bit-identical. Any mismatch exits
+//    nonzero — this harness doubles as the soundness check of
+//    docs/ANALYSIS.md on real workloads.
+//
+// Registry circuits carry no constant nets, so the interesting numbers
+// come from a synthetic "blocked-logic" variant: a reconvergent
+// AND(a, NOT a) constant — invisible to structural propagation,
+// learnable by the implication engine — gating an extra cone whose
+// faults are untestable by conflict or constant blocking.
+//
+// s5378 runs three-valued only (run_symbolic = false) to keep the CI
+// budget; the bit-identity assertion applies there all the same.
+//
+// Environment (see bench_common.h): MOTSIM_FULL, MOTSIM_VECTORS,
+// MOTSIM_SEED.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/implication.h"
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "faults/collapse.h"
+#include "faults/fault.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace motsim;
+using namespace motsim::bench;
+
+namespace {
+
+struct Measurement {
+  double seconds = 1e100;
+  PipelineResult result;
+};
+
+Measurement measure(const Netlist& nl, const std::vector<Fault>& faults,
+                    const TestSequence& seq, bool analysis, bool symbolic,
+                    int reps) {
+  SimOptions opts;
+  opts.analysis = analysis;
+  opts.run_symbolic = symbolic;
+  Measurement best;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch timer;
+    PipelineResult r = run_pipeline(nl, faults, seq, opts);
+    const double secs = timer.elapsed_seconds();
+    if (secs < best.seconds) {
+      best.seconds = secs;
+      best.result = std::move(r);
+    }
+  }
+  return best;
+}
+
+/// Registry circuit plus a blocked cone: zero = AND(a, NOT a) is a
+/// learnable every-frame constant (structural propagation cannot see
+/// it), z = AND(b, zero) is constant through it, and the extra output
+/// y = OR(z, b) keeps the cone observable — so z's s-a-1 stays
+/// testable while z/SA0 (activation conflict) and z's b-pin faults
+/// (blocked by the constant side input) are statically untestable.
+/// Purely additive: the original faults' verdicts are unaffected.
+Netlist with_blocked_logic(const std::string& name) {
+  const Netlist base = make_benchmark(name);
+  Netlist nl(base.name() + "+blk");
+  std::vector<NodeIndex> map(base.node_count(), kNoNode);
+  for (NodeIndex n = 0; n < base.node_count(); ++n) {
+    const Gate& g = base.gate(n);
+    switch (g.type) {
+      case GateType::Input:
+        map[n] = nl.add_input(g.name);
+        break;
+      case GateType::Dff:
+        map[n] = nl.add_dff(kNoNode, g.name);
+        break;
+      default:
+        map[n] = nl.add_gate(g.type, {}, g.name);
+        break;
+    }
+  }
+  for (NodeIndex n = 0; n < base.node_count(); ++n) {
+    std::vector<NodeIndex> fanins;
+    for (NodeIndex f : base.gate(n).fanins) fanins.push_back(map[f]);
+    if (!fanins.empty()) nl.set_fanins(map[n], fanins);
+  }
+  for (NodeIndex n : base.outputs()) nl.mark_output(map[n]);
+  const NodeIndex a = map[base.inputs()[0]];
+  const NodeIndex b = map[base.inputs()[1 % base.input_count()]];
+  const NodeIndex na = nl.add_gate(GateType::Not, {a}, "blk_not");
+  const NodeIndex zero = nl.add_gate(GateType::And, {a, na}, "blk_zero");
+  const NodeIndex z = nl.add_gate(GateType::And, {b, zero}, "blk_z");
+  const NodeIndex y = nl.add_gate(GateType::Or, {z, b}, "blk_y");
+  nl.mark_output(y);
+  nl.finalize();
+  return nl;
+}
+
+/// True when the two runs have identical detected sets and frames.
+bool detection_identical(const Netlist& nl, const std::vector<Fault>& faults,
+                         const PipelineResult& off,
+                         const PipelineResult& on) {
+  bool ok = off.status.size() == on.status.size();
+  for (std::size_t i = 0; ok && i < off.status.size(); ++i) {
+    if (is_detected(off.status[i]) != is_detected(on.status[i]) ||
+        off.detect_frame[i] != on.detect_frame[i]) {
+      std::fprintf(stderr,
+                   "MISMATCH: %s %s: off=%s@%u on=%s@%u\n", nl.name().c_str(),
+                   fault_name(nl, faults[i]).c_str(),
+                   to_cstring(off.status[i]), off.detect_frame[i],
+                   to_cstring(on.status[i]), on.detect_frame[i]);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  print_preamble("implication ablation",
+                 "pipeline with vs without static learning, untestability "
+                 "pruning and constant tying");
+
+  const std::size_t vectors =
+      static_cast<std::size_t>(env_int("MOTSIM_VECTORS", 96));
+  const int reps = full_mode() ? 5 : 3;
+
+  // name, run the symbolic stage too?
+  std::vector<std::pair<std::string, bool>> workloads{{"s27", true},
+                                                      {"s344", true},
+                                                      {"s5378", false}};
+  if (full_mode()) workloads.push_back({"s1423", true});
+
+  bool all_identical = true;
+  std::printf("%-14s %8s %6s %7s %5s %9s %9s %9s\n", "circuit", "faults",
+              "xred", "untest", "tied", "off[s]", "on[s]", "detected");
+  for (const auto& [name, symbolic] : workloads) {
+    for (const bool blocked : {false, true}) {
+      const Netlist nl =
+          blocked ? with_blocked_logic(name) : make_benchmark(name);
+      const CollapsedFaultList faults(nl);
+      Rng rng(workload_seed());
+      const TestSequence seq = random_sequence(nl, vectors, rng);
+
+      const Measurement off =
+          measure(nl, faults.faults(), seq, false, symbolic, reps);
+      const Measurement on =
+          measure(nl, faults.faults(), seq, true, symbolic, reps);
+
+      const ImplicationEngine eng(nl);
+      std::printf("%-14s %8zu %6zu %7zu %5zu %9.3f %9.3f %9zu\n",
+                  nl.name().c_str(), faults.size(),
+                  on.result.static_x_redundant, on.result.static_untestable,
+                  eng.tied_constant_count(), off.seconds, on.seconds,
+                  on.result.summary().detected_total());
+
+      if (!detection_identical(nl, faults.faults(), off.result, on.result)) {
+        all_identical = false;
+      }
+      if (off.result.summary().detected_total() !=
+          on.result.summary().detected_total()) {
+        all_identical = false;
+      }
+      // The blocked variant must actually exercise the new machinery.
+      if (blocked &&
+          (on.result.static_untestable == 0 || eng.tied_constant_count() == 0)) {
+        std::fprintf(stderr,
+                     "FAILURE: %s pruned no untestable fault / tied no "
+                     "net.\n",
+                     nl.name().c_str());
+        all_identical = false;
+      }
+    }
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAILURE: implication pruning changed a detection "
+                 "result.\n");
+    return 1;
+  }
+  std::printf("\ndetected-fault sets are identical with and without the "
+              "implication engine on every circuit.\n");
+  return 0;
+}

@@ -1,0 +1,603 @@
+#include "analysis/implication.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace motsim {
+
+namespace {
+
+/// Controlling input value of a gate type, -1 when it has none.
+int controlling_value(GateType t) noexcept {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+      return 0;
+    case GateType::Or:
+    case GateType::Nor:
+      return 1;
+    default:
+      return -1;
+  }
+}
+
+/// Output value of a gate when a controlling input is present, -1 when
+/// the type has no controlling value.
+int controlled_output(GateType t) noexcept {
+  switch (t) {
+    case GateType::And:
+      return 0;
+    case GateType::Nand:
+      return 1;
+    case GateType::Or:
+      return 1;
+    case GateType::Nor:
+      return 0;
+    default:
+      return -1;
+  }
+}
+
+bool adjacent(const Netlist& nl, NodeIndex a, NodeIndex b) {
+  for (NodeIndex f : nl.gate(a).fanins) {
+    if (f == b) return true;
+  }
+  for (NodeIndex f : nl.gate(b).fanins) {
+    if (f == a) return true;
+  }
+  return false;
+}
+
+/// Settled-constant evaluation of one combinational gate: the result
+/// holds from the frame where every operand it depends on has settled
+/// (for a controlling operand, from that operand's own frame).
+SettledConst eval_settled_gate(const Netlist& nl, NodeIndex n,
+                               const std::vector<SettledConst>& val) {
+  const Gate& g = nl.gate(n);
+  if (g.fanins.empty()) return {};
+  const bool invert = g.type == GateType::Nand || g.type == GateType::Nor ||
+                      g.type == GateType::Not || g.type == GateType::Xnor;
+  auto flip = [invert](ConstVal v) {
+    if (!invert) return v;
+    return v == ConstVal::Zero ? ConstVal::One : ConstVal::Zero;
+  };
+  switch (g.type) {
+    case GateType::Buf:
+    case GateType::Not: {
+      const SettledConst& in = val[g.fanins[0]];
+      if (in.value == ConstVal::Unknown) return {};
+      return {flip(in.value), in.from_frame};
+    }
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor: {
+      const ConstVal ctrl = controlling_value(g.type) == 1 ? ConstVal::One
+                                                           : ConstVal::Zero;
+      const ConstVal nctrl =
+          ctrl == ConstVal::One ? ConstVal::Zero : ConstVal::One;
+      std::uint32_t ctrl_frame = 0;
+      bool has_ctrl = false;
+      std::uint32_t all_frame = 0;
+      bool all_nctrl = true;
+      for (NodeIndex f : g.fanins) {
+        if (f == kNoNode) return {};
+        const SettledConst& in = val[f];
+        if (in.value == ctrl) {
+          if (!has_ctrl || in.from_frame < ctrl_frame) {
+            ctrl_frame = in.from_frame;
+          }
+          has_ctrl = true;
+        }
+        if (in.value != nctrl) all_nctrl = false;
+        all_frame = std::max(all_frame, in.from_frame);
+      }
+      const ConstVal z = controlled_output(g.type) == 1 ? ConstVal::One
+                                                        : ConstVal::Zero;
+      if (has_ctrl) return {z, ctrl_frame};
+      if (all_nctrl) {
+        return {z == ConstVal::One ? ConstVal::Zero : ConstVal::One,
+                all_frame};
+      }
+      return {};
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      bool parity = false;
+      std::uint32_t frame = 0;
+      for (NodeIndex f : g.fanins) {
+        if (f == kNoNode) return {};
+        const SettledConst& in = val[f];
+        if (in.value == ConstVal::Unknown) return {};
+        parity ^= (in.value == ConstVal::One);
+        frame = std::max(frame, in.from_frame);
+      }
+      return {flip(parity ? ConstVal::One : ConstVal::Zero), frame};
+    }
+    default:
+      return {};
+  }
+}
+
+}  // namespace
+
+ImplicationEngine::ImplicationEngine(const Netlist& netlist)
+    : netlist_(&netlist) {
+  if (!netlist.finalized()) {
+    throw std::logic_error("ImplicationEngine requires a finalized netlist");
+  }
+  const std::size_t n = netlist.node_count();
+  epoch_of_.assign(n, 0);
+  val_.assign(n, 0);
+  r0_epoch_.assign(n, 0);
+  r1_epoch_.assign(n, 0);
+
+  const_ = structural_constants(netlist);
+  for (NodeIndex i = 0; i < n; ++i) {
+    const GateType t = netlist.type(i);
+    if (t == GateType::Const0 || t == GateType::Const1) continue;
+    if (const_[i] != ConstVal::Unknown) ++stats_.structural_constants;
+  }
+
+  count_direct_implications();
+  run_static_learning();
+  compute_po_cone();
+  compute_settled();
+
+  for (NodeIndex h = 0; h < n; ++h) {
+    const int c = controlling_value(netlist.type(h));
+    if (c < 0) continue;
+    for (NodeIndex f : netlist.gate(h).fanins) {
+      if (f == kNoNode) continue;
+      if (const_[f] == (c == 1 ? ConstVal::One : ConstVal::Zero)) {
+        has_const_blockers_ = true;
+        break;
+      }
+    }
+    if (has_const_blockers_) break;
+  }
+
+  for (NodeIndex i = 0; i < n; ++i) {
+    if (!is_frame_input(netlist.type(i)) &&
+        const_[i] != ConstVal::Unknown) {
+      ++tied_count_;
+    }
+  }
+}
+
+void ImplicationEngine::count_direct_implications() {
+  for (NodeIndex n = 0; n < netlist_->node_count(); ++n) {
+    const Gate& g = netlist_->gate(n);
+    switch (g.type) {
+      case GateType::Buf:
+      case GateType::Not:
+        stats_.direct_implications += 4;
+        break;
+      case GateType::And:
+      case GateType::Nand:
+      case GateType::Or:
+      case GateType::Nor:
+        stats_.direct_implications += 2 * g.fanins.size();
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+int ImplicationEngine::value_of(NodeIndex n) const {
+  if (epoch_of_[n] == epoch_) return val_[n];
+  if (const_[n] == ConstVal::Zero) return 0;
+  if (const_[n] == ConstVal::One) return 1;
+  return -1;
+}
+
+bool ImplicationEngine::assign(NodeIndex n, int v) const {
+  const int cur = value_of(n);
+  if (cur == v) return true;
+  if (cur != -1) return false;
+  epoch_of_[n] = epoch_;
+  val_[n] = static_cast<std::uint8_t>(v);
+  queue_.push_back(n);
+  return true;
+}
+
+bool ImplicationEngine::examine_gate(NodeIndex h) const {
+  const Gate& g = netlist_->gate(h);
+  switch (g.type) {
+    case GateType::Buf:
+    case GateType::Not: {
+      const bool inv = g.type == GateType::Not;
+      const NodeIndex d = g.fanins[0];
+      const int in = value_of(d);
+      const int out = value_of(h);
+      if (in != -1 && !assign(h, ((in == 1) != inv) ? 1 : 0)) return false;
+      if (out != -1 && !assign(d, ((out == 1) != inv) ? 1 : 0)) return false;
+      return true;
+    }
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor: {
+      const int c = controlling_value(g.type);
+      const int z = controlled_output(g.type);
+      const int nz = 1 - z;
+      int unknown = 0;
+      NodeIndex last = kNoNode;
+      bool any_c = false;
+      for (NodeIndex d : g.fanins) {
+        const int v = value_of(d);
+        if (v == -1) {
+          ++unknown;
+          last = d;
+        } else if (v == c) {
+          any_c = true;
+        }
+      }
+      if (any_c) {
+        if (!assign(h, z)) return false;
+      } else if (unknown == 0) {
+        if (!assign(h, nz)) return false;
+      }
+      const int out = value_of(h);
+      if (out == nz) {
+        // The non-controlling output forces every input non-controlling.
+        for (NodeIndex d : g.fanins) {
+          if (!assign(d, 1 - c)) return false;
+        }
+      } else if (out == z && !any_c && unknown == 1) {
+        // All other inputs non-controlling: the last one must control.
+        if (!assign(last, c)) return false;
+      }
+      return true;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      int unknown = 0;
+      NodeIndex last = kNoNode;
+      bool parity = g.type == GateType::Xnor;  // fold the inversion in
+      for (NodeIndex d : g.fanins) {
+        const int v = value_of(d);
+        if (v == -1) {
+          ++unknown;
+          last = d;
+        } else {
+          parity ^= (v == 1);
+        }
+      }
+      if (unknown == 0) {
+        if (!assign(h, parity ? 1 : 0)) return false;
+      } else if (unknown == 1) {
+        const int out = value_of(h);
+        if (out != -1 && !assign(last, ((out == 1) != parity) ? 1 : 0)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return true;  // frame inputs have no local rule
+  }
+}
+
+bool ImplicationEngine::drain() const {
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const NodeIndex n = queue_[head++];
+    const int v = val_[n];
+    for (const std::uint32_t to : learned_[lit(n, v == 1)]) {
+      if (!assign(static_cast<NodeIndex>(to >> 1),
+                  static_cast<int>(to & 1u))) {
+        return false;
+      }
+    }
+    if (!is_frame_input(netlist_->type(n)) && !examine_gate(n)) return false;
+    for (const FanoutRef& fo : netlist_->fanouts(n)) {
+      if (!is_frame_input(netlist_->type(fo.node)) &&
+          !examine_gate(fo.node)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ImplicationEngine::propagate(NodeIndex n, bool v) const {
+  if (++epoch_ == 0) {
+    std::fill(epoch_of_.begin(), epoch_of_.end(), 0u);
+    epoch_ = 1;
+  }
+  queue_.clear();
+  if (!assign(n, v ? 1 : 0)) return false;
+  return drain();
+}
+
+void ImplicationEngine::run_static_learning() {
+  const std::size_t n_nodes = netlist_->node_count();
+  learned_.assign(2 * n_nodes, {});
+  std::unordered_set<std::uint64_t> seen;
+  // Safety cap: pathological reconvergence patterns could otherwise
+  // store a quadratic number of edges.
+  constexpr std::size_t kMaxLearnedEdges = std::size_t{1} << 21;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeIndex n = 0; n < n_nodes; ++n) {
+      const GateType t = netlist_->type(n);
+      for (int v = 0; v < 2; ++v) {
+        if (const_[n] != ConstVal::Unknown) break;
+        if (!propagate(n, v == 1)) {
+          // Frame-locally contradictory assumption: n carries !v in
+          // every frame. Frame inputs are free variables of the frame
+          // function, so a conflict can only arise on internal nets;
+          // skip defensively regardless.
+          if (is_frame_input(t)) continue;
+          const_[n] = (v == 1) ? ConstVal::Zero : ConstVal::One;
+          ++stats_.learned_constants;
+          changed = true;
+          continue;
+        }
+        // Contrapositive (SOCRATES) learning over the trail: every
+        // non-adjacent implied literal m = w yields the learned edge
+        // (m = !w) -> (n = !v), usable by later propagations.
+        for (const NodeIndex m : queue_) {
+          if (m == n || adjacent(*netlist_, n, m)) continue;
+          if (stats_.learned_implications >= kMaxLearnedEdges) break;
+          const int w = val_[m];
+          const std::uint32_t from = lit(m, w == 0);
+          const std::uint32_t to = lit(n, v == 0);
+          const std::uint64_t key = (std::uint64_t{from} << 32) | to;
+          if (!seen.insert(key).second) continue;
+          learned_[from].push_back(to);
+          ++stats_.learned_implications;
+        }
+      }
+    }
+  }
+}
+
+void ImplicationEngine::compute_po_cone() {
+  po_cone_.assign(netlist_->node_count(), 0);
+  std::vector<NodeIndex> stack;
+  auto seed = [&](NodeIndex n) {
+    if (po_cone_[n] == 0) {
+      po_cone_[n] = 1;
+      stack.push_back(n);
+    }
+  };
+  // Unlike StaticXRedAnalysis (which conservatively seeds flip-flops
+  // as observation points), this cone crosses flip-flops backwards:
+  // po_cone_[n] == 0 means no primary output is structurally reachable
+  // from n in ANY number of frames.
+  for (NodeIndex n : netlist_->outputs()) seed(n);
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    for (NodeIndex f : netlist_->gate(n).fanins) {
+      if (f != kNoNode) seed(f);
+    }
+  }
+}
+
+void ImplicationEngine::compute_settled() {
+  const std::size_t n_nodes = netlist_->node_count();
+  settled_.assign(n_nodes, {});
+  for (NodeIndex n = 0; n < n_nodes; ++n) {
+    if (const_[n] != ConstVal::Unknown) settled_[n] = {const_[n], 1};
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // A flip-flop output carries its D input's settled value one frame
+    // later (frame 1 itself stays unknown: power-up is unconstrained).
+    for (NodeIndex d : netlist_->dffs()) {
+      if (settled_[d].value != ConstVal::Unknown) continue;
+      const NodeIndex in = netlist_->gate(d).fanins.empty()
+                               ? kNoNode
+                               : netlist_->gate(d).fanins[0];
+      if (in == kNoNode || settled_[in].value == ConstVal::Unknown) continue;
+      settled_[d] = {settled_[in].value, settled_[in].from_frame + 1};
+      changed = true;
+    }
+    for (NodeIndex n : netlist_->topo_order()) {
+      if (is_frame_input(netlist_->type(n))) continue;
+      if (settled_[n].value != ConstVal::Unknown) continue;
+      const SettledConst s = eval_settled_gate(*netlist_, n, settled_);
+      if (s.value != ConstVal::Unknown) {
+        settled_[n] = s;
+        changed = true;
+      }
+    }
+  }
+  for (NodeIndex n = 0; n < n_nodes; ++n) {
+    if (settled_[n].value != ConstVal::Unknown &&
+        const_[n] == ConstVal::Unknown) {
+      ++stats_.settled_constants;
+    }
+  }
+}
+
+std::vector<ConstVal> ImplicationEngine::tied_constants() const {
+  std::vector<ConstVal> out(const_);
+  for (NodeIndex n = 0; n < out.size(); ++n) {
+    if (is_frame_input(netlist_->type(n))) out[n] = ConstVal::Unknown;
+  }
+  return out;
+}
+
+bool ImplicationEngine::implies(NodeIndex a, bool av, NodeIndex b,
+                                bool bv) const {
+  if (a >= netlist_->node_count() || b >= netlist_->node_count()) {
+    throw std::out_of_range("ImplicationEngine::implies: bad node index");
+  }
+  if (!propagate(a, av)) return true;
+  return value_of(b) == (bv ? 1 : 0);
+}
+
+bool ImplicationEngine::contradicts(NodeIndex node, bool value) const {
+  if (node >= netlist_->node_count()) {
+    throw std::out_of_range("ImplicationEngine::contradicts: bad node index");
+  }
+  return !propagate(node, value);
+}
+
+void ImplicationEngine::compute_r0(NodeIndex origin) const {
+  if (++r0_gen_ == 0) {
+    std::fill(r0_epoch_.begin(), r0_epoch_.end(), 0u);
+    r0_gen_ = 1;
+  }
+  std::vector<NodeIndex> stack{origin};
+  r0_epoch_[origin] = r0_gen_;
+  while (!stack.empty()) {
+    const NodeIndex s = stack.back();
+    stack.pop_back();
+    for (const FanoutRef& fo : netlist_->fanouts(s)) {
+      if (r0_epoch_[fo.node] != r0_gen_) {
+        r0_epoch_[fo.node] = r0_gen_;
+        stack.push_back(fo.node);
+      }
+    }
+  }
+}
+
+bool ImplicationEngine::in_r0(NodeIndex n) const {
+  return r0_epoch_[n] == r0_gen_;
+}
+
+bool ImplicationEngine::gate_blocked(NodeIndex h, std::uint32_t p,
+                                     bool use_assignment) const {
+  const int c = controlling_value(netlist_->type(h));
+  if (c < 0) return false;
+  const Gate& g = netlist_->gate(h);
+  for (std::uint32_t q = 0; q < g.fanins.size(); ++q) {
+    if (q == p) continue;
+    const NodeIndex d = g.fanins[q];
+    if (d == kNoNode || in_r0(d)) continue;
+    int dv = -1;
+    if (use_assignment) {
+      dv = value_of(d);
+    } else if (const_[d] != ConstVal::Unknown) {
+      dv = const_[d] == ConstVal::One ? 1 : 0;
+    }
+    if (dv == c) return true;
+  }
+  return false;
+}
+
+bool ImplicationEngine::refined_reaches_po(NodeIndex origin,
+                                           std::uint32_t origin_pin) const {
+  if (++r1_gen_ == 0) {
+    std::fill(r1_epoch_.begin(), r1_epoch_.end(), 0u);
+    r1_gen_ = 1;
+  }
+  // A branch fault's divergence first has to cross the origin gate
+  // itself; a permanently forced side input already stops it there.
+  if (origin_pin != kStemPin &&
+      gate_blocked(origin, origin_pin, /*use_assignment=*/false)) {
+    return false;
+  }
+  std::vector<NodeIndex> stack;
+  auto visit = [&](NodeIndex s) {
+    r1_epoch_[s] = r1_gen_;
+    stack.push_back(s);
+    return netlist_->is_output(s);
+  };
+  if (visit(origin)) return true;
+  while (!stack.empty()) {
+    const NodeIndex s = stack.back();
+    stack.pop_back();
+    for (const FanoutRef& fo : netlist_->fanouts(s)) {
+      if (r1_epoch_[fo.node] == r1_gen_) continue;
+      if (!is_frame_input(netlist_->type(fo.node)) &&
+          gate_blocked(fo.node, fo.pin, /*use_assignment=*/false)) {
+        continue;
+      }
+      if (visit(fo.node)) return true;
+    }
+  }
+  return false;
+}
+
+bool ImplicationEngine::is_static_untestable(const Fault& fault) const {
+  const NodeIndex site = fault.site.node;
+  if (site >= netlist_->node_count()) return false;
+  NodeIndex act_node = site;
+  const NodeIndex origin = site;
+  std::uint32_t origin_pin = kStemPin;
+  if (!fault.site.is_stem()) {
+    const auto& fanins = netlist_->gate(site).fanins;
+    if (fault.site.pin >= fanins.size()) return false;
+    act_node = fanins[fault.site.pin];
+    if (act_node == kNoNode) return false;
+    origin_pin = fault.site.pin;
+  }
+
+  // Rule 1: no primary output is structurally reachable from the
+  // divergence origin in any number of frames, so the faulty machine's
+  // output sequence equals the fault-free one for every input sequence
+  // and every (common) initial state — undetectable under SOT, rMOT,
+  // MOT and three-valued simulation alike.
+  if (po_cone_[origin] == 0) return true;
+
+  // Rule 2: activation needs the activation net at the opposite of the
+  // stuck value in some frame; a frame-local contradiction (constant,
+  // directly implied or learned) rules every frame out.
+  const bool act_val = !fault.stuck_value;
+  if (!propagate(act_node, act_val)) return true;
+
+  // The activation assignment stays readable below (rule 3).
+  compute_r0(origin);
+
+  // Rule 3 (blocked chain, frame-local): in any frame where the fault
+  // is activated, the divergence is confined to the unique-fanout
+  // chain from the origin; a chain gate forced by a side input outside
+  // the fault cone (in_r0 excluded — a "blocking" net the divergence
+  // itself can reach proves nothing) kills it before any observation
+  // point. Implications do not cross frame boundaries, so the walk
+  // stops at flip-flops; a branch fault on a D pin diverges only in
+  // the NEXT frame, so the activation assignment may not be used at
+  // all for it.
+  const bool origin_is_dff = netlist_->type(origin) == GateType::Dff;
+  if (origin_pin == kStemPin || !origin_is_dff) {
+    if (origin_pin != kStemPin &&
+        gate_blocked(origin, origin_pin, /*use_assignment=*/true)) {
+      return true;
+    }
+    NodeIndex cur = origin;
+    while (true) {
+      if (netlist_->is_output(cur)) break;
+      const auto& fo = netlist_->fanouts(cur);
+      if (fo.size() != 1) break;
+      const NodeIndex h = fo[0].node;
+      if (netlist_->type(h) == GateType::Dff) break;
+      if (gate_blocked(h, fo[0].pin, /*use_assignment=*/true)) return true;
+      cur = h;
+    }
+  }
+
+  // Rule 4 (constant-blocked observability, every-frame): like rule 1
+  // but with edges through gates permanently forced by an every-frame
+  // constant outside the fault cone removed.
+  return has_const_blockers_ && !refined_reaches_po(origin, origin_pin);
+}
+
+std::size_t ImplicationEngine::classify(const std::vector<Fault>& faults,
+                                        std::vector<FaultStatus>& status) const {
+  if (status.size() != faults.size()) {
+    throw std::invalid_argument(
+        "ImplicationEngine::classify: status/faults size mismatch");
+  }
+  std::size_t upgraded = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (status[i] != FaultStatus::Undetected) continue;
+    if (is_static_untestable(faults[i])) {
+      status[i] = FaultStatus::StaticUntestable;
+      ++upgraded;
+    }
+  }
+  return upgraded;
+}
+
+}  // namespace motsim

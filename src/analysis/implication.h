@@ -1,0 +1,192 @@
+#ifndef MOTSIM_ANALYSIS_IMPLICATION_H
+#define MOTSIM_ANALYSIS_IMPLICATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/static_xred.h"
+#include "circuit/netlist.h"
+#include "faults/fault.h"
+
+namespace motsim {
+
+/// Counters of what the static implication engine derived.
+struct ImplicationStats {
+  /// Pairwise direct implication sites of the netlist (2 per pin of an
+  /// AND/NAND/OR/NOR gate, 4 per BUF/NOT, none for XOR/XNOR).
+  std::size_t direct_implications = 0;
+  /// Indirect implications discovered by static learning and stored as
+  /// contrapositive edges (SOCRATES-style).
+  std::size_t learned_implications = 0;
+  /// Every-frame constants found by plain structural propagation.
+  std::size_t structural_constants = 0;
+  /// Every-frame constants found only by conflict learning (assuming
+  /// the opposite value is frame-locally contradictory).
+  std::size_t learned_constants = 0;
+  /// Nets that are not every-frame constant but provably settle to a
+  /// binary value from some frame on (cross-flip-flop propagation).
+  std::size_t settled_constants = 0;
+};
+
+/// A net that provably carries one binary value from `from_frame`
+/// (1-based) on, for every initial state and every input sequence.
+/// Unknown value means "never proven to settle".
+struct SettledConst {
+  ConstVal value = ConstVal::Unknown;
+  std::uint32_t from_frame = 0;
+};
+
+/// Static implication engine over the gate-level netlist.
+///
+/// All implications are *frame-local*: they are derived from the gate
+/// functions alone, treating every frame input (primary input or
+/// flip-flop output) as a free variable, so a derived fact holds in
+/// every frame of every three-valued or symbolic simulation — in
+/// particular in frame 1 under the unknown power-up state. Three
+/// layers are computed at construction:
+///
+///  1. direct implications — the per-gate forward and backward unit
+///     rules (controlling values, forced side inputs, parity);
+///  2. learned indirect implications — SOCRATES-style static learning:
+///     for every literal l the engine propagates l to a fixpoint and
+///     stores the contrapositive (not-m implies not-l) of every
+///     indirectly derived literal m, making later propagations more
+///     complete (the contrapositive law);
+///  3. a constant-propagation fixpoint — a literal whose assumption is
+///     frame-locally contradictory proves the opposite value is an
+///     every-frame constant; learned constants feed back into further
+///     learning until nothing changes. Every-frame constants are then
+///     extended *across flip-flop boundaries* into settled constants
+///     (a flip-flop whose D input is constant v carries v from frame 2
+///     on), which are reported but never used for pruning: under the
+///     unknown power-up state a flip-flop output is never every-frame
+///     constant, so only internal nets are ever tied or assumed.
+///
+/// On top of the implication layers the engine performs FIRE-style
+/// fault-independent untestability identification
+/// (is_static_untestable / classify): a stuck-at fault whose mandatory
+/// activation assignment is contradictory, whose site has no
+/// structural path to any primary output across any number of frames,
+/// or whose effect is provably blocked by constant or implied
+/// controlling side inputs outside the fault's own sequential cone, is
+/// untestable by *any* input sequence under every observation
+/// strategy (FaultStatus::StaticUntestable). docs/ANALYSIS.md carries
+/// the soundness argument for each rule.
+///
+/// The engine is immutable after construction but keeps internal
+/// scratch state for queries, so it is NOT thread-safe; use one
+/// instance per thread. Requires a finalized netlist.
+class ImplicationEngine {
+ public:
+  explicit ImplicationEngine(const Netlist& netlist);
+
+  /// Every-frame constants per node (structural + conflict-learned).
+  /// Frame inputs other than constant sources are always Unknown.
+  [[nodiscard]] const std::vector<ConstVal>& constants() const noexcept {
+    return const_;
+  }
+
+  /// Every-frame constants restricted to internal (non-frame-input)
+  /// nets — the set the symbolic engines may tie to constant OBDDs
+  /// (see SymTrueValueSim::set_tied_constants). Entries for frame
+  /// inputs and constant sources are Unknown.
+  [[nodiscard]] std::vector<ConstVal> tied_constants() const;
+
+  /// Number of internal nets tied_constants() would tie.
+  [[nodiscard]] std::size_t tied_constant_count() const noexcept {
+    return tied_count_;
+  }
+
+  /// Settled constants per node (see SettledConst). An every-frame
+  /// constant settles at frame 1.
+  [[nodiscard]] const std::vector<SettledConst>& settled() const noexcept {
+    return settled_;
+  }
+
+  [[nodiscard]] const ImplicationStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Frame-local implication query: does assuming node a = av force
+  /// node b = bv (over direct rules, learned edges and constants)?
+  /// A contradictory assumption implies everything (vacuous truth).
+  [[nodiscard]] bool implies(NodeIndex a, bool av, NodeIndex b,
+                             bool bv) const;
+
+  /// True when assuming node = value is frame-locally contradictory —
+  /// i.e. the opposite value is an every-frame constant (possibly
+  /// only derivable through learned implications).
+  [[nodiscard]] bool contradicts(NodeIndex node, bool value) const;
+
+  /// True when no input sequence whatsoever can detect `fault` under
+  /// any observation strategy (nor under three-valued simulation).
+  [[nodiscard]] bool is_static_untestable(const Fault& fault) const;
+
+  /// Upgrades every Undetected entry whose fault is statically
+  /// untestable to StaticUntestable; other entries (including
+  /// StaticXRed) are left untouched. `status` must be aligned with
+  /// `faults`. Returns the number of upgraded entries.
+  std::size_t classify(const std::vector<Fault>& faults,
+                       std::vector<FaultStatus>& status) const;
+
+  [[nodiscard]] const Netlist& netlist() const noexcept { return *netlist_; }
+
+ private:
+  static constexpr std::uint32_t lit(NodeIndex n, bool v) noexcept {
+    return 2 * n + (v ? 1u : 0u);
+  }
+
+  /// -1 unknown, else 0/1 (scratch assignment overlaid on constants).
+  [[nodiscard]] int value_of(NodeIndex n) const;
+  bool assign(NodeIndex n, int v) const;
+  bool examine_gate(NodeIndex h) const;
+  bool drain() const;
+  /// Clears the scratch assignment and propagates one assumption to a
+  /// fixpoint; false = frame-local conflict. The assignment stays
+  /// readable through value_of until the next propagate call.
+  bool propagate(NodeIndex n, bool v) const;
+
+  void count_direct_implications();
+  void run_static_learning();
+  void compute_settled();
+  void compute_po_cone();
+
+  /// Sequential forward reach of divergence from `origin`'s output net
+  /// (through gates and flip-flops); results readable via in_r0.
+  void compute_r0(NodeIndex origin) const;
+  [[nodiscard]] bool in_r0(NodeIndex n) const;
+  /// True when gate h, entered via pin p, is forced by a side input
+  /// outside the fault cone (constant or implied controlling value
+  /// under the current propagate() assignment).
+  [[nodiscard]] bool gate_blocked(NodeIndex h, std::uint32_t p,
+                                  bool use_assignment) const;
+  /// Constant-blocked refined reachability: can divergence entering at
+  /// `origin` (via `origin_pin` when the origin is a gate crossing)
+  /// ever reach a primary output, with edges through permanently
+  /// forced gates removed? R0 must be current (compute_r0).
+  [[nodiscard]] bool refined_reaches_po(NodeIndex origin,
+                                        std::uint32_t origin_pin) const;
+
+  const Netlist* netlist_;
+  std::vector<ConstVal> const_;
+  std::vector<SettledConst> settled_;
+  std::vector<std::vector<std::uint32_t>> learned_;  ///< per literal
+  std::vector<std::uint8_t> po_cone_;  ///< net can reach a PO (any frame)
+  bool has_const_blockers_ = false;
+  std::size_t tied_count_ = 0;
+  ImplicationStats stats_;
+
+  // Scratch (epoch-stamped so queries never pay a full clear).
+  mutable std::vector<std::uint32_t> epoch_of_;
+  mutable std::vector<std::uint8_t> val_;
+  mutable std::vector<NodeIndex> queue_;
+  mutable std::uint32_t epoch_ = 0;
+  mutable std::vector<std::uint32_t> r0_epoch_;
+  mutable std::uint32_t r0_gen_ = 0;
+  mutable std::vector<std::uint32_t> r1_epoch_;
+  mutable std::uint32_t r1_gen_ = 0;
+};
+
+}  // namespace motsim
+
+#endif  // MOTSIM_ANALYSIS_IMPLICATION_H

@@ -54,6 +54,11 @@ std::string CircuitStats::to_string() const {
     if (count != 0) os << " " << to_cstring(t) << "=" << count;
   }
   os << "\n";
+  if (has_collapse) {
+    os << "collapse: equivalence classes " << equivalence_classes
+       << ", dominance classes " << dominance_classes << " (of "
+       << uncollapsed_faults << " uncollapsed)\n";
+  }
   if (has_scoap) {
     os << "scoap: max CC " << scoap_max_cc << ", max CO " << scoap_max_co
        << ", max seq depth " << scoap_max_seq_depth << ", blocked sites "

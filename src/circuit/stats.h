@@ -39,6 +39,17 @@ struct CircuitStats {
   std::uint32_t scoap_max_seq_depth = 0;
   std::size_t scoap_blocked_sites = 0;  ///< sites with CO = infinity
 
+  /// Fault-collapse summary (filled by attach_collapse in
+  /// faults/collapse.h; of() leaves it absent so circuit/ stays
+  /// independent of the fault layer).
+  bool has_collapse = false;
+  std::size_t uncollapsed_faults = 0;   ///< 2 * fault_sites
+  std::size_t equivalence_classes = 0;  ///< equivalence-collapsed |F|
+  /// Classes left after additionally dropping every class that
+  /// dominates a fault of another class (accounting only; verdicts
+  /// never transfer along dominance — see DominanceCollapse).
+  std::size_t dominance_classes = 0;
+
   [[nodiscard]] static CircuitStats of(const Netlist& netlist);
 
   /// Multi-line human-readable report.

@@ -70,6 +70,7 @@ HybridResult HybridFaultSim::run(
   bdd::BddManager mgr(bddc);
   const StateVars vars(nl.dff_count(), config_.layout);
   SymTrueValueSim sym(nl, mgr, vars);
+  if (!tied_.empty()) sym.set_tied_constants(tied_);
   SymFaultPropagator symprop(nl, mgr, vars);
   FaultPropagator3 prop3(nl);
   GoodSim3 good3(nl);

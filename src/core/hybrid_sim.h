@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/static_xred.h"
 #include "bdd/bdd.h"
 #include "core/checkpoint.h"
 #include "core/progress.h"
@@ -117,6 +118,16 @@ class HybridFaultSim {
     checkpoint_ = sink;
   }
 
+  /// Every-frame constant nets the symbolic true-value simulator may
+  /// tie to constant OBDDs (ImplicationEngine::tied_constants; empty =
+  /// none). By canonicity the tied functions are what evaluation would
+  /// produce anyway, so results are bit-identical — tying only skips
+  /// the intermediate apply() work. The vector is validated by
+  /// SymTrueValueSim::set_tied_constants when run() starts.
+  void set_tied_constants(std::vector<ConstVal> tied) {
+    tied_ = std::move(tied);
+  }
+
   /// Resumes a previous run from a snapshot this engine emitted:
   /// run() starts at frame `ck.frame` in the recorded mode, with
   /// statuses, detection frames and per-fault state divergences
@@ -137,6 +148,7 @@ class HybridFaultSim {
   CheckpointSink* checkpoint_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
   std::optional<ChunkCheckpoint> resume_;
+  std::vector<ConstVal> tied_;
 };
 
 }  // namespace motsim

@@ -32,12 +32,15 @@ struct Telemetry;  // obs/telemetry.h
 /// exactly.
 struct SimOptions {
   // ---- pipeline stages ------------------------------------------------
-  /// Run the sequence-independent static analysis (StaticXRedAnalysis)
-  /// before every other stage: faults it proves undetectable by any
-  /// sequence are excluded up front with the StaticXRed verdict. Off by
-  /// default — the classification is sound, so enabling it never
-  /// changes coverage or the detected-fault set, only the bucketing of
-  /// never-detectable faults. CLI flag: --lint.
+  /// Run the sequence-independent static analyses (StaticXRedAnalysis
+  /// and the ImplicationEngine) before every other stage: faults
+  /// proven undetectable by any sequence are excluded up front with
+  /// the StaticXRed / StaticUntestable verdicts, and every-frame
+  /// constant nets the implication engine learned are tied to constant
+  /// OBDDs in the symbolic stage. Off by default — the classification
+  /// and the tying are sound, so enabling it never changes coverage or
+  /// the detected-fault set, only the bucketing of never-detectable
+  /// faults (and the work the symbolic stage skips). CLI flag: --lint.
   bool analysis = false;
   /// Run ID_X-red before the three-valued stage (paper Section III).
   bool run_xred = true;

@@ -217,6 +217,7 @@ HybridResult ParallelSymSim::run(
         if (checkpoint_ != nullptr) sim.set_checkpoint_sink(&ck_adapter);
         if (telemetry_ != nullptr) sim.set_telemetry(telemetry_);
         if (resume_of[c].has_value()) sim.set_resume(*resume_of[c]);
+        if (!tied_.empty()) sim.set_tied_constants(tied_);
         std::optional<obs::SpanTracer::Span> shard_span;
         if (telemetry_ != nullptr) {
           shard_span = telemetry_->tracer.span("shard");

@@ -108,6 +108,13 @@ class ParallelSymSim {
     resume_ = std::move(chunks);
   }
 
+  /// Every-frame constant nets to tie in every shard's symbolic
+  /// true-value simulator (see HybridFaultSim::set_tied_constants;
+  /// empty = none). Bit-identical by OBDD canonicity, per shard.
+  void set_tied_constants(std::vector<ConstVal> tied) {
+    tied_ = std::move(tied);
+  }
+
   /// Thread count after resolving 0 to the hardware default.
   [[nodiscard]] std::size_t resolved_threads() const noexcept;
   /// Shard size after resolving 0 to kDefaultChunkSize.
@@ -125,6 +132,7 @@ class ParallelSymSim {
   CheckpointSink* checkpoint_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
   std::vector<ChunkCheckpoint> resume_;
+  std::vector<ConstVal> tied_;
 };
 
 }  // namespace motsim

@@ -5,6 +5,7 @@
 
 #include <optional>
 
+#include "analysis/implication.h"
 #include "analysis/static_xred.h"
 #include "core/parallel_sym_sim.h"
 #include "core/xred.h"
@@ -47,15 +48,29 @@ PipelineResult run_pipeline(const Netlist& netlist,
 
   // ---- Stage 0: sequence-independent static analysis ---------------------
   std::vector<FaultStatus> status(faults.size(), FaultStatus::Undetected);
+  std::vector<ConstVal> tied;  // nonempty => constants for the symbolic stage
   if (config.analysis) {
     std::optional<obs::SpanTracer::Span> span;
     if (telemetry != nullptr) span = telemetry->tracer.span("stage.analysis");
     Stopwatch timer;
     const StaticXRedAnalysis sa(netlist);
     status = sa.classify(faults);
+    // The implication engine only upgrades faults the cheaper
+    // structural pass left Undetected, so the two counts stay disjoint.
+    const ImplicationEngine eng(netlist);
+    result.static_untestable = eng.classify(faults, status);
+    if (eng.tied_constant_count() != 0) tied = eng.tied_constants();
     result.seconds_analysis = timer.elapsed_seconds();
     for (FaultStatus s : status) {
       if (s == FaultStatus::StaticXRed) ++result.static_x_redundant;
+    }
+    if (telemetry != nullptr) {
+      telemetry->metrics.counter("analysis.implications_learned")
+          .add(eng.stats().learned_implications);
+      telemetry->metrics.counter("analysis.faults_pruned")
+          .add(result.static_x_redundant + result.static_untestable);
+      telemetry->metrics.counter("analysis.constants_tied")
+          .add(eng.tied_constant_count());
     }
     finish_stage(telemetry, progress, span, "analysis",
                  result.seconds_analysis);
@@ -129,6 +144,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
       sym.set_progress(progress);
       sym.set_checkpoint_sink(checkpoint);
       sym.set_telemetry(telemetry);
+      if (!tied.empty()) sym.set_tied_constants(tied);
       rs = sym.run(sequence);
     } else {
       ParallelSymConfig pc;
@@ -140,6 +156,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
       sym.set_progress(progress);
       sym.set_checkpoint_sink(checkpoint);
       sym.set_telemetry(telemetry);
+      if (!tied.empty()) sym.set_tied_constants(tied);
       rs = sym.run(sequence);
     }
     result.seconds_symbolic = timer.elapsed_seconds();

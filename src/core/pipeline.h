@@ -67,6 +67,11 @@ struct PipelineResult {
   /// Faults the static analysis proved undetectable by any sequence
   /// (StaticXRed in `status`). 0 unless `config.analysis` was set.
   std::size_t static_x_redundant = 0;
+  /// Faults the implication engine proved untestable by any sequence
+  /// (StaticUntestable in `status`; disjoint from static_x_redundant —
+  /// StaticXRed wins when both analyses flag a fault). 0 unless
+  /// `config.analysis` was set.
+  std::size_t static_untestable = 0;
   std::size_t detected_3v = 0;
   std::size_t detected_symbolic = 0;
   /// True if the hybrid simulator used three-valued fallback windows

@@ -69,6 +69,20 @@ std::vector<Val3> SymTrueValueSim::state_as_val3() const {
   return out;
 }
 
+void SymTrueValueSim::set_tied_constants(std::vector<ConstVal> tied) {
+  if (!tied.empty() && tied.size() != netlist_->node_count()) {
+    throw std::invalid_argument("set_tied_constants: wrong vector width");
+  }
+  for (std::size_t n = 0; n < tied.size(); ++n) {
+    if (tied[n] != ConstVal::Unknown &&
+        is_frame_input(netlist_->type(static_cast<NodeIndex>(n)))) {
+      throw std::invalid_argument(
+          "set_tied_constants: frame inputs cannot be tied");
+    }
+  }
+  tied_ = std::move(tied);
+}
+
 void SymTrueValueSim::release() {
   for (bdd::Bdd& b : values_) b = bdd::Bdd();
   for (bdd::Bdd& b : state_) b = bdd::Bdd();
@@ -97,6 +111,10 @@ std::vector<bdd::Bdd> SymTrueValueSim::step(const std::vector<Val3>& inputs) {
     if (is_frame_input(g.type)) {
       if (g.type == GateType::Const0) values_[n] = mgr_->zero();
       if (g.type == GateType::Const1) values_[n] = mgr_->one();
+      continue;
+    }
+    if (!tied_.empty() && tied_[n] != ConstVal::Unknown) {
+      values_[n] = mgr_->constant(tied_[n] == ConstVal::One);
       continue;
     }
     values_[n] = eval_gate_sym(*mgr_, g.type, g.fanins.size(),

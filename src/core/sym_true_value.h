@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "analysis/static_xred.h"
 #include "bdd/bdd.h"
 #include "circuit/netlist.h"
 #include "logic/val3.h"
@@ -142,6 +143,16 @@ class SymTrueValueSim {
   /// reset_symbolic before the next step().
   void release();
 
+  /// Ties provably-constant internal nets: a tied node's value is set
+  /// to the constant OBDD instead of being evaluated. Sound only for
+  /// every-frame constants (ImplicationEngine::tied_constants); by OBDD
+  /// canonicity the evaluated function of such a net IS that constant,
+  /// so tying changes no function — it only skips building and
+  /// discarding the intermediate apply() results. Frame-input entries
+  /// must be Unknown; pass an empty vector to untie. Throws
+  /// std::invalid_argument on a size mismatch.
+  void set_tied_constants(std::vector<ConstVal> tied);
+
   /// Applies one input vector (binary values only; X throws
   /// std::invalid_argument) and returns the output functions.
   std::vector<bdd::Bdd> step(const std::vector<Val3>& inputs);
@@ -167,6 +178,7 @@ class SymTrueValueSim {
   StateVars vars_;
   std::vector<bdd::Bdd> values_;
   std::vector<bdd::Bdd> state_;
+  std::vector<ConstVal> tied_;  ///< empty = nothing tied
 };
 
 }  // namespace motsim

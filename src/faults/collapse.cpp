@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "analysis/implication.h"
 #include "analysis/static_xred.h"
+#include "circuit/stats.h"
 
 namespace motsim {
 
@@ -101,6 +103,81 @@ std::size_t CollapsedFaultList::representative_of(std::size_t fault_id) const {
   return find(fault_id);
 }
 
+namespace {
+
+/// Map representative fault id -> position in faults.faults().
+std::unordered_map<std::size_t, std::size_t> representative_index(
+    const CollapsedFaultList& faults) {
+  std::unordered_map<std::size_t, std::size_t> index_of;
+  index_of.reserve(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    index_of.emplace(faults.sites().fault_id(faults.faults()[i]), i);
+  }
+  return index_of;
+}
+
+}  // namespace
+
+DominanceCollapse::DominanceCollapse(const Netlist& netlist,
+                                     const CollapsedFaultList& faults)
+    : dominator_(faults.size(), 0) {
+  const SiteTable& sites = faults.sites();
+  const auto index_of = representative_index(faults);
+  auto mark = [&](NodeIndex node, bool out_stuck, std::uint32_t pin,
+                  bool in_stuck) {
+    const std::size_t out_rep = faults.representative_of(
+        sites.fault_id(Fault{FaultSite{node, kStemPin}, out_stuck}));
+    const std::size_t in_rep = faults.representative_of(
+        sites.fault_id(Fault{FaultSite{node, pin}, in_stuck}));
+    // A dominance edge inside one equivalence class collapses to
+    // nothing; across classes the dominator's class is droppable.
+    if (out_rep == in_rep) return;
+    std::uint8_t& flag = dominator_.at(index_of.at(out_rep));
+    if (flag == 0) {
+      flag = 1;
+      ++dropped_;
+    }
+  };
+  for (NodeIndex n = 0; n < netlist.node_count(); ++n) {
+    const Gate& g = netlist.gate(n);
+    for (std::uint32_t p = 0; p < g.fanins.size(); ++p) {
+      switch (g.type) {
+        case GateType::And:
+          mark(n, true, p, true);
+          break;
+        case GateType::Nand:
+          mark(n, false, p, true);
+          break;
+        case GateType::Or:
+          mark(n, false, p, false);
+          break;
+        case GateType::Nor:
+          mark(n, true, p, false);
+          break;
+        default:
+          break;  // BUF/NOT/DFF are equivalences; XOR/XNOR: none
+      }
+    }
+  }
+}
+
+std::vector<FaultStatus> transfer_class_verdicts(
+    const CollapsedFaultList& faults,
+    const std::vector<FaultStatus>& representative_status) {
+  if (representative_status.size() != faults.size()) {
+    throw std::invalid_argument(
+        "transfer_class_verdicts: representative_status size mismatch");
+  }
+  const auto index_of = representative_index(faults);
+  std::vector<FaultStatus> out(faults.uncollapsed_size(),
+                               FaultStatus::Undetected);
+  for (std::size_t id = 0; id < out.size(); ++id) {
+    out[id] =
+        representative_status[index_of.at(faults.representative_of(id))];
+  }
+  return out;
+}
+
 std::size_t prune_static_x_redundant(const StaticXRedAnalysis& analysis,
                                      const CollapsedFaultList& faults,
                                      std::vector<FaultStatus>& status) {
@@ -127,6 +204,38 @@ std::size_t prune_static_x_redundant(const StaticXRedAnalysis& analysis,
     }
   }
   return flagged;
+}
+
+std::size_t prune_static_untestable(const ImplicationEngine& engine,
+                                    const CollapsedFaultList& faults,
+                                    std::vector<FaultStatus>& status) {
+  if (status.size() != faults.size()) {
+    throw std::invalid_argument(
+        "prune_static_untestable: status size mismatch");
+  }
+  const SiteTable& sites = faults.sites();
+  const auto index_of = representative_index(faults);
+  std::size_t flagged = 0;
+  for (std::size_t id = 0; id < faults.uncollapsed_size(); ++id) {
+    if (!engine.is_static_untestable(sites.fault_from_id(id))) continue;
+    const auto it = index_of.find(faults.representative_of(id));
+    if (it == index_of.end()) continue;
+    FaultStatus& s = status[it->second];
+    if (s == FaultStatus::Undetected) {
+      s = FaultStatus::StaticUntestable;
+      ++flagged;
+    }
+  }
+  return flagged;
+}
+
+void attach_collapse(CircuitStats& stats, const Netlist& netlist) {
+  const CollapsedFaultList faults(netlist);
+  const DominanceCollapse dominance(netlist, faults);
+  stats.has_collapse = true;
+  stats.uncollapsed_faults = faults.uncollapsed_size();
+  stats.equivalence_classes = faults.size();
+  stats.dominance_classes = dominance.collapsed_size();
 }
 
 }  // namespace motsim

@@ -57,7 +57,70 @@ class CollapsedFaultList {
   std::vector<Fault> representatives_;
 };
 
+/// Dominance collapsing layered on top of the equivalence collapse.
+///
+/// Classic gate-level dominance rules (the dominator's tests are a
+/// superset of the dominated fault's tests, combinationally):
+///  * AND  : output s-a-1 dominates every input s-a-1
+///  * NAND : output s-a-0 dominates every input s-a-1
+///  * OR   : output s-a-0 dominates every input s-a-0
+///  * NOR  : output s-a-1 dominates every input s-a-0
+///  * XOR/XNOR: no dominance
+///
+/// IMPORTANT: unlike equivalence, dominance is NOT sound for verdict
+/// transfer in sequential circuits — the combinational dominance
+/// theorem argues about single-vector tests and does not lift to
+/// multi-frame trajectories where the dominated fault's effect can be
+/// stored in state while the dominator's is not (and its contrapositive
+/// — untestability transfer from dominator to dominated — fails with
+/// it). This class is therefore used for fault-list *accounting* only
+/// (the classical "equivalence + dominance collapsed" list size);
+/// every verdict transfer in this library is equivalence-based (see
+/// transfer_class_verdicts). docs/ANALYSIS.md carries the argument.
+class DominanceCollapse {
+ public:
+  DominanceCollapse(const Netlist& netlist, const CollapsedFaultList& faults);
+
+  /// True when the representative at `index` (position in
+  /// faults().faults()) heads a class containing a fault that
+  /// dominates a fault of a *different* class, i.e. the class a
+  /// dominance-collapsed fault list would drop.
+  [[nodiscard]] bool dominates_another(std::size_t index) const {
+    return dominator_.at(index) != 0;
+  }
+
+  /// Representatives remaining after dropping every dominator class.
+  [[nodiscard]] std::size_t collapsed_size() const noexcept {
+    return dominator_.size() - dropped_;
+  }
+
+  /// Dominator classes dropped from the equivalence-collapsed list.
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::vector<std::uint8_t> dominator_;  ///< per representative index
+  std::size_t dropped_ = 0;
+};
+
+/// Expands verdicts computed on the collapsed representatives to the
+/// full uncollapsed fault list: entry `id` (SiteTable numbering) of the
+/// result is its equivalence representative's status, so the returned
+/// vector is aligned with SiteTable::fault_from_id /
+/// all_faults(netlist). `representative_status` must be aligned with
+/// faults.faults(); throws std::invalid_argument otherwise.
+///
+/// The transfer is sound in the strongest sense: structurally
+/// equivalent faults induce literally identical faulty machines, so
+/// every verdict — detection (including the frame), X-redundancy,
+/// static untestability — holds for each class member exactly as for
+/// its representative. Dominance is deliberately NOT used here; see
+/// DominanceCollapse.
+[[nodiscard]] std::vector<FaultStatus> transfer_class_verdicts(
+    const CollapsedFaultList& faults,
+    const std::vector<FaultStatus>& representative_status);
+
 class StaticXRedAnalysis;
+class ImplicationEngine;
 
 /// Applies the static X-redundancy analysis to a collapsed fault
 /// list's status vector: every representative whose equivalence class
@@ -71,6 +134,24 @@ class StaticXRedAnalysis;
 std::size_t prune_static_x_redundant(const StaticXRedAnalysis& analysis,
                                      const CollapsedFaultList& faults,
                                      std::vector<FaultStatus>& status);
+
+/// Same class-verdict transfer for the implication engine's
+/// fault-independent untestability: every representative whose
+/// equivalence class contains a statically untestable fault is marked
+/// StaticUntestable (only Undetected entries are touched; StaticXRed
+/// wins when both analyses flag a class). Returns the number of newly
+/// flagged entries.
+std::size_t prune_static_untestable(const ImplicationEngine& engine,
+                                    const CollapsedFaultList& faults,
+                                    std::vector<FaultStatus>& status);
+
+struct CircuitStats;
+
+/// Fills the fault-collapse fields of a CircuitStats (sets
+/// has_collapse, equivalence_classes, dominance_classes).
+/// CircuitStats::of() leaves them absent so circuit/ stays independent
+/// of the fault layer — mirrors attach_testability.
+void attach_collapse(CircuitStats& stats, const Netlist& netlist);
 
 }  // namespace motsim
 

@@ -27,6 +27,8 @@ const char* to_cstring(FaultStatus s) noexcept {
       return "detected(MOT)";
     case FaultStatus::StaticXRed:
       return "static-X-red";
+    case FaultStatus::StaticUntestable:
+      return "static-untestable";
   }
   return "?";
 }

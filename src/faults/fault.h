@@ -52,6 +52,12 @@ enum class FaultStatus : std::uint8_t {
   StaticXRed,     ///< eliminated by sequence-independent static
                   ///< analysis (StaticXRedAnalysis) — undetectable by
                   ///< any sequence, stronger than XRedundant
+  StaticUntestable,  ///< proven untestable by the static implication
+                     ///< engine (ImplicationEngine): conflicting
+                     ///< mandatory activation assignments or a
+                     ///< provably blocked propagation path — no input
+                     ///< sequence detects it under any observation
+                     ///< strategy
 };
 
 [[nodiscard]] const char* to_cstring(FaultStatus s) noexcept;

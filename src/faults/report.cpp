@@ -35,6 +35,9 @@ CoverageSummary CoverageSummary::from_status(
       case FaultStatus::StaticXRed:
         ++s.static_x_redundant;
         break;
+      case FaultStatus::StaticUntestable:
+        ++s.static_untestable;
+        break;
     }
   }
   return s;
@@ -53,6 +56,9 @@ std::string CoverageSummary::to_string() const {
   if (static_x_redundant != 0) {
     os << "  static X-red        " << static_x_redundant << "\n";
   }
+  if (static_untestable != 0) {
+    os << "  static untestable   " << static_untestable << "\n";
+  }
   os << "  undetected          " << undetected << "\n";
   os << "fault coverage        ";
   char buf[32];
@@ -68,6 +74,7 @@ std::string CoverageSummary::to_json() const {
      << detected_rmot << ",\"detected_mot\":" << detected_mot
      << ",\"x_redundant\":" << x_redundant
      << ",\"static_x_redundant\":" << static_x_redundant
+     << ",\"static_untestable\":" << static_untestable
      << ",\"undetected\":" << undetected << ",\"coverage\":";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6f", coverage());

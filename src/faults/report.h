@@ -25,6 +25,11 @@ struct CoverageSummary {
   /// coverage: these faults stay in `total` but can never be detected,
   /// so enabling the analysis leaves coverage bit-identical.
   std::size_t static_x_redundant = 0;
+  /// Faults the static implication engine proved untestable by any
+  /// input sequence (FIRE-style fault-independent analysis). Like
+  /// static_x_redundant: stays in `total`, never counted against
+  /// coverage, and pruning it leaves detected sets bit-identical.
+  std::size_t static_untestable = 0;
   std::size_t detected_3v = 0;
   std::size_t detected_sot = 0;
   std::size_t detected_rmot = 0;

@@ -7,6 +7,7 @@
 ///
 /// Substrates ------------------------------------------------------------
 #include "analysis/diagnostics.h"
+#include "analysis/implication.h"
 #include "analysis/lint.h"
 #include "analysis/static_xred.h"
 #include "analysis/testability.h"
@@ -33,6 +34,7 @@
 #include "sim3/ndetect.h"
 #include "sim3/parallel_fault_sim3.h"
 #include "sim3/sim2.h"
+#include "util/cli_args.h"
 #include "util/expected.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"

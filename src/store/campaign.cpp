@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "analysis/implication.h"
 #include "analysis/static_xred.h"
 #include "circuit/netlist.h"
 #include "core/parallel_sym_sim.h"
@@ -206,9 +207,10 @@ Expected<CampaignResult, std::string> simulate_and_finish(
   result.resumed = resumed;
   for (FaultStatus s : initial_status) {
     if (s == FaultStatus::StaticXRed) ++result.static_x_redundant;
+    if (s == FaultStatus::StaticUntestable) ++result.static_untestable;
   }
   result.x_redundant = initial_status.size() - count_live(initial_status) -
-                       result.static_x_redundant;
+                       result.static_x_redundant - result.static_untestable;
   result.frames_total = sequence.size();
 
   log_lifecycle(store, telemetry, clock, resumed ? "resume" : "run_start",
@@ -223,6 +225,23 @@ Expected<CampaignResult, std::string> simulate_and_finish(
     sym.set_checkpoint_sink(&ck_sink);
     sym.set_telemetry(telemetry);
     if (!resume.empty()) sym.set_resume(std::move(resume));
+    if (opts.analysis) {
+      // Recomputed from the netlist on every entry point (run, resume,
+      // extend) — the manifest's analysis flag, not the invocation,
+      // decides, so a resumed run ties exactly what the original did.
+      const ImplicationEngine eng(netlist);
+      if (eng.tied_constant_count() != 0) {
+        sym.set_tied_constants(eng.tied_constants());
+      }
+      if (telemetry != nullptr) {
+        telemetry->metrics.counter("analysis.implications_learned")
+            .add(eng.stats().learned_implications);
+        telemetry->metrics.counter("analysis.faults_pruned")
+            .add(result.static_x_redundant + result.static_untestable);
+        telemetry->metrics.counter("analysis.constants_tied")
+            .add(eng.tied_constant_count());
+      }
+    }
     result.sym = sym.run(sequence);
   } catch (const std::exception& e) {
     // The store keeps every checkpoint persisted before the failure;
@@ -285,6 +304,9 @@ Expected<CampaignResult, std::string> run_campaign(
   std::vector<FaultStatus> initial(faults.size(), FaultStatus::Undetected);
   if (opts.analysis) {
     initial = StaticXRedAnalysis(netlist).classify(faults);
+    // Implication-engine untestability upgrades only the leftovers, so
+    // the StaticXRed and StaticUntestable buckets never overlap.
+    ImplicationEngine(netlist).classify(faults, initial);
   }
   if (opts.run_xred) {
     const std::vector<FaultStatus> xs =

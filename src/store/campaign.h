@@ -40,6 +40,10 @@ struct CampaignResult {
   /// ID_X-red ran (SimOptions::analysis; frozen in the INIT record like
   /// the X-redundant verdicts).
   std::size_t static_x_redundant = 0;
+  /// Faults the implication engine proved untestable by any sequence
+  /// (SimOptions::analysis; disjoint from static_x_redundant — the
+  /// engine only upgrades faults the structural pass left Undetected).
+  std::size_t static_untestable = 0;
   /// Total frames of the campaign sequence (all segments).
   std::size_t frames_total = 0;
   /// Merged engine counters of THIS invocation (a resumed invocation

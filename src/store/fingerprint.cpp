@@ -64,7 +64,12 @@ std::uint64_t fingerprint_options(const SimOptions& options) {
   // deliberately NOT hashed — attaching telemetry must never change a
   // store's identity or block a resume.
   Fnv1a64 h;
-  h.update_u64(2);  // fingerprint schema version (2: + analysis)
+  // Fingerprint schema version. Analysis-on runs moved to version 3
+  // when the implication engine joined stage 0 (it can add
+  // StaticUntestable INIT records an older reader would reject), so
+  // only analysis-on stores were invalidated; analysis-off stores
+  // hash exactly as before.
+  h.update_u64(options.analysis ? 3 : 2);
   h.update_u64(options.analysis ? 1 : 0);
   h.update_u64(options.run_xred ? 1 : 0);
   h.update_u64(options.parallel_sim3 ? 1 : 0);

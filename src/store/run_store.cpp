@@ -76,6 +76,8 @@ const char* status_token(FaultStatus s) {
       return "DM";
     case FaultStatus::StaticXRed:
       return "SX";
+    case FaultStatus::StaticUntestable:
+      return "SU";
   }
   return "?";
 }
@@ -88,6 +90,7 @@ bool parse_status_token(const std::string& t, FaultStatus& out) {
   else if (t == "DR") out = FaultStatus::DetectedRmot;
   else if (t == "DM") out = FaultStatus::DetectedMot;
   else if (t == "SX") out = FaultStatus::StaticXRed;
+  else if (t == "SU") out = FaultStatus::StaticUntestable;
   else return false;
   return true;
 }
@@ -230,6 +233,8 @@ std::string serialize_init_line(const std::vector<FaultStatus>& status) {
         line += 'X';
       } else if (s == FaultStatus::StaticXRed) {
         line += 'S';
+      } else if (s == FaultStatus::StaticUntestable) {
+        line += 'T';
       } else {
         line += 'U';
       }
@@ -270,6 +275,7 @@ Expected<std::vector<FaultStatus>, std::string> parse_init_line(
     if (c == 'U') status.push_back(FaultStatus::Undetected);
     else if (c == 'X') status.push_back(FaultStatus::XRedundant);
     else if (c == 'S') status.push_back(FaultStatus::StaticXRed);
+    else if (c == 'T') status.push_back(FaultStatus::StaticUntestable);
     else return Err{std::string("INIT record has a bad status digit '") + c +
                     "'"};
   }

@@ -1,0 +1,41 @@
+#include "util/cli_args.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace motsim {
+
+Expected<std::uint64_t, std::string> parse_cli_u64(const std::string& flag,
+                                                   const std::string& value) {
+  if (value.empty()) {
+    return Unexpected<std::string>{flag + " expects a non-negative integer"};
+  }
+  for (char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Unexpected<std::string>{
+          flag + " expects a non-negative integer, got '" + value + "'"};
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long r = std::strtoull(value.c_str(), &end, 10);
+  if (errno == ERANGE || end != value.c_str() + value.size()) {
+    return Unexpected<std::string>{flag + " value out of range: '" + value +
+                                   "'"};
+  }
+  return static_cast<std::uint64_t>(r);
+}
+
+Expected<std::size_t, std::string> parse_cli_size(const std::string& flag,
+                                                  const std::string& value) {
+  const Expected<std::uint64_t, std::string> r = parse_cli_u64(flag, value);
+  if (!r.has_value()) return Unexpected<std::string>{r.error()};
+  if (*r > static_cast<std::uint64_t>(static_cast<std::size_t>(-1))) {
+    return Unexpected<std::string>{flag + " value out of range: '" + value +
+                                   "'"};
+  }
+  return static_cast<std::size_t>(*r);
+}
+
+}  // namespace motsim

@@ -1,0 +1,31 @@
+#ifndef MOTSIM_UTIL_CLI_ARGS_H
+#define MOTSIM_UTIL_CLI_ARGS_H
+
+#include <cstdint>
+#include <string>
+
+#include "util/expected.h"
+
+namespace motsim {
+
+/// Strict unsigned CLI-flag parsing shared by the command-line front
+/// ends (motsim_cli, motsim_lint).
+///
+/// The whole token must be decimal digits and fit the result type —
+/// no std::stoul here: its silent acceptance of "12abc"/"-3" and
+/// uncaught exceptions on garbage are exactly the failure modes a
+/// front end is supposed to catch. Errors are returned as the final
+/// human-readable message ("<flag> expects a non-negative integer,
+/// got 'x'"); the caller decides how to report it and which exit code
+/// to use, so the helpers stay testable without process exits.
+[[nodiscard]] Expected<std::uint64_t, std::string> parse_cli_u64(
+    const std::string& flag, const std::string& value);
+
+/// parse_cli_u64 plus a range check against std::size_t (which may be
+/// narrower than 64 bits on some targets).
+[[nodiscard]] Expected<std::size_t, std::string> parse_cli_size(
+    const std::string& flag, const std::string& value);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_UTIL_CLI_ARGS_H

@@ -7,10 +7,12 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <random>
 #include <string>
 #include <vector>
 
 #include "analysis/diagnostics.h"
+#include "analysis/implication.h"
 #include "analysis/lint.h"
 #include "analysis/static_xred.h"
 #include "analysis/testability.h"
@@ -25,6 +27,7 @@
 #include "faults/fault_list.h"
 #include "faults/report.h"
 #include "sim3/fault_sim3.h"
+#include "sim3/good_sim3.h"
 #include "store/fingerprint.h"
 #include "tpg/sequences.h"
 #include "util/rng.h"
@@ -447,9 +450,12 @@ void expect_analysis_changes_nothing(const Netlist& nl) {
 
   ASSERT_EQ(r_off.status.size(), r_on.status.size());
   std::size_t static_count = 0;
+  std::size_t untestable_count = 0;
   for (std::size_t i = 0; i < r_off.status.size(); ++i) {
-    if (r_on.status[i] == FaultStatus::StaticXRed) {
-      ++static_count;
+    if (r_on.status[i] == FaultStatus::StaticXRed ||
+        r_on.status[i] == FaultStatus::StaticUntestable) {
+      r_on.status[i] == FaultStatus::StaticXRed ? ++static_count
+                                                : ++untestable_count;
       // Statically pruned faults were never detectable: without the
       // analysis they sit in the undetected or X-redundant bucket.
       EXPECT_TRUE(r_off.status[i] == FaultStatus::Undetected ||
@@ -463,7 +469,9 @@ void expect_analysis_changes_nothing(const Netlist& nl) {
     }
   }
   EXPECT_EQ(r_on.static_x_redundant, static_count);
+  EXPECT_EQ(r_on.static_untestable, untestable_count);
   EXPECT_EQ(r_off.static_x_redundant, 0u);
+  EXPECT_EQ(r_off.static_untestable, 0u);
   EXPECT_EQ(r_off.summary().detected_total(), r_on.summary().detected_total());
 }
 
@@ -482,12 +490,16 @@ TEST(PipelineAnalysis, CoverageIdenticalWithConstantGate) {
 TEST(PipelineAnalysis, SummaryCountsStaticBucket) {
   const std::vector<FaultStatus> status = {
       FaultStatus::DetectedSim3, FaultStatus::StaticXRed,
-      FaultStatus::XRedundant, FaultStatus::Undetected};
+      FaultStatus::XRedundant, FaultStatus::Undetected,
+      FaultStatus::StaticUntestable};
   const CoverageSummary s = CoverageSummary::from_status(status);
   EXPECT_EQ(s.static_x_redundant, 1u);
   EXPECT_EQ(s.x_redundant, 1u);
+  EXPECT_EQ(s.static_untestable, 1u);
   EXPECT_NE(s.to_string().find("static X-red"), std::string::npos);
+  EXPECT_NE(s.to_string().find("static untestable"), std::string::npos);
   EXPECT_NE(s.to_json().find("\"static_x_redundant\":1"), std::string::npos);
+  EXPECT_NE(s.to_json().find("\"static_untestable\":1"), std::string::npos);
 }
 
 TEST(PipelineAnalysis, OptionsFingerprintCoversAnalysis) {
@@ -495,6 +507,309 @@ TEST(PipelineAnalysis, OptionsFingerprintCoversAnalysis) {
   SimOptions b;
   b.analysis = true;
   EXPECT_NE(fingerprint_options(a), fingerprint_options(b));
+}
+
+// ---------------------------------------------------------------------------
+// Implication engine
+// ---------------------------------------------------------------------------
+
+/// Reconvergent pair whose AND is a *learnable* (never structural)
+/// constant: c = AND(a, NOT a) == 0 in every frame, provable only by
+/// assuming c = 1 and deriving the a/NOT-a conflict. z = AND(b, c) is
+/// then constant too, and z's faults on the b pin are blocked by the
+/// learned constant. The OR output keeps b itself testable.
+Netlist learned_const_circuit() {
+  Netlist nl("learned");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex b = nl.add_input("b");
+  const NodeIndex na = nl.add_gate(GateType::Not, {a}, "na");
+  const NodeIndex c = nl.add_gate(GateType::And, {a, na}, "c");
+  const NodeIndex z = nl.add_gate(GateType::And, {b, c}, "z");
+  const NodeIndex o = nl.add_gate(GateType::Or, {z, b}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+  return nl;
+}
+
+/// Constant AND feeding a two-deep flip-flop chain: c is every-frame
+/// constant 0, q settles to 0 from frame 2 on, q2 from frame 3 on.
+/// Neither flip-flop output is ever every-frame constant (unknown
+/// power-up).
+Netlist settled_chain_circuit() {
+  Netlist nl("settled");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex na = nl.add_gate(GateType::Not, {a}, "na");
+  const NodeIndex c = nl.add_gate(GateType::And, {a, na}, "c");
+  const NodeIndex q = nl.add_dff(c, "q");
+  const NodeIndex q2 = nl.add_dff(q, "q2");
+  const NodeIndex o = nl.add_gate(GateType::Or, {q2, a}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+  return nl;
+}
+
+/// Gate g feeds ONLY a flip-flop whose output goes nowhere: g can
+/// never influence a primary output in any frame. StaticXRedAnalysis
+/// seeds its backward reach from outputs AND flip-flops, so it calls g
+/// observable — the implication engine's PO-cone rule is strictly
+/// stronger.
+Netlist dff_sink_circuit() {
+  Netlist nl("dffsink");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex b = nl.add_input("b");
+  const NodeIndex g = nl.add_gate(GateType::And, {a, b}, "g");
+  (void)nl.add_dff(g, "q");
+  const NodeIndex o = nl.add_gate(GateType::Or, {a, b}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+  return nl;
+}
+
+TEST(Implication, LearnsReconvergentConstant) {
+  const Netlist nl = learned_const_circuit();
+  const ImplicationEngine eng(nl);
+  const NodeIndex c = nl.find("c");
+  const NodeIndex z = nl.find("z");
+  // Structural propagation alone cannot see either constant.
+  EXPECT_EQ(StaticXRedAnalysis(nl).constant_of(c), ConstVal::Unknown);
+  EXPECT_EQ(eng.constants()[c], ConstVal::Zero);
+  EXPECT_EQ(eng.constants()[z], ConstVal::Zero);
+  EXPECT_EQ(eng.constants()[nl.find("a")], ConstVal::Unknown);
+  EXPECT_EQ(eng.constants()[nl.find("o")], ConstVal::Unknown);
+  EXPECT_GE(eng.stats().learned_constants, 1u);
+  EXPECT_EQ(eng.stats().structural_constants, 0u);
+  // Both constants are internal nets, so both are tieable.
+  EXPECT_EQ(eng.tied_constant_count(), 2u);
+  const std::vector<ConstVal> tied = eng.tied_constants();
+  EXPECT_EQ(tied[c], ConstVal::Zero);
+  EXPECT_EQ(tied[z], ConstVal::Zero);
+  EXPECT_EQ(tied[nl.find("a")], ConstVal::Unknown);
+}
+
+TEST(Implication, DirectImplicationQueries) {
+  const Netlist nl = learned_const_circuit();
+  const ImplicationEngine eng(nl);
+  const NodeIndex a = nl.find("a");
+  const NodeIndex na = nl.find("na");
+  const NodeIndex o = nl.find("o");
+  const NodeIndex b = nl.find("b");
+  EXPECT_TRUE(eng.implies(a, true, na, false));
+  EXPECT_TRUE(eng.implies(a, false, na, true));
+  // b = 1 forces o = 1 through the OR; b = 0 forces o = 0 because the
+  // other OR input is the constant net z.
+  EXPECT_TRUE(eng.implies(b, true, o, true));
+  EXPECT_TRUE(eng.implies(b, false, o, false));
+  EXPECT_FALSE(eng.implies(o, true, a, true));
+  // Assuming a constant net at its constant value contradicts nothing;
+  // the opposite assumption is frame-locally impossible.
+  const NodeIndex c = nl.find("c");
+  EXPECT_FALSE(eng.contradicts(c, false));
+  EXPECT_TRUE(eng.contradicts(c, true));
+  EXPECT_FALSE(eng.contradicts(a, true));
+  EXPECT_FALSE(eng.contradicts(a, false));
+}
+
+TEST(Implication, SettledConstantsCrossFlipFlops) {
+  const Netlist nl = settled_chain_circuit();
+  const ImplicationEngine eng(nl);
+  const NodeIndex c = nl.find("c");
+  const NodeIndex q = nl.find("q");
+  const NodeIndex q2 = nl.find("q2");
+  // Every-frame constants never include flip-flop outputs (unknown
+  // power-up state), so neither q nor q2 may ever be tied.
+  EXPECT_EQ(eng.constants()[c], ConstVal::Zero);
+  EXPECT_EQ(eng.constants()[q], ConstVal::Unknown);
+  EXPECT_EQ(eng.constants()[q2], ConstVal::Unknown);
+  EXPECT_EQ(eng.tied_constants()[q], ConstVal::Unknown);
+  // But both settle, one frame later per flip-flop crossing.
+  EXPECT_EQ(eng.settled()[c].value, ConstVal::Zero);
+  EXPECT_EQ(eng.settled()[c].from_frame, 1u);
+  EXPECT_EQ(eng.settled()[q].value, ConstVal::Zero);
+  EXPECT_EQ(eng.settled()[q].from_frame, 2u);
+  EXPECT_EQ(eng.settled()[q2].value, ConstVal::Zero);
+  EXPECT_EQ(eng.settled()[q2].from_frame, 3u);
+  EXPECT_EQ(eng.settled()[nl.find("o")].value, ConstVal::Unknown);
+  EXPECT_EQ(eng.stats().settled_constants, 2u);
+}
+
+TEST(Implication, ActivationConflictFaultsAreUntestable) {
+  const Netlist nl = learned_const_circuit();
+  const ImplicationEngine eng(nl);
+  const NodeIndex z = nl.find("z");
+  // z is constant 0 every frame: s-a-0 can never be activated...
+  EXPECT_TRUE(eng.is_static_untestable(Fault{FaultSite{z, kStemPin}, false}));
+  // ...but s-a-1 can (activation z = 0 always holds) and propagates
+  // through the OR whenever b = 0.
+  EXPECT_FALSE(eng.is_static_untestable(Fault{FaultSite{z, kStemPin}, true}));
+  // StaticXRedAnalysis misses the s-a-0 fault — the constant is
+  // invisible to structural propagation.
+  EXPECT_FALSE(
+      StaticXRedAnalysis(nl).is_static_x_redundant(
+          Fault{FaultSite{z, kStemPin}, false}));
+}
+
+TEST(Implication, ConstantBlockedFaultsAreUntestable) {
+  const Netlist nl = learned_const_circuit();
+  const ImplicationEngine eng(nl);
+  const NodeIndex z = nl.find("z");
+  // z.in0 is the b pin of z = AND(b, c): whatever the faulty value of
+  // the pin, the learned constant 0 on the side pin c pins z's output
+  // to 0 in both machines — the divergence is blocked at z.
+  EXPECT_TRUE(eng.is_static_untestable(Fault{FaultSite{z, 0}, true}));
+  EXPECT_TRUE(eng.is_static_untestable(Fault{FaultSite{z, 0}, false}));
+  // b itself (stem) drives the OR too and stays fully testable.
+  const NodeIndex b = nl.find("b");
+  EXPECT_FALSE(eng.is_static_untestable(Fault{FaultSite{b, kStemPin}, false}));
+  EXPECT_FALSE(eng.is_static_untestable(Fault{FaultSite{b, kStemPin}, true}));
+}
+
+TEST(Implication, PoConeRuleIsStrongerThanStaticXRed) {
+  const Netlist nl = dff_sink_circuit();
+  const ImplicationEngine eng(nl);
+  const StaticXRedAnalysis sa(nl);
+  const NodeIndex g = nl.find("g");
+  // The structural pass seeds observability from flip-flops and calls
+  // g observable; no frame of any sequence can move g's value to a
+  // primary output, and the implication engine proves it.
+  EXPECT_TRUE(sa.observable(g));
+  EXPECT_FALSE(sa.is_static_x_redundant(Fault{FaultSite{g, kStemPin}, false}));
+  EXPECT_TRUE(eng.is_static_untestable(Fault{FaultSite{g, kStemPin}, false}));
+  EXPECT_TRUE(eng.is_static_untestable(Fault{FaultSite{g, kStemPin}, true}));
+  // The inputs fan out to the live OR as well and remain testable.
+  const NodeIndex a = nl.find("a");
+  EXPECT_FALSE(eng.is_static_untestable(Fault{FaultSite{a, kStemPin}, true}));
+}
+
+TEST(Implication, ClassifyUpgradesOnlyUndetected) {
+  const Netlist nl = learned_const_circuit();
+  const ImplicationEngine eng(nl);
+  const std::vector<Fault> faults = all_faults(nl);
+  std::vector<FaultStatus> status(faults.size(), FaultStatus::Undetected);
+  // Pre-mark one untestable fault as StaticXRed: classify must leave
+  // the stronger verdict alone and not double-count it.
+  const SiteTable sites(nl);
+  std::size_t pre_marked = sites.fault_count();
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (eng.is_static_untestable(faults[i]) &&
+        pre_marked == sites.fault_count()) {
+      status[i] = FaultStatus::StaticXRed;
+      pre_marked = i;
+    }
+  }
+  ASSERT_NE(pre_marked, sites.fault_count());
+  const std::size_t upgraded = eng.classify(faults, status);
+  EXPECT_GT(upgraded, 0u);
+  EXPECT_EQ(status[pre_marked], FaultStatus::StaticXRed);
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const bool untestable = eng.is_static_untestable(faults[i]);
+    if (status[i] == FaultStatus::StaticUntestable) {
+      ++flagged;
+      EXPECT_TRUE(untestable);
+    }
+  }
+  EXPECT_EQ(flagged, upgraded);
+  // Size mismatch is an error, not silent corruption.
+  std::vector<FaultStatus> bad(faults.size() + 1, FaultStatus::Undetected);
+  EXPECT_THROW((void)eng.classify(faults, bad), std::invalid_argument);
+}
+
+TEST(Implication, BenchmarkConstantsAreNeverFalse) {
+  // s27 carries no constant nets and learning must not invent any.
+  // The synthetic controllers (s298, s344) DO contain genuinely
+  // constant reconvergent nets; every flagged constant is checked
+  // against concrete two-valued simulation over random binary
+  // power-up states — a false constant would show up immediately.
+  {
+    const ImplicationEngine eng(make_benchmark("s27"));
+    EXPECT_EQ(eng.tied_constant_count(), 0u);
+    EXPECT_EQ(eng.stats().structural_constants, 0u);
+    EXPECT_EQ(eng.stats().learned_constants, 0u);
+    EXPECT_GT(eng.stats().direct_implications, 0u);
+  }
+  std::mt19937 rng(97);
+  for (const char* name : {"s298", "s344"}) {
+    const Netlist nl = make_benchmark(name);
+    const ImplicationEngine eng(nl);
+    EXPECT_GT(eng.stats().direct_implications, 0u) << name;
+    const std::vector<ConstVal>& consts = eng.constants();
+    for (int trial = 0; trial < 20; ++trial) {
+      GoodSim3 sim(nl);
+      std::vector<Val3> state(nl.dffs().size());
+      for (Val3& v : state) v = (rng() & 1u) != 0 ? Val3::One : Val3::Zero;
+      sim.set_state(std::move(state));
+      for (unsigned frame = 0; frame < 20; ++frame) {
+        std::vector<Val3> in(nl.inputs().size());
+        for (Val3& v : in) v = (rng() & 1u) != 0 ? Val3::One : Val3::Zero;
+        sim.step(in);
+        for (NodeIndex n = 0; n < consts.size(); ++n) {
+          if (consts[n] == ConstVal::Unknown) continue;
+          const Val3 want =
+              consts[n] == ConstVal::One ? Val3::One : Val3::Zero;
+          ASSERT_EQ(sim.values()[n], want)
+              << name << " net " << nl.gate(n).name << " frame " << frame;
+        }
+      }
+    }
+  }
+}
+
+// The headline soundness property: a StaticUntestable verdict means NO
+// sequence detects the fault — neither the three-valued engine nor the
+// symbolic MOT pipeline may ever report it detected, on any seed.
+TEST(Implication, UntestableNeverDetectedProperty) {
+  const Netlist circuits[] = {make_s27(), make_benchmark("s298"),
+                              make_benchmark("s344"), learned_const_circuit(),
+                              settled_chain_circuit(), dff_sink_circuit()};
+  bool any_flagged = false;
+  for (const Netlist& nl : circuits) {
+    const ImplicationEngine eng(nl);
+    const CollapsedFaultList collapsed(nl);
+    std::vector<std::size_t> flagged;
+    for (std::size_t i = 0; i < collapsed.size(); ++i) {
+      if (eng.is_static_untestable(collapsed.faults()[i])) flagged.push_back(i);
+    }
+    if (flagged.empty()) continue;
+    any_flagged = true;
+    for (const std::uint32_t seed : {21u, 22u}) {
+      Rng rng(seed);
+      const TestSequence seq = random_sequence(nl, 50, rng);
+      SimOptions opts;  // analysis off: the engines must agree on their own
+      opts.seed = seed;
+      const PipelineResult r =
+          run_pipeline(nl, collapsed.faults(), seq, opts);
+      for (const std::size_t i : flagged) {
+        EXPECT_FALSE(is_detected(r.status[i]))
+            << nl.name() << " seed " << seed << ": "
+            << fault_name(nl, collapsed.faults()[i])
+            << " flagged untestable but detected";
+      }
+    }
+  }
+  EXPECT_TRUE(any_flagged);  // the property must not pass vacuously
+}
+
+TEST(Implication, PipelinePrunesAndStaysIdentical) {
+  expect_analysis_changes_nothing(learned_const_circuit());
+  expect_analysis_changes_nothing(settled_chain_circuit());
+  expect_analysis_changes_nothing(dff_sink_circuit());
+}
+
+TEST(Implication, PruneCollapsedListTransfersAcrossClasses) {
+  const Netlist nl = learned_const_circuit();
+  const ImplicationEngine eng(nl);
+  const CollapsedFaultList collapsed(nl);
+  std::vector<FaultStatus> status(collapsed.size(), FaultStatus::Undetected);
+  const std::size_t flagged = prune_static_untestable(eng, collapsed, status);
+  EXPECT_GT(flagged, 0u);
+  std::size_t count = 0;
+  for (const FaultStatus s : status) {
+    if (s == FaultStatus::StaticUntestable) ++count;
+  }
+  EXPECT_EQ(count, flagged);
+  std::vector<FaultStatus> bad(collapsed.size() + 1, FaultStatus::Undetected);
+  EXPECT_THROW((void)prune_static_untestable(eng, collapsed, bad),
+               std::invalid_argument);
 }
 
 }  // namespace

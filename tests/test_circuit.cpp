@@ -9,6 +9,7 @@
 #include "circuit/netlist.h"
 #include "circuit/stats.h"
 #include "circuit/validate.h"
+#include "faults/collapse.h"
 
 namespace motsim {
 namespace {
@@ -310,6 +311,26 @@ TEST(CircuitStats, RequiresFinalized) {
   Netlist nl("raw");
   (void)nl.add_input("a");
   EXPECT_THROW((void)CircuitStats::of(nl), std::logic_error);
+}
+
+TEST(CircuitStats, AttachCollapseFillsClassCounts) {
+  const Netlist nl = make_s27();
+  CircuitStats s = CircuitStats::of(nl);
+  // Absent until attached — circuit/ stays independent of faults/.
+  EXPECT_FALSE(s.has_collapse);
+  EXPECT_EQ(s.to_string().find("collapse:"), std::string::npos);
+  attach_collapse(s, nl);
+  EXPECT_TRUE(s.has_collapse);
+  EXPECT_EQ(s.uncollapsed_faults, 76u);
+  EXPECT_EQ(s.equivalence_classes, 26u);
+  // Dominance drops further classes on top of equivalence, but never
+  // below 1 per output cone.
+  EXPECT_LT(s.dominance_classes, s.equivalence_classes);
+  EXPECT_GT(s.dominance_classes, 0u);
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("collapse:"), std::string::npos);
+  EXPECT_NE(text.find("equivalence classes 26"), std::string::npos);
+  EXPECT_NE(text.find("of 76 uncollapsed"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

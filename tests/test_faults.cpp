@@ -237,5 +237,178 @@ TEST(Collapse, EveryFaultHasARepresentativeInTheList) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Class-verdict transfer
+// ---------------------------------------------------------------------------
+
+TEST(TransferVerdicts, ExpandsEveryClassMemberToItsRepresentative) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  const SiteTable& sites = c.sites();
+  // Give every representative a distinct-ish verdict by position.
+  std::vector<FaultStatus> rep_status(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    rep_status[i] = i % 2 == 0 ? FaultStatus::DetectedMot
+                               : FaultStatus::Undetected;
+  }
+  const std::vector<FaultStatus> full = transfer_class_verdicts(c, rep_status);
+  ASSERT_EQ(full.size(), c.uncollapsed_size());
+  // Position of each representative id in the collapsed list.
+  std::vector<std::size_t> index_of(c.uncollapsed_size(), 0);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    index_of[sites.fault_id(c.faults()[i])] = i;
+  }
+  for (std::size_t id = 0; id < c.uncollapsed_size(); ++id) {
+    EXPECT_EQ(full[id], rep_status[index_of[c.representative_of(id)]]);
+  }
+  // Misaligned input is an error, not silent corruption.
+  std::vector<FaultStatus> bad(c.size() + 1, FaultStatus::Undetected);
+  EXPECT_THROW((void)transfer_class_verdicts(c, bad), std::invalid_argument);
+}
+
+TEST(TransferVerdicts, XorFaninFaultsAreSingletonClasses) {
+  // XOR/XNOR admit no input equivalence: every fault is its own class
+  // and the transfer must map it onto exactly itself.
+  Netlist nl("xorx");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex b = nl.add_input("b");
+  const NodeIndex g = nl.add_gate(GateType::Xor, {a, b}, "g");
+  const NodeIndex h = nl.add_gate(GateType::Xnor, {g, b}, "h");
+  nl.mark_output(h);
+  nl.finalize();
+  const CollapsedFaultList c(nl);
+  const SiteTable& sites = c.sites();
+  // 4 stems (a, b, g, h) + 4 branches (g.in0, g.in1, h.in0, h.in1).
+  // The XOR/XNOR gates contribute no input/output equivalence; the
+  // only merges are the fanout-free stem/branch pairs a==g.in0 and
+  // g==h.in0 (both polarities each). b fans out twice, so its stem
+  // and branches all stay singletons.
+  EXPECT_EQ(c.uncollapsed_size(), 16u);
+  EXPECT_EQ(c.size(), 12u);
+  std::vector<FaultStatus> rep_status(c.size(), FaultStatus::Undetected);
+  rep_status[0] = FaultStatus::DetectedSim3;
+  const std::vector<FaultStatus> full = transfer_class_verdicts(c, rep_status);
+  // The XOR fanin faults map 1:1 — flipping one representative touches
+  // exactly its own class (here: fault id 0's class).
+  std::size_t detected = 0;
+  for (std::size_t id = 0; id < full.size(); ++id) {
+    if (full[id] == FaultStatus::DetectedSim3) {
+      ++detected;
+      EXPECT_EQ(c.representative_of(id),
+                sites.fault_id(c.faults()[0]));
+    }
+  }
+  EXPECT_GE(detected, 1u);
+}
+
+TEST(TransferVerdicts, DffChainTransfersThroughEveryStage) {
+  // a -> q1 -> q2 -> o(NOT): the whole s-a-v chain is one class whose
+  // verdict must reach every member, across both flip-flop crossings.
+  Netlist nl("dffchain");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q1 = nl.add_dff(a, "q1");
+  const NodeIndex q2 = nl.add_dff(q1, "q2");
+  const NodeIndex o = nl.add_gate(GateType::Not, {q2}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+  const CollapsedFaultList c(nl);
+  const SiteTable& sites = c.sites();
+  std::vector<FaultStatus> rep_status(c.size(), FaultStatus::Undetected);
+  // Find the representative of a/SA0 and detect it.
+  const std::size_t a0_rep =
+      c.representative_of(sites.fault_id(Fault{FaultSite{a, kStemPin}, false}));
+  std::size_t a0_index = c.size();
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (sites.fault_id(c.faults()[i]) == a0_rep) a0_index = i;
+  }
+  ASSERT_NE(a0_index, c.size());
+  rep_status[a0_index] = FaultStatus::DetectedMot;
+  const std::vector<FaultStatus> full = transfer_class_verdicts(c, rep_status);
+  // Every s-a-0 along the chain (and o/SA1 through the inverter) sees
+  // the verdict.
+  for (const Fault f : {Fault{FaultSite{a, kStemPin}, false},
+                        Fault{FaultSite{q1, kStemPin}, false},
+                        Fault{FaultSite{q2, kStemPin}, false},
+                        Fault{FaultSite{o, 0}, false},
+                        Fault{FaultSite{o, kStemPin}, true}}) {
+    EXPECT_EQ(full[sites.fault_id(f)], FaultStatus::DetectedMot)
+        << fault_name(nl, f);
+  }
+  // The opposite polarity stays untouched.
+  EXPECT_EQ(full[sites.fault_id(Fault{FaultSite{a, kStemPin}, true})],
+            FaultStatus::Undetected);
+}
+
+// ---------------------------------------------------------------------------
+// Dominance collapsing (accounting only — see collapse.h)
+// ---------------------------------------------------------------------------
+
+TEST(Dominance, AndGateOutputSa1DominatesInputs) {
+  Netlist nl("and1");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex b = nl.add_input("b");
+  const NodeIndex g = nl.add_gate(GateType::And, {a, b}, "g");
+  nl.mark_output(g);
+  nl.finalize();
+  const CollapsedFaultList c(nl);
+  const DominanceCollapse d(nl, c);
+  // g/SA1 dominates a/SA1 and b/SA1 (different classes): exactly one
+  // class is dropped.
+  EXPECT_EQ(d.dropped(), 1u);
+  EXPECT_EQ(d.collapsed_size(), c.size() - 1);
+  const SiteTable& sites = c.sites();
+  std::size_t g1_index = c.size();
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Fault& f = c.faults()[i];
+    if (c.representative_of(
+            sites.fault_id(Fault{FaultSite{g, kStemPin}, true})) ==
+        sites.fault_id(f)) {
+      g1_index = i;
+    }
+  }
+  ASSERT_NE(g1_index, c.size());
+  EXPECT_TRUE(d.dominates_another(g1_index));
+}
+
+TEST(Dominance, XorGateHasNoDominance) {
+  Netlist nl("xord");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex b = nl.add_input("b");
+  const NodeIndex g = nl.add_gate(GateType::Xor, {a, b}, "g");
+  nl.mark_output(g);
+  nl.finalize();
+  const CollapsedFaultList c(nl);
+  const DominanceCollapse d(nl, c);
+  EXPECT_EQ(d.dropped(), 0u);
+  EXPECT_EQ(d.collapsed_size(), c.size());
+}
+
+TEST(Dominance, EquivalentOutputInputPairIsNotDropped) {
+  // NOT in/out faults are equivalent (same class); the dominance pass
+  // must not count a same-class edge as a dropped dominator.
+  Netlist nl("notd");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex g = nl.add_gate(GateType::Not, {a}, "g");
+  nl.mark_output(g);
+  nl.finalize();
+  const CollapsedFaultList c(nl);
+  const DominanceCollapse d(nl, c);
+  EXPECT_EQ(d.dropped(), 0u);
+}
+
+TEST(Dominance, S27CountsAreConsistent) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  const DominanceCollapse d(nl, c);
+  EXPECT_GT(d.dropped(), 0u);
+  EXPECT_LT(d.collapsed_size(), c.size());
+  EXPECT_EQ(d.collapsed_size() + d.dropped(), c.size());
+  std::size_t dominators = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    dominators += d.dominates_another(i) ? 1 : 0;
+  }
+  EXPECT_EQ(dominators, d.dropped());
+}
+
 }  // namespace
 }  // namespace motsim

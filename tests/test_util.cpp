@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "util/cli_args.h"
 #include "util/env.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -237,6 +238,45 @@ TEST(Env, IntFallsBack) {
   ::setenv("MOTSIM_TEST_INT", "junk", 1);
   EXPECT_EQ(env_int("MOTSIM_TEST_INT", 42), 42);
   ::unsetenv("MOTSIM_TEST_INT");
+}
+
+// ---------------------------------------------------------------------------
+// CLI argument parsing (shared by motsim_cli and motsim_lint)
+// ---------------------------------------------------------------------------
+
+TEST(CliArgs, ParsesPlainIntegers) {
+  EXPECT_EQ(*parse_cli_u64("--seed", "0"), 0u);
+  EXPECT_EQ(*parse_cli_u64("--seed", "42"), 42u);
+  EXPECT_EQ(*parse_cli_u64("--seed", "18446744073709551615"),
+            18446744073709551615ull);
+  EXPECT_EQ(*parse_cli_size("--top", "5"), 5u);
+}
+
+TEST(CliArgs, RejectsEmptyValueWithNamedFlag) {
+  const auto r = parse_cli_u64("--vectors", "");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), "--vectors expects a non-negative integer");
+}
+
+TEST(CliArgs, RejectsNonDigitsWithNamedFlag) {
+  for (const char* bad : {"12abc", "-3", "0x10", " 7", "3.5", "junk"}) {
+    const auto r = parse_cli_u64("--top", bad);
+    ASSERT_FALSE(r.has_value()) << bad;
+    EXPECT_EQ(r.error(), std::string("--top expects a non-negative "
+                                     "integer, got '") +
+                             bad + "'");
+  }
+}
+
+TEST(CliArgs, RejectsOutOfRangeWithNamedFlag) {
+  // One digit past 2^64-1.
+  const auto r = parse_cli_u64("--seed", "18446744073709551616");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(),
+            "--seed value out of range: '18446744073709551616'");
+  const auto s = parse_cli_size("--node-limit", "99999999999999999999");
+  ASSERT_FALSE(s.has_value());
+  EXPECT_NE(s.error().find("out of range"), std::string::npos);
 }
 
 }  // namespace

@@ -42,8 +42,6 @@
 //   --checkpoint-interval K  sync/checkpoint every K frames
 //                          (campaign default 32; 0 = engine default)
 
-#include <cctype>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,6 +65,7 @@
 #include "tpg/compaction.h"
 #include "tpg/sequence_io.h"
 #include "tpg/sequences.h"
+#include "util/cli_args.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
@@ -155,32 +154,18 @@ struct Options {
   std::exit(2);
 }
 
-/// Strict unsigned parse: the whole token must be digits and fit the
-/// result type. No std::stoul here — its silent acceptance of
-/// "12abc"/"-3" and uncaught exceptions on garbage were exactly the
-/// failure mode this front end is supposed to catch.
+/// Strict unsigned parse via util/cli_args (shared with motsim_lint);
+/// any parse problem is fatal with the helper's message.
 std::uint64_t parse_u64_flag(const std::string& flag, const std::string& v) {
-  if (v.empty()) fail(flag + " expects a non-negative integer");
-  for (char c : v) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) {
-      fail(flag + " expects a non-negative integer, got '" + v + "'");
-    }
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long r = std::strtoull(v.c_str(), &end, 10);
-  if (errno == ERANGE || end != v.c_str() + v.size()) {
-    fail(flag + " value out of range: '" + v + "'");
-  }
-  return r;
+  const auto r = parse_cli_u64(flag, v);
+  if (!r.has_value()) fail(r.error());
+  return *r;
 }
 
 std::size_t parse_size_flag(const std::string& flag, const std::string& v) {
-  const std::uint64_t r = parse_u64_flag(flag, v);
-  if (r > static_cast<std::uint64_t>(static_cast<std::size_t>(-1))) {
-    fail(flag + " value out of range: '" + v + "'");
-  }
-  return static_cast<std::size_t>(r);
+  const auto r = parse_cli_size(flag, v);
+  if (!r.has_value()) fail(r.error());
+  return *r;
 }
 
 Options parse_args(int argc, char** argv) {
@@ -490,10 +475,10 @@ int run_campaign_mode(const Options& o, const Netlist& nl,
               r.resumed ? " (continued from checkpoints)" : "");
   std::printf("X-redundant %zu faults (frozen at the base run)\n",
               r.x_redundant);
-  if (r.static_x_redundant != 0) {
-    std::printf("static:     %zu static-X-red faults (frozen at the base "
-                "run)\n",
-                r.static_x_redundant);
+  if (r.static_x_redundant != 0 || r.static_untestable != 0) {
+    std::printf("static:     %zu static-X-red, %zu untestable faults "
+                "(frozen at the base run)\n",
+                r.static_x_redundant, r.static_untestable);
   }
   std::printf("engine:     %zu checkpoint syncs, %zu fallback windows%s\n",
               r.sym.checkpoint_syncs, r.sym.fallback_windows,
@@ -546,7 +531,9 @@ int main(int argc, char** argv) {
               nl.dff_count(), nl.gate_count(), faults.size());
 
   if (o.stats) {
-    std::printf("%s", CircuitStats::of(nl).to_string().c_str());
+    CircuitStats stats = CircuitStats::of(nl);
+    attach_collapse(stats, nl);
+    std::printf("%s", stats.to_string().c_str());
   }
   if (!o.dot_file.empty()) {
     std::ofstream dot(o.dot_file);
@@ -632,8 +619,10 @@ int main(int argc, char** argv) {
 
   std::printf("\n--- %s pipeline ---\n", to_cstring(o.sim.strategy));
   if (o.sim.analysis) {
-    std::printf("static:     %zu static-X-red faults      (%.3f s)\n",
-                r.static_x_redundant, r.seconds_analysis);
+    std::printf("static:     %zu static-X-red, %zu untestable faults "
+                "(%.3f s)\n",
+                r.static_x_redundant, r.static_untestable,
+                r.seconds_analysis);
   }
   if (o.sim.run_xred) {
     std::printf("ID_X-red:   %zu X-redundant faults      (%.3f s)\n",

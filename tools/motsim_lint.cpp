@@ -13,12 +13,16 @@
 //   --static-xred    append static X-redundancy notes (the
 //                    sequence-independent subset of ID_X-red) to the
 //                    report
+//   --implications   append the implication engine's findings:
+//                    every-frame-constant and settled nets plus a
+//                    summary of the learned implications
+//   --untestable     append one note per statically untestable fault
+//                    (FIRE-style fault-independent identification)
 //
 // Exit code is the worst finding across all circuits: 0 clean (notes
-// never fail a run), 1 warnings, 2 errors.
+// never fail a run), 1 warnings, 2 errors. Usage errors exit 2.
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "analysis/diagnostics.h"
+#include "analysis/implication.h"
 #include "analysis/lint.h"
 #include "analysis/static_xred.h"
 #include "analysis/testability.h"
@@ -33,6 +38,7 @@
 #include "circuit/bench_io.h"
 #include "faults/fault.h"
 #include "faults/fault_list.h"
+#include "util/cli_args.h"
 
 using namespace motsim;
 
@@ -44,6 +50,8 @@ struct Options {
   bool json = false;
   bool scoap = false;
   bool static_xred = false;
+  bool implications = false;
+  bool untestable = false;
   std::size_t top = 5;
 };
 
@@ -58,6 +66,10 @@ struct Options {
                "faults\n"
                "  --top N        hardest faults to list (default 5)\n"
                "  --static-xred  append static X-redundancy notes\n"
+               "  --implications append implication-engine notes (constant\n"
+               "                 and settled nets, learned-implication "
+               "summary)\n"
+               "  --untestable   append statically-untestable-fault notes\n"
                "exit code: 0 clean, 1 warnings, 2 errors (worst circuit "
                "wins)\n");
   std::exit(code);
@@ -65,17 +77,16 @@ struct Options {
 
 [[noreturn]] void fail(const std::string& msg) {
   std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::fprintf(stderr, "run 'motsim_lint --help' for usage\n");
   std::exit(2);
 }
 
+/// Strict unsigned parse via util/cli_args (shared with motsim_cli);
+/// any parse problem is fatal with the helper's message.
 std::size_t parse_size_flag(const std::string& flag, const std::string& v) {
-  if (v.empty()) fail(flag + " expects a number");
-  for (char c : v) {
-    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
-      fail(flag + " expects a number, got '" + v + "'");
-    }
-  }
-  return static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+  const auto r = parse_cli_size(flag, v);
+  if (!r.has_value()) fail(r.error());
+  return *r;
 }
 
 Options parse_args(int argc, char** argv) {
@@ -92,6 +103,8 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--scoap") o.scoap = true;
     else if (a == "--top") o.top = parse_size_flag(a, next());
     else if (a == "--static-xred") o.static_xred = true;
+    else if (a == "--implications") o.implications = true;
+    else if (a == "--untestable") o.untestable = true;
     else if (!a.empty() && a[0] == '-') fail("unknown option '" + a + "'");
     else o.circuits.push_back(a);
   }
@@ -143,6 +156,64 @@ void append_static_xred(const Netlist& nl, DiagnosticReport& report) {
                  " faults statically X-redundant (" +
                  std::to_string(unobservable) + " unobservable, " +
                  std::to_string(constant) + " constant)");
+}
+
+/// Appends the implication engine's net-level findings: one note per
+/// every-frame-constant internal net ("imp.constant-net"), one per net
+/// that only settles after some frame ("imp.settled-net" — typically a
+/// flip-flop fed by a constant), and a circuit-level summary of the
+/// engine's counters ("imp.summary").
+void append_implications(const Netlist& nl, const ImplicationEngine& eng,
+                         DiagnosticReport& report) {
+  const std::vector<ConstVal>& consts = eng.constants();
+  const std::vector<SettledConst>& settled = eng.settled();
+  for (NodeIndex n = 0; n < nl.node_count(); ++n) {
+    const GateType t = nl.type(n);
+    if (t == GateType::Const0 || t == GateType::Const1) continue;
+    if (consts[n] != ConstVal::Unknown) {
+      report.add(nl, "imp.constant-net", Severity::Note, n,
+                 std::string("net is constant ") +
+                     (consts[n] == ConstVal::One ? "1" : "0") +
+                     " in every frame (static implication)");
+    } else if (settled[n].value != ConstVal::Unknown) {
+      report.add(nl, "imp.settled-net", Severity::Note, n,
+                 std::string("net settles to ") +
+                     (settled[n].value == ConstVal::One ? "1" : "0") +
+                     " from frame " + std::to_string(settled[n].from_frame) +
+                     " on, for every power-up state");
+    }
+  }
+  const ImplicationStats& st = eng.stats();
+  report.add(nl, "imp.summary", Severity::Note, kNoNode,
+             std::to_string(st.direct_implications) +
+                 " direct implications, " +
+                 std::to_string(st.learned_implications) + " learned; " +
+                 std::to_string(st.structural_constants +
+                                st.learned_constants) +
+                 " constant nets (" + std::to_string(st.learned_constants) +
+                 " by learning), " + std::to_string(st.settled_constants) +
+                 " settled");
+}
+
+/// Appends one note per statically untestable fault
+/// ("untestable.fault") plus a circuit-level count
+/// ("untestable.summary"). The verdict is fault-independent FIRE-style
+/// identification: no input sequence detects the fault under any
+/// observation strategy (docs/ANALYSIS.md).
+void append_untestable(const Netlist& nl, const ImplicationEngine& eng,
+                       DiagnosticReport& report) {
+  const std::vector<Fault> faults = all_faults(nl);
+  std::size_t count = 0;
+  for (const Fault& f : faults) {
+    if (!eng.is_static_untestable(f)) continue;
+    ++count;
+    report.add(nl, "untestable.fault", Severity::Note, f.site.node,
+               "fault " + fault_name(nl, f) +
+                   " is untestable by any input sequence");
+  }
+  report.add(nl, "untestable.summary", Severity::Note, kNoNode,
+             std::to_string(count) + " of " + std::to_string(faults.size()) +
+                 " faults statically untestable");
 }
 
 void print_scoap(const Netlist& nl, std::size_t top) {
@@ -208,6 +279,12 @@ int main(int argc, char** argv) {
     const Netlist nl = load_circuit(name);
     DiagnosticReport report = run_lint(nl);
     if (o.static_xred) append_static_xred(nl, report);
+    if (o.implications || o.untestable) {
+      // One engine serves both passes — learning is the expensive part.
+      const ImplicationEngine engine(nl);
+      if (o.implications) append_implications(nl, engine, report);
+      if (o.untestable) append_untestable(nl, engine, report);
+    }
 
     if (!first) std::printf("\n");
     first = false;
