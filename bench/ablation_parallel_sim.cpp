@@ -13,8 +13,8 @@
 
 #include "bench_common.h"
 #include "faults/collapse.h"
+#include "sim3/bitpar_sim3.h"
 #include "sim3/fault_sim3.h"
-#include "sim3/parallel_fault_sim3.h"
 #include "tpg/sequences.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -44,7 +44,7 @@ int main() {
     const double serial_s = ts.elapsed_seconds();
 
     Stopwatch tp;
-    ParallelFaultSim3 parallel(nl, faults.faults());
+    BitParFaultSim3 parallel(nl, faults.faults());
     const auto rp = parallel.run(seq);
     const double parallel_s = tp.elapsed_seconds();
 

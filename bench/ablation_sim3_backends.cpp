@@ -1,0 +1,130 @@
+// Cross-backend ablation gate: the event-driven and the bit-parallel
+// three-valued fault simulators must be bit-identical.
+//
+// Runs both FaultSimulator3 backends (and the bit-parallel engine at 1
+// and 4 worker threads) over random sequences on s27 / s344 / s5378
+// and compares, fault by fault, the detection verdict AND the
+// detection frame. Any disagreement exits nonzero — this harness is
+// the CI correctness gate behind the backend contract of docs/SIM3.md,
+// wired like ablation_implications. It also prints the speedup, so the
+// gate doubles as a coarse perf canary.
+//
+// Environment (see bench_common.h): MOTSIM_FULL, MOTSIM_VECTORS,
+// MOTSIM_SEED.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "faults/collapse.h"
+#include "faults/fault.h"
+#include "sim3/bitpar_sim3.h"
+#include "sim3/fault_simulator.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace motsim;
+using namespace motsim::bench;
+
+namespace {
+
+struct Run {
+  FaultSim3Result result;
+  double seconds = 0;
+};
+
+Run run_backend(const Netlist& nl, const std::vector<Fault>& faults,
+                const TestSequence& seq, Sim3Backend backend,
+                std::size_t threads) {
+  Run r;
+  Stopwatch timer;
+  Sim3EngineConfig config;
+  config.threads = threads;
+  const std::unique_ptr<FaultSimulator3> sim =
+      make_fault_simulator3(backend, nl, faults, config);
+  r.result = sim->run(seq);
+  r.seconds = timer.elapsed_seconds();
+  return r;
+}
+
+/// Fault-by-fault comparison of verdicts and frames; prints the first
+/// few mismatches.
+bool identical(const Netlist& nl, const std::vector<Fault>& faults,
+               const FaultSim3Result& a, const FaultSim3Result& b,
+               const char* what) {
+  bool ok = a.status.size() == b.status.size() &&
+            a.detected_count == b.detected_count;
+  int reported = 0;
+  for (std::size_t i = 0; i < a.status.size() && i < b.status.size(); ++i) {
+    if (is_detected(a.status[i]) != is_detected(b.status[i]) ||
+        a.detect_frame[i] != b.detect_frame[i]) {
+      if (reported++ < 10) {
+        std::fprintf(stderr, "MISMATCH (%s): %s %s: event=%s@%u other=%s@%u\n",
+                     what, nl.name().c_str(),
+                     fault_name(nl, faults[i]).c_str(), to_cstring(a.status[i]),
+                     a.detect_frame[i], to_cstring(b.status[i]),
+                     b.detect_frame[i]);
+      }
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  print_preamble("sim3 backend ablation",
+                 "event-driven vs bit-parallel X01: bit-identity gate");
+
+  const std::size_t vectors =
+      static_cast<std::size_t>(env_int("MOTSIM_VECTORS", 96));
+
+  std::vector<std::string> workloads{"s27", "s344", "s5378"};
+  if (full_mode()) workloads.push_back("s1423");
+
+  bool all_identical = true;
+  std::printf("%-10s %8s %9s %10s %12s %12s %8s\n", "circuit", "faults",
+              "detected", "event[s]", "bitpar-1[s]", "bitpar-4[s]", "speedup");
+  for (const std::string& name : workloads) {
+    const Netlist nl = make_benchmark(name);
+    const CollapsedFaultList faults(nl);
+    Rng rng(workload_seed());
+    const TestSequence seq = random_sequence(nl, vectors, rng);
+
+    const Run event = run_backend(nl, faults.faults(), seq,
+                                  Sim3Backend::Event, 1);
+    const Run bitpar1 = run_backend(nl, faults.faults(), seq,
+                                    Sim3Backend::BitPar, 1);
+    const Run bitpar4 = run_backend(nl, faults.faults(), seq,
+                                    Sim3Backend::BitPar, 4);
+
+    if (!identical(nl, faults.faults(), event.result, bitpar1.result,
+                   "bitpar threads=1")) {
+      all_identical = false;
+    }
+    if (!identical(nl, faults.faults(), event.result, bitpar4.result,
+                   "bitpar threads=4")) {
+      all_identical = false;
+    }
+
+    std::printf("%-10s %8zu %9zu %10.3f %12.3f %12.3f %7.2fx\n",
+                nl.name().c_str(), faults.size(),
+                event.result.detected_count, event.seconds, bitpar1.seconds,
+                bitpar4.seconds,
+                bitpar1.seconds > 0 ? event.seconds / bitpar1.seconds : 0.0);
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAILURE: the sim3 backends disagree on a detection "
+                 "verdict or frame.\n");
+    return 1;
+  }
+  std::printf("\nboth backends (and both thread counts) are bit-identical "
+              "on every circuit.\n");
+  return 0;
+}

@@ -1,16 +1,33 @@
 // Micro-benchmarks of the simulation kernels (google-benchmark):
 // three-valued true-value frames, event-driven fault propagation and
 // the symbolic frame step, on roster circuits of increasing size.
+//
+// The custom main additionally races the two FaultSimulator3 backends
+// (event-driven vs bit-parallel PPSFP) over the synthetic roster and
+// writes the comparison to BENCH_sim3.json — the repo's first
+// machine-readable perf artifact. Throughput is reported as
+// fault-frames per second: one fault-machine simulated over one frame.
+// Google-benchmark flags pass through (use --benchmark_filter=NONE to
+// run only the backend race, e.g. in CI smoke jobs).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
 #include "bench_data/registry.h"
 #include "core/sym_true_value.h"
 #include "faults/collapse.h"
+#include "sim3/bitpar_sim3.h"
 #include "sim3/fault_sim3.h"
 #include "sim3/good_sim3.h"
 #include "tpg/sequences.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
 
 namespace {
 
@@ -57,6 +74,21 @@ void BM_FaultSim3FullRun(benchmark::State& state) {
                           static_cast<std::int64_t>(faults.size()));
 }
 BENCHMARK(BM_FaultSim3FullRun)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_BitParSim3FullRun(benchmark::State& state) {
+  const Netlist nl = make_benchmark(circuit_for(static_cast<int>(state.range(0))));
+  const CollapsedFaultList faults(nl);
+  Rng rng(2);
+  const TestSequence seq = random_sequence(nl, 32, rng);
+  for (auto _ : state) {
+    BitParFaultSim3 sim(nl, faults.faults());
+    benchmark::DoNotOptimize(sim.run(seq).detected_count);
+  }
+  state.SetLabel(nl.name());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size()));
+}
+BENCHMARK(BM_BitParSim3FullRun)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_SingleFaultFrame(benchmark::State& state) {
   const Netlist nl = make_benchmark("s1494");
@@ -105,6 +137,122 @@ void BM_CollapseFaultList(benchmark::State& state) {
 }
 BENCHMARK(BM_CollapseFaultList);
 
+// ---------------------------------------------------------------------------
+// Backend race: event-driven vs bit-parallel on the synthetic roster
+// ---------------------------------------------------------------------------
+
+struct BackendRow {
+  std::string circuit;
+  std::size_t faults = 0;
+  std::size_t frames = 0;
+  std::size_t detected = 0;
+  double event_s = 0;
+  double bitpar_s = 0;
+  double event_ffps = 0;   // fault-frames per second
+  double bitpar_ffps = 0;
+  double speedup = 0;      // event_s / bitpar_s
+};
+
+int run_backend_race() {
+  bench::print_preamble("sim3 backends",
+                        "event-driven vs bit-parallel PPSFP (frames/s)");
+
+  TablePrinter table({"Circ.", "|F|", "frames", "event[s]", "bitpar[s]",
+                      "event f/s", "bitpar f/s", "speedup"});
+  std::vector<BackendRow> rows;
+
+  for (const BenchmarkInfo& info : benchmark_roster()) {
+    // The cutoff admits the s9234/s13207-class circuits: the packed
+    // engine's advantage grows with circuit size (the event engine
+    // walks one cone per fault, the packed kernel one union cone per
+    // 64), so the default artifact should cover the sizes where that
+    // shows. The s15850.1-and-up rows take minutes under the event
+    // backend and stay behind MOTSIM_FULL=1.
+    if (!bench::include_circuit(info, /*quick_gate_cutoff=*/8000)) continue;
+
+    const Netlist nl = make_benchmark(info);
+    const CollapsedFaultList faults(nl);
+    Rng rng(bench::workload_seed() + info.spec.seed);
+    const TestSequence seq = random_sequence(nl, bench::vector_count(), rng);
+
+    BackendRow row;
+    row.circuit = info.spec.name;
+    row.faults = faults.size();
+    row.frames = seq.size();
+    const double fault_frames =
+        static_cast<double>(faults.size()) * static_cast<double>(seq.size());
+
+    Stopwatch te;
+    FaultSim3 event_sim(nl, faults.faults());
+    const auto re = event_sim.run(seq);
+    row.event_s = te.elapsed_seconds();
+
+    Stopwatch tb;
+    BitParFaultSim3 bitpar_sim(nl, faults.faults());
+    const auto rb = bitpar_sim.run(seq);
+    row.bitpar_s = tb.elapsed_seconds();
+
+    if (re.status != rb.status || re.detect_frame != rb.detect_frame) {
+      std::fprintf(stderr, "MISMATCH on %s: backends disagree\n",
+                   row.circuit.c_str());
+      return 1;
+    }
+    row.detected = re.detected_count;
+    row.event_ffps = row.event_s > 0 ? fault_frames / row.event_s : 0;
+    row.bitpar_ffps = row.bitpar_s > 0 ? fault_frames / row.bitpar_s : 0;
+    row.speedup = row.bitpar_s > 0 ? row.event_s / row.bitpar_s : 0;
+    rows.push_back(row);
+
+    table.add_row({row.circuit, std::to_string(row.faults),
+                   std::to_string(row.frames), format_fixed(row.event_s, 3),
+                   format_fixed(row.bitpar_s, 3),
+                   format_fixed(row.event_ffps, 0),
+                   format_fixed(row.bitpar_ffps, 0),
+                   format_fixed(row.speedup, 2) + "x"});
+  }
+
+  table.print(std::cout);
+  std::printf("\nspeedup = event time / bitpar time; f/s = fault-frames "
+              "per second\n(one fault-machine simulated over one frame).\n");
+
+  // Machine-readable artifact for the perf trajectory.
+  std::FILE* out = std::fopen("BENCH_sim3.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_sim3.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"sim3_microbench\",\n");
+  std::fprintf(out, "  \"vectors\": %zu,\n", bench::vector_count());
+  std::fprintf(out, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(bench::workload_seed()));
+  std::fprintf(out, "  \"metric\": \"fault_frames_per_second\",\n");
+  std::fprintf(out, "  \"circuits\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BackendRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"circuit\": \"%s\", \"faults\": %zu, \"frames\": %zu, "
+                 "\"detected\": %zu,\n"
+                 "     \"event\": {\"seconds\": %.6f, \"frames_per_s\": %.1f},\n"
+                 "     \"bitpar\": {\"seconds\": %.6f, \"frames_per_s\": %.1f},\n"
+                 "     \"speedup\": %.3f}%s\n",
+                 r.circuit.c_str(), r.faults, r.frames, r.detected, r.event_s,
+                 r.event_ffps, r.bitpar_s, r.bitpar_ffps, r.speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_sim3.json (%zu circuits)\n", rows.size());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int rc = run_backend_race();
+  if (rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,8 +15,7 @@
 #include "bench_common.h"
 #include "core/xred.h"
 #include "faults/collapse.h"
-#include "sim3/fault_sim3.h"
-#include "sim3/parallel_fault_sim3.h"
+#include "sim3/fault_simulator.h"
 #include "util/env.h"
 #include "tpg/sequences.h"
 #include "util/rng.h"
@@ -49,20 +48,18 @@ int main() {
     const std::size_t xred = xr.count_x_redundant(collapsed.faults());
 
     // MOTSIM_PARALLEL=1 swaps in the bit-parallel X01 engine
-    // (identical results; different cost model).
-    const bool use_parallel = env_flag("MOTSIM_PARALLEL");
+    // (identical results; different cost model); otherwise the
+    // MOTSIM_SIM3_BACKEND default applies.
+    const Sim3Backend backend = env_flag("MOTSIM_PARALLEL")
+                                    ? Sim3Backend::BitPar
+                                    : default_sim3_backend();
     auto simulate = [&](bool pruned_run) {
       std::vector<FaultStatus> init(
           collapsed.size(), FaultStatus::Undetected);
       if (pruned_run) init = xr.classify(collapsed.faults());
-      if (use_parallel) {
-        ParallelFaultSim3 sim(nl, collapsed.faults());
-        sim.set_initial_status(init);
-        return sim.run(seq);
-      }
-      FaultSim3 sim(nl, collapsed.faults());
-      sim.set_initial_status(init);
-      return sim.run(seq);
+      const auto sim = make_fault_simulator3(backend, nl, collapsed.faults());
+      sim->set_initial_status(init);
+      return sim->run(seq);
     };
     Stopwatch t_x01;
     const auto full = simulate(false);

@@ -5,8 +5,7 @@
 
 #include "core/sym_true_value.h"
 #include "obs/telemetry.h"
-#include "sim3/fault_sim3.h"
-#include "sim3/good_sim3.h"
+#include "sim3/fault_simulator.h"
 #include "util/stopwatch.h"
 
 namespace motsim {
@@ -72,8 +71,12 @@ HybridResult HybridFaultSim::run(
   SymTrueValueSim sym(nl, mgr, vars);
   if (!tied_.empty()) sym.set_tied_constants(tied_);
   SymFaultPropagator symprop(nl, mgr, vars);
-  FaultPropagator3 prop3(nl);
-  GoodSim3 good3(nl);
+  // Three-valued engine behind the fallback windows; the backend is a
+  // pure performance knob (bit-identical results). Runs serially —
+  // the parallel symbolic driver shards at the fault level already.
+  const std::unique_ptr<FaultSimulator3> sim3 = make_fault_simulator3(
+      config_.sim3_backend, nl, faults_,
+      Sim3EngineConfig{/*threads=*/1, telemetry_});
 
   HybridResult result;
   result.status = initial_status_;
@@ -132,14 +135,21 @@ HybridResult HybridFaultSim::run(
     return d3;
   };
 
+  // Opens an engine window session over the surviving faults. During
+  // a window `live` is frozen (no compaction): window position i is
+  // live[i], the engine tracks which positions were dropped, and the
+  // survivors are harvested when the window closes.
   auto enter_three_valued = [&](const std::vector<Val3>& good_state3,
                                 std::vector<StateDiff3> diffs3) {
-    good3.set_state(good_state3);
-    for (std::size_t i = 0; i < live.size(); ++i) {
-      live[i].diff3 = std::move(diffs3[i]);
-      live[i].sym.state_diff.clear();
-      live[i].sym.detect = Bdd();
+    std::vector<std::size_t> indices;
+    indices.reserve(live.size());
+    for (Live& lf : live) {
+      indices.push_back(lf.index);
+      lf.diff3.clear();
+      lf.sym.state_diff.clear();
+      lf.sym.detect = Bdd();
     }
+    sim3->begin_window(good_state3, std::move(indices), std::move(diffs3));
     sym.release();
     mgr.gc();
     mode = Mode::ThreeValued;
@@ -191,10 +201,18 @@ HybridResult HybridFaultSim::run(
   };
 
   auto resume_symbolic = [&] {
-    const std::vector<Val3> state3 = good3.state();
+    const std::vector<Val3> state3 = sim3->window_state();
+    std::vector<Live> survivors;
     std::vector<StateDiff3> diffs3;
-    diffs3.reserve(live.size());
-    for (Live& lf : live) diffs3.push_back(std::move(lf.diff3));
+    survivors.reserve(sim3->window_live());
+    diffs3.reserve(sim3->window_live());
+    for (std::uint32_t pos = 0; pos < live.size(); ++pos) {
+      if (!sim3->window_fault_alive(pos)) continue;
+      diffs3.push_back(sim3->window_diff(pos));
+      survivors.push_back(std::move(live[pos]));
+    }
+    live = std::move(survivors);
+    sim3->end_window();
     seed_symbolic(state3, diffs3);
   };
 
@@ -213,8 +231,12 @@ HybridResult HybridFaultSim::run(
     if (mode == Mode::ThreeValued) {
       ck.in_window = true;
       ck.window_left = window_left;
-      ck.good_state = good3.state();
-      for (const Live& lf : live) ck.diff[lf.index] = lf.diff3;
+      ck.good_state = sim3->window_state();
+      for (std::uint32_t pos = 0; pos < live.size(); ++pos) {
+        if (sim3->window_fault_alive(pos)) {
+          ck.diff[live[pos].index] = sim3->window_diff(pos);
+        }
+      }
     } else {
       ck.good_state = sym.state_as_val3();
       for (const Live& lf : live) {
@@ -224,16 +246,32 @@ HybridResult HybridFaultSim::run(
     return ck;
   };
 
+  // Surviving faults: during a window `live` is frozen and the engine
+  // tracks drops, so the engine's count is authoritative there.
+  auto live_count = [&] {
+    return mode == Mode::ThreeValued ? sim3->window_live() : live.size();
+  };
+
   const std::size_t interval = config_.checkpoint_interval;
   auto at_boundary = [&] {
     return interval != 0 && t % interval == 0 && t < sequence.size() &&
-           !live.empty();
+           live_count() != 0;
   };
 
   // ---- resume entry ----------------------------------------------------
   if (resume_ && t < sequence.size() && !live.empty()) {
     if (resume_->in_window && resume_->window_left > 0) {
-      good3.set_state(resume_->good_state);
+      std::vector<std::size_t> indices;
+      std::vector<StateDiff3> diffs3;
+      indices.reserve(live.size());
+      diffs3.reserve(live.size());
+      for (Live& lf : live) {
+        indices.push_back(lf.index);
+        diffs3.push_back(std::move(lf.diff3));
+        lf.diff3.clear();
+      }
+      sim3->begin_window(resume_->good_state, std::move(indices),
+                         std::move(diffs3));
       mode = Mode::ThreeValued;
       window_left = resume_->window_left;
       result.used_fallback = true;
@@ -247,12 +285,12 @@ HybridResult HybridFaultSim::run(
     }
   }
 
-  if (telemetry_ != nullptr && t < sequence.size() && !live.empty()) {
+  if (telemetry_ != nullptr && t < sequence.size() && live_count() != 0) {
     mode_span = telemetry_->tracer.span(
         mode == Mode::Symbolic ? "symbolic" : "fallback_window");
   }
 
-  while (t < sequence.size() && !live.empty()) {
+  while (t < sequence.size() && live_count() != 0) {
     const Mode frame_mode = mode;
     if (telemetry_ != nullptr) {
       (frame_mode == Mode::Symbolic ? sym_timer : fb_timer).start();
@@ -355,39 +393,28 @@ HybridResult HybridFaultSim::run(
         }
       }
     } else {
-      good3.step(sequence[t]);
-      const std::vector<Val3>& good_values = good3.values();
-      const std::vector<Val3>& good_next = good3.state();
-
-      std::size_t keep = 0;
-      for (std::size_t i = 0; i < live.size(); ++i) {
-        if (prop3.step(faults_[live[i].index], live[i].diff3, good_values,
-                       good_next)) {
-          // A three-valued detection is a genuine detection under
-          // every strategy (constant opposite binary responses).
-          result.status[live[i].index] = det;
-          result.detect_frame[live[i].index] =
-              static_cast<std::uint32_t>(t + 1);
-          ++result.detected_count;
-          if (progress_) {
-            progress_->on_fault_detected(live[i].index,
-                                         result.detect_frame[live[i].index]);
-          }
-        } else {
-          if (keep != i) live[keep] = std::move(live[i]);
-          ++keep;
+      for (const std::uint32_t pos : sim3->step_window(sequence[t])) {
+        // A three-valued detection is a genuine detection under
+        // every strategy (constant opposite binary responses).
+        const std::size_t fi = live[pos].index;
+        result.status[fi] = det;
+        result.detect_frame[fi] = static_cast<std::uint32_t>(t + 1);
+        ++result.detected_count;
+        sim3->drop_window_fault(pos);
+        if (progress_) {
+          progress_->on_fault_detected(fi, result.detect_frame[fi]);
         }
       }
-      live.resize(keep);
 
       ++result.three_valued_frames;
       ++t;
       --window_left;
-      if (progress_) progress_->on_frame(t, 0, live.size());
+      if (progress_) progress_->on_frame(t, 0, sim3->window_live());
       if (checkpoint_ && at_boundary()) {
         checkpoint_->on_checkpoint(make_checkpoint(false));
       }
-      if (window_left == 0 && t < sequence.size() && !live.empty()) {
+      if (window_left == 0 && t < sequence.size() &&
+          sim3->window_live() != 0) {
         resume_symbolic();
       }
     }

@@ -12,6 +12,7 @@
 #include "core/sym_fault_sim.h"
 #include "faults/fault.h"
 #include "logic/val3.h"
+#include "sim3/fault_simulator.h"
 
 namespace motsim {
 
@@ -59,6 +60,11 @@ struct HybridConfig {
   /// Tuning of the underlying BDD manager (the hard limit field is
   /// overridden from node_limit/hard_limit_factor).
   bdd::BddConfig bdd;
+  /// Three-valued engine driving the fallback windows (see
+  /// sim3/fault_simulator.h). Both backends are bit-identical by
+  /// contract, so this is a pure performance knob; it is excluded from
+  /// store fingerprints and a checkpointed run may resume under either.
+  Sim3Backend sim3_backend = default_sim3_backend();
 };
 
 /// Result of a hybrid run.

@@ -49,6 +49,13 @@ Expected<SimOptions, std::string> SimOptions::validate() const {
     default:
       return Err{"layout is not a valid VarLayout value"};
   }
+  switch (sim3_backend) {
+    case Sim3Backend::Event:
+    case Sim3Backend::BitPar:
+      break;
+    default:
+      return Err{"sim3_backend is not a valid Sim3Backend value"};
+  }
   return *this;
 }
 
@@ -72,6 +79,7 @@ HybridConfig SimOptions::to_hybrid_config() const {
   c.hard_limit_factor = hard_limit_factor;
   c.checkpoint_interval = checkpoint_interval;
   c.bdd = to_bdd_config();
+  c.sim3_backend = sim3_backend;
   return c;
 }
 
@@ -79,7 +87,7 @@ PipelineConfig SimOptions::to_pipeline_config() const {
   PipelineConfig c;
   c.analysis = analysis;
   c.run_xred = run_xred;
-  c.parallel_sim3 = parallel_sim3;
+  c.sim3_backend = sim3_backend;
   c.run_symbolic = run_symbolic;
   c.threads = threads;
   c.chunk_size = chunk_size;
@@ -92,7 +100,7 @@ SimOptions SimOptions::from_pipeline_config(const PipelineConfig& config) {
   SimOptions o;
   o.analysis = config.analysis;
   o.run_xred = config.run_xred;
-  o.parallel_sim3 = config.parallel_sim3;
+  o.sim3_backend = config.sim3_backend;
   o.run_symbolic = config.run_symbolic;
   o.threads = config.threads;
   o.chunk_size = config.chunk_size;

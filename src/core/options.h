@@ -44,9 +44,13 @@ struct SimOptions {
   bool analysis = false;
   /// Run ID_X-red before the three-valued stage (paper Section III).
   bool run_xred = true;
-  /// Bit-parallel (PROOFS-style) three-valued simulator instead of the
-  /// serial event-driven one (identical results).
-  bool parallel_sim3 = false;
+  /// Three-valued fault-simulation backend (sim3/fault_simulator.h):
+  /// the serial event-driven reference engine or the bit-parallel
+  /// levelized PPSFP engine. Bit-identical results by contract, so the
+  /// choice is a pure performance knob: it is excluded from store
+  /// fingerprints, and a campaign checkpointed under one backend
+  /// resumes under the other. CLI flag: --sim3-backend.
+  Sim3Backend sim3_backend = default_sim3_backend();
   /// Run the symbolic stage (false = pure X01 run).
   bool run_symbolic = true;
 
@@ -128,7 +132,7 @@ struct SimOptions {
   /// run computes).
   friend bool operator==(const SimOptions& a, const SimOptions& b) {
     return a.analysis == b.analysis && a.run_xred == b.run_xred &&
-           a.parallel_sim3 == b.parallel_sim3 &&
+           a.sim3_backend == b.sim3_backend &&
            a.run_symbolic == b.run_symbolic && a.strategy == b.strategy &&
            a.layout == b.layout && a.node_limit == b.node_limit &&
            a.fallback_frames == b.fallback_frames &&

@@ -1,17 +1,16 @@
 #include "core/pipeline.h"
 
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
-
-#include <optional>
 
 #include "analysis/implication.h"
 #include "analysis/static_xred.h"
 #include "core/parallel_sym_sim.h"
 #include "core/xred.h"
 #include "obs/telemetry.h"
-#include "sim3/fault_sim3.h"
-#include "sim3/parallel_fault_sim3.h"
+#include "sim3/fault_simulator.h"
 #include "util/stopwatch.h"
 
 namespace motsim {
@@ -101,16 +100,13 @@ PipelineResult run_pipeline(const Netlist& netlist,
     std::optional<obs::SpanTracer::Span> span;
     if (telemetry != nullptr) span = telemetry->tracer.span("stage.sim3");
     Stopwatch timer;
-    FaultSim3Result r3;
-    if (config.parallel_sim3) {
-      ParallelFaultSim3 sim(netlist, faults);
-      sim.set_initial_status(status);
-      r3 = sim.run(sequence);
-    } else {
-      FaultSim3 sim(netlist, faults);
-      sim.set_initial_status(status);
-      r3 = sim.run(sequence);
-    }
+    Sim3EngineConfig ec;
+    ec.threads = config.threads;
+    ec.telemetry = telemetry;
+    const std::unique_ptr<FaultSimulator3> sim =
+        make_fault_simulator3(config.sim3_backend, netlist, faults, ec);
+    sim->set_initial_status(status);
+    const FaultSim3Result r3 = sim->run(sequence);
     result.seconds_3v = timer.elapsed_seconds();
     result.detected_3v = r3.detected_count;
     status = std::move(r3.status);

@@ -27,9 +27,10 @@ struct PipelineConfig {
   bool analysis = false;
   /// Run ID_X-red before the three-valued stage (paper Section III).
   bool run_xred = true;
-  /// Use the bit-parallel three-valued simulator instead of the
-  /// serial event-driven one (identical results).
-  bool parallel_sim3 = false;
+  /// Three-valued fault-simulation backend (sim3/fault_simulator.h).
+  /// Both backends are bit-identical by contract, so this is a pure
+  /// performance knob.
+  Sim3Backend sim3_backend = default_sim3_backend();
   /// Skip the symbolic stage entirely (pure X01 run).
   bool run_symbolic = true;
   /// Worker threads of the symbolic stage: 1 = the serial

@@ -1,0 +1,86 @@
+#ifndef MOTSIM_LOGIC_PACKED_VAL3_H
+#define MOTSIM_LOGIC_PACKED_VAL3_H
+
+#include <cstdint>
+
+#include "logic/val3.h"
+
+namespace motsim {
+
+/// Number of three-valued slots carried by one PackedVal3 word pair.
+inline constexpr unsigned kPackedSlots = 64;
+
+/// 64 three-valued values in two machine words ("two-rail" encoding):
+/// bit i of `ones` set means slot i carries 1, bit i of `zeros` means
+/// slot i carries 0, neither bit means X. The invariant
+/// `ones & zeros == 0` holds for every well-formed pack.
+///
+/// This is the plane type of the bit-parallel three-valued engine
+/// (sim3/bitpar_sim3): one slot per faulty machine (PPSFP) or per
+/// pattern. The slot-wise operations below implement exact Kleene
+/// logic, so packed evaluation is value-identical to scalar
+/// Val3 evaluation of each slot.
+struct PackedVal3 {
+  std::uint64_t ones = 0;
+  std::uint64_t zeros = 0;
+
+  friend bool operator==(const PackedVal3&, const PackedVal3&) = default;
+};
+
+/// Slot-wise Kleene operations.
+[[nodiscard]] constexpr PackedVal3 pand(PackedVal3 a, PackedVal3 b) {
+  return {a.ones & b.ones, a.zeros | b.zeros};
+}
+[[nodiscard]] constexpr PackedVal3 por(PackedVal3 a, PackedVal3 b) {
+  return {a.ones | b.ones, a.zeros & b.zeros};
+}
+[[nodiscard]] constexpr PackedVal3 pnot(PackedVal3 a) {
+  return {a.zeros, a.ones};
+}
+[[nodiscard]] constexpr PackedVal3 pxor(PackedVal3 a, PackedVal3 b) {
+  return {(a.ones & b.zeros) | (a.zeros & b.ones),
+          (a.ones & b.ones) | (a.zeros & b.zeros)};
+}
+
+/// All 64 slots set to the same scalar value.
+[[nodiscard]] constexpr PackedVal3 broadcast(Val3 v) {
+  switch (v) {
+    case Val3::Zero:
+      return {0, ~std::uint64_t{0}};
+    case Val3::One:
+      return {~std::uint64_t{0}, 0};
+    default:
+      return {0, 0};
+  }
+}
+
+/// Value of one slot.
+[[nodiscard]] constexpr Val3 slot_value(PackedVal3 p, unsigned slot) {
+  const std::uint64_t bit = std::uint64_t{1} << slot;
+  if (p.ones & bit) return Val3::One;
+  if (p.zeros & bit) return Val3::Zero;
+  return Val3::X;
+}
+
+/// Overwrites one slot with a scalar value.
+constexpr void set_slot(PackedVal3& p, unsigned slot, Val3 v) {
+  const std::uint64_t bit = std::uint64_t{1} << slot;
+  p.ones &= ~bit;
+  p.zeros &= ~bit;
+  if (v == Val3::One) p.ones |= bit;
+  if (v == Val3::Zero) p.zeros |= bit;
+}
+
+/// Applies a forcing mask (fault injection): the forced slots are
+/// overwritten with the force's value, all other slots keep their
+/// computed value.
+[[nodiscard]] constexpr PackedVal3 apply_force(PackedVal3 value,
+                                               PackedVal3 force) {
+  const std::uint64_t mask = force.ones | force.zeros;
+  return {(value.ones & ~mask) | force.ones,
+          (value.zeros & ~mask) | force.zeros};
+}
+
+}  // namespace motsim
+
+#endif  // MOTSIM_LOGIC_PACKED_VAL3_H

@@ -113,26 +113,17 @@ bool FaultPropagator3::step(const Fault& fault, StateDiff3& state_diff,
 }
 
 // ---------------------------------------------------------------------------
-// FaultSim3
+// FaultSim3 (event backend)
 // ---------------------------------------------------------------------------
 
 FaultSim3::FaultSim3(const Netlist& netlist, std::vector<Fault> faults)
-    : netlist_(&netlist),
-      faults_(std::move(faults)),
-      initial_status_(faults_.size(), FaultStatus::Undetected),
-      propagator_(netlist) {}
-
-void FaultSim3::set_initial_status(std::vector<FaultStatus> status) {
-  if (status.size() != faults_.size()) {
-    throw std::invalid_argument("set_initial_status: wrong size");
-  }
-  initial_status_ = std::move(status);
-}
+    : FaultSimulator3(std::move(faults)),
+      netlist_(&netlist),
+      propagator_(netlist),
+      good_(netlist) {}
 
 FaultSim3Result FaultSim3::run(
     const std::vector<std::vector<Val3>>& sequence) {
-  const Netlist& nl = *netlist_;
-
   FaultSim3Result result;
   result.status = initial_status_;
   result.detect_frame.assign(faults_.size(), 0);
@@ -150,7 +141,7 @@ FaultSim3Result FaultSim3::run(
   }
   result.simulated_faults = live.size();
 
-  GoodSim3 good(nl);
+  GoodSim3 good(good_.circuit());
   for (std::size_t t = 0; t < sequence.size() && !live.empty(); ++t) {
     good.step(sequence[t]);
     const std::vector<Val3>& good_values = good.values();
@@ -173,6 +164,53 @@ FaultSim3Result FaultSim3::run(
   }
 
   return result;
+}
+
+void FaultSim3::begin_window(const std::vector<Val3>& good_state,
+                             std::vector<std::size_t> fault_indices,
+                             std::vector<StateDiff3> diffs) {
+  if (fault_indices.size() != diffs.size()) {
+    throw std::invalid_argument("begin_window: indices/diffs mismatch");
+  }
+  good_.set_state(good_state);
+  window_.clear();
+  window_.reserve(fault_indices.size());
+  for (std::size_t i = 0; i < fault_indices.size(); ++i) {
+    window_.push_back(WindowFault{fault_indices[i], std::move(diffs[i]), true});
+  }
+  window_live_ = window_.size();
+}
+
+std::vector<std::uint32_t> FaultSim3::step_window(
+    const std::vector<Val3>& inputs) {
+  good_.step(inputs);
+  const std::vector<Val3>& good_values = good_.values();
+  const std::vector<Val3>& good_next = good_.state();
+
+  std::vector<std::uint32_t> observed;
+  for (std::uint32_t pos = 0; pos < window_.size(); ++pos) {
+    WindowFault& wf = window_[pos];
+    if (!wf.alive) continue;
+    // latch_even_if_detected keeps the faulty machine coherent: the
+    // caller decides whether an observation drops the fault.
+    if (propagator_.step(faults_[wf.index], wf.diff, good_values, good_next,
+                         /*latch_even_if_detected=*/true)) {
+      observed.push_back(pos);
+    }
+  }
+  return observed;
+}
+
+void FaultSim3::drop_window_fault(std::uint32_t pos) {
+  if (window_[pos].alive) {
+    window_[pos].alive = false;
+    --window_live_;
+  }
+}
+
+void FaultSim3::end_window() {
+  window_.clear();
+  window_live_ = 0;
 }
 
 }  // namespace motsim

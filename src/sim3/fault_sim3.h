@@ -8,14 +8,10 @@
 #include "circuit/netlist.h"
 #include "faults/fault.h"
 #include "logic/val3.h"
+#include "sim3/fault_simulator.h"
 #include "sim3/good_sim3.h"
 
 namespace motsim {
-
-/// Sparse divergence of a faulty machine's present state from the
-/// fault-free state: (flip-flop position, faulty value). Entries
-/// always differ from the fault-free value.
-using StateDiff3 = std::vector<std::pair<std::uint32_t, Val3>>;
 
 /// Event-driven three-valued single-fault frame kernel.
 ///
@@ -23,8 +19,8 @@ using StateDiff3 = std::vector<std::pair<std::uint32_t, Val3>>;
 /// values are supplied), propagates the divergence in level order
 /// through the cone of influence, decides SOT detection (opposite
 /// binary values at a primary output) and updates the faulty machine's
-/// next-state divergence. Shared by FaultSim3 and by the three-valued
-/// windows of the hybrid simulator.
+/// next-state divergence. Shared by FaultSim3's campaign runs and
+/// window sessions.
 class FaultPropagator3 {
  public:
   explicit FaultPropagator3(const Netlist& netlist);
@@ -53,19 +49,9 @@ class FaultPropagator3 {
   std::vector<NodeIndex> changed_;
 };
 
-/// Per-fault outcome of a three-valued fault simulation run.
-struct FaultSim3Result {
-  /// One entry per fault of the simulated list: DetectedSim3 or the
-  /// entry's initial status (e.g. XRedundant faults are skipped).
-  std::vector<FaultStatus> status;
-  /// Frame (1-based) at which each fault was detected; 0 if never.
-  std::vector<std::uint32_t> detect_frame;
-  std::size_t detected_count = 0;
-  std::size_t simulated_faults = 0;  ///< faults actually simulated
-};
-
 /// Event-driven three-valued serial fault simulator with fault
-/// dropping — the paper's baseline `X01`.
+/// dropping — the paper's baseline `X01`, and the reference backend
+/// (Sim3Backend::Event) of the FaultSimulator3 interface.
 ///
 /// The machine model follows Section II: both the fault-free and every
 /// faulty machine start in the unknown (all-X) state. Detection uses
@@ -73,24 +59,49 @@ struct FaultSim3Result {
 /// frame t if some primary output has a *binary* fault-free value and
 /// the *opposite binary* faulty value. This yields the lower bound of
 /// fault coverage that the paper's symbolic strategies improve on.
-class FaultSim3 {
+class FaultSim3 final : public FaultSimulator3 {
  public:
   FaultSim3(const Netlist& netlist, std::vector<Fault> faults);
 
-  /// Pre-classifies faults (e.g. XRedundant from ID_X-red); faults not
-  /// Undetected are never simulated. Must be called before run().
-  void set_initial_status(std::vector<FaultStatus> status);
+  [[nodiscard]] Sim3Backend backend() const noexcept override {
+    return Sim3Backend::Event;
+  }
 
-  /// Simulates the whole input sequence (outer index = frame) from the
-  /// all-X initial state and returns the classification.
   [[nodiscard]] FaultSim3Result run(
-      const std::vector<std::vector<Val3>>& sequence);
+      const std::vector<std::vector<Val3>>& sequence) override;
+
+  void begin_window(const std::vector<Val3>& good_state,
+                    std::vector<std::size_t> fault_indices,
+                    std::vector<StateDiff3> diffs) override;
+  [[nodiscard]] std::vector<std::uint32_t> step_window(
+      const std::vector<Val3>& inputs) override;
+  void drop_window_fault(std::uint32_t pos) override;
+  [[nodiscard]] std::size_t window_live() const override {
+    return window_live_;
+  }
+  [[nodiscard]] bool window_fault_alive(std::uint32_t pos) const override {
+    return window_[pos].alive;
+  }
+  [[nodiscard]] const std::vector<Val3>& window_state() const override {
+    return good_.state();
+  }
+  [[nodiscard]] StateDiff3 window_diff(std::uint32_t pos) const override {
+    return window_[pos].diff;
+  }
+  void end_window() override;
 
  private:
+  struct WindowFault {
+    std::size_t index;  ///< into faults()
+    StateDiff3 diff;
+    bool alive = true;
+  };
+
   const Netlist* netlist_;
-  std::vector<Fault> faults_;
-  std::vector<FaultStatus> initial_status_;
   FaultPropagator3 propagator_;
+  GoodSim3 good_;
+  std::vector<WindowFault> window_;
+  std::size_t window_live_ = 0;
 };
 
 }  // namespace motsim

@@ -9,12 +9,15 @@ Val3 eval_gate3(GateType type, const std::vector<Val3>& ins) {
 }
 
 GoodSim3::GoodSim3(const Netlist& netlist, Val3 initial)
-    : netlist_(&netlist),
-      values_(netlist.node_count(), Val3::X),
-      state_(netlist.dff_count(), initial) {
-  if (!netlist.finalized()) {
-    throw std::logic_error("GoodSim3 requires a finalized netlist");
-  }
+    : GoodSim3(std::make_shared<const LevelizedCircuit>(netlist), initial) {}
+
+GoodSim3::GoodSim3(std::shared_ptr<const LevelizedCircuit> circuit,
+                   Val3 initial)
+    : circuit_(std::move(circuit)),
+      values_(circuit_->netlist().node_count(), Val3::X),
+      state_(circuit_->netlist().dff_count(), initial) {
+  // Constants never change; write them once.
+  for (const auto& [n, v] : circuit_->consts()) values_[n] = v;
 }
 
 void GoodSim3::set_state(std::vector<Val3> state) {
@@ -25,34 +28,37 @@ void GoodSim3::set_state(std::vector<Val3> state) {
 }
 
 std::vector<Val3> GoodSim3::step(const std::vector<Val3>& inputs) {
-  const Netlist& nl = *netlist_;
-  if (inputs.size() != nl.input_count()) {
+  const LevelizedCircuit& lc = *circuit_;
+  if (inputs.size() != lc.inputs().size()) {
     throw std::invalid_argument("step: wrong input vector width");
   }
 
   // Frame inputs.
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    values_[nl.inputs()[i]] = inputs[i];
+    values_[lc.inputs()[i]] = inputs[i];
   }
-  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
-    values_[nl.dffs()[i]] = state_[i];
+  for (std::size_t i = 0; i < lc.dffs().size(); ++i) {
+    values_[lc.dffs()[i]] = state_[i];
   }
 
-  // Combinational evaluation in topological order.
-  for (NodeIndex n : nl.topo_order()) {
-    const Gate& g = nl.gate(n);
-    if (is_frame_input(g.type)) {
-      if (g.type == GateType::Const0) values_[n] = Val3::Zero;
-      if (g.type == GateType::Const1) values_[n] = Val3::One;
-      continue;
+  // Combinational evaluation: one linear sweep over the compiled
+  // level order.
+  const NodeIndex* fanins = lc.fanins().data();
+  for (const LevGate& g : lc.gates()) {
+    if (g.arity <= 2) {
+      values_[g.node] = eval_lev_gate<Val3Ops>(
+          g.op, g.arity,
+          [&](std::size_t i) { return values_[i == 0 ? g.in0 : g.in1]; });
+    } else {
+      const NodeIndex* in = fanins + g.in0;
+      values_[g.node] = eval_lev_gate<Val3Ops>(
+          g.op, g.arity, [&](std::size_t i) { return values_[in[i]]; });
     }
-    values_[n] = eval_gate3(g.type, g.fanins.size(),
-                            [&](std::size_t i) { return values_[g.fanins[i]]; });
   }
 
   // Latch next state.
-  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
-    state_[i] = values_[nl.gate(nl.dffs()[i]).fanins[0]];
+  for (std::size_t i = 0; i < lc.dff_d().size(); ++i) {
+    state_[i] = values_[lc.dff_d()[i]];
   }
 
   return outputs();
@@ -60,9 +66,10 @@ std::vector<Val3> GoodSim3::step(const std::vector<Val3>& inputs) {
 
 std::vector<Val3> GoodSim3::outputs() const {
   std::vector<Val3> out;
-  out.reserve(netlist_->outputs().size());
-  for (NodeIndex n : netlist_->outputs()) out.push_back(values_[n]);
+  out.reserve(circuit_->outputs().size());
+  for (NodeIndex n : circuit_->outputs()) out.push_back(values_[n]);
   return out;
 }
 
 }  // namespace motsim
+

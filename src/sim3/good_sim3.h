@@ -1,10 +1,12 @@
 #ifndef MOTSIM_SIM3_GOOD_SIM3_H
 #define MOTSIM_SIM3_GOOD_SIM3_H
 
+#include <memory>
 #include <vector>
 
 #include "circuit/netlist.h"
 #include "logic/val3.h"
+#include "sim3/levelized.h"
 
 namespace motsim {
 
@@ -57,11 +59,20 @@ template <typename Getter>
 ///
 /// The machine starts in the all-X state (the paper's unknown initial
 /// state); step() applies one input vector, evaluates the
-/// combinational network in topological order, latches the next state
-/// and returns the primary output values.
+/// combinational network over a precomputed levelized gate order
+/// (LevelizedCircuit — one flat sweep, no per-event dispatch), latches
+/// the next state and returns the primary output values.
+///
+/// Copies share the compiled circuit, so snapshotting a machine for a
+/// trial simulation (tpg/compaction) stays cheap.
 class GoodSim3 {
  public:
   explicit GoodSim3(const Netlist& netlist, Val3 initial = Val3::X);
+
+  /// Shares an already-compiled circuit (the bit-parallel engine's
+  /// internal good machine uses this to avoid a second compilation).
+  explicit GoodSim3(std::shared_ptr<const LevelizedCircuit> circuit,
+                    Val3 initial = Val3::X);
 
   /// Overrides the present state (one value per flip-flop, in
   /// Netlist::dffs() order).
@@ -82,10 +93,16 @@ class GoodSim3 {
   /// Output values of the most recent frame.
   [[nodiscard]] std::vector<Val3> outputs() const;
 
-  [[nodiscard]] const Netlist& netlist() const noexcept { return *netlist_; }
+  [[nodiscard]] const Netlist& netlist() const noexcept {
+    return circuit_->netlist();
+  }
+  [[nodiscard]] const std::shared_ptr<const LevelizedCircuit>& circuit()
+      const noexcept {
+    return circuit_;
+  }
 
  private:
-  const Netlist* netlist_;
+  std::shared_ptr<const LevelizedCircuit> circuit_;
   std::vector<Val3> values_;  ///< per node, last frame
   std::vector<Val3> state_;   ///< per flip-flop (present state)
 };

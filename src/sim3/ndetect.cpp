@@ -1,16 +1,14 @@
 #include "sim3/ndetect.h"
 
+#include <numeric>
 #include <stdexcept>
-
-#include "sim3/fault_sim3.h"
-#include "sim3/good_sim3.h"
 
 namespace motsim {
 
 NDetectResult run_n_detect(const Netlist& nl,
                            const std::vector<Fault>& faults,
                            const TestSequence& sequence,
-                           std::uint32_t n_required) {
+                           std::uint32_t n_required, Sim3Backend backend) {
   if (n_required == 0) {
     throw std::invalid_argument("run_n_detect: n_required must be >= 1");
   }
@@ -19,41 +17,27 @@ NDetectResult run_n_detect(const Netlist& nl,
   result.detections.assign(faults.size(), 0);
   result.detection_frames.assign(faults.size(), {});
 
-  FaultPropagator3 propagator(nl);
-  struct Live {
-    std::size_t index;
-    StateDiff3 diff;
-  };
-  std::vector<Live> live;
-  live.reserve(faults.size());
-  for (std::size_t i = 0; i < faults.size(); ++i) live.push_back({i, {}});
+  // A window session from the all-X state, with the caller (not the
+  // engine) deciding when a fault stops being observed: only after N
+  // distinct detection frames.
+  const std::unique_ptr<FaultSimulator3> sim =
+      make_fault_simulator3(backend, nl, faults);
+  std::vector<std::size_t> indices(faults.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  sim->begin_window(std::vector<Val3>(nl.dff_count(), Val3::X),
+                    std::move(indices),
+                    std::vector<StateDiff3>(faults.size()));
 
-  GoodSim3 good(nl);
-  for (std::size_t t = 0; t < sequence.size() && !live.empty(); ++t) {
-    good.step(sequence[t]);
-    const std::vector<Val3>& values = good.values();
-    const std::vector<Val3>& next = good.state();
-
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < live.size(); ++i) {
-      Live& lf = live[i];
-      // latch_even_if_detected keeps the faulty machine coherent so
-      // later frames can score further observations.
-      const bool observed =
-          propagator.step(faults[lf.index], lf.diff, values, next,
-                          /*latch_even_if_detected=*/true);
-      if (observed) {
-        auto& frames = result.detection_frames[lf.index];
-        frames.push_back(static_cast<std::uint32_t>(t + 1));
-        if (++result.detections[lf.index] >= n_required) {
-          continue;  // fully N-detected: drop
-        }
+  for (std::size_t t = 0; t < sequence.size() && sim->window_live() != 0;
+       ++t) {
+    for (const std::uint32_t pos : sim->step_window(sequence[t])) {
+      result.detection_frames[pos].push_back(static_cast<std::uint32_t>(t + 1));
+      if (++result.detections[pos] >= n_required) {
+        sim->drop_window_fault(pos);  // fully N-detected
       }
-      if (keep != i) live[keep] = std::move(live[i]);
-      ++keep;
     }
-    live.resize(keep);
   }
+  sim->end_window();
 
   for (std::uint32_t d : result.detections) {
     result.detected_once_count += (d > 0);

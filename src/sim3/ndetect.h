@@ -7,6 +7,7 @@
 #include "circuit/netlist.h"
 #include "faults/fault.h"
 #include "logic/val3.h"
+#include "sim3/fault_simulator.h"
 #include "tpg/sequences.h"
 
 namespace motsim {
@@ -32,10 +33,12 @@ struct NDetectResult {
 /// paths and machine states, catch more unmodeled defects.
 ///
 /// With n_required = 1 this degenerates to FaultSim3 (asserted by the
-/// test-suite).
+/// test-suite). Runs on any FaultSimulator3 backend via its window
+/// session; results are backend-independent.
 [[nodiscard]] NDetectResult run_n_detect(
     const Netlist& netlist, const std::vector<Fault>& faults,
-    const TestSequence& sequence, std::uint32_t n_required);
+    const TestSequence& sequence, std::uint32_t n_required,
+    Sim3Backend backend = default_sim3_backend());
 
 }  // namespace motsim
 

@@ -194,14 +194,17 @@ Expected<CampaignResult, std::string> simulate_and_finish(
     const TestSequence& sequence, std::vector<FaultStatus> initial_status,
     std::vector<ChunkCheckpoint> resume, bool resumed,
     std::optional<std::size_t> threads, ProgressSink* progress,
-    CheckpointSink* tap, obs::Telemetry* telemetry,
-    const EventClock& clock) {
+    CheckpointSink* tap, obs::Telemetry* telemetry, const EventClock& clock,
+    std::optional<Sim3Backend> sim3_backend = std::nullopt) {
   store.set_telemetry(telemetry);
   const SimOptions& opts = store.manifest().options;
   ParallelSymConfig pc;
   pc.hybrid = opts.to_hybrid_config();
   pc.threads = threads.value_or(opts.threads);
   pc.chunk_size = opts.chunk_size;
+  // Like the thread count, the fallback-window backend never affects
+  // results, so an invocation may override what the manifest recorded.
+  if (sim3_backend.has_value()) pc.hybrid.sim3_backend = *sim3_backend;
 
   CampaignResult result;
   result.resumed = resumed;
@@ -352,7 +355,8 @@ Expected<CampaignResult, std::string> run_campaign(
 Expected<CampaignResult, std::string> resume_campaign(
     const Netlist& netlist, const std::vector<Fault>& faults,
     const std::string& store_dir, std::optional<std::size_t> threads,
-    ProgressSink* progress, CheckpointSink* tap, obs::Telemetry* telemetry) {
+    ProgressSink* progress, CheckpointSink* tap, obs::Telemetry* telemetry,
+    std::optional<Sim3Backend> sim3_backend) {
   const EventClock clock(telemetry);
   auto store = RunStore::open(store_dir);
   if (!store.has_value()) return Err{store.error()};
@@ -386,14 +390,16 @@ Expected<CampaignResult, std::string> resume_campaign(
   return simulate_and_finish(*store, netlist, faults, *sequence,
                              std::move(state->initial_status),
                              std::move(state->checkpoints), /*resumed=*/true,
-                             threads, progress, tap, telemetry, clock);
+                             threads, progress, tap, telemetry, clock,
+                             sim3_backend);
 }
 
 Expected<CampaignResult, std::string> extend_campaign(
     const Netlist& netlist, const std::vector<Fault>& faults,
     const TestSequence& extra_frames, const std::string& store_dir,
     std::optional<std::size_t> threads, ProgressSink* progress,
-    CheckpointSink* tap, obs::Telemetry* telemetry) {
+    CheckpointSink* tap, obs::Telemetry* telemetry,
+    std::optional<Sim3Backend> sim3_backend) {
   const EventClock clock(telemetry);
   if (extra_frames.empty()) {
     return Err{"extension must add at least one frame"};
@@ -461,7 +467,8 @@ Expected<CampaignResult, std::string> extend_campaign(
   return simulate_and_finish(*store, netlist, faults, full,
                              std::move(state->initial_status),
                              std::move(state->checkpoints), /*resumed=*/true,
-                             threads, progress, tap, telemetry, clock);
+                             threads, progress, tap, telemetry, clock,
+                             sim3_backend);
 }
 
 }  // namespace motsim

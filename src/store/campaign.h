@@ -113,12 +113,17 @@ struct CampaignResult {
 /// SimOptions::telemetry does for run_campaign — resume takes no
 /// SimOptions, so the context is passed directly. Attaching it never
 /// affects results or the store's fingerprints.
+/// `sim3_backend` (if set) overrides the recorded three-valued backend
+/// for the fallback windows of this invocation — like `threads`, the
+/// backend never affects results, so a campaign checkpointed under one
+/// backend resumes bit-identically under the other.
 [[nodiscard]] Expected<CampaignResult, std::string> resume_campaign(
     const Netlist& netlist, const std::vector<Fault>& faults,
     const std::string& store_dir,
     std::optional<std::size_t> threads = std::nullopt,
     ProgressSink* progress = nullptr, CheckpointSink* tap = nullptr,
-    obs::Telemetry* telemetry = nullptr);
+    obs::Telemetry* telemetry = nullptr,
+    std::optional<Sim3Backend> sim3_backend = std::nullopt);
 
 /// Appends `extra_frames` to a *completed* campaign and simulates only
 /// the extension — detected and X-redundant faults are never
@@ -132,7 +137,8 @@ struct CampaignResult {
     const TestSequence& extra_frames, const std::string& store_dir,
     std::optional<std::size_t> threads = std::nullopt,
     ProgressSink* progress = nullptr, CheckpointSink* tap = nullptr,
-    obs::Telemetry* telemetry = nullptr);
+    obs::Telemetry* telemetry = nullptr,
+    std::optional<Sim3Backend> sim3_backend = std::nullopt);
 
 }  // namespace motsim
 

@@ -72,7 +72,11 @@ std::uint64_t fingerprint_options(const SimOptions& options) {
   h.update_u64(options.analysis ? 3 : 2);
   h.update_u64(options.analysis ? 1 : 0);
   h.update_u64(options.run_xred ? 1 : 0);
-  h.update_u64(options.parallel_sim3 ? 1 : 0);
+  // The sim3 backend is excluded by contract — both backends are
+  // bit-identical, so a store written under one must validate (and
+  // resume) under the other. The constant keeps the slot the retired
+  // parallel_sim3 flag occupied, so existing fingerprints stay valid.
+  h.update_u64(0);
   h.update_u64(options.run_symbolic ? 1 : 0);
   h.update_u64(static_cast<std::uint64_t>(options.strategy));
   h.update_u64(static_cast<std::uint64_t>(options.layout));

@@ -388,7 +388,7 @@ std::string StoreManifest::to_text() const {
   os << "fp_sequence " << fingerprint_to_hex(fp_sequence) << '\n';
   os << "opt_analysis " << (options.analysis ? 1 : 0) << '\n';
   os << "opt_run_xred " << (options.run_xred ? 1 : 0) << '\n';
-  os << "opt_parallel_sim3 " << (options.parallel_sim3 ? 1 : 0) << '\n';
+  os << "opt_sim3_backend " << to_cstring(options.sim3_backend) << '\n';
   os << "opt_run_symbolic " << (options.run_symbolic ? 1 : 0) << '\n';
   os << "opt_strategy " << strategy_token(options.strategy) << '\n';
   os << "opt_layout " << layout_token(options.layout) << '\n';
@@ -479,10 +479,18 @@ Expected<StoreManifest, std::string> StoreManifest::from_text(
       if (!get_bool(m.options.analysis)) return bad("bad opt_analysis");
     } else if (key == "opt_run_xred") {
       if (!get_bool(m.options.run_xred)) return bad("bad opt_run_xred");
+    } else if (key == "opt_sim3_backend") {
+      std::optional<Sim3Backend> backend;
+      if (next()) backend = parse_sim3_backend(value);
+      if (!backend.has_value()) return bad("bad opt_sim3_backend");
+      m.options.sim3_backend = *backend;
     } else if (key == "opt_parallel_sim3") {
-      if (!get_bool(m.options.parallel_sim3)) {
-        return bad("bad opt_parallel_sim3");
-      }
+      // Legacy manifests (pre-backend-enum) recorded a boolean; map it
+      // onto the equivalent backend so old stores keep loading.
+      bool parallel = false;
+      if (!get_bool(parallel)) return bad("bad opt_parallel_sim3");
+      m.options.sim3_backend =
+          parallel ? Sim3Backend::BitPar : Sim3Backend::Event;
     } else if (key == "opt_run_symbolic") {
       if (!get_bool(m.options.run_symbolic)) return bad("bad opt_run_symbolic");
     } else if (key == "opt_strategy") {

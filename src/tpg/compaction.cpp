@@ -1,7 +1,6 @@
 #include "tpg/compaction.h"
 
-#include "sim3/fault_sim3.h"
-#include "sim3/good_sim3.h"
+#include "sim3/fault_simulator.h"
 
 namespace motsim {
 
@@ -9,21 +8,51 @@ CompactionResult generate_deterministic_sequence(
     const Netlist& netlist, const std::vector<Fault>& faults,
     const CompactionConfig& config) {
   Rng rng(config.seed);
-  FaultPropagator3 propagator(netlist);
+  const std::unique_ptr<FaultSimulator3> sim =
+      make_fault_simulator3(config.sim3_backend, netlist, faults);
 
-  // Committed simulation state: fault-free machine + per-live-fault
-  // state divergence, advanced only when a segment is accepted.
-  GoodSim3 good(netlist);
-  struct Live {
-    std::size_t index;
-    StateDiff3 diff;
-  };
-  std::vector<Live> live;
-  live.reserve(faults.size());
-  for (std::size_t i = 0; i < faults.size(); ++i) live.push_back({i, {}});
+  // Committed simulation state: fault-free machine state + surviving
+  // fault indices with their state divergences, advanced only when a
+  // segment is accepted. Trials open a fresh window session from this
+  // snapshot, so rejected candidates leave it untouched.
+  std::vector<Val3> good_state(netlist.dff_count(), Val3::X);
+  std::vector<std::size_t> live(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) live[i] = i;
+  std::vector<StateDiff3> diffs(faults.size());
 
   CompactionResult result;
   std::size_t stale = 0;
+
+  // Simulates `segment` in a window opened from the committed state;
+  // returns the number of detections. On `commit`, the committed state
+  // is replaced by the window's final state.
+  auto trial = [&](const TestSequence& segment, bool commit_always) {
+    sim->begin_window(good_state, live, diffs);
+    std::size_t detected = 0;
+    for (const auto& vec : segment) {
+      for (const std::uint32_t pos : sim->step_window(vec)) {
+        ++detected;
+        sim->drop_window_fault(pos);
+      }
+      if (sim->window_live() == 0) break;
+    }
+    if (detected != 0 || commit_always) {
+      std::vector<std::size_t> survivors;
+      std::vector<StateDiff3> survivor_diffs;
+      survivors.reserve(sim->window_live());
+      survivor_diffs.reserve(sim->window_live());
+      for (std::uint32_t pos = 0; pos < live.size(); ++pos) {
+        if (!sim->window_fault_alive(pos)) continue;
+        survivors.push_back(live[pos]);
+        survivor_diffs.push_back(sim->window_diff(pos));
+      }
+      good_state = sim->window_state();
+      live = std::move(survivors);
+      diffs = std::move(survivor_diffs);
+    }
+    sim->end_window();
+    return detected;
+  };
 
   while (stale < config.stale_rounds && !live.empty() &&
          result.sequence.size() < config.max_length) {
@@ -37,33 +66,9 @@ CompactionResult generate_deterministic_sequence(
       Rng seg_rng = rng.fork();
       TestSequence segment =
           random_sequence(netlist, config.segment_length, seg_rng);
-
-      // Trial simulation on copies.
-      GoodSim3 trial_good = good;
-      std::vector<Live> trial_live = live;
-      std::vector<std::size_t> detected;
-      for (const auto& vec : segment) {
-        trial_good.step(vec);
-        const std::vector<Val3>& values = trial_good.values();
-        const std::vector<Val3>& next = trial_good.state();
-        std::size_t keep = 0;
-        for (std::size_t i = 0; i < trial_live.size(); ++i) {
-          if (propagator.step(faults[trial_live[i].index],
-                              trial_live[i].diff, values, next)) {
-            detected.push_back(trial_live[i].index);
-          } else {
-            if (keep != i) trial_live[keep] = std::move(trial_live[i]);
-            ++keep;
-          }
-        }
-        trial_live.resize(keep);
-      }
-
-      if (!detected.empty()) {
-        // Commit.
-        good = std::move(trial_good);
-        live = std::move(trial_live);
-        result.detected_faults += detected.size();
+      const std::size_t detected = trial(segment, /*commit_always=*/false);
+      if (detected != 0) {
+        result.detected_faults += detected;
         for (auto& vec : segment) result.sequence.push_back(std::move(vec));
         accepted = true;
       }
@@ -79,22 +84,7 @@ CompactionResult generate_deterministic_sequence(
     Rng seg_rng = rng.fork();
     TestSequence segment =
         random_sequence(netlist, config.segment_length, seg_rng);
-    for (const auto& vec : segment) {
-      good.step(vec);
-      const std::vector<Val3>& values = good.values();
-      const std::vector<Val3>& next = good.state();
-      std::size_t keep = 0;
-      for (std::size_t i = 0; i < live.size(); ++i) {
-        if (propagator.step(faults[live[i].index], live[i].diff, values,
-                            next)) {
-          ++result.detected_faults;
-        } else {
-          if (keep != i) live[keep] = std::move(live[i]);
-          ++keep;
-        }
-      }
-      live.resize(keep);
-    }
+    result.detected_faults += trial(segment, /*commit_always=*/true);
     for (auto& vec : segment) result.sequence.push_back(std::move(vec));
   }
 

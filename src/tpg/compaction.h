@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "faults/fault.h"
+#include "sim3/fault_simulator.h"
 #include "tpg/sequences.h"
 
 namespace motsim {
@@ -23,6 +24,9 @@ struct CompactionConfig {
   /// state moving and may still detect faults downstream).
   std::size_t min_length = 0;
   std::uint64_t seed = 1;
+  /// Fault-simulation backend for the trial segments; the produced
+  /// sequence is identical on every backend (bit-identity contract).
+  Sim3Backend sim3_backend = default_sim3_backend();
 };
 
 /// Outcome of the compactor.

@@ -1,0 +1,330 @@
+// Bit-parallel fault simulator: packed-logic algebra, exact agreement
+// (status AND detection frame) with the serial event-driven simulator
+// across the roster and random circuits, window-session parity, and
+// the FaultSimulator3 factory surface.
+
+#include <gtest/gtest.h>
+
+#include "bench_data/registry.h"
+#include "bench_data/s27.h"
+#include "faults/collapse.h"
+#include "logic/packed_val3.h"
+#include "obs/telemetry.h"
+#include "reference.h"
+#include "sim3/bitpar_sim3.h"
+#include "sim3/fault_sim3.h"
+#include "sim3/fault_simulator.h"
+#include "tpg/sequences.h"
+#include "util/rng.h"
+
+namespace motsim {
+namespace {
+
+using testing::small_random_circuit;
+
+const Val3 kAll3[] = {Val3::Zero, Val3::One, Val3::X};
+
+TEST(PackedVal3, BroadcastAndSlotRoundTrip) {
+  for (Val3 v : kAll3) {
+    const PackedVal3 p = broadcast(v);
+    for (unsigned slot : {0u, 1u, 31u, 63u}) {
+      EXPECT_EQ(slot_value(p, slot), v);
+    }
+  }
+}
+
+TEST(PackedVal3, SetSlotOverwritesOnlyThatSlot) {
+  for (Val3 base : kAll3) {
+    for (Val3 v : kAll3) {
+      PackedVal3 p = broadcast(base);
+      set_slot(p, 17, v);
+      EXPECT_EQ(slot_value(p, 17), v);
+      EXPECT_EQ(slot_value(p, 16), base);
+      EXPECT_EQ(slot_value(p, 18), base);
+      EXPECT_EQ(p.ones & p.zeros, 0u);
+    }
+  }
+}
+
+TEST(PackedVal3, ApplyForceOverridesForcedSlotsOnly) {
+  PackedVal3 v = broadcast(Val3::X);
+  const PackedVal3 force{/*ones=*/0b01, /*zeros=*/0b10};  // slot0 sa1, slot1 sa0
+  const PackedVal3 r = apply_force(v, force);
+  EXPECT_EQ(slot_value(r, 0), Val3::One);
+  EXPECT_EQ(slot_value(r, 1), Val3::Zero);
+  EXPECT_EQ(slot_value(r, 2), Val3::X);
+
+  v = broadcast(Val3::One);
+  const PackedVal3 r2 = apply_force(v, force);
+  EXPECT_EQ(slot_value(r2, 0), Val3::One);
+  EXPECT_EQ(slot_value(r2, 1), Val3::Zero);
+  EXPECT_EQ(slot_value(r2, 2), Val3::One);
+}
+
+TEST(PackedVal3, OpsMatchScalarKleeneLogic) {
+  // Pack all 9 operand combinations into 9 slots and compare each
+  // slot against the scalar operations.
+  PackedVal3 a{}, b{};
+  Val3 sa[9], sb[9];
+  unsigned slot = 0;
+  for (Val3 va : kAll3) {
+    for (Val3 vb : kAll3) {
+      const std::uint64_t bit = std::uint64_t{1} << slot;
+      if (va == Val3::One) a.ones |= bit;
+      if (va == Val3::Zero) a.zeros |= bit;
+      if (vb == Val3::One) b.ones |= bit;
+      if (vb == Val3::Zero) b.zeros |= bit;
+      sa[slot] = va;
+      sb[slot] = vb;
+      ++slot;
+    }
+  }
+  const PackedVal3 pa = pand(a, b);
+  const PackedVal3 po = por(a, b);
+  const PackedVal3 px = pxor(a, b);
+  const PackedVal3 pn = pnot(a);
+  for (unsigned s = 0; s < 9; ++s) {
+    EXPECT_EQ(slot_value(pa, s), and3(sa[s], sb[s])) << s;
+    EXPECT_EQ(slot_value(po, s), or3(sa[s], sb[s])) << s;
+    EXPECT_EQ(slot_value(px, s), xor3(sa[s], sb[s])) << s;
+    EXPECT_EQ(slot_value(pn, s), not3(sa[s])) << s;
+  }
+}
+
+TEST(PackedVal3, InvariantOnesAndZerosDisjoint) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    // Construct well-formed packs and check closure of the ops.
+    const std::uint64_t o1 = rng(), z1 = rng() & ~o1;
+    const std::uint64_t o2 = rng(), z2 = rng() & ~o2;
+    const PackedVal3 a{o1, z1}, b{o2, z2};
+    for (PackedVal3 r : {pand(a, b), por(a, b), pxor(a, b), pnot(a)}) {
+      EXPECT_EQ(r.ones & r.zeros, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exact agreement with the serial simulator
+// ---------------------------------------------------------------------------
+
+void expect_same_results(const Netlist& nl, const TestSequence& seq,
+                         const std::vector<FaultStatus>* initial = nullptr,
+                         std::size_t threads = 1) {
+  const CollapsedFaultList c(nl);
+
+  FaultSim3 serial(nl, c.faults());
+  BitParFaultSim3 parallel(nl, c.faults(), threads);
+  if (initial != nullptr) {
+    serial.set_initial_status(*initial);
+    parallel.set_initial_status(*initial);
+  }
+  const auto rs = serial.run(seq);
+  const auto rp = parallel.run(seq);
+
+  EXPECT_EQ(rs.detected_count, rp.detected_count) << nl.name();
+  EXPECT_EQ(rs.simulated_faults, rp.simulated_faults);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(rs.status[i], rp.status[i])
+        << nl.name() << " " << fault_name(nl, c.faults()[i]);
+    EXPECT_EQ(rs.detect_frame[i], rp.detect_frame[i])
+        << nl.name() << " " << fault_name(nl, c.faults()[i]);
+  }
+}
+
+TEST(BitParFaultSim3, MatchesSerialOnS27) {
+  const Netlist nl = make_s27();
+  Rng rng(11);
+  expect_same_results(nl, random_sequence(nl, 50, rng));
+}
+
+class ParallelVsSerial : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelVsSerial, IdenticalOnRandomCircuits) {
+  const Netlist nl = small_random_circuit(GetParam());
+  Rng rng(GetParam() * 101 + 13);
+  expect_same_results(nl, random_sequence(nl, 15, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelVsSerial,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+TEST(BitParFaultSim3, MatchesSerialOnRosterCircuits) {
+  Rng rng(17);
+  for (const char* name : {"s298", "s344", "s820", "s208.1", "s510"}) {
+    const Netlist nl = make_benchmark(name);
+    expect_same_results(nl, random_sequence(nl, 40, rng));
+  }
+}
+
+TEST(BitParFaultSim3, ThreadCountNeverChangesResults) {
+  // The group partition depends only on the fault-list order, so the
+  // worker count is invisible in the results.
+  Rng rng(29);
+  const Netlist nl = make_benchmark("s298");
+  const TestSequence seq = random_sequence(nl, 30, rng);
+  expect_same_results(nl, seq, nullptr, /*threads=*/1);
+  expect_same_results(nl, seq, nullptr, /*threads=*/3);
+}
+
+TEST(BitParFaultSim3, RespectsInitialStatus) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  Rng rng(19);
+  const TestSequence seq = random_sequence(nl, 30, rng);
+
+  std::vector<FaultStatus> initial(c.size(), FaultStatus::Undetected);
+  for (std::size_t i = 0; i < initial.size(); i += 2) {
+    initial[i] = FaultStatus::XRedundant;
+  }
+  expect_same_results(nl, seq, &initial);
+
+  BitParFaultSim3 sim(nl, c.faults());
+  sim.set_initial_status(initial);
+  const auto r = sim.run(seq);
+  for (std::size_t i = 0; i < initial.size(); i += 2) {
+    EXPECT_EQ(r.status[i], FaultStatus::XRedundant);
+  }
+}
+
+TEST(BitParFaultSim3, GroupsLargerThan64Faults) {
+  // s298-like has >64 faults, exercising multi-group packing.
+  const Netlist nl = make_benchmark("s298");
+  const CollapsedFaultList c(nl);
+  ASSERT_GT(c.size(), 64u);
+  Rng rng(23);
+  expect_same_results(nl, random_sequence(nl, 25, rng));
+}
+
+TEST(BitParFaultSim3, EmptySequenceDetectsNothing) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  BitParFaultSim3 sim(nl, c.faults());
+  const auto r = sim.run({});
+  EXPECT_EQ(r.detected_count, 0u);
+}
+
+TEST(BitParFaultSim3, EmitsTelemetryCounters) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  Rng rng(31);
+  obs::Telemetry tele;
+  BitParFaultSim3 sim(nl, c.faults());
+  sim.set_telemetry(&tele);
+  (void)sim.run(random_sequence(nl, 10, rng));
+  EXPECT_GT(tele.metrics.counter("sim3.words_evaluated").value(), 0u);
+  EXPECT_GT(tele.metrics.counter("sim3.batches").value(), 0u);
+  EXPECT_GT(tele.metrics.counter("sim3.levels").value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Window sessions: both backends must report the same observations,
+// survivors and state divergences frame by frame.
+// ---------------------------------------------------------------------------
+
+void expect_same_windows(const Netlist& nl, const TestSequence& seq,
+                         std::uint64_t drop_seed) {
+  const CollapsedFaultList c(nl);
+  const auto event = make_fault_simulator3(Sim3Backend::Event, nl, c.faults());
+  const auto bitpar =
+      make_fault_simulator3(Sim3Backend::BitPar, nl, c.faults());
+
+  std::vector<std::size_t> indices(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) indices[i] = i;
+  std::vector<StateDiff3> diffs(c.size());
+  const std::vector<Val3> good_state(nl.dff_count(), Val3::X);
+
+  event->begin_window(good_state, indices, diffs);
+  bitpar->begin_window(good_state, indices, diffs);
+
+  // Drop a pseudo-random half of the observations, identically on
+  // both engines, to exercise alive-mask handling.
+  Rng rng(drop_seed);
+  for (const auto& vec : seq) {
+    const auto oe = event->step_window(vec);
+    const auto ob = bitpar->step_window(vec);
+    ASSERT_EQ(oe, ob);
+    for (const std::uint32_t pos : oe) {
+      if (rng.chance(0.5)) {
+        event->drop_window_fault(pos);
+        bitpar->drop_window_fault(pos);
+      }
+    }
+    ASSERT_EQ(event->window_live(), bitpar->window_live());
+  }
+
+  ASSERT_EQ(event->window_state(), bitpar->window_state());
+  for (std::uint32_t pos = 0; pos < c.size(); ++pos) {
+    ASSERT_EQ(event->window_fault_alive(pos), bitpar->window_fault_alive(pos))
+        << pos;
+    if (event->window_fault_alive(pos)) {
+      EXPECT_EQ(event->window_diff(pos), bitpar->window_diff(pos)) << pos;
+    }
+  }
+  event->end_window();
+  bitpar->end_window();
+}
+
+TEST(BitParFaultSim3, WindowSessionsMatchEventBackend) {
+  Rng rng(37);
+  const Netlist nl = make_s27();
+  expect_same_windows(nl, random_sequence(nl, 25, rng), 7);
+}
+
+class WindowParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WindowParity, RandomCircuits) {
+  const Netlist nl = small_random_circuit(GetParam() + 400);
+  Rng rng(GetParam() * 57 + 3);
+  expect_same_windows(nl, random_sequence(nl, 12, rng), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowParity,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(BitParFaultSim3, WindowBeginRejectsMismatchedDiffs) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  BitParFaultSim3 sim(nl, c.faults());
+  EXPECT_THROW(
+      sim.begin_window(std::vector<Val3>(nl.dff_count(), Val3::X), {0, 1},
+                       std::vector<StateDiff3>(1)),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// FaultSimulator3 factory and backend tokens
+// ---------------------------------------------------------------------------
+
+TEST(FaultSimulator3, FactoryConstructsRequestedBackend) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  const auto event = make_fault_simulator3(Sim3Backend::Event, nl, c.faults());
+  const auto bitpar =
+      make_fault_simulator3(Sim3Backend::BitPar, nl, c.faults());
+  EXPECT_EQ(event->backend(), Sim3Backend::Event);
+  EXPECT_EQ(bitpar->backend(), Sim3Backend::BitPar);
+  EXPECT_EQ(event->faults().size(), c.size());
+  EXPECT_EQ(bitpar->faults().size(), c.size());
+}
+
+TEST(FaultSimulator3, BackendTokensRoundTrip) {
+  EXPECT_STREQ(to_cstring(Sim3Backend::Event), "event");
+  EXPECT_STREQ(to_cstring(Sim3Backend::BitPar), "bitpar");
+  EXPECT_EQ(parse_sim3_backend("event"), Sim3Backend::Event);
+  EXPECT_EQ(parse_sim3_backend("bitpar"), Sim3Backend::BitPar);
+  EXPECT_FALSE(parse_sim3_backend("turbo").has_value());
+  EXPECT_FALSE(parse_sim3_backend("").has_value());
+}
+
+TEST(FaultSimulator3, InitialStatusSizeIsChecked) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  const auto sim = make_fault_simulator3(Sim3Backend::BitPar, nl, c.faults());
+  EXPECT_THROW(sim->set_initial_status({FaultStatus::Undetected}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace motsim

@@ -89,6 +89,11 @@ TEST(SimOptions, RejectsCorruptEnums) {
   o = SimOptions{};
   o.layout = static_cast<VarLayout>(250);
   EXPECT_FALSE(o.validate().has_value());
+  o = SimOptions{};
+  o.sim3_backend = static_cast<Sim3Backend>(7);
+  const auto checked = o.validate();
+  ASSERT_FALSE(checked.has_value());
+  EXPECT_NE(checked.error().find("sim3_backend"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -116,7 +121,7 @@ TEST(SimOptions, HybridConfigMapping) {
 TEST(SimOptions, PipelineConfigRoundTrip) {
   SimOptions o;
   o.run_xred = false;
-  o.parallel_sim3 = true;
+  o.sim3_backend = Sim3Backend::BitPar;
   o.run_symbolic = true;
   o.strategy = Strategy::Sot;
   o.layout = VarLayout::Blocked;
@@ -144,7 +149,7 @@ TEST(SimOptions, DefaultsMatchLegacyDefaults) {
   const PipelineConfig legacy;
   const PipelineConfig converted = SimOptions{}.to_pipeline_config();
   EXPECT_EQ(converted.run_xred, legacy.run_xred);
-  EXPECT_EQ(converted.parallel_sim3, legacy.parallel_sim3);
+  EXPECT_EQ(converted.sim3_backend, legacy.sim3_backend);
   EXPECT_EQ(converted.run_symbolic, legacy.run_symbolic);
   EXPECT_EQ(converted.threads, legacy.threads);
   EXPECT_EQ(converted.hybrid.strategy, legacy.hybrid.strategy);

@@ -39,8 +39,9 @@ TEST(Pipeline, ParallelAndSerialAgree) {
 
   PipelineConfig serial_cfg;
   serial_cfg.run_symbolic = false;
+  serial_cfg.sim3_backend = Sim3Backend::Event;
   PipelineConfig parallel_cfg = serial_cfg;
-  parallel_cfg.parallel_sim3 = true;
+  parallel_cfg.sim3_backend = Sim3Backend::BitPar;
 
   const PipelineResult rs = run_pipeline(nl, faults.faults(), seq, serial_cfg);
   const PipelineResult rp =

@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_data/registry.h"
@@ -153,6 +155,64 @@ TEST(Resume, KillResumeWithForcedFallbackWindows) {
       resume_campaign(w.nl, w.faults.faults(), tmp.sub("killed"));
   ASSERT_TRUE(resumed.has_value()) << resumed.error();
   expect_identical(*resumed, *baseline);
+}
+
+TEST(Resume, BackendMayChangeAcrossResume) {
+  // Checkpoint under the event backend, resume under bitpar (and the
+  // reverse) — the two are bit-identical by contract and excluded from
+  // the store's fingerprints, so the classification cannot change.
+  // Tiny node limit forces fallback windows so the backend is actually
+  // exercised on both sides of the crash.
+  const Workload w;
+  SimOptions opts = w.opts;
+  opts.node_limit = 60;
+  opts.fallback_frames = 4;
+
+  for (const auto& [first, second] :
+       {std::pair{Sim3Backend::Event, Sim3Backend::BitPar},
+        std::pair{Sim3Backend::BitPar, Sim3Backend::Event}}) {
+    opts.sim3_backend = first;
+    TempDir tmp(std::string("backend_") + to_cstring(first));
+    const auto baseline = run_campaign(w.nl, w.faults.faults(), w.base, opts,
+                                       tmp.sub("baseline"));
+    ASSERT_TRUE(baseline.has_value()) << baseline.error();
+    ASSERT_GT(baseline->sym.fallback_windows, 0u)
+        << "node_limit did not force a fallback window; the scenario is "
+           "vacuous";
+
+    ThrowingTap tap(3);
+    const auto killed = run_campaign(w.nl, w.faults.faults(), w.base, opts,
+                                     tmp.sub("killed"), nullptr, &tap);
+    ASSERT_FALSE(killed.has_value());
+
+    const auto resumed = resume_campaign(
+        w.nl, w.faults.faults(), tmp.sub("killed"), std::nullopt, nullptr,
+        nullptr, nullptr, /*sim3_backend=*/second);
+    ASSERT_TRUE(resumed.has_value()) << resumed.error();
+    expect_identical(*resumed, *baseline);
+  }
+}
+
+TEST(Extend, BackendMayChangeAcrossExtension) {
+  const Workload w;
+  SimOptions opts = w.opts;
+  opts.node_limit = 60;
+  opts.fallback_frames = 4;
+  opts.sim3_backend = Sim3Backend::Event;
+
+  TempDir tmp("extend_backend");
+  ASSERT_TRUE(run_campaign(w.nl, w.faults.faults(), w.base, opts,
+                           tmp.sub("inc"))
+                  .has_value());
+  const auto extended = extend_campaign(
+      w.nl, w.faults.faults(), w.extra, tmp.sub("inc"), std::nullopt, nullptr,
+      nullptr, nullptr, /*sim3_backend=*/Sim3Backend::BitPar);
+  ASSERT_TRUE(extended.has_value()) << extended.error();
+
+  const auto scratch = run_campaign(w.nl, w.faults.faults(), w.full, opts,
+                                    tmp.sub("scratch"));
+  ASSERT_TRUE(scratch.has_value()) << scratch.error();
+  expect_identical(*extended, *scratch);
 }
 
 TEST(Resume, SurvivesTwoConsecutiveCrashes) {

@@ -4,11 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+
 #include "bench_data/s27.h"
 #include "faults/collapse.h"
 #include "reference.h"
+#include "sim3/bitpar_sim3.h"
 #include "sim3/fault_sim3.h"
-#include "sim3/parallel_fault_sim3.h"
+#include "sim3/fault_simulator.h"
 #include "sim3/good_sim3.h"
 #include "sim3/sim2.h"
 #include "tpg/sequences.h"
@@ -277,7 +281,7 @@ TEST_P(XInputProps, SerialAndParallelAgreeOnXVectors) {
   }
   const CollapsedFaultList c(nl);
   FaultSim3 serial(nl, c.faults());
-  ParallelFaultSim3 parallel(nl, c.faults());
+  BitParFaultSim3 parallel(nl, c.faults());
   const auto rs = serial.run(seq);
   const auto rp = parallel.run(seq);
   EXPECT_EQ(rs.status, rp.status);
@@ -286,6 +290,119 @@ TEST_P(XInputProps, SerialAndParallelAgreeOnXVectors) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, XInputProps,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Cross-backend bit-identity property: for every backend, every batch
+// width (fault lists smaller than, equal to and larger than one
+// 64-slot word) and every thread count, run() must return the same
+// detected set, statuses and detection frames.
+// ---------------------------------------------------------------------------
+
+class CrossBackend : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossBackend, RunIsBitIdenticalForEveryBackendAndWidth) {
+  const Netlist nl = small_random_circuit(GetParam() + 200);
+  Rng rng(GetParam() * 131 + 29);
+  const TestSequence seq = random_sequence(nl, 12, rng);
+  const CollapsedFaultList c(nl);
+
+  // Batch widths: a partial word, exactly one word (repeat faults if
+  // the circuit yields fewer), and several words.
+  std::vector<std::vector<Fault>> lists;
+  lists.push_back(std::vector<Fault>(
+      c.faults().begin(),
+      c.faults().begin() +
+          static_cast<std::ptrdiff_t>(std::min<std::size_t>(17, c.size()))));
+  std::vector<Fault> exactly64;
+  while (exactly64.size() < 64) {
+    for (const Fault& f : c.faults()) {
+      if (exactly64.size() == 64) break;
+      exactly64.push_back(f);
+    }
+  }
+  lists.push_back(std::move(exactly64));
+  std::vector<Fault> many;
+  while (many.size() < 150) {
+    for (const Fault& f : c.faults()) {
+      if (many.size() == 150) break;
+      many.push_back(f);
+    }
+  }
+  lists.push_back(std::move(many));
+
+  for (const auto& faults : lists) {
+    FaultSim3 reference(nl, faults);
+    const auto expected = reference.run(seq);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+      BitParFaultSim3 sim(nl, faults, threads);
+      const auto got = sim.run(seq);
+      EXPECT_EQ(expected.status, got.status)
+          << "faults=" << faults.size() << " threads=" << threads;
+      EXPECT_EQ(expected.detect_frame, got.detect_frame)
+          << "faults=" << faults.size() << " threads=" << threads;
+      EXPECT_EQ(expected.detected_count, got.detected_count);
+      EXPECT_EQ(expected.simulated_faults, got.simulated_faults);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossBackend,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------------------------------------------------------------------------
+// X-handling edge cases, per backend
+// ---------------------------------------------------------------------------
+
+class BothBackends : public ::testing::TestWithParam<Sim3Backend> {};
+
+TEST_P(BothBackends, XAtOutputNeverDetects) {
+  // o = XOR(a, q) with q stuck at X: the fault-free output is X in
+  // every frame, so no fault can be three-valued detected — the good
+  // value is never binary.
+  Netlist nl("xpo");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(kNoNode, "q");
+  const NodeIndex o = nl.add_gate(GateType::Xor, {a, q}, "o");
+  nl.set_fanins(q, {q});  // holds itself: stays X forever
+  nl.mark_output(o);
+  nl.finalize();
+
+  const std::vector<Fault> faults{Fault{FaultSite{a, kStemPin}, false},
+                                  Fault{FaultSite{a, kStemPin}, true}};
+  const auto sim = make_fault_simulator3(GetParam(), nl, faults);
+  const auto r = sim->run(sequence_from_strings({"1", "0", "1"}));
+  EXPECT_EQ(r.detected_count, 0u) << to_cstring(GetParam());
+}
+
+TEST_P(BothBackends, XMaskedFaultEffectIsNotADetection) {
+  // o = AND(a, q) with q unknown: a-sa0 yields good X vs faulty 0 at
+  // the output — a difference, but not an SOT detection.
+  Netlist nl("xmask");
+  const NodeIndex a = nl.add_input("a");
+  const NodeIndex q = nl.add_dff(kNoNode, "q");
+  const NodeIndex o = nl.add_gate(GateType::And, {a, q}, "o");
+  nl.set_fanins(q, {q});
+  nl.mark_output(o);
+  nl.finalize();
+
+  const std::vector<Fault> faults{Fault{FaultSite{a, kStemPin}, false}};
+  const auto sim = make_fault_simulator3(GetParam(), nl, faults);
+  const auto r = sim->run(sequence_from_strings({"1", "1", "1"}));
+  EXPECT_EQ(r.detected_count, 0u) << to_cstring(GetParam());
+}
+
+TEST_P(BothBackends, BinaryDisagreementAtOutputDetects) {
+  const Netlist nl = make_s27();
+  const CollapsedFaultList c(nl);
+  Rng rng(41);
+  const auto sim = make_fault_simulator3(GetParam(), nl, c.faults());
+  const auto r = sim->run(random_sequence(nl, 40, rng));
+  EXPECT_GT(r.detected_count, 0u) << to_cstring(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BothBackends,
+                         ::testing::Values(Sim3Backend::Event,
+                                           Sim3Backend::BitPar));
 
 // ---------------------------------------------------------------------------
 // Sim2 reference simulator

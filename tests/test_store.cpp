@@ -74,7 +74,7 @@ StoreManifest sample_manifest() {
   m.options.checkpoint_interval = 16;
   m.options.threads = 4;
   m.options.chunk_size = 32;
-  m.options.parallel_sim3 = true;
+  m.options.sim3_backend = Sim3Backend::BitPar;
   m.fp_options = fingerprint_options(m.options);
   return m;
 }
@@ -97,6 +97,52 @@ TEST(StoreManifest, TextRoundTripPreservesEveryField) {
   EXPECT_EQ(r->fp_options, m.fp_options);
   EXPECT_EQ(r->fp_sequence, m.fp_sequence);
   EXPECT_EQ(r->options, m.options);
+}
+
+TEST(StoreManifest, LegacyParallelSim3TokenStillParses) {
+  // Stores written before the backend enum recorded a boolean flag;
+  // it maps onto the equivalent backend.
+  StoreManifest m = sample_manifest();
+  std::string text = m.to_text();
+  const std::string key = "opt_sim3_backend bitpar";
+  const auto at = text.find(key);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, key.size(), "opt_parallel_sim3 1");
+  const auto r = StoreManifest::from_text(text);
+  ASSERT_TRUE(r.has_value()) << r.error();
+  EXPECT_EQ(r->options.sim3_backend, Sim3Backend::BitPar);
+
+  text.replace(text.find("opt_parallel_sim3 1"),
+               std::string("opt_parallel_sim3 1").size(),
+               "opt_parallel_sim3 0");
+  const auto r0 = StoreManifest::from_text(text);
+  ASSERT_TRUE(r0.has_value()) << r0.error();
+  EXPECT_EQ(r0->options.sim3_backend, Sim3Backend::Event);
+}
+
+TEST(StoreManifest, RejectsBadSim3BackendToken) {
+  StoreManifest m = sample_manifest();
+  std::string text = m.to_text();
+  const std::string key = "opt_sim3_backend bitpar";
+  const auto at = text.find(key);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, key.size(), "opt_sim3_backend warp");
+  EXPECT_FALSE(StoreManifest::from_text(text).has_value());
+}
+
+TEST(Fingerprint, Sim3BackendIsExcludedFromOptionsFingerprint) {
+  // The backend is a pure performance knob with bit-identical results,
+  // so a store written under one backend must validate under the other.
+  SimOptions event_opts;
+  event_opts.sim3_backend = Sim3Backend::Event;
+  SimOptions bitpar_opts;
+  bitpar_opts.sim3_backend = Sim3Backend::BitPar;
+  EXPECT_EQ(fingerprint_options(event_opts), fingerprint_options(bitpar_opts));
+
+  // ...while fields that do affect results still change the hash.
+  SimOptions other = event_opts;
+  other.node_limit += 1;
+  EXPECT_NE(fingerprint_options(event_opts), fingerprint_options(other));
 }
 
 TEST(StoreManifest, RejectsUnknownKeyMissingVersionAndBadSegments) {

@@ -19,7 +19,8 @@
 //                    faults are pruned up front (verdict static-X-red)
 //   --no-xred        skip the ID_X-red stage
 //   --no-symbolic    three-valued only (pure X01)
-//   --parallel       bit-parallel three-valued simulator
+//   --sim3-backend B three-valued backend: event | bitpar
+//   --parallel       alias for --sim3-backend bitpar (legacy)
 //   --deterministic  compacted sequence instead of random vectors
 //   --sync           also run the synchronizing-sequence analysis
 //   --show-undetected  list the faults left undetected
@@ -82,6 +83,7 @@ struct Options {
   std::size_t vectors = 200;
   bool vectors_set = false;
   bool threads_set = false;
+  bool sim3_backend_set = false;
   bool progress = false;
   bool deterministic = false;
   bool sync = false;
@@ -121,7 +123,10 @@ struct Options {
                "                     first (see docs/ANALYSIS.md)\n"
                "  --no-xred          skip ID_X-red\n"
                "  --no-symbolic      pure three-valued run\n"
-               "  --parallel         bit-parallel three-valued simulator\n"
+               "  --sim3-backend B   three-valued backend: event (serial\n"
+               "                     reference) or bitpar (64 faults/word);\n"
+               "                     identical results (see docs/SIM3.md)\n"
+               "  --parallel         alias for --sim3-backend bitpar\n"
                "  --deterministic    compacted (targeted) sequence\n"
                "  --sync             synchronizing-sequence analysis\n"
                "  --show-undetected  list undetected faults\n"
@@ -205,7 +210,18 @@ Options parse_args(int argc, char** argv) {
     } else if (a == "--lint") o.sim.analysis = true;
     else if (a == "--no-xred") o.sim.run_xred = false;
     else if (a == "--no-symbolic") o.sim.run_symbolic = false;
-    else if (a == "--parallel") o.sim.parallel_sim3 = true;
+    else if (a == "--sim3-backend") {
+      const std::string s = to_lower(next());
+      const std::optional<Sim3Backend> b = parse_sim3_backend(s);
+      if (!b.has_value()) {
+        fail("--sim3-backend expects event or bitpar, got '" + s + "'");
+      }
+      o.sim.sim3_backend = *b;
+      o.sim3_backend_set = true;
+    } else if (a == "--parallel") {
+      o.sim.sim3_backend = Sim3Backend::BitPar;
+      o.sim3_backend_set = true;
+    }
     else if (a == "--deterministic") o.deterministic = true;
     else if (a == "--sync") o.sync = true;
     else if (a == "--show-undetected") o.show_undetected = true;
@@ -437,10 +453,15 @@ int run_campaign_mode(const Options& o, const Netlist& nl,
   Expected<CampaignResult, std::string> res =
       Unexpected<std::string>{"unreachable"};
   const char* mode = "fresh";
+  // An explicit --sim3-backend / --parallel overrides the backend the
+  // store recorded (pure perf knob, results identical either way).
+  const std::optional<Sim3Backend> backend =
+      o.sim3_backend_set ? std::optional<Sim3Backend>(o.sim.sim3_backend)
+                         : std::nullopt;
   if (o.resume) {
     mode = "resumed";
     res = resume_campaign(nl, faults, o.store_dir, threads, sink, nullptr,
-                          telemetry);
+                          telemetry, backend);
   } else if (o.extend_vectors != 0) {
     mode = "extended";
     // Extension vectors continue the stored seed's random stream: the
@@ -458,7 +479,7 @@ int run_campaign_mode(const Options& o, const Netlist& nl,
                 extra.size(),
                 static_cast<unsigned long long>(store->manifest().seed));
     res = extend_campaign(nl, faults, extra, o.store_dir, threads, sink,
-                          nullptr, telemetry);
+                          nullptr, telemetry, backend);
   } else {
     SimOptions opts = o.sim;
     opts.telemetry = telemetry;
@@ -628,9 +649,8 @@ int main(int argc, char** argv) {
     std::printf("ID_X-red:   %zu X-redundant faults      (%.3f s)\n",
                 r.x_redundant, r.seconds_xred);
   }
-  std::printf("X01 stage:  %zu faults detected          (%.3f s%s)\n",
-              r.detected_3v, r.seconds_3v,
-              o.sim.parallel_sim3 ? ", bit-parallel" : "");
+  std::printf("X01 stage:  %zu faults detected          (%.3f s, %s)\n",
+              r.detected_3v, r.seconds_3v, to_cstring(o.sim.sim3_backend));
   if (o.sim.run_symbolic && r.symbolic_skipped_x_inputs) {
     std::printf("symbolic:   skipped — the sequence carries X inputs "
                 "(three-valued only)\n");
