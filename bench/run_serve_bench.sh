@@ -1,0 +1,74 @@
+#!/usr/bin/env sh
+# Boots motsim_served on ephemeral loopback ports, drives it with the
+# motsim_load open-loop generator, validates the observability surface
+# (/healthz, /metrics) and the BENCH_serve.json summary, then shuts the
+# server down with SIGTERM (exercising the graceful drain).
+#
+# Usage: bench/run_serve_bench.sh [build-dir] [duration-s] [rate]
+# Exits non-zero if the server fails to boot, the load run completes
+# zero requests or sees protocol errors, or an endpoint misbehaves.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+duration="${2:-5}"
+rate="${3:-40}"
+
+served="$build/tools/motsim_served"
+load="$build/tools/motsim_load"
+[ -x "$served" ] || { echo "missing $served (build first)"; exit 1; }
+[ -x "$load" ] || { echo "missing $load (build first)"; exit 1; }
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -TERM "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+"$served" --port 0 --http-port 0 --store-root "$workdir/store" \
+  > "$workdir/served.log" 2>&1 &
+server_pid=$!
+
+# The server prints `listening <port> http <http_port>` once bound.
+ports=""
+for _ in $(seq 1 50); do
+  ports="$(awk '/^listening /{print $2, $4}' "$workdir/served.log")"
+  [ -n "$ports" ] && break
+  sleep 0.1
+done
+[ -n "$ports" ] || { echo "server did not report its ports"; cat "$workdir/served.log"; exit 1; }
+port="${ports% *}"
+http_port="${ports#* }"
+echo "motsim_served up: protocol port $port, http port $http_port"
+
+curl -fsS "http://127.0.0.1:$http_port/healthz" | grep -q ok \
+  || { echo "/healthz failed"; exit 1; }
+
+"$load" --port "$port" --duration "$duration" --rate "$rate" \
+  --connections 4 --vectors 16 --out "$workdir/BENCH_serve.json"
+
+python3 -m json.tool "$workdir/BENCH_serve.json" > /dev/null \
+  || { echo "BENCH_serve.json is not valid JSON"; exit 1; }
+
+metrics="$workdir/metrics.txt"
+curl -fsS "http://127.0.0.1:$http_port/metrics" > "$metrics"
+for series in motsim_build_info serve_requests_completed \
+  serve_queue_depth serve_request_seconds_bucket; do
+  grep -q "$series" "$metrics" \
+    || { echo "/metrics is missing $series"; exit 1; }
+done
+
+kill -TERM "$server_pid"
+wait "$server_pid" || true
+server_pid=""
+grep -q "drained, exiting" "$workdir/served.log" \
+  || { echo "server did not drain cleanly"; cat "$workdir/served.log"; exit 1; }
+
+cp "$workdir/BENCH_serve.json" "$repo/BENCH_serve.json"
+echo "serve bench complete:"
+python3 -m json.tool "$repo/BENCH_serve.json"

@@ -44,6 +44,43 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  return histogram_quantile(bounds_, bucket_counts(), q);
+}
+
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& buckets,
+                          double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0 || bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based), then the first bucket
+  // whose cumulative count reaches it.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  std::size_t bucket = 0;
+  for (; bucket < buckets.size(); ++bucket) {
+    cumulative += buckets[bucket];
+    if (static_cast<double>(cumulative) >= rank) break;
+  }
+  if (bucket >= bounds.size()) {
+    // Overflow bucket: no upper limit to interpolate toward — report
+    // the highest finite bound (Prometheus does the same).
+    return bounds.back();
+  }
+  const double upper = bounds[bucket];
+  // Lower edge: the previous bound, or 0 for the first bucket when its
+  // bound is positive (latency-style histograms start at 0).
+  const double lower =
+      bucket == 0 ? std::min(0.0, upper) : bounds[bucket - 1];
+  const std::uint64_t in_bucket = buckets[bucket];
+  if (in_bucket == 0) return upper;
+  const double below = static_cast<double>(cumulative - in_bucket);
+  const double fraction = (rank - below) / static_cast<double>(in_bucket);
+  return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
@@ -147,7 +184,9 @@ std::string MetricsSnapshot::to_json() const {
       os << (b == 0 ? "" : ", ") << h.buckets[b];
     }
     os << "], \"count\": " << h.count << ", \"sum\": " << json_number(h.sum)
-       << "}";
+       << ", \"p50\": " << json_number(h.quantile(0.50))
+       << ", \"p90\": " << json_number(h.quantile(0.90))
+       << ", \"p99\": " << json_number(h.quantile(0.99)) << "}";
   }
   os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
   return os.str();

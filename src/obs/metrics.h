@@ -99,12 +99,27 @@ class Histogram {
     return sum_.load(std::memory_order_relaxed);
   }
 
+  /// Estimated q-quantile (0 <= q <= 1) of the observed values — see
+  /// histogram_quantile() for the estimation contract.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
+
+/// Estimated q-quantile (0 <= q <= 1) of a bucketed distribution:
+/// `buckets` holds per-bucket (non-cumulative) counts, one entry more
+/// than `bounds` (the overflow bucket). The estimate interpolates
+/// linearly inside the selected bucket — the same contract as
+/// Prometheus's histogram_quantile(), so served metrics and local
+/// summaries agree. An observation landing in the overflow bucket is
+/// reported as the highest finite bound; an empty histogram reports 0.
+[[nodiscard]] double histogram_quantile(const std::vector<double>& bounds,
+                                        const std::vector<std::uint64_t>& buckets,
+                                        double q);
 
 /// One histogram in a snapshot, with cumulative Prometheus-style
 /// bucket counts resolved to plain numbers.
@@ -114,6 +129,11 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1, last = +inf
   std::uint64_t count = 0;
   double sum = 0;
+
+  /// histogram_quantile() over this snapshot's buckets.
+  [[nodiscard]] double quantile(double q) const {
+    return histogram_quantile(bounds, buckets, q);
+  }
 };
 
 /// Point-in-time copy of every registered instrument, ordered by name.

@@ -52,9 +52,12 @@ std::string Telemetry::summary() const {
   }
   for (const HistogramSnapshot& h : s.histograms) {
     std::snprintf(line, sizeof(line),
-                  "%-40s count=%llu sum=%.6g mean=%.6g\n", h.name.c_str(),
-                  static_cast<unsigned long long>(h.count), h.sum,
-                  h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count));
+                  "%-40s count=%llu sum=%.6g mean=%.6g p50=%.6g "
+                  "p99=%.6g\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.sum,
+                  h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count),
+                  h.quantile(0.50), h.quantile(0.99));
     os << line;
   }
   return os.str();

@@ -1,0 +1,105 @@
+#include "serve/circuit_cache.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "bench_data/registry.h"
+#include "circuit/bench_io.h"
+#include "obs/telemetry.h"
+#include "store/fingerprint.h"
+
+namespace motsim::serve {
+
+CircuitCache::CircuitCache(std::size_t capacity, obs::Telemetry* telemetry)
+    : capacity_(capacity == 0 ? 1 : capacity), telemetry_(telemetry) {}
+
+std::uint64_t CircuitCache::key_of(const CircuitRef& ref) {
+  Fnv1a64 h;
+  const std::uint8_t kind = static_cast<std::uint8_t>(ref.kind);
+  h.update(&kind, 1);
+  h.update(ref.text);
+  return h.digest();
+}
+
+Expected<std::shared_ptr<const CachedCircuit>, std::string>
+CircuitCache::get_or_load(const CircuitRef& ref) {
+  const std::uint64_t key = key_of(ref);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      touch_locked(key);
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics.counter("serve.cache.hits").add();
+      }
+      return it->second.circuit;
+    }
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.counter("serve.cache.misses").add();
+  }
+
+  // Cold path, outside the lock: parse + finalize + collapse faults.
+  // The parsers throw std::invalid_argument on malformed input; a
+  // served request must get an error frame, not a dead server.
+  std::shared_ptr<const CachedCircuit> loaded;
+  try {
+    Netlist nl = [&]() -> Netlist {
+      if (ref.kind == CircuitRef::Kind::Roster) {
+        if (find_benchmark(ref.text) == nullptr) {
+          throw std::invalid_argument("unknown roster circuit '" + ref.text +
+                                      "'");
+        }
+        return make_benchmark(ref.text);
+      }
+      return parse_bench_string(ref.text, "inline");
+    }();
+    const std::uint64_t fp = fingerprint_netlist(nl);
+    loaded = std::make_shared<CachedCircuit>(std::move(nl), fp);
+  } catch (const std::exception& e) {
+    return make_unexpected(std::string("circuit load failed: ") + e.what());
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // A racing miss beat us; keep the resident copy so every request
+    // for this key shares one circuit.
+    touch_locked(key);
+    return it->second.circuit;
+  }
+  insert_locked(key, loaded);
+  return loaded;
+}
+
+std::size_t CircuitCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void CircuitCache::touch_locked(std::uint64_t key) {
+  auto& entry = entries_.at(key);
+  recency_.erase(entry.lru);
+  recency_.push_front(key);
+  entry.lru = recency_.begin();
+}
+
+void CircuitCache::insert_locked(
+    std::uint64_t key, std::shared_ptr<const CachedCircuit> circuit) {
+  while (entries_.size() >= capacity_) {
+    const std::uint64_t victim = recency_.back();
+    recency_.pop_back();
+    entries_.erase(victim);
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics.counter("serve.cache.evictions").add();
+    }
+  }
+  recency_.push_front(key);
+  entries_.emplace(key, Entry{std::move(circuit), recency_.begin()});
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.gauge("serve.cache.size")
+        .set(static_cast<double>(entries_.size()));
+  }
+}
+
+}  // namespace motsim::serve

@@ -1,0 +1,88 @@
+#ifndef MOTSIM_SERVE_CIRCUIT_CACHE_H
+#define MOTSIM_SERVE_CIRCUIT_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "circuit/netlist.h"
+#include "faults/collapse.h"
+#include "serve/protocol.h"
+#include "util/expected.h"
+
+namespace motsim::obs {
+struct Telemetry;
+}
+
+namespace motsim::serve {
+
+/// A parsed, finalized circuit with its collapsed fault list — the
+/// expensive per-netlist artifact every request type needs. Immutable
+/// after construction, so one instance is safely shared across
+/// concurrent requests (the engines only read the netlist).
+struct CachedCircuit {
+  Netlist netlist;
+  CollapsedFaultList faults;
+  /// Content fingerprint of the *parsed* netlist (store/fingerprint) —
+  /// used to key per-workload run-store directories.
+  std::uint64_t netlist_fingerprint = 0;
+
+  CachedCircuit(Netlist nl, std::uint64_t fp)
+      : netlist(std::move(nl)), faults(netlist), netlist_fingerprint(fp) {}
+};
+
+/// LRU cache of CachedCircuit, keyed by the FNV-1a fingerprint of the
+/// *request bytes* (CircuitRef kind + text). Keying on the raw ref
+/// means a hit costs one hash — no parse — which is the whole point:
+/// the serve workload (paper Section IV.B) sends many requests against
+/// few distinct netlists, and identical netlists must share one
+/// parsed+collapsed circuit rather than re-running bench_io and fault
+/// collapsing per request.
+///
+/// Thread-safe. A miss parses *outside* the lock (parsing a large
+/// .bench must not stall unrelated hits); two racing misses on the
+/// same key both parse, and the insert keeps the first — wasted work,
+/// never wrong results, and only on the cold path.
+class CircuitCache {
+ public:
+  /// `capacity` = max resident circuits (>= 1; the roster is ~20).
+  /// `telemetry` (nullable) receives serve.cache.{hits,misses,
+  /// evictions} counters and the serve.cache.size gauge.
+  explicit CircuitCache(std::size_t capacity,
+                        obs::Telemetry* telemetry = nullptr);
+
+  /// Cache key of a ref: FNV-1a over kind byte + text bytes.
+  [[nodiscard]] static std::uint64_t key_of(const CircuitRef& ref);
+
+  /// Returns the shared circuit for `ref`, parsing (roster lookup or
+  /// .bench text) and collapsing on first use. Parse/validation
+  /// problems come back as error strings (they become BadRequest
+  /// ERROR frames).
+  [[nodiscard]] Expected<std::shared_ptr<const CachedCircuit>, std::string>
+  get_or_load(const CircuitRef& ref);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  void touch_locked(std::uint64_t key);
+  void insert_locked(std::uint64_t key,
+                     std::shared_ptr<const CachedCircuit> circuit);
+
+  const std::size_t capacity_;
+  obs::Telemetry* const telemetry_;
+  mutable std::mutex mutex_;
+  /// MRU-first recency list; map values hold the list iterator.
+  std::list<std::uint64_t> recency_;
+  struct Entry {
+    std::shared_ptr<const CachedCircuit> circuit;
+    std::list<std::uint64_t>::iterator lru;
+  };
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace motsim::serve
+
+#endif  // MOTSIM_SERVE_CIRCUIT_CACHE_H

@@ -1,0 +1,72 @@
+#include "serve/framing.h"
+
+#include <cstring>
+
+#include "util/net.h"
+
+namespace motsim::serve {
+
+ReadResult read_frame(int fd) {
+  ReadResult out;
+  std::uint32_t length = 0;
+  const auto header = read_full(fd, &length, sizeof(length));
+  if (!header.has_value()) {
+    out.error = "frame header: " + header.error();
+    return out;
+  }
+  if (*header == 0) {
+    out.status = ReadStatus::Eof;
+    return out;
+  }
+  if (length == 0) {
+    out.error = "frame length 0 (missing type byte)";
+    return out;
+  }
+  if (length > kMaxFrameBytes) {
+    out.error = "frame length " + std::to_string(length) +
+                " exceeds the " + std::to_string(kMaxFrameBytes) +
+                "-byte limit";
+    return out;
+  }
+  std::uint8_t type = 0;
+  if (const auto t = read_full(fd, &type, 1); !t.has_value() || *t == 0) {
+    out.error = "frame type: " +
+                (t.has_value() ? std::string("unexpected EOF") : t.error());
+    return out;
+  }
+  out.frame.type = static_cast<FrameType>(type);
+  out.frame.payload.resize(length - 1);
+  if (length > 1) {
+    const auto p =
+        read_full(fd, out.frame.payload.data(), out.frame.payload.size());
+    if (!p.has_value() || *p == 0) {
+      out.error = "frame payload: " +
+                  (p.has_value() ? std::string("unexpected EOF") : p.error());
+      return out;
+    }
+  }
+  out.status = ReadStatus::Ok;
+  return out;
+}
+
+Expected<bool, std::string> write_frame(int fd, FrameType type,
+                                        const std::string& payload) {
+  if (payload.size() + 1 > kMaxFrameBytes) {
+    return make_unexpected("frame payload of " +
+                           std::to_string(payload.size()) +
+                           " bytes exceeds the frame limit");
+  }
+  // One buffered write per frame: header + type + payload leave in a
+  // single syscall, so concurrent writers on one connection (worker
+  // threads completing out of order) never interleave partial frames
+  // as long as they serialize on the connection's write mutex.
+  std::string wire;
+  wire.reserve(5 + payload.size());
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size()) + 1;
+  wire.append(reinterpret_cast<const char*>(&length), 4);
+  wire.push_back(static_cast<char>(type));
+  wire.append(payload);
+  return write_full(fd, wire.data(), wire.size());
+}
+
+}  // namespace motsim::serve

@@ -1,0 +1,45 @@
+#ifndef MOTSIM_SERVE_FRAMING_H
+#define MOTSIM_SERVE_FRAMING_H
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/expected.h"
+
+namespace motsim::serve {
+
+/// One decoded frame: type byte + raw payload (protocol.h decodes the
+/// payload into typed messages).
+struct Frame {
+  FrameType type = FrameType::Error;
+  std::string payload;
+};
+
+/// Outcome of read_frame. Eof is a *clean* close — the peer hung up at
+/// a frame boundary; anything torn or malformed is Error with a
+/// message. The server treats Eof as normal connection end and Error
+/// as a protocol violation (final ERROR frame, then close).
+enum class ReadStatus : std::uint8_t { Ok, Eof, Error };
+
+struct ReadResult {
+  ReadStatus status = ReadStatus::Error;
+  Frame frame;        ///< valid iff status == Ok
+  std::string error;  ///< set iff status == Error
+};
+
+/// Reads one `[u32 length][u8 type][payload]` frame. Rejects length 0
+/// (no type byte) and length > kMaxFrameBytes *before* allocating, so
+/// a garbage length field cannot trigger a giant allocation. Unknown
+/// type bytes are returned as-is — the request dispatcher answers
+/// those with a typed ERROR frame instead of dropping the connection.
+[[nodiscard]] ReadResult read_frame(int fd);
+
+/// Writes one frame (length prefix computed here). Fails for payloads
+/// that would exceed kMaxFrameBytes.
+[[nodiscard]] Expected<bool, std::string> write_frame(
+    int fd, FrameType type, const std::string& payload);
+
+}  // namespace motsim::serve
+
+#endif  // MOTSIM_SERVE_FRAMING_H

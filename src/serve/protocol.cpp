@@ -1,0 +1,512 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace motsim::serve {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Little-endian wire primitives. The writer appends to a string; the
+// reader is bounds-checked and latches the first failure — decode
+// functions check ok() + fully-consumed at the end, so a truncated or
+// trailing-garbage payload is one error path, never an out-of-range
+// read.
+// ---------------------------------------------------------------------
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+  }
+  void bytes(const std::vector<std::uint8_t>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    buf_.append(reinterpret_cast<const char*>(v.data()), v.size());
+  }
+
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    // Little-endian hosts only (the project's supported targets); a
+    // big-endian port would byte-swap here.
+    buf_.append(static_cast<const char*>(p), n);
+  }
+
+  std::string buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const std::string& data) : data_(data) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    raw(&v, 1);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    raw(&v, 2);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, 8);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!check(n)) return {};
+    std::string s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t n = u32();
+    if (!check(n)) return {};
+    std::vector<std::uint8_t> v(n);
+    std::memcpy(v.data(), data_.data() + pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool done() const noexcept {
+    return ok_ && pos_ == data_.size();
+  }
+
+  /// ok() && done(), as one Expected for decoder tails.
+  [[nodiscard]] Expected<bool, std::string> finish(const char* what) const {
+    if (!ok_) {
+      return make_unexpected(std::string(what) + ": truncated payload");
+    }
+    if (pos_ != data_.size()) {
+      return make_unexpected(std::string(what) + ": " +
+                             std::to_string(data_.size() - pos_) +
+                             " trailing bytes");
+    }
+    return true;
+  }
+
+ private:
+  bool check(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  void raw(void* p, std::size_t n) {
+    if (!check(n)) return;
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  const std::string& data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- shared sub-codecs ----------------------------------------------
+
+void put_circuit(WireWriter& w, const CircuitRef& c) {
+  w.u8(static_cast<std::uint8_t>(c.kind));
+  w.str(c.text);
+}
+
+Expected<CircuitRef, std::string> get_circuit(WireReader& r) {
+  CircuitRef c;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(CircuitRef::Kind::BenchText)) {
+    return make_unexpected("circuit ref: unknown kind " +
+                           std::to_string(kind));
+  }
+  c.kind = static_cast<CircuitRef::Kind>(kind);
+  c.text = r.str();
+  return c;
+}
+
+void put_options(WireWriter& w, const SimOptions& o) {
+  std::uint8_t flags = 0;
+  if (o.analysis) flags |= 1u;
+  if (o.run_xred) flags |= 2u;
+  if (o.run_symbolic) flags |= 4u;
+  w.u8(flags);
+  w.u8(static_cast<std::uint8_t>(o.strategy));
+  w.u8(static_cast<std::uint8_t>(o.layout));
+  w.u8(static_cast<std::uint8_t>(o.sim3_backend));
+  w.u64(o.node_limit);
+  w.u64(o.fallback_frames);
+  w.u64(o.hard_limit_factor);
+  w.u64(o.checkpoint_interval);
+  w.u64(o.threads);
+  w.u64(o.chunk_size);
+  w.u64(o.seed);
+  w.u64(o.bdd_initial_capacity);
+  w.u32(o.bdd_cache_size_log2);
+  w.u64(o.bdd_auto_gc_floor);
+}
+
+Expected<SimOptions, std::string> get_options(WireReader& r) {
+  SimOptions o;
+  const std::uint8_t flags = r.u8();
+  o.analysis = (flags & 1u) != 0;
+  o.run_xred = (flags & 2u) != 0;
+  o.run_symbolic = (flags & 4u) != 0;
+  const std::uint8_t strategy = r.u8();
+  if (strategy > static_cast<std::uint8_t>(Strategy::Mot)) {
+    return make_unexpected("options: unknown strategy " +
+                           std::to_string(strategy));
+  }
+  o.strategy = static_cast<Strategy>(strategy);
+  const std::uint8_t layout = r.u8();
+  if (layout > static_cast<std::uint8_t>(VarLayout::Blocked)) {
+    return make_unexpected("options: unknown layout " +
+                           std::to_string(layout));
+  }
+  o.layout = static_cast<VarLayout>(layout);
+  const std::uint8_t backend = r.u8();
+  if (backend > static_cast<std::uint8_t>(Sim3Backend::BitPar)) {
+    return make_unexpected("options: unknown sim3 backend " +
+                           std::to_string(backend));
+  }
+  o.sim3_backend = static_cast<Sim3Backend>(backend);
+  o.node_limit = static_cast<std::size_t>(r.u64());
+  o.fallback_frames = static_cast<std::size_t>(r.u64());
+  o.hard_limit_factor = static_cast<std::size_t>(r.u64());
+  o.checkpoint_interval = static_cast<std::size_t>(r.u64());
+  o.threads = static_cast<std::size_t>(r.u64());
+  o.chunk_size = static_cast<std::size_t>(r.u64());
+  o.seed = r.u64();
+  o.bdd_initial_capacity = static_cast<std::size_t>(r.u64());
+  o.bdd_cache_size_log2 = r.u32();
+  o.bdd_auto_gc_floor = static_cast<std::size_t>(r.u64());
+  return o;
+}
+
+}  // namespace
+
+const char* to_cstring(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::Hello: return "HELLO";
+    case FrameType::Ping: return "PING";
+    case FrameType::Pong: return "PONG";
+    case FrameType::LintReq: return "LINT";
+    case FrameType::LintResp: return "LINT_RESULT";
+    case FrameType::FaultSimReq: return "FAULT_SIM";
+    case FrameType::FaultSimResp: return "FAULT_SIM_RESULT";
+    case FrameType::TestEvalReq: return "TEST_EVAL";
+    case FrameType::TestEvalResp: return "TEST_EVAL_RESULT";
+    case FrameType::Error: return "ERROR";
+    case FrameType::Busy: return "BUSY";
+  }
+  return "UNKNOWN";
+}
+
+const char* to_cstring(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::BadFrame: return "bad-frame";
+    case ErrorCode::BadRequest: return "bad-request";
+    case ErrorCode::VersionMismatch: return "version-mismatch";
+    case ErrorCode::ShuttingDown: return "shutting-down";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "unknown";
+}
+
+std::uint32_t request_id(const Request& r) noexcept {
+  return std::visit([](const auto& m) { return m.id; }, r);
+}
+
+std::uint32_t response_id(const Response& r) noexcept {
+  return std::visit([](const auto& m) { return m.id; }, r);
+}
+
+std::string encode_hello(const Hello& h) {
+  WireWriter w;
+  w.u32(h.magic);
+  w.u32(h.protocol);
+  w.str(h.build);
+  return w.take();
+}
+
+Expected<Hello, std::string> decode_hello(const std::string& payload) {
+  WireReader r(payload);
+  Hello h;
+  h.magic = r.u32();
+  h.protocol = r.u32();
+  h.build = r.str();
+  if (const auto f = r.finish("HELLO"); !f.has_value()) {
+    return make_unexpected(f.error());
+  }
+  if (h.magic != kHelloMagic) {
+    return make_unexpected(
+        std::string("HELLO: bad magic (not a motsim serve peer)"));
+  }
+  return h;
+}
+
+FrameType frame_type_of(const Request& r) noexcept {
+  struct Visitor {
+    FrameType operator()(const PingRequest&) { return FrameType::Ping; }
+    FrameType operator()(const LintRequest&) { return FrameType::LintReq; }
+    FrameType operator()(const FaultSimRequest&) {
+      return FrameType::FaultSimReq;
+    }
+    FrameType operator()(const TestEvalRequest&) {
+      return FrameType::TestEvalReq;
+    }
+  };
+  return std::visit(Visitor{}, r);
+}
+
+FrameType frame_type_of(const Response& r) noexcept {
+  struct Visitor {
+    FrameType operator()(const PongResponse&) { return FrameType::Pong; }
+    FrameType operator()(const LintResponse&) { return FrameType::LintResp; }
+    FrameType operator()(const FaultSimResponse&) {
+      return FrameType::FaultSimResp;
+    }
+    FrameType operator()(const TestEvalResponse&) {
+      return FrameType::TestEvalResp;
+    }
+    FrameType operator()(const ErrorResponse&) { return FrameType::Error; }
+    FrameType operator()(const BusyResponse&) { return FrameType::Busy; }
+  };
+  return std::visit(Visitor{}, r);
+}
+
+std::string encode_request(const Request& req) {
+  WireWriter w;
+  struct Visitor {
+    WireWriter& w;
+    void operator()(const PingRequest& m) { w.u32(m.id); }
+    void operator()(const LintRequest& m) {
+      w.u32(m.id);
+      put_circuit(w, m.circuit);
+    }
+    void operator()(const FaultSimRequest& m) {
+      w.u32(m.id);
+      put_circuit(w, m.circuit);
+      w.u64(m.vectors);
+      w.u8(m.use_store ? 1 : 0);
+      put_options(w, m.options);
+    }
+    void operator()(const TestEvalRequest& m) {
+      w.u32(m.id);
+      put_circuit(w, m.circuit);
+      w.u64(m.vectors);
+      w.u64(m.seed);
+      w.u32(static_cast<std::uint32_t>(m.responses.size()));
+      for (const auto& resp : m.responses) w.bytes(resp);
+    }
+  };
+  std::visit(Visitor{w}, req);
+  return w.take();
+}
+
+std::string encode_response(const Response& resp) {
+  WireWriter w;
+  struct Visitor {
+    WireWriter& w;
+    void operator()(const PongResponse& m) { w.u32(m.id); }
+    void operator()(const LintResponse& m) {
+      w.u32(m.id);
+      w.u32(m.errors);
+      w.u32(m.warnings);
+      w.u32(m.notes);
+      w.str(m.json);
+    }
+    void operator()(const FaultSimResponse& m) {
+      w.u32(m.id);
+      w.u64(m.x_redundant);
+      w.u64(m.static_x_redundant);
+      w.u64(m.static_untestable);
+      w.u64(m.detected_3v);
+      w.u64(m.detected_symbolic);
+      w.u8(m.used_fallback ? 1 : 0);
+      w.u8(m.from_store ? 1 : 0);
+      w.bytes(m.status);
+      w.u32(static_cast<std::uint32_t>(m.detect_frame.size()));
+      for (const std::uint32_t f : m.detect_frame) w.u32(f);
+    }
+    void operator()(const TestEvalResponse& m) {
+      w.u32(m.id);
+      w.bytes(m.verdicts);
+    }
+    void operator()(const ErrorResponse& m) {
+      w.u32(m.id);
+      w.u16(static_cast<std::uint16_t>(m.code));
+      w.str(m.message);
+    }
+    void operator()(const BusyResponse& m) { w.u32(m.id); }
+  };
+  std::visit(Visitor{w}, resp);
+  return w.take();
+}
+
+Expected<Request, std::string> decode_request(FrameType type,
+                                              const std::string& payload) {
+  WireReader r(payload);
+  switch (type) {
+    case FrameType::Ping: {
+      PingRequest m;
+      m.id = r.u32();
+      if (const auto f = r.finish("PING"); !f.has_value()) {
+        return make_unexpected(f.error());
+      }
+      return Request(m);
+    }
+    case FrameType::LintReq: {
+      LintRequest m;
+      m.id = r.u32();
+      auto circuit = get_circuit(r);
+      if (!circuit.has_value()) return make_unexpected(circuit.error());
+      m.circuit = std::move(*circuit);
+      if (const auto f = r.finish("LINT"); !f.has_value()) {
+        return make_unexpected(f.error());
+      }
+      return Request(std::move(m));
+    }
+    case FrameType::FaultSimReq: {
+      FaultSimRequest m;
+      m.id = r.u32();
+      auto circuit = get_circuit(r);
+      if (!circuit.has_value()) return make_unexpected(circuit.error());
+      m.circuit = std::move(*circuit);
+      m.vectors = r.u64();
+      m.use_store = r.u8() != 0;
+      auto options = get_options(r);
+      if (!options.has_value()) return make_unexpected(options.error());
+      m.options = *options;
+      if (const auto f = r.finish("FAULT_SIM"); !f.has_value()) {
+        return make_unexpected(f.error());
+      }
+      return Request(std::move(m));
+    }
+    case FrameType::TestEvalReq: {
+      TestEvalRequest m;
+      m.id = r.u32();
+      auto circuit = get_circuit(r);
+      if (!circuit.has_value()) return make_unexpected(circuit.error());
+      m.circuit = std::move(*circuit);
+      m.vectors = r.u64();
+      m.seed = r.u64();
+      const std::uint32_t count = r.u32();
+      // Cap pre-allocation by what the payload could possibly hold —
+      // a lying count field must not turn into a giant reserve().
+      if (count > payload.size()) {
+        return make_unexpected("TEST_EVAL: response count " +
+                               std::to_string(count) +
+                               " exceeds payload size");
+      }
+      m.responses.reserve(count);
+      for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+        m.responses.push_back(r.bytes());
+      }
+      if (const auto f = r.finish("TEST_EVAL"); !f.has_value()) {
+        return make_unexpected(f.error());
+      }
+      return Request(std::move(m));
+    }
+    default:
+      return make_unexpected(std::string("not a request frame type: ") +
+                             to_cstring(type));
+  }
+}
+
+Expected<Response, std::string> decode_response(FrameType type,
+                                                const std::string& payload) {
+  WireReader r(payload);
+  switch (type) {
+    case FrameType::Pong: {
+      PongResponse m;
+      m.id = r.u32();
+      if (const auto f = r.finish("PONG"); !f.has_value()) {
+        return make_unexpected(f.error());
+      }
+      return Response(m);
+    }
+    case FrameType::LintResp: {
+      LintResponse m;
+      m.id = r.u32();
+      m.errors = r.u32();
+      m.warnings = r.u32();
+      m.notes = r.u32();
+      m.json = r.str();
+      if (const auto f = r.finish("LINT_RESULT"); !f.has_value()) {
+        return make_unexpected(f.error());
+      }
+      return Response(std::move(m));
+    }
+    case FrameType::FaultSimResp: {
+      FaultSimResponse m;
+      m.id = r.u32();
+      m.x_redundant = r.u64();
+      m.static_x_redundant = r.u64();
+      m.static_untestable = r.u64();
+      m.detected_3v = r.u64();
+      m.detected_symbolic = r.u64();
+      m.used_fallback = r.u8() != 0;
+      m.from_store = r.u8() != 0;
+      m.status = r.bytes();
+      const std::uint32_t frames = r.u32();
+      if (frames > payload.size()) {
+        return make_unexpected("FAULT_SIM_RESULT: frame count " +
+                               std::to_string(frames) +
+                               " exceeds payload size");
+      }
+      m.detect_frame.reserve(frames);
+      for (std::uint32_t i = 0; i < frames && r.ok(); ++i) {
+        m.detect_frame.push_back(r.u32());
+      }
+      if (const auto f = r.finish("FAULT_SIM_RESULT"); !f.has_value()) {
+        return make_unexpected(f.error());
+      }
+      return Response(std::move(m));
+    }
+    case FrameType::TestEvalResp: {
+      TestEvalResponse m;
+      m.id = r.u32();
+      m.verdicts = r.bytes();
+      if (const auto f = r.finish("TEST_EVAL_RESULT"); !f.has_value()) {
+        return make_unexpected(f.error());
+      }
+      return Response(std::move(m));
+    }
+    case FrameType::Error: {
+      ErrorResponse m;
+      m.id = r.u32();
+      m.code = static_cast<ErrorCode>(r.u16());
+      m.message = r.str();
+      if (const auto f = r.finish("ERROR"); !f.has_value()) {
+        return make_unexpected(f.error());
+      }
+      return Response(std::move(m));
+    }
+    case FrameType::Busy: {
+      BusyResponse m;
+      m.id = r.u32();
+      if (const auto f = r.finish("BUSY"); !f.has_value()) {
+        return make_unexpected(f.error());
+      }
+      return Response(m);
+    }
+    default:
+      return make_unexpected(std::string("not a response frame type: ") +
+                             to_cstring(type));
+  }
+}
+
+}  // namespace motsim::serve

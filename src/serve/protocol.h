@@ -1,0 +1,216 @@
+#ifndef MOTSIM_SERVE_PROTOCOL_H
+#define MOTSIM_SERVE_PROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/options.h"
+#include "util/expected.h"
+
+namespace motsim::serve {
+
+/// The motsim serve wire protocol (documented in docs/SERVE.md).
+///
+/// Every message is one length-prefixed frame:
+///
+///   [u32 length][u8 type][payload ...]     all integers little-endian
+///
+/// `length` counts the type byte plus the payload. A connection opens
+/// with a handshake — the server sends HELLO (magic, protocol
+/// version, build string), the client answers with its own HELLO, and
+/// a version mismatch is answered with an ERROR frame and a close.
+/// After the handshake the client sends request frames; the server
+/// answers each with exactly one response frame carrying the request's
+/// `id`. Responses may arrive out of request order (requests run on
+/// the shared campaign queue), which is what lets one connection
+/// pipeline — clients match on `id`.
+///
+/// Failure is data, not disconnection: malformed payloads, unknown
+/// types, invalid options and overload all come back as typed ERROR /
+/// BUSY frames (the Expected-style contract of the rest of the
+/// codebase). The server only hangs up on framing-level garbage it
+/// cannot recover from (unparseable length, oversized frame) — after
+/// sending a final ERROR frame describing why.
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// First payload word of a HELLO frame — "MOT1" — so a client talking
+/// to the wrong service fails fast instead of mis-parsing.
+inline constexpr std::uint32_t kHelloMagic = 0x3154'4f4du;
+/// Upper bound on `length`. Inline .bench netlists for the largest
+/// roster circuits are a few MB; 64 MiB leaves headroom while making
+/// a garbage length field (which would otherwise look like a huge
+/// allocation) unambiguous.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  Hello = 1,
+  Ping = 2,
+  Pong = 3,
+  LintReq = 4,
+  LintResp = 5,
+  FaultSimReq = 6,
+  FaultSimResp = 7,
+  TestEvalReq = 8,
+  TestEvalResp = 9,
+  Error = 10,
+  Busy = 11,
+};
+
+[[nodiscard]] const char* to_cstring(FrameType t) noexcept;
+
+enum class ErrorCode : std::uint16_t {
+  BadFrame = 1,         ///< undecodable payload / unknown frame type
+  BadRequest = 2,       ///< decoded, but semantically invalid
+  VersionMismatch = 3,  ///< handshake protocol version differs
+  ShuttingDown = 4,     ///< server is draining; no new work accepted
+  Internal = 5,         ///< handler failed (bug or resource exhaustion)
+};
+
+[[nodiscard]] const char* to_cstring(ErrorCode c) noexcept;
+
+// ---------------------------------------------------------------------
+// Message structs
+// ---------------------------------------------------------------------
+
+struct Hello {
+  std::uint32_t magic = kHelloMagic;
+  std::uint32_t protocol = kProtocolVersion;
+  std::string build;  ///< build_info_string() of the sender
+};
+
+/// A circuit, by roster name or as inline .bench text. The raw bytes
+/// of this struct are what the server's circuit cache fingerprints —
+/// two requests with byte-identical refs share one parsed+collapsed
+/// circuit (see serve/circuit_cache.h).
+struct CircuitRef {
+  enum class Kind : std::uint8_t { Roster = 0, BenchText = 1 };
+  Kind kind = Kind::Roster;
+  std::string text;  ///< roster name or full .bench source
+};
+
+struct PingRequest {
+  std::uint32_t id = 0;
+};
+
+struct LintRequest {
+  std::uint32_t id = 0;
+  CircuitRef circuit;
+};
+
+/// Engine configuration of a fault-sim request — the wire image of the
+/// SimOptions fields a remote caller may choose. `to_sim_options()`
+/// fills a SimOptions (telemetry stays server-side); the server
+/// validates it like the CLI does and answers BadRequest on rejection.
+struct FaultSimRequest {
+  std::uint32_t id = 0;
+  CircuitRef circuit;
+  /// Random-sequence length; the sequence is generated server-side
+  /// from `options.seed` exactly like `motsim_cli --vectors N`.
+  std::uint64_t vectors = 200;
+  /// Run as a checkpointed campaign in the server's --store-root
+  /// (keyed by workload fingerprint; a re-request of a completed
+  /// campaign is answered from the store). Ignored without a root.
+  bool use_store = false;
+  /// Engine options, validated server-side exactly like the CLI's
+  /// (telemetry pointer stays server-local and is never on the wire).
+  SimOptions options;
+};
+
+struct TestEvalRequest {
+  std::uint32_t id = 0;
+  CircuitRef circuit;
+  /// Test sequence spec (random, server-generated): length and seed.
+  std::uint64_t vectors = 16;
+  std::uint64_t seed = 1;
+  /// Tester response sequences to screen, frame-major: one byte per
+  /// (frame, output), 0/1, length == vectors * output_count. All are
+  /// evaluated against one precomputed symbolic fault-free response
+  /// (paper Section IV.B) — the request-batching amortization.
+  std::vector<std::vector<std::uint8_t>> responses;
+};
+
+struct PongResponse {
+  std::uint32_t id = 0;
+};
+
+struct LintResponse {
+  std::uint32_t id = 0;
+  std::uint32_t errors = 0;
+  std::uint32_t warnings = 0;
+  std::uint32_t notes = 0;
+  std::string json;  ///< DiagnosticReport::to_json()
+};
+
+struct FaultSimResponse {
+  std::uint32_t id = 0;
+  std::uint64_t x_redundant = 0;
+  std::uint64_t static_x_redundant = 0;
+  std::uint64_t static_untestable = 0;
+  std::uint64_t detected_3v = 0;
+  std::uint64_t detected_symbolic = 0;
+  bool used_fallback = false;
+  /// True when the result came from (or through) the run store.
+  bool from_store = false;
+  /// Final classification, collapsed-fault-list order — byte-for-byte
+  /// the pipeline's verdicts, which is what the bit-identity test in
+  /// tests/test_serve.cpp compares against a direct run_pipeline call.
+  std::vector<std::uint8_t> status;
+  std::vector<std::uint32_t> detect_frame;
+};
+
+struct TestEvalResponse {
+  std::uint32_t id = 0;
+  /// One byte per screened response: 0 = Pass, 1 = Faulty.
+  std::vector<std::uint8_t> verdicts;
+};
+
+struct ErrorResponse {
+  std::uint32_t id = 0;  ///< 0 when no request id could be recovered
+  ErrorCode code = ErrorCode::Internal;
+  std::string message;
+};
+
+/// Admission backpressure: the campaign queue is full. The client
+/// should back off and retry — nothing was executed or queued.
+struct BusyResponse {
+  std::uint32_t id = 0;
+};
+
+using Request =
+    std::variant<PingRequest, LintRequest, FaultSimRequest, TestEvalRequest>;
+using Response = std::variant<PongResponse, LintResponse, FaultSimResponse,
+                              TestEvalResponse, ErrorResponse, BusyResponse>;
+
+/// Request id of any request / response variant.
+[[nodiscard]] std::uint32_t request_id(const Request& r) noexcept;
+[[nodiscard]] std::uint32_t response_id(const Response& r) noexcept;
+
+// ---------------------------------------------------------------------
+// Payload codecs (payload bytes only — framing adds length + type)
+// ---------------------------------------------------------------------
+
+[[nodiscard]] std::string encode_hello(const Hello& h);
+[[nodiscard]] Expected<Hello, std::string> decode_hello(
+    const std::string& payload);
+
+/// Frame type a given request/response encodes as.
+[[nodiscard]] FrameType frame_type_of(const Request& r) noexcept;
+[[nodiscard]] FrameType frame_type_of(const Response& r) noexcept;
+
+[[nodiscard]] std::string encode_request(const Request& r);
+[[nodiscard]] std::string encode_response(const Response& r);
+
+/// Strict decoders: every byte must be consumed; truncated, oversized
+/// or trailing-garbage payloads are errors (never crashes — all reads
+/// are bounds-checked).
+[[nodiscard]] Expected<Request, std::string> decode_request(
+    FrameType type, const std::string& payload);
+[[nodiscard]] Expected<Response, std::string> decode_response(
+    FrameType type, const std::string& payload);
+
+}  // namespace motsim::serve
+
+#endif  // MOTSIM_SERVE_PROTOCOL_H

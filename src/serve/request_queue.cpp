@@ -1,0 +1,55 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/telemetry.h"
+
+namespace motsim::serve {
+
+RequestQueue::RequestQueue(std::size_t threads, std::size_t capacity,
+                           obs::Telemetry* telemetry)
+    : capacity_(std::max(capacity, std::max<std::size_t>(threads, 1))),
+      telemetry_(telemetry),
+      pool_(threads) {}
+
+bool RequestQueue::try_submit(std::function<void()> job) {
+  if (draining_.load(std::memory_order_acquire)) return false;
+  // Optimistic reservation: grab a slot, give it back on overflow.
+  // Two racing submits can both see the last slot, but only one keeps
+  // it — the loser's decrement restores the invariant before it
+  // reports BUSY.
+  const std::size_t depth =
+      in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (depth > capacity_) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics.counter("serve.queue.rejected").add();
+    }
+    return false;
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.counter("serve.queue.admitted").add();
+    telemetry_->metrics.gauge("serve.queue.depth")
+        .set(static_cast<double>(depth));
+    telemetry_->metrics.gauge("serve.queue.depth_peak")
+        .update_max(static_cast<double>(depth));
+  }
+  pool_.submit([this, job = std::move(job)]() {
+    job();
+    const std::size_t left =
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics.gauge("serve.queue.depth")
+          .set(static_cast<double>(left));
+    }
+  });
+  return true;
+}
+
+void RequestQueue::drain() {
+  draining_.store(true, std::memory_order_release);
+  pool_.wait_idle();
+}
+
+}  // namespace motsim::serve

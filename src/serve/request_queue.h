@@ -1,0 +1,64 @@
+#ifndef MOTSIM_SERVE_REQUEST_QUEUE_H
+#define MOTSIM_SERVE_REQUEST_QUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+#include "util/thread_pool.h"
+
+namespace motsim::obs {
+struct Telemetry;
+}
+
+namespace motsim::serve {
+
+/// The server's bounded async campaign queue: a util/thread_pool with
+/// admission control in front of it.
+///
+/// ThreadPool's own deque is unbounded by design (the parallel driver
+/// submits a known, finite shard set). A network front end cannot rely
+/// on well-behaved callers, so admission happens here: try_submit
+/// atomically reserves one of `capacity` slots — queued or executing —
+/// and refuses when none is free. A refusal is the server's BUSY frame
+/// (429-style backpressure): the caller learns immediately, nothing
+/// blocks, nothing is silently dropped.
+///
+/// drain() stops admission and waits for everything in flight — the
+/// graceful-shutdown half of the contract (SIGTERM drains, then the
+/// process exits).
+class RequestQueue {
+ public:
+  /// `threads` workers, at most `capacity` requests in flight
+  /// (capacity is clamped to >= threads so the workers can be kept
+  /// busy). `telemetry` (nullable) receives serve.queue.* metrics.
+  RequestQueue(std::size_t threads, std::size_t capacity,
+               obs::Telemetry* telemetry = nullptr);
+
+  /// Runs `job` on a worker when a slot is free; false = queue full or
+  /// draining (the job was NOT queued and will never run).
+  [[nodiscard]] bool try_submit(std::function<void()> job);
+
+  /// Stops admission (every later try_submit fails) and blocks until
+  /// all admitted jobs finished. Idempotent.
+  void drain();
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t capacity_;
+  obs::Telemetry* const telemetry_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<bool> draining_{false};
+  ThreadPool pool_;  ///< last member: destructs (joins) first
+};
+
+}  // namespace motsim::serve
+
+#endif  // MOTSIM_SERVE_REQUEST_QUEUE_H

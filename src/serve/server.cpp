@@ -1,0 +1,305 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "obs/telemetry.h"
+#include "serve/framing.h"
+#include "util/signals.h"
+#include "util/version.h"
+
+namespace motsim::serve {
+
+namespace {
+
+constexpr int kAcceptPollMs = 200;
+
+/// Best-effort request id for error frames when the payload failed to
+/// decode: every request payload leads with its u32 id, so if at least
+/// four bytes arrived we can still echo the right id back.
+std::uint32_t salvage_id(const std::string& payload) {
+  if (payload.size() < 4) return 0;
+  return static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(payload[0])) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(payload[1]))
+          << 8) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(payload[2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(payload[3]))
+          << 24);
+}
+
+std::string http_response(int code, const char* status,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << code << ' ' << status << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config, obs::Telemetry* telemetry)
+    : config_(std::move(config)),
+      telemetry_(telemetry),
+      service_(config_.cache_capacity, config_.store_root, telemetry),
+      queue_(config_.threads, config_.queue_capacity, telemetry) {}
+
+Server::~Server() { shutdown(); }
+
+Expected<bool, std::string> Server::start() {
+  auto listener = listen_tcp(config_.host, config_.port);
+  if (!listener.has_value()) {
+    return make_unexpected("serve: " + listener.error());
+  }
+  listen_fd_ = std::move(*listener);
+  const auto bound = local_port(listen_fd_.get());
+  if (!bound.has_value()) return make_unexpected(bound.error());
+  port_ = *bound;
+
+  auto http = listen_tcp(config_.host, config_.http_port);
+  if (!http.has_value()) {
+    return make_unexpected("serve http: " + http.error());
+  }
+  http_fd_ = std::move(*http);
+  const auto http_bound = local_port(http_fd_.get());
+  if (!http_bound.has_value()) return make_unexpected(http_bound.error());
+  http_port_ = *http_bound;
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  http_thread_ = std::thread([this] { http_loop(); });
+  return true;
+}
+
+void Server::run_until_stop() {
+  // Signal delivery writes the self-pipe (util/signals installs the
+  // handlers without SA_RESTART), so the poll inside
+  // accept_with_timeout-style waits wakes promptly; here a coarse
+  // sleep-poll is enough because nothing latency-sensitive waits on it.
+  while (!stopping_.load(std::memory_order_acquire) && !stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  shutdown();
+}
+
+void Server::request_shutdown() {
+  stopping_.store(true, std::memory_order_release);
+}
+
+void Server::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  // Order matters: (1) stop accepting, (2) drain — every admitted
+  // request finishes and its response is written, (3) only then tear
+  // down sockets so readers blocked in read_frame wake up and exit.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  queue_.drain();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& weak : conns_) {
+      if (const auto conn = weak.lock()) {
+        ::shutdown(conn->fd.get(), SHUT_RDWR);
+      }
+    }
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    readers.swap(conn_threads_);
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  if (http_thread_.joinable()) http_thread_.join();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire) && !stop_requested()) {
+    auto accepted =
+        accept_with_timeout(listen_fd_.get(), kAcceptPollMs, stop_wake_fd());
+    if (!accepted.has_value()) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;  // transient accept error; keep serving
+    }
+    if (!accepted->valid()) continue;  // timeout or stop wake
+    set_tcp_nodelay(accepted->get());
+    auto conn = std::make_shared<Connection>();
+    conn->fd = std::move(*accepted);
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics.counter("serve.connections.accepted").add();
+    }
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn = std::move(conn)]() mutable {
+          connection_loop(std::move(conn));
+        });
+    // Opportunistically compact expired entries so a long-lived server
+    // with client churn does not grow the registry without bound.
+    if (conns_.size() > 64) {
+      conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                  [](const std::weak_ptr<Connection>& w) {
+                                    return w.expired();
+                                  }),
+                   conns_.end());
+    }
+  }
+}
+
+void Server::send_response(Connection& conn, const Response& response) {
+  if (conn.broken.load(std::memory_order_acquire)) return;
+  const std::string payload = encode_response(response);
+  const FrameType type = frame_type_of(response);
+  std::lock_guard<std::mutex> lock(conn.write_mutex);
+  const auto wrote = write_frame(conn.fd.get(), type, payload);
+  if (!wrote.has_value()) {
+    conn.broken.store(true, std::memory_order_release);
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics.counter("serve.write_errors").add();
+    }
+  }
+}
+
+void Server::connection_loop(std::shared_ptr<Connection> conn) {
+  // Server speaks first: HELLO with protocol version + build string.
+  const Hello ours{kHelloMagic, kProtocolVersion, build_info_string()};
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    const auto wrote =
+        write_frame(conn->fd.get(), FrameType::Hello, encode_hello(ours));
+    if (!wrote.has_value()) return;
+  }
+
+  // The client's first frame must be a compatible HELLO.
+  {
+    const ReadResult first = read_frame(conn->fd.get());
+    if (first.status != ReadStatus::Ok) return;
+    bool ok = first.frame.type == FrameType::Hello;
+    Hello theirs;
+    if (ok) {
+      const auto decoded = decode_hello(first.frame.payload);
+      ok = decoded.has_value();
+      if (ok) theirs = *decoded;
+    }
+    if (!ok) {
+      send_response(
+          *conn, ErrorResponse{0, ErrorCode::BadFrame,
+                               "handshake: expected a HELLO frame"});
+      return;
+    }
+    if (theirs.protocol != kProtocolVersion) {
+      send_response(
+          *conn,
+          ErrorResponse{0, ErrorCode::VersionMismatch,
+                        "server speaks protocol " +
+                            std::to_string(kProtocolVersion) +
+                            ", client sent " +
+                            std::to_string(theirs.protocol)});
+      return;
+    }
+  }
+
+  while (!conn->broken.load(std::memory_order_acquire)) {
+    const ReadResult r = read_frame(conn->fd.get());
+    if (r.status == ReadStatus::Eof) break;
+    if (r.status == ReadStatus::Error) {
+      // Framing-level damage (bad length, short read): the stream can
+      // no longer be resynchronized, so answer once and hang up.
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics.counter("serve.protocol_errors").add();
+      }
+      if (!stopping_.load(std::memory_order_acquire)) {
+        send_response(*conn,
+                      ErrorResponse{0, ErrorCode::BadFrame, r.error});
+      }
+      break;
+    }
+    auto decoded = decode_request(r.frame.type, r.frame.payload);
+    if (!decoded.has_value()) {
+      // Frame boundaries are intact, only this payload is malformed —
+      // report it and keep the connection.
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics.counter("serve.protocol_errors").add();
+      }
+      send_response(*conn,
+                    ErrorResponse{salvage_id(r.frame.payload),
+                                  ErrorCode::BadFrame, decoded.error()});
+      continue;
+    }
+    const std::uint32_t id = request_id(*decoded);
+    const auto request = std::make_shared<Request>(std::move(*decoded));
+    const bool admitted = queue_.try_submit([this, conn, request] {
+      send_response(*conn, service_.handle(*request));
+    });
+    if (!admitted) {
+      if (queue_.draining()) {
+        send_response(*conn, ErrorResponse{id, ErrorCode::ShuttingDown,
+                                           "server is draining"});
+      } else {
+        send_response(*conn, BusyResponse{id});
+      }
+    }
+  }
+}
+
+void Server::http_loop() {
+  while (!stopping_.load(std::memory_order_acquire) && !stop_requested()) {
+    auto accepted =
+        accept_with_timeout(http_fd_.get(), kAcceptPollMs, stop_wake_fd());
+    if (!accepted.has_value() || !accepted->valid()) continue;
+
+    // Requests are tiny ("GET /metrics HTTP/1.1" + headers); read until
+    // the header terminator, a small cap, or EOF, then answer and close
+    // (HTTP/1.0 semantics — scrape clients reconnect per scrape).
+    std::string req;
+    char buf[1024];
+    while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos) {
+      const ssize_t n = ::read(accepted->get(), buf, sizeof(buf));
+      if (n <= 0) break;
+      req.append(buf, static_cast<std::size_t>(n));
+    }
+    std::string path;
+    {
+      std::istringstream line(req.substr(0, req.find("\r\n")));
+      std::string method;
+      line >> method >> path;
+      if (method != "GET") path.clear();
+    }
+
+    std::string out;
+    if (path == "/healthz") {
+      out = http_response(200, "OK", "text/plain; charset=utf-8", "ok\n");
+    } else if (path == "/metrics") {
+      std::ostringstream body;
+      // Classic build-info idiom: constant 1 gauge carrying the version
+      // as labels. Emitted here (not via MetricsRegistry) because the
+      // registry renders unlabeled series only.
+      body << "# TYPE motsim_build_info gauge\n"
+           << "motsim_build_info{version=\"" << version_string()
+           << "\",build=\"" << build_info_string() << "\"} 1\n";
+      if (telemetry_ != nullptr) {
+        body << telemetry_->metrics.snapshot().to_prometheus();
+      }
+      out = http_response(200, "OK",
+                          "text/plain; version=0.0.4; charset=utf-8",
+                          body.str());
+    } else {
+      out = http_response(404, "Not Found", "text/plain; charset=utf-8",
+                          "not found\n");
+    }
+    (void)write_full(accepted->get(), out.data(), out.size());
+  }
+}
+
+}  // namespace motsim::serve

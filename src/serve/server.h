@@ -1,0 +1,115 @@
+#ifndef MOTSIM_SERVE_SERVER_H
+#define MOTSIM_SERVE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/request_queue.h"
+#include "serve/service.h"
+#include "util/expected.h"
+#include "util/net.h"
+
+namespace motsim::obs {
+struct Telemetry;
+}
+
+namespace motsim::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// Protocol port; 0 = ephemeral (read the bound port with port()).
+  std::uint16_t port = 0;
+  /// HTTP observability port (/metrics, /healthz); 0 = ephemeral.
+  std::uint16_t http_port = 0;
+  /// Queue worker threads; 0 = one per hardware thread.
+  std::size_t threads = 0;
+  /// Max requests in flight (queued + executing) before BUSY.
+  std::size_t queue_capacity = 64;
+  /// Max parsed circuits resident in the LRU cache.
+  std::size_t cache_capacity = 32;
+  /// Root directory for use_store campaign requests; empty = disabled.
+  std::string store_root;
+};
+
+/// The motsim_served daemon core: accept loop + per-connection reader
+/// threads + the bounded campaign queue + the HTTP observability
+/// endpoint, owned as one object so tests can boot a real server on an
+/// ephemeral loopback port inside the process.
+///
+/// Threading model (docs/SERVE.md): one reader thread per connection
+/// parses frames and admits work; Service::handle runs on queue
+/// workers; responses are written from the worker under the
+/// connection's write mutex (frames leave in one write_full each, so
+/// out-of-order completions never interleave). shutdown() — triggered
+/// by SIGINT/SIGTERM via util/signals or programmatically — stops
+/// admission, drains every admitted request, then closes connections.
+class Server {
+ public:
+  Server(ServerConfig config, obs::Telemetry* telemetry);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds both listeners and spawns the accept + HTTP threads.
+  [[nodiscard]] Expected<bool, std::string> start();
+
+  /// Blocks until a stop is requested (signal or request_shutdown),
+  /// then performs the graceful drain. Returns after shutdown.
+  void run_until_stop();
+
+  /// Programmatic stop (tests): unblocks run_until_stop.
+  void request_shutdown();
+
+  /// Stops accepting, drains the queue, closes connections, joins
+  /// threads. Idempotent; called by the destructor as a backstop.
+  void shutdown();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint16_t http_port() const noexcept {
+    return http_port_;
+  }
+  [[nodiscard]] Service& service() noexcept { return service_; }
+  [[nodiscard]] RequestQueue& queue() noexcept { return queue_; }
+
+ private:
+  /// Per-connection shared state: jobs capture it, so the socket stays
+  /// open until the last queued response for it was written.
+  struct Connection {
+    OwnedFd fd;
+    std::mutex write_mutex;
+    std::atomic<bool> broken{false};  ///< write failed; stop responding
+  };
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Connection> conn);
+  void http_loop();
+  void send_response(Connection& conn, const Response& response);
+
+  ServerConfig config_;
+  obs::Telemetry* const telemetry_;
+  Service service_;
+  RequestQueue queue_;
+
+  OwnedFd listen_fd_;
+  OwnedFd http_fd_;
+  std::uint16_t port_ = 0;
+  std::uint16_t http_port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shut_down_{false};
+  std::thread accept_thread_;
+  std::thread http_thread_;
+  std::mutex conns_mutex_;
+  std::vector<std::thread> conn_threads_;          ///< guarded by conns_mutex_
+  std::vector<std::weak_ptr<Connection>> conns_;   ///< guarded by conns_mutex_
+};
+
+}  // namespace motsim::serve
+
+#endif  // MOTSIM_SERVE_SERVER_H

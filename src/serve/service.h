@@ -1,0 +1,48 @@
+#ifndef MOTSIM_SERVE_SERVICE_H
+#define MOTSIM_SERVE_SERVICE_H
+
+#include <string>
+
+#include "serve/circuit_cache.h"
+#include "serve/protocol.h"
+
+namespace motsim::obs {
+struct Telemetry;
+}
+
+namespace motsim::serve {
+
+/// Request execution, independent of any socket: one Request in, one
+/// Response out, never throws (handler failures become ERROR
+/// responses). The server runs handle() on queue workers; the
+/// bit-identity test in tests/test_serve.cpp calls it directly and
+/// compares against run_pipeline.
+class Service {
+ public:
+  /// `store_root`: directory for FAULT_SIM use_store campaigns (one
+  /// run-store per workload fingerprint under it); empty = the
+  /// use_store flag is ignored and requests run in-memory.
+  /// `telemetry` (nullable) receives the serve.* metrics catalogued in
+  /// docs/SERVE.md.
+  Service(std::size_t cache_capacity, std::string store_root,
+          obs::Telemetry* telemetry = nullptr);
+
+  /// Executes one request. The response always echoes the request id.
+  [[nodiscard]] Response handle(const Request& request) noexcept;
+
+  [[nodiscard]] CircuitCache& cache() noexcept { return cache_; }
+
+ private:
+  [[nodiscard]] Response handle_ping(const PingRequest& req);
+  [[nodiscard]] Response handle_lint(const LintRequest& req);
+  [[nodiscard]] Response handle_fault_sim(const FaultSimRequest& req);
+  [[nodiscard]] Response handle_test_eval(const TestEvalRequest& req);
+
+  CircuitCache cache_;
+  const std::string store_root_;
+  obs::Telemetry* const telemetry_;
+};
+
+}  // namespace motsim::serve
+
+#endif  // MOTSIM_SERVE_SERVICE_H

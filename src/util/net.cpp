@@ -1,0 +1,158 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace motsim {
+
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+Expected<sockaddr_in, std::string> make_addr(const std::string& host,
+                                             std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return make_unexpected("invalid IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void OwnedFd::reset() noexcept {
+  if (fd_ >= 0) {
+    // Retrying close on EINTR is wrong on Linux (the fd is released
+    // either way); one call is the portable best effort.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Expected<std::size_t, std::string> read_full(int fd, void* buf,
+                                             std::size_t size) {
+  std::size_t done = 0;
+  char* out = static_cast<char*>(buf);
+  while (done < size) {
+    const ssize_t n = ::read(fd, out + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (done == 0) return std::size_t{0};  // clean EOF at a boundary
+      return make_unexpected("unexpected EOF mid-read (got " +
+                             std::to_string(done) + " of " +
+                             std::to_string(size) + " bytes)");
+    }
+    if (errno == EINTR) continue;
+    return make_unexpected(errno_message("read"));
+  }
+  return size;
+}
+
+Expected<bool, std::string> write_full(int fd, const void* buf,
+                                       std::size_t size) {
+  std::size_t done = 0;
+  const char* in = static_cast<const char*>(buf);
+  while (done < size) {
+    const ssize_t n = ::write(fd, in + done, size - done);
+    if (n >= 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return make_unexpected(errno_message("write"));
+  }
+  return true;
+}
+
+Expected<OwnedFd, std::string> listen_tcp(const std::string& host,
+                                          std::uint16_t port, int backlog) {
+  const auto addr = make_addr(host, port);
+  if (!addr.has_value()) return make_unexpected(addr.error());
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return make_unexpected(errno_message("socket"));
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&*addr),
+             sizeof(*addr)) != 0) {
+    return make_unexpected(errno_message("bind"));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return make_unexpected(errno_message("listen"));
+  }
+  return fd;
+}
+
+Expected<OwnedFd, std::string> connect_tcp(const std::string& host,
+                                           std::uint16_t port) {
+  const auto addr = make_addr(host, port);
+  if (!addr.has_value()) return make_unexpected(addr.error());
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return make_unexpected(errno_message("socket"));
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&*addr),
+                  sizeof(*addr)) == 0) {
+      set_tcp_nodelay(fd.get());
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return make_unexpected(errno_message("connect"));
+  }
+}
+
+Expected<std::uint16_t, std::string> local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return make_unexpected(errno_message("getsockname"));
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+Expected<OwnedFd, std::string> accept_with_timeout(int listen_fd,
+                                                   int timeout_ms,
+                                                   int wake_fd) {
+  pollfd fds[2];
+  fds[0] = {listen_fd, POLLIN, 0};
+  nfds_t nfds = 1;
+  if (wake_fd >= 0) {
+    fds[1] = {wake_fd, POLLIN, 0};
+    nfds = 2;
+  }
+  for (;;) {
+    const int r = ::poll(fds, nfds, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return make_unexpected(errno_message("poll"));
+    }
+    if (r == 0 || (nfds == 2 && (fds[1].revents & POLLIN) != 0)) {
+      return OwnedFd();  // timeout or wake-up: no connection
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      set_tcp_nodelay(fd);
+      return OwnedFd(fd);
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return make_unexpected(errno_message("accept"));
+  }
+}
+
+void set_tcp_nodelay(int fd) noexcept {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace motsim

@@ -1,0 +1,91 @@
+#ifndef MOTSIM_UTIL_NET_H
+#define MOTSIM_UTIL_NET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/expected.h"
+
+namespace motsim {
+
+/// EINTR-safe POSIX socket plumbing shared by the serve subsystem
+/// (src/serve/) and the load generator. Everything here is loopback
+/// TCP: the daemon is a front end for one host, not an internet
+/// service — no TLS, no name resolution beyond dotted quads.
+///
+/// All calls retry on EINTR (the serve signal handlers interrupt
+/// syscalls by design — see util/signals.h) and report failures as
+/// Expected errors carrying errno text; none of them throw.
+
+/// RAII file-descriptor owner: closes on destruction, move-only.
+/// release() detaches (e.g. to hand a connection to its own thread).
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) noexcept : fd_(fd) {}
+  ~OwnedFd() { reset(); }
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Reads exactly `size` bytes. Returns `size` on success, 0 when the
+/// peer closed the connection *before the first byte* (clean EOF), and
+/// an error for mid-read EOF or any socket error.
+[[nodiscard]] Expected<std::size_t, std::string> read_full(int fd, void* buf,
+                                                           std::size_t size);
+
+/// Writes exactly `size` bytes (short writes are continued).
+[[nodiscard]] Expected<bool, std::string> write_full(int fd, const void* buf,
+                                                     std::size_t size);
+
+/// Creates a listening IPv4 TCP socket bound to `host`:`port`
+/// (SO_REUSEADDR; port 0 = ephemeral — read the chosen port back with
+/// local_port).
+[[nodiscard]] Expected<OwnedFd, std::string> listen_tcp(
+    const std::string& host, std::uint16_t port, int backlog = 64);
+
+/// Blocking connect to `host`:`port`.
+[[nodiscard]] Expected<OwnedFd, std::string> connect_tcp(
+    const std::string& host, std::uint16_t port);
+
+/// Port a bound socket actually listens on (resolves port 0).
+[[nodiscard]] Expected<std::uint16_t, std::string> local_port(int fd);
+
+/// accept() with a poll timeout so callers can interleave a stop
+/// check. Returns an invalid OwnedFd on timeout, an error otherwise.
+/// `wake_fd` (>= 0) is polled for readability alongside the listener —
+/// the serve loop passes its signal self-pipe so a SIGTERM interrupts
+/// the wait immediately.
+[[nodiscard]] Expected<OwnedFd, std::string> accept_with_timeout(
+    int listen_fd, int timeout_ms, int wake_fd = -1);
+
+/// Disables Nagle batching — both sides of the serve protocol are
+/// request/response with small frames, where coalescing only adds
+/// latency.
+void set_tcp_nodelay(int fd) noexcept;
+
+}  // namespace motsim
+
+#endif  // MOTSIM_UTIL_NET_H

@@ -1,0 +1,73 @@
+#include "util/signals.h"
+
+#include <atomic>
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace motsim {
+
+namespace {
+
+std::atomic<int> g_stop_signal{0};
+// Self-pipe; write end is what the (async-signal-context) handler
+// touches — write() is async-signal-safe, condition variables are not.
+int g_wake_read = -1;
+int g_wake_write = -1;
+
+void on_stop_signal(int sig) {
+  g_stop_signal.store(sig, std::memory_order_relaxed);
+  if (g_wake_write >= 0) {
+    const char byte = 1;
+    // A full pipe is fine — the reader only needs readability once.
+    [[maybe_unused]] const ssize_t r = ::write(g_wake_write, &byte, 1);
+  }
+}
+
+}  // namespace
+
+void ignore_sigpipe() noexcept { std::signal(SIGPIPE, SIG_IGN); }
+
+void install_stop_handlers() noexcept {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  int fds[2];
+  if (::pipe(fds) == 0) {
+    g_wake_read = fds[0];
+    g_wake_write = fds[1];
+    // Both ends non-blocking: the handler must never block on a full
+    // pipe, and the test-only drain must never block on an empty one.
+    (void)::fcntl(g_wake_read, F_SETFL, O_NONBLOCK);
+    (void)::fcntl(g_wake_write, F_SETFL, O_NONBLOCK);
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking syscalls must wake up
+  (void)::sigaction(SIGINT, &sa, nullptr);
+  (void)::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool stop_requested() noexcept {
+  return g_stop_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int stop_signal() noexcept {
+  return g_stop_signal.load(std::memory_order_relaxed);
+}
+
+int stop_wake_fd() noexcept { return g_wake_read; }
+
+void request_stop(int sig) noexcept { on_stop_signal(sig == 0 ? SIGTERM : sig); }
+
+void reset_stop_for_tests() noexcept {
+  g_stop_signal.store(0, std::memory_order_relaxed);
+  if (g_wake_read >= 0) {
+    char drain[64];
+    while (::read(g_wake_read, drain, sizeof(drain)) > 0) {
+    }
+  }
+}
+
+}  // namespace motsim

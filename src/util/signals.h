@@ -1,0 +1,48 @@
+#ifndef MOTSIM_UTIL_SIGNALS_H
+#define MOTSIM_UTIL_SIGNALS_H
+
+namespace motsim {
+
+/// Process-wide signal plumbing shared by motsim_served and the
+/// campaign mode of motsim_cli.
+///
+/// The model is deliberately minimal: one global "stop requested"
+/// flag, set by SIGINT/SIGTERM, paired with a self-pipe so blocking
+/// poll() loops wake up without races. Handlers only flip the flag and
+/// write one byte — everything else (draining queues, flushing
+/// checkpoints) happens on normal threads that poll stop_requested().
+
+/// Ignores SIGPIPE for the whole process. A peer that disappears
+/// mid-write must surface as an EPIPE write error on that one
+/// connection, never kill the daemon (or a CLI piping into a closed
+/// pager).
+void ignore_sigpipe() noexcept;
+
+/// Installs SIGINT + SIGTERM handlers that set the stop flag and write
+/// to the wake pipe. Idempotent; the second and later calls are
+/// no-ops. Handlers are installed *without* SA_RESTART so a signal
+/// also interrupts blocking syscalls (the EINTR loops in util/net.h
+/// then observe the flag via their wake fd).
+void install_stop_handlers() noexcept;
+
+/// True once SIGINT or SIGTERM was received (or request_stop ran).
+[[nodiscard]] bool stop_requested() noexcept;
+
+/// The signal that triggered the stop (SIGINT/SIGTERM), 0 if none.
+[[nodiscard]] int stop_signal() noexcept;
+
+/// Read end of the self-pipe: becomes readable when a stop arrives.
+/// Pass as `wake_fd` to accept_with_timeout / poll loops. -1 until
+/// install_stop_handlers() ran.
+[[nodiscard]] int stop_wake_fd() noexcept;
+
+/// Programmatic stop with identical semantics to receiving `sig` —
+/// used by tests and by the server's own shutdown paths.
+void request_stop(int sig) noexcept;
+
+/// Clears the stop flag (tests only; real processes stop once).
+void reset_stop_for_tests() noexcept;
+
+}  // namespace motsim
+
+#endif  // MOTSIM_UTIL_SIGNALS_H

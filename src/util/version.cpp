@@ -1,0 +1,25 @@
+#include "util/version.h"
+
+// All three identifiers are injected by src/CMakeLists.txt; the
+// fallbacks keep non-CMake builds (e.g. ad-hoc compiler invocations in
+// editors) compiling.
+#ifndef MOTSIM_VERSION
+#define MOTSIM_VERSION "0.0.0-dev"
+#endif
+#ifndef MOTSIM_COMPILER
+#define MOTSIM_COMPILER "unknown-compiler"
+#endif
+#ifndef MOTSIM_BUILD_TYPE
+#define MOTSIM_BUILD_TYPE "unknown"
+#endif
+
+namespace motsim {
+
+const char* version_string() noexcept { return MOTSIM_VERSION; }
+
+const char* build_info_string() noexcept {
+  return "motsim " MOTSIM_VERSION " (" MOTSIM_COMPILER ", "
+         MOTSIM_BUILD_TYPE ")";
+}
+
+}  // namespace motsim

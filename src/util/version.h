@@ -1,0 +1,18 @@
+#ifndef MOTSIM_UTIL_VERSION_H
+#define MOTSIM_UTIL_VERSION_H
+
+namespace motsim {
+
+/// Semantic version of this build, e.g. "0.7.0" — the CMake project
+/// version, injected at compile time (see src/CMakeLists.txt).
+[[nodiscard]] const char* version_string() noexcept;
+
+/// One-line build identification: version, compiler and build type,
+/// e.g. "motsim 0.7.0 (GNU 12.2.0, RelWithDebInfo)". Surfaced by
+/// `motsim_cli --version`, `motsim_lint --version`, the serve
+/// handshake frame and the `motsim_build_info` Prometheus gauge.
+[[nodiscard]] const char* build_info_string() noexcept;
+
+}  // namespace motsim
+
+#endif  // MOTSIM_UTIL_VERSION_H

@@ -249,6 +249,68 @@ TEST(Histogram, ConcurrentObservesKeepCountConsistent) {
 }
 
 // ---------------------------------------------------------------------------
+// Histogram quantiles (Prometheus histogram_quantile-compatible
+// interpolation; shared by motsim_load and the serve telemetry digest)
+// ---------------------------------------------------------------------------
+
+TEST(HistogramQuantile, InterpolatesLinearlyInsideTheBucket) {
+  // 100 observations uniformly inside (1, 2]: rank q*100 falls at
+  // fraction q of that bucket, so p50 = 1.5 under linear
+  // interpolation; p90 = 1.9.
+  obs::Histogram h({1.0, 2.0, 5.0});
+  for (int i = 0; i < 100; ++i) h.observe(1.5);
+  EXPECT_NEAR(h.quantile(0.50), 1.5, 1e-9);
+  EXPECT_NEAR(h.quantile(0.90), 1.9, 1e-9);
+}
+
+TEST(HistogramQuantile, SpansBucketsByCumulativeRank) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 50; ++i) h.observe(0.5);  // bucket (0,1]
+  for (int i = 0; i < 50; ++i) h.observe(3.0);  // bucket (2,4]
+  // p25 is halfway into the first bucket, p75 halfway into the third.
+  EXPECT_NEAR(h.quantile(0.25), 0.5, 1e-9);
+  EXPECT_NEAR(h.quantile(0.75), 3.0, 1e-9);
+  // The boundary rank resolves to the first bucket's upper edge.
+  EXPECT_NEAR(h.quantile(0.50), 1.0, 1e-9);
+}
+
+TEST(HistogramQuantile, OverflowClampsToHighestFiniteBound) {
+  obs::Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.observe(100.0);  // all overflow
+  EXPECT_NEAR(h.quantile(0.5), 2.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.99), 2.0, 1e-9);
+}
+
+TEST(HistogramQuantile, EmptyAndClampedInputs) {
+  obs::Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  h.observe(1.5);
+  EXPECT_NEAR(h.quantile(-1.0), h.quantile(0.0), 1e-12);  // clamped
+  EXPECT_NEAR(h.quantile(2.0), h.quantile(1.0), 1e-12);
+}
+
+TEST(HistogramQuantile, SnapshotQuantileMatchesLiveHistogram) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("q.test", {0.1, 1.0, 10.0});
+  for (int i = 0; i < 37; ++i) h.observe(0.05);
+  for (int i = 0; i < 63; ++i) h.observe(5.0);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_NEAR(snap.histograms[0].quantile(0.5), h.quantile(0.5), 1e-12);
+  EXPECT_NEAR(snap.histograms[0].quantile(0.99), h.quantile(0.99), 1e-12);
+}
+
+TEST(HistogramQuantile, JsonCarriesPercentileFields) {
+  obs::MetricsRegistry reg;
+  reg.histogram("lat.seconds", {0.1, 1.0}).observe(0.05);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_TRUE(JsonChecker(json).well_formed()) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // MetricsRegistry
 // ---------------------------------------------------------------------------
 

@@ -68,8 +68,10 @@
 #include "tpg/sequences.h"
 #include "util/cli_args.h"
 #include "util/rng.h"
+#include "util/signals.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
+#include "util/version.h"
 
 using namespace motsim;
 
@@ -149,7 +151,8 @@ struct Options {
                "                     completed campaign; only still-live\n"
                "                     faults are re-simulated\n"
                "  --checkpoint-interval K  checkpoint every K frames\n"
-               "                     (campaign default 32)\n");
+               "                     (campaign default 32)\n"
+               "  --version          print version and exit\n");
   std::exit(code);
 }
 
@@ -182,6 +185,10 @@ Options parse_args(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--help" || a == "-h") usage(0);
+    else if (a == "--version") {
+      std::printf("%s\n", build_info_string());
+      std::exit(0);
+    }
     else if (a == "--list") o.list = true;
     else if (a == "--vectors") {
       o.vectors = parse_size_flag(a, next());
@@ -439,6 +446,20 @@ void run_sync_analysis(const Netlist& nl) {
   }
 }
 
+/// Campaign interrupt point: checkpoint taps run *after* the store
+/// persisted the checkpoint, so throwing from here once SIGINT/SIGTERM
+/// was seen aborts the campaign with the newest checkpoint safely on
+/// disk — `--resume` continues exactly from it.
+class InterruptTap final : public CheckpointSink {
+ public:
+  void on_checkpoint(const ChunkCheckpoint&) override {
+    if (stop_requested()) {
+      throw std::runtime_error(
+          "interrupted by signal (checkpoint flushed)");
+    }
+  }
+};
+
 /// Campaign front end: fresh run, resume, or incremental extension.
 int run_campaign_mode(const Options& o, const Netlist& nl,
                       const std::vector<Fault>& faults,
@@ -446,6 +467,7 @@ int run_campaign_mode(const Options& o, const Netlist& nl,
                       obs::Telemetry* telemetry) {
   StderrProgress progress(seq.size());
   ProgressSink* sink = o.progress ? &progress : nullptr;
+  InterruptTap interrupt;
   const std::optional<std::size_t> threads =
       o.threads_set ? std::optional<std::size_t>(o.sim.threads)
                     : std::nullopt;
@@ -460,8 +482,8 @@ int run_campaign_mode(const Options& o, const Netlist& nl,
                          : std::nullopt;
   if (o.resume) {
     mode = "resumed";
-    res = resume_campaign(nl, faults, o.store_dir, threads, sink, nullptr,
-                          telemetry, backend);
+    res = resume_campaign(nl, faults, o.store_dir, threads, sink,
+                          &interrupt, telemetry, backend);
   } else if (o.extend_vectors != 0) {
     mode = "extended";
     // Extension vectors continue the stored seed's random stream: the
@@ -479,14 +501,24 @@ int run_campaign_mode(const Options& o, const Netlist& nl,
                 extra.size(),
                 static_cast<unsigned long long>(store->manifest().seed));
     res = extend_campaign(nl, faults, extra, o.store_dir, threads, sink,
-                          nullptr, telemetry, backend);
+                          &interrupt, telemetry, backend);
   } else {
     SimOptions opts = o.sim;
     opts.telemetry = telemetry;
-    res = run_campaign(nl, faults, seq, opts, o.store_dir, sink);
+    res = run_campaign(nl, faults, seq, opts, o.store_dir, sink,
+                       &interrupt);
   }
 
   if (!res.has_value()) {
+    if (stop_requested()) {
+      std::fprintf(stderr,
+                   "\ninterrupted by signal %d — campaign state through "
+                   "the last checkpoint is in %s; continue with "
+                   "'motsim_cli --store %s --resume %s'\n",
+                   stop_signal(), o.store_dir.c_str(), o.store_dir.c_str(),
+                   o.circuit.c_str());
+      return 128 + stop_signal();
+    }
     std::fprintf(stderr, "error: %s\n", res.error().c_str());
     return 1;
   }
@@ -515,6 +547,14 @@ int run_campaign_mode(const Options& o, const Netlist& nl,
 
 int main(int argc, char** argv) {
   Options o = parse_args(argc, argv);
+
+  // Piped invocations (motsim_cli ... | head) must see EPIPE write
+  // failures, not a SIGPIPE kill. Campaign runs additionally convert
+  // SIGINT/SIGTERM into a clean checkpoint-flushing abort (see
+  // InterruptTap); non-campaign runs keep the default die-now behavior
+  // since they have no state worth flushing.
+  ignore_sigpipe();
+  if (!o.store_dir.empty()) install_stop_handlers();
 
   // One telemetry context for the whole invocation, allocated only
   // when an observability flag asks for it — the engines otherwise

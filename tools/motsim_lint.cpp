@@ -39,6 +39,7 @@
 #include "faults/fault.h"
 #include "faults/fault_list.h"
 #include "util/cli_args.h"
+#include "util/version.h"
 
 using namespace motsim;
 
@@ -70,6 +71,7 @@ struct Options {
                "                 and settled nets, learned-implication "
                "summary)\n"
                "  --untestable   append statically-untestable-fault notes\n"
+               "  --version      print version and exit\n"
                "exit code: 0 clean, 1 warnings, 2 errors (worst circuit "
                "wins)\n");
   std::exit(code);
@@ -98,6 +100,10 @@ Options parse_args(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--help" || a == "-h") usage(0);
+    else if (a == "--version") {
+      std::printf("%s\n", build_info_string());
+      std::exit(0);
+    }
     else if (a == "--list") o.list = true;
     else if (a == "--json") o.json = true;
     else if (a == "--scoap") o.scoap = true;

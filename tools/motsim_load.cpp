@@ -1,0 +1,466 @@
+// motsim_load — open-loop load generator for motsim_served.
+//
+// Open loop means requests are sent on an absolute schedule drawn from
+// an interarrival distribution (exponential or lognormal), independent
+// of when responses come back — a slow server cannot push back on the
+// arrival process, so the measured latencies include queueing delay
+// instead of being flattened by coordinated omission.
+//
+// Each connection runs one sender thread (sleeps until the next
+// scheduled instant, writes the frame, records the send time by
+// request id) and one reader thread (matches responses by id, records
+// latency). The summary reuses obs::Histogram::quantile for
+// p50/p90/p99 and is written to BENCH_serve.json.
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/framing.h"
+#include "serve/protocol.h"
+#include "util/cli_args.h"
+#include "util/net.h"
+#include "util/signals.h"
+#include "util/version.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using motsim::serve::FrameType;
+using motsim::serve::Request;
+using motsim::serve::Response;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7227;
+  double duration_s = 5.0;
+  double rate = 50.0;  ///< target requests/second, all connections
+  std::size_t connections = 4;
+  std::string interarrival = "exp";  ///< exp | lognormal
+  std::string mix = "mixed";  ///< ping|lint|fault_sim|test_eval|mixed
+  std::uint64_t vectors = 24;
+  std::uint64_t seed = 1;
+  std::string circuits = "s27,s298,s344,s386,s510";
+  std::string out = "BENCH_serve.json";
+};
+
+/// Shared across every connection's sender/reader pair.
+struct Stats {
+  std::mutex mutex;
+  std::vector<double> latencies;  ///< seconds, completed requests only
+  std::uint64_t completed = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t error_frames = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t sent = 0;
+};
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// One connection's open-loop worker: handshake, then send on the
+/// schedule while a reader thread drains responses.
+void run_connection(const Options& opt, std::size_t conn_index,
+                    const std::vector<std::string>& circuits,
+                    Clock::time_point start, Stats* stats) {
+  using namespace motsim::serve;
+
+  auto sock = motsim::connect_tcp(opt.host, opt.port);
+  if (!sock.has_value()) {
+    std::lock_guard<std::mutex> lock(stats->mutex);
+    ++stats->protocol_errors;
+    std::fprintf(stderr, "motsim_load: connection %zu: %s\n", conn_index,
+                 sock.error().c_str());
+    return;
+  }
+  const int fd = sock->get();
+
+  // Handshake: server speaks first, we answer.
+  {
+    const ReadResult hello = read_frame(fd);
+    if (hello.status != ReadStatus::Ok ||
+        hello.frame.type != FrameType::Hello ||
+        !decode_hello(hello.frame.payload).has_value()) {
+      std::lock_guard<std::mutex> lock(stats->mutex);
+      ++stats->protocol_errors;
+      return;
+    }
+    const Hello ours{kHelloMagic, kProtocolVersion,
+                     motsim::build_info_string()};
+    if (!write_frame(fd, FrameType::Hello, encode_hello(ours))
+             .has_value()) {
+      std::lock_guard<std::mutex> lock(stats->mutex);
+      ++stats->protocol_errors;
+      return;
+    }
+  }
+
+  std::mutex inflight_mutex;
+  std::map<std::uint32_t, Clock::time_point> inflight;
+  std::atomic<bool> sender_done{false};
+
+  std::thread reader([&] {
+    for (;;) {
+      const ReadResult r = read_frame(fd);
+      if (r.status == ReadStatus::Eof) break;
+      if (r.status == ReadStatus::Error) {
+        // The socket is shut down under the reader once the grace
+        // period ends; only count errors before that as protocol ones.
+        if (!sender_done.load(std::memory_order_acquire)) {
+          std::lock_guard<std::mutex> lock(stats->mutex);
+          ++stats->protocol_errors;
+        }
+        break;
+      }
+      const auto decoded = decode_response(r.frame.type, r.frame.payload);
+      if (!decoded.has_value()) {
+        std::lock_guard<std::mutex> lock(stats->mutex);
+        ++stats->protocol_errors;
+        continue;
+      }
+      const Clock::time_point now = Clock::now();
+      const std::uint32_t id = response_id(*decoded);
+      double latency = -1.0;
+      {
+        std::lock_guard<std::mutex> lock(inflight_mutex);
+        const auto it = inflight.find(id);
+        if (it != inflight.end()) {
+          latency = std::chrono::duration<double>(now - it->second).count();
+          inflight.erase(it);
+        }
+      }
+      std::lock_guard<std::mutex> lock(stats->mutex);
+      if (std::holds_alternative<BusyResponse>(*decoded)) {
+        ++stats->busy;
+      } else if (std::holds_alternative<ErrorResponse>(*decoded)) {
+        ++stats->error_frames;
+      } else {
+        ++stats->completed;
+        if (latency >= 0.0) stats->latencies.push_back(latency);
+      }
+    }
+  });
+
+  // Per-connection open-loop schedule at rate/connections. The next
+  // send instant is accumulated in absolute time — a late wakeup makes
+  // the next sleep shorter, it never stretches the schedule.
+  std::mt19937_64 rng(opt.seed * 6364136223846793005ULL + conn_index);
+  const double conn_rate =
+      opt.rate / static_cast<double>(opt.connections > 0 ? opt.connections
+                                                         : 1);
+  const double mean_gap = conn_rate > 0 ? 1.0 / conn_rate : 0.02;
+  std::exponential_distribution<double> exp_gap(conn_rate);
+  // Lognormal with the same mean: mu = ln(mean) - sigma^2 / 2.
+  const double sigma = 0.5;
+  std::lognormal_distribution<double> logn_gap(
+      std::log(mean_gap) - sigma * sigma / 2.0, sigma);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(opt.duration_s));
+  Clock::time_point next = start;
+  std::uint32_t next_id = 1;
+
+  while (!motsim::stop_requested()) {
+    const double gap =
+        opt.interarrival == "lognormal" ? logn_gap(rng) : exp_gap(rng);
+    next += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(gap));
+    if (next >= deadline) break;
+    std::this_thread::sleep_until(next);
+
+    const std::string& circuit =
+        circuits[(next_id + conn_index) % circuits.size()];
+    CircuitRef ref{CircuitRef::Kind::Roster, circuit};
+    const std::uint32_t id = next_id++;
+    Request req;
+    double pick = uniform(rng);
+    if (opt.mix == "ping") {
+      pick = -1.0;
+    } else if (opt.mix == "lint") {
+      pick = 0.3;
+    } else if (opt.mix == "fault_sim") {
+      pick = 0.6;
+    } else if (opt.mix == "test_eval") {
+      pick = 0.95;
+    }
+    if (pick < 0.15) {
+      req = PingRequest{id};
+    } else if (pick < 0.40) {
+      req = LintRequest{id, ref};
+    } else if (pick < 0.90) {
+      FaultSimRequest fs;
+      fs.id = id;
+      fs.circuit = ref;
+      fs.vectors = opt.vectors;
+      fs.options.seed = opt.seed + id;
+      req = std::move(fs);
+    } else {
+      TestEvalRequest te;
+      te.id = id;
+      // TEST_EVAL responses must be vectors * output_count values long;
+      // s27 has exactly one output, so the client can build a
+      // well-formed all-zero tester trace without knowing the roster
+      // interfaces.
+      te.circuit = CircuitRef{CircuitRef::Kind::Roster, "s27"};
+      te.vectors = std::min<std::uint64_t>(opt.vectors, 8);
+      te.seed = opt.seed + id;
+      te.responses.emplace_back(static_cast<std::size_t>(te.vectors),
+                                std::uint8_t{0});
+      req = std::move(te);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex);
+      inflight[id] = Clock::now();
+    }
+    const auto wrote =
+        write_frame(fd, frame_type_of(req), encode_request(req));
+    {
+      std::lock_guard<std::mutex> lock(stats->mutex);
+      ++stats->sent;
+    }
+    if (!wrote.has_value()) {
+      std::lock_guard<std::mutex> lock(stats->mutex);
+      ++stats->protocol_errors;
+      break;
+    }
+  }
+
+  // Grace period: let outstanding responses drain, then hang up.
+  const Clock::time_point grace = Clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex);
+      if (inflight.empty()) break;
+    }
+    if (Clock::now() >= grace || motsim::stop_requested()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  sender_done.store(true, std::memory_order_release);
+  ::shutdown(fd, SHUT_RDWR);
+  reader.join();
+}
+
+void print_usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: motsim_load [options]\n"
+      "\n"
+      "  --host HOST          server address (default 127.0.0.1)\n"
+      "  --port N             server protocol port (default 7227)\n"
+      "  --duration S         seconds to generate load (default 5)\n"
+      "  --rate R             target req/s across all connections "
+      "(default 50)\n"
+      "  --connections N      parallel connections (default 4)\n"
+      "  --interarrival D     exp | lognormal (default exp)\n"
+      "  --mix M              ping|lint|fault_sim|test_eval|mixed "
+      "(default mixed)\n"
+      "  --vectors N          fault-sim sequence length (default 24)\n"
+      "  --circuits LIST      comma-separated roster names\n"
+      "  --seed N             RNG seed (default 1)\n"
+      "  --out FILE           summary JSON (default BENCH_serve.json)\n"
+      "  --version            print version and exit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "motsim_load: %s expects a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "--version") {
+      std::printf("%s\n", motsim::build_info_string());
+      return 0;
+    } else if (arg == "--host") {
+      opt.host = value("--host");
+    } else if (arg == "--port") {
+      const auto parsed = motsim::parse_cli_u64("--port", value("--port"));
+      if (!parsed.has_value() || *parsed > 65535) {
+        std::fprintf(stderr, "motsim_load: --port expects a port\n");
+        return 2;
+      }
+      opt.port = static_cast<std::uint16_t>(*parsed);
+    } else if (arg == "--duration") {
+      opt.duration_s = std::atof(value("--duration"));
+      if (opt.duration_s <= 0) {
+        std::fprintf(stderr, "motsim_load: --duration must be positive\n");
+        return 2;
+      }
+    } else if (arg == "--rate") {
+      opt.rate = std::atof(value("--rate"));
+      if (opt.rate <= 0) {
+        std::fprintf(stderr, "motsim_load: --rate must be positive\n");
+        return 2;
+      }
+    } else if (arg == "--connections") {
+      const auto parsed =
+          motsim::parse_cli_size("--connections", value("--connections"));
+      if (!parsed.has_value() || *parsed == 0) {
+        std::fprintf(stderr,
+                     "motsim_load: --connections expects a positive "
+                     "integer\n");
+        return 2;
+      }
+      opt.connections = *parsed;
+    } else if (arg == "--interarrival") {
+      opt.interarrival = value("--interarrival");
+      if (opt.interarrival != "exp" && opt.interarrival != "lognormal") {
+        std::fprintf(stderr,
+                     "motsim_load: --interarrival must be exp or "
+                     "lognormal\n");
+        return 2;
+      }
+    } else if (arg == "--mix") {
+      opt.mix = value("--mix");
+    } else if (arg == "--vectors") {
+      const auto parsed =
+          motsim::parse_cli_u64("--vectors", value("--vectors"));
+      if (!parsed.has_value() || *parsed == 0) {
+        std::fprintf(stderr,
+                     "motsim_load: --vectors expects a positive integer\n");
+        return 2;
+      }
+      opt.vectors = *parsed;
+    } else if (arg == "--circuits") {
+      opt.circuits = value("--circuits");
+    } else if (arg == "--seed") {
+      const auto parsed = motsim::parse_cli_u64("--seed", value("--seed"));
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "motsim_load: %s\n", parsed.error().c_str());
+        return 2;
+      }
+      opt.seed = *parsed;
+    } else if (arg == "--out") {
+      opt.out = value("--out");
+    } else {
+      std::fprintf(stderr, "motsim_load: unknown option '%s'\n",
+                   arg.c_str());
+      print_usage(stderr);
+      return 2;
+    }
+  }
+
+  const std::vector<std::string> circuits = split_csv(opt.circuits);
+  if (circuits.empty()) {
+    std::fprintf(stderr, "motsim_load: --circuits must name a circuit\n");
+    return 2;
+  }
+
+  motsim::ignore_sigpipe();
+  motsim::install_stop_handlers();
+
+  Stats stats;
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(opt.connections);
+  for (std::size_t c = 0; c < opt.connections; ++c) {
+    workers.emplace_back(
+        [&, c] { run_connection(opt, c, circuits, start, &stats); });
+  }
+  for (auto& w : workers) w.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Percentiles via the shared histogram-quantile machinery (the same
+  // interpolation the serve telemetry digest uses).
+  static const std::vector<double> kBounds = {
+      1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03,
+      0.1,  0.3,  1.0,  3.0,  10.0, 30.0, 100.0};
+  motsim::obs::Histogram hist(kBounds);
+  double max_latency = 0.0;
+  double sum_latency = 0.0;
+  for (const double l : stats.latencies) {
+    hist.observe(l);
+    sum_latency += l;
+    if (l > max_latency) max_latency = l;
+  }
+  const double p50 = hist.quantile(0.50);
+  const double p90 = hist.quantile(0.90);
+  const double p99 = hist.quantile(0.99);
+  const double mean = stats.latencies.empty()
+                          ? 0.0
+                          : sum_latency /
+                                static_cast<double>(stats.latencies.size());
+  const double sustained =
+      wall > 0 ? static_cast<double>(stats.completed) / wall : 0.0;
+
+  std::printf(
+      "motsim_load: sent %llu, completed %llu, busy %llu, errors %llu, "
+      "protocol errors %llu\n",
+      static_cast<unsigned long long>(stats.sent),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.busy),
+      static_cast<unsigned long long>(stats.error_frames),
+      static_cast<unsigned long long>(stats.protocol_errors));
+  std::printf("motsim_load: %.1f req/s sustained over %.2f s\n", sustained,
+              wall);
+  std::printf("motsim_load: latency p50 %.6f s  p90 %.6f s  p99 %.6f s  "
+              "max %.6f s\n",
+              p50, p90, p99, max_latency);
+
+  std::FILE* out = std::fopen(opt.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "motsim_load: cannot write %s\n",
+                 opt.out.c_str());
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\"tool\": \"motsim_load\", \"version\": \"%s\", "
+      "\"interarrival\": \"%s\", \"mix\": \"%s\", "
+      "\"target_rate\": %.3f, \"duration_s\": %.3f, \"wall_s\": %.3f, "
+      "\"connections\": %zu, "
+      "\"sent\": %llu, \"completed\": %llu, \"busy\": %llu, "
+      "\"errors\": %llu, \"protocol_errors\": %llu, "
+      "\"sustained_rps\": %.3f, "
+      "\"latency_s\": {\"mean\": %.6f, \"p50\": %.6f, \"p90\": %.6f, "
+      "\"p99\": %.6f, \"max\": %.6f}}\n",
+      motsim::version_string(), opt.interarrival.c_str(),
+      opt.mix.c_str(), opt.rate, opt.duration_s, wall, opt.connections,
+      static_cast<unsigned long long>(stats.sent),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.busy),
+      static_cast<unsigned long long>(stats.error_frames),
+      static_cast<unsigned long long>(stats.protocol_errors), sustained,
+      mean, p50, p90, p99, max_latency);
+  std::fclose(out);
+
+  // A run that completed nothing (server down, all rejected) is a
+  // failure for CI even though the file was written.
+  return stats.completed > 0 && stats.protocol_errors == 0 ? 0 : 1;
+}

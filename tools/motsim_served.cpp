@@ -1,0 +1,134 @@
+// motsim_served — the long-running fault-simulation service.
+//
+// Boots a serve::Server (docs/SERVE.md): a length-prefixed binary
+// protocol on --port, an HTTP observability endpoint (/metrics,
+// /healthz) on --http-port, a bounded campaign queue with BUSY
+// backpressure, and an LRU circuit cache. SIGINT/SIGTERM drain
+// in-flight requests before the process exits.
+//
+// With --port 0 / --http-port 0 the kernel picks free ports; the bound
+// ports are printed on stdout as `listening <port> http <http_port>`
+// so scripts (CI smoke, bench/run_serve_bench.sh) can scrape them.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/telemetry.h"
+#include "serve/server.h"
+#include "util/cli_args.h"
+#include "util/signals.h"
+#include "util/version.h"
+
+namespace {
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: motsim_served [options]\n"
+               "\n"
+               "  --host HOST        bind address (default 127.0.0.1)\n"
+               "  --port N           protocol port (default 7227; 0 = "
+               "ephemeral)\n"
+               "  --http-port N      /metrics + /healthz port (default "
+               "7228; 0 = ephemeral)\n"
+               "  --threads N        queue workers (default: hardware "
+               "threads)\n"
+               "  --queue-capacity N max in-flight requests before BUSY "
+               "(default 64)\n"
+               "  --cache-capacity N resident parsed circuits (default "
+               "32)\n"
+               "  --store-root DIR   enable use_store campaign requests "
+               "under DIR\n"
+               "  --version          print version and exit\n"
+               "  --help             this text\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using motsim::serve::Server;
+  using motsim::serve::ServerConfig;
+
+  ServerConfig config;
+  config.port = 7227;
+  config.http_port = 7228;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "motsim_served: %s expects a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto parse_u16 = [&](const char* flag, const char* text,
+                         std::uint16_t* out) {
+      const auto parsed = motsim::parse_cli_u64(flag, text);
+      if (!parsed.has_value() || *parsed > 65535) {
+        std::fprintf(stderr, "motsim_served: %s expects a port (0-65535)\n",
+                     flag);
+        std::exit(2);
+      }
+      *out = static_cast<std::uint16_t>(*parsed);
+    };
+    auto parse_size = [&](const char* flag, const char* text,
+                          std::size_t* out) {
+      const auto parsed = motsim::parse_cli_size(flag, text);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "motsim_served: %s\n", parsed.error().c_str());
+        std::exit(2);
+      }
+      *out = *parsed;
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "--version") {
+      std::printf("%s\n", motsim::build_info_string());
+      return 0;
+    } else if (arg == "--host") {
+      config.host = value("--host");
+    } else if (arg == "--port") {
+      parse_u16("--port", value("--port"), &config.port);
+    } else if (arg == "--http-port") {
+      parse_u16("--http-port", value("--http-port"), &config.http_port);
+    } else if (arg == "--threads") {
+      parse_size("--threads", value("--threads"), &config.threads);
+    } else if (arg == "--queue-capacity") {
+      parse_size("--queue-capacity", value("--queue-capacity"),
+                 &config.queue_capacity);
+    } else if (arg == "--cache-capacity") {
+      parse_size("--cache-capacity", value("--cache-capacity"),
+                 &config.cache_capacity);
+    } else if (arg == "--store-root") {
+      config.store_root = value("--store-root");
+    } else {
+      std::fprintf(stderr, "motsim_served: unknown option '%s'\n",
+                   arg.c_str());
+      print_usage(stderr);
+      return 2;
+    }
+  }
+
+  // A client hanging up mid-response must be an EPIPE write error (the
+  // connection is marked broken), never a process-killing SIGPIPE.
+  motsim::ignore_sigpipe();
+  motsim::install_stop_handlers();
+
+  motsim::obs::Telemetry telemetry;
+  Server server(std::move(config), &telemetry);
+  const auto started = server.start();
+  if (!started.has_value()) {
+    std::fprintf(stderr, "motsim_served: %s\n", started.error().c_str());
+    return 1;
+  }
+  std::printf("%s\n", motsim::build_info_string());
+  std::printf("listening %u http %u\n", server.port(), server.http_port());
+  std::fflush(stdout);
+
+  server.run_until_stop();
+
+  std::fprintf(stderr, "motsim_served: drained, exiting\n");
+  return 0;
+}
