@@ -122,15 +122,48 @@ SettledConst eval_settled_gate(const Netlist& nl, NodeIndex n,
 
 }  // namespace
 
+std::vector<SettledConst> settle_constants(
+    const Netlist& netlist, const std::vector<ConstVal>& constants) {
+  const std::size_t n_nodes = netlist.node_count();
+  std::vector<SettledConst> settled(n_nodes);
+  for (NodeIndex n = 0; n < n_nodes; ++n) {
+    if (constants[n] != ConstVal::Unknown) settled[n] = {constants[n], 1};
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // A flip-flop output carries its D input's settled value one frame
+    // later (frame 1 itself stays unknown: power-up is unconstrained).
+    for (NodeIndex d : netlist.dffs()) {
+      if (settled[d].value != ConstVal::Unknown) continue;
+      const NodeIndex in = netlist.gate(d).fanins.empty()
+                               ? kNoNode
+                               : netlist.gate(d).fanins[0];
+      if (in == kNoNode || settled[in].value == ConstVal::Unknown) continue;
+      settled[d] = {settled[in].value, settled[in].from_frame + 1};
+      changed = true;
+    }
+    for (NodeIndex n : netlist.topo_order()) {
+      if (is_frame_input(netlist.type(n))) continue;
+      if (settled[n].value != ConstVal::Unknown) continue;
+      const SettledConst s = eval_settled_gate(netlist, n, settled);
+      if (s.value != ConstVal::Unknown) {
+        settled[n] = s;
+        changed = true;
+      }
+    }
+  }
+  return settled;
+}
+
 ImplicationEngine::ImplicationEngine(const Netlist& netlist)
-    : netlist_(&netlist) {
+    : netlist_(&netlist), cone_(netlist) {
   if (!netlist.finalized()) {
     throw std::logic_error("ImplicationEngine requires a finalized netlist");
   }
   const std::size_t n = netlist.node_count();
   epoch_of_.assign(n, 0);
   val_.assign(n, 0);
-  r0_epoch_.assign(n, 0);
   r1_epoch_.assign(n, 0);
 
   const_ = structural_constants(netlist);
@@ -359,59 +392,19 @@ void ImplicationEngine::run_static_learning() {
 }
 
 void ImplicationEngine::compute_po_cone() {
-  po_cone_.assign(netlist_->node_count(), 0);
-  std::vector<NodeIndex> stack;
-  auto seed = [&](NodeIndex n) {
-    if (po_cone_[n] == 0) {
-      po_cone_[n] = 1;
-      stack.push_back(n);
-    }
-  };
   // Unlike StaticXRedAnalysis (which conservatively seeds flip-flops
   // as observation points), this cone crosses flip-flops backwards:
   // po_cone_[n] == 0 means no primary output is structurally reachable
-  // from n in ANY number of frames.
-  for (NodeIndex n : netlist_->outputs()) seed(n);
-  while (!stack.empty()) {
-    const NodeIndex n = stack.back();
-    stack.pop_back();
-    for (NodeIndex f : netlist_->gate(n).fanins) {
-      if (f != kNoNode) seed(f);
-    }
-  }
+  // from n in ANY number of frames. The reach itself is the shared
+  // cone kernel; the bitmap persists across later walker reuse (R0).
+  cone_.run(ConeDir::Backward, netlist_->outputs());
+  po_cone_.assign(netlist_->node_count(), 0);
+  for (const NodeIndex n : cone_.visited()) po_cone_[n] = 1;
 }
 
 void ImplicationEngine::compute_settled() {
-  const std::size_t n_nodes = netlist_->node_count();
-  settled_.assign(n_nodes, {});
-  for (NodeIndex n = 0; n < n_nodes; ++n) {
-    if (const_[n] != ConstVal::Unknown) settled_[n] = {const_[n], 1};
-  }
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    // A flip-flop output carries its D input's settled value one frame
-    // later (frame 1 itself stays unknown: power-up is unconstrained).
-    for (NodeIndex d : netlist_->dffs()) {
-      if (settled_[d].value != ConstVal::Unknown) continue;
-      const NodeIndex in = netlist_->gate(d).fanins.empty()
-                               ? kNoNode
-                               : netlist_->gate(d).fanins[0];
-      if (in == kNoNode || settled_[in].value == ConstVal::Unknown) continue;
-      settled_[d] = {settled_[in].value, settled_[in].from_frame + 1};
-      changed = true;
-    }
-    for (NodeIndex n : netlist_->topo_order()) {
-      if (is_frame_input(netlist_->type(n))) continue;
-      if (settled_[n].value != ConstVal::Unknown) continue;
-      const SettledConst s = eval_settled_gate(*netlist_, n, settled_);
-      if (s.value != ConstVal::Unknown) {
-        settled_[n] = s;
-        changed = true;
-      }
-    }
-  }
-  for (NodeIndex n = 0; n < n_nodes; ++n) {
+  settled_ = settle_constants(*netlist_, const_);
+  for (NodeIndex n = 0; n < netlist_->node_count(); ++n) {
     if (settled_[n].value != ConstVal::Unknown &&
         const_[n] == ConstVal::Unknown) {
       ++stats_.settled_constants;
@@ -444,26 +437,11 @@ bool ImplicationEngine::contradicts(NodeIndex node, bool value) const {
 }
 
 void ImplicationEngine::compute_r0(NodeIndex origin) const {
-  if (++r0_gen_ == 0) {
-    std::fill(r0_epoch_.begin(), r0_epoch_.end(), 0u);
-    r0_gen_ = 1;
-  }
-  std::vector<NodeIndex> stack{origin};
-  r0_epoch_[origin] = r0_gen_;
-  while (!stack.empty()) {
-    const NodeIndex s = stack.back();
-    stack.pop_back();
-    for (const FanoutRef& fo : netlist_->fanouts(s)) {
-      if (r0_epoch_[fo.node] != r0_gen_) {
-        r0_epoch_[fo.node] = r0_gen_;
-        stack.push_back(fo.node);
-      }
-    }
-  }
+  cone_.run(ConeDir::Forward, {origin});
 }
 
 bool ImplicationEngine::in_r0(NodeIndex n) const {
-  return r0_epoch_[n] == r0_gen_;
+  return cone_.reached(n);
 }
 
 bool ImplicationEngine::gate_blocked(NodeIndex h, std::uint32_t p,

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/cone.h"
 #include "analysis/static_xred.h"
 #include "circuit/netlist.h"
 #include "faults/fault.h"
@@ -35,6 +36,17 @@ struct SettledConst {
   ConstVal value = ConstVal::Unknown;
   std::uint32_t from_frame = 0;
 };
+
+/// Extends a sound every-frame-constant vector across flip-flop
+/// boundaries into settled constants: a flip-flop whose D input is
+/// provably constant v from frame k carries v from frame k + 1 on (its
+/// power-up value stays unconstrained), and constants re-propagate
+/// combinationally to a fixpoint. Every-frame constants settle at
+/// frame 1. Sound for any sound `constants` input — structural or
+/// implication-learned — and shared by the ImplicationEngine and the
+/// trimming pass (analysis/trim.h).
+[[nodiscard]] std::vector<SettledConst> settle_constants(
+    const Netlist& netlist, const std::vector<ConstVal>& constants);
 
 /// Static implication engine over the gate-level netlist.
 ///
@@ -176,13 +188,14 @@ class ImplicationEngine {
   std::size_t tied_count_ = 0;
   ImplicationStats stats_;
 
-  // Scratch (epoch-stamped so queries never pay a full clear).
+  // Scratch (epoch-stamped so queries never pay a full clear). R0
+  // fault cones run through the shared cone kernel; the refined (R1)
+  // walk stays hand-rolled because its edges are guarded per pin.
   mutable std::vector<std::uint32_t> epoch_of_;
   mutable std::vector<std::uint8_t> val_;
   mutable std::vector<NodeIndex> queue_;
   mutable std::uint32_t epoch_ = 0;
-  mutable std::vector<std::uint32_t> r0_epoch_;
-  mutable std::uint32_t r0_gen_ = 0;
+  mutable ConeWalker cone_;
   mutable std::vector<std::uint32_t> r1_epoch_;
   mutable std::uint32_t r1_gen_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "analysis/cone.h"
+
 namespace motsim {
 
 namespace {
@@ -110,22 +112,14 @@ StaticXRedAnalysis::StaticXRedAnalysis(const Netlist& netlist)
   // fault effect on an unreached node can never arrive at an
   // observation point, in this frame or any later one. Seeding the
   // flip-flop node (rather than only its D fanin) mirrors ID_X-red's
-  // treatment of D-pins as secondary outputs.
+  // treatment of D-pins as secondary outputs. The reach is the shared
+  // cone kernel (analysis/cone.h).
+  std::vector<NodeIndex> seeds = netlist.outputs();
+  seeds.insert(seeds.end(), netlist.dffs().begin(), netlist.dffs().end());
+  ConeWalker walker(netlist);
+  walker.run(ConeDir::Backward, seeds);
   observable_.assign(netlist.node_count(), 0);
-  std::vector<NodeIndex> stack;
-  auto seed = [&](NodeIndex n) {
-    if (observable_[n] == 0) {
-      observable_[n] = 1;
-      stack.push_back(n);
-    }
-  };
-  for (NodeIndex n : netlist.outputs()) seed(n);
-  for (NodeIndex n : netlist.dffs()) seed(n);
-  while (!stack.empty()) {
-    const NodeIndex n = stack.back();
-    stack.pop_back();
-    for (NodeIndex f : netlist.gate(n).fanins) seed(f);
-  }
+  for (const NodeIndex n : walker.visited()) observable_[n] = 1;
 
   const_of_ = structural_constants(netlist);
 }

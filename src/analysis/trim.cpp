@@ -1,0 +1,36 @@
+#include "analysis/trim.h"
+
+#include "analysis/cone.h"
+
+namespace motsim {
+
+TrimPlan build_trim_plan(const Netlist& netlist,
+                         const std::vector<SettledConst>& settled,
+                         const std::vector<Fault>& faults) {
+  TrimPlan plan;
+  plan.dead_from.assign(faults.size(), 0);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const NodeIndex act = activation_node(netlist, faults[i]);
+    if (act == kNoNode) continue;
+    const SettledConst& s = settled[act];
+    if (s.value == ConstVal::Unknown) continue;
+    const ConstVal stuck =
+        faults[i].stuck_value ? ConstVal::One : ConstVal::Zero;
+    if (s.value == stuck) plan.dead_from[i] = s.from_frame;
+  }
+  return plan;
+}
+
+TrimPlan build_trim_plan(const Netlist& netlist,
+                         const std::vector<Fault>& faults) {
+  const std::vector<SettledConst> settled =
+      settle_constants(netlist, structural_constants(netlist));
+  return build_trim_plan(netlist, settled, faults);
+}
+
+TrimPlan build_trim_plan(const ImplicationEngine& engine,
+                         const std::vector<Fault>& faults) {
+  return build_trim_plan(engine.netlist(), engine.settled(), faults);
+}
+
+}  // namespace motsim

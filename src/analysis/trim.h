@@ -1,0 +1,66 @@
+#ifndef MOTSIM_ANALYSIS_TRIM_H
+#define MOTSIM_ANALYSIS_TRIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/implication.h"
+#include "circuit/netlist.h"
+#include "faults/fault.h"
+
+namespace motsim {
+
+/// Static activation analysis powering the symbolic engines'
+/// execution-redundancy trimming (docs/ANALYSIS.md).
+///
+/// Per fault, `dead_from[i]` is the earliest 1-based frame from which
+/// the fault's activation function is provably constant 0 — the
+/// activation net carries exactly the stuck value from that frame on,
+/// for EVERY power-up state and EVERY input sequence (settled
+/// constants; see ImplicationEngine). 0 means "never proven dead".
+///
+/// Soundness of the consumers: once a fault is past its dead_from
+/// frame AND carries no stored state divergence, the faulty machine is
+/// the fault-free machine forever — it can never again be activated
+/// nor infect the state — so an engine may stop simulating it under
+/// SOT/rMOT (no future detection event can occur) and skip its frames
+/// under MOT (only the shared fault-free equality terms still
+/// accumulate into D̃). Both moves are pure execution-redundancy
+/// eliminators: the per-fault verdicts, detection frames and D̃
+/// functions are bit-identical to the untrimmed run.
+struct TrimPlan {
+  /// Aligned with the fault list the plan was built for; 1-based
+  /// frame, 0 = never statically dead.
+  std::vector<std::uint32_t> dead_from;
+
+  /// Number of faults with a nonzero dead_from.
+  [[nodiscard]] std::size_t dead_fault_count() const noexcept {
+    std::size_t n = 0;
+    for (const std::uint32_t f : dead_from) n += (f != 0);
+    return n;
+  }
+};
+
+/// Builds a TrimPlan from structural constants alone (cheap: one
+/// constant-propagation pass plus the settled-constant fixpoint; no
+/// implication learning). This is what the engines derive on their own
+/// when no richer plan is supplied.
+[[nodiscard]] TrimPlan build_trim_plan(const Netlist& netlist,
+                                       const std::vector<Fault>& faults);
+
+/// Builds a TrimPlan from an already-constructed implication engine:
+/// its settled constants include conflict-learned every-frame
+/// constants, so this plan subsumes the structural one. Used by the
+/// pipeline when the static-analysis stage ran anyway.
+[[nodiscard]] TrimPlan build_trim_plan(const ImplicationEngine& engine,
+                                       const std::vector<Fault>& faults);
+
+/// Shared core: derives dead_from for each fault from any sound
+/// settled-constant vector (one SettledConst per node).
+[[nodiscard]] TrimPlan build_trim_plan(
+    const Netlist& netlist, const std::vector<SettledConst>& settled,
+    const std::vector<Fault>& faults);
+
+}  // namespace motsim
+
+#endif  // MOTSIM_ANALYSIS_TRIM_H

@@ -35,6 +35,14 @@ void HybridFaultSim::set_initial_status(std::vector<FaultStatus> status) {
   resume_.reset();
 }
 
+void HybridFaultSim::set_trim_plan(TrimPlan plan) {
+  if (plan.dead_from.size() != faults_.size()) {
+    throw std::invalid_argument("set_trim_plan: plan does not match the "
+                                "fault list");
+  }
+  trim_plan_ = std::move(plan);
+}
+
 void HybridFaultSim::set_resume(ChunkCheckpoint checkpoint) {
   if (checkpoint.status.size() != faults_.size() ||
       checkpoint.detect_frame.size() != faults_.size() ||
@@ -71,6 +79,17 @@ HybridResult HybridFaultSim::run(
   SymTrueValueSim sym(nl, mgr, vars);
   if (!tied_.empty()) sym.set_tied_constants(tied_);
   SymFaultPropagator symprop(nl, mgr, vars);
+  symprop.set_trim(config_.trim);
+  // Static activation horizons for SOT/rMOT parking: once past
+  // dead_from with no stored divergence the fault can never be excited
+  // again, so its remaining symbolic frames are pure no-ops. MOT never
+  // parks (D̃ keeps accumulating). Parked faults keep their BDD handles
+  // alive so gc pressure — and hence every fallback decision — matches
+  // the untrimmed run.
+  TrimPlan plan;
+  if (config_.trim) {
+    plan = trim_plan_ ? *trim_plan_ : build_trim_plan(nl, faults_);
+  }
   // Three-valued engine behind the fallback windows; the backend is a
   // pure performance knob (bit-identical results). Runs serially —
   // the parallel symbolic driver shards at the fault level already.
@@ -87,11 +106,12 @@ HybridResult HybridFaultSim::run(
     std::size_t index;
     SymFaultState sym;  ///< valid in symbolic mode
     StateDiff3 diff3;   ///< valid in three-valued mode
+    bool parked = false;
   };
   std::vector<Live> live;
   for (std::size_t i = 0; i < faults_.size(); ++i) {
     if (initial_status_[i] == FaultStatus::Undetected) {
-      live.push_back(Live{i, SymFaultState{mgr.one(), {}}, {}});
+      live.push_back(Live{i, SymFaultState{mgr.one(), {}}, {}, false});
       if (resume_) live.back().diff3 = resume_->diff[i];
     }
   }
@@ -185,6 +205,7 @@ HybridResult HybridFaultSim::run(
     sym.set_state(std::move(state_bdds));
     for (std::size_t i = 0; i < live.size(); ++i) {
       Live& lf = live[i];
+      lf.parked = false;  // re-park check runs every symbolic frame
       lf.sym.detect = mgr.one();
       lf.sym.state_diff.clear();
       for (const auto& [pos, v] : diffs3[i]) {
@@ -307,6 +328,7 @@ HybridResult HybridFaultSim::run(
       }
 
       bool frame_completed = false;
+      std::uint64_t parked_skips = 0;  ///< committed only if t completes
       try {
         sym.step(sequence[t]);
         SymFrameContext ctx(sym.values(), sym.state(), nl.output_count());
@@ -315,6 +337,16 @@ HybridResult HybridFaultSim::run(
         // the exception path below sees the vector intact and aligned
         // with pre_diffs3.
         for (Live& lf : live) {
+          if (config_.trim && config_.strategy != Strategy::Mot &&
+              !lf.parked && plan.dead_from[lf.index] != 0 &&
+              t + 1 >= plan.dead_from[lf.index] &&
+              lf.sym.state_diff.empty()) {
+            lf.parked = true;
+          }
+          if (lf.parked) {
+            ++parked_skips;
+            continue;
+          }
           if (symprop.step(faults_[lf.index], config_.strategy, lf.sym,
                            ctx)) {
             result.status[lf.index] = det;
@@ -335,6 +367,7 @@ HybridResult HybridFaultSim::run(
         live.resize(keep);
 
         ++result.symbolic_frames;
+        result.frames_skipped += parked_skips;
         ++t;
         frame_completed = true;
         mgr.gc();
@@ -435,6 +468,16 @@ HybridResult HybridFaultSim::run(
     checkpoint_->on_checkpoint(make_checkpoint(true));
   }
 
+  // Trimming telemetry: dynamic quiescent skips accumulated inside the
+  // propagator, parked skips committed per completed frame above, and
+  // the faults still parked when the run ends (counted once here so
+  // window round-trips cannot double-count them).
+  result.frames_skipped += symprop.trim_counters().frames_skipped;
+  result.faultfree_evals_shared = symprop.trim_counters().shared_eq_uses;
+  for (const Live& lf : live) {
+    if (lf.parked) ++result.faults_terminated_early;
+  }
+
   if (telemetry_ != nullptr) {
     mode_span.reset();
     obs::MetricsRegistry& m = telemetry_->metrics;
@@ -444,6 +487,11 @@ HybridResult HybridFaultSim::run(
     m.counter("hybrid.checkpoint_syncs").add(result.checkpoint_syncs);
     m.counter("hybrid.detected_faults").add(result.detected_count);
     m.counter("engine.reseeded_state_bits").add(reseeded_bits);
+    m.counter("analysis.frames_skipped").add(result.frames_skipped);
+    m.counter("analysis.faults_terminated_early")
+        .add(result.faults_terminated_early);
+    m.counter("sym.faultfree_evals_shared")
+        .add(result.faultfree_evals_shared);
     m.gauge("hybrid.symbolic_seconds").add(sym_timer.total_seconds());
     m.gauge("hybrid.fallback_seconds").add(fb_timer.total_seconds());
 

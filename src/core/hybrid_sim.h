@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/static_xred.h"
+#include "analysis/trim.h"
 #include "bdd/bdd.h"
 #include "core/checkpoint.h"
 #include "core/progress.h"
@@ -65,6 +66,14 @@ struct HybridConfig {
   /// contract, so this is a pure performance knob; it is excluded from
   /// store fingerprints and a checkpointed run may resume under either.
   Sim3Backend sim3_backend = default_sim3_backend();
+  /// Execution-redundancy trimming (docs/ANALYSIS.md): skip the
+  /// symbolic propagation of provably quiescent fault-frames, park
+  /// SOT/rMOT faults past their static activation horizon, and serve
+  /// quiescent MOT frames from the shared fault-free equality product.
+  /// Like sim3_backend this is a pure performance knob — verdicts,
+  /// detection frames and D̃ functions are bit-identical either way —
+  /// so it is likewise excluded from store fingerprints. On by default.
+  bool trim = true;
 };
 
 /// Result of a hybrid run.
@@ -82,6 +91,13 @@ struct HybridResult {
   /// Checkpoint synchronizations performed (symbolic-mode re-seeds at
   /// checkpoint boundaries; window-mode checkpoints do not sync).
   std::size_t checkpoint_syncs = 0;
+  /// Trimming telemetry (zero when HybridConfig::trim is off): symbolic
+  /// fault-frames whose propagation was skipped (quiescent or parked),
+  /// faults parked past their static activation horizon, and MOT
+  /// fault-frames served by the shared fault-free equality product.
+  std::uint64_t frames_skipped = 0;
+  std::uint64_t faults_terminated_early = 0;
+  std::uint64_t faultfree_evals_shared = 0;
 };
 
 /// Hybrid fault simulator (paper Sections I and IV.A, following [8]):
@@ -134,6 +150,13 @@ class HybridFaultSim {
     tied_ = std::move(tied);
   }
 
+  /// Supplies a pre-built trimming plan (aligned with this fault
+  /// list). Used by the pipeline to hand down the implication-enriched
+  /// plan and by the parallel driver to slice one global plan per
+  /// chunk; without it the engine builds the structural plan itself
+  /// when config.trim is on. Ignored when config.trim is off.
+  void set_trim_plan(TrimPlan plan);
+
   /// Resumes a previous run from a snapshot this engine emitted:
   /// run() starts at frame `ck.frame` in the recorded mode, with
   /// statuses, detection frames and per-fault state divergences
@@ -155,6 +178,7 @@ class HybridFaultSim {
   obs::Telemetry* telemetry_ = nullptr;
   std::optional<ChunkCheckpoint> resume_;
   std::vector<ConstVal> tied_;
+  std::optional<TrimPlan> trim_plan_;
 };
 
 }  // namespace motsim

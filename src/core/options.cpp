@@ -80,6 +80,7 @@ HybridConfig SimOptions::to_hybrid_config() const {
   c.checkpoint_interval = checkpoint_interval;
   c.bdd = to_bdd_config();
   c.sim3_backend = sim3_backend;
+  c.trim = trim;
   return c;
 }
 
@@ -110,6 +111,7 @@ SimOptions SimOptions::from_pipeline_config(const PipelineConfig& config) {
   o.fallback_frames = config.hybrid.fallback_frames;
   o.hard_limit_factor = config.hybrid.hard_limit_factor;
   o.checkpoint_interval = config.hybrid.checkpoint_interval;
+  o.trim = config.hybrid.trim;
   o.bdd_initial_capacity = config.hybrid.bdd.initial_capacity;
   o.bdd_cache_size_log2 = config.hybrid.bdd.cache_size_log2;
   o.bdd_auto_gc_floor = config.hybrid.bdd.auto_gc_floor;

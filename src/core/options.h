@@ -74,6 +74,15 @@ struct SimOptions {
   /// uninterrupted ones. See HybridConfig::checkpoint_interval and
   /// docs/CHECKPOINT.md.
   std::size_t checkpoint_interval = 0;
+  /// Execution-redundancy trimming in the symbolic stage (see
+  /// HybridConfig::trim and docs/ANALYSIS.md): quiescent-frame
+  /// skipping, SOT/rMOT activation parking, shared MOT equality
+  /// products and cluster-aware shard assignment. Bit-identical to the
+  /// untrimmed run by construction, so — like sim3_backend — it is a
+  /// pure performance knob, excluded from store fingerprints; it IS
+  /// recorded in manifests so a resumed campaign recomputes the same
+  /// shard partition. On by default. CLI flag: --no-trim.
+  bool trim = true;
 
   // ---- parallel execution --------------------------------------------
   /// Worker threads for the symbolic stage: 1 = the serial
@@ -138,6 +147,7 @@ struct SimOptions {
            a.fallback_frames == b.fallback_frames &&
            a.hard_limit_factor == b.hard_limit_factor &&
            a.checkpoint_interval == b.checkpoint_interval &&
+           a.trim == b.trim &&
            a.threads == b.threads && a.chunk_size == b.chunk_size &&
            a.seed == b.seed &&
            a.bdd_initial_capacity == b.bdd_initial_capacity &&

@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "analysis/cone.h"
 #include "obs/telemetry.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -104,6 +105,14 @@ void ParallelSymSim::set_initial_status(std::vector<FaultStatus> status) {
   initial_status_ = std::move(status);
 }
 
+void ParallelSymSim::set_trim_plan(TrimPlan plan) {
+  if (plan.dead_from.size() != faults_.size()) {
+    throw std::invalid_argument("set_trim_plan: plan does not match the "
+                                "fault list");
+  }
+  trim_plan_ = std::move(plan);
+}
+
 std::size_t ParallelSymSim::resolved_threads() const noexcept {
   return config_.threads == 0 ? ThreadPool::default_thread_count()
                               : config_.threads;
@@ -121,6 +130,19 @@ HybridResult ParallelSymSim::run(
   std::vector<std::size_t> live;
   for (std::size_t i = 0; i < faults_.size(); ++i) {
     if (initial_status_[i] == FaultStatus::Undetected) live.push_back(i);
+  }
+  // Cluster-aware shard assignment: group faults by shared cone of
+  // influence before cutting chunks (deterministic — see the class
+  // comment). A resumed run recomputes the identical partition because
+  // the reorder depends on nothing but the inputs validated below.
+  if (config_.hybrid.trim) {
+    live = cluster_live_order(*netlist_, faults_, live);
+  }
+  // One global trimming plan, sliced per chunk below; building it once
+  // here keeps the per-shard setup cost flat in the chunk count.
+  TrimPlan plan;
+  if (config_.hybrid.trim) {
+    plan = trim_plan_ ? *trim_plan_ : build_trim_plan(*netlist_, faults_);
   }
   const std::size_t chunk_size = resolved_chunk_size();
   const std::size_t chunk_count = (live.size() + chunk_size - 1) / chunk_size;
@@ -218,6 +240,14 @@ HybridResult ParallelSymSim::run(
         if (telemetry_ != nullptr) sim.set_telemetry(telemetry_);
         if (resume_of[c].has_value()) sim.set_resume(*resume_of[c]);
         if (!tied_.empty()) sim.set_tied_constants(tied_);
+        if (config_.hybrid.trim) {
+          TrimPlan chunk_plan;
+          chunk_plan.dead_from.reserve(end - begin);
+          for (std::size_t k = begin; k < end; ++k) {
+            chunk_plan.dead_from.push_back(plan.dead_from[live[k]]);
+          }
+          sim.set_trim_plan(std::move(chunk_plan));
+        }
         std::optional<obs::SpanTracer::Span> shard_span;
         if (telemetry_ != nullptr) {
           shard_span = telemetry_->tracer.span("shard");
@@ -277,6 +307,9 @@ HybridResult ParallelSymSim::run(
     merged.symbolic_frames += r.symbolic_frames;
     merged.three_valued_frames += r.three_valued_frames;
     merged.checkpoint_syncs += r.checkpoint_syncs;
+    merged.frames_skipped += r.frames_skipped;
+    merged.faults_terminated_early += r.faults_terminated_early;
+    merged.faultfree_evals_shared += r.faultfree_evals_shared;
     merged.peak_live_nodes =
         std::max(merged.peak_live_nodes, r.peak_live_nodes);
   }

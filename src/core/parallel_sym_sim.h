@@ -2,6 +2,7 @@
 #define MOTSIM_CORE_PARALLEL_SYM_SIM_H
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "core/checkpoint.h"
@@ -43,9 +44,19 @@ struct ParallelSymConfig {
 /// threaded by design; see bdd/bdd.h), and lets a pool of workers
 /// drain the chunk queue via an atomic cursor.
 ///
+/// When config.hybrid.trim is on, the live faults are first reordered
+/// so faults sharing a cone-of-influence signature become shard
+/// neighbours (cluster_live_order, analysis/cone.h): shard-mates then
+/// diverge over the same region of the circuit, maximizing reuse of
+/// the shard's one fault-free OBDD evaluation and its shared per-frame
+/// MOT equality products. The reorder is itself a pure function of the
+/// netlist, fault list and initial statuses, so determinism is
+/// unaffected (docs/DESIGN.md).
+///
 /// Determinism: the chunk partition is a pure function of the fault
-/// list, the initial statuses and `chunk_size` — never of `threads` or
-/// of scheduling — and every chunk's simulation is self-contained, so
+/// list, the initial statuses, `chunk_size` and the trim flag — never
+/// of `threads` or of scheduling — and every chunk's simulation is
+/// self-contained, so
 /// the merged result is bit-identical for ANY thread count (1, 2, 8,
 /// ...), including runs where fallback windows trigger. Relative to
 /// the UNsharded serial engine the per-fault statuses also match
@@ -115,6 +126,12 @@ class ParallelSymSim {
     tied_ = std::move(tied);
   }
 
+  /// Supplies a pre-built trimming plan in this fault list's global
+  /// indexing (see HybridFaultSim::set_trim_plan); the driver slices
+  /// it per chunk. Without it a structural plan is built once when
+  /// config.hybrid.trim is on. Ignored when trimming is off.
+  void set_trim_plan(TrimPlan plan);
+
   /// Thread count after resolving 0 to the hardware default.
   [[nodiscard]] std::size_t resolved_threads() const noexcept;
   /// Shard size after resolving 0 to kDefaultChunkSize.
@@ -133,6 +150,7 @@ class ParallelSymSim {
   obs::Telemetry* telemetry_ = nullptr;
   std::vector<ChunkCheckpoint> resume_;
   std::vector<ConstVal> tied_;
+  std::optional<TrimPlan> trim_plan_;
 };
 
 }  // namespace motsim

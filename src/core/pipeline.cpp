@@ -7,6 +7,7 @@
 
 #include "analysis/implication.h"
 #include "analysis/static_xred.h"
+#include "analysis/trim.h"
 #include "core/parallel_sym_sim.h"
 #include "core/xred.h"
 #include "obs/telemetry.h"
@@ -48,6 +49,11 @@ PipelineResult run_pipeline(const Netlist& netlist,
   // ---- Stage 0: sequence-independent static analysis ---------------------
   std::vector<FaultStatus> status(faults.size(), FaultStatus::Undetected);
   std::vector<ConstVal> tied;  // nonempty => constants for the symbolic stage
+  // Implication-enriched trimming plan for the symbolic stage: its
+  // settled constants subsume the structural ones the engines would
+  // otherwise derive themselves. Only built when the analysis stage
+  // paid for the engine anyway.
+  std::optional<TrimPlan> trim_plan;
   if (config.analysis) {
     std::optional<obs::SpanTracer::Span> span;
     if (telemetry != nullptr) span = telemetry->tracer.span("stage.analysis");
@@ -59,6 +65,9 @@ PipelineResult run_pipeline(const Netlist& netlist,
     const ImplicationEngine eng(netlist);
     result.static_untestable = eng.classify(faults, status);
     if (eng.tied_constant_count() != 0) tied = eng.tied_constants();
+    if (config.run_symbolic && config.hybrid.trim) {
+      trim_plan = build_trim_plan(eng, faults);
+    }
     result.seconds_analysis = timer.elapsed_seconds();
     for (FaultStatus s : status) {
       if (s == FaultStatus::StaticXRed) ++result.static_x_redundant;
@@ -141,6 +150,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
       sym.set_checkpoint_sink(checkpoint);
       sym.set_telemetry(telemetry);
       if (!tied.empty()) sym.set_tied_constants(tied);
+      if (trim_plan) sym.set_trim_plan(*trim_plan);
       rs = sym.run(sequence);
     } else {
       ParallelSymConfig pc;
@@ -153,6 +163,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
       sym.set_checkpoint_sink(checkpoint);
       sym.set_telemetry(telemetry);
       if (!tied.empty()) sym.set_tied_constants(tied);
+      if (trim_plan) sym.set_trim_plan(*trim_plan);
       rs = sym.run(sequence);
     }
     result.seconds_symbolic = timer.elapsed_seconds();
@@ -160,6 +171,9 @@ PipelineResult run_pipeline(const Netlist& netlist,
                  result.seconds_symbolic);
     result.detected_symbolic = rs.detected_count;
     result.used_fallback = rs.used_fallback;
+    result.frames_skipped = rs.frames_skipped;
+    result.faults_terminated_early = rs.faults_terminated_early;
+    result.faultfree_evals_shared = rs.faultfree_evals_shared;
 
     // Merge: symbolic detections override; everything else keeps its
     // stage-1/2 classification (and its three-valued detection frame).

@@ -82,6 +82,14 @@ struct PipelineResult {
   /// carries X (partially specified) inputs, which only the
   /// three-valued stage supports.
   bool symbolic_skipped_x_inputs = false;
+  /// Execution-redundancy trimming counters of the symbolic stage
+  /// (docs/ANALYSIS.md; all zero when trimming was off or the stage
+  /// did not run): fault-frames whose propagation was skipped, faults
+  /// parked once their static activation horizon passed, and MOT
+  /// fault-frames served from the shared fault-free equality product.
+  std::uint64_t frames_skipped = 0;
+  std::uint64_t faults_terminated_early = 0;
+  std::uint64_t faultfree_evals_shared = 0;
   double seconds_analysis = 0;
   double seconds_xred = 0;
   double seconds_3v = 0;

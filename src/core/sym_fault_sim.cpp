@@ -57,6 +57,24 @@ const Bdd& SymFrameContext::good_eq_term(
   return eq_term_[j];
 }
 
+const Bdd& SymFrameContext::frame_eq_product(
+    const Netlist& netlist, bdd::BddManager& mgr,
+    const std::vector<bdd::VarIndex>& x2y) {
+  if (eq_product_.is_null()) {
+    const std::vector<Bdd>& good = *good_values_;
+    const auto& outputs = netlist.outputs();
+    // Never zero: every assignment with y == x satisfies each term.
+    Bdd p = mgr.one();
+    for (std::size_t j = 0; j < outputs.size(); ++j) {
+      const Bdd& gv = good[outputs[j]];
+      if (gv.is_const()) continue;  // [b == b] == 1
+      p &= good_eq_term(j, gv, mgr, x2y);
+    }
+    eq_product_ = p;
+  }
+  return eq_product_;
+}
+
 // ---------------------------------------------------------------------------
 // SymFaultPropagator
 // ---------------------------------------------------------------------------
@@ -77,6 +95,24 @@ SymFaultPropagator::SymFaultPropagator(const Netlist& netlist,
 const Bdd& SymFaultPropagator::fval(NodeIndex node,
                                     const std::vector<Bdd>& good) const {
   return scratch_stamp_[node] == stamp_ ? scratch_val_[node] : good[node];
+}
+
+bool SymFaultPropagator::quiescent(
+    const Fault& fault,
+    const std::vector<std::pair<std::uint32_t, Bdd>>& state_diff,
+    const std::vector<Bdd>& good) const {
+  if (!trim_ || !state_diff.empty()) return false;
+  // With no stored state divergence, the faulty machine can only
+  // diverge this frame through the fault site itself; when the
+  // activation net's fault-free value is the constant stuck value (for
+  // every power-up state — the BDD is the constant node), forcing the
+  // stuck value changes nothing anywhere. Because primary inputs are
+  // concrete per frame, input-cone nets have constant good values and
+  // this fires far beyond statically tied nets.
+  const NodeIndex act = activation_node(*netlist_, fault);
+  if (act == kNoNode) return false;
+  const Bdd& av = good[act];
+  return av.is_const() && av.is_one() == fault.stuck_value;
 }
 
 void SymFaultPropagator::propagate(
@@ -217,6 +253,20 @@ void SymFaultPropagator::release_scratch() {
 
 bool SymFaultPropagator::step(const Fault& fault, Strategy strategy,
                               SymFaultState& fs, SymFrameContext& ctx) {
+  if (quiescent(fault, fs.state_diff, ctx.good_values())) {
+    // Identical machines this frame: propagation, SOT/rMOT detection
+    // (both only examine diverged outputs) and latching are no-ops.
+    // MOT still owes [o_j(x) == o_j(y)] for every non-constant output;
+    // that is exactly the shared frame product, and `zero & t == zero`
+    // plus associativity make the result bit-identical to the
+    // untrimmed per-output accumulation.
+    ++trim_counters_.frames_skipped;
+    if (strategy != Strategy::Mot) return false;
+    ++trim_counters_.shared_eq_uses;
+    fs.detect &= ctx.frame_eq_product(*netlist_, *mgr_, x2y_);
+    return fs.detect.is_zero();
+  }
+
   const Bdd sv = mgr_->constant(fault.stuck_value);
   propagate(fault, sv, fs.state_diff, ctx.good_values());
 
@@ -246,6 +296,22 @@ bool SymFaultPropagator::step(const Fault& fault, Strategy strategy,
 bool SymFaultPropagator::step_multi(const Fault& fault, MultiFaultState& ms,
                                     SymFrameContext& ctx,
                                     std::uint32_t frame) {
+  if (quiescent(fault, ms.state_diff, ctx.good_values())) {
+    // Same argument as in step(): only MOT's accumulation survives a
+    // quiescent frame, and it collapses to the shared frame product.
+    ++trim_counters_.frames_skipped;
+    if (!ms.mot_done) {
+      ++trim_counters_.shared_eq_uses;
+      ms.mot_detect &= ctx.frame_eq_product(*netlist_, *mgr_, x2y_);
+      if (ms.mot_detect.is_zero()) {
+        ms.mot_done = true;
+        ms.mot_frame = frame;
+        ms.mot_detect = Bdd();
+      }
+    }
+    return ms.all_done();
+  }
+
   const Bdd sv = mgr_->constant(fault.stuck_value);
   propagate(fault, sv, ms.state_diff, ctx.good_values());
 
@@ -307,6 +373,15 @@ SymFaultSimResult SymFaultSim::run(
   const StateVars vars(nl.dff_count(), layout_);
   SymTrueValueSim good(nl, mgr, vars);
   SymFaultPropagator prop(nl, mgr, vars);
+  prop.set_trim(trim_);
+
+  // Static activation horizons for SOT/rMOT parking: once past
+  // dead_from with no stored divergence, the fault can never be
+  // excited again, so its remaining frames are pure no-ops. MOT never
+  // parks (D~ keeps accumulating equality terms). BDD handles of
+  // parked faults stay alive so gc pressure matches the untrimmed run.
+  TrimPlan plan;
+  if (trim_) plan = build_trim_plan(nl, faults_);
 
   SymFaultSimResult result;
   result.status = initial_status_;
@@ -316,11 +391,12 @@ SymFaultSimResult SymFaultSim::run(
   struct Live {
     std::size_t index;
     SymFaultState fs;
+    bool parked = false;
   };
   std::vector<Live> live;
   for (std::size_t i = 0; i < faults_.size(); ++i) {
     if (initial_status_[i] == FaultStatus::Undetected) {
-      live.push_back(Live{i, SymFaultState{mgr.one(), {}}});
+      live.push_back(Live{i, SymFaultState{mgr.one(), {}}, false});
     }
   }
 
@@ -331,9 +407,21 @@ SymFaultSimResult SymFaultSim::run(
 
     std::size_t keep = 0;
     for (std::size_t i = 0; i < live.size(); ++i) {
-      if (prop.step(faults_[live[i].index], strategy_, live[i].fs, ctx)) {
-        result.status[live[i].index] = det;
-        result.detect_frame[live[i].index] = static_cast<std::uint32_t>(t + 1);
+      Live& lf = live[i];
+      if (trim_ && strategy_ != Strategy::Mot && !lf.parked &&
+          plan.dead_from[lf.index] != 0 &&
+          t + 1 >= plan.dead_from[lf.index] && lf.fs.state_diff.empty()) {
+        lf.parked = true;
+      }
+      bool detected = false;
+      if (lf.parked) {
+        ++result.frames_skipped;
+      } else {
+        detected = prop.step(faults_[lf.index], strategy_, lf.fs, ctx);
+      }
+      if (detected) {
+        result.status[lf.index] = det;
+        result.detect_frame[lf.index] = static_cast<std::uint32_t>(t + 1);
         ++result.detected_count;
       } else {
         if (keep != i) live[keep] = std::move(live[i]);
@@ -344,6 +432,12 @@ SymFaultSimResult SymFaultSim::run(
     mgr.gc();
     result.peak_live_nodes =
         std::max(result.peak_live_nodes, mgr.live_node_count());
+  }
+
+  result.frames_skipped += prop.trim_counters().frames_skipped;
+  result.faultfree_evals_shared = prop.trim_counters().shared_eq_uses;
+  for (const Live& lf : live) {
+    if (lf.parked) ++result.faults_terminated_early;
   }
 
   // Witnesses for the survivors: D~ is nonzero, so a satisfying
@@ -382,7 +476,7 @@ SymFaultSimResult SymFaultSim::run(
 MultiStrategyResult run_all_strategies(
     const Netlist& nl, const std::vector<Fault>& faults,
     const std::vector<std::vector<Val3>>& sequence,
-    const bdd::BddConfig& bdd_config, VarLayout layout) {
+    const bdd::BddConfig& bdd_config, VarLayout layout, bool trim) {
   if (!nl.finalized()) {
     throw std::logic_error("run_all_strategies requires a finalized netlist");
   }
@@ -391,6 +485,7 @@ MultiStrategyResult run_all_strategies(
   const StateVars vars(nl.dff_count(), layout);
   SymTrueValueSim good(nl, mgr, vars);
   SymFaultPropagator prop(nl, mgr, vars);
+  prop.set_trim(trim);
 
   MultiStrategyResult result;
   for (SymFaultSimResult* r : {&result.sot, &result.rmot, &result.mot}) {
@@ -451,6 +546,13 @@ MultiStrategyResult run_all_strategies(
     result.sot.peak_live_nodes = std::max(result.sot.peak_live_nodes, peak);
     result.rmot.peak_live_nodes = result.sot.peak_live_nodes;
     result.mot.peak_live_nodes = result.sot.peak_live_nodes;
+  }
+
+  // One shared pass, so the trimming telemetry is mirrored like the
+  // peak above.
+  for (SymFaultSimResult* r : {&result.sot, &result.rmot, &result.mot}) {
+    r->frames_skipped = prop.trim_counters().frames_skipped;
+    r->faultfree_evals_shared = prop.trim_counters().shared_eq_uses;
   }
 
   return result;

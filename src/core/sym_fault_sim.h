@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/trim.h"
 #include "bdd/bdd.h"
 #include "circuit/levelize.h"
 #include "circuit/netlist.h"
@@ -69,11 +70,24 @@ class SymFrameContext {
                                bdd::BddManager& mgr,
                                const std::vector<bdd::VarIndex>& x2y);
 
+  /// The product of good_eq_term over ALL non-constant outputs — the
+  /// full MOT contribution of a frame in which a fault's machine is
+  /// identical to the fault-free one. Built once per frame, shared by
+  /// every quiescent fault in the shard: by associativity and OBDD
+  /// canonicity, `detect &= frame_eq_product()` yields the exact BDD
+  /// node the per-output accumulation would, for the cost of one AND
+  /// instead of |outputs| ANDs per fault (the trimming pass's main
+  /// wall-clock win; docs/DESIGN.md).
+  const bdd::Bdd& frame_eq_product(const Netlist& netlist,
+                                   bdd::BddManager& mgr,
+                                   const std::vector<bdd::VarIndex>& x2y);
+
  private:
   const std::vector<bdd::Bdd>* good_values_;
   const std::vector<bdd::Bdd>* good_next_state_;
   std::vector<bdd::Bdd> out_y_;    ///< null until first use
   std::vector<bdd::Bdd> eq_term_;  ///< null until first use
+  bdd::Bdd eq_product_;            ///< null until first use
 };
 
 /// Event-driven symbolic single-fault frame kernel.
@@ -118,7 +132,33 @@ class SymFaultPropagator {
   bool step_multi(const Fault& fault, MultiFaultState& ms,
                   SymFrameContext& ctx, std::uint32_t frame);
 
+  /// Execution-redundancy counters of the trimming pass.
+  struct TrimCounters {
+    /// Fault-frames skipped because the fault was provably quiescent.
+    std::uint64_t frames_skipped = 0;
+    /// Fault-frames whose MOT terms came from the shared per-frame
+    /// fault-free equality product instead of per-output ANDs.
+    std::uint64_t shared_eq_uses = 0;
+  };
+
+  /// Enables ERASER-style frame skipping (docs/ANALYSIS.md): a fault
+  /// with no stored state divergence whose activation net's fault-free
+  /// value is the constant stuck value cannot be excited this frame —
+  /// the faulty machine IS the fault-free machine — so propagation is
+  /// skipped outright; under MOT the frame's detection contribution
+  /// collapses to one AND with the shared frame_eq_product. Results
+  /// are bit-identical to the untrimmed step by OBDD canonicity.
+  void set_trim(bool trim) noexcept { trim_ = trim; }
+  [[nodiscard]] const TrimCounters& trim_counters() const noexcept {
+    return trim_counters_;
+  }
+
  private:
+  /// True when the trimming pass may skip this fault-frame entirely.
+  [[nodiscard]] bool quiescent(
+      const Fault& fault,
+      const std::vector<std::pair<std::uint32_t, bdd::Bdd>>& state_diff,
+      const std::vector<bdd::Bdd>& good) const;
   [[nodiscard]] const bdd::Bdd& fval(NodeIndex node,
                                      const std::vector<bdd::Bdd>& good) const;
 
@@ -148,6 +188,8 @@ class SymFaultPropagator {
   std::uint32_t stamp_ = 0;
   EventQueue queue_;
   std::vector<NodeIndex> changed_;
+  bool trim_ = false;
+  TrimCounters trim_counters_;
 };
 
 /// A concrete certificate of UNdetectability under MOT (Lemma 1's
@@ -167,6 +209,13 @@ struct SymFaultSimResult {
   std::vector<std::uint32_t> detect_frame;  ///< 1-based; 0 = never
   std::size_t detected_count = 0;
   std::size_t peak_live_nodes = 0;
+  /// Trimming telemetry (all zero when trimming is off): fault-frames
+  /// whose propagation was skipped, faults parked once their static
+  /// activation horizon passed, and MOT fault-frames served by the
+  /// shared per-frame fault-free equality product.
+  std::uint64_t frames_skipped = 0;
+  std::uint64_t faults_terminated_early = 0;
+  std::uint64_t faultfree_evals_shared = 0;
   /// For every fault left undetected under rMOT/MOT (when
   /// SymFaultSim::set_collect_witnesses(true) was called): a satisfying
   /// pair of D~ — the indistinguishability certificate. Indexed like
@@ -196,6 +245,14 @@ class SymFaultSim {
   /// undetected (rMOT/MOT only; D~ is not maintained under SOT).
   void set_collect_witnesses(bool collect) { collect_witnesses_ = collect; }
 
+  /// Enables the execution-redundancy trimming pass (docs/ANALYSIS.md):
+  /// dynamic quiescent-frame skipping plus static activation parking
+  /// under SOT/rMOT. Verdicts, detect frames and witnesses are
+  /// bit-identical with trimming on or off. Off by default here so the
+  /// correctness suite can diff both paths; the production engines
+  /// (HybridFaultSim / ParallelSymSim) default it on.
+  void set_trim(bool trim) { trim_ = trim; }
+
   [[nodiscard]] SymFaultSimResult run(
       const std::vector<std::vector<Val3>>& sequence);
 
@@ -207,6 +264,7 @@ class SymFaultSim {
   bdd::BddConfig bdd_config_;
   VarLayout layout_;
   bool collect_witnesses_ = false;
+  bool trim_ = false;
 };
 
 /// Status value corresponding to a detection under `s`.
@@ -224,12 +282,14 @@ struct MultiStrategyResult {
 /// in ONE pass — ~2-3x cheaper than three dedicated runs because the
 /// event-driven symbolic propagation (the dominating cost) is shared.
 /// A fault stays live until every strategy has classified it or the
-/// sequence ends.
+/// sequence ends. `trim` enables quiescent-frame skipping (never
+/// parking — MOT must keep accumulating); results are bit-identical
+/// either way.
 [[nodiscard]] MultiStrategyResult run_all_strategies(
     const Netlist& netlist, const std::vector<Fault>& faults,
     const std::vector<std::vector<Val3>>& sequence,
     const bdd::BddConfig& bdd_config = {},
-    VarLayout layout = VarLayout::Interleaved);
+    VarLayout layout = VarLayout::Interleaved, bool trim = false);
 
 }  // namespace motsim
 

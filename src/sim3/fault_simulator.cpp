@@ -26,6 +26,9 @@ std::optional<Sim3Backend> parse_sim3_backend(std::string_view token) {
 
 Sim3Backend default_sim3_backend() {
   static const Sim3Backend cached = [] {
+    // Read once at first use, under the static-init lock; nothing in
+    // this process mutates the environment.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("MOTSIM_SIM3_BACKEND");
     if (env != nullptr) {
       if (const auto b = parse_sim3_backend(env)) return *b;

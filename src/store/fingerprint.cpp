@@ -77,6 +77,11 @@ std::uint64_t fingerprint_options(const SimOptions& options) {
   // resume) under the other. The constant keeps the slot the retired
   // parallel_sim3 flag occupied, so existing fingerprints stay valid.
   h.update_u64(0);
+  // options.trim is excluded for the same reason: trimming is
+  // bit-identical by construction, so a store written trimmed must
+  // validate (and resume) untrimmed and vice versa. The manifest still
+  // records the flag (opt_trim) because the parallel shard PARTITION —
+  // not the results — depends on the cluster reorder it enables.
   h.update_u64(options.run_symbolic ? 1 : 0);
   h.update_u64(static_cast<std::uint64_t>(options.strategy));
   h.update_u64(static_cast<std::uint64_t>(options.layout));

@@ -396,6 +396,7 @@ std::string StoreManifest::to_text() const {
   os << "opt_fallback_frames " << options.fallback_frames << '\n';
   os << "opt_hard_limit_factor " << options.hard_limit_factor << '\n';
   os << "opt_checkpoint_interval " << options.checkpoint_interval << '\n';
+  os << "opt_trim " << (options.trim ? 1 : 0) << '\n';
   os << "opt_threads " << options.threads << '\n';
   os << "opt_chunk_size " << options.chunk_size << '\n';
   os << "opt_seed " << options.seed << '\n';
@@ -409,6 +410,10 @@ Expected<StoreManifest, std::string> StoreManifest::from_text(
     const std::string& text) {
   using Err = Unexpected<std::string>;
   StoreManifest m;
+  // Manifests written before the trimming pass existed carry no
+  // opt_trim line; they must resume untrimmed (and unclustered) so the
+  // shard partition they checkpointed under is recomputed exactly.
+  m.options.trim = false;
   std::istringstream in(text);
   std::string raw;
   int line_no = 0;
@@ -515,6 +520,8 @@ Expected<StoreManifest, std::string> StoreManifest::from_text(
       if (!get_size(m.options.checkpoint_interval)) {
         return bad("bad opt_checkpoint_interval");
       }
+    } else if (key == "opt_trim") {
+      if (!get_bool(m.options.trim)) return bad("bad opt_trim");
     } else if (key == "opt_threads") {
       if (!get_size(m.options.threads)) return bad("bad opt_threads");
     } else if (key == "opt_chunk_size") {

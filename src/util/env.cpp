@@ -7,6 +7,9 @@
 namespace motsim {
 
 bool env_flag(const std::string& name) {
+  // getenv is mt-unsafe only against concurrent setenv; nothing in
+  // this process mutates the environment after startup.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv(name.c_str());
   if (v == nullptr) return false;
   const std::string s = to_lower(trim(v));
@@ -14,6 +17,8 @@ bool env_flag(const std::string& name) {
 }
 
 std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  // See env_flag: the environment is read-only in this process.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv(name.c_str());
   if (v == nullptr) return fallback;
   char* end = nullptr;

@@ -14,6 +14,10 @@ namespace motsim {
 namespace {
 
 std::string errno_message(const char* what) {
+  // strerror's static buffer is only racy against other strerror
+  // calls; this helper is the sole caller in the process and the
+  // string is copied out immediately.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   return std::string(what) + ": " + std::strerror(errno);
 }
 

@@ -17,6 +17,8 @@
 //   --progress       live progress of the symbolic stage on stderr
 //   --lint           static analysis first: structurally undetectable
 //                    faults are pruned up front (verdict static-X-red)
+//   --no-trim        disable execution-redundancy trimming in the
+//                    symbolic stage (bit-identical; perf knob only)
 //   --no-xred        skip the ID_X-red stage
 //   --no-symbolic    three-valued only (pure X01)
 //   --sim3-backend B three-valued backend: event | bitpar
@@ -123,6 +125,9 @@ struct Options {
                "stderr\n"
                "  --lint             prune statically undetectable faults\n"
                "                     first (see docs/ANALYSIS.md)\n"
+               "  --no-trim          disable execution-redundancy trimming\n"
+               "                     in the symbolic stage (bit-identical\n"
+               "                     results; see docs/ANALYSIS.md)\n"
                "  --no-xred          skip ID_X-red\n"
                "  --no-symbolic      pure three-valued run\n"
                "  --sim3-backend B   three-valued backend: event (serial\n"
@@ -215,6 +220,7 @@ Options parse_args(int argc, char** argv) {
       else if (s == "blocked") o.sim.layout = VarLayout::Blocked;
       else fail("--layout expects interleaved or blocked, got '" + s + "'");
     } else if (a == "--lint") o.sim.analysis = true;
+    else if (a == "--no-trim") o.sim.trim = false;
     else if (a == "--no-xred") o.sim.run_xred = false;
     else if (a == "--no-symbolic") o.sim.run_symbolic = false;
     else if (a == "--sim3-backend") {

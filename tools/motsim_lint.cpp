@@ -18,6 +18,10 @@
 //                    summary of the learned implications
 //   --untestable     append one note per statically untestable fault
 //                    (FIRE-style fault-independent identification)
+//   --cones          append cone-of-influence notes: one per fault
+//                    cluster sharing an observation cone (the shard-
+//                    mate groups the trimming pass exploits) plus a
+//                    circuit-level cone-size summary
 //
 // Exit code is the worst finding across all circuits: 0 clean (notes
 // never fail a run), 1 warnings, 2 errors. Usage errors exit 2.
@@ -29,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cone.h"
 #include "analysis/diagnostics.h"
 #include "analysis/implication.h"
 #include "analysis/lint.h"
@@ -53,6 +58,7 @@ struct Options {
   bool static_xred = false;
   bool implications = false;
   bool untestable = false;
+  bool cones = false;
   std::size_t top = 5;
 };
 
@@ -71,6 +77,8 @@ struct Options {
                "                 and settled nets, learned-implication "
                "summary)\n"
                "  --untestable   append statically-untestable-fault notes\n"
+               "  --cones        append cone-of-influence cluster notes and\n"
+               "                 a cone-size summary (docs/ANALYSIS.md)\n"
                "  --version      print version and exit\n"
                "exit code: 0 clean, 1 warnings, 2 errors (worst circuit "
                "wins)\n");
@@ -111,6 +119,7 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--static-xred") o.static_xred = true;
     else if (a == "--implications") o.implications = true;
     else if (a == "--untestable") o.untestable = true;
+    else if (a == "--cones") o.cones = true;
     else if (!a.empty() && a[0] == '-') fail("unknown option '" + a + "'");
     else o.circuits.push_back(a);
   }
@@ -222,6 +231,58 @@ void append_untestable(const Netlist& nl, const ImplicationEngine& eng,
                  " faults statically untestable");
 }
 
+/// Appends the trimming pass's structural view of the fault list: one
+/// note per cluster of two or more faults sharing a cone-of-influence
+/// signature ("cone.cluster", anchored at the representative fault's
+/// node — these are the shard-mate groups ParallelSymSim's
+/// cluster-aware assignment packs together) plus one circuit-level
+/// summary ("cone.summary") with the cluster census and the
+/// min/median/max forward-cone sizes over all faults.
+void append_cones(const Netlist& nl, DiagnosticReport& report) {
+  ConeAnalysis analysis(nl);
+  const std::vector<Fault> faults = all_faults(nl);
+  const std::vector<ConeCluster> clusters = analysis.cluster_faults(faults);
+
+  std::size_t singletons = 0;
+  std::size_t shared = 0;
+  std::size_t largest = 0;
+  for (const ConeCluster& c : clusters) {
+    if (c.fault_indices.size() < 2) {
+      ++singletons;
+      continue;
+    }
+    ++shared;
+    largest = std::max(largest, c.fault_indices.size());
+    const Fault& rep = faults[c.fault_indices.front()];
+    report.add(nl, "cone.cluster", Severity::Note, rep.site.node,
+               std::to_string(c.fault_indices.size()) +
+                   " faults share one cone of influence (" +
+                   std::to_string(c.summary.outputs_reached) + " outputs, " +
+                   std::to_string(c.summary.dffs_reached) +
+                   " flip-flops reachable; representative " +
+                   fault_name(nl, rep) + ")");
+  }
+
+  std::vector<std::size_t> coi;
+  coi.reserve(faults.size());
+  for (const Fault& f : faults) {
+    coi.push_back(analysis.fault_cone(f).forward_size);
+  }
+  std::sort(coi.begin(), coi.end());
+  const std::size_t min_coi = coi.empty() ? 0 : coi.front();
+  const std::size_t med_coi = coi.empty() ? 0 : coi[coi.size() / 2];
+  const std::size_t max_coi = coi.empty() ? 0 : coi.back();
+  report.add(nl, "cone.summary", Severity::Note, kNoNode,
+             std::to_string(faults.size()) + " faults in " +
+                 std::to_string(clusters.size()) + " cone clusters (" +
+                 std::to_string(shared) + " shared, " +
+                 std::to_string(singletons) + " singleton; largest " +
+                 std::to_string(largest) +
+                 " faults); cone of influence min/median/max " +
+                 std::to_string(min_coi) + "/" + std::to_string(med_coi) +
+                 "/" + std::to_string(max_coi) + " nodes");
+}
+
 void print_scoap(const Netlist& nl, std::size_t top) {
   const SiteTable sites(nl);
   const TestabilityScores scores = compute_testability(nl, sites);
@@ -291,6 +352,7 @@ int main(int argc, char** argv) {
       if (o.implications) append_implications(nl, engine, report);
       if (o.untestable) append_untestable(nl, engine, report);
     }
+    if (o.cones) append_cones(nl, report);
 
     if (!first) std::printf("\n");
     first = false;
