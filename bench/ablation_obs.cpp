@@ -23,13 +23,17 @@
 //   MOTSIM_THREADS=n   worker threads of the symbolic stage (default 2)
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/options.h"
 #include "core/pipeline.h"
 #include "faults/collapse.h"
+#include "obs/log.h"
+#include "obs/sampler.h"
 #include "obs/telemetry.h"
 #include "tpg/sequences.h"
 #include "util/rng.h"
@@ -118,17 +122,46 @@ int main() {
     const Measurement on =
         measure(nl, faults.faults(), seq, opts, reps, &telemetry);
 
+    // The whole stack at once: metrics + spans + recorder, plus a live
+    // JSONL log sink at the default Info level and the background
+    // sampler — everything `--log X --sample-interval 5` turns on.
+    const std::string scratch =
+        (std::filesystem::temp_directory_path() / "motsim_ablation_obs")
+            .string();
+    std::filesystem::create_directories(scratch);
+    obs::Telemetry full_tele;
+    auto logger =
+        obs::Logger::open(scratch + "/" + name + ".log.jsonl",
+                          obs::LogLevel::Info);
+    Measurement full;
+    if (logger.has_value()) {
+      full_tele.attach_logger(logger->get());
+      auto sampler = obs::Sampler::start(
+          full_tele, scratch + "/" + name + ".samples.jsonl", 5);
+      full = measure(nl, faults.faults(), seq, opts, reps, &full_tele);
+      if (sampler.has_value()) (*sampler)->stop();
+      full_tele.attach_logger(nullptr);
+    } else {
+      std::fprintf(stderr, "ablation_obs: %s\n", logger.error().c_str());
+      full = on;
+    }
+
     const double overhead =
         off.seconds > 0 ? (on.seconds - off.seconds) / off.seconds : 0.0;
+    const double full_overhead =
+        off.seconds > 0 ? (full.seconds - off.seconds) / off.seconds : 0.0;
     std::printf("  %-18s %9.3f s   %zu detected\n", "telemetry off",
                 off.seconds, off.detected);
     std::printf("  %-18s %9.3f s   %zu detected   overhead %+.1f%%\n",
                 "telemetry on", on.seconds, on.detected, overhead * 100.0);
-    if (on.detected != off.detected) {
+    std::printf("  %-18s %9.3f s   %zu detected   overhead %+.1f%%\n",
+                "full obs stack", full.seconds, full.detected,
+                full_overhead * 100.0);
+    if (on.detected != off.detected || full.detected != off.detected) {
       std::fprintf(stderr,
                    "RESULT DIVERGENCE: %s detects %zu with telemetry, "
-                   "%zu without\n",
-                   name.c_str(), on.detected, off.detected);
+                   "%zu with the full stack, %zu without\n",
+                   name.c_str(), on.detected, full.detected, off.detected);
       budget_met = false;
     }
     if (overhead >= 0.02) {
@@ -136,6 +169,13 @@ int main() {
                    "BUDGET VIOLATION: %s telemetry costs %.1f%% "
                    "(budget 2%%)\n",
                    name.c_str(), overhead * 100.0);
+      budget_met = false;
+    }
+    if (full_overhead >= 0.02) {
+      std::fprintf(stderr,
+                   "BUDGET VIOLATION: %s full observability stack costs "
+                   "%.1f%% (budget 2%%)\n",
+                   name.c_str(), full_overhead * 100.0);
       budget_met = false;
     }
 
@@ -158,7 +198,7 @@ int main() {
   }
 
   if (!budget_met) return 1;
-  std::printf("telemetry overhead is within the 2%% budget and results "
-              "are identical off vs on.\n");
+  std::printf("telemetry overhead (bare and full stack) is within the 2%% "
+              "budget and results are identical off vs on.\n");
   return 0;
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Boots motsim_served on ephemeral loopback ports, drives it with the
 # motsim_load open-loop generator, validates the observability surface
-# (/healthz, /metrics) and the BENCH_serve.json summary, then shuts the
-# server down with SIGTERM (exercising the graceful drain).
+# (/healthz, /metrics, /metrics?format=json, /debug/state, the JSONL
+# access log, the SIGUSR1 state dump) and the BENCH_serve.json summary,
+# then shuts the server down with SIGTERM (exercising the graceful
+# drain).
 #
 # Usage: bench/run_serve_bench.sh [build-dir] [duration-s] [rate]
 # Exits non-zero if the server fails to boot, the load run completes
@@ -21,6 +23,23 @@ load="$build/tools/motsim_load"
 
 workdir="$(mktemp -d)"
 server_pid=""
+
+# Validates that every non-empty line of a file parses as JSON (one
+# interpreter for the whole file; `python3 -m json.tool` per line is
+# equivalent but forks once per record).
+validate_jsonl() {
+  python3 -c '
+import json, sys
+for n, line in enumerate(open(sys.argv[1]), 1):
+    line = line.strip()
+    if not line:
+        continue
+    try:
+        json.loads(line)
+    except ValueError as e:
+        sys.exit(f"{sys.argv[1]}:{n}: invalid JSON: {e}")
+' "$1"
+}
 cleanup() {
   if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
     kill -TERM "$server_pid" 2>/dev/null || true
@@ -31,6 +50,9 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 "$served" --port 0 --http-port 0 --store-root "$workdir/store" \
+  --log "$workdir/served.jsonl" --log-level debug \
+  --dump-path "$workdir/state.jsonl" \
+  --sample-interval 50 --sample-file "$workdir/samples.jsonl" \
   > "$workdir/served.log" 2>&1 &
 server_pid=$!
 
@@ -49,25 +71,61 @@ echo "motsim_served up: protocol port $port, http port $http_port"
 curl -fsS "http://127.0.0.1:$http_port/healthz" | grep -q ok \
   || { echo "/healthz failed"; exit 1; }
 
-"$load" --port "$port" --duration "$duration" --rate "$rate" \
+"$load" --port "$port" --http-port "$http_port" \
+  --duration "$duration" --rate "$rate" \
   --connections 4 --vectors 16 --out "$workdir/BENCH_serve.json"
 
 python3 -m json.tool "$workdir/BENCH_serve.json" > /dev/null \
   || { echo "BENCH_serve.json is not valid JSON"; exit 1; }
+grep -q '"server"' "$workdir/BENCH_serve.json" \
+  || { echo "BENCH_serve.json is missing the server-side counters"; exit 1; }
 
 metrics="$workdir/metrics.txt"
 curl -fsS "http://127.0.0.1:$http_port/metrics" > "$metrics"
 for series in motsim_build_info serve_requests_completed \
-  serve_queue_depth serve_request_seconds_bucket; do
+  serve_queue_depth serve_request_seconds_bucket \
+  serve_queue_wait_seconds_bucket; do
   grep -q "$series" "$metrics" \
     || { echo "/metrics is missing $series"; exit 1; }
 done
+
+curl -fsS "http://127.0.0.1:$http_port/metrics?format=json" \
+  | python3 -m json.tool > /dev/null \
+  || { echo "/metrics?format=json is not valid JSON"; exit 1; }
+
+# /debug/state and the SIGUSR1 dump must both be per-line-valid JSONL.
+curl -fsS "http://127.0.0.1:$http_port/debug/state" > "$workdir/debug_state.jsonl"
+validate_jsonl "$workdir/debug_state.jsonl" \
+  || { echo "/debug/state is not valid JSONL"; exit 1; }
+
+kill -USR1 "$server_pid"
+for _ in $(seq 1 50); do
+  [ -s "$workdir/state.jsonl" ] && break
+  sleep 0.1
+done
+[ -s "$workdir/state.jsonl" ] \
+  || { echo "SIGUSR1 produced no state dump"; exit 1; }
+validate_jsonl "$workdir/state.jsonl" \
+  || { echo "SIGUSR1 state dump is not valid JSONL"; exit 1; }
+echo "SIGUSR1 state dump: $(wc -l < "$workdir/state.jsonl") valid JSONL lines"
 
 kill -TERM "$server_pid"
 wait "$server_pid" || true
 server_pid=""
 grep -q "drained, exiting" "$workdir/served.log" \
   || { echo "server did not drain cleanly"; cat "$workdir/served.log"; exit 1; }
+
+# Every structured-log and sampler record the daemon wrote is one valid
+# JSON object per line, and the access log is present and traceable.
+grep -q '"event":"serve.request"' "$workdir/served.jsonl" \
+  || { echo "structured log has no serve.request access lines"; exit 1; }
+grep -q '"trace":"c' "$workdir/served.jsonl" \
+  || { echo "access log lines carry no trace ids"; exit 1; }
+for f in served.jsonl samples.jsonl; do
+  validate_jsonl "$workdir/$f" \
+    || { echo "$f is not valid JSONL"; exit 1; }
+done
+echo "structured log: $(wc -l < "$workdir/served.jsonl") valid JSONL lines"
 
 cp "$workdir/BENCH_serve.json" "$repo/BENCH_serve.json"
 echo "serve bench complete:"

@@ -169,6 +169,7 @@ HybridResult HybridFaultSim::run(
       lf.sym.state_diff.clear();
       lf.sym.detect = Bdd();
     }
+    const std::size_t nodes_at_entry = mgr.live_node_count();
     sim3->begin_window(good_state3, std::move(indices), std::move(diffs3));
     sym.release();
     mgr.gc();
@@ -176,6 +177,12 @@ HybridResult HybridFaultSim::run(
     window_left = config_.fallback_frames;
     result.used_fallback = true;
     ++result.fallback_windows;
+    obs::log_event(telemetry_, obs::LogLevel::Warn, "hybrid.fallback.enter",
+                   {obs::LogField::u64("frame", t + 1),
+                    obs::LogField::u64("live_nodes", nodes_at_entry),
+                    obs::LogField::u64("live_faults", live.size()),
+                    obs::LogField::u64("window_frames",
+                                       config_.fallback_frames)});
     // Both entry paths leave `t` pointing at the first frame the
     // window will simulate, so t + 1 is its 1-based number.
     if (progress_) progress_->on_fallback_window(t + 1, config_.fallback_frames);
@@ -235,6 +242,10 @@ HybridResult HybridFaultSim::run(
     live = std::move(survivors);
     sim3->end_window();
     seed_symbolic(state3, diffs3);
+    obs::log_event(telemetry_, obs::LogLevel::Info, "hybrid.fallback.exit",
+                   {obs::LogField::u64("frame", t + 1),
+                    obs::LogField::u64("live_faults", live.size()),
+                    obs::LogField::u64("live_nodes", mgr.live_node_count())});
   };
 
   // Builds the current boundary snapshot. In a three-valued window the
@@ -310,6 +321,11 @@ HybridResult HybridFaultSim::run(
     mode_span = telemetry_->tracer.span(
         mode == Mode::Symbolic ? "symbolic" : "fallback_window");
   }
+  // Resolved once: the per-frame gauge update must not pay the
+  // registry's map lookup inside the hot loop.
+  obs::Gauge* const live_nodes_gauge =
+      telemetry_ != nullptr ? &telemetry_->metrics.gauge("bdd.live_nodes")
+                            : nullptr;
 
   while (t < sequence.size() && live_count() != 0) {
     const Mode frame_mode = mode;
@@ -373,6 +389,14 @@ HybridResult HybridFaultSim::run(
         mgr.gc();
         result.peak_live_nodes =
             std::max(result.peak_live_nodes, mgr.live_node_count());
+        if (live_nodes_gauge != nullptr) {
+          live_nodes_gauge->set(
+              static_cast<double>(mgr.live_node_count()));
+        }
+        obs::log_event(telemetry_, obs::LogLevel::Trace, "bdd.gc",
+                       {obs::LogField::u64("frame", t),
+                        obs::LogField::u64("live_nodes",
+                                           mgr.live_node_count())});
         if (progress_) {
           progress_->on_frame(t, mgr.live_node_count(), live.size());
         }
@@ -391,6 +415,12 @@ HybridResult HybridFaultSim::run(
         // work and redo frame t in three-valued mode. Faults already
         // marked detected this frame keep their (valid) verdicts;
         // snapshot diffs restore every surviving fault.
+        obs::log_event(telemetry_, obs::LogLevel::Warn, "bdd.overflow",
+                       {obs::LogField::u64("frame", t + 1),
+                        obs::LogField::u64("node_limit",
+                                           config_.node_limit)},
+                       "hard node limit mid-frame; redoing frame "
+                       "three-valued");
         std::size_t keep = 0;
         std::vector<StateDiff3> survivors;
         for (std::size_t i = 0; i < live.size(); ++i) {
@@ -419,6 +449,12 @@ HybridResult HybridFaultSim::run(
           if (telemetry_ != nullptr) {
             telemetry_->tracer.instant("checkpoint_sync");
           }
+          obs::log_event(telemetry_, obs::LogLevel::Debug,
+                         "hybrid.checkpoint.sync",
+                         {obs::LogField::u64("frame", t),
+                          obs::LogField::u64("live_faults", live.size()),
+                          obs::LogField::u64("live_nodes",
+                                             mgr.live_node_count())});
         } else if (checkpoint_) {
           // The soft limit just opened a window: snapshot its entry
           // state without disturbing it.

@@ -18,9 +18,17 @@ namespace motsim {
 
 namespace {
 
+/// Opens one pipeline stage: the structured-log record paired with the
+/// span the call sites start themselves.
+void begin_stage(obs::Telemetry* telemetry, const char* name) {
+  obs::log_event(telemetry, obs::LogLevel::Debug, "pipeline.stage.begin",
+                 {obs::LogField::str("stage", name)});
+}
+
 /// Closes out one pipeline stage: ends its trace span, reports it to
-/// the progress sink and records its wall seconds as a pipeline.*
-/// gauge (gauges add, so repeated runs into one context accumulate).
+/// the progress sink, records its wall seconds as a pipeline.* gauge
+/// (gauges add, so repeated runs into one context accumulate) and logs
+/// the stage-end record.
 void finish_stage(obs::Telemetry* telemetry, ProgressSink* progress,
                   std::optional<obs::SpanTracer::Span>& span,
                   const char* name, double seconds) {
@@ -29,6 +37,9 @@ void finish_stage(obs::Telemetry* telemetry, ProgressSink* progress,
     telemetry->metrics.gauge(std::string("pipeline.") + name + "_seconds")
         .add(seconds);
   }
+  obs::log_event(telemetry, obs::LogLevel::Info, "pipeline.stage.end",
+                 {obs::LogField::str("stage", name),
+                  obs::LogField::f64("seconds", seconds)});
   if (progress != nullptr) {
     progress->on_stage((std::string("stage.") + name).c_str(), seconds);
   }
@@ -57,6 +68,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
   if (config.analysis) {
     std::optional<obs::SpanTracer::Span> span;
     if (telemetry != nullptr) span = telemetry->tracer.span("stage.analysis");
+    begin_stage(telemetry, "analysis");
     Stopwatch timer;
     const StaticXRedAnalysis sa(netlist);
     status = sa.classify(faults);
@@ -88,6 +100,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
   if (config.run_xred) {
     std::optional<obs::SpanTracer::Span> span;
     if (telemetry != nullptr) span = telemetry->tracer.span("stage.xred");
+    begin_stage(telemetry, "xred");
     Stopwatch timer;
     const XRedResult xr = run_id_x_red(netlist, sequence);
     const std::vector<FaultStatus> xs = xr.classify(faults);
@@ -108,6 +121,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
   {
     std::optional<obs::SpanTracer::Span> span;
     if (telemetry != nullptr) span = telemetry->tracer.span("stage.sim3");
+    begin_stage(telemetry, "sim3");
     Stopwatch timer;
     Sim3EngineConfig ec;
     ec.threads = config.threads;
@@ -141,6 +155,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
 
     std::optional<obs::SpanTracer::Span> span;
     if (telemetry != nullptr) span = telemetry->tracer.span("stage.symbolic");
+    begin_stage(telemetry, "symbolic");
     Stopwatch timer;
     HybridResult rs;
     if (config.threads == 1) {

@@ -1,0 +1,191 @@
+#include "obs/log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/strings.h"
+
+namespace motsim::obs {
+
+const char* to_cstring(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "trace";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "unknown";
+}
+
+Expected<LogLevel, std::string> parse_log_level(std::string_view name) {
+  const std::string lower = to_lower(name);
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return make_unexpected("unknown log level '" + std::string(name) +
+                         "' (trace|debug|info|warn|error|off)");
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  // Non-finite values have no JSON spelling; null keeps the record
+  // parseable (the same convention as the metrics renderer).
+  if (v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+    out += "null";
+    return;
+  }
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void format_log_record(std::string& out, double t, LogLevel level,
+                       std::string_view event, std::string_view trace,
+                       int tid, const LogField* fields, std::size_t count,
+                       std::string_view msg) {
+  out += "{\"t\":";
+  append_double(out, t);
+  out += ",\"level\":\"";
+  out += to_cstring(level);
+  out += "\",\"event\":";
+  append_json_string(out, event);
+  out += ",\"tid\":";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%d", tid);
+  out += buf;
+  if (!trace.empty()) {
+    out += ",\"trace\":";
+    append_json_string(out, trace);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const LogField& f = fields[i];
+    out.push_back(',');
+    append_json_string(out, f.key);
+    out.push_back(':');
+    switch (f.kind) {
+      case LogField::Kind::Int:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(f.i));
+        out += buf;
+        break;
+      case LogField::Kind::UInt:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(f.u));
+        out += buf;
+        break;
+      case LogField::Kind::Real:
+        append_double(out, f.d);
+        break;
+      case LogField::Kind::Bool:
+        out += f.b ? "true" : "false";
+        break;
+      case LogField::Kind::Str:
+        append_json_string(out, f.s);
+        break;
+    }
+  }
+  if (!msg.empty()) {
+    out += ",\"msg\":";
+    append_json_string(out, msg);
+  }
+  out += "}\n";
+}
+
+Logger::Logger(int fd, bool owns_fd, LogLevel level)
+    : level_(static_cast<std::uint8_t>(level)), fd_(fd), owns_fd_(owns_fd) {}
+
+Logger::~Logger() {
+  if (owns_fd_ && fd_ >= 0) ::close(fd_);
+}
+
+Expected<std::unique_ptr<Logger>, std::string> Logger::open(
+    const std::string& path, LogLevel level) {
+  if (path.empty() || path == "-") {
+    return std::unique_ptr<Logger>(
+        new Logger(STDERR_FILENO, /*owns_fd=*/false, level));
+  }
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return make_unexpected("log: cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<Logger>(new Logger(fd, /*owns_fd=*/true, level));
+}
+
+void Logger::write_line(const char* data, std::size_t size) noexcept {
+  Shard& shard = shards_[this_thread_shard() % kShards];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd_, data + off, size - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // a dead sink must never take down the process it logs
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+Expected<std::unique_ptr<Logger>, std::string> open_logger_from(
+    const std::string& path_flag, const std::string& level_flag) {
+  std::string path = path_flag;
+  if (path.empty()) {
+    if (const char* env = std::getenv("MOTSIM_LOG")) path = env;
+  }
+  std::string level_name = level_flag;
+  if (level_name.empty()) {
+    if (const char* env = std::getenv("MOTSIM_LOG_LEVEL")) level_name = env;
+  }
+  if (path.empty()) {
+    // No sink requested anywhere — logging stays off (a bare
+    // --log-level without a destination is not an error either).
+    return std::unique_ptr<Logger>(nullptr);
+  }
+  LogLevel level = LogLevel::Info;
+  if (!level_name.empty()) {
+    const auto parsed = parse_log_level(level_name);
+    if (!parsed.has_value()) return make_unexpected(parsed.error());
+    level = *parsed;
+  }
+  return Logger::open(path, level);
+}
+
+}  // namespace motsim::obs

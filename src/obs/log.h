@@ -1,0 +1,170 @@
+#ifndef MOTSIM_OBS_LOG_H
+#define MOTSIM_OBS_LOG_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/expected.h"
+
+namespace motsim::obs {
+
+/// Structured JSONL logging (docs/OBSERVABILITY.md catalogues the
+/// stable dotted event ids — same discipline as the metric catalogue).
+///
+/// One log record is one JSON object on one line:
+///
+///   {"t":1.234,"level":"info","event":"serve.request","tid":0,
+///    "trace":"c3-r7","type":"FAULT_SIM","service_s":0.41}
+///
+/// The logger itself is a sink: level gating plus an atomic line
+/// append. Formatting happens at the call site (log_event in
+/// telemetry.h) into per-shard scratch buffers, so concurrent emitters
+/// from the fault-sharded driver mostly take distinct locks and never
+/// allocate per record once the scratch has grown.
+
+enum class LogLevel : std::uint8_t {
+  Trace = 0,
+  Debug = 1,
+  Info = 2,
+  Warn = 3,
+  Error = 4,
+  Off = 5,
+};
+
+[[nodiscard]] const char* to_cstring(LogLevel level) noexcept;
+
+/// Parses "trace" / "debug" / "info" / "warn" / "error" / "off"
+/// (case-insensitive).
+[[nodiscard]] Expected<LogLevel, std::string> parse_log_level(
+    std::string_view name);
+
+/// One typed key/value of a log record. Built through the static
+/// factories so integer literals never pick a surprising overload;
+/// key and string values must outlive the log_event call (string
+/// literals and locals both do).
+struct LogField {
+  enum class Kind : std::uint8_t { Int, UInt, Real, Bool, Str };
+
+  std::string_view key;
+  Kind kind = Kind::Int;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  double d = 0;
+  bool b = false;
+  std::string_view s;
+
+  [[nodiscard]] static LogField i64(std::string_view key,
+                                    std::int64_t v) noexcept {
+    LogField f;
+    f.key = key;
+    f.kind = Kind::Int;
+    f.i = v;
+    return f;
+  }
+  [[nodiscard]] static LogField u64(std::string_view key,
+                                    std::uint64_t v) noexcept {
+    LogField f;
+    f.key = key;
+    f.kind = Kind::UInt;
+    f.u = v;
+    return f;
+  }
+  [[nodiscard]] static LogField f64(std::string_view key, double v) noexcept {
+    LogField f;
+    f.key = key;
+    f.kind = Kind::Real;
+    f.d = v;
+    return f;
+  }
+  [[nodiscard]] static LogField boolean(std::string_view key,
+                                        bool v) noexcept {
+    LogField f;
+    f.key = key;
+    f.kind = Kind::Bool;
+    f.b = v;
+    return f;
+  }
+  [[nodiscard]] static LogField str(std::string_view key,
+                                    std::string_view v) noexcept {
+    LogField f;
+    f.key = key;
+    f.kind = Kind::Str;
+    f.s = v;
+    return f;
+  }
+};
+
+/// Formats one complete JSONL record (terminating newline included).
+/// `t` is seconds since the owning telemetry epoch; `trace` is empty
+/// outside any request scope. The output is appended to `out` (which
+/// the caller typically recycles as scratch).
+void format_log_record(std::string& out, double t, LogLevel level,
+                       std::string_view event, std::string_view trace,
+                       int tid, const LogField* fields, std::size_t count,
+                       std::string_view msg);
+
+/// The JSONL sink: a level gate in front of one O_APPEND fd.
+///
+/// Thread-safe. Each emitting thread hashes to one of kShards locks
+/// that serialize the final write() — concurrent emitters mostly take
+/// distinct locks, and the kernel's atomic append keeps whole lines
+/// intact across shards (one write() per record, never split).
+class Logger {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  /// Opens `path` for appending ("-" = stderr). `level` is the initial
+  /// gate; records below it are dropped at enabled() cost.
+  [[nodiscard]] static Expected<std::unique_ptr<Logger>, std::string> open(
+      const std::string& path, LogLevel level);
+
+  ~Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<std::uint8_t>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  void set_level(LogLevel level) noexcept {
+    level_.store(static_cast<std::uint8_t>(level),
+                 std::memory_order_relaxed);
+  }
+
+  /// Appends one already-formatted record (newline included) as a
+  /// single write() under this thread's shard lock.
+  void write_line(const char* data, std::size_t size) noexcept;
+
+ private:
+  Logger(int fd, bool owns_fd, LogLevel level);
+
+  struct alignas(64) Shard {
+    std::mutex mutex;
+  };
+
+  std::atomic<std::uint8_t> level_;
+  const int fd_;
+  const bool owns_fd_;
+  std::array<Shard, kShards> shards_;
+};
+
+/// Front-end surface shared by all four tools: resolves `path_flag` /
+/// `level_flag` (the --log / --log-level values, empty = unset)
+/// against the MOTSIM_LOG / MOTSIM_LOG_LEVEL environment variables.
+/// Returns nullptr (not an error) when neither source names a sink;
+/// errors are unopenable paths and unknown level names.
+[[nodiscard]] Expected<std::unique_ptr<Logger>, std::string>
+open_logger_from(const std::string& path_flag, const std::string& level_flag);
+
+}  // namespace motsim::obs
+
+#endif  // MOTSIM_OBS_LOG_H

@@ -6,6 +6,8 @@
 #include <limits>
 #include <sstream>
 
+#include "util/strings.h"
+
 namespace motsim::obs {
 
 std::size_t this_thread_shard() noexcept {
@@ -53,7 +55,11 @@ double histogram_quantile(const std::vector<double>& bounds,
                           double q) {
   std::uint64_t total = 0;
   for (const std::uint64_t b : buckets) total += b;
-  if (total == 0 || bounds.empty()) return 0.0;
+  // Defined results instead of bucket math on degenerate inputs: an
+  // empty histogram (or an empty bucket vector) has no observations to
+  // rank, and a NaN quantile selects nothing.
+  if (total == 0 || bounds.empty() || buckets.empty()) return 0.0;
+  if (std::isnan(q)) return 0.0;
   q = std::min(1.0, std::max(0.0, q));
   // Rank of the target observation (1-based), then the first bucket
   // whose cumulative count reaches it.
@@ -64,6 +70,10 @@ double histogram_quantile(const std::vector<double>& bounds,
     cumulative += buckets[bucket];
     if (static_cast<double>(cumulative) >= rank) break;
   }
+  // A caller may pass fewer buckets than bounds + 1 (a truncated
+  // snapshot); once the scan walks off the end there is nothing left
+  // to interpolate inside — clamp like the overflow bucket.
+  if (bucket >= buckets.size()) return bounds.back();
   if (bucket >= bounds.size()) {
     // Overflow bucket: no upper limit to interpolate toward — report
     // the highest finite bound (Prometheus does the same).
@@ -160,21 +170,25 @@ std::string prometheus_bound(double v) {
 }  // namespace
 
 std::string MetricsSnapshot::to_json() const {
+  // Ids are escaped on the way out: the catalogue's dotted names pass
+  // through unchanged, but a hostile or buggy id with a quote or
+  // backslash must still render valid JSON (pinned by test_obs).
   std::ostringstream os;
   os << "{\n  \"counters\": {";
   for (std::size_t i = 0; i < counters.size(); ++i) {
-    os << (i == 0 ? "\n" : ",\n") << "    \"" << counters[i].first
-       << "\": " << counters[i].second;
+    os << (i == 0 ? "\n" : ",\n") << "    \""
+       << json_escape(counters[i].first) << "\": " << counters[i].second;
   }
   os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
   for (std::size_t i = 0; i < gauges.size(); ++i) {
-    os << (i == 0 ? "\n" : ",\n") << "    \"" << gauges[i].first
-       << "\": " << json_number(gauges[i].second);
+    os << (i == 0 ? "\n" : ",\n") << "    \""
+       << json_escape(gauges[i].first) << "\": "
+       << json_number(gauges[i].second);
   }
   os << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
   for (std::size_t i = 0; i < histograms.size(); ++i) {
     const HistogramSnapshot& h = histograms[i];
-    os << (i == 0 ? "\n" : ",\n") << "    \"" << h.name
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(h.name)
        << "\": {\"bounds\": [";
     for (std::size_t b = 0; b < h.bounds.size(); ++b) {
       os << (b == 0 ? "" : ", ") << json_number(h.bounds[b]);
@@ -190,6 +204,20 @@ std::string MetricsSnapshot::to_json() const {
   }
   os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
   return os.str();
+}
+
+std::string MetricsSnapshot::to_json_line() const {
+  // The pretty renderer's newlines all sit between tokens (string
+  // values are escaped above), so removing them — and the trailing
+  // indentation they introduce — yields the same JSON on one line, fit
+  // for JSONL streams (/debug/state, the sampler).
+  const std::string pretty = to_json();
+  std::string out;
+  out.reserve(pretty.size());
+  for (const char c : pretty) {
+    if (c != '\n') out.push_back(c);
+  }
+  return out;
 }
 
 std::string MetricsSnapshot::to_prometheus() const {

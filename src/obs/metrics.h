@@ -116,7 +116,11 @@ class Histogram {
 /// linearly inside the selected bucket — the same contract as
 /// Prometheus's histogram_quantile(), so served metrics and local
 /// summaries agree. An observation landing in the overflow bucket is
-/// reported as the highest finite bound; an empty histogram reports 0.
+/// reported as the highest finite bound. Degenerate inputs all have
+/// defined results: an empty histogram (or empty bucket vector)
+/// reports 0, q is clamped into [0, 1], a NaN q reports 0, and a
+/// bucket vector shorter than bounds.size() + 1 clamps to the highest
+/// finite bound instead of reading past the end.
 [[nodiscard]] double histogram_quantile(const std::vector<double>& bounds,
                                         const std::vector<std::uint64_t>& buckets,
                                         double q);
@@ -144,7 +148,11 @@ struct MetricsSnapshot {
 
   /// One JSON object: {"counters":{...},"gauges":{...},
   /// "histograms":{name:{"bounds":[...],"buckets":[...],...}}}.
+  /// Metric ids are JSON-escaped, so any id renders valid JSON.
   [[nodiscard]] std::string to_json() const;
+  /// to_json() on a single line (no newlines) — one JSONL record, used
+  /// by /debug/state dumps and the state-dump files.
+  [[nodiscard]] std::string to_json_line() const;
   /// Prometheus text exposition format (dots in names become
   /// underscores; histograms expand to _bucket/_sum/_count).
   [[nodiscard]] std::string to_prometheus() const;

@@ -1,0 +1,119 @@
+#include "obs/recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+namespace motsim::obs {
+
+void FlightRecorder::note(const char* data, std::size_t size) noexcept {
+  while (size > 0 && data[size - 1] == '\n') --size;
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq & (kSlots - 1)];
+  if (slot.busy.test_and_set(std::memory_order_acquire)) {
+    // Somebody (a lapped writer or a dump) holds this slot right now.
+    // Waiting would put a lock in every instrumented path; dropping
+    // one ring entry under contention is the cheaper contract.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (size > kPayloadBytes) {
+    const int n = std::snprintf(
+        slot.data, kPayloadBytes,
+        "{\"event\":\"obs.recorder.truncated\",\"len\":%llu}",
+        static_cast<unsigned long long>(size));
+    slot.size = n > 0 ? static_cast<std::uint32_t>(n) : 0;
+  } else {
+    std::memcpy(slot.data, data, size);
+    slot.size = static_cast<std::uint32_t>(size);
+  }
+  slot.busy.clear(std::memory_order_release);
+}
+
+std::string FlightRecorder::dump() const {
+  std::string out;
+  out.reserve(kSlots * 64);
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    // head is the next slot to overwrite = the oldest record; walking
+    // forward from it yields chronological order once the ring wrapped.
+    Slot& slot = slots_[(head + i) & (kSlots - 1)];
+    if (slot.busy.test_and_set(std::memory_order_acquire)) continue;
+    if (slot.size > 0 && slot.size <= kPayloadBytes) {
+      out.append(slot.data, slot.size);
+      out.push_back('\n');
+    }
+    slot.busy.clear(std::memory_order_release);
+  }
+  return out;
+}
+
+void FlightRecorder::dump_to_fd(int fd) const noexcept {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    Slot& slot = slots_[(head + i) & (kSlots - 1)];
+    if (slot.busy.test_and_set(std::memory_order_acquire)) continue;
+    if (slot.size > 0 && slot.size <= kPayloadBytes) {
+      std::size_t off = 0;
+      while (off < slot.size) {
+        const ssize_t n = ::write(fd, slot.data + off, slot.size - off);
+        if (n <= 0) break;
+        off += static_cast<std::size_t>(n);
+      }
+      [[maybe_unused]] const ssize_t nl = ::write(fd, "\n", 1);
+    }
+    slot.busy.clear(std::memory_order_release);
+  }
+}
+
+namespace {
+
+// Crash-dump binding. Plain (not atomic) because install happens once
+// at startup before threads that could crash concurrently exist, and
+// the handler only reads.
+const FlightRecorder* g_crash_recorder = nullptr;
+char g_crash_path[512] = {0};
+
+void on_crash_signal(int sig) {
+  const FlightRecorder* rec = g_crash_recorder;
+  if (rec != nullptr && g_crash_path[0] != '\0') {
+    const int fd =
+        ::open(g_crash_path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      rec->dump_to_fd(fd);
+      ::close(fd);
+    }
+  }
+  // Restore the default disposition and re-raise so the process still
+  // dies with the right signal status (and core dump, if enabled).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_crash_dump(const FlightRecorder* recorder, const char* path) {
+  if (recorder == nullptr || path == nullptr || path[0] == '\0') {
+    g_crash_recorder = nullptr;
+    g_crash_path[0] = '\0';
+    for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT}) {
+      ::signal(sig, SIG_DFL);
+    }
+    return;
+  }
+  std::strncpy(g_crash_path, path, sizeof(g_crash_path) - 1);
+  g_crash_path[sizeof(g_crash_path) - 1] = '\0';
+  g_crash_recorder = recorder;
+  struct sigaction sa{};
+  sa.sa_handler = on_crash_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT}) {
+    (void)::sigaction(sig, &sa, nullptr);
+  }
+}
+
+}  // namespace motsim::obs

@@ -1,0 +1,89 @@
+#ifndef MOTSIM_OBS_RECORDER_H
+#define MOTSIM_OBS_RECORDER_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace motsim::obs {
+
+/// Always-on flight recorder: a fixed-size ring of the most recent
+/// log/span records, kept in memory at near-zero cost so the last
+/// moments before a crash or a wedge are reconstructable after the
+/// fact (dumped on crash signal, on SIGUSR1, and via the DumpState
+/// request / GET /debug/state — see docs/OBSERVABILITY.md).
+///
+/// Concurrency: note() claims a slot with one relaxed fetch_add and
+/// takes the slot's try-spinlock (an atomic_flag) to fill it. A writer
+/// that finds its slot momentarily held by a lapped reader or another
+/// writer drops the record and counts it — the recorder never blocks
+/// and never waits. dump() takes each slot's flag the same way, so
+/// every byte it reads was published under an acquire/release pair
+/// (TSan-clean by construction, verified in tools/run_tsan.sh).
+///
+/// Crash safety: dump_to_fd() performs no allocation and calls only
+/// write() — safe from the crash-signal handler installed by
+/// install_crash_dump().
+class FlightRecorder {
+ public:
+  /// Ring capacity (power of two) and per-record byte budget. A record
+  /// larger than the budget is replaced by a short truncation marker so
+  /// every stored line stays valid JSON.
+  static constexpr std::size_t kSlots = 2048;
+  static constexpr std::size_t kPayloadBytes = 352;
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Stores one record (a JSON object, WITHOUT trailing newline —
+  /// note() strips one if present). Never blocks; drops on contention.
+  void note(const char* data, std::size_t size) noexcept;
+  void note(const std::string& line) noexcept {
+    note(line.data(), line.size());
+  }
+
+  /// Records appended so far (including dropped and truncated ones).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+  /// Records dropped because their slot was contended.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// JSONL dump of the retained window, oldest record first, one
+  /// trailing newline per record. Slots a writer holds at dump time
+  /// are skipped.
+  [[nodiscard]] std::string dump() const;
+
+  /// Same dump written straight to `fd` with write() only — no
+  /// allocation, async-signal-safe modulo the (bounded) per-slot
+  /// spinlocks, which dump_to_fd does not spin on: a held slot is
+  /// skipped exactly like in dump().
+  void dump_to_fd(int fd) const noexcept;
+
+ private:
+  struct Slot {
+    std::atomic_flag busy = ATOMIC_FLAG_INIT;
+    std::uint32_t size = 0;  ///< valid bytes of data; guarded by busy
+    char data[kPayloadBytes];
+  };
+
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::array<Slot, kSlots> slots_{};
+};
+
+/// Installs SIGSEGV/SIGBUS/SIGFPE/SIGABRT handlers that append
+/// `recorder`'s dump_to_fd output to `path` and then re-raise with the
+/// default disposition (so exit codes and core dumps are unchanged).
+/// One recorder per process; a second call rebinds recorder and path.
+/// Pass nullptr to uninstall.
+void install_crash_dump(const FlightRecorder* recorder, const char* path);
+
+}  // namespace motsim::obs
+
+#endif  // MOTSIM_OBS_RECORDER_H

@@ -1,0 +1,105 @@
+#include "obs/sampler.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/telemetry.h"
+#include "util/strings.h"
+
+namespace motsim::obs {
+
+std::size_t process_rss_bytes() noexcept {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total = 0;
+  unsigned long long resident = 0;
+  const int n = std::fscanf(f, "%llu %llu", &total, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(page > 0 ? page : 4096);
+}
+
+Sampler::Sampler(Telemetry& telemetry, std::FILE* out, int interval_ms)
+    : telemetry_(telemetry),
+      out_(out),
+      interval_ms_(std::max(interval_ms, 1)) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Sampler::~Sampler() {
+  stop();
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+Expected<std::unique_ptr<Sampler>, std::string> Sampler::start(
+    Telemetry& telemetry, const std::string& path, int interval_ms) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return make_unexpected("sampler: cannot open '" + path +
+                           "' for writing");
+  }
+  return std::unique_ptr<Sampler>(new Sampler(telemetry, out, interval_ms));
+}
+
+void Sampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // One final sample so even runs shorter than the interval leave a
+  // usable series (first + last bracket the run).
+  write_sample();
+  std::fflush(out_);
+}
+
+void Sampler::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    lock.unlock();
+    write_sample();
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stopping_; });
+  }
+}
+
+void Sampler::write_sample() {
+  const double t = telemetry_.seconds_since_start();
+  const MetricsSnapshot snap = telemetry_.metrics.snapshot();
+  std::string line;
+  line.reserve(256);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"t\":%.6f,\"rss_bytes\":%llu",
+                t, static_cast<unsigned long long>(process_rss_bytes()));
+  line += buf;
+  line += ",\"gauges\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) line += ",";
+    first = false;
+    line += '"';
+    line += json_escape(name);
+    line += "\":";
+    if (!std::isfinite(value)) {
+      line += "null";
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.9g", value);
+      line += buf;
+    }
+  }
+  line += "}}\n";
+  // One fwrite per record: samples from this thread never interleave
+  // with themselves, and nothing else writes this FILE.
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fflush(out_);
+}
+
+}  // namespace motsim::obs

@@ -1,0 +1,63 @@
+#ifndef MOTSIM_OBS_SAMPLER_H
+#define MOTSIM_OBS_SAMPLER_H
+
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/expected.h"
+
+namespace motsim::obs {
+
+struct Telemetry;
+
+/// Background time-series sampler: every `interval_ms` it snapshots
+/// the registry's gauges (live BDD nodes, queue depth, per-stage
+/// seconds — whatever the run has registered) plus the process RSS,
+/// and appends one JSONL record to `path`:
+///
+///   {"t":1.234,"rss_bytes":12345678,"gauges":{"bdd.live_nodes":431,...}}
+///
+/// This makes the paper's node-count-vs-time story (Tables II-IV, the
+/// 30k space limit) a first-class artifact: `motsim_cli
+/// --sample-interval 10` writes the series, tools/plot_samples.py
+/// renders it. Entirely optional — nothing is sampled unless a Sampler
+/// is started, so it costs the engines nothing.
+class Sampler {
+ public:
+  /// Starts the background thread. `interval_ms` is clamped to >= 1.
+  [[nodiscard]] static Expected<std::unique_ptr<Sampler>, std::string> start(
+      Telemetry& telemetry, const std::string& path, int interval_ms);
+
+  /// Stops and joins the thread, writing one final sample so short
+  /// runs still produce at least one record.
+  ~Sampler();
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  void stop();
+
+ private:
+  Sampler(Telemetry& telemetry, std::FILE* out, int interval_ms);
+  void loop();
+  void write_sample();
+
+  Telemetry& telemetry_;
+  std::FILE* const out_;
+  const int interval_ms_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+/// Resident-set size of the calling process in bytes (from
+/// /proc/self/statm), 0 where unavailable.
+[[nodiscard]] std::size_t process_rss_bytes() noexcept;
+
+}  // namespace motsim::obs
+
+#endif  // MOTSIM_OBS_SAMPLER_H

@@ -24,6 +24,33 @@ Expected<bool, std::string> write_file(const std::string& path,
 
 }  // namespace
 
+void log_event(Telemetry* telemetry, LogLevel level, std::string_view event,
+               std::initializer_list<LogField> fields,
+               std::string_view msg) {
+  if (telemetry == nullptr) return;  // the one disabled-path branch
+
+  // Small per-process thread number for log records — assigned on a
+  // thread's first record, stable afterwards (the tracer keeps its own
+  // per-context numbering; log tids only need to distinguish threads
+  // within one process's log stream).
+  static std::atomic<int> next_tid{0};
+  thread_local const int tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed);
+
+  // Recycled scratch: after a few records the append path stops
+  // allocating entirely.
+  thread_local std::string scratch;
+  scratch.clear();
+  format_log_record(scratch, telemetry->seconds_since_start(), level, event,
+                    current_trace_id(), tid, fields.begin(), fields.size(),
+                    msg);
+  telemetry->recorder.note(scratch);
+  Logger* const logger = telemetry->logger();
+  if (logger != nullptr && logger->enabled(level)) {
+    logger->write_line(scratch.data(), scratch.size());
+  }
+}
+
 Expected<bool, std::string> Telemetry::write_metrics_json(
     const std::string& path) const {
   return write_file(path, metrics.snapshot().to_json());

@@ -5,9 +5,30 @@
 #include <map>
 #include <sstream>
 
+#include "obs/recorder.h"
 #include "util/strings.h"
 
 namespace motsim::obs {
+
+namespace {
+
+std::string& this_thread_trace_id() noexcept {
+  thread_local std::string id;
+  return id;
+}
+
+}  // namespace
+
+const std::string& current_trace_id() noexcept {
+  return this_thread_trace_id();
+}
+
+ScopedTraceId::ScopedTraceId(std::string id)
+    : previous_(std::exchange(this_thread_trace_id(), std::move(id))) {}
+
+ScopedTraceId::~ScopedTraceId() {
+  this_thread_trace_id() = std::move(previous_);
+}
 
 void SpanTracer::Span::close() noexcept {
   if (tracer_ == nullptr) return;
@@ -37,14 +58,43 @@ int SpanTracer::tid_of_this_thread() {
 
 void SpanTracer::record(std::string name, double start, double duration,
                         bool instant) {
-  std::lock_guard<std::mutex> lock(mutex_);
   TraceEvent e;
   e.name = std::move(name);
+  e.trace = current_trace_id();
   e.start_seconds = start;
   e.duration_seconds = duration;
-  e.tid = tid_of_this_thread();
   e.instant = instant;
-  events_.push_back(std::move(e));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    e.tid = tid_of_this_thread();
+    events_.push_back(e);
+  }
+  if (recorder_ != nullptr) {
+    // Mirror the event into the flight-recorder window as one compact
+    // JSON line — spans and log records interleave chronologically in
+    // a dump.
+    std::string line;
+    line.reserve(96);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "{\"t\":%.6f,", e.start_seconds);
+    line += buf;
+    line += e.instant ? "\"instant\":\"" : "\"span\":\"";
+    line += json_escape(e.name);
+    line += '"';
+    if (!e.instant) {
+      std::snprintf(buf, sizeof(buf), ",\"dur_s\":%.6f",
+                    e.duration_seconds);
+      line += buf;
+    }
+    if (!e.trace.empty()) {
+      line += ",\"trace\":\"";
+      line += json_escape(e.trace);
+      line += '"';
+    }
+    std::snprintf(buf, sizeof(buf), ",\"tid\":%d}", e.tid);
+    line += buf;
+    recorder_->note(line);
+  }
 }
 
 std::vector<TraceEvent> SpanTracer::events() const {
@@ -80,7 +130,11 @@ std::string SpanTracer::to_chrome_json() const {
     } else {
       os << ",\"s\":\"t\"";
     }
-    os << ",\"pid\":1,\"tid\":" << e.tid << "}";
+    os << ",\"pid\":1,\"tid\":" << e.tid;
+    if (!e.trace.empty()) {
+      os << ",\"args\":{\"trace\":\"" << json_escape(e.trace) << "\"}";
+    }
+    os << "}";
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
   return os.str();

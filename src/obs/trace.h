@@ -14,10 +14,34 @@
 
 namespace motsim::obs {
 
+class FlightRecorder;
+
+/// Trace id of the calling thread — empty outside any request scope.
+/// Serve mode assigns one id per connection+request ("c3-r7") and
+/// every span, instant and log record emitted while it is in scope
+/// carries it, which is what lets one slow request be followed across
+/// the access log, the engine spans and its response frame
+/// (docs/OBSERVABILITY.md).
+[[nodiscard]] const std::string& current_trace_id() noexcept;
+
+/// RAII scope installing `id` as the thread's trace id; restores the
+/// previous id (usually empty) on destruction.
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(std::string id);
+  ~ScopedTraceId();
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  std::string previous_;
+};
+
 /// One recorded trace event. Times are seconds since the tracer's
 /// construction (one shared monotonic epoch for every thread).
 struct TraceEvent {
   std::string name;
+  std::string trace;            ///< request trace id, "" outside serve
   double start_seconds = 0;
   double duration_seconds = 0;  ///< 0 for instant events
   int tid = 0;                  ///< small per-tracer thread number
@@ -104,11 +128,20 @@ class SpanTracer {
   /// total seconds and mean milliseconds, longest total first.
   [[nodiscard]] std::string phase_summary() const;
 
+  /// Mirrors every recorded event into `recorder` as a compact JSON
+  /// line, so the flight recorder's window holds spans next to log
+  /// records. Telemetry wires this up; nullptr (the default) is a
+  /// single dormant branch per record.
+  void set_recorder(FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
  private:
   void record(std::string name, double start, double duration, bool instant);
   int tid_of_this_thread();
 
   Stopwatch epoch_;
+  FlightRecorder* recorder_ = nullptr;
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::unordered_map<std::thread::id, int> tids_;

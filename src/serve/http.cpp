@@ -1,0 +1,79 @@
+#include "serve/http.h"
+
+#include <sstream>
+
+#include "obs/telemetry.h"
+#include "util/version.h"
+
+namespace motsim::serve {
+
+HttpReply HttpEndpoint::handle(const std::string& request_text) const {
+  std::string method;
+  std::string target;
+  {
+    std::istringstream line(
+        request_text.substr(0, request_text.find("\r\n")));
+    line >> method >> target;
+  }
+  if (method != "GET") {
+    return HttpReply{405, "Method Not Allowed",
+                     "text/plain; charset=utf-8", "method not allowed\n"};
+  }
+  std::string path = target;
+  std::string query;
+  if (const auto qpos = target.find('?'); qpos != std::string::npos) {
+    path = target.substr(0, qpos);
+    query = target.substr(qpos + 1);
+  }
+
+  if (path == "/healthz") {
+    return HttpReply{200, "OK", "text/plain; charset=utf-8", "ok\n"};
+  }
+  if (path == "/metrics") {
+    if (query == "format=json") {
+      HttpReply reply;
+      reply.content_type = "application/json; charset=utf-8";
+      reply.body = telemetry_ != nullptr
+                       ? telemetry_->metrics.snapshot().to_json()
+                       : std::string("{}\n");
+      return reply;
+    }
+    std::ostringstream body;
+    // Classic build-info idiom: constant 1 gauge carrying the version
+    // as labels. Emitted here (not via MetricsRegistry) because the
+    // registry renders unlabeled series only.
+    body << "# TYPE motsim_build_info gauge\n"
+         << "motsim_build_info{version=\"" << version_string()
+         << "\",build=\"" << build_info_string() << "\"} 1\n";
+    if (telemetry_ != nullptr) {
+      body << telemetry_->metrics.snapshot().to_prometheus();
+    }
+    return HttpReply{200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                     body.str()};
+  }
+  if (path == "/debug/state") {
+    HttpReply reply;
+    reply.content_type = "application/x-ndjson";
+    if (telemetry_ != nullptr) {
+      reply.body = telemetry_->metrics.snapshot().to_json_line() + "\n" +
+                   telemetry_->recorder.dump();
+    } else {
+      reply.body = "{}\n";
+    }
+    return reply;
+  }
+  return HttpReply{404, "Not Found", "text/plain; charset=utf-8",
+                   "not found\n"};
+}
+
+std::string HttpEndpoint::render(const HttpReply& reply) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << reply.code << ' ' << reply.status << "\r\n"
+     << "Content-Type: " << reply.content_type << "\r\n"
+     << "Content-Length: " << reply.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << reply.body;
+  return os.str();
+}
+
+}  // namespace motsim::serve

@@ -1,0 +1,50 @@
+#ifndef MOTSIM_SERVE_HTTP_H
+#define MOTSIM_SERVE_HTTP_H
+
+#include <string>
+
+namespace motsim::obs {
+struct Telemetry;
+}
+
+namespace motsim::serve {
+
+/// One HTTP reply, before serialization.
+struct HttpReply {
+  int code = 200;
+  std::string status = "OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// The observability HTTP surface of motsim_served, factored out of
+/// the socket loop so tests drive it as a pure request-text →
+/// HttpReply function (tests/test_serve.cpp).
+///
+/// Routes (GET only; anything else is 405):
+///   /healthz              liveness probe, "ok\n"
+///   /metrics              Prometheus text exposition
+///                         (text/plain; version=0.0.4) + build info
+///   /metrics?format=json  the JSON renderer (application/json)
+///   /debug/state          JSONL (application/x-ndjson): one metrics
+///                         snapshot line, then the flight-recorder
+///                         window, oldest first
+class HttpEndpoint {
+ public:
+  explicit HttpEndpoint(obs::Telemetry* telemetry) noexcept
+      : telemetry_(telemetry) {}
+
+  /// Routes one raw request (at least the start line; headers are
+  /// ignored) to its reply. Never throws.
+  [[nodiscard]] HttpReply handle(const std::string& request_text) const;
+
+  /// Serializes a reply as an HTTP/1.0 response (Connection: close).
+  [[nodiscard]] static std::string render(const HttpReply& reply);
+
+ private:
+  obs::Telemetry* const telemetry_;
+};
+
+}  // namespace motsim::serve
+
+#endif  // MOTSIM_SERVE_HTTP_H

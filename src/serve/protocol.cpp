@@ -210,6 +210,8 @@ const char* to_cstring(FrameType t) noexcept {
     case FrameType::TestEvalResp: return "TEST_EVAL_RESULT";
     case FrameType::Error: return "ERROR";
     case FrameType::Busy: return "BUSY";
+    case FrameType::DumpStateReq: return "DUMP_STATE";
+    case FrameType::DumpStateResp: return "DUMP_STATE_RESULT";
   }
   return "UNKNOWN";
 }
@@ -231,6 +233,15 @@ std::uint32_t request_id(const Request& r) noexcept {
 
 std::uint32_t response_id(const Response& r) noexcept {
   return std::visit([](const auto& m) { return m.id; }, r);
+}
+
+const std::string& response_trace(const Response& r) noexcept {
+  return std::visit(
+      [](const auto& m) -> const std::string& { return m.trace; }, r);
+}
+
+void set_response_trace(Response& r, const std::string& trace) {
+  std::visit([&trace](auto& m) { m.trace = trace; }, r);
 }
 
 std::string encode_hello(const Hello& h) {
@@ -267,6 +278,9 @@ FrameType frame_type_of(const Request& r) noexcept {
     FrameType operator()(const TestEvalRequest&) {
       return FrameType::TestEvalReq;
     }
+    FrameType operator()(const DumpStateRequest&) {
+      return FrameType::DumpStateReq;
+    }
   };
   return std::visit(Visitor{}, r);
 }
@@ -283,6 +297,9 @@ FrameType frame_type_of(const Response& r) noexcept {
     }
     FrameType operator()(const ErrorResponse&) { return FrameType::Error; }
     FrameType operator()(const BusyResponse&) { return FrameType::Busy; }
+    FrameType operator()(const DumpStateResponse&) {
+      return FrameType::DumpStateResp;
+    }
   };
   return std::visit(Visitor{}, r);
 }
@@ -311,6 +328,7 @@ std::string encode_request(const Request& req) {
       w.u32(static_cast<std::uint32_t>(m.responses.size()));
       for (const auto& resp : m.responses) w.bytes(resp);
     }
+    void operator()(const DumpStateRequest& m) { w.u32(m.id); }
   };
   std::visit(Visitor{w}, req);
   return w.take();
@@ -318,15 +336,20 @@ std::string encode_request(const Request& req) {
 
 std::string encode_response(const Response& resp) {
   WireWriter w;
+  // Protocol v2: every response payload ends with its trace string.
   struct Visitor {
     WireWriter& w;
-    void operator()(const PongResponse& m) { w.u32(m.id); }
+    void operator()(const PongResponse& m) {
+      w.u32(m.id);
+      w.str(m.trace);
+    }
     void operator()(const LintResponse& m) {
       w.u32(m.id);
       w.u32(m.errors);
       w.u32(m.warnings);
       w.u32(m.notes);
       w.str(m.json);
+      w.str(m.trace);
     }
     void operator()(const FaultSimResponse& m) {
       w.u32(m.id);
@@ -340,17 +363,29 @@ std::string encode_response(const Response& resp) {
       w.bytes(m.status);
       w.u32(static_cast<std::uint32_t>(m.detect_frame.size()));
       for (const std::uint32_t f : m.detect_frame) w.u32(f);
+      w.str(m.trace);
     }
     void operator()(const TestEvalResponse& m) {
       w.u32(m.id);
       w.bytes(m.verdicts);
+      w.str(m.trace);
     }
     void operator()(const ErrorResponse& m) {
       w.u32(m.id);
       w.u16(static_cast<std::uint16_t>(m.code));
       w.str(m.message);
+      w.str(m.trace);
     }
-    void operator()(const BusyResponse& m) { w.u32(m.id); }
+    void operator()(const BusyResponse& m) {
+      w.u32(m.id);
+      w.str(m.trace);
+    }
+    void operator()(const DumpStateResponse& m) {
+      w.u32(m.id);
+      w.str(m.metrics_json);
+      w.str(m.recorder_jsonl);
+      w.str(m.trace);
+    }
   };
   std::visit(Visitor{w}, resp);
   return w.take();
@@ -420,6 +455,14 @@ Expected<Request, std::string> decode_request(FrameType type,
       }
       return Request(std::move(m));
     }
+    case FrameType::DumpStateReq: {
+      DumpStateRequest m;
+      m.id = r.u32();
+      if (const auto f = r.finish("DUMP_STATE"); !f.has_value()) {
+        return make_unexpected(f.error());
+      }
+      return Request(m);
+    }
     default:
       return make_unexpected(std::string("not a request frame type: ") +
                              to_cstring(type));
@@ -433,10 +476,11 @@ Expected<Response, std::string> decode_response(FrameType type,
     case FrameType::Pong: {
       PongResponse m;
       m.id = r.u32();
+      m.trace = r.str();
       if (const auto f = r.finish("PONG"); !f.has_value()) {
         return make_unexpected(f.error());
       }
-      return Response(m);
+      return Response(std::move(m));
     }
     case FrameType::LintResp: {
       LintResponse m;
@@ -445,6 +489,7 @@ Expected<Response, std::string> decode_response(FrameType type,
       m.warnings = r.u32();
       m.notes = r.u32();
       m.json = r.str();
+      m.trace = r.str();
       if (const auto f = r.finish("LINT_RESULT"); !f.has_value()) {
         return make_unexpected(f.error());
       }
@@ -471,6 +516,7 @@ Expected<Response, std::string> decode_response(FrameType type,
       for (std::uint32_t i = 0; i < frames && r.ok(); ++i) {
         m.detect_frame.push_back(r.u32());
       }
+      m.trace = r.str();
       if (const auto f = r.finish("FAULT_SIM_RESULT"); !f.has_value()) {
         return make_unexpected(f.error());
       }
@@ -480,6 +526,7 @@ Expected<Response, std::string> decode_response(FrameType type,
       TestEvalResponse m;
       m.id = r.u32();
       m.verdicts = r.bytes();
+      m.trace = r.str();
       if (const auto f = r.finish("TEST_EVAL_RESULT"); !f.has_value()) {
         return make_unexpected(f.error());
       }
@@ -490,6 +537,7 @@ Expected<Response, std::string> decode_response(FrameType type,
       m.id = r.u32();
       m.code = static_cast<ErrorCode>(r.u16());
       m.message = r.str();
+      m.trace = r.str();
       if (const auto f = r.finish("ERROR"); !f.has_value()) {
         return make_unexpected(f.error());
       }
@@ -498,10 +546,22 @@ Expected<Response, std::string> decode_response(FrameType type,
     case FrameType::Busy: {
       BusyResponse m;
       m.id = r.u32();
+      m.trace = r.str();
       if (const auto f = r.finish("BUSY"); !f.has_value()) {
         return make_unexpected(f.error());
       }
-      return Response(m);
+      return Response(std::move(m));
+    }
+    case FrameType::DumpStateResp: {
+      DumpStateResponse m;
+      m.id = r.u32();
+      m.metrics_json = r.str();
+      m.recorder_jsonl = r.str();
+      m.trace = r.str();
+      if (const auto f = r.finish("DUMP_STATE_RESULT"); !f.has_value()) {
+        return make_unexpected(f.error());
+      }
+      return Response(std::move(m));
     }
     default:
       return make_unexpected(std::string("not a response frame type: ") +

@@ -35,7 +35,11 @@ namespace motsim::serve {
 /// cannot recover from (unparseable length, oversized frame) — after
 /// sending a final ERROR frame describing why.
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Version history: v1 = PR 7's initial protocol; v2 adds a trace-id
+/// string to every response frame (request-scoped tracing — the id a
+/// client logs to correlate with the server's access log and spans)
+/// and the DUMP_STATE request/response pair.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 /// First payload word of a HELLO frame — "MOT1" — so a client talking
 /// to the wrong service fails fast instead of mis-parsing.
 inline constexpr std::uint32_t kHelloMagic = 0x3154'4f4du;
@@ -57,6 +61,8 @@ enum class FrameType : std::uint8_t {
   TestEvalResp = 9,
   Error = 10,
   Busy = 11,
+  DumpStateReq = 12,
+  DumpStateResp = 13,
 };
 
 [[nodiscard]] const char* to_cstring(FrameType t) noexcept;
@@ -132,8 +138,21 @@ struct TestEvalRequest {
   std::vector<std::vector<std::uint8_t>> responses;
 };
 
+/// Server-side state dump: the flight-recorder window plus a metrics
+/// snapshot — the wire twin of GET /debug/state, for clients already
+/// on the binary protocol.
+struct DumpStateRequest {
+  std::uint32_t id = 0;
+};
+
+// Every response carries `trace`: the server-assigned request trace id
+// ("c<conn>-r<seq>") that also tags the access-log line and every
+// engine span recorded while the request ran. Clients log it; an
+// operator greps it.
+
 struct PongResponse {
   std::uint32_t id = 0;
+  std::string trace{};
 };
 
 struct LintResponse {
@@ -142,6 +161,7 @@ struct LintResponse {
   std::uint32_t warnings = 0;
   std::uint32_t notes = 0;
   std::string json;  ///< DiagnosticReport::to_json()
+  std::string trace{};
 };
 
 struct FaultSimResponse {
@@ -159,34 +179,51 @@ struct FaultSimResponse {
   /// tests/test_serve.cpp compares against a direct run_pipeline call.
   std::vector<std::uint8_t> status;
   std::vector<std::uint32_t> detect_frame;
+  std::string trace{};
 };
 
 struct TestEvalResponse {
   std::uint32_t id = 0;
   /// One byte per screened response: 0 = Pass, 1 = Faulty.
   std::vector<std::uint8_t> verdicts;
+  std::string trace{};
 };
 
 struct ErrorResponse {
   std::uint32_t id = 0;  ///< 0 when no request id could be recovered
   ErrorCode code = ErrorCode::Internal;
   std::string message;
+  std::string trace{};
 };
 
 /// Admission backpressure: the campaign queue is full. The client
 /// should back off and retry — nothing was executed or queued.
 struct BusyResponse {
   std::uint32_t id = 0;
+  std::string trace{};
 };
 
-using Request =
-    std::variant<PingRequest, LintRequest, FaultSimRequest, TestEvalRequest>;
-using Response = std::variant<PongResponse, LintResponse, FaultSimResponse,
-                              TestEvalResponse, ErrorResponse, BusyResponse>;
+struct DumpStateResponse {
+  std::uint32_t id = 0;
+  std::string metrics_json;     ///< MetricsSnapshot::to_json_line()
+  std::string recorder_jsonl;   ///< FlightRecorder::dump()
+  std::string trace{};
+};
+
+using Request = std::variant<PingRequest, LintRequest, FaultSimRequest,
+                             TestEvalRequest, DumpStateRequest>;
+using Response =
+    std::variant<PongResponse, LintResponse, FaultSimResponse,
+                 TestEvalResponse, ErrorResponse, BusyResponse,
+                 DumpStateResponse>;
 
 /// Request id of any request / response variant.
 [[nodiscard]] std::uint32_t request_id(const Request& r) noexcept;
 [[nodiscard]] std::uint32_t response_id(const Response& r) noexcept;
+
+/// Trace id carried by any response variant (get / set uniformly).
+[[nodiscard]] const std::string& response_trace(const Response& r) noexcept;
+void set_response_trace(Response& r, const std::string& trace);
 
 // ---------------------------------------------------------------------
 // Payload codecs (payload bytes only — framing adds length + type)

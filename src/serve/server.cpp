@@ -6,12 +6,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
-#include <sstream>
+#include <fstream>
 #include <utility>
+#include <vector>
 
 #include "obs/telemetry.h"
 #include "serve/framing.h"
 #include "util/signals.h"
+#include "util/stopwatch.h"
 #include "util/version.h"
 
 namespace motsim::serve {
@@ -35,16 +37,20 @@ std::uint32_t salvage_id(const std::string& payload) {
           << 24);
 }
 
-std::string http_response(int code, const char* status,
-                          const std::string& content_type,
-                          const std::string& body) {
-  std::ostringstream os;
-  os << "HTTP/1.0 " << code << ' ' << status << "\r\n"
-     << "Content-Type: " << content_type << "\r\n"
-     << "Content-Length: " << body.size() << "\r\n"
-     << "Connection: close\r\n\r\n"
-     << body;
-  return os.str();
+/// Outcome tag of an access-log line, from the response frame type.
+const char* outcome_of(const Response& response) noexcept {
+  if (std::holds_alternative<ErrorResponse>(response)) return "error";
+  if (std::holds_alternative<BusyResponse>(response)) return "busy";
+  return "ok";
+}
+
+/// Queue-wait histogram buckets — same shape as the service-time
+/// histogram in serve/service.cpp so the two are comparable.
+const std::vector<double>& queue_wait_bounds() {
+  static const std::vector<double> kBounds = {
+      1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03,
+      0.1,  0.3,  1.0,  3.0,  10.0, 30.0, 100.0};
+  return kBounds;
 }
 
 }  // namespace
@@ -53,7 +59,8 @@ Server::Server(ServerConfig config, obs::Telemetry* telemetry)
     : config_(std::move(config)),
       telemetry_(telemetry),
       service_(config_.cache_capacity, config_.store_root, telemetry),
-      queue_(config_.threads, config_.queue_capacity, telemetry) {}
+      queue_(config_.threads, config_.queue_capacity, telemetry),
+      http_(telemetry) {}
 
 Server::~Server() { shutdown(); }
 
@@ -86,10 +93,35 @@ void Server::run_until_stop() {
   // handlers without SA_RESTART), so the poll inside
   // accept_with_timeout-style waits wakes promptly; here a coarse
   // sleep-poll is enough because nothing latency-sensitive waits on it.
+  // The same poll services SIGUSR1 state-dump requests — the handler
+  // only latches a flag, the dump itself runs here on a normal thread.
   while (!stopping_.load(std::memory_order_acquire) && !stop_requested()) {
+    if (take_dump_request() && !config_.dump_path.empty()) {
+      const auto dumped = dump_state(config_.dump_path);
+      obs::log_event(telemetry_, obs::LogLevel::Info, "serve.dump",
+                     {obs::LogField::str("path", config_.dump_path),
+                      obs::LogField::boolean("ok", dumped.has_value())});
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   shutdown();
+}
+
+Expected<bool, std::string> Server::dump_state(
+    const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    return make_unexpected("dump: cannot open for appending: " + path);
+  }
+  if (telemetry_ != nullptr) {
+    out << telemetry_->metrics.snapshot().to_json_line() << "\n"
+        << telemetry_->recorder.dump();
+  } else {
+    out << "{}\n";
+  }
+  out.flush();
+  if (!out) return make_unexpected("dump: write failed: " + path);
+  return true;
 }
 
 void Server::request_shutdown() {
@@ -104,7 +136,10 @@ void Server::shutdown() {
   // request finishes and its response is written, (3) only then tear
   // down sockets so readers blocked in read_frame wake up and exit.
   if (accept_thread_.joinable()) accept_thread_.join();
+  obs::log_event(telemetry_, obs::LogLevel::Info, "serve.drain.begin",
+                 {obs::LogField::u64("in_flight", queue_.in_flight())});
   queue_.drain();
+  obs::log_event(telemetry_, obs::LogLevel::Info, "serve.drain.end");
   {
     std::lock_guard<std::mutex> lock(conns_mutex_);
     for (const auto& weak : conns_) {
@@ -136,9 +171,12 @@ void Server::accept_loop() {
     set_tcp_nodelay(accepted->get());
     auto conn = std::make_shared<Connection>();
     conn->fd = std::move(*accepted);
+    conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
     if (telemetry_ != nullptr) {
       telemetry_->metrics.counter("serve.connections.accepted").add();
     }
+    obs::log_event(telemetry_, obs::LogLevel::Info, "serve.conn.accept",
+                   {obs::LogField::u64("conn", conn->id)});
     std::lock_guard<std::mutex> lock(conns_mutex_);
     conns_.push_back(conn);
     conn_threads_.emplace_back(
@@ -157,8 +195,9 @@ void Server::accept_loop() {
   }
 }
 
-void Server::send_response(Connection& conn, const Response& response) {
-  if (conn.broken.load(std::memory_order_acquire)) return;
+std::size_t Server::send_response(Connection& conn,
+                                  const Response& response) {
+  if (conn.broken.load(std::memory_order_acquire)) return 0;
   const std::string payload = encode_response(response);
   const FrameType type = frame_type_of(response);
   std::lock_guard<std::mutex> lock(conn.write_mutex);
@@ -168,7 +207,12 @@ void Server::send_response(Connection& conn, const Response& response) {
     if (telemetry_ != nullptr) {
       telemetry_->metrics.counter("serve.write_errors").add();
     }
+    obs::log_event(telemetry_, obs::LogLevel::Warn, "serve.conn.write_error",
+                   {obs::LogField::u64("conn", conn.id)}, wrote.error());
+    return 0;
   }
+  // Frame header (length + type) plus payload — what the peer reads.
+  return payload.size() + 5;
 }
 
 void Server::connection_loop(std::shared_ptr<Connection> conn) {
@@ -238,19 +282,77 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
       continue;
     }
     const std::uint32_t id = request_id(*decoded);
+    // Trace id for this request: connection id + per-connection
+    // sequence number. Minted on the reader thread so rejection paths
+    // (BUSY, draining) carry it too; propagated into the worker via
+    // ScopedTraceId so engine spans and log records inherit it.
+    const std::uint32_t seq =
+        conn->next_request.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::string trace =
+        "c" + std::to_string(conn->id) + "-r" + std::to_string(seq);
+    const std::size_t bytes_in = r.frame.payload.size() + 5;
     const auto request = std::make_shared<Request>(std::move(*decoded));
-    const bool admitted = queue_.try_submit([this, conn, request] {
-      send_response(*conn, service_.handle(*request));
+    const char* type_name = to_cstring(r.frame.type);
+    Stopwatch queued;  // admission → job start = queue wait
+    const bool admitted = queue_.try_submit([this, conn, request, trace,
+                                             type_name, bytes_in, queued] {
+      const obs::ScopedTraceId scope(trace);
+      const double queue_s = queued.elapsed_seconds();
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics
+            .histogram("serve.queue.wait_seconds", queue_wait_bounds())
+            .observe(queue_s);
+      }
+      Stopwatch served;
+      Response response = service_.handle(*request);
+      const double service_s = served.elapsed_seconds();
+      const std::size_t bytes_out = send_response(*conn, response);
+      obs::log_event(
+          telemetry_, obs::LogLevel::Info, "serve.request",
+          {obs::LogField::str("type", type_name),
+           obs::LogField::u64("id", response_id(response)),
+           obs::LogField::u64("bytes_in", bytes_in),
+           obs::LogField::u64("bytes_out", bytes_out),
+           obs::LogField::f64("queue_s", queue_s),
+           obs::LogField::f64("service_s", service_s),
+           obs::LogField::str("outcome", outcome_of(response))});
+      if (service_s > config_.slow_request_seconds) {
+        obs::log_event(telemetry_, obs::LogLevel::Warn,
+                       "serve.request.slow",
+                       {obs::LogField::str("type", type_name),
+                        obs::LogField::f64("service_s", service_s),
+                        obs::LogField::f64("threshold_s",
+                                           config_.slow_request_seconds)});
+      }
     });
     if (!admitted) {
+      const obs::ScopedTraceId scope(trace);
       if (queue_.draining()) {
-        send_response(*conn, ErrorResponse{id, ErrorCode::ShuttingDown,
-                                           "server is draining"});
+        ErrorResponse rejected{id, ErrorCode::ShuttingDown,
+                               "server is draining"};
+        rejected.trace = trace;
+        const std::size_t bytes_out = send_response(*conn, rejected);
+        obs::log_event(telemetry_, obs::LogLevel::Warn, "serve.request",
+                       {obs::LogField::str("type", type_name),
+                        obs::LogField::u64("id", id),
+                        obs::LogField::u64("bytes_in", bytes_in),
+                        obs::LogField::u64("bytes_out", bytes_out),
+                        obs::LogField::str("outcome", "draining")});
       } else {
-        send_response(*conn, BusyResponse{id});
+        BusyResponse busy{id};
+        busy.trace = trace;
+        const std::size_t bytes_out = send_response(*conn, busy);
+        obs::log_event(telemetry_, obs::LogLevel::Warn, "serve.request",
+                       {obs::LogField::str("type", type_name),
+                        obs::LogField::u64("id", id),
+                        obs::LogField::u64("bytes_in", bytes_in),
+                        obs::LogField::u64("bytes_out", bytes_out),
+                        obs::LogField::str("outcome", "busy")});
       }
     }
   }
+  obs::log_event(telemetry_, obs::LogLevel::Info, "serve.conn.close",
+                 {obs::LogField::u64("conn", conn->id)});
 }
 
 void Server::http_loop() {
@@ -269,35 +371,10 @@ void Server::http_loop() {
       if (n <= 0) break;
       req.append(buf, static_cast<std::size_t>(n));
     }
-    std::string path;
-    {
-      std::istringstream line(req.substr(0, req.find("\r\n")));
-      std::string method;
-      line >> method >> path;
-      if (method != "GET") path.clear();
-    }
-
-    std::string out;
-    if (path == "/healthz") {
-      out = http_response(200, "OK", "text/plain; charset=utf-8", "ok\n");
-    } else if (path == "/metrics") {
-      std::ostringstream body;
-      // Classic build-info idiom: constant 1 gauge carrying the version
-      // as labels. Emitted here (not via MetricsRegistry) because the
-      // registry renders unlabeled series only.
-      body << "# TYPE motsim_build_info gauge\n"
-           << "motsim_build_info{version=\"" << version_string()
-           << "\",build=\"" << build_info_string() << "\"} 1\n";
-      if (telemetry_ != nullptr) {
-        body << telemetry_->metrics.snapshot().to_prometheus();
-      }
-      out = http_response(200, "OK",
-                          "text/plain; version=0.0.4; charset=utf-8",
-                          body.str());
-    } else {
-      out = http_response(404, "Not Found", "text/plain; charset=utf-8",
-                          "not found\n");
-    }
+    // Routing and rendering live in HttpEndpoint (serve/http.h) so
+    // tests exercise them without sockets; this loop only does I/O.
+    const HttpReply reply = http_.handle(req);
+    const std::string out = HttpEndpoint::render(reply);
     (void)write_full(accepted->get(), out.data(), out.size());
   }
 }

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/http.h"
 #include "serve/request_queue.h"
 #include "serve/service.h"
 #include "util/expected.h"
@@ -34,6 +35,12 @@ struct ServerConfig {
   std::size_t cache_capacity = 32;
   /// Root directory for use_store campaign requests; empty = disabled.
   std::string store_root;
+  /// Requests whose service time exceeds this get a serve.request.slow
+  /// log record at Warn next to the normal access-log line.
+  double slow_request_seconds = 1.0;
+  /// Where SIGUSR1 / crash state dumps land (flight-recorder JSONL +
+  /// one metrics-snapshot line). Empty disables dump-on-signal.
+  std::string dump_path = "motsim_state.jsonl";
 };
 
 /// The motsim_served daemon core: accept loop + per-connection reader
@@ -70,6 +77,12 @@ class Server {
   /// threads. Idempotent; called by the destructor as a backstop.
   void shutdown();
 
+  /// Writes the current state dump — one metrics-snapshot JSONL line
+  /// followed by the flight-recorder window — appended to `path`. The
+  /// SIGUSR1 path of run_until_stop and the tests share this.
+  [[nodiscard]] Expected<bool, std::string> dump_state(
+      const std::string& path) const;
+
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] std::uint16_t http_port() const noexcept {
     return http_port_;
@@ -82,6 +95,8 @@ class Server {
   /// open until the last queued response for it was written.
   struct Connection {
     OwnedFd fd;
+    std::uint64_t id = 0;  ///< the "c<id>" half of request trace ids
+    std::atomic<std::uint32_t> next_request{0};  ///< the "r<seq>" half
     std::mutex write_mutex;
     std::atomic<bool> broken{false};  ///< write failed; stop responding
   };
@@ -89,12 +104,16 @@ class Server {
   void accept_loop();
   void connection_loop(std::shared_ptr<Connection> conn);
   void http_loop();
-  void send_response(Connection& conn, const Response& response);
+  /// Returns the encoded frame size actually written (0 when skipped
+  /// because the connection broke) — the access log's bytes_out.
+  std::size_t send_response(Connection& conn, const Response& response);
 
   ServerConfig config_;
   obs::Telemetry* const telemetry_;
   Service service_;
   RequestQueue queue_;
+  HttpEndpoint http_;
+  std::atomic<std::uint64_t> next_conn_id_{1};
 
   OwnedFd listen_fd_;
   OwnedFd http_fd_;

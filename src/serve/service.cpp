@@ -55,6 +55,9 @@ Response Service::handle(const Request& request) noexcept {
       Response operator()(const TestEvalRequest& m) {
         return s.handle_test_eval(m);
       }
+      Response operator()(const DumpStateRequest& m) {
+        return s.handle_dump_state(m);
+      }
     };
     response = std::visit(Visitor{*this}, request);
   } catch (const std::exception& e) {
@@ -78,6 +81,10 @@ Response Service::handle(const Request& request) noexcept {
       telemetry_->metrics.counter("serve.requests.errors").add();
     }
   }
+  // Every response carries the request's trace id — whatever
+  // ScopedTraceId the caller (a queue worker, or a test invoking
+  // handle() directly) put in scope. Empty when untraced.
+  set_response_trace(response, obs::current_trace_id());
   return response;
 }
 
@@ -231,6 +238,21 @@ Response Service::handle_test_eval(const TestEvalRequest& req) {
     }
     const Verdict v = evaluator.evaluate(response_bits);
     resp.verdicts.push_back(v == Verdict::Faulty ? 1 : 0);
+  }
+  return resp;
+}
+
+Response Service::handle_dump_state(const DumpStateRequest& req) {
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.counter("serve.requests.dump_state").add();
+  }
+  DumpStateResponse resp;
+  resp.id = req.id;
+  if (telemetry_ != nullptr) {
+    resp.metrics_json = telemetry_->metrics.snapshot().to_json_line();
+    resp.recorder_jsonl = telemetry_->recorder.dump();
+  } else {
+    resp.metrics_json = "{}";
   }
   return resp;
 }

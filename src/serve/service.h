@@ -37,6 +37,7 @@ class Service {
   [[nodiscard]] Response handle_lint(const LintRequest& req);
   [[nodiscard]] Response handle_fault_sim(const FaultSimRequest& req);
   [[nodiscard]] Response handle_test_eval(const TestEvalRequest& req);
+  [[nodiscard]] Response handle_dump_state(const DumpStateRequest& req);
 
   CircuitCache cache_;
   const std::string store_root_;

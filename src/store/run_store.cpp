@@ -715,6 +715,12 @@ void RunStore::append_checkpoint(const ChunkCheckpoint& checkpoint) {
                 {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0})
         .observe(write_timer.elapsed_seconds());
   }
+  obs::log_event(telemetry_, obs::LogLevel::Debug, "store.checkpoint.flush",
+                 {obs::LogField::u64("frame", checkpoint.frame),
+                  obs::LogField::boolean("complete", checkpoint.complete),
+                  obs::LogField::u64("bytes", line.size() + 1),
+                  obs::LogField::f64("write_s",
+                                     write_timer.elapsed_seconds())});
 }
 
 void RunStore::append_event(const std::string& json_object) {

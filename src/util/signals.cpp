@@ -10,10 +10,19 @@ namespace motsim {
 namespace {
 
 std::atomic<int> g_stop_signal{0};
+std::atomic<bool> g_dump_pending{false};
 // Self-pipe; write end is what the (async-signal-context) handler
 // touches — write() is async-signal-safe, condition variables are not.
 int g_wake_read = -1;
 int g_wake_write = -1;
+
+void on_dump_signal(int) {
+  g_dump_pending.store(true, std::memory_order_relaxed);
+  if (g_wake_write >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t r = ::write(g_wake_write, &byte, 1);
+  }
+}
 
 void on_stop_signal(int sig) {
   g_stop_signal.store(sig, std::memory_order_relaxed);
@@ -60,6 +69,23 @@ int stop_signal() noexcept {
 int stop_wake_fd() noexcept { return g_wake_read; }
 
 void request_stop(int sig) noexcept { on_stop_signal(sig == 0 ? SIGTERM : sig); }
+
+void install_dump_handler() noexcept {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  struct sigaction sa{};
+  sa.sa_handler = on_dump_signal;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESTART: a dump request must not abort in-flight reads/writes —
+  // only the poll loops need to notice it, and they poll the flag.
+  sa.sa_flags = SA_RESTART;
+  (void)::sigaction(SIGUSR1, &sa, nullptr);
+}
+
+bool take_dump_request() noexcept {
+  return g_dump_pending.exchange(false, std::memory_order_relaxed);
+}
 
 void reset_stop_for_tests() noexcept {
   g_stop_signal.store(0, std::memory_order_relaxed);

@@ -40,6 +40,17 @@ void install_stop_handlers() noexcept;
 /// used by tests and by the server's own shutdown paths.
 void request_stop(int sig) noexcept;
 
+/// Installs a SIGUSR1 handler that latches a "dump state" request
+/// (flight-recorder + metrics snapshot — docs/OBSERVABILITY.md). Like
+/// the stop handlers it only flips a flag and pokes the wake pipe;
+/// the dump itself runs on a normal thread that polls
+/// take_dump_request(). Idempotent.
+void install_dump_handler() noexcept;
+
+/// Consumes one pending SIGUSR1 dump request: true exactly once per
+/// latch (multiple signals before the poll coalesce into one dump).
+[[nodiscard]] bool take_dump_request() noexcept;
+
 /// Clears the stop flag (tests only; real processes stop once).
 void reset_stop_for_tests() noexcept;
 

@@ -11,9 +11,13 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
+#include <cmath>
 #include <cstddef>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -24,7 +28,10 @@
 #include "core/pipeline.h"
 #include "core/progress.h"
 #include "faults/collapse.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/sampler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "store/campaign.h"
@@ -724,6 +731,469 @@ TEST(CampaignTelemetry, EventsHaveTimestampsEvenWithoutTelemetry) {
   ASSERT_TRUE(res.has_value()) << res.error();
   for (const std::string& line : read_lines(tmp.path + "/events.jsonl")) {
     EXPECT_NE(line.find("\"t\":"), std::string::npos) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// histogram_quantile: the degenerate inputs motsim_load and the serve
+// digest feed it must all have defined results (regression for the
+// empty-histogram divide and the short-buckets out-of-range read).
+// ---------------------------------------------------------------------------
+
+TEST(HistogramQuantile, DegenerateInputsAreDefined) {
+  const std::vector<double> bounds{1.0, 2.0, 5.0};
+
+  // Empty bucket vector and all-zero buckets both report 0.
+  EXPECT_EQ(obs::histogram_quantile(bounds, {}, 0.5), 0.0);
+  EXPECT_EQ(obs::histogram_quantile(bounds, {0, 0, 0, 0}, 0.5), 0.0);
+  EXPECT_EQ(obs::histogram_quantile({}, {}, 0.5), 0.0);
+
+  // NaN q reports 0 instead of propagating into bucket ranks.
+  const double nan_q = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(obs::histogram_quantile(bounds, {1, 2, 3, 0}, nan_q), 0.0);
+
+  // q outside [0, 1] clamps to the endpoints.
+  const std::vector<std::uint64_t> buckets{10, 10, 10, 0};
+  EXPECT_EQ(obs::histogram_quantile(bounds, buckets, -3.0),
+            obs::histogram_quantile(bounds, buckets, 0.0));
+  EXPECT_EQ(obs::histogram_quantile(bounds, buckets, 7.0),
+            obs::histogram_quantile(bounds, buckets, 1.0));
+}
+
+TEST(HistogramQuantile, ShortBucketVectorClampsInsteadOfOverreading) {
+  // buckets.size() < bounds.size() + 1: the rank can land past the
+  // last provided bucket; the estimate must clamp to the highest
+  // finite bound, never index bounds[buckets.size() - 1] off the end.
+  const std::vector<double> bounds{1.0, 2.0, 5.0};
+  const std::vector<std::uint64_t> short_buckets{1, 1};  // 2 < 4
+  const double q99 = obs::histogram_quantile(bounds, short_buckets, 0.99);
+  EXPECT_GE(q99, 0.0);
+  EXPECT_LE(q99, 5.0);
+  const double q0 = obs::histogram_quantile(bounds, short_buckets, 0.0);
+  EXPECT_GE(q0, 0.0);
+  EXPECT_LE(q0, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Renderer hardening: Prometheus name mapping and JSON id escaping
+// ---------------------------------------------------------------------------
+
+TEST(Registry, PrometheusNameMappingKeepsDigitsAndUnderscores) {
+  obs::MetricsRegistry reg;
+  reg.counter("serve.requests.fault_sim").add(1);
+  reg.counter("hybrid.3v_frames").add(2);
+  reg.gauge("bdd.live_nodes").set(5);
+  reg.histogram("serve.queue.wait_seconds", {0.1}).observe(0.05);
+  const std::string text = reg.snapshot().to_prometheus();
+  // Dots map to underscores; digits and underscores survive.
+  EXPECT_NE(text.find("serve_requests_fault_sim 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("hybrid_3v_frames 2"), std::string::npos);
+  EXPECT_NE(text.find("bdd_live_nodes 5"), std::string::npos);
+  EXPECT_NE(text.find("serve_queue_wait_seconds_count 1"),
+            std::string::npos);
+  // The dotted originals never leak into the exposition text.
+  EXPECT_EQ(text.find("serve.requests.fault_sim"), std::string::npos);
+}
+
+TEST(Registry, PrometheusNameMappingReplacesForbiddenCharacters) {
+  obs::MetricsRegistry reg;
+  reg.counter("weird-name.with spaces").add(3);
+  const std::string text = reg.snapshot().to_prometheus();
+  EXPECT_NE(text.find("weird_name_with_spaces 3"), std::string::npos)
+      << text;
+}
+
+TEST(Registry, JsonRendererEscapesHostileMetricIds) {
+  obs::MetricsRegistry reg;
+  reg.counter("evil\"quote").add(1);
+  reg.gauge("back\\slash").set(2.0);
+  reg.histogram("newline\nname", {1.0}).observe(0.5);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("evil\\\"quote"), std::string::npos);
+  EXPECT_NE(json.find("back\\\\slash"), std::string::npos);
+}
+
+TEST(Registry, JsonLineIsOneWellFormedLine) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.counter").add(7);
+  reg.histogram("h.seconds", {0.1, 1.0}).observe(0.5);
+  const std::string line = reg.snapshot().to_json_line();
+  EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+  EXPECT_TRUE(json_well_formed(line)) << line;
+}
+
+// ---------------------------------------------------------------------------
+// Structured logging: level parsing, record formatting, the sink
+// ---------------------------------------------------------------------------
+
+TEST(Log, ParseLogLevelNamesAndErrors) {
+  using obs::LogLevel;
+  EXPECT_EQ(*obs::parse_log_level("trace"), LogLevel::Trace);
+  EXPECT_EQ(*obs::parse_log_level("DEBUG"), LogLevel::Debug);
+  EXPECT_EQ(*obs::parse_log_level("Info"), LogLevel::Info);
+  EXPECT_EQ(*obs::parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(*obs::parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(*obs::parse_log_level("off"), LogLevel::Off);
+  EXPECT_FALSE(obs::parse_log_level("loud").has_value());
+  EXPECT_FALSE(obs::parse_log_level("").has_value());
+}
+
+TEST(Log, FormatLogRecordIsOneWellFormedJsonLine) {
+  std::string out;
+  const obs::LogField fields[] = {
+      obs::LogField::i64("frame", -3),
+      obs::LogField::u64("nodes", 12345),
+      obs::LogField::f64("seconds", 0.25),
+      obs::LogField::boolean("fallback", true),
+      obs::LogField::str("stage", "sym\"bolic\\"),
+  };
+  obs::format_log_record(out, 1.5, obs::LogLevel::Info, "test.event",
+                         "c1-r2", 3, fields, 5, "a \"message\"\nwith\tescapes");
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), '\n');
+  const std::string line = out.substr(0, out.size() - 1);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_TRUE(json_well_formed(line)) << line;
+  EXPECT_NE(line.find("\"event\":\"test.event\""), std::string::npos);
+  EXPECT_NE(line.find("\"trace\":\"c1-r2\""), std::string::npos);
+  EXPECT_NE(line.find("\"frame\":-3"), std::string::npos);
+  EXPECT_NE(line.find("\"fallback\":true"), std::string::npos);
+}
+
+TEST(Log, FormatLogRecordRendersNonFiniteDoublesAsNull) {
+  std::string out;
+  const obs::LogField fields[] = {
+      obs::LogField::f64("inf", std::numeric_limits<double>::infinity()),
+      obs::LogField::f64("nan", std::numeric_limits<double>::quiet_NaN()),
+  };
+  obs::format_log_record(out, 0.0, obs::LogLevel::Warn, "test.nonfinite",
+                         "", 0, fields, 2, "");
+  const std::string line = out.substr(0, out.size() - 1);
+  EXPECT_TRUE(json_well_formed(line)) << line;
+  EXPECT_NE(line.find("\"inf\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"nan\":null"), std::string::npos) << line;
+}
+
+TEST(Log, LoggerWritesGatedJsonLines) {
+  TempDir tmp("log");
+  fs::create_directories(tmp.path);
+  const std::string file = tmp.path + "/run.log.jsonl";
+  auto logger = obs::Logger::open(file, obs::LogLevel::Info);
+  ASSERT_TRUE(logger.has_value()) << logger.error();
+
+  obs::Telemetry telemetry;
+  telemetry.attach_logger(logger->get());
+  obs::log_event(&telemetry, obs::LogLevel::Debug, "gated.out",
+                 {obs::LogField::i64("n", 1)});
+  obs::log_event(&telemetry, obs::LogLevel::Info, "kept.info",
+                 {obs::LogField::str("k", "v")}, "hello");
+  obs::log_event(&telemetry, obs::LogLevel::Error, "kept.error");
+  telemetry.attach_logger(nullptr);
+
+  const std::vector<std::string> lines = read_lines(file);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(json_well_formed(line)) << line;
+  }
+  EXPECT_NE(lines[0].find("\"event\":\"kept.info\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"level\":\"error\""), std::string::npos);
+  // The gated record never reached the file but did reach the
+  // always-on flight recorder.
+  EXPECT_NE(telemetry.recorder.dump().find("gated.out"), std::string::npos);
+}
+
+TEST(Log, SetLevelReopensTheGateAtRuntime) {
+  TempDir tmp("loglvl");
+  fs::create_directories(tmp.path);
+  const std::string file = tmp.path + "/lvl.jsonl";
+  auto logger = obs::Logger::open(file, obs::LogLevel::Error);
+  ASSERT_TRUE(logger.has_value());
+  EXPECT_FALSE((*logger)->enabled(obs::LogLevel::Info));
+  (*logger)->set_level(obs::LogLevel::Trace);
+  EXPECT_TRUE((*logger)->enabled(obs::LogLevel::Trace));
+  EXPECT_EQ((*logger)->level(), obs::LogLevel::Trace);
+}
+
+TEST(Log, NullTelemetryIsANoOp) {
+  // The disabled path of every instrumentation site: must not touch
+  // any sink, allocate, or crash.
+  obs::log_event(nullptr, obs::LogLevel::Error, "never.seen",
+                 {obs::LogField::i64("x", 1)}, "dropped");
+  SUCCEED();
+}
+
+TEST(Log, OpenLoggerFromPrefersFlagsOverEnvironment) {
+  // No flag, no env → no sink, not an error.
+  ASSERT_EQ(unsetenv("MOTSIM_LOG"), 0);
+  ASSERT_EQ(unsetenv("MOTSIM_LOG_LEVEL"), 0);
+  auto none = obs::open_logger_from("", "");
+  ASSERT_TRUE(none.has_value());
+  EXPECT_EQ(none->get(), nullptr);
+
+  // Unknown level name is an error even with a valid path.
+  TempDir tmp("logenv");
+  fs::create_directories(tmp.path);
+  EXPECT_FALSE(
+      obs::open_logger_from(tmp.path + "/x.jsonl", "loudest").has_value());
+
+  // The env variable names a sink when the flag does not.
+  const std::string env_file = tmp.path + "/env.jsonl";
+  ASSERT_EQ(setenv("MOTSIM_LOG", env_file.c_str(), 1), 0);
+  ASSERT_EQ(setenv("MOTSIM_LOG_LEVEL", "warn", 1), 0);
+  auto from_env = obs::open_logger_from("", "");
+  ASSERT_TRUE(from_env.has_value()) << from_env.error();
+  ASSERT_NE(from_env->get(), nullptr);
+  EXPECT_EQ((*from_env)->level(), obs::LogLevel::Warn);
+  ASSERT_EQ(unsetenv("MOTSIM_LOG"), 0);
+  ASSERT_EQ(unsetenv("MOTSIM_LOG_LEVEL"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(Recorder, DumpReturnsNotesOldestFirst) {
+  obs::FlightRecorder rec;
+  rec.note(std::string("{\"n\":1}"));
+  rec.note(std::string("{\"n\":2}\n"));  // trailing newline is stripped
+  const std::string dump = rec.dump();
+  const std::vector<std::string> lines = [&dump] {
+    std::vector<std::string> out;
+    std::istringstream in(dump);
+    for (std::string l; std::getline(in, l);) out.push_back(l);
+    return out;
+  }();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"n\":1}");
+  EXPECT_EQ(lines[1], "{\"n\":2}");
+  EXPECT_EQ(rec.recorded(), 2u);
+}
+
+TEST(Recorder, WrapAroundKeepsOnlyTheWindowAndEveryLineValid) {
+  obs::FlightRecorder rec;
+  const std::size_t total = obs::FlightRecorder::kSlots + 500;
+  for (std::size_t i = 0; i < total; ++i) {
+    rec.note("{\"seq\":" + std::to_string(i) + "}");
+  }
+  EXPECT_EQ(rec.recorded(), total);
+
+  const std::string dump = rec.dump();
+  std::istringstream in(dump);
+  std::size_t lines = 0;
+  std::string first;
+  for (std::string line; std::getline(in, line);) {
+    if (lines == 0) first = line;
+    EXPECT_TRUE(json_well_formed(line)) << line;
+    ++lines;
+  }
+  EXPECT_LE(lines, obs::FlightRecorder::kSlots);
+  EXPECT_GT(lines, obs::FlightRecorder::kSlots / 2);
+  // The retained window is the most recent kSlots records: the oldest
+  // surviving record is at least seq 500.
+  ASSERT_FALSE(first.empty());
+  const std::size_t at = first.find("\"seq\":");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_GE(std::stoull(first.substr(at + 6)), 500u);
+}
+
+TEST(Recorder, OversizedRecordBecomesAValidTruncationMarker) {
+  obs::FlightRecorder rec;
+  const std::string huge =
+      "{\"big\":\"" + std::string(obs::FlightRecorder::kPayloadBytes * 2, 'x') +
+      "\"}";
+  rec.note(huge);
+  const std::string dump = rec.dump();
+  ASSERT_FALSE(dump.empty());
+  const std::string line = dump.substr(0, dump.find('\n'));
+  EXPECT_LE(line.size(), obs::FlightRecorder::kPayloadBytes);
+  EXPECT_TRUE(json_well_formed(line)) << line;
+  EXPECT_EQ(line.find(huge), std::string::npos);
+}
+
+TEST(Recorder, ConcurrentNotesNeverTearOrCrash) {
+  obs::FlightRecorder rec;
+  constexpr int kThreads = 8;
+  constexpr int kNotes = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kNotes; ++i) {
+        rec.note("{\"w\":" + std::to_string(t) + ",\"i\":" +
+                 std::to_string(i) + "}");
+      }
+    });
+  }
+  // A concurrent reader exercises the dump-vs-note slot locks.
+  std::thread reader([&rec] {
+    for (int i = 0; i < 50; ++i) (void)rec.dump();
+  });
+  for (auto& t : threads) t.join();
+  reader.join();
+
+  EXPECT_EQ(rec.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kNotes);
+  std::istringstream in(rec.dump());
+  for (std::string line; std::getline(in, line);) {
+    EXPECT_TRUE(json_well_formed(line)) << line;
+  }
+  // Dropped records (contended slots) are counted, never silently lost.
+  EXPECT_LE(rec.dropped(), rec.recorded());
+}
+
+TEST(Recorder, LogEventsLandInTheRecorderEvenWithoutALogger) {
+  obs::Telemetry telemetry;  // no logger attached
+  obs::log_event(&telemetry, obs::LogLevel::Trace, "recorder.only",
+                 {obs::LogField::u64("k", 9)});
+  const std::string dump = telemetry.recorder.dump();
+  EXPECT_NE(dump.find("recorder.only"), std::string::npos);
+  std::istringstream in(dump);
+  for (std::string line; std::getline(in, line);) {
+    EXPECT_TRUE(json_well_formed(line)) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped trace ids
+// ---------------------------------------------------------------------------
+
+TEST(TraceId, ScopesNestAndRestore) {
+  EXPECT_TRUE(obs::current_trace_id().empty());
+  {
+    obs::ScopedTraceId outer("c1-r1");
+    EXPECT_EQ(obs::current_trace_id(), "c1-r1");
+    {
+      obs::ScopedTraceId inner("c1-r2");
+      EXPECT_EQ(obs::current_trace_id(), "c1-r2");
+    }
+    EXPECT_EQ(obs::current_trace_id(), "c1-r1");
+  }
+  EXPECT_TRUE(obs::current_trace_id().empty());
+}
+
+TEST(TraceId, IsThreadLocal) {
+  obs::ScopedTraceId mine("c9-r9");
+  std::string seen = "unset";
+  std::thread other([&seen] { seen = obs::current_trace_id(); });
+  other.join();
+  EXPECT_EQ(seen, "");
+  EXPECT_EQ(obs::current_trace_id(), "c9-r9");
+}
+
+TEST(TraceId, SpansAndLogRecordsCarryTheActiveId) {
+  obs::Telemetry telemetry;
+  {
+    obs::ScopedTraceId scope("c3-r7");
+    { auto span = telemetry.tracer.span("handler"); }
+    obs::log_event(&telemetry, obs::LogLevel::Info, "traced.event");
+  }
+  { auto span = telemetry.tracer.span("outside"); }
+
+  const std::vector<obs::TraceEvent> events = telemetry.tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace, "c3-r7");
+  EXPECT_TRUE(events[1].trace.empty());
+
+  // Chrome JSON exports the id as an args attribute.
+  const std::string chrome = telemetry.tracer.to_chrome_json();
+  EXPECT_TRUE(json_well_formed(chrome));
+  EXPECT_NE(chrome.find("\"args\":{\"trace\":\"c3-r7\"}"),
+            std::string::npos);
+  // The recorder's mirror of the log record carries it too.
+  EXPECT_NE(telemetry.recorder.dump().find("\"trace\":\"c3-r7\""),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------------------
+
+TEST(Sampler, WritesValidJsonlWithRssAndGauges) {
+  TempDir tmp("sampler");
+  fs::create_directories(tmp.path);
+  const std::string file = tmp.path + "/samples.jsonl";
+
+  obs::Telemetry telemetry;
+  telemetry.metrics.gauge("bdd.live_nodes").set(431);
+  auto sampler = obs::Sampler::start(telemetry, file, 1);
+  ASSERT_TRUE(sampler.has_value()) << sampler.error();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  (*sampler)->stop();
+
+  const std::vector<std::string> lines = read_lines(file);
+  ASSERT_GE(lines.size(), 1u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(json_well_formed(line)) << line;
+    EXPECT_NE(line.find("\"rss_bytes\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"bdd.live_nodes\""), std::string::npos) << line;
+  }
+}
+
+TEST(Sampler, ProcessRssIsPlausible) {
+  const std::size_t rss = obs::process_rss_bytes();
+  // /proc is available on the platforms this repo targets; a running
+  // test binary is at least 1 MiB resident.
+  EXPECT_GE(rss, std::size_t{1} << 20);
+}
+
+// ---------------------------------------------------------------------------
+// Full-stack observability must not change what the engines compute
+// ---------------------------------------------------------------------------
+
+TEST(PipelineTelemetry, ResultsBitIdenticalWithFullObservabilityStack) {
+  const PipelineRun w;
+  SimOptions base;
+  base.node_limit = 120;  // exercise fallback windows too
+  base.fallback_frames = 4;
+  const PipelineResult reference =
+      run_pipeline(w.nl, w.faults.faults(), w.seq, base);
+
+  TempDir tmp("fullobs");
+  fs::create_directories(tmp.path);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const std::string tag = std::to_string(threads);
+    auto logger = obs::Logger::open(tmp.path + "/log" + tag + ".jsonl",
+                                    obs::LogLevel::Trace);
+    ASSERT_TRUE(logger.has_value()) << logger.error();
+
+    obs::Telemetry telemetry;
+    telemetry.attach_logger(logger->get());
+    auto sampler =
+        obs::Sampler::start(telemetry, tmp.path + "/s" + tag + ".jsonl", 1);
+    ASSERT_TRUE(sampler.has_value()) << sampler.error();
+
+    SimOptions opts = base;
+    opts.threads = threads;
+    opts.telemetry = &telemetry;
+    const PipelineResult observed =
+        run_pipeline(w.nl, w.faults.faults(), w.seq, opts);
+    (*sampler)->stop();
+    telemetry.attach_logger(nullptr);
+
+    EXPECT_EQ(observed.status, reference.status) << "threads=" << threads;
+    EXPECT_EQ(observed.detect_frame, reference.detect_frame)
+        << "threads=" << threads;
+    EXPECT_EQ(observed.x_redundant, reference.x_redundant);
+
+    // Every emitted log line is valid JSONL and the stage transitions
+    // of the pipeline appear in it.
+    const std::vector<std::string> lines =
+        read_lines(tmp.path + "/log" + tag + ".jsonl");
+    ASSERT_GE(lines.size(), 2u);
+    bool saw_stage_end = false;
+    for (const std::string& line : lines) {
+      EXPECT_TRUE(json_well_formed(line)) << line;
+      if (line.find("\"event\":\"pipeline.stage.end\"") !=
+          std::string::npos) {
+        saw_stage_end = true;
+      }
+    }
+    EXPECT_TRUE(saw_stage_end);
+    // The recorder window retained the same stream.
+    EXPECT_NE(telemetry.recorder.dump().find("pipeline.stage"),
+              std::string::npos);
   }
 }
 

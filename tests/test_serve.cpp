@@ -15,9 +15,13 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +35,7 @@
 #include "obs/telemetry.h"
 #include "serve/circuit_cache.h"
 #include "serve/framing.h"
+#include "serve/http.h"
 #include "serve/protocol.h"
 #include "serve/request_queue.h"
 #include "serve/server.h"
@@ -38,6 +43,7 @@
 #include "tpg/sequences.h"
 #include "util/net.h"
 #include "util/rng.h"
+#include "util/signals.h"
 
 namespace motsim::serve {
 namespace {
@@ -74,12 +80,15 @@ std::vector<Request> sample_requests() {
   te.seed = 3;
   te.responses = {{0, 1, 0, 1}, {1, 1, 1, 1}};
   all.emplace_back(std::move(te));
+  all.emplace_back(DumpStateRequest{12});
   return all;
 }
 
 std::vector<Response> sample_responses() {
   std::vector<Response> all;
-  all.emplace_back(PongResponse{1});
+  // Traces present on some responses and absent on others: both
+  // encodings of the v2 trailing trace string must round-trip.
+  all.emplace_back(PongResponse{1, "c1-r1"});
   all.emplace_back(LintResponse{2, 1, 2, 3, "{\"x\":1}"});
   FaultSimResponse fs;
   fs.id = 3;
@@ -92,10 +101,17 @@ std::vector<Response> sample_responses() {
   fs.from_store = true;
   fs.status = {0, 1, 2, 3, 4};
   fs.detect_frame = {0, 5, 0, 7, 9};
+  fs.trace = "c2-r19";
   all.emplace_back(std::move(fs));
   all.emplace_back(TestEvalResponse{4, {1, 0, 1}});
-  all.emplace_back(ErrorResponse{5, ErrorCode::BadRequest, "nope"});
-  all.emplace_back(BusyResponse{6});
+  all.emplace_back(ErrorResponse{5, ErrorCode::BadRequest, "nope", "c4-r2"});
+  all.emplace_back(BusyResponse{6, "c9-r1"});
+  DumpStateResponse ds;
+  ds.id = 7;
+  ds.metrics_json = "{\"counters\":{\"serve.requests.completed\":3}}";
+  ds.recorder_jsonl = "{\"event\":\"a\"}\n{\"event\":\"b\"}\n";
+  ds.trace = "c3-r3";
+  all.emplace_back(std::move(ds));
   return all;
 }
 
@@ -131,6 +147,12 @@ TEST(Protocol, ResponseRoundTrip) {
     ASSERT_TRUE(back.has_value()) << back.error();
     ASSERT_EQ(back->index(), resp.index());
     EXPECT_EQ(response_id(*back), response_id(resp));
+    EXPECT_EQ(response_trace(*back), response_trace(resp));
+    if (const auto* ds = std::get_if<DumpStateResponse>(&resp)) {
+      const auto& rt = std::get<DumpStateResponse>(*back);
+      EXPECT_EQ(rt.metrics_json, ds->metrics_json);
+      EXPECT_EQ(rt.recorder_jsonl, ds->recorder_jsonl);
+    }
     if (const auto* fs = std::get_if<FaultSimResponse>(&resp)) {
       const auto& rt = std::get<FaultSimResponse>(*back);
       EXPECT_EQ(rt.status, fs->status);
@@ -541,6 +563,10 @@ class LiveServerTest : public ::testing::Test {
   }
 
   obs::Telemetry telemetry_;
+  /// Optional log sink a test may attach. Declared before server_ so
+  /// it is destroyed after the server joined its threads — the "sink
+  /// outlives the last log_event" contract of attach_logger.
+  std::unique_ptr<obs::Logger> logger_;
   std::unique_ptr<Server> server_;
 };
 
@@ -702,6 +728,280 @@ TEST_F(LiveServerTest, MetricsEndpointServesPrometheusAndHealthz) {
   }
   EXPECT_NE(hbody.find("200 OK"), std::string::npos);
   EXPECT_NE(hbody.find("ok"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2: uniform trace accessors
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, TraceAccessorsAreUniformAcrossVariants) {
+  for (Response resp : sample_responses()) {
+    set_response_trace(resp, "c7-r7");
+    EXPECT_EQ(response_trace(resp), "c7-r7");
+    // ... and the stamped trace survives the codec.
+    const auto back =
+        decode_response(frame_type_of(resp), encode_response(resp));
+    ASSERT_TRUE(back.has_value()) << back.error();
+    EXPECT_EQ(response_trace(*back), "c7-r7");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HttpEndpoint: pure request-text → reply routing
+// ---------------------------------------------------------------------------
+
+/// Every line of an NDJSON body is a non-empty JSON object (the full
+/// syntax check lives in tests/test_obs.cpp; routing only needs the
+/// object framing).
+void expect_ndjson_lines(const std::string& body) {
+  std::istringstream in(body);
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line);) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    ++lines;
+  }
+  EXPECT_GE(lines, 1u);
+}
+
+TEST(HttpEndpointTest, HealthzIsPlainText) {
+  obs::Telemetry tele;
+  const HttpEndpoint http(&tele);
+  const HttpReply reply = http.handle("GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(reply.code, 200);
+  EXPECT_EQ(reply.content_type, "text/plain; charset=utf-8");
+  EXPECT_EQ(reply.body, "ok\n");
+}
+
+TEST(HttpEndpointTest, MetricsIsPrometheusTextExposition) {
+  obs::Telemetry tele;
+  tele.metrics.counter("serve.requests.completed").add(5);
+  const HttpEndpoint http(&tele);
+  const HttpReply reply = http.handle("GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(reply.code, 200);
+  // The exposition-format version marker matters: Prometheus scrapers
+  // key parsing off it.
+  EXPECT_EQ(reply.content_type,
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(reply.body.find("motsim_build_info{"), std::string::npos);
+  EXPECT_NE(reply.body.find("serve_requests_completed 5"),
+            std::string::npos);
+}
+
+TEST(HttpEndpointTest, MetricsFormatJsonIsApplicationJson) {
+  obs::Telemetry tele;
+  tele.metrics.counter("serve.requests.completed").add(2);
+  tele.metrics.histogram("serve.queue.wait_seconds", {0.1, 1.0})
+      .observe(0.05);
+  const HttpEndpoint http(&tele);
+  const HttpReply reply =
+      http.handle("GET /metrics?format=json HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(reply.code, 200);
+  EXPECT_EQ(reply.content_type, "application/json; charset=utf-8");
+  EXPECT_NE(reply.body.find("\"serve.requests.completed\": 2"),
+            std::string::npos)
+      << reply.body;
+  // The quantile fields motsim_load's scraper reads are present.
+  EXPECT_NE(reply.body.find("\"p50\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"p99\""), std::string::npos);
+}
+
+TEST(HttpEndpointTest, DebugStateIsNdjsonOfSnapshotPlusRecorder) {
+  obs::Telemetry tele;
+  tele.metrics.counter("serve.requests.completed").add(1);
+  obs::log_event(&tele, obs::LogLevel::Info, "test.recorded",
+                 {obs::LogField::i64("k", 1)});
+  const HttpEndpoint http(&tele);
+  const HttpReply reply = http.handle("GET /debug/state HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(reply.code, 200);
+  EXPECT_EQ(reply.content_type, "application/x-ndjson");
+  expect_ndjson_lines(reply.body);
+  EXPECT_NE(reply.body.find("\"counters\""), std::string::npos);
+  EXPECT_NE(reply.body.find("test.recorded"), std::string::npos);
+}
+
+TEST(HttpEndpointTest, UnknownPathIs404AndNonGetIs405) {
+  obs::Telemetry tele;
+  const HttpEndpoint http(&tele);
+  EXPECT_EQ(http.handle("GET /nope HTTP/1.0\r\n\r\n").code, 404);
+  EXPECT_EQ(http.handle("POST /metrics HTTP/1.0\r\n\r\n").code, 405);
+  EXPECT_EQ(http.handle("DELETE /healthz HTTP/1.0\r\n\r\n").code, 405);
+}
+
+TEST(HttpEndpointTest, NullTelemetryStillAnswersEveryRoute) {
+  const HttpEndpoint http(nullptr);
+  EXPECT_EQ(http.handle("GET /healthz HTTP/1.0\r\n\r\n").code, 200);
+  EXPECT_EQ(http.handle("GET /metrics HTTP/1.0\r\n\r\n").code, 200);
+  EXPECT_EQ(http.handle("GET /metrics?format=json HTTP/1.0\r\n\r\n").code,
+            200);
+  EXPECT_EQ(http.handle("GET /debug/state HTTP/1.0\r\n\r\n").code, 200);
+}
+
+TEST(HttpEndpointTest, RenderEmitsHttp10WithLengthAndClose) {
+  HttpReply reply;
+  reply.code = 404;
+  reply.status = "Not Found";
+  reply.body = "not found\n";
+  const std::string out = HttpEndpoint::render(reply);
+  EXPECT_EQ(out.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << out;
+  EXPECT_NE(out.find("Content-Length: 10\r\n"), std::string::npos);
+  EXPECT_NE(out.find("Connection: close\r\n"), std::string::npos);
+  const std::size_t split = out.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  EXPECT_EQ(out.substr(split + 4), reply.body);
+}
+
+// ---------------------------------------------------------------------------
+// SIGUSR1 dump latch
+// ---------------------------------------------------------------------------
+
+TEST(Signals, DumpHandlerLatchesOneRequestPerSignal) {
+  install_dump_handler();
+  EXPECT_FALSE(take_dump_request());  // nothing pending yet
+  ASSERT_EQ(::raise(SIGUSR1), 0);
+  EXPECT_TRUE(take_dump_request());   // consumed exactly once
+  EXPECT_FALSE(take_dump_request());
+  ASSERT_EQ(::raise(SIGUSR1), 0);
+  ASSERT_EQ(::raise(SIGUSR1), 0);     // coalesces, does not queue
+  EXPECT_TRUE(take_dump_request());
+  EXPECT_FALSE(take_dump_request());
+}
+
+// ---------------------------------------------------------------------------
+// Live-server tracing and state dumps
+// ---------------------------------------------------------------------------
+
+namespace fs_std = std::filesystem;
+
+std::vector<std::string> file_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string temp_file(const std::string& tag) {
+  return (fs_std::temp_directory_path() /
+          ("motsim_serve_" + tag + "_" +
+           std::to_string(
+               ::testing::UnitTest::GetInstance()->random_seed()) +
+           ".jsonl"))
+      .string();
+}
+
+TEST_F(LiveServerTest, EveryResponseCarriesAFollowableTraceId) {
+  const std::string log_file = temp_file("trace");
+  fs_std::remove(log_file);
+  auto logger = obs::Logger::open(log_file, obs::LogLevel::Info);
+  ASSERT_TRUE(logger.has_value()) << logger.error();
+  logger_ = std::move(*logger);
+  telemetry_.attach_logger(logger_.get());
+
+  OwnedFd client = connect_client();
+  const Response pong = call(client.get(), Request{PingRequest{1}});
+  ASSERT_TRUE(std::holds_alternative<PongResponse>(pong));
+  FaultSimRequest req;
+  req.id = 2;
+  req.circuit = CircuitRef{CircuitRef::Kind::Roster, "s27"};
+  req.vectors = 16;
+  const Response resp = call(client.get(), Request{req});
+  ASSERT_TRUE(std::holds_alternative<FaultSimResponse>(resp));
+
+  // Both responses carry server-assigned "c<conn>-r<seq>" ids, distinct
+  // per request on one connection.
+  const std::string& t1 = response_trace(pong);
+  const std::string& t2 = response_trace(resp);
+  ASSERT_FALSE(t1.empty());
+  ASSERT_FALSE(t2.empty());
+  EXPECT_NE(t1, t2);
+  EXPECT_EQ(t1.front(), 'c');
+  EXPECT_NE(t1.find("-r"), std::string::npos);
+
+  // The same id tags the access-log line of the FAULT_SIM request —
+  // the grep an operator follows a request by. The worker writes that
+  // line just after the response frame, so poll briefly.
+  bool followed = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!followed && std::chrono::steady_clock::now() < deadline) {
+    for (const std::string& line : file_lines(log_file)) {
+      if (line.find("\"event\":\"serve.request\"") != std::string::npos &&
+          line.find("\"trace\":\"" + t2 + "\"") != std::string::npos &&
+          line.find("FAULT_SIM") != std::string::npos) {
+        followed = true;
+      }
+    }
+    if (!followed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(followed) << "no serve.request access-log line for " << t2;
+  fs_std::remove(log_file);
+}
+
+TEST_F(LiveServerTest, DumpStateRequestReturnsMetricsAndRecorderWindow) {
+  OwnedFd client = connect_client();
+  (void)call(client.get(), Request{PingRequest{1}});
+
+  const Response resp = call(client.get(), Request{DumpStateRequest{42}});
+  ASSERT_TRUE(std::holds_alternative<DumpStateResponse>(resp));
+  const auto& dump = std::get<DumpStateResponse>(resp);
+  EXPECT_EQ(dump.id, 42u);
+  EXPECT_FALSE(dump.trace.empty());
+  ASSERT_FALSE(dump.metrics_json.empty());
+  EXPECT_EQ(dump.metrics_json.front(), '{');
+  EXPECT_NE(dump.metrics_json.find("serve.requests.ping"),
+            std::string::npos);
+  // The recorder (always on, no logger attached) retained the access
+  // log of the earlier PING.
+  EXPECT_NE(dump.recorder_jsonl.find("serve.request"), std::string::npos);
+}
+
+TEST_F(LiveServerTest, DebugStateEndpointServesNdjson) {
+  OwnedFd client = connect_client();
+  (void)call(client.get(), Request{PingRequest{1}});
+
+  auto http = connect_tcp("127.0.0.1", server_->http_port());
+  ASSERT_TRUE(http.has_value());
+  const std::string get = "GET /debug/state HTTP/1.0\r\n\r\n";
+  ASSERT_TRUE(write_full(http->get(), get.data(), get.size()).has_value());
+  std::string text;
+  char buf[1];
+  for (;;) {
+    const auto n = read_full(http->get(), buf, 1);
+    if (!n.has_value() || *n == 0) break;
+    text.push_back(buf[0]);
+  }
+  EXPECT_NE(text.find("200 OK"), std::string::npos);
+  EXPECT_NE(text.find("Content-Type: application/x-ndjson"),
+            std::string::npos);
+  const std::size_t split = text.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  expect_ndjson_lines(text.substr(split + 4));
+}
+
+TEST_F(LiveServerTest, DumpStateWritesPerLineValidJsonl) {
+  OwnedFd client = connect_client();
+  (void)call(client.get(), Request{PingRequest{1}});
+
+  const std::string dump_file = temp_file("dump");
+  fs_std::remove(dump_file);
+  const auto written = server_->dump_state(dump_file);
+  ASSERT_TRUE(written.has_value()) << written.error();
+  const std::vector<std::string> lines = file_lines(dump_file);
+  ASSERT_GE(lines.size(), 2u);  // metrics snapshot + recorder window
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+  }
+  EXPECT_NE(lines[0].find("\"counters\""), std::string::npos);
+  // Appending semantics: a second dump extends the same file.
+  ASSERT_TRUE(server_->dump_state(dump_file).has_value());
+  EXPECT_GT(file_lines(dump_file).size(), lines.size());
+  fs_std::remove(dump_file);
 }
 
 }  // namespace

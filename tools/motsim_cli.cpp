@@ -49,8 +49,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "bench_data/registry.h"
 #include "circuit/bench_io.h"
@@ -61,6 +63,8 @@
 #include "core/progress.h"
 #include "core/symbolic_fsm.h"
 #include "faults/collapse.h"
+#include "obs/log.h"
+#include "obs/sampler.h"
 #include "obs/telemetry.h"
 #include "faults/report.h"
 #include "store/campaign.h"
@@ -102,6 +106,10 @@ struct Options {
   std::string report_json;
   std::string metrics_json;
   std::string trace_file;
+  std::string log_path;
+  std::string log_level;
+  std::string sample_file = "motsim_samples.jsonl";
+  std::size_t sample_interval_ms = 0;
   std::string store_dir;
   bool resume = false;
   std::size_t extend_vectors = 0;
@@ -149,6 +157,14 @@ struct Options {
                "  --metrics-json FILE  engine metrics snapshot as JSON\n"
                "  --trace FILE       Chrome trace_event JSON for\n"
                "                     Perfetto / chrome://tracing\n"
+               "  --log PATH         structured JSONL log ('-' = stderr;\n"
+               "                     also MOTSIM_LOG)\n"
+               "  --log-level LVL    trace|debug|info|warn|error|off\n"
+               "                     (default info; also MOTSIM_LOG_LEVEL)\n"
+               "  --sample-interval N  sample gauges + RSS every N ms\n"
+               "                     to --sample-file while running\n"
+               "  --sample-file PATH sampler JSONL sink (default\n"
+               "                     motsim_samples.jsonl)\n"
                "campaign mode (see docs/CHECKPOINT.md):\n"
                "  --store DIR        checkpointed campaign in DIR\n"
                "  --resume           continue the campaign in --store DIR\n"
@@ -247,6 +263,11 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--report-json") o.report_json = next();
     else if (a == "--metrics-json") o.metrics_json = next();
     else if (a == "--trace") o.trace_file = next();
+    else if (a == "--log") o.log_path = next();
+    else if (a == "--log-level") o.log_level = next();
+    else if (a == "--sample-interval") {
+      o.sample_interval_ms = parse_size_flag(a, next());
+    } else if (a == "--sample-file") o.sample_file = next();
     else if (a == "--store") o.store_dir = next();
     else if (a == "--resume") o.resume = true;
     else if (a == "--extend-vectors") {
@@ -564,13 +585,37 @@ int main(int argc, char** argv) {
 
   // One telemetry context for the whole invocation, allocated only
   // when an observability flag asks for it — the engines otherwise
-  // keep their one-branch disabled path.
+  // keep their one-branch disabled path. MOTSIM_LOG counts as asking.
+  const char* const env_log = std::getenv("MOTSIM_LOG");
   std::optional<obs::Telemetry> telemetry;
-  if (!o.metrics_json.empty() || !o.trace_file.empty()) {
+  if (!o.metrics_json.empty() || !o.trace_file.empty() ||
+      !o.log_path.empty() || o.sample_interval_ms != 0 ||
+      (env_log != nullptr && env_log[0] != '\0')) {
     telemetry.emplace();
   }
   obs::Telemetry* const tele = telemetry.has_value() ? &*telemetry : nullptr;
   o.sim.telemetry = tele;
+
+  std::unique_ptr<obs::Logger> logger;
+  if (tele != nullptr) {
+    auto opened = obs::open_logger_from(o.log_path, o.log_level);
+    if (!opened.has_value()) {
+      std::fprintf(stderr, "error: %s\n", opened.error().c_str());
+      return 2;
+    }
+    logger = std::move(*opened);
+    tele->attach_logger(logger.get());
+  }
+  std::unique_ptr<obs::Sampler> sampler;
+  if (o.sample_interval_ms != 0) {
+    auto started = obs::Sampler::start(*tele, o.sample_file,
+                                       static_cast<int>(o.sample_interval_ms));
+    if (!started.has_value()) {
+      std::fprintf(stderr, "error: %s\n", started.error().c_str());
+      return 2;
+    }
+    sampler = std::move(*started);
+  }
 
   if (o.list) {
     std::printf("%-10s %6s %4s %4s %6s  %s\n", "name", "PI", "PO", "FF",

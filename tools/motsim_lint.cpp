@@ -30,7 +30,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/cone.h"
@@ -43,6 +46,8 @@
 #include "circuit/bench_io.h"
 #include "faults/fault.h"
 #include "faults/fault_list.h"
+#include "obs/log.h"
+#include "obs/telemetry.h"
 #include "util/cli_args.h"
 #include "util/version.h"
 
@@ -60,6 +65,8 @@ struct Options {
   bool untestable = false;
   bool cones = false;
   std::size_t top = 5;
+  std::string log_path;
+  std::string log_level;
 };
 
 [[noreturn]] void usage(int code) {
@@ -79,6 +86,10 @@ struct Options {
                "  --untestable   append statically-untestable-fault notes\n"
                "  --cones        append cone-of-influence cluster notes and\n"
                "                 a cone-size summary (docs/ANALYSIS.md)\n"
+               "  --log PATH     structured JSONL log ('-' = stderr; also\n"
+               "                 MOTSIM_LOG)\n"
+               "  --log-level L  trace|debug|info|warn|error|off (default\n"
+               "                 info; also MOTSIM_LOG_LEVEL)\n"
                "  --version      print version and exit\n"
                "exit code: 0 clean, 1 warnings, 2 errors (worst circuit "
                "wins)\n");
@@ -120,6 +131,8 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--implications") o.implications = true;
     else if (a == "--untestable") o.untestable = true;
     else if (a == "--cones") o.cones = true;
+    else if (a == "--log") o.log_path = next();
+    else if (a == "--log-level") o.log_level = next();
     else if (!a.empty() && a[0] == '-') fail("unknown option '" + a + "'");
     else o.circuits.push_back(a);
   }
@@ -340,6 +353,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Logging surface shared with the other tools (docs/OBSERVABILITY.md):
+  // the telemetry context only exists when a sink was configured.
+  const char* const env_log = std::getenv("MOTSIM_LOG");
+  std::optional<obs::Telemetry> telemetry;
+  std::unique_ptr<obs::Logger> logger;
+  if (!o.log_path.empty() || (env_log != nullptr && env_log[0] != '\0')) {
+    telemetry.emplace();
+    auto opened = obs::open_logger_from(o.log_path, o.log_level);
+    if (!opened.has_value()) fail(opened.error());
+    logger = std::move(*opened);
+    telemetry->attach_logger(logger.get());
+  }
+  obs::Telemetry* const tele = telemetry.has_value() ? &*telemetry : nullptr;
+
   int worst = 0;
   bool first = true;
   for (const std::string& name : o.circuits) {
@@ -362,6 +389,12 @@ int main(int argc, char** argv) {
       std::printf("%s", report.to_text().c_str());
       if (o.scoap) print_scoap(nl, o.top);
     }
+    obs::log_event(
+        tele, obs::LogLevel::Info, "lint.circuit",
+        {obs::LogField::str("circuit", nl.name()),
+         obs::LogField::u64("errors", report.count(Severity::Error)),
+         obs::LogField::u64("warnings", report.count(Severity::Warning)),
+         obs::LogField::u64("notes", report.count(Severity::Note))});
     worst = std::max(worst, report.exit_code());
   }
   return worst;

@@ -13,6 +13,7 @@
 // p50/p90/p99 and is written to BENCH_serve.json.
 
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -28,7 +29,13 @@
 #include <thread>
 #include <vector>
 
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "serve/framing.h"
 #include "serve/protocol.h"
 #include "util/cli_args.h"
@@ -55,7 +62,98 @@ struct Options {
   std::uint64_t seed = 1;
   std::string circuits = "s27,s298,s344,s386,s510";
   std::string out = "BENCH_serve.json";
+  /// HTTP observability port of the server; 0 disables the server-side
+  /// counter poll (the "server" object in the summary JSON).
+  std::uint16_t http_port = 0;
+  std::string log_path;
+  std::string log_level;
 };
+
+/// Server-side counters scraped from GET /metrics?format=json before
+/// and after the run; the summary records the delta, so a long-lived
+/// daemon's history does not pollute one run's numbers.
+struct ServerCounters {
+  bool ok = false;
+  std::uint64_t ping = 0;
+  std::uint64_t lint = 0;
+  std::uint64_t fault_sim = 0;
+  std::uint64_t test_eval = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t rejected = 0;  ///< queue BUSY rejections
+  double queue_wait_p50 = 0.0;
+  double queue_wait_p90 = 0.0;
+  double queue_wait_p99 = 0.0;
+};
+
+/// Minimal HTTP/1.0 GET against the server's observability port.
+/// Returns the response body (everything after the header terminator).
+std::optional<std::string> http_get(const std::string& host,
+                                    std::uint16_t port,
+                                    const std::string& target) {
+  auto sock = motsim::connect_tcp(host, port);
+  if (!sock.has_value()) return std::nullopt;
+  const int fd = sock->get();
+  const std::string request = "GET " + target +
+                              " HTTP/1.0\r\nConnection: close\r\n\r\n";
+  if (!motsim::write_full(fd, request.data(), request.size()).has_value()) {
+    return std::nullopt;
+  }
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t split = reply.find("\r\n\r\n");
+  if (split == std::string::npos) return std::nullopt;
+  if (reply.compare(0, 9, "HTTP/1.0 ") == 0 &&
+      reply.compare(9, 3, "200") != 0) {
+    return std::nullopt;
+  }
+  return reply.substr(split + 4);
+}
+
+/// Value of `"name": <number>` in the metrics JSON, searching from
+/// `from`; 0 when absent. Good enough for the renderer's own output —
+/// names are JSON-escaped, so a literal quoted-name search is exact.
+double find_metric_number(const std::string& body, const std::string& name,
+                          std::size_t from = 0) {
+  const std::string needle = "\"" + name + "\":";
+  const std::size_t at = body.find(needle, from);
+  if (at == std::string::npos) return 0.0;
+  return std::atof(body.c_str() + at + needle.size());
+}
+
+/// One /metrics?format=json scrape decoded into the counters the
+/// summary reports. Histogram quantiles are read from the renderer's
+/// precomputed p50/p90/p99 fields.
+ServerCounters scrape_server(const Options& opt) {
+  ServerCounters c;
+  if (opt.http_port == 0) return c;
+  const std::optional<std::string> body =
+      http_get(opt.host, opt.http_port, "/metrics?format=json");
+  if (!body.has_value()) return c;
+  c.ok = true;
+  const auto u64 = [&](const char* name) {
+    return static_cast<std::uint64_t>(find_metric_number(*body, name));
+  };
+  c.ping = u64("serve.requests.ping");
+  c.lint = u64("serve.requests.lint");
+  c.fault_sim = u64("serve.requests.fault_sim");
+  c.test_eval = u64("serve.requests.test_eval");
+  c.completed = u64("serve.requests.completed");
+  c.errors = u64("serve.requests.errors");
+  c.rejected = u64("serve.queue.rejected");
+  const std::size_t hist = body->find("\"serve.queue.wait_seconds\"");
+  if (hist != std::string::npos) {
+    c.queue_wait_p50 = find_metric_number(*body, "p50", hist);
+    c.queue_wait_p90 = find_metric_number(*body, "p90", hist);
+    c.queue_wait_p99 = find_metric_number(*body, "p99", hist);
+  }
+  return c;
+}
 
 /// Shared across every connection's sender/reader pair.
 struct Stats {
@@ -284,6 +382,12 @@ void print_usage(std::FILE* out) {
       "  --circuits LIST      comma-separated roster names\n"
       "  --seed N             RNG seed (default 1)\n"
       "  --out FILE           summary JSON (default BENCH_serve.json)\n"
+      "  --http-port N        server /metrics port: poll server-side\n"
+      "                       counters into the summary (0 = off)\n"
+      "  --log PATH           structured JSONL log ('-' = stderr; also "
+      "MOTSIM_LOG)\n"
+      "  --log-level LVL      trace|debug|info|warn|error|off (default "
+      "info)\n"
       "  --version            print version and exit\n");
 }
 
@@ -367,6 +471,18 @@ int main(int argc, char** argv) {
       opt.seed = *parsed;
     } else if (arg == "--out") {
       opt.out = value("--out");
+    } else if (arg == "--http-port") {
+      const auto parsed =
+          motsim::parse_cli_u64("--http-port", value("--http-port"));
+      if (!parsed.has_value() || *parsed > 65535) {
+        std::fprintf(stderr, "motsim_load: --http-port expects a port\n");
+        return 2;
+      }
+      opt.http_port = static_cast<std::uint16_t>(*parsed);
+    } else if (arg == "--log") {
+      opt.log_path = value("--log");
+    } else if (arg == "--log-level") {
+      opt.log_level = value("--log-level");
     } else {
       std::fprintf(stderr, "motsim_load: unknown option '%s'\n",
                    arg.c_str());
@@ -384,6 +500,38 @@ int main(int argc, char** argv) {
   motsim::ignore_sigpipe();
   motsim::install_stop_handlers();
 
+  // Logging surface shared with the other tools; the load generator's
+  // own events are load.* records.
+  const char* const env_log = std::getenv("MOTSIM_LOG");
+  std::optional<motsim::obs::Telemetry> telemetry;
+  std::unique_ptr<motsim::obs::Logger> logger;
+  if (!opt.log_path.empty() ||
+      (env_log != nullptr && env_log[0] != '\0')) {
+    auto opened = motsim::obs::open_logger_from(opt.log_path, opt.log_level);
+    if (!opened.has_value()) {
+      std::fprintf(stderr, "motsim_load: %s\n", opened.error().c_str());
+      return 2;
+    }
+    telemetry.emplace();
+    logger = std::move(*opened);
+    telemetry->attach_logger(logger.get());
+  }
+  motsim::obs::Telemetry* const tele =
+      telemetry.has_value() ? &*telemetry : nullptr;
+
+  const ServerCounters before = scrape_server(opt);
+  if (opt.http_port != 0 && !before.ok) {
+    std::fprintf(stderr,
+                 "motsim_load: warning: could not scrape "
+                 "http://%s:%u/metrics — no server counters recorded\n",
+                 opt.host.c_str(), opt.http_port);
+  }
+  motsim::obs::log_event(tele, motsim::obs::LogLevel::Info, "load.start",
+                         {motsim::obs::LogField::str("mix", opt.mix),
+                          motsim::obs::LogField::f64("rate", opt.rate),
+                          motsim::obs::LogField::u64("connections",
+                                                     opt.connections)});
+
   Stats stats;
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> workers;
@@ -395,6 +543,12 @@ int main(int argc, char** argv) {
   for (auto& w : workers) w.join();
   const double wall =
       std::chrono::duration<double>(Clock::now() - start).count();
+  const ServerCounters after = scrape_server(opt);
+  motsim::obs::log_event(tele, motsim::obs::LogLevel::Info, "load.done",
+                         {motsim::obs::LogField::u64("sent", stats.sent),
+                          motsim::obs::LogField::u64("completed",
+                                                     stats.completed),
+                          motsim::obs::LogField::f64("wall_s", wall)});
 
   // Percentiles via the shared histogram-quantile machinery (the same
   // interpolation the serve telemetry digest uses).
@@ -449,7 +603,7 @@ int main(int argc, char** argv) {
       "\"errors\": %llu, \"protocol_errors\": %llu, "
       "\"sustained_rps\": %.3f, "
       "\"latency_s\": {\"mean\": %.6f, \"p50\": %.6f, \"p90\": %.6f, "
-      "\"p99\": %.6f, \"max\": %.6f}}\n",
+      "\"p99\": %.6f, \"max\": %.6f}",
       motsim::version_string(), opt.interarrival.c_str(),
       opt.mix.c_str(), opt.rate, opt.duration_s, wall, opt.connections,
       static_cast<unsigned long long>(stats.sent),
@@ -458,6 +612,30 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.error_frames),
       static_cast<unsigned long long>(stats.protocol_errors), sustained,
       mean, p50, p90, p99, max_latency);
+  if (before.ok && after.ok) {
+    // Server-side view of the same run: request counters are deltas
+    // across the run; the queue-wait quantiles are the daemon's
+    // lifetime histogram (buckets only accumulate, so a dedicated
+    // bench run reads as its own distribution).
+    const auto delta = [](std::uint64_t b, std::uint64_t a) {
+      return static_cast<unsigned long long>(a >= b ? a - b : 0);
+    };
+    std::fprintf(
+        out,
+        ", \"server\": {\"requests\": {\"ping\": %llu, \"lint\": %llu, "
+        "\"fault_sim\": %llu, \"test_eval\": %llu, \"completed\": %llu, "
+        "\"errors\": %llu}, \"busy_rejected\": %llu, "
+        "\"queue_wait_s\": {\"p50\": %.6f, \"p90\": %.6f, \"p99\": "
+        "%.6f}}",
+        delta(before.ping, after.ping), delta(before.lint, after.lint),
+        delta(before.fault_sim, after.fault_sim),
+        delta(before.test_eval, after.test_eval),
+        delta(before.completed, after.completed),
+        delta(before.errors, after.errors),
+        delta(before.rejected, after.rejected), after.queue_wait_p50,
+        after.queue_wait_p90, after.queue_wait_p99);
+  }
+  std::fprintf(out, "}\n");
   std::fclose(out);
 
   // A run that completed nothing (server down, all rejected) is a

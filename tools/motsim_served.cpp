@@ -12,8 +12,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "obs/log.h"
+#include "obs/recorder.h"
+#include "obs/sampler.h"
 #include "obs/telemetry.h"
 #include "serve/server.h"
 #include "util/cli_args.h"
@@ -39,6 +44,18 @@ void print_usage(std::FILE* out) {
                "32)\n"
                "  --store-root DIR   enable use_store campaign requests "
                "under DIR\n"
+               "  --log PATH         structured JSONL log sink ('-' = "
+               "stderr; also MOTSIM_LOG)\n"
+               "  --log-level LVL    trace|debug|info|warn|error|off "
+               "(default info; also MOTSIM_LOG_LEVEL)\n"
+               "  --slow-ms N        log serve.request.slow above N ms "
+               "service time (default 1000)\n"
+               "  --dump-path PATH   SIGUSR1 / crash state-dump file "
+               "(default motsim_state.jsonl)\n"
+               "  --sample-interval N  sample gauges + RSS every N ms to "
+               "--sample-file\n"
+               "  --sample-file PATH   sampler JSONL sink (default "
+               "motsim_samples.jsonl)\n"
                "  --version          print version and exit\n"
                "  --help             this text\n");
 }
@@ -52,6 +69,11 @@ int main(int argc, char** argv) {
   ServerConfig config;
   config.port = 7227;
   config.http_port = 7228;
+  std::string log_path;
+  std::string log_level;
+  std::string sample_file = "motsim_samples.jsonl";
+  std::size_t slow_ms = 1000;
+  std::size_t sample_interval_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -103,6 +125,19 @@ int main(int argc, char** argv) {
                  &config.cache_capacity);
     } else if (arg == "--store-root") {
       config.store_root = value("--store-root");
+    } else if (arg == "--log") {
+      log_path = value("--log");
+    } else if (arg == "--log-level") {
+      log_level = value("--log-level");
+    } else if (arg == "--slow-ms") {
+      parse_size("--slow-ms", value("--slow-ms"), &slow_ms);
+    } else if (arg == "--dump-path") {
+      config.dump_path = value("--dump-path");
+    } else if (arg == "--sample-interval") {
+      parse_size("--sample-interval", value("--sample-interval"),
+                 &sample_interval_ms);
+    } else if (arg == "--sample-file") {
+      sample_file = value("--sample-file");
     } else {
       std::fprintf(stderr, "motsim_served: unknown option '%s'\n",
                    arg.c_str());
@@ -111,12 +146,43 @@ int main(int argc, char** argv) {
     }
   }
 
+  config.slow_request_seconds = static_cast<double>(slow_ms) / 1000.0;
+
   // A client hanging up mid-response must be an EPIPE write error (the
   // connection is marked broken), never a process-killing SIGPIPE.
   motsim::ignore_sigpipe();
   motsim::install_stop_handlers();
+  // SIGUSR1 = dump the flight recorder + a metrics snapshot to
+  // config.dump_path (serviced by the server's poll loop).
+  motsim::install_dump_handler();
 
   motsim::obs::Telemetry telemetry;
+
+  auto logger = motsim::obs::open_logger_from(log_path, log_level);
+  if (!logger.has_value()) {
+    std::fprintf(stderr, "motsim_served: %s\n", logger.error().c_str());
+    return 2;
+  }
+  telemetry.attach_logger(logger->get());
+
+  // Crash-path dump: SIGSEGV and friends flush the recorder window to
+  // the same file a SIGUSR1 dump uses, then re-raise.
+  if (!config.dump_path.empty()) {
+    motsim::obs::install_crash_dump(&telemetry.recorder,
+                                    config.dump_path.c_str());
+  }
+
+  std::unique_ptr<motsim::obs::Sampler> sampler;
+  if (sample_interval_ms != 0) {
+    auto started = motsim::obs::Sampler::start(
+        telemetry, sample_file, static_cast<int>(sample_interval_ms));
+    if (!started.has_value()) {
+      std::fprintf(stderr, "motsim_served: %s\n", started.error().c_str());
+      return 2;
+    }
+    sampler = std::move(*started);
+  }
+
   Server server(std::move(config), &telemetry);
   const auto started = server.start();
   if (!started.has_value()) {
@@ -129,6 +195,8 @@ int main(int argc, char** argv) {
 
   server.run_until_stop();
 
+  if (sampler) sampler->stop();
+  motsim::obs::install_crash_dump(nullptr, nullptr);
   std::fprintf(stderr, "motsim_served: drained, exiting\n");
   return 0;
 }

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Render a sampler time series (motsim --sample-interval JSONL).
+
+Each input line is one sample written by obs::Sampler:
+
+    {"t":1.234,"rss_bytes":12345678,"gauges":{"bdd.live_nodes":431,...}}
+
+This is the paper's node-count-vs-time story (the 30k space limit of
+Tables II-IV) as a first-class artifact. With matplotlib installed the
+script writes a PNG; without it (the default toolchain here) it renders
+an ASCII chart to stdout — stdlib only, no dependencies.
+
+Usage:
+    tools/plot_samples.py motsim_samples.jsonl
+    tools/plot_samples.py motsim_samples.jsonl --series bdd.live_nodes
+    tools/plot_samples.py motsim_samples.jsonl --png out.png
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_samples(path):
+    samples = []
+    with open(path) as f:
+        for n, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                samples.append(json.loads(line))
+            except ValueError as e:
+                sys.exit(f"{path}:{n}: invalid JSON: {e}")
+    if not samples:
+        sys.exit(f"{path}: no samples")
+    return samples
+
+
+def series_names(samples):
+    names = ["rss_bytes"]
+    seen = set(names)
+    for s in samples:
+        for name in s.get("gauges", {}):
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+    return names
+
+
+def series_values(samples, name):
+    """(t, value) pairs; gauges missing from a sample are skipped."""
+    points = []
+    for s in samples:
+        if name == "rss_bytes":
+            v = s.get("rss_bytes")
+        else:
+            v = s.get("gauges", {}).get(name)
+        if v is not None:
+            points.append((s.get("t", 0.0), float(v)))
+    return points
+
+
+def human(v):
+    for unit, scale in (("G", 1e9), ("M", 1e6), ("k", 1e3)):
+        if abs(v) >= scale:
+            return f"{v / scale:.2f}{unit}"
+    return f"{v:.0f}"
+
+
+def ascii_plot(points, name, width=72, height=16):
+    ts = [p[0] for p in points]
+    vs = [p[1] for p in points]
+    lo, hi = min(vs), max(vs)
+    span = hi - lo or 1.0
+    t0, t1 = min(ts), max(ts)
+    tspan = t1 - t0 or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for t, v in points:
+        x = min(int((t - t0) / tspan * (width - 1)), width - 1)
+        y = min(int((v - lo) / span * (height - 1)), height - 1)
+        grid[height - 1 - y][x] = "*"
+
+    print(f"\n{name}  (min {human(lo)}, max {human(hi)}, "
+          f"{len(points)} samples over {tspan:.2f}s)")
+    for i, row in enumerate(grid):
+        label = human(hi) if i == 0 else human(lo) if i == height - 1 else ""
+        print(f"{label:>10} |{''.join(row)}")
+    print(f"{'':>10} +{'-' * width}")
+    print(f"{'':>10}  {t0:<8.2f}{'t [s]':^{width - 16}}{t1:>8.2f}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("samples", help="sampler JSONL file")
+    ap.add_argument("--series", action="append",
+                    help="series to plot (repeatable; default: all)")
+    ap.add_argument("--list", action="store_true",
+                    help="list available series and exit")
+    ap.add_argument("--png", metavar="FILE",
+                    help="write a PNG (requires matplotlib)")
+    args = ap.parse_args()
+
+    samples = load_samples(args.samples)
+    names = series_names(samples)
+    if args.list:
+        print("\n".join(names))
+        return
+    wanted = args.series or names
+    for name in wanted:
+        if name not in names:
+            sys.exit(f"unknown series '{name}' (have: {', '.join(names)})")
+
+    if args.png:
+        try:
+            import matplotlib
+            matplotlib.use("Agg")
+            import matplotlib.pyplot as plt
+        except ImportError:
+            sys.exit("--png needs matplotlib; rerun without it for ASCII")
+        fig, axes = plt.subplots(len(wanted), 1, sharex=True,
+                                 figsize=(8, 2.2 * len(wanted)),
+                                 squeeze=False)
+        for ax, name in zip((a for row in axes for a in row), wanted):
+            pts = series_values(samples, name)
+            ax.plot([p[0] for p in pts], [p[1] for p in pts], lw=1)
+            ax.set_ylabel(name, fontsize=8)
+        axes[-1][0].set_xlabel("t [s]")
+        fig.tight_layout()
+        fig.savefig(args.png, dpi=120)
+        print(f"wrote {args.png}")
+        return
+
+    for name in wanted:
+        pts = series_values(samples, name)
+        if pts:
+            ascii_plot(pts, name)
+
+
+if __name__ == "__main__":
+    main()
