@@ -19,6 +19,8 @@ const char* to_cstring(CircuitStyle s) noexcept {
       return "twin-paths";
     case CircuitStyle::Pipeline:
       return "pipeline";
+    case CircuitStyle::AcyclicPipeline:
+      return "acyclic-pipeline";
   }
   return "?";
 }
@@ -537,6 +539,85 @@ Netlist build_pipeline(const SynthSpec& spec) {
   return std::move(b.netlist());
 }
 
+/// Feedback-free DFF chains, tail-only observation (see the enum doc):
+/// the s-graph analysis test profile. Unlike build_pipeline there are
+/// no mid-chain taps, the pads never read a flip-flop (a pad reading
+/// one would widen the frame-local output support and with it the
+/// observation horizons), and the longest chain's head gate has the
+/// chain head as its only fanout.
+Netlist build_acyclic_pipeline(const SynthSpec& spec) {
+  Builder b(spec);
+  Netlist& nl = b.netlist();
+  Rng& rng = b.rng();
+  const auto& in = b.pis();
+  const auto& ff = b.ffs();
+  const std::size_t m = ff.size();
+
+  // Up to three chains; chain 0 takes the remainder, so it is never
+  // shorter than the others and its length is the max init-depth.
+  const std::size_t chains = std::min<std::size_t>(3, m);
+  const std::size_t base = m / chains;
+  const std::size_t len0 = base + m % chains;
+
+  // Dedicated head gate of the longest chain: its only fanout is the
+  // chain head, so its faults need exactly len0 flip-flop crossings to
+  // reach an output — SCOAP seq_depth == structural init-depth there.
+  const NodeIndex head =
+      in.size() > 1 ? b.g_and(in[0], in[1]) : b.g_not(in[0]);
+
+  std::vector<NodeIndex> tails;
+  std::size_t next_ff = 0;
+  for (std::size_t c = 0; c < chains; ++c) {
+    const std::size_t len = c == 0 ? len0 : base;
+    NodeIndex d = c == 0 ? head : in[c % in.size()];
+    for (std::size_t i = 0; i < len; ++i) {
+      const NodeIndex f = ff[next_ff++];
+      b.set_dff(f, d);
+      d = f;
+    }
+    tails.push_back(d);
+  }
+
+  // Tail-only observation: one comparator per chain tail.
+  std::vector<NodeIndex> contributors;
+  for (std::size_t c = 0; c < tails.size(); ++c) {
+    contributors.push_back(b.g_xnor(tails[c], in[(c + 1) % in.size()]));
+  }
+
+  // Input-only padding chains up to the gate target.
+  NodeIndex acc = kNoNode;
+  while (b.gate_count() + contributors.size() + 6 < spec.target_gates) {
+    const NodeIndex a = acc != kNoNode ? acc : in[rng.below(in.size())];
+    NodeIndex d = in[rng.below(in.size())];
+    if (d == a) d = b.g_not(d);
+    switch (rng.below(4)) {
+      case 0:
+        acc = b.g_and(a, d);
+        break;
+      case 1:
+        acc = b.g_or(a, d);
+        break;
+      case 2:
+        acc = b.g_nand(a, d);
+        break;
+      default:
+        acc = b.g_nor(a, d);
+        break;
+    }
+    if (rng.chance(0.2)) {
+      contributors.push_back(acc);
+      acc = kNoNode;
+    }
+  }
+  if (acc != kNoNode) contributors.push_back(acc);
+
+  for (NodeIndex n : b.sweep_unused_sources()) contributors.push_back(n);
+  b.build_outputs(std::move(contributors));
+
+  nl.finalize();
+  return std::move(b.netlist());
+}
+
 }  // namespace
 
 Netlist generate_circuit(const SynthSpec& spec) {
@@ -555,6 +636,8 @@ Netlist generate_circuit(const SynthSpec& spec) {
       return build_twin_paths(spec);
     case CircuitStyle::Pipeline:
       return build_pipeline(spec);
+    case CircuitStyle::AcyclicPipeline:
+      return build_acyclic_pipeline(spec);
   }
   throw std::invalid_argument("generate_circuit: unknown style");
 }

@@ -37,6 +37,15 @@ enum class CircuitStyle : std::uint8_t {
   /// coverage ramps up with sequence length and a sizable
   /// X-redundant tail remains at the deep stages.
   Pipeline,
+  /// Feedback-free DFF chains with tail-only observation: the s-graph
+  /// is acyclic, every flip-flop has a finite synchronization depth,
+  /// and the longest chain is fed by a dedicated head gate whose only
+  /// fanout is the chain head — so the SCOAP sequential depth of that
+  /// gate's faults equals the chain length, the structural init-depth
+  /// maximum (the aggregate bound the s-graph tests check), and with
+  /// enough frames every rMOT/MOT fault downgrades to SOT-equivalent
+  /// updates (docs/ANALYSIS.md pass 6).
+  AcyclicPipeline,
 };
 
 [[nodiscard]] const char* to_cstring(CircuitStyle s) noexcept;

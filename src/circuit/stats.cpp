@@ -64,6 +64,12 @@ std::string CircuitStats::to_string() const {
        << ", max seq depth " << scoap_max_seq_depth << ", blocked sites "
        << scoap_blocked_sites << "\n";
   }
+  if (has_sgraph) {
+    os << "sgraph: SCCs " << sgraph_sccs << " (nontrivial "
+       << sgraph_nontrivial_sccs << "), acyclic FFs " << sgraph_acyclic_ffs
+       << ", max init depth " << sgraph_max_init_depth
+       << ", feedback estimate " << sgraph_feedback_estimate << "\n";
+  }
   return os.str();
 }
 

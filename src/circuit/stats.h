@@ -39,6 +39,16 @@ struct CircuitStats {
   std::uint32_t scoap_max_seq_depth = 0;
   std::size_t scoap_blocked_sites = 0;  ///< sites with CO = infinity
 
+  /// S-graph summary (filled by attach_sgraph in analysis/sgraph.h;
+  /// of() leaves it absent so circuit/ stays independent of the
+  /// analysis passes).
+  bool has_sgraph = false;
+  std::size_t sgraph_sccs = 0;            ///< total s-graph SCCs
+  std::size_t sgraph_nontrivial_sccs = 0; ///< size >= 2 or self-loop
+  std::size_t sgraph_acyclic_ffs = 0;     ///< FFs with finite init-depth
+  std::uint32_t sgraph_max_init_depth = 0;  ///< max finite init-depth
+  std::size_t sgraph_feedback_estimate = 0; ///< greedy feedback-set size
+
   /// Fault-collapse summary (filled by attach_collapse in
   /// faults/collapse.h; of() leaves it absent so circuit/ stays
   /// independent of the fault layer).

@@ -43,6 +43,14 @@ void HybridFaultSim::set_trim_plan(TrimPlan plan) {
   trim_plan_ = std::move(plan);
 }
 
+void HybridFaultSim::set_sgraph_plan(SgraphPlan plan) {
+  if (plan.horizon.size() != faults_.size()) {
+    throw std::invalid_argument("set_sgraph_plan: plan does not match the "
+                                "fault list");
+  }
+  sgraph_plan_ = std::move(plan);
+}
+
 void HybridFaultSim::set_resume(ChunkCheckpoint checkpoint) {
   if (checkpoint.status.size() != faults_.size() ||
       checkpoint.detect_frame.size() != faults_.size() ||
@@ -90,6 +98,13 @@ HybridResult HybridFaultSim::run(
   if (config_.trim) {
     plan = trim_plan_ ? *trim_plan_ : build_trim_plan(nl, faults_);
   }
+  // S-graph observation horizons for the rMOT/MOT downgrade. Horizons
+  // are epoch-relative: every re-seed of the symbolic state variables
+  // (window exit, checkpoint sync, resume) restarts the clock.
+  SgraphPlan splan;
+  if (config_.sgraph) {
+    splan = sgraph_plan_ ? *sgraph_plan_ : build_sgraph_plan(nl, faults_);
+  }
   // Three-valued engine behind the fallback windows; the backend is a
   // pure performance knob (bit-identical results). Runs serially —
   // the parallel symbolic driver shards at the fault level already.
@@ -107,11 +122,12 @@ HybridResult HybridFaultSim::run(
     SymFaultState sym;  ///< valid in symbolic mode
     StateDiff3 diff3;   ///< valid in three-valued mode
     bool parked = false;
+    bool downgraded = false;
   };
   std::vector<Live> live;
   for (std::size_t i = 0; i < faults_.size(); ++i) {
     if (initial_status_[i] == FaultStatus::Undetected) {
-      live.push_back(Live{i, SymFaultState{mgr.one(), {}}, {}, false});
+      live.push_back(Live{i, SymFaultState{mgr.one(), {}}, {}, false, false});
       if (resume_) live.back().diff3 = resume_->diff[i];
     }
   }
@@ -120,6 +136,9 @@ HybridResult HybridFaultSim::run(
   Mode mode = Mode::Symbolic;
   std::size_t window_left = 0;
   std::size_t t = 0;  ///< index of the next frame to simulate
+  /// Frames completed when the current symbolic state variables were
+  /// seeded; the s-graph horizons count from here.
+  std::size_t epoch = 0;
   if (resume_) {
     if (resume_->frame > sequence.size()) {
       throw std::invalid_argument("set_resume: checkpoint frame beyond the "
@@ -210,9 +229,11 @@ HybridResult HybridFaultSim::run(
                                : mgr.constant(state3[i] == Val3::One));
     }
     sym.set_state(std::move(state_bdds));
+    epoch = t;  // horizons restart with the fresh state variables
     for (std::size_t i = 0; i < live.size(); ++i) {
       Live& lf = live[i];
       lf.parked = false;  // re-park check runs every symbolic frame
+      lf.downgraded = false;  // horizon re-passes relative to the epoch
       lf.sym.detect = mgr.one();
       lf.sym.state_diff.clear();
       for (const auto& [pos, v] : diffs3[i]) {
@@ -363,8 +384,14 @@ HybridResult HybridFaultSim::run(
             ++parked_skips;
             continue;
           }
+          if (config_.sgraph && config_.strategy != Strategy::Sot &&
+              !lf.downgraded && splan.horizon[lf.index] != kInfDepth &&
+              t >= epoch + splan.horizon[lf.index]) {
+            lf.downgraded = true;
+            ++result.mot_downgrades;
+          }
           if (symprop.step(faults_[lf.index], config_.strategy, lf.sym,
-                           ctx)) {
+                           ctx, lf.downgraded)) {
             result.status[lf.index] = det;
             result.detect_frame[lf.index] = static_cast<std::uint32_t>(t + 1);
             ++result.detected_count;
@@ -526,6 +553,7 @@ HybridResult HybridFaultSim::run(
     m.counter("analysis.frames_skipped").add(result.frames_skipped);
     m.counter("analysis.faults_terminated_early")
         .add(result.faults_terminated_early);
+    m.counter("analysis.mot_downgrades").add(result.mot_downgrades);
     m.counter("sym.faultfree_evals_shared")
         .add(result.faultfree_evals_shared);
     m.gauge("hybrid.symbolic_seconds").add(sym_timer.total_seconds());

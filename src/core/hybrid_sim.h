@@ -74,6 +74,16 @@ struct HybridConfig {
   /// detection frames and D̃ functions are bit-identical either way —
   /// so it is likewise excluded from store fingerprints. On by default.
   bool trim = true;
+  /// S-graph synchronization-depth pass (docs/ANALYSIS.md pass 6):
+  /// once the frame index passes a fault's observation horizon —
+  /// relative to the frame at which the current symbolic state
+  /// variables were seeded — its rMOT/MOT updates run in downgraded,
+  /// SOT-equivalent form (the per-frame equality products collapse).
+  /// Another pure performance knob, bit-identical by OBDD canonicity
+  /// and likewise excluded from store fingerprints; the manifest still
+  /// records it (opt_sgraph) because the parallel shard partition
+  /// folds horizons into the cluster order. On by default.
+  bool sgraph = true;
 };
 
 /// Result of a hybrid run.
@@ -98,6 +108,12 @@ struct HybridResult {
   std::uint64_t frames_skipped = 0;
   std::uint64_t faults_terminated_early = 0;
   std::uint64_t faultfree_evals_shared = 0;
+  /// S-graph telemetry (zero when HybridConfig::sgraph is off): fault
+  /// downgrade events — a fault counts once per symbolic epoch in
+  /// which its observation horizon passed (re-seeding the state
+  /// variables restarts the clock, so a fault may re-downgrade after
+  /// every fallback window or checkpoint sync).
+  std::uint64_t mot_downgrades = 0;
 };
 
 /// Hybrid fault simulator (paper Sections I and IV.A, following [8]):
@@ -157,6 +173,11 @@ class HybridFaultSim {
   /// when config.trim is on. Ignored when config.trim is off.
   void set_trim_plan(TrimPlan plan);
 
+  /// Supplies a pre-built s-graph plan (aligned with this fault
+  /// list); same contract as set_trim_plan but for the observation
+  /// horizons. Ignored when config.sgraph is off.
+  void set_sgraph_plan(SgraphPlan plan);
+
   /// Resumes a previous run from a snapshot this engine emitted:
   /// run() starts at frame `ck.frame` in the recorded mode, with
   /// statuses, detection frames and per-fault state divergences
@@ -179,6 +200,7 @@ class HybridFaultSim {
   std::optional<ChunkCheckpoint> resume_;
   std::vector<ConstVal> tied_;
   std::optional<TrimPlan> trim_plan_;
+  std::optional<SgraphPlan> sgraph_plan_;
 };
 
 }  // namespace motsim

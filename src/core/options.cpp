@@ -81,6 +81,7 @@ HybridConfig SimOptions::to_hybrid_config() const {
   c.bdd = to_bdd_config();
   c.sim3_backend = sim3_backend;
   c.trim = trim;
+  c.sgraph = sgraph;
   return c;
 }
 
@@ -112,6 +113,7 @@ SimOptions SimOptions::from_pipeline_config(const PipelineConfig& config) {
   o.hard_limit_factor = config.hybrid.hard_limit_factor;
   o.checkpoint_interval = config.hybrid.checkpoint_interval;
   o.trim = config.hybrid.trim;
+  o.sgraph = config.hybrid.sgraph;
   o.bdd_initial_capacity = config.hybrid.bdd.initial_capacity;
   o.bdd_cache_size_log2 = config.hybrid.bdd.cache_size_log2;
   o.bdd_auto_gc_floor = config.hybrid.bdd.auto_gc_floor;

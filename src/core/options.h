@@ -83,6 +83,16 @@ struct SimOptions {
   /// recorded in manifests so a resumed campaign recomputes the same
   /// shard partition. On by default. CLI flag: --no-trim.
   bool trim = true;
+  /// S-graph synchronization-depth analysis in the symbolic stage (see
+  /// HybridConfig::sgraph and docs/ANALYSIS.md pass 6): once the frame
+  /// index passes a fault's observation horizon its rMOT/MOT updates
+  /// run in downgraded, SOT-equivalent form, and the parallel shard
+  /// assignment groups faults by horizon class. Bit-identical by OBDD
+  /// canonicity — another pure performance knob, excluded from store
+  /// fingerprints but recorded in manifests for the same partition-
+  /// reproducibility reason as `trim`. On by default. CLI flag:
+  /// --no-sgraph.
+  bool sgraph = true;
 
   // ---- parallel execution --------------------------------------------
   /// Worker threads for the symbolic stage: 1 = the serial
@@ -147,7 +157,7 @@ struct SimOptions {
            a.fallback_frames == b.fallback_frames &&
            a.hard_limit_factor == b.hard_limit_factor &&
            a.checkpoint_interval == b.checkpoint_interval &&
-           a.trim == b.trim &&
+           a.trim == b.trim && a.sgraph == b.sgraph &&
            a.threads == b.threads && a.chunk_size == b.chunk_size &&
            a.seed == b.seed &&
            a.bdd_initial_capacity == b.bdd_initial_capacity &&

@@ -1,5 +1,6 @@
 #include "core/parallel_sym_sim.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <numeric>
@@ -113,6 +114,14 @@ void ParallelSymSim::set_trim_plan(TrimPlan plan) {
   trim_plan_ = std::move(plan);
 }
 
+void ParallelSymSim::set_sgraph_plan(SgraphPlan plan) {
+  if (plan.horizon.size() != faults_.size()) {
+    throw std::invalid_argument("set_sgraph_plan: plan does not match the "
+                                "fault list");
+  }
+  sgraph_plan_ = std::move(plan);
+}
+
 std::size_t ParallelSymSim::resolved_threads() const noexcept {
   return config_.threads == 0 ? ThreadPool::default_thread_count()
                               : config_.threads;
@@ -143,6 +152,21 @@ HybridResult ParallelSymSim::run(
   TrimPlan plan;
   if (config_.hybrid.trim) {
     plan = trim_plan_ ? *trim_plan_ : build_trim_plan(*netlist_, faults_);
+  }
+  // Likewise one global s-graph plan. Its horizons also refine the
+  // shard assignment: a stable sort by observation horizon keeps the
+  // cone clusters contiguous within each horizon class, so shard-mates
+  // downgrade to the cheap SOT-style updates at the same frame instead
+  // of one straggler keeping the whole shard's equality products alive.
+  // Stable + pure function of the fault list, so still deterministic.
+  SgraphPlan splan;
+  if (config_.hybrid.sgraph) {
+    splan =
+        sgraph_plan_ ? *sgraph_plan_ : build_sgraph_plan(*netlist_, faults_);
+    std::stable_sort(live.begin(), live.end(),
+                     [&splan](std::size_t a, std::size_t b) {
+                       return splan.horizon[a] < splan.horizon[b];
+                     });
   }
   const std::size_t chunk_size = resolved_chunk_size();
   const std::size_t chunk_count = (live.size() + chunk_size - 1) / chunk_size;
@@ -248,6 +272,15 @@ HybridResult ParallelSymSim::run(
           }
           sim.set_trim_plan(std::move(chunk_plan));
         }
+        if (config_.hybrid.sgraph) {
+          SgraphPlan chunk_splan;
+          chunk_splan.nontrivial_sccs = splan.nontrivial_sccs;
+          chunk_splan.horizon.reserve(end - begin);
+          for (std::size_t k = begin; k < end; ++k) {
+            chunk_splan.horizon.push_back(splan.horizon[live[k]]);
+          }
+          sim.set_sgraph_plan(std::move(chunk_splan));
+        }
         std::optional<obs::SpanTracer::Span> shard_span;
         if (telemetry_ != nullptr) {
           shard_span = telemetry_->tracer.span("shard");
@@ -310,6 +343,7 @@ HybridResult ParallelSymSim::run(
     merged.frames_skipped += r.frames_skipped;
     merged.faults_terminated_early += r.faults_terminated_early;
     merged.faultfree_evals_shared += r.faultfree_evals_shared;
+    merged.mot_downgrades += r.mot_downgrades;
     merged.peak_live_nodes =
         std::max(merged.peak_live_nodes, r.peak_live_nodes);
   }

@@ -49,13 +49,17 @@ struct ParallelSymConfig {
 /// neighbours (cluster_live_order, analysis/cone.h): shard-mates then
 /// diverge over the same region of the circuit, maximizing reuse of
 /// the shard's one fault-free OBDD evaluation and its shared per-frame
-/// MOT equality products. The reorder is itself a pure function of the
-/// netlist, fault list and initial statuses, so determinism is
-/// unaffected (docs/DESIGN.md).
+/// MOT equality products. When config.hybrid.sgraph is additionally
+/// on, the clustered order is stably partitioned by s-graph
+/// observation horizon, so faults that downgrade at the same frame —
+/// equivalently, whose cones avoid the same SCC-fed outputs — share
+/// shards and their downgraded frames stay cheap together (docs/
+/// DESIGN.md). Both reorders are pure functions of the netlist, fault
+/// list and initial statuses, so determinism is unaffected.
 ///
 /// Determinism: the chunk partition is a pure function of the fault
-/// list, the initial statuses, `chunk_size` and the trim flag — never
-/// of `threads` or of scheduling — and every chunk's simulation is
+/// list, the initial statuses, `chunk_size` and the trim/sgraph flags
+/// — never of `threads` or of scheduling — and every chunk's simulation is
 /// self-contained, so
 /// the merged result is bit-identical for ANY thread count (1, 2, 8,
 /// ...), including runs where fallback windows trigger. Relative to
@@ -132,6 +136,13 @@ class ParallelSymSim {
   /// config.hybrid.trim is on. Ignored when trimming is off.
   void set_trim_plan(TrimPlan plan);
 
+  /// Supplies a pre-built s-graph plan in this fault list's global
+  /// indexing (see HybridFaultSim::set_sgraph_plan); the driver slices
+  /// it per chunk and folds its horizons into the shard assignment.
+  /// Without it a plan is built once when config.hybrid.sgraph is on.
+  /// Ignored when the pass is off.
+  void set_sgraph_plan(SgraphPlan plan);
+
   /// Thread count after resolving 0 to the hardware default.
   [[nodiscard]] std::size_t resolved_threads() const noexcept;
   /// Shard size after resolving 0 to kDefaultChunkSize.
@@ -151,6 +162,7 @@ class ParallelSymSim {
   std::vector<ChunkCheckpoint> resume_;
   std::vector<ConstVal> tied_;
   std::optional<TrimPlan> trim_plan_;
+  std::optional<SgraphPlan> sgraph_plan_;
 };
 
 }  // namespace motsim

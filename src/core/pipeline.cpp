@@ -6,6 +6,7 @@
 #include <string>
 
 #include "analysis/implication.h"
+#include "analysis/sgraph.h"
 #include "analysis/static_xred.h"
 #include "analysis/trim.h"
 #include "core/parallel_sym_sim.h"
@@ -157,6 +158,24 @@ PipelineResult run_pipeline(const Netlist& netlist,
     if (telemetry != nullptr) span = telemetry->tracer.span("stage.symbolic");
     begin_stage(telemetry, "symbolic");
     Stopwatch timer;
+    // S-graph plan for the MOT/rMOT -> SOT downgrade, built once here
+    // so serial and parallel runs (and every shard) share it; either
+    // engine would derive the identical plan on its own.
+    std::optional<SgraphPlan> sgraph_plan;
+    if (config.hybrid.sgraph) {
+      sgraph_plan = build_sgraph_plan(netlist, faults);
+      result.sgraph_sccs = sgraph_plan->nontrivial_sccs;
+      if (telemetry != nullptr) {
+        telemetry->metrics.counter("analysis.sgraph_sccs")
+            .add(sgraph_plan->nontrivial_sccs);
+      }
+      obs::log_event(
+          telemetry, obs::LogLevel::Debug, "pipeline.sgraph",
+          {obs::LogField::u64("nontrivial_sccs", sgraph_plan->nontrivial_sccs),
+           obs::LogField::u64("finite_horizons",
+                              sgraph_plan->finite_horizon_count()),
+           obs::LogField::u64("faults", faults.size())});
+    }
     HybridResult rs;
     if (config.threads == 1) {
       HybridFaultSim sym(netlist, faults, config.hybrid);
@@ -166,6 +185,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
       sym.set_telemetry(telemetry);
       if (!tied.empty()) sym.set_tied_constants(tied);
       if (trim_plan) sym.set_trim_plan(*trim_plan);
+      if (sgraph_plan) sym.set_sgraph_plan(*sgraph_plan);
       rs = sym.run(sequence);
     } else {
       ParallelSymConfig pc;
@@ -179,6 +199,7 @@ PipelineResult run_pipeline(const Netlist& netlist,
       sym.set_telemetry(telemetry);
       if (!tied.empty()) sym.set_tied_constants(tied);
       if (trim_plan) sym.set_trim_plan(*trim_plan);
+      if (sgraph_plan) sym.set_sgraph_plan(*sgraph_plan);
       rs = sym.run(sequence);
     }
     result.seconds_symbolic = timer.elapsed_seconds();
@@ -189,6 +210,14 @@ PipelineResult run_pipeline(const Netlist& netlist,
     result.frames_skipped = rs.frames_skipped;
     result.faults_terminated_early = rs.faults_terminated_early;
     result.faultfree_evals_shared = rs.faultfree_evals_shared;
+    result.mot_downgrades = rs.mot_downgrades;
+    // analysis.mot_downgrades is recorded by the engines themselves
+    // (every shard adds into the shared telemetry); only the log record
+    // belongs here, where the merged total is known.
+    if (rs.mot_downgrades != 0) {
+      obs::log_event(telemetry, obs::LogLevel::Debug, "pipeline.sgraph.done",
+                     {obs::LogField::u64("mot_downgrades", rs.mot_downgrades)});
+    }
 
     // Merge: symbolic detections override; everything else keeps its
     // stage-1/2 classification (and its three-valued detection frame).

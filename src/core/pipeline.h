@@ -90,6 +90,14 @@ struct PipelineResult {
   std::uint64_t frames_skipped = 0;
   std::uint64_t faults_terminated_early = 0;
   std::uint64_t faultfree_evals_shared = 0;
+  /// S-graph pass results (docs/ANALYSIS.md pass 6; zero when
+  /// `config.hybrid.sgraph` was off or the symbolic stage did not
+  /// run): nontrivial SCCs of the flip-flop dependency graph, and
+  /// rMOT/MOT faults downgraded to SOT-equivalent updates once the
+  /// frame index passed their observation horizon (one event per
+  /// fault per symbolic epoch).
+  std::size_t sgraph_sccs = 0;
+  std::uint64_t mot_downgrades = 0;
   double seconds_analysis = 0;
   double seconds_xred = 0;
   double seconds_3v = 0;

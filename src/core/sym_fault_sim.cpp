@@ -186,6 +186,28 @@ bool SymFaultPropagator::detect_sot(const std::vector<Bdd>& good) const {
   return false;
 }
 
+int SymFaultPropagator::scan_const_divergence(
+    const std::vector<Bdd>& good) const {
+  // Past a fault's observation horizon, every output it can reach is
+  // a function of primary inputs alone in BOTH machines — a constant
+  // BDD under the frame's concrete inputs (the fault only removes
+  // s-graph edges, so faulty synchronization depths never exceed the
+  // fault-free ones). Propagation never writes outside the fault's
+  // cone, so scanning the changed outputs covers every possible
+  // divergence.
+  int found = 0;
+  const Netlist& nl = *netlist_;
+  for (NodeIndex n : changed_) {
+    if (!nl.is_output(n)) continue;
+    const Bdd& gv = good[n];
+    const Bdd& fv = scratch_val_[n];
+    if (fv == gv) continue;
+    if (!gv.is_const() || !fv.is_const()) return -1;
+    found = 1;
+  }
+  return found;
+}
+
 bool SymFaultPropagator::update_rmot(Bdd& detect,
                                      const std::vector<Bdd>& good) {
   // Accumulate over diverged outputs whose fault-free value is
@@ -252,7 +274,8 @@ void SymFaultPropagator::release_scratch() {
 }
 
 bool SymFaultPropagator::step(const Fault& fault, Strategy strategy,
-                              SymFaultState& fs, SymFrameContext& ctx) {
+                              SymFaultState& fs, SymFrameContext& ctx,
+                              bool downgraded) {
   if (quiescent(fault, fs.state_diff, ctx.good_values())) {
     // Identical machines this frame: propagation, SOT/rMOT detection
     // (both only examine diverged outputs) and latching are no-ops.
@@ -270,17 +293,37 @@ bool SymFaultPropagator::step(const Fault& fault, Strategy strategy,
   const Bdd sv = mgr_->constant(fault.stuck_value);
   propagate(fault, sv, fs.state_diff, ctx.good_values());
 
+  // Downgraded rMOT/MOT: every reachable output is constant in both
+  // machines, so a divergence is a constant-opposite pair — its
+  // equality term is the zero function under every strategy. What
+  // remains of the full MOT update is the shared product over the
+  // still-symbolic (unreachable) outputs. A -1 scan means the horizon
+  // precondition failed; fall back to the exact update.
+  const int dv = downgraded && strategy != Strategy::Sot
+                     ? scan_const_divergence(ctx.good_values())
+                     : -1;
   bool detected = false;
-  switch (strategy) {
-    case Strategy::Sot:
-      detected = detect_sot(ctx.good_values());
-      break;
-    case Strategy::Rmot:
-      detected = update_rmot(fs.detect, ctx.good_values());
-      break;
-    case Strategy::Mot:
-      detected = update_mot(fs.detect, ctx);
-      break;
+  if (dv >= 0) {
+    ++sgraph_counters_.downgraded_frames;
+    if (dv == 1) {
+      fs.detect = mgr_->constant(false);
+      detected = true;
+    } else if (strategy == Strategy::Mot) {
+      fs.detect &= ctx.frame_eq_product(*netlist_, *mgr_, x2y_);
+      detected = fs.detect.is_zero();
+    }
+  } else {
+    switch (strategy) {
+      case Strategy::Sot:
+        detected = detect_sot(ctx.good_values());
+        break;
+      case Strategy::Rmot:
+        detected = update_rmot(fs.detect, ctx.good_values());
+        break;
+      case Strategy::Mot:
+        detected = update_mot(fs.detect, ctx);
+        break;
+    }
   }
   if (detected) {
     queue_.clear();
@@ -295,7 +338,7 @@ bool SymFaultPropagator::step(const Fault& fault, Strategy strategy,
 
 bool SymFaultPropagator::step_multi(const Fault& fault, MultiFaultState& ms,
                                     SymFrameContext& ctx,
-                                    std::uint32_t frame) {
+                                    std::uint32_t frame, bool downgraded) {
   if (quiescent(fault, ms.state_diff, ctx.good_values())) {
     // Same argument as in step(): only MOT's accumulation survives a
     // quiescent frame, and it collapses to the shared frame product.
@@ -319,15 +362,42 @@ bool SymFaultPropagator::step_multi(const Fault& fault, MultiFaultState& ms,
     ms.sot_done = true;
     ms.sot_frame = frame;
   }
-  if (!ms.rmot_done && update_rmot(ms.rmot_detect, ctx.good_values())) {
-    ms.rmot_done = true;
-    ms.rmot_frame = frame;
-    ms.rmot_detect = Bdd();
-  }
-  if (!ms.mot_done && update_mot(ms.mot_detect, ctx)) {
-    ms.mot_done = true;
-    ms.mot_frame = frame;
-    ms.mot_detect = Bdd();
+  // Downgraded rMOT/MOT bookkeeping; see step() for the argument.
+  const int dv = downgraded && (!ms.rmot_done || !ms.mot_done)
+                     ? scan_const_divergence(ctx.good_values())
+                     : -1;
+  if (dv >= 0) {
+    ++sgraph_counters_.downgraded_frames;
+    if (!ms.rmot_done && dv == 1) {
+      ms.rmot_done = true;
+      ms.rmot_frame = frame;
+      ms.rmot_detect = Bdd();
+    }
+    if (!ms.mot_done) {
+      if (dv == 1) {
+        ms.mot_done = true;
+        ms.mot_frame = frame;
+        ms.mot_detect = Bdd();
+      } else {
+        ms.mot_detect &= ctx.frame_eq_product(*netlist_, *mgr_, x2y_);
+        if (ms.mot_detect.is_zero()) {
+          ms.mot_done = true;
+          ms.mot_frame = frame;
+          ms.mot_detect = Bdd();
+        }
+      }
+    }
+  } else {
+    if (!ms.rmot_done && update_rmot(ms.rmot_detect, ctx.good_values())) {
+      ms.rmot_done = true;
+      ms.rmot_frame = frame;
+      ms.rmot_detect = Bdd();
+    }
+    if (!ms.mot_done && update_mot(ms.mot_detect, ctx)) {
+      ms.mot_done = true;
+      ms.mot_frame = frame;
+      ms.mot_detect = Bdd();
+    }
   }
 
   if (ms.all_done()) {
@@ -383,6 +453,12 @@ SymFaultSimResult SymFaultSim::run(
   TrimPlan plan;
   if (trim_) plan = build_trim_plan(nl, faults_);
 
+  // S-graph observation horizons: frames at which the per-fault
+  // rMOT/MOT updates may run in downgraded (SOT-equivalent) form.
+  // Vars are seeded once at frame 0 here, so the epoch is 0.
+  SgraphPlan splan;
+  if (sgraph_) splan = build_sgraph_plan(nl, faults_);
+
   SymFaultSimResult result;
   result.status = initial_status_;
   result.detect_frame.assign(faults_.size(), 0);
@@ -392,11 +468,12 @@ SymFaultSimResult SymFaultSim::run(
     std::size_t index;
     SymFaultState fs;
     bool parked = false;
+    bool downgraded = false;
   };
   std::vector<Live> live;
   for (std::size_t i = 0; i < faults_.size(); ++i) {
     if (initial_status_[i] == FaultStatus::Undetected) {
-      live.push_back(Live{i, SymFaultState{mgr.one(), {}}, false});
+      live.push_back(Live{i, SymFaultState{mgr.one(), {}}, false, false});
     }
   }
 
@@ -417,7 +494,14 @@ SymFaultSimResult SymFaultSim::run(
       if (lf.parked) {
         ++result.frames_skipped;
       } else {
-        detected = prop.step(faults_[lf.index], strategy_, lf.fs, ctx);
+        if (sgraph_ && strategy_ != Strategy::Sot && !lf.downgraded &&
+            splan.horizon[lf.index] != kInfDepth &&
+            t >= splan.horizon[lf.index]) {
+          lf.downgraded = true;
+          ++result.mot_downgrades;
+        }
+        detected = prop.step(faults_[lf.index], strategy_, lf.fs, ctx,
+                             lf.downgraded);
       }
       if (detected) {
         result.status[lf.index] = det;
@@ -476,7 +560,8 @@ SymFaultSimResult SymFaultSim::run(
 MultiStrategyResult run_all_strategies(
     const Netlist& nl, const std::vector<Fault>& faults,
     const std::vector<std::vector<Val3>>& sequence,
-    const bdd::BddConfig& bdd_config, VarLayout layout, bool trim) {
+    const bdd::BddConfig& bdd_config, VarLayout layout, bool trim,
+    bool sgraph) {
   if (!nl.finalized()) {
     throw std::logic_error("run_all_strategies requires a finalized netlist");
   }
@@ -487,6 +572,10 @@ MultiStrategyResult run_all_strategies(
   SymFaultPropagator prop(nl, mgr, vars);
   prop.set_trim(trim);
 
+  SgraphPlan splan;
+  if (sgraph) splan = build_sgraph_plan(nl, faults);
+  std::uint64_t mot_downgrades = 0;
+
   MultiStrategyResult result;
   for (SymFaultSimResult* r : {&result.sot, &result.rmot, &result.mot}) {
     r->status.assign(faults.size(), FaultStatus::Undetected);
@@ -496,6 +585,7 @@ MultiStrategyResult run_all_strategies(
   struct Live {
     std::size_t index;
     SymFaultPropagator::MultiFaultState ms;
+    bool downgraded = false;
   };
   std::vector<Live> live;
   for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -531,9 +621,16 @@ MultiStrategyResult run_all_strategies(
 
     std::size_t keep = 0;
     for (std::size_t i = 0; i < live.size(); ++i) {
+      Live& lf = live[i];
+      if (sgraph && !lf.downgraded &&
+          splan.horizon[lf.index] != kInfDepth &&
+          t >= splan.horizon[lf.index]) {
+        lf.downgraded = true;
+        ++mot_downgrades;
+      }
       const bool done = prop.step_multi(
-          faults[live[i].index], live[i].ms, ctx,
-          static_cast<std::uint32_t>(t + 1));
+          faults[lf.index], lf.ms, ctx,
+          static_cast<std::uint32_t>(t + 1), lf.downgraded);
       record(live[i]);
       if (!done) {
         if (keep != i) live[keep] = std::move(live[i]);
@@ -553,6 +650,7 @@ MultiStrategyResult run_all_strategies(
   for (SymFaultSimResult* r : {&result.sot, &result.rmot, &result.mot}) {
     r->frames_skipped = prop.trim_counters().frames_skipped;
     r->faultfree_evals_shared = prop.trim_counters().shared_eq_uses;
+    r->mot_downgrades = mot_downgrades;
   }
 
   return result;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/sgraph.h"
 #include "analysis/trim.h"
 #include "bdd/bdd.h"
 #include "circuit/levelize.h"
@@ -106,8 +107,19 @@ class SymFaultPropagator {
   /// `fs.state_diff` (next-state divergence) and `fs.detect`; returns
   /// true if the fault is now marked detectable (caller drops it).
   /// May throw bdd::BddOverflow when the manager's hard limit trips.
+  ///
+  /// `downgraded` asserts the s-graph downgrade precondition: the
+  /// frame index is past the fault's observation horizon, so every
+  /// output the fault can reach carries constant fault-free AND
+  /// faulty values. MOT's per-output equality accumulation then
+  /// collapses to one SOT-style constant comparison plus a single AND
+  /// with the shared frame product, and rMOT's to the comparison
+  /// alone — bit-identical to the full updates by associativity and
+  /// OBDD canonicity. A violated precondition (non-constant diverged
+  /// output) is detected at runtime and falls back to the full
+  /// update, so a wrong horizon can cost time but never correctness.
   bool step(const Fault& fault, Strategy strategy, SymFaultState& fs,
-            SymFrameContext& ctx);
+            SymFrameContext& ctx, bool downgraded = false);
 
   [[nodiscard]] bdd::BddManager& manager() const noexcept { return *mgr_; }
 
@@ -129,8 +141,10 @@ class SymFaultPropagator {
   /// are shared and only the detection bookkeeping triples. `frame` is
   /// the 1-based frame number recorded on detections. Returns true
   /// when every strategy has detected the fault (caller drops it).
+  /// `downgraded` as in step() (applies to the rMOT/MOT bookkeeping).
   bool step_multi(const Fault& fault, MultiFaultState& ms,
-                  SymFrameContext& ctx, std::uint32_t frame);
+                  SymFrameContext& ctx, std::uint32_t frame,
+                  bool downgraded = false);
 
   /// Execution-redundancy counters of the trimming pass.
   struct TrimCounters {
@@ -153,6 +167,17 @@ class SymFaultPropagator {
     return trim_counters_;
   }
 
+  /// S-graph downgrade counters, separate from the trim counters so
+  /// each pass's ablation can assert the other reports zero work.
+  struct SgraphCounters {
+    /// Fault-frames whose rMOT/MOT update ran in downgraded
+    /// (SOT-equivalent) form.
+    std::uint64_t downgraded_frames = 0;
+  };
+  [[nodiscard]] const SgraphCounters& sgraph_counters() const noexcept {
+    return sgraph_counters_;
+  }
+
  private:
   /// True when the trimming pass may skip this fault-frame entirely.
   [[nodiscard]] bool quiescent(
@@ -169,6 +194,13 @@ class SymFaultPropagator {
                      state_diff,
                  const std::vector<bdd::Bdd>& good);
   [[nodiscard]] bool detect_sot(const std::vector<bdd::Bdd>& good) const;
+  /// Downgraded-path scan over the changed outputs: 1 when some
+  /// output diverged with both values constant (a detection under
+  /// every strategy), 0 when none diverged, -1 when a diverged output
+  /// carries a non-constant value — the horizon precondition is
+  /// violated and the caller must fall back to the full update.
+  [[nodiscard]] int scan_const_divergence(
+      const std::vector<bdd::Bdd>& good) const;
   /// Returns true when `detect` reached the zero function.
   bool update_rmot(bdd::Bdd& detect, const std::vector<bdd::Bdd>& good);
   bool update_mot(bdd::Bdd& detect, SymFrameContext& ctx);
@@ -190,6 +222,7 @@ class SymFaultPropagator {
   std::vector<NodeIndex> changed_;
   bool trim_ = false;
   TrimCounters trim_counters_;
+  SgraphCounters sgraph_counters_;
 };
 
 /// A concrete certificate of UNdetectability under MOT (Lemma 1's
@@ -216,6 +249,10 @@ struct SymFaultSimResult {
   std::uint64_t frames_skipped = 0;
   std::uint64_t faults_terminated_early = 0;
   std::uint64_t faultfree_evals_shared = 0;
+  /// S-graph telemetry (zero when the pass is off): faults downgraded
+  /// from MOT/rMOT to SOT-equivalent handling once the frame index
+  /// passed their observation horizon.
+  std::uint64_t mot_downgrades = 0;
   /// For every fault left undetected under rMOT/MOT (when
   /// SymFaultSim::set_collect_witnesses(true) was called): a satisfying
   /// pair of D~ — the indistinguishability certificate. Indexed like
@@ -253,6 +290,14 @@ class SymFaultSim {
   /// (HybridFaultSim / ParallelSymSim) default it on.
   void set_trim(bool trim) { trim_ = trim; }
 
+  /// Enables the s-graph synchronization-depth pass (docs/ANALYSIS.md
+  /// pass 6): faults whose observation cone is past its horizon run
+  /// the downgraded rMOT/MOT updates. Verdicts, detect frames and
+  /// witnesses are bit-identical with the pass on or off. Off by
+  /// default here (like trimming) so the correctness suite can diff
+  /// both paths; the production engines default it on.
+  void set_sgraph(bool sgraph) { sgraph_ = sgraph; }
+
   [[nodiscard]] SymFaultSimResult run(
       const std::vector<std::vector<Val3>>& sequence);
 
@@ -265,6 +310,7 @@ class SymFaultSim {
   VarLayout layout_;
   bool collect_witnesses_ = false;
   bool trim_ = false;
+  bool sgraph_ = false;
 };
 
 /// Status value corresponding to a detection under `s`.
@@ -283,13 +329,15 @@ struct MultiStrategyResult {
 /// event-driven symbolic propagation (the dominating cost) is shared.
 /// A fault stays live until every strategy has classified it or the
 /// sequence ends. `trim` enables quiescent-frame skipping (never
-/// parking — MOT must keep accumulating); results are bit-identical
-/// either way.
+/// parking — MOT must keep accumulating); `sgraph` enables the
+/// observation-horizon downgrade; results are bit-identical either
+/// way.
 [[nodiscard]] MultiStrategyResult run_all_strategies(
     const Netlist& netlist, const std::vector<Fault>& faults,
     const std::vector<std::vector<Val3>>& sequence,
     const bdd::BddConfig& bdd_config = {},
-    VarLayout layout = VarLayout::Interleaved, bool trim = false);
+    VarLayout layout = VarLayout::Interleaved, bool trim = false,
+    bool sgraph = false);
 
 }  // namespace motsim
 

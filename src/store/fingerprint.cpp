@@ -82,6 +82,10 @@ std::uint64_t fingerprint_options(const SimOptions& options) {
   // validate (and resume) untrimmed and vice versa. The manifest still
   // records the flag (opt_trim) because the parallel shard PARTITION —
   // not the results — depends on the cluster reorder it enables.
+  // options.sgraph is excluded on the identical argument (the MOT/rMOT
+  // downgrade is bit-identical by OBDD canonicity); the manifest
+  // records opt_sgraph because the partition also folds the horizon
+  // ordering in.
   h.update_u64(options.run_symbolic ? 1 : 0);
   h.update_u64(static_cast<std::uint64_t>(options.strategy));
   h.update_u64(static_cast<std::uint64_t>(options.layout));

@@ -397,6 +397,7 @@ std::string StoreManifest::to_text() const {
   os << "opt_hard_limit_factor " << options.hard_limit_factor << '\n';
   os << "opt_checkpoint_interval " << options.checkpoint_interval << '\n';
   os << "opt_trim " << (options.trim ? 1 : 0) << '\n';
+  os << "opt_sgraph " << (options.sgraph ? 1 : 0) << '\n';
   os << "opt_threads " << options.threads << '\n';
   os << "opt_chunk_size " << options.chunk_size << '\n';
   os << "opt_seed " << options.seed << '\n';
@@ -413,7 +414,11 @@ Expected<StoreManifest, std::string> StoreManifest::from_text(
   // Manifests written before the trimming pass existed carry no
   // opt_trim line; they must resume untrimmed (and unclustered) so the
   // shard partition they checkpointed under is recomputed exactly.
+  // Same for the later s-graph pass and its horizon-ordered partition:
+  // no opt_sgraph line means the pass did not exist, so resume with it
+  // off.
   m.options.trim = false;
+  m.options.sgraph = false;
   std::istringstream in(text);
   std::string raw;
   int line_no = 0;
@@ -522,6 +527,8 @@ Expected<StoreManifest, std::string> StoreManifest::from_text(
       }
     } else if (key == "opt_trim") {
       if (!get_bool(m.options.trim)) return bad("bad opt_trim");
+    } else if (key == "opt_sgraph") {
+      if (!get_bool(m.options.sgraph)) return bad("bad opt_sgraph");
     } else if (key == "opt_threads") {
       if (!get_size(m.options.threads)) return bad("bad opt_threads");
     } else if (key == "opt_chunk_size") {

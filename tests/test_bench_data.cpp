@@ -126,7 +126,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          CircuitStyle::Controller,
                                          CircuitStyle::RandomLogic,
                                          CircuitStyle::TwinPaths,
-                                         CircuitStyle::Pipeline),
+                                         CircuitStyle::Pipeline,
+                                         CircuitStyle::AcyclicPipeline),
                        ::testing::Values(1, 2, 3)));
 
 TEST(SynthGen, PipelineStyleFlushesStageByStage) {

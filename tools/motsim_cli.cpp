@@ -19,6 +19,8 @@
 //                    faults are pruned up front (verdict static-X-red)
 //   --no-trim        disable execution-redundancy trimming in the
 //                    symbolic stage (bit-identical; perf knob only)
+//   --no-sgraph      disable the s-graph MOT->SOT downgrade in the
+//                    symbolic stage (bit-identical; perf knob only)
 //   --no-xred        skip the ID_X-red stage
 //   --no-symbolic    three-valued only (pure X01)
 //   --sim3-backend B three-valued backend: event | bitpar
@@ -54,6 +56,7 @@
 #include <string>
 #include <utility>
 
+#include "analysis/sgraph.h"
 #include "bench_data/registry.h"
 #include "circuit/bench_io.h"
 #include "circuit/stats.h"
@@ -134,6 +137,9 @@ struct Options {
                "  --lint             prune statically undetectable faults\n"
                "                     first (see docs/ANALYSIS.md)\n"
                "  --no-trim          disable execution-redundancy trimming\n"
+               "                     in the symbolic stage (bit-identical\n"
+               "                     results; see docs/ANALYSIS.md)\n"
+               "  --no-sgraph        disable the s-graph MOT->SOT downgrade\n"
                "                     in the symbolic stage (bit-identical\n"
                "                     results; see docs/ANALYSIS.md)\n"
                "  --no-xred          skip ID_X-red\n"
@@ -237,6 +243,7 @@ Options parse_args(int argc, char** argv) {
       else fail("--layout expects interleaved or blocked, got '" + s + "'");
     } else if (a == "--lint") o.sim.analysis = true;
     else if (a == "--no-trim") o.sim.trim = false;
+    else if (a == "--no-sgraph") o.sim.sgraph = false;
     else if (a == "--no-xred") o.sim.run_xred = false;
     else if (a == "--no-symbolic") o.sim.run_symbolic = false;
     else if (a == "--sim3-backend") {
@@ -645,6 +652,7 @@ int main(int argc, char** argv) {
   if (o.stats) {
     CircuitStats stats = CircuitStats::of(nl);
     attach_collapse(stats, nl);
+    attach_sgraph(stats, nl, build_sgraph(nl));
     std::printf("%s", stats.to_string().c_str());
   }
   if (!o.dot_file.empty()) {

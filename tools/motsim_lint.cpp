@@ -22,6 +22,10 @@
 //                    cluster sharing an observation cone (the shard-
 //                    mate groups the trimming pass exploits) plus a
 //                    circuit-level cone-size summary
+//   --sgraph         append s-graph notes: one per nontrivial SCC of
+//                    the flip-flop dependency graph, one per finite-
+//                    depth flip-flop, one per greedy feedback-set
+//                    candidate, plus a circuit-level summary
 //
 // Exit code is the worst finding across all circuits: 0 clean (notes
 // never fail a run), 1 warnings, 2 errors. Usage errors exit 2.
@@ -38,6 +42,7 @@
 
 #include "analysis/cone.h"
 #include "analysis/diagnostics.h"
+#include "analysis/sgraph.h"
 #include "analysis/implication.h"
 #include "analysis/lint.h"
 #include "analysis/static_xred.h"
@@ -64,6 +69,7 @@ struct Options {
   bool implications = false;
   bool untestable = false;
   bool cones = false;
+  bool sgraph = false;
   std::size_t top = 5;
   std::string log_path;
   std::string log_level;
@@ -86,6 +92,9 @@ struct Options {
                "  --untestable   append statically-untestable-fault notes\n"
                "  --cones        append cone-of-influence cluster notes and\n"
                "                 a cone-size summary (docs/ANALYSIS.md)\n"
+               "  --sgraph       append s-graph notes: SCCs, per-flip-flop\n"
+               "                 synchronization depths, the greedy feedback\n"
+               "                 set and a summary (docs/ANALYSIS.md)\n"
                "  --log PATH     structured JSONL log ('-' = stderr; also\n"
                "                 MOTSIM_LOG)\n"
                "  --log-level L  trace|debug|info|warn|error|off (default\n"
@@ -131,6 +140,7 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--implications") o.implications = true;
     else if (a == "--untestable") o.untestable = true;
     else if (a == "--cones") o.cones = true;
+    else if (a == "--sgraph") o.sgraph = true;
     else if (a == "--log") o.log_path = next();
     else if (a == "--log-level") o.log_level = next();
     else if (!a.empty() && a[0] == '-') fail("unknown option '" + a + "'");
@@ -296,6 +306,56 @@ void append_cones(const Netlist& nl, DiagnosticReport& report) {
                  "/" + std::to_string(max_coi) + " nodes");
 }
 
+/// Appends the s-graph pass's view of the sequential structure
+/// (docs/ANALYSIS.md pass 6): one note per nontrivial SCC of the
+/// flip-flop dependency graph ("sgraph.scc", anchored at the SCC's
+/// lowest-position member — these flip-flops can hold their unknown
+/// power-up value forever), one per finite-depth flip-flop
+/// ("sgraph.depth" — its value is input-only after init_depth frames),
+/// one per greedy feedback-set candidate ("sgraph.feedback" — a
+/// partial-scan upper bound), plus the circuit-level summary
+/// ("sgraph.summary").
+void append_sgraph(const Netlist& nl, DiagnosticReport& report) {
+  const SgraphInfo info = build_sgraph(nl);
+  const std::size_t n = info.ff_count();
+
+  // One note per nontrivial SCC, members gathered by id.
+  std::vector<std::vector<std::uint32_t>> members;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!info.in_nontrivial_scc[v]) continue;
+    if (info.scc_id[v] >= members.size()) members.resize(info.scc_id[v] + 1);
+    members[info.scc_id[v]].push_back(v);
+  }
+  for (const std::vector<std::uint32_t>& m : members) {
+    if (m.empty()) continue;
+    const NodeIndex rep = nl.dffs()[m.front()];
+    report.add(nl, "sgraph.scc", Severity::Note, rep,
+               std::to_string(m.size()) +
+                   (m.size() == 1 ? " flip-flop forms a self-loop"
+                                  : " flip-flops form one s-graph cycle") +
+                   "; their power-up value can persist forever (no finite "
+                   "synchronization depth)");
+  }
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (info.init_depth[v] == kInfDepth) continue;
+    report.add(nl, "sgraph.depth", Severity::Note, nl.dffs()[v],
+               "flip-flop value is a function of primary inputs alone "
+               "after " +
+                   std::to_string(info.init_depth[v]) + " frame" +
+                   (info.init_depth[v] == 1 ? "" : "s"));
+  }
+
+  for (const std::uint32_t v : greedy_feedback_set(info)) {
+    report.add(nl, "sgraph.feedback", Severity::Note, nl.dffs()[v],
+               "greedy feedback-set candidate: scanning this flip-flop "
+               "helps break every s-graph cycle");
+  }
+
+  report.add(nl, "sgraph.summary", Severity::Note, kNoNode,
+             sgraph_summary(nl, info));
+}
+
 void print_scoap(const Netlist& nl, std::size_t top) {
   const SiteTable sites(nl);
   const TestabilityScores scores = compute_testability(nl, sites);
@@ -380,6 +440,7 @@ int main(int argc, char** argv) {
       if (o.untestable) append_untestable(nl, engine, report);
     }
     if (o.cones) append_cones(nl, report);
+    if (o.sgraph) append_sgraph(nl, report);
 
     if (!first) std::printf("\n");
     first = false;

@@ -14,11 +14,11 @@ cmake -S "$repo" -B "$build" -DMOTSIM_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j \
   --target test_parallel_sym test_options test_pipeline test_hybrid \
-  test_obs test_serve
+  test_sgraph test_obs test_serve
 
 cd "$build"
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --output-on-failure \
-  -R 'test_parallel_sym|test_options|test_pipeline|test_hybrid|test_obs|test_serve' "$@"
+  -R 'test_parallel_sym|test_options|test_pipeline|test_hybrid|test_sgraph|test_obs|test_serve' "$@"
 
 echo "TSan pass complete."
